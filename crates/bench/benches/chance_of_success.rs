@@ -1,0 +1,73 @@
+//! Criterion bench: the chance-of-success query (Eq. 2) — the pruning
+//! mechanism's hot path, executed for every defer check and every
+//! queue-drop scan position — against the scalar expected-completion
+//! accounting the deterministic heuristics use.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use taskprune_model::{Cluster, MachineId, SimTime, Task, TaskTypeId};
+use taskprune_sim::queue_testing::make_queues;
+use taskprune_sim::SystemView;
+use taskprune_workload::PetGenConfig;
+
+fn bench_chance(c: &mut Criterion) {
+    let pet = PetGenConfig::paper_heterogeneous(1).generate();
+    let cluster = Cluster::one_per_type(8);
+    let task = Task::new(0, TaskTypeId(3), SimTime(0), SimTime(8_000));
+
+    let mut group = c.benchmark_group("chance_of_success");
+    for &depth in &[0usize, 2, 4, 8] {
+        let mut queues = make_queues(&cluster, depth.max(1), 256);
+        for i in 0..depth {
+            queues[0].admit(
+                Task::new(
+                    i as u64 + 1,
+                    TaskTypeId((i % 12) as u16),
+                    SimTime(0),
+                    SimTime(1_000_000),
+                ),
+                &pet,
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("queue-depth", depth),
+            &depth,
+            |bench, _| {
+                let view = SystemView::new(SimTime(0), &queues, &pet);
+                bench.iter(|| {
+                    black_box(view.chance_if_appended(
+                        black_box(MachineId(0)),
+                        black_box(&task),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // The scalar baseline the deterministic heuristics use instead.
+    c.bench_function("expected_completion_ticks", |bench| {
+        let mut queues = make_queues(&cluster, 4, 256);
+        for i in 0..4 {
+            queues[0].admit(
+                Task::new(
+                    i + 1,
+                    TaskTypeId((i % 12) as u16),
+                    SimTime(0),
+                    SimTime(1_000_000),
+                ),
+                &pet,
+            );
+        }
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        bench.iter(|| {
+            black_box(view.expected_completion_ticks(
+                black_box(MachineId(0)),
+                black_box(&task),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_chance);
+criterion_main!(benches);

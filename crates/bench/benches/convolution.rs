@@ -1,0 +1,66 @@
+//! Criterion bench: direct vs. FFT PMF convolution across support sizes.
+//!
+//! Informs `taskprune_prob::convolve::FFT_THRESHOLD` — the crossover
+//! where the O(n log n) transform beats the cache-friendly O(n·m) loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use taskprune_prob::convolve::{convolve_direct, convolve_fft};
+use taskprune_prob::Pmf;
+
+fn uniform_pmf(n: u64) -> Pmf {
+    let points: Vec<(u64, f64)> =
+        (0..n).map(|b| (b, 1.0 / n as f64)).collect();
+    Pmf::from_points(&points).expect("non-empty")
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convolution");
+    for &n in &[16u64, 64, 256, 1024, 4096] {
+        let a = uniform_pmf(n);
+        let b = uniform_pmf(n);
+        group.bench_with_input(
+            BenchmarkId::new("direct", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(convolve_direct(black_box(&a), black_box(&b)))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fft", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(convolve_fft(black_box(&a), black_box(&b)))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // The simulator's actual hot shape: a long queue-chain PMF convolved
+    // with a short PET.
+    let mut group = c.benchmark_group("convolution/chain-extend");
+    for &chain in &[64u64, 256, 1024] {
+        let chain_pmf = uniform_pmf(chain);
+        let pet = uniform_pmf(40);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(chain),
+            &chain,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(convolve_direct(
+                        black_box(&chain_pmf),
+                        black_box(&pet),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convolution);
+criterion_main!(benches);

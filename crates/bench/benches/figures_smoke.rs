@@ -1,0 +1,101 @@
+//! `cargo bench` smoke pass over every figure harness.
+//!
+//! Not a timing benchmark (harness = false): it runs each paper-figure
+//! pipeline at smoke scale and asserts the paper's *qualitative* claims
+//! hold — who wins, and in which direction pruning moves each series.
+//! This is the regression net for the reproduction itself.
+
+use taskprune_bench::figures::{fig10, fig2, fig7, fig8, fig9};
+use taskprune_bench::report::FigureReport;
+use taskprune_bench::Scale;
+
+fn mean_of(report: &FigureReport, key_prefix: &str) -> f64 {
+    let rows: Vec<f64> = report
+        .rows
+        .iter()
+        .filter(|(k, _)| k.starts_with(key_prefix))
+        .map(|(_, r)| r.robustness.mean)
+        .collect();
+    assert!(!rows.is_empty(), "no rows matching '{key_prefix}'");
+    rows.iter().sum::<f64>() / rows.len() as f64
+}
+
+fn exact(report: &FigureReport, key: &str) -> f64 {
+    report
+        .rows
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("missing row '{key}'"))
+        .1
+        .robustness
+        .mean
+}
+
+fn main() {
+    let scale = Scale { size_factor: 0.08, trials: 3 };
+    let t0 = std::time::Instant::now();
+
+    // Fig. 2 prints and self-checks via its unit tests; run it once.
+    fig2::print_example();
+
+    // Fig. 7a: reactive dropping must beat never-dropping for the
+    // completion-time-aware immediate heuristics (KPB in particular).
+    let f7a = fig7::run(scale, true);
+    let kpb_bare = exact(&f7a, "no Toggle, no dropping / KPB");
+    let kpb_reactive = exact(&f7a, "reactive Toggle / KPB");
+    assert!(
+        kpb_reactive > kpb_bare,
+        "KPB dropping regressed: {kpb_reactive:.1} vs {kpb_bare:.1}"
+    );
+    println!("fig7a ok: KPB {kpb_bare:.1}% -> {kpb_reactive:.1}%");
+
+    // Fig. 7b: dropping (always or reactive) must beat never-dropping
+    // on average across batch heuristics.
+    let f7b = fig7::run(scale, false);
+    let no_drop = mean_of(&f7b, "no Toggle, no dropping");
+    let reactive = mean_of(&f7b, "reactive Toggle");
+    assert!(
+        reactive + 1.0 > no_drop,
+        "reactive toggle regressed: {reactive:.1} vs {no_drop:.1}"
+    );
+    println!("fig7b ok: no-drop {no_drop:.1}% -> reactive {reactive:.1}%");
+
+    // Fig. 8: a 50 % threshold must clearly beat no pruning for MSD.
+    let f8 = fig8::run(scale);
+    let t0_msd = exact(&f8, "0% / MSD");
+    let t50_msd = exact(&f8, "50% / MSD");
+    assert!(
+        t50_msd > t0_msd,
+        "deferring at 50% did not improve MSD: {t50_msd:.1} vs {t0_msd:.1}"
+    );
+    println!("fig8 ok: MSD {t0_msd:.1}% -> {t50_msd:.1}% at 50% threshold");
+
+    // Fig. 9b: pruning helps every batch heuristic at 25K.
+    let f9b = fig9::run(scale, false);
+    for h in ["MM", "MSD", "MMU"] {
+        let bare = exact(&f9b, &format!("25k / {h}"));
+        let pruned = exact(&f9b, &format!("25k / {h}-P"));
+        assert!(
+            pruned > bare,
+            "{h} pruning regressed at 25k: {pruned:.1} vs {bare:.1}"
+        );
+    }
+    println!("fig9b ok: pruning improves MM, MSD, MMU at 25k");
+
+    // Fig. 10b: same for the homogeneous trio.
+    let f10b = fig10::run(scale, false);
+    for h in ["FCFS-RR", "SJF", "EDF"] {
+        let bare = exact(&f10b, &format!("25k / {h}"));
+        let pruned = exact(&f10b, &format!("25k / {h}-P"));
+        assert!(
+            pruned > bare,
+            "{h} pruning regressed at 25k: {pruned:.1} vs {bare:.1}"
+        );
+    }
+    println!("fig10b ok: pruning improves FCFS-RR, SJF, EDF at 25k");
+
+    println!(
+        "figures smoke pass complete in {:.1?} — qualitative claims hold",
+        t0.elapsed()
+    );
+}

@@ -1,0 +1,62 @@
+//! Criterion bench: one batch-mode mapping decision (the two-phase
+//! heuristic's `select`) as a function of batch-queue length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use taskprune_heuristics::{EfficientMinMin, MM, MMU, MSD};
+use taskprune_model::{Cluster, SimTime, Task, TaskTypeId};
+use taskprune_sim::queue_testing::make_queues;
+use taskprune_sim::{BatchMapper, SystemView};
+use taskprune_workload::PetGenConfig;
+
+fn candidates(n: usize) -> Vec<Task> {
+    (0..n)
+        .map(|i| {
+            Task::new(
+                i as u64,
+                TaskTypeId((i % 12) as u16),
+                SimTime(0),
+                SimTime(4_000 + (i as u64 * 37) % 6_000),
+            )
+        })
+        .collect()
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let pet = PetGenConfig::paper_heterogeneous(1).generate();
+    let cluster = Cluster::one_per_type(8);
+
+    let mut group = c.benchmark_group("mapping_event");
+    for &n in &[10usize, 100, 1_000] {
+        let cands = candidates(n);
+        for (name, mut mapper) in [
+            ("MM", Box::new(MM::new()) as Box<dyn BatchMapper>),
+            ("MM-fast", Box::new(EfficientMinMin::new())),
+            ("MSD", Box::new(MSD::new())),
+            ("MMU", Box::new(MMU::new())),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &n,
+                |bench, _| {
+                    // Fresh empty queues each iteration batch: selection
+                    // fills 8 machines × 4 slots virtually.
+                    let queues = make_queues(&cluster, 4, 256);
+                    let view = SystemView::new(SimTime(0), &queues, &pet);
+                    bench.iter(|| {
+                        black_box(
+                            mapper.select(
+                                black_box(&view),
+                                black_box(&cands),
+                            ),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench: end-to-end simulation throughput (simulated tasks
+//! per wall-second), pruning off vs. on — the cost of the probabilistic
+//! machinery relative to the scalar baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use taskprune::prelude::*;
+
+fn bench_sim(c: &mut Criterion) {
+    let pet = PetGenConfig::paper_heterogeneous(1).generate();
+    let cluster = taskprune_workload::machines::heterogeneous_cluster();
+    let workload = WorkloadConfig {
+        total_tasks: 1_000,
+        span_tu: 200.0,
+        ..WorkloadConfig::paper_default(17)
+    };
+    let trial = workload.generate_trial(&pet, 0);
+
+    let mut group = c.benchmark_group("sim_throughput");
+    group.throughput(Throughput::Elements(trial.len() as u64));
+    group.sample_size(20);
+
+    group.bench_function("MM/bare", |bench| {
+        bench.iter(|| {
+            let stats =
+                ResourceAllocator::new(&cluster, &pet, SimConfig::batch(5))
+                    .heuristic(HeuristicKind::Mm)
+                    .run(black_box(&trial.tasks));
+            black_box(stats.robustness_pct(0))
+        })
+    });
+    group.bench_function("MM/pruned", |bench| {
+        bench.iter(|| {
+            let stats =
+                ResourceAllocator::new(&cluster, &pet, SimConfig::batch(5))
+                    .heuristic(HeuristicKind::Mm)
+                    .pruning(PruningConfig::paper_default())
+                    .run(black_box(&trial.tasks));
+            black_box(stats.robustness_pct(0))
+        })
+    });
+    group.bench_function("KPB/immediate-dropping", |bench| {
+        bench.iter(|| {
+            let stats = ResourceAllocator::new(
+                &cluster,
+                &pet,
+                SimConfig::immediate(5),
+            )
+            .heuristic(HeuristicKind::Kpb)
+            .pruning(PruningConfig {
+                defer_enabled: false,
+                ..PruningConfig::paper_default()
+            })
+            .run(black_box(&trial.tasks));
+            black_box(stats.robustness_pct(0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

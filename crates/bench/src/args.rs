@@ -1,0 +1,110 @@
+//! A tiny flag parser for the figure binaries — avoids a CLI-framework
+//! dependency for what is three flags.
+
+use crate::scale::Scale;
+
+/// Parsed common flags: `--trials N`, `--scale F`, `--pattern P`,
+/// `--out DIR`, plus free-standing positionals.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Experiment scale (size factor + trials).
+    pub scale: Scale,
+    /// Arrival pattern filter ("constant" | "spiky"), if given.
+    pub pattern: Option<String>,
+    /// Output directory for CSV/Markdown reports.
+    pub out_dir: String,
+    /// Remaining positional arguments.
+    pub positionals: Vec<String>,
+}
+
+impl CommonArgs {
+    /// Parses `std::env::args`, panicking with a usage message on
+    /// malformed flags.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)] // not a collection conversion
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut scale = Scale::full();
+        let mut pattern = None;
+        let mut out_dir = "results".to_string();
+        let mut positionals = Vec::new();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--trials" => {
+                    scale.trials = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--trials needs a positive integer");
+                }
+                "--scale" => {
+                    scale.size_factor = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a number in (0, 1]");
+                }
+                "--smoke" => scale = Scale::smoke(),
+                "--pattern" => {
+                    pattern = Some(
+                        iter.next().expect("--pattern needs a value"),
+                    );
+                }
+                "--out" => {
+                    out_dir = iter.next().expect("--out needs a path");
+                }
+                "--mode" => {
+                    // fig7 uses --mode immediate|batch as a positional
+                    // alias; forward it.
+                    positionals
+                        .push(iter.next().expect("--mode needs a value"));
+                }
+                other => positionals.push(other.to_string()),
+            }
+        }
+        Self { scale, pattern, out_dir, positionals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CommonArgs {
+        CommonArgs::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_to_paper_scale() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, Scale::full());
+        assert_eq!(a.out_dir, "results");
+        assert!(a.pattern.is_none());
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = parse(&[
+            "--trials", "5", "--scale", "0.2", "--pattern", "constant",
+            "--out", "/tmp/x",
+        ]);
+        assert_eq!(a.scale.trials, 5);
+        assert!((a.scale.size_factor - 0.2).abs() < 1e-12);
+        assert_eq!(a.pattern.as_deref(), Some("constant"));
+        assert_eq!(a.out_dir, "/tmp/x");
+    }
+
+    #[test]
+    fn smoke_flag_sets_smoke_scale() {
+        let a = parse(&["--smoke"]);
+        assert_eq!(a.scale, Scale::smoke());
+    }
+
+    #[test]
+    fn positionals_and_mode_alias() {
+        let a = parse(&["--mode", "immediate", "extra"]);
+        assert_eq!(a.positionals, vec!["immediate", "extra"]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Runs the ablation sweeps over the reproduction's design choices.
+//!
+//! Usage: `ablations [queue-capacity|bin-width|fairness|toggle-alpha|
+//! threshold|kpb|all] [--trials N] [--scale F]`.
+
+use taskprune_bench::args::CommonArgs;
+use taskprune_bench::figures::ablations;
+use taskprune_bench::report::FigureReport;
+use taskprune_bench::Scale;
+
+fn run_one(name: &str, scale: Scale) -> Option<FigureReport> {
+    Some(match name {
+        "queue-capacity" => ablations::queue_capacity(scale),
+        "bin-width" => ablations::bin_width(scale),
+        "fairness" => ablations::fairness_factor(scale),
+        "toggle-alpha" => ablations::toggle_alpha(scale),
+        "threshold" => ablations::threshold_fine(scale),
+        "kpb" => ablations::kpb_fraction(scale),
+        _ => return None,
+    })
+}
+
+const ALL: [&str; 6] = [
+    "queue-capacity",
+    "bin-width",
+    "fairness",
+    "toggle-alpha",
+    "threshold",
+    "kpb",
+];
+
+fn main() {
+    let args = CommonArgs::parse();
+    let which = args
+        .positionals
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+    let names: Vec<&str> = if which == "all" {
+        ALL.to_vec()
+    } else {
+        vec![which]
+    };
+    for name in names {
+        let Some(report) = run_one(name, args.scale) else {
+            eprintln!(
+                "unknown ablation '{name}'; expected one of {ALL:?} or 'all'"
+            );
+            std::process::exit(2);
+        };
+        report.print();
+        report.write_files(&args.out_dir).expect("writing report");
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates every figure of the paper in one run, writing
+//! Markdown + CSV reports into `results/`.
+//!
+//! Usage: `all_figures [--trials N] [--scale F] [--smoke]`
+//! (paper scale: 30 trials, full spans — takes tens of minutes).
+
+use taskprune_bench::args::CommonArgs;
+use taskprune_bench::figures::{fig10, fig2, fig6, fig7, fig8, fig9};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let t0 = std::time::Instant::now();
+
+    println!("=== Fig. 2 ===");
+    fig2::print_example();
+    println!("\n=== Fig. 6 ===");
+    fig6::run(args.scale, &args.out_dir).expect("fig6");
+
+    for (name, report) in [
+        ("Fig. 7a", fig7::run(args.scale, true)),
+        ("Fig. 7b", fig7::run(args.scale, false)),
+        ("Fig. 8", fig8::run(args.scale)),
+        ("Fig. 9a", fig9::run(args.scale, true)),
+        ("Fig. 9b", fig9::run(args.scale, false)),
+        ("Fig. 10a", fig10::run(args.scale, true)),
+        ("Fig. 10b", fig10::run(args.scale, false)),
+    ] {
+        println!("\n=== {name} ===");
+        report.print();
+        report.write_files(&args.out_dir).expect("writing report");
+    }
+
+    println!(
+        "\nall figures regenerated in {:.1?}; reports in {}/",
+        t0.elapsed(),
+        args.out_dir
+    );
+}

@@ -1,0 +1,46 @@
+//! Probe: how the fairness factor redistributes proactive drops across
+//! task types (calibration aid for the fairness tests/ablation).
+
+use taskprune::prelude::*;
+use taskprune::ClusterKind;
+
+fn main() {
+    let (cluster, petgen) = ClusterKind::Heterogeneous.materialise();
+    let pet = petgen.generate();
+    let trial = WorkloadConfig {
+        total_tasks: 2_500,
+        span_tu: 300.0,
+        ..WorkloadConfig::paper_default(11)
+    }
+    .generate_trial(&pet, 0);
+    for factor in [0.0, 0.01, 0.05, 0.1, 0.2, 0.5] {
+        let mut pruning = PruningConfig::paper_default()
+            .with_toggle(ToggleMode::Always);
+        pruning.fairness = if factor == 0.0 {
+            FairnessConfig::disabled()
+        } else {
+            FairnessConfig { factor, ..FairnessConfig::paper_default(0.5) }
+        };
+        let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(21))
+            .heuristic(HeuristicKind::Mm)
+            .pruning(pruning)
+            .run(&trial.tasks);
+        let drop_fracs: Vec<f64> = stats
+            .per_type()
+            .iter()
+            .filter(|t| t.arrived > 0)
+            .map(|t| t.dropped_proactive as f64 / t.arrived as f64)
+            .collect();
+        let max_drop = drop_fracs.iter().cloned().fold(0.0, f64::max);
+        let mean_drop =
+            drop_fracs.iter().sum::<f64>() / drop_fracs.len() as f64;
+        println!(
+            "c={factor:<5} robustness {:>5.1}%  on-time-var {:.5}  drop-frac mean {:.3} max {:.3} (max/mean {:.2})",
+            stats.robustness_pct(100),
+            stats.per_type_on_time_variance(),
+            mean_drop,
+            max_drop,
+            max_drop / mean_drop.max(1e-9),
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 10a/10b: pruning on homogeneous-system heuristics.
+//!
+//! Usage: `fig10_homogeneous [--pattern constant|spiky] [--trials N]`.
+
+use taskprune_bench::args::CommonArgs;
+use taskprune_bench::figures::fig10;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let patterns: Vec<bool> = match args.pattern.as_deref() {
+        Some("constant") => vec![true],
+        Some("spiky") => vec![false],
+        _ => vec![true, false],
+    };
+    for constant in patterns {
+        let report = fig10::run(args.scale, constant);
+        report.print();
+        report.write_files(&args.out_dir).expect("writing report");
+    }
+}

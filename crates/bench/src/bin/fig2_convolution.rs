@@ -1,0 +1,5 @@
+//! Regenerates Fig. 2: the worked PET ∗ PCT convolution example.
+
+fn main() {
+    taskprune_bench::figures::fig2::print_example();
+}

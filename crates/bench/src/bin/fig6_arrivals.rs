@@ -1,0 +1,9 @@
+//! Regenerates Fig. 6: the spiky arrival pattern series.
+
+use taskprune_bench::args::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::parse();
+    taskprune_bench::figures::fig6::run(args.scale, &args.out_dir)
+        .expect("writing fig6 series");
+}

@@ -1,0 +1,23 @@
+//! Regenerates Fig. 7a/7b: Toggle impact on immediate- and batch-mode
+//! heuristics.
+//!
+//! Usage: `fig7_toggle [--mode immediate|batch] [--trials N] [--scale F]`
+//! (no mode = both subfigures).
+
+use taskprune_bench::args::CommonArgs;
+use taskprune_bench::figures::fig7;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let modes: Vec<bool> = match args.positionals.first().map(|s| s.as_str())
+    {
+        Some("immediate") => vec![true],
+        Some("batch") => vec![false],
+        _ => vec![true, false],
+    };
+    for immediate in modes {
+        let report = fig7::run(args.scale, immediate);
+        report.print();
+        report.write_files(&args.out_dir).expect("writing report");
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 8: deferring impact vs. pruning threshold.
+
+use taskprune_bench::args::CommonArgs;
+use taskprune_bench::figures::fig8;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let report = fig8::run(args.scale);
+    report.print();
+    report.write_files(&args.out_dir).expect("writing report");
+}

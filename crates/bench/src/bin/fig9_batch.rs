@@ -1,0 +1,22 @@
+//! Regenerates Fig. 9a/9b: pruning on batch heuristics across
+//! oversubscription levels.
+//!
+//! Usage: `fig9_batch [--pattern constant|spiky] [--trials N] [--scale F]`
+//! (no pattern = both subfigures).
+
+use taskprune_bench::args::CommonArgs;
+use taskprune_bench::figures::fig9;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let patterns: Vec<bool> = match args.pattern.as_deref() {
+        Some("constant") => vec![true],
+        Some("spiky") => vec![false],
+        _ => vec![true, false],
+    };
+    for constant in patterns {
+        let report = fig9::run(args.scale, constant);
+        report.print();
+        report.write_files(&args.out_dir).expect("writing report");
+    }
+}

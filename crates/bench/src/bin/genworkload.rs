@@ -1,0 +1,89 @@
+//! Generates workload trials as JSON files — the equivalent of the
+//! trial archive the paper's authors published (git.io/fhSZW).
+//!
+//! Usage:
+//!   genworkload [--tasks N] [--span TU] [--pattern constant|spiky]
+//!               [--seed S] [--n-trials K] [--out DIR]
+
+use taskprune::experiment::PET_MATRIX_SEED;
+use taskprune::prelude::*;
+use taskprune_workload::TrialSet;
+
+struct Opts {
+    tasks: usize,
+    span: f64,
+    pattern: ArrivalPattern,
+    seed: u64,
+    n_trials: u32,
+    out: String,
+}
+
+fn parse() -> Opts {
+    let mut opts = Opts {
+        tasks: 15_000,
+        span: 3_000.0,
+        pattern: ArrivalPattern::paper_spiky(),
+        seed: 1,
+        n_trials: 30,
+        out: "workloads".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next().unwrap_or_else(|| {
+                eprintln!("flag {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--tasks" => opts.tasks = value().parse().expect("--tasks N"),
+            "--span" => opts.span = value().parse().expect("--span TU"),
+            "--seed" => opts.seed = value().parse().expect("--seed S"),
+            "--n-trials" => {
+                opts.n_trials = value().parse().expect("--n-trials K")
+            }
+            "--out" => opts.out = value(),
+            "--pattern" => {
+                opts.pattern = match value().as_str() {
+                    "constant" => ArrivalPattern::Constant,
+                    "spiky" => ArrivalPattern::paper_spiky(),
+                    other => {
+                        eprintln!("unknown pattern '{other}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse();
+    let pet =
+        PetGenConfig::paper_heterogeneous(PET_MATRIX_SEED).generate();
+    let workload = WorkloadConfig {
+        total_tasks: opts.tasks,
+        span_tu: opts.span,
+        pattern: opts.pattern,
+        seed: opts.seed,
+        ..WorkloadConfig::paper_default(opts.seed)
+    };
+    let set = TrialSet::generate(&workload, &pet, opts.n_trials);
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    for trial in &set.trials {
+        let path = std::path::Path::new(&opts.out).join(format!(
+            "trial_{}_{}_{}_{:02}.json",
+            opts.tasks,
+            workload.pattern.label(),
+            opts.seed,
+            trial.trial_idx
+        ));
+        trial.save_json(&path).expect("write trial");
+        println!("{} ({} tasks)", path.display(), trial.len());
+    }
+}

@@ -1,0 +1,43 @@
+//! Prints the values the golden regression tests pin (tests/golden.rs).
+//! Run after any *intentional* behaviour change and update the constants.
+
+use taskprune::prelude::*;
+use taskprune::ClusterKind;
+
+fn main() {
+    let (cluster, petgen) = ClusterKind::Heterogeneous.materialise();
+    let pet = petgen.generate();
+    let trial = WorkloadConfig {
+        total_tasks: 800,
+        span_tu: 150.0,
+        ..WorkloadConfig::paper_default(0x601D)
+    }
+    .generate_trial(&pet, 0);
+    println!("trial len = {}", trial.len());
+    let t0 = &trial.tasks[0];
+    let t_mid = &trial.tasks[400];
+    println!(
+        "t0 = ({}, {}, {})   t400 = ({}, {}, {})",
+        t0.arrival.ticks(), t0.deadline.ticks(), t0.type_id.0,
+        t_mid.arrival.ticks(), t_mid.deadline.ticks(), t_mid.type_id.0,
+    );
+    let bare = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(9))
+        .heuristic(HeuristicKind::Mm)
+        .run(&trial.tasks);
+    println!(
+        "bare: on_time={} late={} reactive={}",
+        bare.count(TaskOutcome::CompletedOnTime),
+        bare.count(TaskOutcome::CompletedLate),
+        bare.count(TaskOutcome::DroppedReactive),
+    );
+    let pruned = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(9))
+        .heuristic(HeuristicKind::Mm)
+        .pruning(PruningConfig::paper_default())
+        .run(&trial.tasks);
+    println!(
+        "pruned: on_time={} proactive={} deferrals={}",
+        pruned.count(TaskOutcome::CompletedOnTime),
+        pruned.count(TaskOutcome::DroppedProactive),
+        pruned.deferrals,
+    );
+}

@@ -1,0 +1,102 @@
+//! Model-error robustness study: what does pruning cost when the PET
+//! matrix — the pruner's entire evidence base — is wrong?
+//!
+//! Two error modes, both run against the same ground truth:
+//!
+//! * **learned**: the belief is a histogram over k observed executions
+//!   per cell (a platform bootstrapping its estimator), k swept;
+//! * **miscalibrated**: the belief systematically over-/under-estimates
+//!   every execution time by a factor.
+//!
+//! Usage: `model_error [--trials N] [--scale F] [--smoke]`
+
+use taskprune::extensions::{learn_from_observations, miscalibrate};
+use taskprune::prelude::*;
+use taskprune_bench::args::CommonArgs;
+use taskprune_prob::rng::derive_seed;
+use taskprune_prob::stats::SummaryStats;
+
+fn run_with_belief(
+    belief: &PetMatrix,
+    truth: &PetMatrix,
+    cluster: &Cluster,
+    workload: &WorkloadConfig,
+    trials: u32,
+) -> SummaryStats {
+    let per_trial: Vec<f64> = (0..trials)
+        .map(|trial_idx| {
+            let trial = workload.generate_trial(truth, trial_idx);
+            let mut sim = SimConfig::batch(0);
+            sim.seed = derive_seed(
+                workload.seed,
+                0x51D_0000 + u64::from(trial_idx),
+            );
+            let stats = taskprune::ResourceAllocator::new(
+                cluster, belief, sim,
+            )
+            .truth_pet(truth)
+            .heuristic(HeuristicKind::Mm)
+            .pruning(PruningConfig::paper_default())
+            .run(&trial.tasks);
+            stats.robustness_pct(taskprune_sim::stats::PAPER_TRIM)
+        })
+        .collect();
+    SummaryStats::from_values(&per_trial).expect("trials > 0")
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let truth = PetGenConfig::paper_heterogeneous(
+        taskprune::experiment::PET_MATRIX_SEED,
+    )
+    .generate();
+    let cluster = taskprune_workload::machines::heterogeneous_cluster();
+    let workload = {
+        let base = WorkloadConfig::paper_default(0x40DE1);
+        WorkloadConfig {
+            total_tasks: (20_000.0 * args.scale.size_factor) as usize,
+            span_tu: base.span_tu * args.scale.size_factor,
+            ..base
+        }
+    };
+    let trials = args.scale.trials;
+
+    println!(
+        "model-error study: MM + pruning, 20K-density spiky workload ({})\n",
+        args.scale.label()
+    );
+
+    let oracle =
+        run_with_belief(&truth, &truth, &cluster, &workload, trials);
+    println!("oracle PET                    {:>6}", oracle.display_pm(2));
+
+    println!("\n-- belief learned from k observations per cell --");
+    for k in [2usize, 5, 20, 100, 500] {
+        let learned = learn_from_observations(&truth, k, 0xF00D);
+        let s =
+            run_with_belief(&learned, &truth, &cluster, &workload, trials);
+        println!(
+            "k = {k:<4}                      {:>6}   (oracle {:+.2})",
+            s.display_pm(2),
+            s.mean - oracle.mean
+        );
+    }
+
+    println!("\n-- systematically miscalibrated belief --");
+    for factor in [0.5, 0.8, 1.0, 1.25, 2.0] {
+        let belief = miscalibrate(&truth, factor);
+        let s =
+            run_with_belief(&belief, &truth, &cluster, &workload, trials);
+        println!(
+            "x{factor:<4}                        {:>6}   (oracle {:+.2})",
+            s.display_pm(2),
+            s.mean - oracle.mean
+        );
+    }
+    println!(
+        "\nreading: the mechanism needs surprisingly few observations — the\n\
+         chance threshold only asks *which side of β* a task falls on, not\n\
+         for exact probabilities. Optimistic beliefs (x<1) are costlier than\n\
+         pessimistic ones: they stop the pruner from pruning."
+    );
+}

@@ -1,0 +1,39 @@
+//! Prints summary statistics of the generated PET matrix — the numbers
+//! workload calibration is based on (see DESIGN.md §3).
+
+use taskprune::experiment::PET_MATRIX_SEED;
+use taskprune_model::{MachineTypeId, TaskTypeId, TICKS_PER_TIME_UNIT};
+use taskprune_workload::PetGenConfig;
+
+fn main() {
+    let pet = PetGenConfig::paper_heterogeneous(PET_MATRIX_SEED).generate();
+    let tu = TICKS_PER_TIME_UNIT as f64;
+    println!("PET matrix {}x{}", pet.n_machine_types(), pet.n_task_types());
+    let mut best_sum = 0.0;
+    let mut worst_sum = 0.0;
+    for t in 0..pet.n_task_types() {
+        let tt = TaskTypeId(t as u16);
+        let execs: Vec<f64> = (0..pet.n_machine_types())
+            .map(|m| pet.expected_ticks(MachineTypeId(m as u16), tt) / tu)
+            .collect();
+        let best = execs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let worst = execs.iter().cloned().fold(0.0, f64::max);
+        let mean = execs.iter().sum::<f64>() / execs.len() as f64;
+        best_sum += best;
+        worst_sum += worst;
+        println!(
+            "type {t:>2}: best {best:>6.2} tu  mean {mean:>6.2} tu  worst {worst:>6.2} tu  (spread {:>4.1}x)",
+            worst / best
+        );
+    }
+    let n = pet.n_task_types() as f64;
+    println!(
+        "\noverall: mean-of-best {:.2} tu, matrix mean {:.2} tu, mean-of-worst {:.2} tu",
+        best_sum / n,
+        pet.mean_expected_ticks_overall() / tu,
+        worst_sum / n
+    );
+    println!(
+        "capacity hint: 8 machines / (5 tasks per tu) => break-even best-exec ~1.6 tu at 15K"
+    );
+}

@@ -1,0 +1,145 @@
+//! Runs one simulation over a saved workload trial and prints the full
+//! outcome breakdown — the inspection tool for saved `genworkload`
+//! trials.
+//!
+//! Usage:
+//!   runsim <trial.json> [--heuristic NAME] [--prune] [--threshold F]
+//!          [--capacity N] [--seed S] [--trace FILE]
+//!
+//! With `--trace`, the full execution trace (task lifecycle events +
+//! queue-occupancy snapshots) is written to FILE as JSON.
+
+use taskprune::experiment::PET_MATRIX_SEED;
+use taskprune::prelude::*;
+use taskprune_workload::WorkloadTrial;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!(
+            "usage: runsim <trial.json> [--heuristic NAME] [--prune] \
+             [--threshold F] [--capacity N] [--seed S]"
+        );
+        std::process::exit(2);
+    };
+    let mut heuristic = HeuristicKind::Mm;
+    let mut prune = false;
+    let mut threshold = 0.5f64;
+    let mut capacity = 4usize;
+    let mut seed = 0u64;
+    let mut trace_path: Option<String> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--prune" => prune = true,
+            "--heuristic" => {
+                let name = args.next().expect("--heuristic NAME");
+                heuristic = HeuristicKind::from_name(&name)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown heuristic '{name}'");
+                        std::process::exit(2);
+                    });
+            }
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold F");
+            }
+            "--capacity" => {
+                capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--capacity N");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed S");
+            }
+            "--trace" => {
+                trace_path = Some(args.next().expect("--trace FILE"));
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let trial = WorkloadTrial::load_json(std::path::Path::new(&path))
+        .expect("readable trial JSON");
+    let pet =
+        PetGenConfig::paper_heterogeneous(PET_MATRIX_SEED).generate();
+    let cluster = taskprune_workload::machines::heterogeneous_cluster();
+    let mut sim = if heuristic.is_immediate() {
+        SimConfig::immediate(seed)
+    } else {
+        SimConfig::batch(seed)
+    };
+    sim.queue_capacity = capacity;
+
+    let pruning = prune.then(|| {
+        let base = PruningConfig::paper_default().with_threshold(threshold);
+        if heuristic.is_immediate() {
+            PruningConfig { defer_enabled: false, ..base }
+        } else {
+            base
+        }
+    });
+    let mut alloc = ResourceAllocator::new(&cluster, &pet, sim)
+        .heuristic(heuristic)
+        .pruning_opt(pruning);
+    if trace_path.is_some() {
+        alloc = alloc.traced();
+    }
+    let stats = alloc.run(&trial.tasks);
+    if let Some(path) = &trace_path {
+        let trace = stats.trace.as_ref().expect("tracing was enabled");
+        let json = serde_json::to_string(trace).expect("serialisable");
+        std::fs::write(path, json).expect("writable trace path");
+        println!(
+            "trace: {} events, {} snapshots -> {path}",
+            trace.len(),
+            trace.snapshots().len()
+        );
+    }
+
+    println!(
+        "trial: {} tasks, pattern {}, trial #{}",
+        trial.len(),
+        trial.config.pattern.label(),
+        trial.trial_idx
+    );
+    println!(
+        "run: {} {} (queue capacity {capacity}, sim seed {seed})\n",
+        heuristic.name(),
+        if prune {
+            format!("+ pruning @ {:.0}%", threshold * 100.0)
+        } else {
+            "bare".to_string()
+        },
+    );
+    println!(
+        "robustness (paper trim):  {:>6.2} %",
+        stats.paper_robustness_pct()
+    );
+    println!("robustness (no trim):     {:>6.2} %", stats.robustness_pct(0));
+    for (label, outcome) in [
+        ("completed on time", TaskOutcome::CompletedOnTime),
+        ("completed late", TaskOutcome::CompletedLate),
+        ("dropped (deadline)", TaskOutcome::DroppedReactive),
+        ("dropped (pruned)", TaskOutcome::DroppedProactive),
+        ("cancelled mid-run", TaskOutcome::CancelledRunning),
+        ("rejected at arrival", TaskOutcome::Rejected),
+        ("unfinished", TaskOutcome::Unfinished),
+    ] {
+        println!("{label:<24} {:>8}", stats.count(outcome));
+    }
+    println!(
+        "\nmapping events {:>10}\ndeferrals      {:>10}\nwasted compute {:>9.1} %",
+        stats.mapping_events,
+        stats.deferrals,
+        100.0 * stats.wasted_fraction()
+    );
+}

@@ -1,0 +1,238 @@
+//! Ablation studies over the design choices DESIGN.md §3 documents —
+//! parameters the paper leaves unspecified or that this reproduction had
+//! to pick.
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+use taskprune::prelude::*;
+use taskprune::{run_experiment, ExperimentConfig};
+use taskprune_model::TICKS_PER_TIME_UNIT;
+
+/// Machine-queue capacity sweep: the paper never states how many
+/// waiting slots a machine queue has; the reproduction defaults to 4.
+pub fn queue_capacity(scale: Scale) -> FigureReport {
+    let workload = scale.workload(20_000, 0xAB1);
+    let mut rows = Vec::new();
+    for capacity in [1usize, 2, 4, 8, 16] {
+        for pruning in [None, Some(PruningConfig::paper_default())] {
+            let suffix = if pruning.is_some() { "-P" } else { "" };
+            let mut cfg = ExperimentConfig::new(
+                HeuristicKind::Mm,
+                pruning,
+                workload.clone(),
+            )
+            .trials(scale.trials);
+            cfg.sim.queue_capacity = capacity;
+            let result = run_experiment(&cfg);
+            rows.push((format!("cap={capacity} / MM{suffix}"), result));
+        }
+    }
+    FigureReport {
+        id: "ablation_queue_capacity".to_string(),
+        caption: format!(
+            "Machine-queue capacity sweep, MM ± pruning, 20K spiky ({})",
+            scale.label()
+        ),
+        series_label: "capacity / heuristic".to_string(),
+        rows,
+    }
+}
+
+/// PMF bin-width sweep: accuracy/speed trade-off of the discretisation.
+pub fn bin_width(scale: Scale) -> FigureReport {
+    let workload = scale.workload(20_000, 0xAB2);
+    let mut rows = Vec::new();
+    for width in [50u64, 100, 250, 500, 1_000] {
+        let mut petgen = PetGenConfig::paper_heterogeneous(
+            taskprune::experiment::PET_MATRIX_SEED,
+        );
+        petgen.bin_width_ticks = width;
+        let mut cfg = ExperimentConfig::new(
+            HeuristicKind::Mm,
+            Some(PruningConfig::paper_default()),
+            workload.clone(),
+        )
+        .with_petgen(petgen)
+        .trials(scale.trials);
+        // Keep the estimator horizon constant in *time* (64 time units).
+        cfg.sim.horizon_bins = 64 * TICKS_PER_TIME_UNIT / width;
+        let t0 = std::time::Instant::now();
+        let result = run_experiment(&cfg);
+        let elapsed = t0.elapsed().as_secs_f64();
+        rows.push((
+            format!(
+                "bin={width} ticks ({:.2}s wall)",
+                elapsed
+            ),
+            result,
+        ));
+    }
+    FigureReport {
+        id: "ablation_bin_width".to_string(),
+        caption: format!(
+            "PMF bin width sweep, MM-P, 20K spiky; robustness should be \
+             flat while cost falls with coarser bins ({})",
+            scale.label()
+        ),
+        series_label: "bin width".to_string(),
+        rows,
+    }
+}
+
+/// Fairness-factor sweep: robustness vs. per-type fairness.
+pub fn fairness_factor(scale: Scale) -> FigureReport {
+    let workload = scale.workload(25_000, 0xAB3);
+    let mut rows = Vec::new();
+    for factor in [0.0, 0.01, 0.05, 0.1, 0.2] {
+        let mut pruning = PruningConfig::paper_default();
+        pruning.fairness = if factor == 0.0 {
+            FairnessConfig::disabled()
+        } else {
+            FairnessConfig {
+                factor,
+                ..FairnessConfig::paper_default(pruning.threshold)
+            }
+        };
+        let cfg = ExperimentConfig::new(
+            HeuristicKind::Mm,
+            Some(pruning),
+            workload.clone(),
+        )
+        .trials(scale.trials);
+        let result = run_experiment(&cfg);
+        rows.push((
+            format!(
+                "c={factor} (type-variance {:.4})",
+                result.mean_type_variance
+            ),
+            result,
+        ));
+    }
+    FigureReport {
+        id: "ablation_fairness".to_string(),
+        caption: format!(
+            "Fairness factor sweep, MM-P, 25K spiky; larger c narrows \
+             per-type variance ({})",
+            scale.label()
+        ),
+        series_label: "fairness factor".to_string(),
+        rows,
+    }
+}
+
+/// Dropping-Toggle α sweep.
+pub fn toggle_alpha(scale: Scale) -> FigureReport {
+    let workload = scale.workload(25_000, 0xAB4);
+    let mut rows = Vec::new();
+    for alpha in [1usize, 2, 4, 8] {
+        let pruning = PruningConfig::paper_default()
+            .with_toggle(ToggleMode::Reactive { alpha });
+        let cfg = ExperimentConfig::new(
+            HeuristicKind::Mm,
+            Some(pruning),
+            workload.clone(),
+        )
+        .trials(scale.trials);
+        let result = run_experiment(&cfg);
+        rows.push((format!("alpha={alpha}"), result));
+    }
+    FigureReport {
+        id: "ablation_toggle_alpha".to_string(),
+        caption: format!(
+            "Dropping-Toggle α sweep, MM-P, 25K spiky ({})",
+            scale.label()
+        ),
+        series_label: "alpha".to_string(),
+        rows,
+    }
+}
+
+/// Fine-grained pruning-threshold sweep (a refinement of Fig. 8, with
+/// the full mechanism rather than defer-only).
+pub fn threshold_fine(scale: Scale) -> FigureReport {
+    let workload = scale.workload(25_000, 0xAB5);
+    let mut rows = Vec::new();
+    for pct in [10u32, 20, 30, 40, 50, 60, 70, 80, 90] {
+        let pruning = PruningConfig::paper_default()
+            .with_threshold(pct as f64 / 100.0);
+        let cfg = ExperimentConfig::new(
+            HeuristicKind::Mm,
+            Some(pruning),
+            workload.clone(),
+        )
+        .trials(scale.trials);
+        let result = run_experiment(&cfg);
+        rows.push((format!("{pct}%"), result));
+    }
+    FigureReport {
+        id: "ablation_threshold_fine".to_string(),
+        caption: format!(
+            "Fine pruning-threshold sweep, MM-P (full mechanism), 25K \
+             spiky ({})",
+            scale.label()
+        ),
+        series_label: "threshold".to_string(),
+        rows,
+    }
+}
+
+/// KPB K-fraction sweep (immediate mode).
+pub fn kpb_fraction(scale: Scale) -> FigureReport {
+    use taskprune_heuristics::KPercentBest;
+    use taskprune_sim::MappingStrategy;
+
+    let workload = scale.workload(15_000, 0xAB6);
+    let (cluster, petgen) = ClusterKind::Heterogeneous.materialise();
+    let pet = petgen.generate();
+    let mut rows = Vec::new();
+    for k in [0.125, 0.25, 0.5, 0.75, 1.0] {
+        // KPB carries a parameter, so this sweep drives the allocator
+        // directly instead of going through HeuristicKind.
+        let per_trial: Vec<f64> = (0..scale.trials)
+            .map(|trial_idx| {
+                let trial = workload.generate_trial(&pet, trial_idx);
+                let mut sim = SimConfig::immediate(0);
+                sim.seed = taskprune_prob::rng::derive_seed(
+                    workload.seed,
+                    0x51D_0000 + u64::from(trial_idx),
+                );
+                let stats = taskprune::ResourceAllocator::new(
+                    &cluster, &pet, sim,
+                )
+                .strategy(MappingStrategy::Immediate(Box::new(
+                    KPercentBest::new(k),
+                )))
+                .pruning(PruningConfig {
+                    defer_enabled: false,
+                    ..PruningConfig::paper_default()
+                })
+                .run(&trial.tasks);
+                stats.robustness_pct(taskprune_sim::stats::PAPER_TRIM)
+            })
+            .collect();
+        let stats =
+            taskprune_prob::stats::SummaryStats::from_values(&per_trial)
+                .expect("trials > 0");
+        rows.push((
+            format!("K={:.0}%", k * 100.0),
+            taskprune::ExperimentResult {
+                label: format!("KPB K={k}"),
+                per_trial_robustness: per_trial,
+                robustness: stats,
+                mean_wasted_fraction: 0.0,
+                mean_deferrals: 0.0,
+                mean_proactive_drops: 0.0,
+                mean_type_variance: 0.0,
+            },
+        ));
+    }
+    FigureReport {
+        id: "ablation_kpb_fraction".to_string(),
+        caption: format!(
+            "KPB K-fraction sweep with reactive dropping, 15K spiky ({})",
+            scale.label()
+        ),
+        series_label: "K fraction".to_string(),
+        rows,
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig. 10: pruning mechanism on homogeneous-system heuristics
+//! (FCFS-RR, SJF, EDF) across oversubscription levels, constant (10a)
+//! and spiky (10b) arrivals.
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+use taskprune::prelude::*;
+use taskprune::{run_experiment, ClusterKind, ExperimentConfig};
+
+/// The paper's oversubscription levels.
+pub const LEVELS: [usize; 3] = [15_000, 20_000, 25_000];
+
+/// Runs Fig. 10a (`constant = true`) or 10b (spiky).
+pub fn run(scale: Scale, constant: bool) -> FigureReport {
+    let pattern = if constant {
+        ArrivalPattern::Constant
+    } else {
+        ArrivalPattern::paper_spiky()
+    };
+    let mut rows = Vec::new();
+    for &level in &LEVELS {
+        let workload =
+            scale.workload(level, 0xF20).with_pattern(pattern);
+        for kind in HeuristicKind::HOMOGENEOUS {
+            for pruning in [None, Some(PruningConfig::paper_default())] {
+                let suffix = if pruning.is_some() { "-P" } else { "" };
+                let cfg = ExperimentConfig::new(
+                    kind,
+                    pruning,
+                    workload.clone(),
+                )
+                .on_cluster(ClusterKind::Homogeneous { n: 8 })
+                .trials(scale.trials);
+                let result = run_experiment(&cfg);
+                rows.push((
+                    format!("{}k / {}{}", level / 1000, kind.name(), suffix),
+                    result,
+                ));
+            }
+        }
+    }
+    FigureReport {
+        id: if constant { "fig10a" } else { "fig10b" }.to_string(),
+        caption: format!(
+            "Pruning on homogeneous-system heuristics, {} arrivals ({})",
+            if constant { "constant" } else { "spiky" },
+            scale.label()
+        ),
+        series_label: "load / heuristic".to_string(),
+        rows,
+    }
+}

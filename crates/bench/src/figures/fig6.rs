@@ -1,0 +1,93 @@
+//! Fig. 6: the spiky task-arrival pattern.
+//!
+//! "Each color represents one task type. For better presentation, only
+//! four task types are shown. The vertical axis shows the task arrival
+//! rate and horizontal axis shows the time span."
+
+use crate::scale::Scale;
+use std::io::Write;
+use std::path::Path;
+use taskprune_model::TaskTypeId;
+use taskprune_workload::arrival::{rate_series, RateSeries};
+use taskprune_workload::PetGenConfig;
+
+/// Rate series for the first `n_types` task types of one spiky trial.
+pub fn series(scale: Scale, n_types: usize) -> Vec<RateSeries> {
+    let pet =
+        PetGenConfig::paper_heterogeneous(taskprune::experiment::PET_MATRIX_SEED)
+            .generate();
+    let workload = scale.workload(15_000, 0xF166);
+    let trial = workload.generate_trial(&pet, 0);
+    let window_tu = workload.span_tu / 60.0; // 60 measurement windows
+    (0..n_types.min(pet.n_task_types()))
+        .map(|t| {
+            let type_id = TaskTypeId(t as u16);
+            let arrivals: Vec<f64> = trial
+                .tasks
+                .iter()
+                .filter(|task| task.type_id == type_id)
+                .map(|task| task.arrival.as_time_units())
+                .collect();
+            rate_series(type_id, &arrivals, workload.span_tu, window_tu)
+        })
+        .collect()
+}
+
+/// Writes `fig6.csv` (one column per type) and prints a summary.
+pub fn run(scale: Scale, out_dir: &str) -> std::io::Result<()> {
+    let all = series(scale, 4);
+    std::fs::create_dir_all(out_dir)?;
+    let path = Path::new(out_dir).join("fig6.csv");
+    let mut f = std::fs::File::create(&path)?;
+    write!(f, "window_start_tu")?;
+    for s in &all {
+        write!(f, ",type{}_rate", s.type_id.0)?;
+    }
+    writeln!(f)?;
+    let n_windows = all[0].rates.len();
+    for w in 0..n_windows {
+        write!(f, "{:.1}", w as f64 * all[0].window_tu)?;
+        for s in &all {
+            write!(f, ",{:.4}", s.rates[w])?;
+        }
+        writeln!(f)?;
+    }
+
+    println!("Fig. 6 — spiky arrival pattern ({})", scale.label());
+    for s in &all {
+        let max = s.rates.iter().cloned().fold(0.0, f64::max);
+        let mean =
+            s.rates.iter().sum::<f64>() / s.rates.len() as f64;
+        println!(
+            "type {:>2}: mean rate {:.3}/tu, peak {:.3}/tu (peak/mean {:.2}x)",
+            s.type_id.0,
+            mean,
+            max,
+            max / mean.max(1e-9),
+        );
+    }
+    println!("series written to {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spikes_show_up_in_the_series() {
+        let all = series(Scale::smoke(), 2);
+        assert_eq!(all.len(), 2);
+        for s in &all {
+            let max = s.rates.iter().cloned().fold(0.0, f64::max);
+            let mean =
+                s.rates.iter().sum::<f64>() / s.rates.len() as f64;
+            assert!(
+                max / mean.max(1e-9) > 1.5,
+                "type {} series too flat: peak/mean {}",
+                s.type_id.0,
+                max / mean
+            );
+        }
+    }
+}

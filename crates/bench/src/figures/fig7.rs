@@ -1,0 +1,96 @@
+//! Fig. 7: impact of the Toggle module reacting to oversubscription.
+//!
+//! Three dropping policies — "no Toggle, no dropping", "no Toggle,
+//! always dropping", "reactive Toggle" — across the immediate-mode
+//! heuristics (Fig. 7a) and batch-mode heuristics (Fig. 7b), at the
+//! default 15 K spiky workload.
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+use taskprune::prelude::*;
+use taskprune::{run_experiment, ExperimentConfig};
+
+/// The three Fig. 7 dropping scenarios, in the figure's order.
+pub fn toggle_scenarios() -> [(&'static str, ToggleMode); 3] {
+    [
+        ("no Toggle, no dropping", ToggleMode::Never),
+        ("no Toggle, always dropping", ToggleMode::Always),
+        ("reactive Toggle", ToggleMode::reactive()),
+    ]
+}
+
+/// Builds the pruning configuration one Fig. 7 cell uses.
+///
+/// In immediate mode there is no arrival queue, so deferring is
+/// structurally impossible (§IV-B) and the "no dropping" scenario is the
+/// bare heuristic. In batch mode the full mechanism (deferring at
+/// β = 50 %) is active in every scenario and only the dropping policy
+/// varies.
+pub fn cell_pruning(immediate: bool, toggle: ToggleMode) -> Option<PruningConfig> {
+    if immediate {
+        if toggle == ToggleMode::Never {
+            None
+        } else {
+            Some(PruningConfig {
+                defer_enabled: false,
+                ..PruningConfig::paper_default().with_toggle(toggle)
+            })
+        }
+    } else {
+        Some(PruningConfig::paper_default().with_toggle(toggle))
+    }
+}
+
+/// Runs Fig. 7a (immediate) or Fig. 7b (batch).
+pub fn run(scale: Scale, immediate: bool) -> FigureReport {
+    let heuristics: &[HeuristicKind] = if immediate {
+        &HeuristicKind::IMMEDIATE
+    } else {
+        &HeuristicKind::BATCH
+    };
+    let workload = scale.workload(15_000, 0xF17);
+    let mut rows = Vec::new();
+    for (scenario, toggle) in toggle_scenarios() {
+        for &kind in heuristics {
+            let cfg = ExperimentConfig::new(
+                kind,
+                cell_pruning(immediate, toggle),
+                workload.clone(),
+            )
+            .trials(scale.trials);
+            let result = run_experiment(&cfg);
+            rows.push((format!("{scenario} / {}", kind.name()), result));
+        }
+    }
+    FigureReport {
+        id: if immediate { "fig7a" } else { "fig7b" }.to_string(),
+        caption: format!(
+            "Toggle impact on {}-mode heuristics, 15K spiky ({})",
+            if immediate { "immediate" } else { "batch" },
+            scale.label()
+        ),
+        series_label: "scenario / heuristic".to_string(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_no_dropping_is_bare_heuristic() {
+        assert!(cell_pruning(true, ToggleMode::Never).is_none());
+        let always = cell_pruning(true, ToggleMode::Always).unwrap();
+        assert!(!always.defer_enabled);
+    }
+
+    #[test]
+    fn batch_cells_always_defer() {
+        for (_, toggle) in toggle_scenarios() {
+            let cfg = cell_pruning(false, toggle).unwrap();
+            assert!(cfg.defer_enabled);
+            assert_eq!(cfg.toggle, toggle);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 8: impact of task deferring vs. the Pruning Threshold.
+//!
+//! Batch heuristics on a heavily oversubscribed (25 K) spiky workload,
+//! deferring only (dropping never engages), thresholds 0 / 25 / 50 /
+//! 75 %. The paper's findings: threshold 0 (no pruning) leaves the
+//! heuristics far apart and weak; any threshold ≥ 25 % lifts and
+//! converges them; nothing improves beyond 50 %.
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+use taskprune::prelude::*;
+use taskprune::{run_experiment, ExperimentConfig};
+
+/// The sweep's thresholds, as fractions.
+pub const THRESHOLDS: [f64; 4] = [0.0, 0.25, 0.50, 0.75];
+
+/// Runs the Fig. 8 sweep.
+pub fn run(scale: Scale) -> FigureReport {
+    let workload = scale.workload(25_000, 0xF18);
+    let mut rows = Vec::new();
+    for &threshold in &THRESHOLDS {
+        for kind in HeuristicKind::BATCH {
+            // Threshold 0 % is the paper's "no task pruning" point.
+            let pruning = if threshold == 0.0 {
+                None
+            } else {
+                Some(PruningConfig::defer_only(threshold))
+            };
+            let cfg =
+                ExperimentConfig::new(kind, pruning, workload.clone())
+                    .trials(scale.trials);
+            let result = run_experiment(&cfg);
+            rows.push((
+                format!("{:.0}% / {}", threshold * 100.0, kind.name()),
+                result,
+            ));
+        }
+    }
+    FigureReport {
+        id: "fig8".to_string(),
+        caption: format!(
+            "Task deferring vs. pruning threshold, batch heuristics, \
+             25K spiky, defer-only ({})",
+            scale.label()
+        ),
+        series_label: "threshold / heuristic".to_string(),
+        rows,
+    }
+}

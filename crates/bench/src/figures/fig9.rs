@@ -1,0 +1,51 @@
+//! Fig. 9: pruning mechanism on batch-mode heuristics in HC systems,
+//! across oversubscription levels (15 K / 20 K / 25 K) under constant
+//! (9a) and spiky (9b) arrival patterns.
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+use taskprune::prelude::*;
+use taskprune::{run_experiment, ExperimentConfig};
+
+/// The paper's oversubscription levels.
+pub const LEVELS: [usize; 3] = [15_000, 20_000, 25_000];
+
+/// Runs Fig. 9a (`constant = true`) or 9b (spiky).
+pub fn run(scale: Scale, constant: bool) -> FigureReport {
+    let pattern = if constant {
+        ArrivalPattern::Constant
+    } else {
+        ArrivalPattern::paper_spiky()
+    };
+    let mut rows = Vec::new();
+    for &level in &LEVELS {
+        let workload =
+            scale.workload(level, 0xF19).with_pattern(pattern);
+        for kind in HeuristicKind::BATCH {
+            for pruning in [None, Some(PruningConfig::paper_default())] {
+                let suffix = if pruning.is_some() { "-P" } else { "" };
+                let cfg = ExperimentConfig::new(
+                    kind,
+                    pruning,
+                    workload.clone(),
+                )
+                .trials(scale.trials);
+                let result = run_experiment(&cfg);
+                rows.push((
+                    format!("{}k / {}{}", level / 1000, kind.name(), suffix),
+                    result,
+                ));
+            }
+        }
+    }
+    FigureReport {
+        id: if constant { "fig9a" } else { "fig9b" }.to_string(),
+        caption: format!(
+            "Pruning on batch-mode heuristics, HC system, {} arrivals ({})",
+            if constant { "constant" } else { "spiky" },
+            scale.label()
+        ),
+        series_label: "load / heuristic".to_string(),
+        rows,
+    }
+}

@@ -1,0 +1,19 @@
+//! One module per paper figure, each producing a [`crate::report::FigureReport`].
+//!
+//! | module | paper figure | content |
+//! |---|---|---|
+//! | [`fig2`] | Fig. 2 | the worked PET ∗ PCT convolution example |
+//! | [`fig6`] | Fig. 6 | spiky arrival-rate series per task type |
+//! | [`fig7`] | Fig. 7a/b | Toggle impact on immediate/batch heuristics |
+//! | [`fig8`] | Fig. 8 | deferring impact vs. pruning threshold |
+//! | [`fig9`] | Fig. 9a/b | batch heuristics ± pruning across loads |
+//! | [`fig10`] | Fig. 10a/b | homogeneous heuristics ± pruning |
+//! | [`ablations`] | — | design-choice sweeps (DESIGN.md §3) |
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fig10;

@@ -1,0 +1,14 @@
+//! Benchmark harness: regenerates every figure of the paper's
+//! evaluation (§V), plus ablation studies over the design choices the
+//! reproduction had to make.
+//!
+//! Each `figures::*` function computes the data series behind one paper
+//! figure and returns printable rows; the `src/bin/fig*` binaries wrap
+//! them with CLI scaling knobs and CSV/Markdown output into `results/`.
+
+pub mod args;
+pub mod figures;
+pub mod report;
+pub mod scale;
+
+pub use scale::Scale;

@@ -1,0 +1,140 @@
+//! CSV / Markdown emission of experiment series into `results/`.
+
+use std::io::Write;
+use std::path::Path;
+use taskprune::ExperimentResult;
+
+/// One figure's data: grouped experiment results with a caption.
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// Identifier used for file names ("fig9a" etc.).
+    pub id: String,
+    /// Human caption echoing the paper's.
+    pub caption: String,
+    /// Column label of the series key (e.g. "heuristic", "threshold").
+    pub series_label: String,
+    /// The rows: (series key, result).
+    pub rows: Vec<(String, ExperimentResult)>,
+}
+
+impl FigureReport {
+    /// Renders a console/Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.caption));
+        out.push_str(&format!(
+            "| {} | robustness (% on time) | 95% CI ± | wasted work % | deferrals | proactive drops |\n",
+            self.series_label
+        ));
+        out.push_str("|---|---|---|---|---|---|\n");
+        for (key, r) in &self.rows {
+            out.push_str(&format!(
+                "| {} | {:.2} | {:.2} | {:.1} | {:.0} | {:.0} |\n",
+                key,
+                r.robustness.mean,
+                r.robustness.ci95_half_width,
+                100.0 * r.mean_wasted_fraction,
+                r.mean_deferrals,
+                r.mean_proactive_drops,
+            ));
+        }
+        out
+    }
+
+    /// Renders CSV with one row per experiment.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "series,robustness_mean,robustness_ci95,wasted_fraction,\
+             deferrals,proactive_drops,n_trials\n",
+        );
+        for (key, r) in &self.rows {
+            out.push_str(&format!(
+                "{},{:.4},{:.4},{:.6},{:.1},{:.1},{}\n",
+                key.replace(',', ";"),
+                r.robustness.mean,
+                r.robustness.ci95_half_width,
+                r.mean_wasted_fraction,
+                r.mean_deferrals,
+                r.mean_proactive_drops,
+                r.robustness.n,
+            ));
+        }
+        out
+    }
+
+    /// Writes `<out_dir>/<id>.md` and `<out_dir>/<id>.csv`.
+    pub fn write_files(&self, out_dir: &str) -> std::io::Result<()> {
+        let dir = Path::new(out_dir);
+        std::fs::create_dir_all(dir)?;
+        let mut md =
+            std::fs::File::create(dir.join(format!("{}.md", self.id)))?;
+        md.write_all(self.to_markdown().as_bytes())?;
+        let mut csv =
+            std::fs::File::create(dir.join(format!("{}.csv", self.id)))?;
+        csv.write_all(self.to_csv().as_bytes())?;
+        Ok(())
+    }
+
+    /// Prints the Markdown table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskprune_prob::stats::SummaryStats;
+
+    fn fake_result(label: &str, mean: f64) -> ExperimentResult {
+        ExperimentResult {
+            label: label.to_string(),
+            per_trial_robustness: vec![mean],
+            robustness: SummaryStats::from_values(&[mean]).unwrap(),
+            mean_wasted_fraction: 0.25,
+            mean_deferrals: 10.0,
+            mean_proactive_drops: 3.0,
+            mean_type_variance: 0.0,
+        }
+    }
+
+    fn report() -> FigureReport {
+        FigureReport {
+            id: "figX".to_string(),
+            caption: "test caption".to_string(),
+            series_label: "heuristic".to_string(),
+            rows: vec![
+                ("MM".to_string(), fake_result("MM", 50.0)),
+                ("MM-P".to_string(), fake_result("MM-P", 65.0)),
+            ],
+        }
+    }
+
+    #[test]
+    fn markdown_contains_rows_and_caption() {
+        let md = report().to_markdown();
+        assert!(md.contains("figX"));
+        assert!(md.contains("test caption"));
+        assert!(md.contains("| MM |"));
+        assert!(md.contains("| MM-P | 65.00 |"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("series,"));
+        assert!(lines[1].starts_with("MM,50.0000"));
+    }
+
+    #[test]
+    fn writes_files() {
+        let dir = std::env::temp_dir().join("taskprune_report_test");
+        let dir_str = dir.to_str().unwrap().to_string();
+        report().write_files(&dir_str).unwrap();
+        assert!(dir.join("figX.md").exists());
+        assert!(dir.join("figX.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,79 @@
+//! Experiment scaling: run the paper's exact protocol or a cheaper
+//! smoke-test version of it.
+
+use taskprune::prelude::*;
+
+/// Scales an experiment family down from the paper's full protocol
+/// while preserving the operating regime (task density is kept constant
+/// by shrinking the span together with the task count).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Multiplier on task count and span (1.0 = the paper's 3 000 time
+    /// units).
+    pub size_factor: f64,
+    /// Number of trials per experiment (30 in the paper).
+    pub trials: u32,
+}
+
+impl Scale {
+    /// The paper's full protocol: 30 trials at full span.
+    pub fn full() -> Self {
+        Self { size_factor: 1.0, trials: 30 }
+    }
+
+    /// A fast smoke scale for CI and `cargo bench` runs: one tenth the
+    /// span, 3 trials. The regime (tasks per time unit) is identical.
+    pub fn smoke() -> Self {
+        Self { size_factor: 0.1, trials: 3 }
+    }
+
+    /// Applies the scale to a workload family.
+    pub fn workload(&self, total_tasks: usize, seed: u64) -> WorkloadConfig {
+        let base = WorkloadConfig::paper_default(seed);
+        WorkloadConfig {
+            total_tasks: ((total_tasks as f64) * self.size_factor).round()
+                as usize,
+            span_tu: base.span_tu * self.size_factor,
+            ..base
+        }
+    }
+
+    /// The robustness-window trim must shrink with tiny workloads or the
+    /// window would be empty; the paper's 100-task trim applies at full
+    /// scale automatically because `SimStats::robustness_pct` is driven
+    /// by the experiment runner.
+    pub fn label(&self) -> String {
+        if (self.size_factor - 1.0).abs() < 1e-9 && self.trials == 30 {
+            "paper-scale".to_string()
+        } else {
+            format!("scale×{:.2}/{} trials", self.size_factor, self.trials)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper() {
+        let s = Scale::full();
+        let w = s.workload(15_000, 1);
+        assert_eq!(w.total_tasks, 15_000);
+        assert_eq!(w.span_tu, 3_000.0);
+        assert_eq!(s.label(), "paper-scale");
+    }
+
+    #[test]
+    fn smoke_scale_preserves_density() {
+        let s = Scale::smoke();
+        let w = s.workload(15_000, 1);
+        assert_eq!(w.total_tasks, 1_500);
+        assert_eq!(w.span_tu, 300.0);
+        // Density (tasks per time unit) unchanged.
+        let full = Scale::full().workload(15_000, 1);
+        let d_full = full.total_tasks as f64 / full.span_tu;
+        let d_smoke = w.total_tasks as f64 / w.span_tu;
+        assert!((d_full - d_smoke).abs() < 1e-9);
+    }
+}

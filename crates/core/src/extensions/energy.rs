@@ -1,0 +1,109 @@
+//! Energy / incurred-cost accounting (§VII future work).
+//!
+//! The simulator already splits executed machine time into *useful*
+//! (on-time completions) and *wasted* (late or cancelled work). A
+//! [`CostModel`] converts both into energy and money, quantifying what
+//! the pruning mechanism saves a serverless provider.
+
+use serde::{Deserialize, Serialize};
+use taskprune_model::TICKS_PER_TIME_UNIT;
+use taskprune_sim::SimStats;
+
+/// Converts machine time into energy and cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Average active power draw of one machine, in watts.
+    pub active_power_watts: f64,
+    /// Wall-clock seconds represented by one simulated time unit.
+    pub seconds_per_time_unit: f64,
+    /// Price of a machine-hour, in currency units (the serverless
+    /// provider's marginal cost of busy capacity).
+    pub price_per_machine_hour: f64,
+}
+
+impl CostModel {
+    /// A representative model: 200 W servers, 1 simulated time unit =
+    /// 1 second, $0.10 per machine-hour.
+    pub fn representative() -> Self {
+        Self {
+            active_power_watts: 200.0,
+            seconds_per_time_unit: 1.0,
+            price_per_machine_hour: 0.10,
+        }
+    }
+
+    fn ticks_to_hours(&self, ticks: u64) -> f64 {
+        let time_units = ticks as f64 / TICKS_PER_TIME_UNIT as f64;
+        time_units * self.seconds_per_time_unit / 3_600.0
+    }
+
+    /// Builds the energy/cost report for one run's outcome.
+    pub fn report(&self, stats: &SimStats) -> EnergyReport {
+        let useful_h = self.ticks_to_hours(stats.useful_ticks);
+        let wasted_h = self.ticks_to_hours(stats.wasted_ticks);
+        EnergyReport {
+            useful_machine_hours: useful_h,
+            wasted_machine_hours: wasted_h,
+            wasted_energy_wh: wasted_h * self.active_power_watts,
+            wasted_cost: wasted_h * self.price_per_machine_hour,
+            total_cost: (useful_h + wasted_h)
+                * self.price_per_machine_hour,
+        }
+    }
+}
+
+/// Energy and cost attributed to one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Machine-hours spent on on-time completions.
+    pub useful_machine_hours: f64,
+    /// Machine-hours spent on work that produced no value.
+    pub wasted_machine_hours: f64,
+    /// Energy behind the wasted hours, in watt-hours.
+    pub wasted_energy_wh: f64,
+    /// Cost of the wasted hours.
+    pub wasted_cost: f64,
+    /// Cost of all executed hours.
+    pub total_cost: f64,
+}
+
+impl EnergyReport {
+    /// Wasted share of the total executed time (0 when idle).
+    pub fn wasted_share(&self) -> f64 {
+        let total = self.useful_machine_hours + self.wasted_machine_hours;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.wasted_machine_hours / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_ticks_to_hours_energy_and_cost() {
+        let mut stats = SimStats::new(0, 1);
+        // 7200 time units of useful work, 3600 wasted — at 1 s per time
+        // unit that is 2 h useful, 1 h wasted.
+        stats.record_execution(7_200 * TICKS_PER_TIME_UNIT, true);
+        stats.record_execution(3_600 * TICKS_PER_TIME_UNIT, false);
+        let report = CostModel::representative().report(&stats);
+        assert!((report.useful_machine_hours - 2.0).abs() < 1e-9);
+        assert!((report.wasted_machine_hours - 1.0).abs() < 1e-9);
+        assert!((report.wasted_energy_wh - 200.0).abs() < 1e-9);
+        assert!((report.wasted_cost - 0.10).abs() < 1e-9);
+        assert!((report.total_cost - 0.30).abs() < 1e-9);
+        assert!((report.wasted_share() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_run_reports_zero() {
+        let stats = SimStats::new(0, 1);
+        let report = CostModel::representative().report(&stats);
+        assert_eq!(report.wasted_share(), 0.0);
+        assert_eq!(report.total_cost, 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Extensions beyond the paper's evaluated mechanism — the future-work
+//! directions its §VII sketches, implemented so they can be measured:
+//!
+//! * [`energy`] — energy / incurred-cost accounting of the machine time
+//!   pruning saves ("probabilistic task pruning improves energy
+//!   efficiency by saving the computing power that is otherwise wasted
+//!   to execute failing tasks");
+//! * [`priority`] — cost/priority-aware pruning ("pruning methods that
+//!   incorporate cost/priority of tasks, when considering dropping each
+//!   individual task");
+//! * [`learning`] — learned / miscalibrated PET matrices, measuring how
+//!   robust the mechanism is when the execution-time model is wrong
+//!   (the paper assumes an offline-measured PET).
+
+pub mod energy;
+pub mod learning;
+pub mod priority;
+
+pub use energy::{CostModel, EnergyReport};
+pub use learning::{learn_from_observations, miscalibrate};
+pub use priority::PriorityAwarePruner;

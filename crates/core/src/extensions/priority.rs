@@ -1,0 +1,175 @@
+//! Priority-aware pruning (§VII future work).
+//!
+//! The evaluated mechanism treats every task as equally valuable. This
+//! extension weighs the *dropping* threshold by each task's `value`: a
+//! task worth `v` is dropped only if its chance of success falls below
+//! `threshold / v`, so high-value tasks survive with slimmer chances and
+//! low-value tasks must be safer bets to keep occupying a queue slot —
+//! the "incorporate cost/priority of tasks, when considering dropping
+//! each individual task" direction of the paper's conclusion.
+//!
+//! Deferring deliberately stays value-blind: deferral is *protective*
+//! (the task waits in the batch queue for a machine with better odds),
+//! so exempting valuable tasks from it would push them onto bad
+//! machines early and hurt exactly the tasks it means to protect.
+
+use crate::pruner::{PruningConfig, PruningMechanism};
+use taskprune_model::{MachineId, Task, TaskId};
+use taskprune_sim::{EventReport, Pruner, SystemView};
+
+/// A pruner that scales the effective threshold by task value.
+#[derive(Debug, Clone)]
+pub struct PriorityAwarePruner {
+    inner: PruningMechanism,
+    threshold: f64,
+}
+
+impl PriorityAwarePruner {
+    /// Wraps the standard mechanism with value-weighted thresholds.
+    pub fn new(cfg: PruningConfig, n_task_types: usize) -> Self {
+        Self {
+            inner: PruningMechanism::new(cfg, n_task_types),
+            threshold: cfg.threshold,
+        }
+    }
+
+    /// The value-weighted dropping threshold for a task: `β / value`,
+    /// clamped to [0, 1]. A zero/negative value degenerates to "always
+    /// prune-able" via threshold 1.
+    fn value_threshold(&self, task: &Task) -> f64 {
+        if task.value <= 0.0 {
+            return 1.0;
+        }
+        (self.threshold / task.value).clamp(0.0, 1.0)
+    }
+
+    /// Access to the wrapped mechanism (accounting, fairness).
+    pub fn inner(&self) -> &PruningMechanism {
+        &self.inner
+    }
+}
+
+impl Pruner for PriorityAwarePruner {
+    fn name(&self) -> &str {
+        "priority-aware-pruning"
+    }
+
+    fn begin_event(&mut self, report: &EventReport) {
+        self.inner.begin_event(report);
+    }
+
+    fn select_drops(
+        &mut self,
+        view: &SystemView<'_>,
+    ) -> Vec<(MachineId, TaskId)> {
+        // Value-weighted drop pass: mirror the inner mechanism's walk
+        // but weight each task's bar by its value. Fairness offsets
+        // still apply through the inner mechanism's score table.
+        if !self.inner.dropping_engaged() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for machine in view.machines() {
+            let drops = view.plan_queue_drops(machine.id, |task, chance| {
+                let fairness_offset = self
+                    .inner
+                    .fairness()
+                    .score(task.type_id);
+                let bar =
+                    (self.value_threshold(task) - fairness_offset).max(0.0);
+                chance <= bar && chance < 1.0
+            });
+            out.extend(drops.into_iter().map(|id| (machine.id, id)));
+        }
+        out
+    }
+
+    fn should_defer(&mut self, task: &Task, chance: f64) -> bool {
+        // Deferral is protective, not destructive: delegate to the
+        // standard value-blind mechanism (see module docs).
+        self.inner.should_defer(task, chance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskprune_model::{SimTime, TaskTypeId};
+
+    fn task_with_value(value: f64) -> Task {
+        let mut t =
+            Task::new(0, TaskTypeId(0), SimTime(0), SimTime(10_000));
+        t.value = value;
+        t
+    }
+
+    fn pruner() -> PriorityAwarePruner {
+        PriorityAwarePruner::new(PruningConfig::paper_default(), 1)
+    }
+
+    #[test]
+    fn deferral_is_value_blind() {
+        let mut p = pruner();
+        for value in [0.1, 1.0, 5.0] {
+            assert!(p.should_defer(&task_with_value(value), 0.49));
+            assert!(!p.should_defer(&task_with_value(value), 0.51));
+        }
+    }
+
+    #[test]
+    fn value_threshold_scales_dropping_bar() {
+        let p = pruner();
+        // value 5 → drop bar 0.1; value 0.5 → bar 1.0; value 1 → β.
+        assert!((p.value_threshold(&task_with_value(5.0)) - 0.1).abs() < 1e-12);
+        assert!((p.value_threshold(&task_with_value(0.5)) - 1.0).abs() < 1e-12);
+        assert!((p.value_threshold(&task_with_value(1.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonpositive_value_is_always_prunable() {
+        let p = pruner();
+        assert_eq!(p.value_threshold(&task_with_value(0.0)), 1.0);
+        assert_eq!(p.value_threshold(&task_with_value(-2.0)), 1.0);
+    }
+
+    #[test]
+    fn drops_respect_value_weighting() {
+        use taskprune_model::{BinSpec, Cluster, PetMatrix};
+        use taskprune_prob::Pmf;
+        use taskprune_sim::queue_testing::make_queues;
+
+        let pet = PetMatrix::new(
+            BinSpec::new(100),
+            1,
+            1,
+            vec![Pmf::from_points(&[(2, 0.5), (4, 0.5)]).unwrap()],
+        );
+        let cluster = Cluster::one_per_type(1);
+        let mut queues = make_queues(&cluster, 4, 256);
+        // Two tasks with 50 % chance (deadline bin 2): the high-value one
+        // must survive an always-on dropping pass, the unit-value one
+        // (chance ≤ β) must not.
+        let mut precious = Task::new(0, TaskTypeId(0), SimTime(0), SimTime(300));
+        precious.value = 5.0;
+        queues[0].admit(precious, &pet);
+
+        let mut p = PriorityAwarePruner::new(
+            PruningConfig::paper_default()
+                .with_toggle(crate::pruner::ToggleMode::Always),
+            1,
+        );
+        p.begin_event(&EventReport::default());
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        assert!(
+            p.select_drops(&view).is_empty(),
+            "value-5 task with 50% chance must survive"
+        );
+
+        // Same chance, unit value → dropped.
+        let mut queues2 = make_queues(&cluster, 4, 256);
+        queues2[0]
+            .admit(Task::new(1, TaskTypeId(0), SimTime(0), SimTime(300)), &pet);
+        let view2 = SystemView::new(SimTime(0), &queues2, &pet);
+        assert_eq!(p.select_drops(&view2).len(), 1);
+    }
+}

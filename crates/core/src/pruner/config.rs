@@ -1,0 +1,164 @@
+//! Pruning Configuration (the user-facing knobs of Fig. 4).
+
+use serde::{Deserialize, Serialize};
+
+/// When the Toggle module engages probabilistic task dropping (§IV-C and
+/// the Fig. 7 experiment's three scenarios).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ToggleMode {
+    /// Dropping never engages ("no Toggle, no dropping").
+    Never,
+    /// Dropping is engaged at every mapping event ("no Toggle, always
+    /// dropping").
+    Always,
+    /// Dropping engages when at least `alpha` tasks missed their
+    /// deadlines since the previous mapping event ("reactive Toggle";
+    /// the paper reacts to "at least one task missing its deadline").
+    Reactive {
+        /// The Dropping Toggle α threshold.
+        alpha: usize,
+    },
+}
+
+impl ToggleMode {
+    /// The paper's reactive default (α = 1).
+    pub fn reactive() -> Self {
+        ToggleMode::Reactive { alpha: 1 }
+    }
+}
+
+/// Fairness module configuration (§IV-D).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FairnessConfig {
+    /// The fairness factor `c`: how much one completion/drop moves a
+    /// type's sufferage score (0.05 in the paper's experiments).
+    pub factor: f64,
+    /// Lower clamp for sufferage scores. The paper's text lets on-time
+    /// completions push the score negative without bound, which would
+    /// eventually price successful types out entirely (threshold
+    /// β − γ > 1); 0.0 — "sufferage only accumulates net suffering" — is
+    /// the stable reading and the default. Set to `-threshold` for the
+    /// literal-text behaviour.
+    pub min_score: f64,
+    /// Upper clamp for sufferage scores; `threshold` (β) by default so a
+    /// fully suffered type's pruning threshold bottoms out at zero.
+    pub max_score: f64,
+    /// Whether reactive (deadline-miss) drops also count as suffering.
+    /// The Fig. 5 pseudo-code only bumps scores on proactive drops
+    /// (Step 6), which is the default.
+    pub count_reactive_drops: bool,
+}
+
+impl FairnessConfig {
+    /// The paper's configuration: c = 0.05, scores clamped to [0, β].
+    pub fn paper_default(threshold: f64) -> Self {
+        Self {
+            factor: 0.05,
+            min_score: 0.0,
+            max_score: threshold,
+            count_reactive_drops: false,
+        }
+    }
+
+    /// Fairness disabled: scores pinned at zero, every type sees the raw
+    /// pruning threshold.
+    pub fn disabled() -> Self {
+        Self {
+            factor: 0.0,
+            min_score: 0.0,
+            max_score: 0.0,
+            count_reactive_drops: false,
+        }
+    }
+}
+
+/// Full pruning-mechanism configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PruningConfig {
+    /// The Pruning Threshold β: minimum chance of success a task needs
+    /// to be mapped (deferred otherwise) or to stay in a machine queue
+    /// when dropping is engaged. 50 % in the paper's experiments.
+    pub threshold: f64,
+    /// Whether Step 10 deferring is active (batch mode only — immediate
+    /// mode has no arrival queue to defer into, §IV-B).
+    pub defer_enabled: bool,
+    /// When the dropping operation engages.
+    pub toggle: ToggleMode,
+    /// Fairness module settings.
+    pub fairness: FairnessConfig,
+}
+
+impl PruningConfig {
+    /// The paper's default: β = 50 %, deferring on, reactive Toggle,
+    /// fairness factor 0.05.
+    pub fn paper_default() -> Self {
+        let threshold = 0.5;
+        Self {
+            threshold,
+            defer_enabled: true,
+            toggle: ToggleMode::reactive(),
+            fairness: FairnessConfig::paper_default(threshold),
+        }
+    }
+
+    /// Same configuration at a different pruning threshold (the Fig. 8
+    /// sweep), fairness clamp following the threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "β must be in [0, 1]");
+        self.threshold = threshold;
+        self.fairness.max_score = self.fairness.max_score.min(threshold);
+        self
+    }
+
+    /// Same configuration with a different toggle mode (the Fig. 7
+    /// scenarios).
+    pub fn with_toggle(mut self, toggle: ToggleMode) -> Self {
+        self.toggle = toggle;
+        self
+    }
+
+    /// Defer-only variant (dropping never engages) — the Fig. 8
+    /// deferring experiment.
+    pub fn defer_only(threshold: f64) -> Self {
+        Self {
+            threshold,
+            defer_enabled: true,
+            toggle: ToggleMode::Never,
+            fairness: FairnessConfig::paper_default(threshold),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_v() {
+        let cfg = PruningConfig::paper_default();
+        assert_eq!(cfg.threshold, 0.5);
+        assert_eq!(cfg.fairness.factor, 0.05);
+        assert_eq!(cfg.toggle, ToggleMode::Reactive { alpha: 1 });
+        assert!(cfg.defer_enabled);
+    }
+
+    #[test]
+    fn threshold_sweep_keeps_fairness_clamp_consistent() {
+        let cfg = PruningConfig::paper_default().with_threshold(0.25);
+        assert_eq!(cfg.threshold, 0.25);
+        assert!(cfg.fairness.max_score <= 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "β must be in")]
+    fn rejects_out_of_range_threshold() {
+        PruningConfig::paper_default().with_threshold(1.5);
+    }
+
+    #[test]
+    fn defer_only_never_drops() {
+        let cfg = PruningConfig::defer_only(0.5);
+        assert_eq!(cfg.toggle, ToggleMode::Never);
+        assert!(cfg.defer_enabled);
+    }
+}

@@ -1,0 +1,166 @@
+//! The Fairness module (§IV-D): per-task-type sufferage scores.
+//!
+//! Pruning purely by chance of success favours short task types (they
+//! are simply likelier to fit before a deadline); long types would be
+//! consistently sacrificed. The Fairness module tracks a sufferage score
+//! γₖ per task type — dropping a type-k task raises γₖ by the fairness
+//! factor c, an on-time completion lowers it by c — and the Pruner uses
+//! β − γₖ as the type's effective threshold: the more a type has
+//! suffered, the more lenient the pruner becomes towards it.
+
+use super::config::FairnessConfig;
+use taskprune_model::TaskTypeId;
+
+/// Sufferage-score table.
+#[derive(Debug, Clone)]
+pub struct Fairness {
+    cfg: FairnessConfig,
+    scores: Vec<f64>,
+}
+
+impl Fairness {
+    /// Creates zeroed scores for `n_task_types` types.
+    pub fn new(cfg: FairnessConfig, n_task_types: usize) -> Self {
+        Self { cfg, scores: vec![0.0; n_task_types] }
+    }
+
+    /// Current sufferage score γₖ.
+    pub fn score(&self, k: TaskTypeId) -> f64 {
+        self.scores[k.0 as usize]
+    }
+
+    /// All scores, indexed by task type.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The effective pruning threshold for type `k` given the base
+    /// threshold β: `β − γₖ` (Step 6 / Step 10 of Fig. 5).
+    pub fn effective_threshold(&self, beta: f64, k: TaskTypeId) -> f64 {
+        beta - self.score(k)
+    }
+
+    /// Step 2: an on-time completion of type `k` reduces its sufferage.
+    pub fn on_completion(&mut self, k: TaskTypeId) {
+        self.bump(k, -self.cfg.factor);
+    }
+
+    /// Step 6: a proactive drop of type `k` increases its sufferage.
+    pub fn on_proactive_drop(&mut self, k: TaskTypeId) {
+        self.bump(k, self.cfg.factor);
+    }
+
+    /// A reactive drop; only counts if configured
+    /// ([`FairnessConfig::count_reactive_drops`]).
+    pub fn on_reactive_drop(&mut self, k: TaskTypeId) {
+        if self.cfg.count_reactive_drops {
+            self.bump(k, self.cfg.factor);
+        }
+    }
+
+    fn bump(&mut self, k: TaskTypeId, delta: f64) {
+        let s = &mut self.scores[k.0 as usize];
+        *s = (*s + delta).clamp(self.cfg.min_score, self.cfg.max_score);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FairnessConfig {
+        FairnessConfig::paper_default(0.5)
+    }
+
+    #[test]
+    fn scores_start_at_zero() {
+        let f = Fairness::new(cfg(), 3);
+        for k in 0..3 {
+            assert_eq!(f.score(TaskTypeId(k)), 0.0);
+            assert_eq!(f.effective_threshold(0.5, TaskTypeId(k)), 0.5);
+        }
+    }
+
+    #[test]
+    fn drops_raise_sufferage_and_lower_threshold() {
+        let mut f = Fairness::new(cfg(), 2);
+        f.on_proactive_drop(TaskTypeId(1));
+        f.on_proactive_drop(TaskTypeId(1));
+        assert!((f.score(TaskTypeId(1)) - 0.10).abs() < 1e-12);
+        assert!(
+            (f.effective_threshold(0.5, TaskTypeId(1)) - 0.40).abs() < 1e-12
+        );
+        // Type 0 untouched.
+        assert_eq!(f.score(TaskTypeId(0)), 0.0);
+    }
+
+    #[test]
+    fn completions_recover_sufferage() {
+        let mut f = Fairness::new(cfg(), 1);
+        f.on_proactive_drop(TaskTypeId(0));
+        f.on_completion(TaskTypeId(0));
+        assert!(f.score(TaskTypeId(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_clamp_at_configured_bounds() {
+        let mut f = Fairness::new(cfg(), 1);
+        // 100 completions cannot push the score below min_score = 0.
+        for _ in 0..100 {
+            f.on_completion(TaskTypeId(0));
+        }
+        assert_eq!(f.score(TaskTypeId(0)), 0.0);
+        // 100 drops cannot push it above max_score = β.
+        for _ in 0..100 {
+            f.on_proactive_drop(TaskTypeId(0));
+        }
+        assert!((f.score(TaskTypeId(0)) - 0.5).abs() < 1e-12);
+        // Effective threshold bottoms out at zero: the suffered type is
+        // never pruned.
+        assert!(f.effective_threshold(0.5, TaskTypeId(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn literal_paper_mode_allows_negative_scores() {
+        let mut f = Fairness::new(
+            FairnessConfig {
+                min_score: -0.5,
+                ..FairnessConfig::paper_default(0.5)
+            },
+            1,
+        );
+        for _ in 0..3 {
+            f.on_completion(TaskTypeId(0));
+        }
+        assert!((f.score(TaskTypeId(0)) + 0.15).abs() < 1e-12);
+        // Successful types are held to a *higher* bar.
+        assert!(
+            (f.effective_threshold(0.5, TaskTypeId(0)) - 0.65).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn reactive_drops_respect_configuration() {
+        let mut off = Fairness::new(cfg(), 1);
+        off.on_reactive_drop(TaskTypeId(0));
+        assert_eq!(off.score(TaskTypeId(0)), 0.0);
+
+        let mut on = Fairness::new(
+            FairnessConfig {
+                count_reactive_drops: true,
+                ..cfg()
+            },
+            1,
+        );
+        on.on_reactive_drop(TaskTypeId(0));
+        assert!((on.score(TaskTypeId(0)) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_fairness_pins_scores() {
+        let mut f = Fairness::new(FairnessConfig::disabled(), 1);
+        f.on_proactive_drop(TaskTypeId(0));
+        f.on_completion(TaskTypeId(0));
+        assert_eq!(f.score(TaskTypeId(0)), 0.0);
+    }
+}

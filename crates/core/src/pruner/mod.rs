@@ -1,0 +1,25 @@
+//! The pruning mechanism (§IV of the paper, Fig. 4–5).
+//!
+//! Four cooperating modules, mirroring the paper's architecture:
+//!
+//! * [`accounting`] — gathers task meta-data from the resource
+//!   allocation system (completions, drops, misses);
+//! * [`toggle`] — measures oversubscription and decides when the
+//!   aggressive dropping operation engages;
+//! * [`fairness`] — per-task-type sufferage scores offsetting the
+//!   pruning threshold so no type is persistently sacrificed;
+//! * [`mechanism`] — the Pruner itself: deferring (Step 10) and
+//!   dropping (Steps 4–6), driven by the chance-of-success estimates the
+//!   simulator's machine queues maintain.
+
+pub mod accounting;
+pub mod config;
+pub mod fairness;
+pub mod mechanism;
+pub mod toggle;
+
+pub use accounting::Accounting;
+pub use config::{FairnessConfig, PruningConfig, ToggleMode};
+pub use fairness::Fairness;
+pub use mechanism::PruningMechanism;
+pub use toggle::Toggle;

@@ -1,0 +1,84 @@
+//! The Toggle module (§IV-C): deciding when dropping engages.
+//!
+//! Proactive dropping is "a more aggressive pruning decision and should
+//! be enacted only under high levels of oversubscription". The Toggle
+//! measures oversubscription as the number of deadline misses since the
+//! previous mapping event and engages dropping when that count reaches
+//! the configurable Dropping Toggle α.
+
+use super::config::ToggleMode;
+
+/// The dropping on/off switch.
+#[derive(Debug, Clone, Copy)]
+pub struct Toggle {
+    mode: ToggleMode,
+    engaged: bool,
+}
+
+impl Toggle {
+    /// Creates a toggle in the given mode, initially disengaged (except
+    /// for [`ToggleMode::Always`]).
+    pub fn new(mode: ToggleMode) -> Self {
+        Self { mode, engaged: matches!(mode, ToggleMode::Always) }
+    }
+
+    /// Updates the engagement decision from this event's miss count.
+    pub fn update(&mut self, misses_since_last_event: usize) {
+        self.engaged = match self.mode {
+            ToggleMode::Never => false,
+            ToggleMode::Always => true,
+            ToggleMode::Reactive { alpha } => {
+                misses_since_last_event >= alpha
+            }
+        };
+    }
+
+    /// Whether dropping is engaged for the current mapping event.
+    pub fn dropping_engaged(&self) -> bool {
+        self.engaged
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> ToggleMode {
+        self.mode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_mode_stays_off() {
+        let mut t = Toggle::new(ToggleMode::Never);
+        t.update(100);
+        assert!(!t.dropping_engaged());
+    }
+
+    #[test]
+    fn always_mode_stays_on() {
+        let mut t = Toggle::new(ToggleMode::Always);
+        assert!(t.dropping_engaged());
+        t.update(0);
+        assert!(t.dropping_engaged());
+    }
+
+    #[test]
+    fn reactive_mode_follows_misses() {
+        let mut t = Toggle::new(ToggleMode::Reactive { alpha: 1 });
+        assert!(!t.dropping_engaged());
+        t.update(1);
+        assert!(t.dropping_engaged());
+        t.update(0);
+        assert!(!t.dropping_engaged());
+    }
+
+    #[test]
+    fn reactive_alpha_thresholds() {
+        let mut t = Toggle::new(ToggleMode::Reactive { alpha: 3 });
+        t.update(2);
+        assert!(!t.dropping_engaged());
+        t.update(3);
+        assert!(t.dropping_engaged());
+    }
+}

@@ -1,0 +1,287 @@
+//! Mapping heuristics for homogeneous systems (§III-D of the paper).
+//!
+//! Simpler batch heuristics for clusters where every machine shares one
+//! type: with identical PETs the "best machine" degenerates to the one
+//! that frees up first, so only the task-ordering rule matters:
+//!
+//! * **FCFS-RR** — first come, first served onto machines in round-robin
+//!   order;
+//! * **EDF** — earliest deadline first onto the minimum-expected-
+//!   completion machine (MSD's homogeneous sibling);
+//! * **SJF** — shortest expected job first onto the minimum-expected-
+//!   completion machine (MM's homogeneous sibling).
+//!
+//! They are implemented against the same [`BatchMapper`] interface and
+//! work (suboptimally) on heterogeneous views too, which the tests use
+//! to pin their ordering behaviour.
+
+use taskprune_model::{MachineId, Task};
+use taskprune_sim::{Assignment, BatchMapper, SystemView};
+
+/// First Come First Served, Round Robin machine choice.
+#[derive(Debug, Default)]
+pub struct FcfsRoundRobin {
+    next: usize,
+}
+
+impl FcfsRoundRobin {
+    /// Creates an FCFS-RR mapper starting at machine 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl BatchMapper for FcfsRoundRobin {
+    fn name(&self) -> &str {
+        "FCFS-RR"
+    }
+
+    fn select(
+        &mut self,
+        view: &SystemView<'_>,
+        candidates: &[Task],
+    ) -> Vec<Assignment> {
+        let n = view.n_machines();
+        let mut slots: Vec<usize> = (0..n)
+            .map(|m| view.free_slots(MachineId(m as u16)))
+            .collect();
+        let mut out = Vec::new();
+        // Candidates arrive in FCFS (arrival) order already.
+        for task in candidates {
+            if slots.iter().all(|&s| s == 0) {
+                break;
+            }
+            // First available machine in round-robin order.
+            let mut probe = self.next;
+            let machine = loop {
+                let m = probe % n;
+                if slots[m] > 0 {
+                    break m;
+                }
+                probe += 1;
+            };
+            self.next = machine + 1;
+            slots[machine] -= 1;
+            out.push(Assignment {
+                task: task.id,
+                machine: MachineId(machine as u16),
+            });
+        }
+        out
+    }
+}
+
+/// Shared second stage of EDF / SJF: assign an ordered task list to the
+/// machine with the minimum expected completion time, maintaining
+/// virtual ready times within the event.
+fn assign_in_order(
+    view: &SystemView<'_>,
+    ordered: &[&Task],
+) -> Vec<Assignment> {
+    let n = view.n_machines();
+    let mut ready: Vec<f64> = (0..n)
+        .map(|m| view.expected_ready_ticks(MachineId(m as u16)))
+        .collect();
+    let mut slots: Vec<usize> = (0..n)
+        .map(|m| view.free_slots(MachineId(m as u16)))
+        .collect();
+    let mut out = Vec::new();
+    for task in ordered {
+        let mut best: Option<(usize, f64)> = None;
+        for m in 0..n {
+            if slots[m] == 0 {
+                continue;
+            }
+            let completion = ready[m]
+                + view.expected_exec_ticks(MachineId(m as u16), task.type_id);
+            if best.is_none_or(|(_, c)| completion < c) {
+                best = Some((m, completion));
+            }
+        }
+        let Some((m, _)) = best else { break };
+        ready[m] += view.expected_exec_ticks(MachineId(m as u16), task.type_id);
+        slots[m] -= 1;
+        out.push(Assignment { task: task.id, machine: MachineId(m as u16) });
+    }
+    out
+}
+
+/// Earliest Deadline First.
+#[derive(Debug, Default)]
+pub struct EarliestDeadlineFirst;
+
+impl EarliestDeadlineFirst {
+    /// Creates an EDF mapper.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BatchMapper for EarliestDeadlineFirst {
+    fn name(&self) -> &str {
+        "EDF"
+    }
+
+    fn select(
+        &mut self,
+        view: &SystemView<'_>,
+        candidates: &[Task],
+    ) -> Vec<Assignment> {
+        let mut ordered: Vec<&Task> = candidates.iter().collect();
+        ordered.sort_by(|a, b| {
+            a.deadline.cmp(&b.deadline).then_with(|| a.id.cmp(&b.id))
+        });
+        assign_in_order(view, &ordered)
+    }
+}
+
+/// Shortest (expected) Job First. On a homogeneous cluster a task type's
+/// expected execution time is machine-independent; on a heterogeneous
+/// view the minimum across machines is used as the job-size key.
+#[derive(Debug, Default)]
+pub struct ShortestJobFirst;
+
+impl ShortestJobFirst {
+    /// Creates an SJF mapper.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BatchMapper for ShortestJobFirst {
+    fn name(&self) -> &str {
+        "SJF"
+    }
+
+    fn select(
+        &mut self,
+        view: &SystemView<'_>,
+        candidates: &[Task],
+    ) -> Vec<Assignment> {
+        let job_size = |t: &Task| -> f64 {
+            view.machines()
+                .map(|m| view.expected_exec_ticks(m.id, t.type_id))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let mut ordered: Vec<&Task> = candidates.iter().collect();
+        ordered.sort_by(|a, b| {
+            job_size(a)
+                .partial_cmp(&job_size(b))
+                .expect("expected times are finite")
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        assign_in_order(view, &ordered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskprune_model::{
+        BinSpec, Cluster, MachineTypeId, PetMatrix, SimTime, TaskTypeId,
+    };
+    use taskprune_prob::Pmf;
+    use taskprune_sim::queue_testing::make_queues;
+
+    /// Homogeneous: one machine type, three task types of sizes 2/5/9.
+    fn pet() -> PetMatrix {
+        PetMatrix::new(
+            BinSpec::new(100),
+            1,
+            3,
+            vec![
+                Pmf::point_mass(2),
+                Pmf::point_mass(5),
+                Pmf::point_mass(9),
+            ],
+        )
+    }
+
+    fn task(id: u64, type_id: u16, deadline: u64) -> Task {
+        Task::new(id, TaskTypeId(type_id), SimTime(0), SimTime(deadline))
+    }
+
+    fn homogeneous_view_run(
+        mapper: &mut dyn BatchMapper,
+        candidates: &[Task],
+        n_machines: u16,
+    ) -> Vec<Assignment> {
+        let pet = pet();
+        let cluster = Cluster::homogeneous(n_machines, MachineTypeId(0));
+        let queues = make_queues(&cluster, 2, 256);
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        mapper.select(&view, candidates)
+    }
+
+    #[test]
+    fn fcfs_rr_keeps_arrival_order_and_cycles_machines() {
+        let mut m = FcfsRoundRobin::new();
+        let cands: Vec<Task> =
+            (0..4).map(|i| task(i, 0, 100_000)).collect();
+        let out = homogeneous_view_run(&mut m, &cands, 2);
+        assert_eq!(out.len(), 4);
+        let tasks: Vec<u64> = out.iter().map(|a| a.task.0).collect();
+        assert_eq!(tasks, vec![0, 1, 2, 3], "FCFS order violated");
+        let machines: Vec<u16> = out.iter().map(|a| a.machine.0).collect();
+        assert_eq!(machines, vec![0, 1, 0, 1], "RR order violated");
+    }
+
+    #[test]
+    fn fcfs_rr_skips_full_machines() {
+        let pet = pet();
+        let cluster = Cluster::homogeneous(2, MachineTypeId(0));
+        let mut queues = make_queues(&cluster, 1, 256);
+        queues[0].admit(task(99, 0, 100_000), &pet);
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        let mut m = FcfsRoundRobin::new();
+        let out = m.select(&view, &[task(0, 0, 100_000)]);
+        assert_eq!(out[0].machine, MachineId(1));
+    }
+
+    #[test]
+    fn edf_sorts_by_deadline() {
+        let mut m = EarliestDeadlineFirst::new();
+        let cands = vec![
+            task(0, 0, 9_000),
+            task(1, 0, 1_000),
+            task(2, 0, 5_000),
+        ];
+        let out = homogeneous_view_run(&mut m, &cands, 2);
+        let order: Vec<u64> = out.iter().map(|a| a.task.0).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn sjf_sorts_by_job_size() {
+        let mut m = ShortestJobFirst::new();
+        let cands = vec![
+            task(0, 2, 100_000), // 9 bins
+            task(1, 0, 100_000), // 2 bins
+            task(2, 1, 100_000), // 5 bins
+        ];
+        let out = homogeneous_view_run(&mut m, &cands, 2);
+        let order: Vec<u64> = out.iter().map(|a| a.task.0).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ordered_assignment_balances_ready_times() {
+        // 4 equal tasks on 2 machines must split 2-2, not 4-0.
+        let mut m = EarliestDeadlineFirst::new();
+        let cands: Vec<Task> =
+            (0..4).map(|i| task(i, 1, 100_000)).collect();
+        let out = homogeneous_view_run(&mut m, &cands, 2);
+        let to0 = out.iter().filter(|a| a.machine == MachineId(0)).count();
+        assert_eq!(to0, 2);
+    }
+
+    #[test]
+    fn stops_when_slots_exhausted() {
+        // 2 machines × 2 slots = 4; 6 candidates → 4 assignments.
+        let mut m = ShortestJobFirst::new();
+        let cands: Vec<Task> =
+            (0..6).map(|i| task(i, 0, 100_000)).collect();
+        let out = homogeneous_view_run(&mut m, &cands, 2);
+        assert_eq!(out.len(), 4);
+    }
+}

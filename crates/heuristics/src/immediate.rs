@@ -1,0 +1,453 @@
+//! Immediate-mode mapping heuristics (§III-B of the paper).
+//!
+//! These place an arriving task the instant it arrives (Fig. 1a). They
+//! are deliberately simple — the paper uses them to show that pruning
+//! helps even when the underlying mapper is naive.
+
+use taskprune_model::{MachineId, Task};
+use taskprune_sim::{ImmediateMapper, SystemView};
+
+/// Round Robin: tasks go to machines 0, 1, …, n−1, 0, … regardless of
+/// execution or completion times.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates a Round Robin mapper starting at machine 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ImmediateMapper for RoundRobin {
+    fn name(&self) -> &str {
+        "RR"
+    }
+
+    fn place(&mut self, view: &SystemView<'_>, _task: &Task) -> MachineId {
+        // "assigned in a round robin manner to an *available* machine":
+        // advance the cursor past full queues. If every queue is full the
+        // cursor's machine is returned and the engine rejects the task.
+        let n = view.n_machines();
+        for probe in 0..n {
+            let m = MachineId(((self.next + probe) % n) as u16);
+            if view.free_slots(m) > 0 {
+                self.next = (self.next + probe + 1) % n;
+                return m;
+            }
+        }
+        MachineId((self.next % n) as u16)
+    }
+}
+
+/// Minimum Expected Execution Time: the machine whose PET mean for the
+/// task's type is smallest, ignoring queue state entirely.
+#[derive(Debug, Default)]
+pub struct MinimumExecutionTime;
+
+impl MinimumExecutionTime {
+    /// Creates a MET mapper.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ImmediateMapper for MinimumExecutionTime {
+    fn name(&self) -> &str {
+        "MET"
+    }
+
+    fn place(&mut self, view: &SystemView<'_>, task: &Task) -> MachineId {
+        argmin_available(view, |m| {
+            view.expected_exec_ticks(m, task.type_id)
+        })
+    }
+}
+
+/// Minimum Expected Completion Time: the machine whose accumulated
+/// expected queue time plus the task's expected execution time is
+/// smallest.
+#[derive(Debug, Default)]
+pub struct MinimumCompletionTime;
+
+impl MinimumCompletionTime {
+    /// Creates an MCT mapper.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ImmediateMapper for MinimumCompletionTime {
+    fn name(&self) -> &str {
+        "MCT"
+    }
+
+    fn place(&mut self, view: &SystemView<'_>, task: &Task) -> MachineId {
+        argmin_available(view, |m| {
+            view.expected_completion_ticks(m, task)
+        })
+    }
+}
+
+/// K-Percent Best: MCT restricted to the K % of machines with the lowest
+/// expected execution time for the task's type (a MET/MCT hybrid that
+/// avoids queueing on low-affinity machines).
+#[derive(Debug)]
+pub struct KPercentBest {
+    /// Fraction of machines considered, in (0, 1].
+    k_fraction: f64,
+}
+
+impl KPercentBest {
+    /// Creates a KPB mapper keeping the best `k_fraction` of machines
+    /// (clamped so at least one machine is always eligible).
+    pub fn new(k_fraction: f64) -> Self {
+        assert!(
+            k_fraction > 0.0 && k_fraction <= 1.0,
+            "K must be a fraction in (0, 1]"
+        );
+        Self { k_fraction }
+    }
+
+    /// The paper-era default: the best quarter of the machines
+    /// (2 of 8). The `ablation` bench sweeps this.
+    pub fn paper_default() -> Self {
+        Self::new(0.25)
+    }
+}
+
+impl ImmediateMapper for KPercentBest {
+    fn name(&self) -> &str {
+        "KPB"
+    }
+
+    fn place(&mut self, view: &SystemView<'_>, task: &Task) -> MachineId {
+        let n = view.n_machines();
+        let keep = ((n as f64 * self.k_fraction).ceil() as usize)
+            .clamp(1, n);
+        // Rank machines by expected execution time, keep the best K%.
+        let mut by_exec: Vec<MachineId> = view
+            .machines()
+            .map(|m| m.id)
+            .collect();
+        by_exec.sort_by(|&a, &b| {
+            view.expected_exec_ticks(a, task.type_id)
+                .partial_cmp(&view.expected_exec_ticks(b, task.type_id))
+                .expect("expected times are finite")
+                .then_with(|| a.cmp(&b))
+        });
+        by_exec.truncate(keep);
+        // MCT among the available survivors; if the whole subset is
+        // full, degrade gracefully to MCT over all machines.
+        let available = by_exec
+            .into_iter()
+            .filter(|&m| view.free_slots(m) > 0)
+            .min_by(|&a, &b| {
+                view.expected_completion_ticks(a, task)
+                    .partial_cmp(&view.expected_completion_ticks(b, task))
+                    .expect("expected times are finite")
+                    .then_with(|| a.cmp(&b))
+            });
+        available.unwrap_or_else(|| {
+            argmin_available(view, |m| {
+                view.expected_completion_ticks(m, task)
+            })
+        })
+    }
+}
+
+/// Opportunistic Load Balancing: the machine that becomes *ready*
+/// soonest, ignoring execution times entirely. Not part of the paper's
+/// four, but the classic baseline of the immediate-mode family
+/// (Maheswaran et al., JPDC 1999) and a useful extra comparison point.
+#[derive(Debug, Default)]
+pub struct OpportunisticLoadBalancing;
+
+impl OpportunisticLoadBalancing {
+    /// Creates an OLB mapper.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ImmediateMapper for OpportunisticLoadBalancing {
+    fn name(&self) -> &str {
+        "OLB"
+    }
+
+    fn place(&mut self, view: &SystemView<'_>, _task: &Task) -> MachineId {
+        argmin_available(view, |m| view.expected_ready_ticks(m))
+    }
+}
+
+/// The Switching Algorithm (Maheswaran et al., JPDC 1999): alternates
+/// between MET (exploits affinity, unbalances load) and MCT (rebalances)
+/// based on the cluster's load-balance ratio
+/// `r = min ready time / max ready time`:
+/// when `r` rises to the high threshold the load is even and MET takes
+/// over; when MET has driven `r` below the low threshold MCT takes over.
+#[derive(Debug)]
+pub struct SwitchingAlgorithm {
+    low: f64,
+    high: f64,
+    using_met: bool,
+}
+
+impl SwitchingAlgorithm {
+    /// Creates an SA mapper with the given balance thresholds
+    /// (`0 <= low < high <= 1`).
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&low) && low < high && high <= 1.0,
+            "SA thresholds need 0 <= low < high <= 1"
+        );
+        Self { low, high, using_met: false }
+    }
+
+    /// The classic configuration: switch to MET at r ≥ 0.9, back to MCT
+    /// at r ≤ 0.6.
+    pub fn classic() -> Self {
+        Self::new(0.6, 0.9)
+    }
+
+    fn balance_ratio(view: &SystemView<'_>) -> f64 {
+        let mut min_ready = f64::INFINITY;
+        let mut max_ready: f64 = 0.0;
+        let now = view.now().ticks() as f64;
+        for m in view.machines() {
+            // Ready time relative to now: an idle machine scores 0.
+            let r = (view.expected_ready_ticks(m.id) - now).max(0.0);
+            min_ready = min_ready.min(r);
+            max_ready = max_ready.max(r);
+        }
+        if max_ready <= 0.0 {
+            1.0 // everything idle: perfectly balanced
+        } else {
+            min_ready / max_ready
+        }
+    }
+}
+
+impl ImmediateMapper for SwitchingAlgorithm {
+    fn name(&self) -> &str {
+        "SA"
+    }
+
+    fn place(&mut self, view: &SystemView<'_>, task: &Task) -> MachineId {
+        let r = Self::balance_ratio(view);
+        if self.using_met && r <= self.low {
+            self.using_met = false;
+        } else if !self.using_met && r >= self.high {
+            self.using_met = true;
+        }
+        if self.using_met {
+            argmin_available(view, |m| {
+                view.expected_exec_ticks(m, task.type_id)
+            })
+        } else {
+            argmin_available(view, |m| {
+                view.expected_completion_ticks(m, task)
+            })
+        }
+    }
+}
+
+/// Smallest-key machine among those with a free waiting slot, with
+/// deterministic id tie-breaking. Falls back to the global argmin when
+/// every queue is full (the engine then rejects the task).
+fn argmin_available(
+    view: &SystemView<'_>,
+    mut key: impl FnMut(MachineId) -> f64,
+) -> MachineId {
+    let best = view
+        .machines()
+        .map(|m| m.id)
+        .filter(|&m| view.free_slots(m) > 0)
+        .min_by(|&a, &b| {
+            key(a)
+                .partial_cmp(&key(b))
+                .expect("keys are finite")
+                .then_with(|| a.cmp(&b))
+        });
+    best.unwrap_or_else(|| {
+        view.machines()
+            .map(|m| m.id)
+            .min_by(|&a, &b| {
+                key(a)
+                    .partial_cmp(&key(b))
+                    .expect("keys are finite")
+                    .then_with(|| a.cmp(&b))
+            })
+            .expect("cluster is never empty")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskprune_model::{BinSpec, Cluster, PetMatrix, SimTime, TaskTypeId};
+    use taskprune_prob::Pmf;
+    use taskprune_sim::queue_testing::make_queues;
+
+    /// 3 machine types × 2 task types with clear affinities:
+    /// type-0 tasks are fastest on machine 2, type-1 tasks on machine 0.
+    fn pet() -> PetMatrix {
+        PetMatrix::new(
+            BinSpec::new(100),
+            3,
+            2,
+            vec![
+                // machine 0: t0 slow, t1 fast
+                Pmf::point_mass(9),
+                Pmf::point_mass(2),
+                // machine 1: middling
+                Pmf::point_mass(5),
+                Pmf::point_mass(5),
+                // machine 2: t0 fast, t1 slow
+                Pmf::point_mass(1),
+                Pmf::point_mass(8),
+            ],
+        )
+    }
+
+    fn task(id: u64, type_id: u16) -> Task {
+        Task::new(id, TaskTypeId(type_id), SimTime(0), SimTime(100_000))
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let pet = pet();
+        let cluster = Cluster::one_per_type(3);
+        let queues = make_queues(&cluster, 4, 256);
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        let mut rr = RoundRobin::new();
+        let t = task(0, 0);
+        let picks: Vec<u16> =
+            (0..5).map(|_| rr.place(&view, &t).0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn met_follows_affinity() {
+        let pet = pet();
+        let cluster = Cluster::one_per_type(3);
+        let queues = make_queues(&cluster, 4, 256);
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        let mut met = MinimumExecutionTime::new();
+        assert_eq!(met.place(&view, &task(0, 0)), MachineId(2));
+        assert_eq!(met.place(&view, &task(1, 1)), MachineId(0));
+    }
+
+    #[test]
+    fn mct_accounts_for_queue_backlog() {
+        let pet = pet();
+        let cluster = Cluster::one_per_type(3);
+        let mut queues = make_queues(&cluster, 4, 256);
+        // Pile four type-0 tasks (9 bins each on machine 2? no — admit
+        // to machine 2 directly) onto the affinity machine.
+        for i in 10..14 {
+            queues[2].admit(task(i, 0), &pet);
+        }
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        let mut mct = MinimumCompletionTime;
+        // Machine 2's queue is full (4 slots), so both heuristics choose
+        // among machines 0 and 1: MCT picks machine 1 ((5+0.5)·100 = 550
+        // ticks vs machine 0's 950).
+        assert_eq!(mct.place(&view, &task(0, 0)), MachineId(1));
+        // MET (exec only) also prefers machine 1 (5 bins < 9 bins) now
+        // that the affinity machine is unavailable.
+        let mut met = MinimumExecutionTime;
+        assert_eq!(met.place(&view, &task(0, 0)), MachineId(1));
+    }
+
+    #[test]
+    fn kpb_restricts_to_best_subset() {
+        let pet = pet();
+        let cluster = Cluster::one_per_type(3);
+        let mut queues = make_queues(&cluster, 4, 256);
+        // Backlog on machine 2 (the MET choice for type 0).
+        for i in 10..14 {
+            queues[2].admit(task(i, 0), &pet);
+        }
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        // keep = ceil(3 · 0.34) = 2 best-exec machines for type 0:
+        // {m2 (1 bin), m1 (5 bins)}; MCT among them picks m1 (550 <
+        // 750) — machine 0 is excluded even though idle.
+        let mut kpb = KPercentBest::new(0.34);
+        assert_eq!(kpb.place(&view, &task(0, 0)), MachineId(1));
+        // With K = 100 % KPB degenerates to MCT.
+        let mut kpb_all = KPercentBest::new(1.0);
+        let mut mct = MinimumCompletionTime;
+        assert_eq!(
+            kpb_all.place(&view, &task(0, 0)),
+            mct.place(&view, &task(0, 0))
+        );
+    }
+
+    #[test]
+    fn kpb_with_tiny_k_degenerates_to_met() {
+        let pet = pet();
+        let cluster = Cluster::one_per_type(3);
+        let mut queues = make_queues(&cluster, 4, 256);
+        for i in 10..14 {
+            queues[2].admit(task(i, 0), &pet);
+        }
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        let mut kpb = KPercentBest::new(0.01); // keep = 1 machine
+        let mut met = MinimumExecutionTime;
+        assert_eq!(
+            kpb.place(&view, &task(0, 0)),
+            met.place(&view, &task(0, 0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn kpb_rejects_zero_k() {
+        KPercentBest::new(0.0);
+    }
+
+    #[test]
+    fn olb_ignores_execution_times() {
+        let pet = pet();
+        let cluster = Cluster::one_per_type(3);
+        let mut queues = make_queues(&cluster, 4, 256);
+        // Load machines 0 and 2; machine 1 is idle → earliest ready.
+        queues[0].admit(task(10, 0), &pet);
+        queues[2].admit(task(11, 0), &pet);
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        let mut olb = OpportunisticLoadBalancing::new();
+        // For a type-0 task MET would say machine 2 and MCT machine 2/1;
+        // OLB picks the idle machine regardless of affinity.
+        assert_eq!(olb.place(&view, &task(0, 0)), MachineId(1));
+    }
+
+    #[test]
+    fn sa_switches_between_met_and_mct() {
+        let pet = pet();
+        let cluster = Cluster::one_per_type(3);
+        let queues = make_queues(&cluster, 4, 256);
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        let mut sa = SwitchingAlgorithm::classic();
+        // All idle → ratio 1 ≥ high → MET behaviour: affinity machine.
+        assert_eq!(sa.place(&view, &task(0, 0)), MachineId(2));
+
+        // Unbalance machine 2 heavily: ratio collapses to 0 → MCT.
+        let mut queues = make_queues(&cluster, 4, 256);
+        for i in 10..14 {
+            queues[2].admit(task(i, 0), &pet);
+        }
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        let picked = sa.place(&view, &task(1, 0));
+        // MCT over {m0: 950, m1: 550, m2: 750} → machine 1.
+        assert_eq!(picked, MachineId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn sa_rejects_bad_thresholds() {
+        SwitchingAlgorithm::new(0.9, 0.6);
+    }
+}

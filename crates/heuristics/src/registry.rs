@@ -1,0 +1,215 @@
+//! Name-based construction of heuristics, for experiment harnesses and
+//! CLI tools.
+
+use crate::batch::{MM, MMU, MSD};
+use crate::homogeneous::{
+    EarliestDeadlineFirst, FcfsRoundRobin, ShortestJobFirst,
+};
+use crate::immediate::{
+    KPercentBest, MinimumCompletionTime, MinimumExecutionTime,
+    OpportunisticLoadBalancing, RoundRobin, SwitchingAlgorithm,
+};
+use taskprune_sim::MappingStrategy;
+
+/// Every heuristic of the paper's Fig. 3, by name.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub enum HeuristicKind {
+    /// Round Robin (immediate).
+    Rr,
+    /// Minimum Expected Execution Time (immediate).
+    Met,
+    /// Minimum Expected Completion Time (immediate).
+    Mct,
+    /// K-Percent Best (immediate).
+    Kpb,
+    /// Opportunistic Load Balancing (immediate; literature extension,
+    /// not in the paper's Fig. 3).
+    Olb,
+    /// Switching Algorithm (immediate; literature extension).
+    Sa,
+    /// MinCompletion–MinCompletion (batch).
+    Mm,
+    /// MinCompletion–Soonest Deadline (batch).
+    Msd,
+    /// MinCompletion–MaxUrgency (batch).
+    Mmu,
+    /// First Come First Served – Round Robin (homogeneous batch).
+    FcfsRr,
+    /// Earliest Deadline First (homogeneous batch).
+    Edf,
+    /// Shortest Job First (homogeneous batch).
+    Sjf,
+}
+
+impl HeuristicKind {
+    /// All immediate-mode heuristics, in the paper's Fig. 7a order.
+    pub const IMMEDIATE: [HeuristicKind; 4] = [
+        HeuristicKind::Rr,
+        HeuristicKind::Mct,
+        HeuristicKind::Met,
+        HeuristicKind::Kpb,
+    ];
+
+    /// All heterogeneous batch-mode heuristics (Fig. 7b/8/9 order).
+    pub const BATCH: [HeuristicKind; 3] =
+        [HeuristicKind::Mm, HeuristicKind::Msd, HeuristicKind::Mmu];
+
+    /// All homogeneous-system heuristics (Fig. 10 order).
+    pub const HOMOGENEOUS: [HeuristicKind; 3] = [
+        HeuristicKind::FcfsRr,
+        HeuristicKind::Sjf,
+        HeuristicKind::Edf,
+    ];
+
+    /// Immediate-mode extensions beyond the paper's four (classic
+    /// heuristics from the same literature family).
+    pub const IMMEDIATE_EXTENSIONS: [HeuristicKind; 2] =
+        [HeuristicKind::Olb, HeuristicKind::Sa];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            HeuristicKind::Rr => "RR",
+            HeuristicKind::Met => "MET",
+            HeuristicKind::Mct => "MCT",
+            HeuristicKind::Kpb => "KPB",
+            HeuristicKind::Olb => "OLB",
+            HeuristicKind::Sa => "SA",
+            HeuristicKind::Mm => "MM",
+            HeuristicKind::Msd => "MSD",
+            HeuristicKind::Mmu => "MMU",
+            HeuristicKind::FcfsRr => "FCFS-RR",
+            HeuristicKind::Edf => "EDF",
+            HeuristicKind::Sjf => "SJF",
+        }
+    }
+
+    /// Parses a paper name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        let upper = name.to_ascii_uppercase();
+        Some(match upper.as_str() {
+            "RR" => HeuristicKind::Rr,
+            "MET" => HeuristicKind::Met,
+            "MCT" => HeuristicKind::Mct,
+            "KPB" => HeuristicKind::Kpb,
+            "OLB" => HeuristicKind::Olb,
+            "SA" => HeuristicKind::Sa,
+            "MM" | "MINMIN" | "MIN-MIN" => HeuristicKind::Mm,
+            "MSD" => HeuristicKind::Msd,
+            "MMU" => HeuristicKind::Mmu,
+            "FCFS-RR" | "FCFSRR" | "FCFS" => HeuristicKind::FcfsRr,
+            "EDF" => HeuristicKind::Edf,
+            "SJF" => HeuristicKind::Sjf,
+            _ => return None,
+        })
+    }
+
+    /// Whether this heuristic runs in immediate mode.
+    pub fn is_immediate(self) -> bool {
+        matches!(
+            self,
+            HeuristicKind::Rr
+                | HeuristicKind::Met
+                | HeuristicKind::Mct
+                | HeuristicKind::Kpb
+                | HeuristicKind::Olb
+                | HeuristicKind::Sa
+        )
+    }
+
+    /// Instantiates the heuristic as an engine-ready strategy.
+    pub fn make(self) -> MappingStrategy {
+        match self {
+            HeuristicKind::Rr => {
+                MappingStrategy::Immediate(Box::new(RoundRobin::new()))
+            }
+            HeuristicKind::Met => MappingStrategy::Immediate(Box::new(
+                MinimumExecutionTime::new(),
+            )),
+            HeuristicKind::Mct => MappingStrategy::Immediate(Box::new(
+                MinimumCompletionTime::new(),
+            )),
+            HeuristicKind::Kpb => MappingStrategy::Immediate(Box::new(
+                KPercentBest::paper_default(),
+            )),
+            HeuristicKind::Olb => MappingStrategy::Immediate(Box::new(
+                OpportunisticLoadBalancing::new(),
+            )),
+            HeuristicKind::Sa => MappingStrategy::Immediate(Box::new(
+                SwitchingAlgorithm::classic(),
+            )),
+            HeuristicKind::Mm => MappingStrategy::Batch(Box::new(MM::new())),
+            HeuristicKind::Msd => {
+                MappingStrategy::Batch(Box::new(MSD::new()))
+            }
+            HeuristicKind::Mmu => {
+                MappingStrategy::Batch(Box::new(MMU::new()))
+            }
+            HeuristicKind::FcfsRr => {
+                MappingStrategy::Batch(Box::new(FcfsRoundRobin::new()))
+            }
+            HeuristicKind::Edf => MappingStrategy::Batch(Box::new(
+                EarliestDeadlineFirst::new(),
+            )),
+            HeuristicKind::Sjf => {
+                MappingStrategy::Batch(Box::new(ShortestJobFirst::new()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in HeuristicKind::IMMEDIATE
+            .iter()
+            .chain(&HeuristicKind::BATCH)
+            .chain(&HeuristicKind::HOMOGENEOUS)
+            .chain(&HeuristicKind::IMMEDIATE_EXTENSIONS)
+        {
+            assert_eq!(
+                HeuristicKind::from_name(kind.name()),
+                Some(*kind),
+                "roundtrip failed for {}",
+                kind.name()
+            );
+        }
+        assert_eq!(HeuristicKind::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn strategies_match_mode() {
+        for kind in HeuristicKind::IMMEDIATE
+            .into_iter()
+            .chain(HeuristicKind::IMMEDIATE_EXTENSIONS)
+        {
+            assert!(matches!(kind.make(), MappingStrategy::Immediate(_)));
+            assert!(kind.is_immediate());
+        }
+        for kind in
+            HeuristicKind::BATCH.iter().chain(&HeuristicKind::HOMOGENEOUS)
+        {
+            assert!(matches!(kind.make(), MappingStrategy::Batch(_)));
+            assert!(!kind.is_immediate());
+        }
+    }
+
+    #[test]
+    fn strategy_names_match_paper_labels() {
+        assert_eq!(HeuristicKind::Mm.make().name(), "MM");
+        assert_eq!(HeuristicKind::Kpb.make().name(), "KPB");
+        assert_eq!(HeuristicKind::FcfsRr.make().name(), "FCFS-RR");
+    }
+}

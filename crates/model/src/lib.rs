@@ -1,0 +1,26 @@
+//! Domain model for heterogeneous serverless scheduling.
+//!
+//! Defines the vocabulary shared by the workload generator, the
+//! discrete-event simulator, the mapping heuristics and the pruning
+//! mechanism:
+//!
+//! * [`time`] — simulated time as integer ticks, plus the tick ↔ PMF-bin
+//!   mapping ([`BinSpec`]);
+//! * [`task`] — tasks, task types, deadlines and terminal outcomes;
+//! * [`machine`] — machines and machine types of the heterogeneous
+//!   cluster;
+//! * [`pet`] — the Probabilistic Execution Time matrix (§II of the
+//!   paper): one execution-time PMF per (machine type, task type) pair,
+//!   with expected-time projections used by the mapping heuristics.
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod pet;
+pub mod task;
+pub mod time;
+
+pub use machine::{Cluster, Machine, MachineId, MachineType, MachineTypeId};
+pub use pet::PetMatrix;
+pub use task::{Task, TaskId, TaskOutcome, TaskType, TaskTypeId};
+pub use time::{BinSpec, SimTime, TICKS_PER_TIME_UNIT};

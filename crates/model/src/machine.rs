@@ -1,0 +1,152 @@
+//! Machines and machine types of the (in)consistently heterogeneous
+//! cluster.
+//!
+//! The paper distinguishes *qualitative* heterogeneity (different machine
+//! types — the columns of the PET matrix) from *quantitative*
+//! heterogeneity (performance differences within a type). A cluster is a
+//! list of [`Machine`]s, each referencing a [`MachineType`]; homogeneous
+//! systems are the special case where every machine shares one type.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a machine type (column group of the PET matrix).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+    Serialize, Deserialize,
+)]
+pub struct MachineTypeId(pub u16);
+
+/// Identifier of a concrete machine instance.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+    Serialize, Deserialize,
+)]
+pub struct MachineId(pub u16);
+
+/// A category of machine with a distinct performance profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineType {
+    /// Stable identifier; indexes the PET matrix.
+    pub id: MachineTypeId,
+    /// Human-readable name (the evaluation uses the eight machines listed
+    /// in the paper's footnote 1).
+    pub name: String,
+}
+
+impl MachineType {
+    /// Creates a machine type.
+    pub fn new(id: u16, name: impl Into<String>) -> Self {
+        Self { id: MachineTypeId(id), name: name.into() }
+    }
+}
+
+/// One machine instance in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Unique instance id; machine queues are addressed by this.
+    pub id: MachineId,
+    /// The machine's type (selects its PET column).
+    pub type_id: MachineTypeId,
+}
+
+impl Machine {
+    /// Creates a machine.
+    pub fn new(id: u16, type_id: MachineTypeId) -> Self {
+        Self { id: MachineId(id), type_id }
+    }
+}
+
+/// A cluster: the fixed set of machines the simulator schedules onto.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    machines: Vec<Machine>,
+}
+
+impl Cluster {
+    /// Builds a cluster from machines. Machine ids must equal their index
+    /// (the simulator indexes queues by id).
+    pub fn new(machines: Vec<Machine>) -> Self {
+        for (i, m) in machines.iter().enumerate() {
+            assert_eq!(
+                m.id.0 as usize, i,
+                "machine ids must be contiguous from zero"
+            );
+        }
+        Self { machines }
+    }
+
+    /// An inconsistently heterogeneous cluster: one machine per type.
+    pub fn one_per_type(n_types: u16) -> Self {
+        Self::new(
+            (0..n_types)
+                .map(|i| Machine::new(i, MachineTypeId(i)))
+                .collect(),
+        )
+    }
+
+    /// A homogeneous cluster: `n` machines all of `type_id`.
+    pub fn homogeneous(n: u16, type_id: MachineTypeId) -> Self {
+        Self::new((0..n).map(|i| Machine::new(i, type_id)).collect())
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the cluster has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// The machines in id order.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// Looks a machine up by id.
+    pub fn machine(&self, id: MachineId) -> Machine {
+        self.machines[id.0 as usize]
+    }
+
+    /// Whether all machines share one type (a homogeneous system).
+    pub fn is_homogeneous(&self) -> bool {
+        self.machines
+            .windows(2)
+            .all(|w| w[0].type_id == w[1].type_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_per_type_is_heterogeneous() {
+        let c = Cluster::one_per_type(8);
+        assert_eq!(c.len(), 8);
+        assert!(!c.is_homogeneous());
+        assert_eq!(c.machine(MachineId(3)).type_id, MachineTypeId(3));
+    }
+
+    #[test]
+    fn homogeneous_cluster() {
+        let c = Cluster::homogeneous(8, MachineTypeId(2));
+        assert_eq!(c.len(), 8);
+        assert!(c.is_homogeneous());
+        assert!(c.machines().iter().all(|m| m.type_id == MachineTypeId(2)));
+    }
+
+    #[test]
+    fn single_machine_is_homogeneous() {
+        let c = Cluster::homogeneous(1, MachineTypeId(0));
+        assert!(c.is_homogeneous());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_ids_rejected() {
+        Cluster::new(vec![Machine::new(1, MachineTypeId(0))]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Tasks, task types and terminal outcomes.
+//!
+//! A *task* in the paper's model (§II) is an independent service request —
+//! motivated as a video Group-Of-Pictures to transcode — with an
+//! individual hard deadline. Tasks belong to *task types* (the twelve
+//! SPECint-style service types in the evaluation); the type determines the
+//! execution-time distribution on each machine type via the PET matrix.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task type (row of the PET matrix).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+    Serialize, Deserialize,
+)]
+pub struct TaskTypeId(pub u16);
+
+/// Identifier of a single task instance.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+    Serialize, Deserialize,
+)]
+pub struct TaskId(pub u64);
+
+/// A service type offered by the platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskType {
+    /// Stable identifier; indexes the PET matrix.
+    pub id: TaskTypeId,
+    /// Human-readable name (e.g. the benchmark the type models).
+    pub name: String,
+}
+
+impl TaskType {
+    /// Creates a task type.
+    pub fn new(id: u16, name: impl Into<String>) -> Self {
+        Self { id: TaskTypeId(id), name: name.into() }
+    }
+}
+
+/// One task instance flowing through the system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Unique instance id; also the arrival order within a trial.
+    pub id: TaskId,
+    /// The task's type (selects its PET row).
+    pub type_id: TaskTypeId,
+    /// When the task arrives at the resource allocator.
+    pub arrival: SimTime,
+    /// Individual hard deadline: completing after this has no value and
+    /// the task must be dropped (§II).
+    pub deadline: SimTime,
+    /// Relative worth of the task — 1.0 for all of the paper's main
+    /// experiments; used by the priority-aware pruning extension (§VII
+    /// future work).
+    pub value: f64,
+}
+
+impl Task {
+    /// Creates a task with unit value.
+    pub fn new(
+        id: u64,
+        type_id: TaskTypeId,
+        arrival: SimTime,
+        deadline: SimTime,
+    ) -> Self {
+        Self {
+            id: TaskId(id),
+            type_id,
+            arrival,
+            deadline,
+            value: 1.0,
+        }
+    }
+
+    /// Remaining slack at `now`: how long until the deadline, zero if
+    /// already past.
+    pub fn slack_at(&self, now: SimTime) -> SimTime {
+        self.deadline.saturating_sub(now)
+    }
+
+    /// Whether the deadline has passed at `now` (a completion exactly at
+    /// the deadline instant still counts as on time).
+    pub fn is_past_deadline(&self, now: SimTime) -> bool {
+        now > self.deadline
+    }
+}
+
+/// The terminal state of a task, the categories the evaluation counts.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
+)]
+pub enum TaskOutcome {
+    /// Finished at or before its deadline — the robustness numerator.
+    CompletedOnTime,
+    /// Finished execution but after the deadline (only possible for tasks
+    /// already running when the deadline passed; queued tasks are dropped
+    /// first).
+    CompletedLate,
+    /// Dropped because its deadline passed while waiting (reactive drop,
+    /// Step 1 of the pruning procedure — also applied by every baseline).
+    DroppedReactive,
+    /// Dropped by the probabilistic pruner because its chance of success
+    /// fell below the threshold (proactive drop, Steps 4–6).
+    DroppedProactive,
+    /// Cancelled mid-execution because its deadline passed (only with the
+    /// optional `cancel_running_late` policy).
+    CancelledRunning,
+    /// Refused admission: in immediate mode every machine queue was full
+    /// at arrival and there is no arrival queue to wait in (Fig. 1a).
+    Rejected,
+    /// Still in the system when the simulation ended.
+    Unfinished,
+}
+
+impl TaskOutcome {
+    /// Whether this outcome counts as a success for the robustness metric.
+    pub fn is_on_time(self) -> bool {
+        matches!(self, TaskOutcome::CompletedOnTime)
+    }
+
+    /// Whether the task was removed by any form of dropping.
+    pub fn is_dropped(self) -> bool {
+        matches!(
+            self,
+            TaskOutcome::DroppedReactive
+                | TaskOutcome::DroppedProactive
+                | TaskOutcome::CancelledRunning
+                | TaskOutcome::Rejected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_and_deadline_checks() {
+        let t = Task::new(1, TaskTypeId(0), SimTime(100), SimTime(500));
+        assert_eq!(t.slack_at(SimTime(100)), SimTime(400));
+        assert_eq!(t.slack_at(SimTime(500)), SimTime(0));
+        assert_eq!(t.slack_at(SimTime(900)), SimTime(0));
+        assert!(!t.is_past_deadline(SimTime(500)));
+        assert!(t.is_past_deadline(SimTime(501)));
+    }
+
+    #[test]
+    fn outcome_classification() {
+        assert!(TaskOutcome::CompletedOnTime.is_on_time());
+        assert!(!TaskOutcome::CompletedLate.is_on_time());
+        assert!(TaskOutcome::DroppedReactive.is_dropped());
+        assert!(TaskOutcome::DroppedProactive.is_dropped());
+        assert!(TaskOutcome::CancelledRunning.is_dropped());
+        assert!(TaskOutcome::Rejected.is_dropped());
+        assert!(!TaskOutcome::Unfinished.is_dropped());
+        assert!(!TaskOutcome::CompletedLate.is_dropped());
+    }
+
+    #[test]
+    fn default_value_is_unit() {
+        let t = Task::new(7, TaskTypeId(3), SimTime(0), SimTime(10));
+        assert_eq!(t.value, 1.0);
+        assert_eq!(t.id, TaskId(7));
+    }
+
+    #[test]
+    fn task_type_construction() {
+        let tt = TaskType::new(4, "video-transcode");
+        assert_eq!(tt.id, TaskTypeId(4));
+        assert_eq!(tt.name, "video-transcode");
+    }
+}

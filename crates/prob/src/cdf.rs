@@ -1,0 +1,166 @@
+//! Cumulative distribution views of PMFs.
+//!
+//! The simulator's hot path is the chance-of-success query of Eq. 2:
+//! `S(i,j) = P(PCT(i,j) ≤ δᵢ)` where `PCT(i,j) = PET(i,j) ∗ PCT_tail(j)`.
+//! Materialising the convolution for every candidate (task, machine) pair
+//! would be quadratic; instead each machine keeps its queue-tail
+//! distribution as a [`Cdf`] and the query becomes one dot product:
+//!
+//! `S = Σ_x PET(x) · CDF_tail(δ − x)`
+//!
+//! which is exact and costs only the PET support length.
+
+use crate::pmf::Pmf;
+use crate::Bin;
+use serde::{Deserialize, Serialize};
+
+/// A cumulative distribution over integer bins.
+///
+/// `cum[k]` is `P(X ≤ offset + k)`. Before the window the CDF is 0; at and
+/// beyond the window end it is `window_mass` (which is `1 − tail_mass` of
+/// the originating PMF — tail mass never completes within the horizon).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    offset: Bin,
+    cum: Vec<f64>,
+    window_mass: f64,
+}
+
+impl Cdf {
+    /// Builds the cumulative view of `pmf`.
+    pub fn from_pmf(pmf: &Pmf) -> Self {
+        let probs = pmf.dense_probs();
+        let mut cum = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &p in probs {
+            acc += p;
+            cum.push(acc);
+        }
+        Self { offset: pmf.min_bin(), cum, window_mass: acc }
+    }
+
+    /// The degenerate CDF of a point mass: 0 before `bin`, 1 from `bin` on.
+    pub fn point_mass(bin: Bin) -> Self {
+        Self { offset: bin, cum: vec![1.0], window_mass: 1.0 }
+    }
+
+    /// `P(X ≤ bin)`.
+    #[inline]
+    pub fn at(&self, bin: Bin) -> f64 {
+        if bin < self.offset {
+            return 0.0;
+        }
+        let idx = (bin - self.offset) as usize;
+        if idx >= self.cum.len() {
+            self.window_mass
+        } else {
+            self.cum[idx]
+        }
+    }
+
+    /// First bin of the represented window.
+    #[inline]
+    pub fn min_bin(&self) -> Bin {
+        self.offset
+    }
+
+    /// Last bin of the represented window; the CDF is flat afterwards.
+    #[inline]
+    pub fn max_bin(&self) -> Bin {
+        self.offset + self.cum.len() as Bin - 1
+    }
+
+    /// Total mass within the window (`1 −` tail mass of the source PMF).
+    #[inline]
+    pub fn window_mass(&self) -> f64 {
+        self.window_mass
+    }
+
+    /// The chance-of-success dot product (Eq. 2 without materialising the
+    /// convolution): probability that `pet + X ≤ deadline` where `X ~ self`.
+    ///
+    /// `pet` is a *relative* duration PMF; `self` is the absolute-time
+    /// distribution of when the machine's queue tail finishes.
+    pub fn success_after(&self, pet: &Pmf, deadline: Bin) -> f64 {
+        let mut total = 0.0;
+        for (dur, p) in pet.iter() {
+            if p == 0.0 {
+                continue;
+            }
+            if dur > deadline {
+                // Even starting at time 0 this duration overshoots.
+                continue;
+            }
+            total += p * self.at(deadline - dur);
+        }
+        total.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmf::Pmf;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn cdf_matches_pmf_cdf() {
+        let pmf =
+            Pmf::from_points(&[(2, 0.2), (4, 0.3), (7, 0.5)]).unwrap();
+        let cdf = pmf.to_cdf();
+        for bin in 0..12 {
+            assert!(
+                approx(cdf.at(bin), pmf.cdf_at(bin)),
+                "mismatch at bin {bin}"
+            );
+        }
+        assert!(approx(cdf.at(1_000_000), 1.0));
+    }
+
+    #[test]
+    fn point_mass_cdf_is_step() {
+        let cdf = Cdf::point_mass(5);
+        assert!(approx(cdf.at(4), 0.0));
+        assert!(approx(cdf.at(5), 1.0));
+        assert!(approx(cdf.at(6), 1.0));
+    }
+
+    #[test]
+    fn window_mass_excludes_tail() {
+        let mut pmf = Pmf::from_points(&[(1, 0.5), (100, 0.5)]).unwrap();
+        pmf.truncate_to_horizon(10);
+        let cdf = pmf.to_cdf();
+        assert!(approx(cdf.window_mass(), 0.5));
+        assert!(approx(cdf.at(1_000_000), 0.5));
+    }
+
+    #[test]
+    fn success_after_equals_explicit_convolution() {
+        let tail =
+            Pmf::from_points(&[(4, 0.17), (5, 0.33), (6, 0.5)]).unwrap();
+        let pet =
+            Pmf::from_points(&[(1, 0.125), (2, 0.125), (3, 0.75)]).unwrap();
+        let cdf = tail.to_cdf();
+        let pct = pet.convolve(&tail);
+        for deadline in 0..15 {
+            assert!(
+                approx(
+                    cdf.success_after(&pet, deadline),
+                    pct.success_probability(deadline)
+                ),
+                "deadline {deadline}"
+            );
+        }
+    }
+
+    #[test]
+    fn success_after_zero_when_duration_exceeds_deadline() {
+        let cdf = Cdf::point_mass(0);
+        let pet = Pmf::from_points(&[(10, 1.0)]).unwrap();
+        assert!(approx(cdf.success_after(&pet, 5), 0.0));
+        assert!(approx(cdf.success_after(&pet, 10), 1.0));
+    }
+}

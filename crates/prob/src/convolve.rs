@@ -1,0 +1,198 @@
+//! Convolution of PMFs (Eq. 1 of the paper).
+//!
+//! `PCT(i,j) = PET(i,j) ∗ PCT(i−1,j)` — the completion-time distribution of
+//! a task is its execution-time distribution convolved with the completion
+//! time of the task ahead of it in the machine queue.
+//!
+//! Two implementations:
+//!
+//! * **direct** O(n·m) — optimal for the short PET supports that dominate
+//!   the simulator's hot path;
+//! * **FFT-based** O((n+m) log(n+m)) via [`crate::fft`] — wins for the
+//!   long supports that appear in offline analysis (deep queues, fine
+//!   bins). [`convolve`] picks automatically; both are property-tested
+//!   against each other.
+
+use crate::fft;
+use crate::pmf::Pmf;
+
+/// Above this direct-work estimate (`n·m`), convolution switches to FFT.
+/// Chosen by the `convolution` criterion bench; the crossover is flat in
+/// the 32–128k region, so a round number near the middle is fine.
+pub const FFT_THRESHOLD: usize = 64 * 1024;
+
+/// Convolves two PMFs, picking the cheaper algorithm.
+pub fn convolve(a: &Pmf, b: &Pmf) -> Pmf {
+    let work = a.support_len() * b.support_len();
+    if work > FFT_THRESHOLD {
+        convolve_fft(a, b)
+    } else {
+        convolve_direct(a, b)
+    }
+}
+
+/// Combined tail mass: an outcome lands beyond the horizon if either
+/// operand did.
+fn combined_tail(a: &Pmf, b: &Pmf) -> f64 {
+    let (ta, tb) = (a.tail_mass(), b.tail_mass());
+    ta + tb - ta * tb
+}
+
+/// Direct O(n·m) convolution.
+pub fn convolve_direct(a: &Pmf, b: &Pmf) -> Pmf {
+    let (an, bn) = (a.support_len(), b.support_len());
+    let mut out = vec![0.0f64; an + bn - 1];
+    let ap = a.dense_probs();
+    let bp = b.dense_probs();
+    // Iterate the shorter operand on the outside: fewer passes over `out`.
+    if an <= bn {
+        for (i, &pa) in ap.iter().enumerate() {
+            if pa == 0.0 {
+                continue;
+            }
+            for (j, &pb) in bp.iter().enumerate() {
+                out[i + j] += pa * pb;
+            }
+        }
+    } else {
+        for (j, &pb) in bp.iter().enumerate() {
+            if pb == 0.0 {
+                continue;
+            }
+            for (i, &pa) in ap.iter().enumerate() {
+                out[i + j] += pa * pb;
+            }
+        }
+    }
+    Pmf::from_dense(a.min_bin() + b.min_bin(), out, combined_tail(a, b))
+}
+
+/// FFT-based convolution. Negative rounding artefacts from the transform
+/// are clamped to zero; the result is within 1e-9 of the direct method for
+/// normalised inputs.
+pub fn convolve_fft(a: &Pmf, b: &Pmf) -> Pmf {
+    let out = fft::convolve_real(a.dense_probs(), b.dense_probs());
+    Pmf::from_dense(a.min_bin() + b.min_bin(), out, combined_tail(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn paper_figure2_style_example() {
+        // A 3-point PET convolved with a 3-point queue-tail PCT, as in
+        // Fig. 2 of the paper: support must be [PET.min+PCT.min,
+        // PET.max+PCT.max] and mass must be conserved.
+        let pet =
+            Pmf::from_points(&[(1, 0.125), (2, 0.125), (3, 0.75)]).unwrap();
+        let tail =
+            Pmf::from_points(&[(4, 0.17), (5, 0.33), (6, 0.5)]).unwrap();
+        let pct = convolve_direct(&pet, &tail);
+        assert_eq!(pct.min_bin(), 5);
+        assert_eq!(pct.max_bin(), 9);
+        assert!(pct.is_normalised());
+        assert!(approx(pct.prob_at(5), 0.125 * 0.17));
+        assert!(approx(pct.prob_at(9), 0.75 * 0.5));
+        assert!(approx(
+            pct.expectation(),
+            pet.expectation() + tail.expectation()
+        ));
+    }
+
+    #[test]
+    fn convolving_point_masses_adds_bins() {
+        let a = Pmf::point_mass(3);
+        let b = Pmf::point_mass(9);
+        let c = convolve(&a, &b);
+        assert_eq!(c, Pmf::point_mass(12));
+    }
+
+    #[test]
+    fn point_mass_at_zero_is_identity() {
+        let a = Pmf::from_points(&[(2, 0.5), (5, 0.5)]).unwrap();
+        let id = Pmf::point_mass(0);
+        assert_eq!(convolve(&a, &id), a);
+        assert_eq!(convolve(&id, &a), a);
+    }
+
+    #[test]
+    fn commutative() {
+        let a = Pmf::from_points(&[(1, 0.3), (4, 0.7)]).unwrap();
+        let b = Pmf::from_points(&[(2, 0.6), (3, 0.4)]).unwrap();
+        let ab = convolve_direct(&a, &b);
+        let ba = convolve_direct(&b, &a);
+        assert_eq!(ab.min_bin(), ba.min_bin());
+        for bin in ab.min_bin()..=ab.max_bin() {
+            assert!(approx(ab.prob_at(bin), ba.prob_at(bin)));
+        }
+    }
+
+    #[test]
+    fn tail_mass_combines_inclusively() {
+        let mut a = Pmf::from_points(&[(1, 0.5), (100, 0.5)]).unwrap();
+        a.truncate_to_horizon(10); // tail 0.5
+        let mut b = Pmf::from_points(&[(1, 0.75), (100, 0.25)]).unwrap();
+        b.truncate_to_horizon(10); // tail 0.25
+        let c = convolve(&a, &b);
+        assert!(approx(c.tail_mass(), 0.5 + 0.25 - 0.5 * 0.25));
+        assert!(approx(c.mass(), 1.0));
+    }
+
+    #[test]
+    fn fft_matches_direct_on_random_support() {
+        let a = Pmf::from_points(&[
+            (0, 0.1),
+            (3, 0.2),
+            (7, 0.3),
+            (11, 0.15),
+            (13, 0.25),
+        ])
+        .unwrap();
+        let b = Pmf::from_points(&[(2, 0.4), (5, 0.35), (9, 0.25)]).unwrap();
+        let d = convolve_direct(&a, &b);
+        let f = convolve_fft(&a, &b);
+        assert_eq!(d.min_bin(), f.min_bin());
+        assert_eq!(d.max_bin(), f.max_bin());
+        for bin in d.min_bin()..=d.max_bin() {
+            assert!(
+                (d.prob_at(bin) - f.prob_at(bin)).abs() < 1e-9,
+                "bin {bin}: direct {} vs fft {}",
+                d.prob_at(bin),
+                f.prob_at(bin)
+            );
+        }
+    }
+
+    #[test]
+    fn large_supports_route_through_fft_and_conserve_mass() {
+        let n = 400usize;
+        let uniform: Vec<(u64, f64)> =
+            (0..n as u64).map(|b| (b, 1.0 / n as f64)).collect();
+        let a = Pmf::from_points(&uniform).unwrap();
+        let c = convolve(&a, &a);
+        assert!(c.support_len() == 2 * n - 1);
+        assert!((c.mass() - 1.0).abs() < 1e-6);
+        // The sum of two uniforms is triangular: peak in the middle.
+        let mid = c.prob_at((n - 1) as u64);
+        let edge = c.prob_at(0);
+        assert!(mid > edge * 100.0);
+    }
+
+    #[test]
+    fn associative_within_tolerance() {
+        let a = Pmf::from_points(&[(1, 0.5), (2, 0.5)]).unwrap();
+        let b = Pmf::from_points(&[(0, 0.25), (3, 0.75)]).unwrap();
+        let c = Pmf::from_points(&[(2, 0.9), (4, 0.1)]).unwrap();
+        let left = convolve(&convolve(&a, &b), &c);
+        let right = convolve(&a, &convolve(&b, &c));
+        assert_eq!(left.min_bin(), right.min_bin());
+        for bin in left.min_bin()..=left.max_bin() {
+            assert!(approx(left.prob_at(bin), right.prob_at(bin)));
+        }
+    }
+}

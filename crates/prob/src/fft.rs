@@ -1,0 +1,243 @@
+//! A self-contained radix-2 FFT used for long-support PMF convolution.
+//!
+//! No external dependency: the transform is an iterative in-place
+//! Cooley–Tukey over a minimal complex type. Real convolution packs both
+//! input sequences into one complex signal (`a + i·b`), transforms once,
+//! separates the spectra algebraically, multiplies, and inverse-transforms
+//! — one forward and one inverse FFT per convolution instead of three.
+
+/// A minimal complex number for the FFT kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Constructs `re + i·im`.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    #[inline]
+    fn mul(self, o: Self) -> Self {
+        Self {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    #[inline]
+    fn add(self, o: Self) -> Self {
+        Self { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    #[inline]
+    fn sub(self, o: Self) -> Self {
+        Self { re: self.re - o.re, im: self.im - o.im }
+    }
+
+    #[inline]
+    fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+}
+
+/// Smallest power of two `>= n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place iterative radix-2 FFT. `data.len()` must be a power of two.
+/// `inverse` selects the inverse transform (including the 1/N scaling).
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Danielson–Lanczos butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2].mul(w);
+                data[i + k] = u.add(v);
+                data[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            *x = x.scale(inv_n);
+        }
+    }
+}
+
+/// Linear convolution of two real sequences via one packed FFT.
+///
+/// Returns a vector of length `a.len() + b.len() - 1`. Tiny negative
+/// rounding artefacts are clamped to zero so the result remains a valid
+/// (sub-)probability vector.
+pub fn convolve_real(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert!(!a.is_empty() && !b.is_empty());
+    let out_len = a.len() + b.len() - 1;
+    let n = next_pow2(out_len);
+
+    // Pack: z = a + i·b.
+    let mut z = vec![Complex::ZERO; n];
+    for (i, &x) in a.iter().enumerate() {
+        z[i].re = x;
+    }
+    for (i, &x) in b.iter().enumerate() {
+        z[i].im = x;
+    }
+    fft_in_place(&mut z, false);
+
+    // Separate spectra: A[k] = (Z[k] + conj(Z[n−k]))/2,
+    //                   B[k] = (Z[k] − conj(Z[n−k]))/(2i),
+    // then multiply pointwise. Done in one pass over conjugate pairs.
+    let mut prod = vec![Complex::ZERO; n];
+    for k in 0..n {
+        let k_rev = if k == 0 { 0 } else { n - k };
+        let zk = z[k];
+        let zr = z[k_rev].conj();
+        let ak = zk.add(zr).scale(0.5);
+        let bk = Complex::new(
+            0.5 * (zk.im - zr.im),
+            -0.5 * (zk.re - zr.re),
+        );
+        prod[k] = ak.mul(bk);
+    }
+    fft_in_place(&mut prod, true);
+
+    prod.into_iter()
+        .take(out_len)
+        .map(|c| if c.re < 0.0 { 0.0 } else { c.re })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                out[i + j] += x * y;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn next_pow2_rounds_up() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1000), 1024);
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_signal() {
+        let original: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut data = original.clone();
+        fft_in_place(&mut data, false);
+        fft_in_place(&mut data, true);
+        for (o, r) in original.iter().zip(&data) {
+            assert!((o.re - r.re).abs() < 1e-10);
+            assert!((o.im - r.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut data, false);
+        for c in &data {
+            assert!((c.re - 1.0).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convolve_real_matches_naive_small() {
+        let a = [0.25, 0.5, 0.25];
+        let b = [0.1, 0.9];
+        let fft = convolve_real(&a, &b);
+        let naive = naive_convolve(&a, &b);
+        assert_eq!(fft.len(), naive.len());
+        for (x, y) in fft.iter().zip(&naive) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convolve_real_matches_naive_asymmetric_lengths() {
+        let a: Vec<f64> = (0..57).map(|i| ((i * 37) % 11) as f64 / 55.0).collect();
+        let b: Vec<f64> = (0..9).map(|i| ((i * 13) % 7) as f64 / 21.0).collect();
+        let fft = convolve_real(&a, &b);
+        let naive = naive_convolve(&a, &b);
+        for (x, y) in fft.iter().zip(&naive) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convolve_real_single_elements() {
+        let out = convolve_real(&[0.5], &[0.25]);
+        assert_eq!(out.len(), 1);
+        assert!((out[0] - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_preserves_total_mass() {
+        let a: Vec<f64> = vec![1.0 / 300.0; 300];
+        let b: Vec<f64> = vec![1.0 / 200.0; 200];
+        let out = convolve_real(&a, &b);
+        let total: f64 = out.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,585 @@
+//! Discrete probability mass functions over integer time bins.
+//!
+//! A [`Pmf`] is the core representation of both Probabilistic Execution
+//! Times (PET matrix entries) and Probabilistic Completion Times (PCT) in
+//! the paper. The support is a contiguous window `[offset, offset + len)`
+//! of bins plus an optional *tail mass*: probability lumped "beyond the
+//! modelled horizon". Tail mass arises when a PCT is truncated — completion
+//! times that far out can never meet any feasible deadline, so the success
+//! probability semantics (Eq. 2) are preserved exactly by the lumping.
+
+use crate::cdf::Cdf;
+use crate::{Bin, ProbError, MASS_TOLERANCE};
+use serde::{Deserialize, Serialize};
+
+/// A discrete probability mass function over integer bins.
+///
+/// Invariants maintained by every constructor and operation:
+///
+/// * `probs` is non-empty, and its first and last entries are non-zero
+///   (the support window is trimmed), unless the entire mass is tail mass;
+/// * every entry is finite and non-negative;
+/// * `mass() = Σ probs + tail_mass` stays within rounding error of the
+///   input mass (exactly 1.0 for normalised PMFs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pmf {
+    /// Bin index of `probs[0]`.
+    offset: Bin,
+    /// Probability of each bin starting at `offset`.
+    probs: Vec<f64>,
+    /// Probability mass lumped beyond the represented window ("very late").
+    tail_mass: f64,
+}
+
+impl Pmf {
+    /// Builds a PMF from `(bin, probability)` points.
+    ///
+    /// Points may be unordered; probabilities of duplicate bins accumulate.
+    /// Returns an error if no point carries positive mass or any
+    /// probability is negative/non-finite.
+    pub fn from_points(points: &[(Bin, f64)]) -> Result<Self, ProbError> {
+        for &(_, p) in points {
+            if !p.is_finite() || p < 0.0 {
+                return Err(ProbError::InvalidProbability(p));
+            }
+        }
+        let lo = points
+            .iter()
+            .filter(|&&(_, p)| p > 0.0)
+            .map(|&(b, _)| b)
+            .min()
+            .ok_or(ProbError::EmptySupport)?;
+        let hi = points
+            .iter()
+            .filter(|&&(_, p)| p > 0.0)
+            .map(|&(b, _)| b)
+            .max()
+            .expect("non-empty by the min() check above");
+        let mut probs = vec![0.0; (hi - lo + 1) as usize];
+        for &(b, p) in points {
+            if p > 0.0 {
+                probs[(b - lo) as usize] += p;
+            }
+        }
+        Ok(Self { offset: lo, probs, tail_mass: 0.0 })
+    }
+
+    /// A PMF that is 1 with certainty at `bin` (deterministic duration).
+    pub fn point_mass(bin: Bin) -> Self {
+        Self { offset: bin, probs: vec![1.0], tail_mass: 0.0 }
+    }
+
+    /// Builds a PMF directly from a dense window. Used internally by
+    /// convolution and the histogram pipeline; trims zero edges.
+    pub(crate) fn from_dense(offset: Bin, probs: Vec<f64>, tail_mass: f64) -> Self {
+        let mut pmf = Self { offset, probs, tail_mass };
+        pmf.trim();
+        pmf
+    }
+
+    /// Removes zero-probability bins from both edges of the window.
+    fn trim(&mut self) {
+        let first_nz = self.probs.iter().position(|&p| p > 0.0);
+        match first_nz {
+            None => {
+                // All mass is tail mass (or the PMF is degenerate): keep a
+                // single zero bin so the window stays well-formed.
+                self.probs.truncate(1);
+                if self.probs.is_empty() {
+                    self.probs.push(0.0);
+                }
+            }
+            Some(first) => {
+                let last = self
+                    .probs
+                    .iter()
+                    .rposition(|&p| p > 0.0)
+                    .expect("a first non-zero implies a last non-zero");
+                self.probs.drain(..first);
+                self.probs.truncate(last - first + 1);
+                self.offset += first as Bin;
+            }
+        }
+    }
+
+    /// First bin of the support window.
+    #[inline]
+    pub fn min_bin(&self) -> Bin {
+        self.offset
+    }
+
+    /// Last bin of the support window.
+    #[inline]
+    pub fn max_bin(&self) -> Bin {
+        self.offset + (self.probs.len() as Bin - 1)
+    }
+
+    /// Number of bins in the support window.
+    #[inline]
+    pub fn support_len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Probability of exactly `bin`.
+    #[inline]
+    pub fn prob_at(&self, bin: Bin) -> f64 {
+        if bin < self.offset {
+            return 0.0;
+        }
+        let idx = (bin - self.offset) as usize;
+        self.probs.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Probability mass lumped beyond the represented window.
+    #[inline]
+    pub fn tail_mass(&self) -> f64 {
+        self.tail_mass
+    }
+
+    /// Total probability mass (should be 1.0 for normalised PMFs).
+    pub fn mass(&self) -> f64 {
+        self.probs.iter().sum::<f64>() + self.tail_mass
+    }
+
+    /// Whether the total mass is within [`MASS_TOLERANCE`] of 1.
+    pub fn is_normalised(&self) -> bool {
+        (self.mass() - 1.0).abs() <= MASS_TOLERANCE
+    }
+
+    /// Rescales all mass (window and tail) so that it sums to exactly 1.
+    ///
+    /// Returns an error if the PMF carries no mass at all.
+    pub fn normalise(&mut self) -> Result<(), ProbError> {
+        let total = self.mass();
+        if total <= 0.0 || !total.is_finite() {
+            return Err(ProbError::EmptySupport);
+        }
+        let inv = 1.0 / total;
+        for p in &mut self.probs {
+            *p *= inv;
+        }
+        self.tail_mass *= inv;
+        Ok(())
+    }
+
+    /// `P(X <= bin)` — the CDF evaluated at `bin`.
+    ///
+    /// Mass lumped in the tail never counts: it is "later than the horizon"
+    /// by construction.
+    pub fn cdf_at(&self, bin: Bin) -> f64 {
+        if bin < self.offset {
+            return 0.0;
+        }
+        let upto = ((bin - self.offset) as usize).min(self.probs.len() - 1);
+        self.probs[..=upto].iter().sum()
+    }
+
+    /// Probability that the value is `<= deadline_bin` — the paper's
+    /// *chance of success* (Eq. 2) when `self` is a PCT distribution.
+    #[inline]
+    pub fn success_probability(&self, deadline_bin: Bin) -> f64 {
+        self.cdf_at(deadline_bin).clamp(0.0, 1.0)
+    }
+
+    /// Expected bin, counting tail mass as sitting at `tail_at`.
+    ///
+    /// For PMFs without tail mass the argument is irrelevant; for truncated
+    /// PCTs, passing the truncation horizon yields a lower bound on the true
+    /// expectation, which is the standard treatment because such tasks are
+    /// doomed to miss their deadline anyway.
+    pub fn expectation_with_tail_at(&self, tail_at: Bin) -> f64 {
+        let window: f64 = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * (self.offset + i as Bin) as f64)
+            .sum();
+        window + self.tail_mass * tail_at as f64
+    }
+
+    /// Expected bin, ignoring tail mass placement (tail counted at the end
+    /// of the window). Convenient for PMFs that have no tail mass.
+    pub fn expectation(&self) -> f64 {
+        self.expectation_with_tail_at(self.max_bin())
+    }
+
+    /// Variance of the bin value (tail mass counted at the window end).
+    pub fn variance(&self) -> f64 {
+        let mean = self.expectation();
+        let tail_at = self.max_bin() as f64;
+        let ex2: f64 = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let x = (self.offset + i as Bin) as f64;
+                p * x * x
+            })
+            .sum::<f64>()
+            + self.tail_mass * tail_at * tail_at;
+        (ex2 - mean * mean).max(0.0)
+    }
+
+    /// Smallest bin `b` with `P(X <= b) >= q`. Tail mass means the quantile
+    /// may lie beyond the window, in which case `None` is returned.
+    pub fn quantile(&self, q: f64) -> Option<Bin> {
+        let q = q.clamp(0.0, 1.0);
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if acc + 1e-12 >= q {
+                return Some(self.offset + i as Bin);
+            }
+        }
+        None
+    }
+
+    /// Shifts the whole distribution right by `bins` (e.g. anchoring a
+    /// relative PET at an absolute start time).
+    pub fn shift(&self, bins: Bin) -> Self {
+        Self {
+            offset: self.offset + bins,
+            probs: self.probs.clone(),
+            tail_mass: self.tail_mass,
+        }
+    }
+
+    /// Truncates the window at `horizon`: mass at bins `> horizon` is moved
+    /// into the tail. Keeps success-probability queries for any deadline
+    /// `<= horizon` exact while bounding memory and convolution cost.
+    pub fn truncate_to_horizon(&mut self, horizon: Bin) {
+        if self.max_bin() <= horizon {
+            return;
+        }
+        if horizon < self.offset {
+            // Entire window is beyond the horizon.
+            self.tail_mass += self.probs.iter().sum::<f64>();
+            self.probs.clear();
+            self.probs.push(0.0);
+            self.offset = horizon;
+            return;
+        }
+        let keep = (horizon - self.offset + 1) as usize;
+        let moved: f64 = self.probs[keep..].iter().sum();
+        self.probs.truncate(keep);
+        self.tail_mass += moved;
+        self.trim();
+    }
+
+    /// Conditions on `X > bin`, renormalising the remaining mass.
+    ///
+    /// This is how the simulator models a task that has been executing
+    /// since `start` and is still running at `now`: its completion
+    /// distribution is the started-shifted PET conditioned on not having
+    /// completed yet (Salehi et al., JPDC 2016).
+    ///
+    /// If no mass remains above `bin` (the task has outlived its entire
+    /// modelled distribution), the result collapses to a point mass at
+    /// `bin + 1` — "completion is imminent" — which is the standard
+    /// fallback and keeps downstream convolutions well-defined.
+    pub fn condition_greater_than(&self, bin: Bin) -> Self {
+        if bin < self.offset {
+            return self.clone();
+        }
+        let cut = (bin - self.offset + 1) as usize; // first index to keep
+        if cut >= self.probs.len() && self.tail_mass <= 0.0 {
+            return Self::point_mass(bin + 1);
+        }
+        let kept: Vec<f64> = self.probs.get(cut..).unwrap_or(&[]).to_vec();
+        let remaining: f64 = kept.iter().sum::<f64>() + self.tail_mass;
+        if remaining <= 1e-12 {
+            return Self::point_mass(bin + 1);
+        }
+        let inv = 1.0 / remaining;
+        let probs: Vec<f64> = kept.iter().map(|p| p * inv).collect();
+        let mut out = Self {
+            offset: bin + 1,
+            probs: if probs.is_empty() { vec![0.0] } else { probs },
+            tail_mass: self.tail_mass * inv,
+        };
+        out.trim();
+        out
+    }
+
+    /// Convolution `self ∗ other` (Eq. 1 of the paper): the distribution of
+    /// the sum of two independent bin-valued variables.
+    ///
+    /// Offsets add; tail mass combines as `1 - (1-t₁)(1-t₂)` because any
+    /// outcome involving either tail is itself beyond the horizon.
+    /// Dispatches to the FFT path for large supports.
+    pub fn convolve(&self, other: &Pmf) -> Pmf {
+        crate::convolve::convolve(self, other)
+    }
+
+    /// A weighted mixture of PMFs: `Σ wᵢ · pmfᵢ`. Weights are normalised.
+    /// Useful for aggregating PET entries across task or machine types.
+    pub fn mixture(parts: &[(f64, &Pmf)]) -> Result<Pmf, ProbError> {
+        let wsum: f64 = parts.iter().map(|&(w, _)| w).sum();
+        if parts.is_empty() || wsum <= 0.0 {
+            return Err(ProbError::EmptySupport);
+        }
+        let lo = parts.iter().map(|(_, p)| p.min_bin()).min().unwrap();
+        let hi = parts.iter().map(|(_, p)| p.max_bin()).max().unwrap();
+        let mut probs = vec![0.0; (hi - lo + 1) as usize];
+        let mut tail = 0.0;
+        for &(w, pmf) in parts {
+            let w = w / wsum;
+            tail += w * pmf.tail_mass;
+            for (i, &p) in pmf.probs.iter().enumerate() {
+                probs[(pmf.offset - lo) as usize + i] += w * p;
+            }
+        }
+        Ok(Pmf::from_dense(lo, probs, tail))
+    }
+
+    /// Read-only view of the dense probability window (starting at
+    /// [`Pmf::min_bin`]).
+    pub fn dense_probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Iterates `(bin, probability)` pairs over the support window.
+    pub fn iter(&self) -> impl Iterator<Item = (Bin, f64)> + '_ {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(move |(i, &p)| (self.offset + i as Bin, p))
+    }
+
+    /// Builds the cumulative view of this PMF.
+    pub fn to_cdf(&self) -> Cdf {
+        Cdf::from_pmf(self)
+    }
+
+    /// Draws one sample (a bin) from this PMF using the supplied uniform
+    /// variate `u ∈ [0, 1)`. Tail mass maps to `None` ("beyond horizon").
+    pub fn sample_with(&self, u: f64) -> Option<Bin> {
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return Some(self.offset + i as Bin);
+            }
+        }
+        if self.tail_mass > 0.0 {
+            None
+        } else {
+            // Rounding left u just above the accumulated mass: clamp to the
+            // last bin of the window.
+            Some(self.max_bin())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn from_points_builds_trimmed_window() {
+        let pmf = Pmf::from_points(&[(5, 0.25), (8, 0.75)]).unwrap();
+        assert_eq!(pmf.min_bin(), 5);
+        assert_eq!(pmf.max_bin(), 8);
+        assert_eq!(pmf.support_len(), 4);
+        assert!(approx(pmf.prob_at(5), 0.25));
+        assert!(approx(pmf.prob_at(6), 0.0));
+        assert!(approx(pmf.prob_at(8), 0.75));
+        assert!(pmf.is_normalised());
+    }
+
+    #[test]
+    fn from_points_accumulates_duplicates() {
+        let pmf = Pmf::from_points(&[(3, 0.2), (3, 0.3), (4, 0.5)]).unwrap();
+        assert!(approx(pmf.prob_at(3), 0.5));
+        assert!(pmf.is_normalised());
+    }
+
+    #[test]
+    fn from_points_rejects_empty_and_negative() {
+        assert_eq!(Pmf::from_points(&[]), Err(ProbError::EmptySupport));
+        assert_eq!(
+            Pmf::from_points(&[(1, 0.0)]),
+            Err(ProbError::EmptySupport)
+        );
+        assert!(matches!(
+            Pmf::from_points(&[(1, -0.5)]),
+            Err(ProbError::InvalidProbability(_))
+        ));
+    }
+
+    #[test]
+    fn point_mass_is_certain() {
+        let pmf = Pmf::point_mass(42);
+        assert!(approx(pmf.prob_at(42), 1.0));
+        assert!(approx(pmf.cdf_at(41), 0.0));
+        assert!(approx(pmf.cdf_at(42), 1.0));
+        assert!(approx(pmf.expectation(), 42.0));
+        assert!(approx(pmf.variance(), 0.0));
+    }
+
+    #[test]
+    fn cdf_and_success_probability() {
+        let pmf =
+            Pmf::from_points(&[(1, 0.125), (2, 0.125), (3, 0.75)]).unwrap();
+        assert!(approx(pmf.cdf_at(0), 0.0));
+        assert!(approx(pmf.cdf_at(1), 0.125));
+        assert!(approx(pmf.cdf_at(2), 0.25));
+        assert!(approx(pmf.cdf_at(3), 1.0));
+        assert!(approx(pmf.cdf_at(100), 1.0));
+        assert!(approx(pmf.success_probability(2), 0.25));
+    }
+
+    #[test]
+    fn expectation_and_variance() {
+        // E = 1*0.5 + 3*0.5 = 2 ; Var = 0.5*(1-2)^2 + 0.5*(3-2)^2 = 1
+        let pmf = Pmf::from_points(&[(1, 0.5), (3, 0.5)]).unwrap();
+        assert!(approx(pmf.expectation(), 2.0));
+        assert!(approx(pmf.variance(), 1.0));
+    }
+
+    #[test]
+    fn quantiles() {
+        let pmf =
+            Pmf::from_points(&[(10, 0.25), (20, 0.5), (30, 0.25)]).unwrap();
+        assert_eq!(pmf.quantile(0.0), Some(10));
+        assert_eq!(pmf.quantile(0.25), Some(10));
+        assert_eq!(pmf.quantile(0.5), Some(20));
+        assert_eq!(pmf.quantile(0.75), Some(20));
+        assert_eq!(pmf.quantile(1.0), Some(30));
+    }
+
+    #[test]
+    fn quantile_beyond_horizon_is_none() {
+        let mut pmf = Pmf::from_points(&[(1, 0.5), (100, 0.5)]).unwrap();
+        pmf.truncate_to_horizon(50);
+        assert_eq!(pmf.quantile(0.9), None);
+    }
+
+    #[test]
+    fn shift_moves_support() {
+        let pmf = Pmf::from_points(&[(1, 0.5), (2, 0.5)]).unwrap();
+        let shifted = pmf.shift(100);
+        assert_eq!(shifted.min_bin(), 101);
+        assert_eq!(shifted.max_bin(), 102);
+        assert!(approx(shifted.expectation(), pmf.expectation() + 100.0));
+    }
+
+    #[test]
+    fn truncate_moves_mass_to_tail() {
+        let mut pmf =
+            Pmf::from_points(&[(1, 0.25), (5, 0.25), (9, 0.5)]).unwrap();
+        pmf.truncate_to_horizon(5);
+        assert!(approx(pmf.tail_mass(), 0.5));
+        assert_eq!(pmf.max_bin(), 5);
+        assert!(approx(pmf.mass(), 1.0));
+        // Success probability for deadlines within the horizon unchanged.
+        assert!(approx(pmf.success_probability(5), 0.5));
+        assert!(approx(pmf.success_probability(4), 0.25));
+    }
+
+    #[test]
+    fn truncate_below_support_lumps_everything() {
+        let mut pmf = Pmf::from_points(&[(10, 1.0)]).unwrap();
+        pmf.truncate_to_horizon(5);
+        assert!(approx(pmf.tail_mass(), 1.0));
+        assert!(approx(pmf.success_probability(1_000), 0.0));
+    }
+
+    #[test]
+    fn truncate_is_noop_within_horizon() {
+        let mut pmf = Pmf::from_points(&[(1, 0.5), (2, 0.5)]).unwrap();
+        let before = pmf.clone();
+        pmf.truncate_to_horizon(10);
+        assert_eq!(pmf, before);
+    }
+
+    #[test]
+    fn condition_greater_than_renormalises() {
+        let pmf =
+            Pmf::from_points(&[(1, 0.25), (2, 0.25), (3, 0.5)]).unwrap();
+        let cond = pmf.condition_greater_than(1);
+        assert_eq!(cond.min_bin(), 2);
+        assert!(approx(cond.prob_at(2), 0.25 / 0.75));
+        assert!(approx(cond.prob_at(3), 0.5 / 0.75));
+        assert!(cond.is_normalised());
+    }
+
+    #[test]
+    fn condition_below_support_is_identity() {
+        let pmf = Pmf::from_points(&[(5, 1.0)]).unwrap();
+        let cond = pmf.condition_greater_than(2);
+        assert_eq!(cond, pmf);
+    }
+
+    #[test]
+    fn condition_past_support_collapses_to_imminent() {
+        let pmf = Pmf::from_points(&[(1, 0.5), (2, 0.5)]).unwrap();
+        let cond = pmf.condition_greater_than(7);
+        assert_eq!(cond, Pmf::point_mass(8));
+    }
+
+    #[test]
+    fn condition_keeps_tail_mass_normalised() {
+        let mut pmf = Pmf::from_points(&[(1, 0.5), (10, 0.5)]).unwrap();
+        pmf.truncate_to_horizon(5); // 0.5 in window at bin 1, 0.5 tail
+        let cond = pmf.condition_greater_than(1);
+        // Only the tail remains: it renormalises to probability 1 beyond
+        // the horizon, so success is impossible.
+        assert!(approx(cond.tail_mass(), 1.0));
+        assert!(approx(cond.success_probability(1_000_000), 0.0));
+    }
+
+    #[test]
+    fn normalise_scales_mass_to_one() {
+        let mut pmf = Pmf::from_points(&[(1, 2.0), (2, 6.0)]).unwrap();
+        assert!(!pmf.is_normalised());
+        pmf.normalise().unwrap();
+        assert!(pmf.is_normalised());
+        assert!(approx(pmf.prob_at(1), 0.25));
+        assert!(approx(pmf.prob_at(2), 0.75));
+    }
+
+    #[test]
+    fn mixture_weights_components() {
+        let a = Pmf::point_mass(1);
+        let b = Pmf::point_mass(3);
+        let mix = Pmf::mixture(&[(1.0, &a), (3.0, &b)]).unwrap();
+        assert!(approx(mix.prob_at(1), 0.25));
+        assert!(approx(mix.prob_at(3), 0.75));
+        assert!(mix.is_normalised());
+    }
+
+    #[test]
+    fn mixture_rejects_empty() {
+        assert!(Pmf::mixture(&[]).is_err());
+    }
+
+    #[test]
+    fn sample_with_maps_uniform_to_bins() {
+        let pmf = Pmf::from_points(&[(1, 0.25), (4, 0.75)]).unwrap();
+        assert_eq!(pmf.sample_with(0.0), Some(1));
+        assert_eq!(pmf.sample_with(0.2499), Some(1));
+        assert_eq!(pmf.sample_with(0.25), Some(4));
+        assert_eq!(pmf.sample_with(0.999), Some(4));
+    }
+
+    #[test]
+    fn sample_with_tail_mass_yields_none() {
+        let mut pmf = Pmf::from_points(&[(1, 0.5), (100, 0.5)]).unwrap();
+        pmf.truncate_to_horizon(10);
+        assert_eq!(pmf.sample_with(0.49), Some(1));
+        assert_eq!(pmf.sample_with(0.51), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let pmf = Pmf::from_points(&[(3, 0.5), (9, 0.5)]).unwrap();
+        let json = serde_json::to_string(&pmf).unwrap();
+        let back: Pmf = serde_json::from_str(&json).unwrap();
+        assert_eq!(pmf, back);
+    }
+}

@@ -1,0 +1,188 @@
+//! The sampling abstraction shared by all continuous distributions.
+
+use rand::Rng;
+
+/// A distribution from which `f64` values can be drawn.
+pub trait Sampler {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Draws `n` values into a vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// The uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// Creates a uniform distribution on `[lo, hi)`. Requires `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "uniform range must be non-empty");
+        Self { lo, hi }
+    }
+}
+
+impl Sampler for UniformRange {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.random::<f64>()
+    }
+}
+
+/// One standard normal variate via the Marsaglia polar method.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.random::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// The normal distribution `N(mean, sd²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution. `sd` must be non-negative.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd >= 0.0 && sd.is_finite(), "sd must be non-negative");
+        Self { mean, sd }
+    }
+}
+
+impl Sampler for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`. Used for the
+/// task–machine affinity noise that makes the synthetic PET matrix
+/// *inconsistently* heterogeneous.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the underlying normal's
+    /// parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        Self { mu, sigma }
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// The log-uniform (reciprocal) distribution on `[lo, hi)`: uniform in
+/// log-space, so each octave of the range is equally likely. Models the
+/// wide spread of task base execution times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogUniform {
+    ln_lo: f64,
+    ln_hi: f64,
+}
+
+impl LogUniform {
+    /// Creates a log-uniform distribution on `[lo, hi)`; both ends must be
+    /// positive and `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && hi > lo, "log-uniform needs 0 < lo < hi");
+        Self { ln_lo: lo.ln(), ln_hi: hi.ln() }
+    }
+}
+
+impl Sampler for LogUniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.ln_lo + (self.ln_hi - self.ln_lo) * rng.random::<f64>()).exp()
+    }
+}
+
+/// The exponential distribution with the given mean (`rate = 1/mean`).
+/// Used for Poisson-process inter-arrival experiments in the test suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given mean.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+        Self { mean }
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; guard u=0 which would yield +inf.
+        let u: f64 = rng.random::<f64>();
+        -self.mean * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let u = UniformRange::new(2.0, 5.0);
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        for _ in 0..10_000 {
+            let x = u.sample(&mut rng);
+            assert!((2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean() {
+        let u = UniformRange::new(0.8, 2.5);
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        let n = 100_000;
+        let mean = u.sample_n(&mut rng, n).iter().sum::<f64>() / n as f64;
+        assert!((mean - 1.65).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn uniform_rejects_empty_range() {
+        UniformRange::new(3.0, 3.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let e = Exponential::new(4.0);
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let n = 200_000;
+        let mean = e.sample_n(&mut rng, n).iter().sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let e = Exponential::new(0.001);
+        let mut rng = Xoshiro256PlusPlus::new(4);
+        for _ in 0..10_000 {
+            assert!(e.sample(&mut rng) >= 0.0);
+        }
+    }
+}

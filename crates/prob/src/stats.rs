@@ -1,0 +1,260 @@
+//! Summary statistics for the experiment protocol.
+//!
+//! §V-A: "30 workload trials were performed … the mean and 95 % confidence
+//! interval of the results are reported". [`SummaryStats`] implements that
+//! aggregation with a Student-t critical value (the paper's n = 30 sits
+//! squarely in small-sample territory where z = 1.96 underestimates).
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / spread / confidence summary of a set of trial results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected).
+    pub std_dev: f64,
+    /// Half-width of the 95 % confidence interval around the mean.
+    pub ci95_half_width: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl SummaryStats {
+    /// Computes summary statistics over `values`. Returns `None` for an
+    /// empty input.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        // Welford's online algorithm: numerically stable single pass.
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (i, &x) in values.iter().enumerate() {
+            let delta = x - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let var = if n > 1 { m2 / (n - 1) as f64 } else { 0.0 };
+        let std_dev = var.max(0.0).sqrt();
+        let half = if n > 1 {
+            t_critical_95(n - 1) * std_dev / (n as f64).sqrt()
+        } else {
+            0.0
+        };
+        Some(Self { n, mean, std_dev, ci95_half_width: half, min, max })
+    }
+
+    /// Lower edge of the 95 % confidence interval.
+    pub fn ci95_low(&self) -> f64 {
+        self.mean - self.ci95_half_width
+    }
+
+    /// Upper edge of the 95 % confidence interval.
+    pub fn ci95_high(&self) -> f64 {
+        self.mean + self.ci95_half_width
+    }
+
+    /// Formats as `mean ± half-width`, the way the paper reports series.
+    pub fn display_pm(&self, decimals: usize) -> String {
+        format!(
+            "{:.prec$} ± {:.prec$}",
+            self.mean,
+            self.ci95_half_width,
+            prec = decimals
+        )
+    }
+}
+
+/// Two-sided 95 % Student-t critical value for the given degrees of
+/// freedom. Table for small df (where the correction matters), asymptotic
+/// 1.96 beyond.
+pub fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.960,
+    }
+}
+
+/// Welch's t statistic and approximate degrees of freedom
+/// (Welch–Satterthwaite) for two independent samples — the correct test
+/// for "is configuration A's robustness really above B's?" when
+/// variances differ.
+///
+/// Returns `None` if either sample has fewer than two observations.
+pub fn welch_t(a: &SummaryStats, b: &SummaryStats) -> Option<(f64, f64)> {
+    if a.n < 2 || b.n < 2 {
+        return None;
+    }
+    let va = a.std_dev * a.std_dev / a.n as f64;
+    let vb = b.std_dev * b.std_dev / b.n as f64;
+    let se = (va + vb).sqrt();
+    if se == 0.0 {
+        // Zero variance in both samples: any mean gap is exact.
+        let t = if a.mean == b.mean { 0.0 } else { f64::INFINITY };
+        return Some((t * (a.mean - b.mean).signum().abs(), f64::INFINITY));
+    }
+    let t = (a.mean - b.mean) / se;
+    let df = (va + vb).powi(2)
+        / (va * va / (a.n as f64 - 1.0) + vb * vb / (b.n as f64 - 1.0));
+    Some((t, df))
+}
+
+/// Whether sample `a`'s mean is significantly above `b`'s at the 95 %
+/// level (one-sided Welch test, using the two-sided 95 % critical value
+/// — conservative).
+pub fn significantly_above(a: &SummaryStats, b: &SummaryStats) -> bool {
+    match welch_t(a, b) {
+        None => false,
+        Some((t, df)) => {
+            let critical = t_critical_95(df.floor().max(1.0) as usize);
+            t > critical
+        }
+    }
+}
+
+/// Percentile of a sample (nearest-rank on a sorted copy). `p` in \[0,100\].
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(SummaryStats::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = SummaryStats::from_values(&[5.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width, 0.0);
+    }
+
+    #[test]
+    fn known_mean_and_std() {
+        let s = SummaryStats::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+            .unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance = 32/7.
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn ci_uses_t_distribution_for_30_trials() {
+        // n=30 → df=29 → t=2.045, the paper's exact protocol.
+        let values: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let s = SummaryStats::from_values(&values).unwrap();
+        let expected = 2.045 * s.std_dev / 30f64.sqrt();
+        assert!((s.ci95_half_width - expected).abs() < 1e-9);
+        assert!(s.ci95_low() < s.mean && s.mean < s.ci95_high());
+    }
+
+    #[test]
+    fn t_table_is_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for df in 1..200 {
+            let t = t_critical_95(df);
+            assert!(t <= prev, "df={df}");
+            prev = t;
+        }
+        assert_eq!(t_critical_95(1_000_000), 1.96);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), Some(15.0));
+        assert_eq!(percentile(&v, 30.0), Some(20.0));
+        assert_eq!(percentile(&v, 40.0), Some(20.0));
+        assert_eq!(percentile(&v, 50.0), Some(35.0));
+        assert_eq!(percentile(&v, 100.0), Some(50.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn display_pm_formats() {
+        let s = SummaryStats::from_values(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.display_pm(1), format!("2.0 ± {:.1}", s.ci95_half_width));
+    }
+
+    #[test]
+    fn welch_t_detects_separated_samples() {
+        let a = SummaryStats::from_values(&[70.0, 71.0, 69.5, 70.5, 70.2])
+            .unwrap();
+        let b = SummaryStats::from_values(&[60.0, 61.0, 59.5, 60.5, 60.2])
+            .unwrap();
+        let (t, df) = welch_t(&a, &b).unwrap();
+        assert!(t > 10.0, "t={t}");
+        assert!(df > 3.0 && df < 9.0, "df={df}");
+        assert!(significantly_above(&a, &b));
+        assert!(!significantly_above(&b, &a));
+    }
+
+    #[test]
+    fn welch_t_on_overlapping_samples_is_insignificant() {
+        let a =
+            SummaryStats::from_values(&[50.0, 55.0, 45.0, 52.0]).unwrap();
+        let b =
+            SummaryStats::from_values(&[49.0, 54.0, 46.0, 51.0]).unwrap();
+        assert!(!significantly_above(&a, &b));
+    }
+
+    #[test]
+    fn welch_t_needs_two_observations() {
+        let a = SummaryStats::from_values(&[1.0]).unwrap();
+        let b = SummaryStats::from_values(&[2.0, 3.0]).unwrap();
+        assert!(welch_t(&a, &b).is_none());
+        assert!(!significantly_above(&a, &b));
+    }
+
+    #[test]
+    fn welch_t_zero_variance() {
+        let a = SummaryStats::from_values(&[5.0, 5.0, 5.0]).unwrap();
+        let b = SummaryStats::from_values(&[5.0, 5.0]).unwrap();
+        let (t, _) = welch_t(&a, &b).unwrap();
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case for naive two-pass sums.
+        let base = 1e9;
+        let values: Vec<f64> = (0..1000).map(|i| base + (i % 7) as f64).collect();
+        let s = SummaryStats::from_values(&values).unwrap();
+        assert!(s.std_dev > 0.0 && s.std_dev < 10.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Extra moment tests for the Normal / LogNormal / LogUniform samplers.
+//! Kept in a separate module to keep `sampler.rs` focused.
+
+#![cfg(test)]
+
+use crate::rng::Xoshiro256PlusPlus;
+use crate::sampler::{LogNormal, LogUniform, Normal, Sampler};
+
+#[test]
+fn normal_moments() {
+    let d = Normal::new(3.0, 2.0);
+    let mut rng = Xoshiro256PlusPlus::new(41);
+    let n = 200_000;
+    let samples = d.sample_n(&mut rng, n);
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+        / (n - 1) as f64;
+    assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+    assert!((var - 4.0).abs() < 0.08, "var {var}");
+}
+
+#[test]
+fn normal_zero_sd_is_constant() {
+    let d = Normal::new(5.0, 0.0);
+    let mut rng = Xoshiro256PlusPlus::new(42);
+    for _ in 0..100 {
+        assert_eq!(d.sample(&mut rng), 5.0);
+    }
+}
+
+#[test]
+fn lognormal_mean_matches_formula() {
+    // E[LogNormal(mu, sigma)] = exp(mu + sigma^2/2).
+    let (mu, sigma) = (0.0, 0.35);
+    let d = LogNormal::new(mu, sigma);
+    let mut rng = Xoshiro256PlusPlus::new(43);
+    let n = 300_000;
+    let mean = d.sample_n(&mut rng, n).iter().sum::<f64>() / n as f64;
+    let expected = (mu + sigma * sigma / 2.0f64).exp();
+    assert!((mean - expected).abs() < 0.01, "mean {mean} vs {expected}");
+}
+
+#[test]
+fn lognormal_is_positive() {
+    let d = LogNormal::new(-1.0, 1.5);
+    let mut rng = Xoshiro256PlusPlus::new(44);
+    for _ in 0..10_000 {
+        assert!(d.sample(&mut rng) > 0.0);
+    }
+}
+
+#[test]
+fn loguniform_range_and_log_mean() {
+    let d = LogUniform::new(0.5, 8.0);
+    let mut rng = Xoshiro256PlusPlus::new(45);
+    let n = 200_000;
+    let samples = d.sample_n(&mut rng, n);
+    assert!(samples.iter().all(|&x| (0.5..8.0).contains(&x)));
+    // ln X is uniform on [ln 0.5, ln 8): its mean is the midpoint.
+    let log_mean = samples.iter().map(|x| x.ln()).sum::<f64>() / n as f64;
+    let expected = (0.5f64.ln() + 8.0f64.ln()) / 2.0;
+    assert!((log_mean - expected).abs() < 0.01);
+}
+
+#[test]
+#[should_panic(expected = "0 < lo < hi")]
+fn loguniform_rejects_nonpositive() {
+    LogUniform::new(0.0, 1.0);
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the probability substrate.
+//!
+//! These pin down the algebraic invariants the simulator relies on:
+//! convolution conserves and never invents probability mass, CDFs are
+//! monotone, the dot-product chance-of-success query agrees with the
+//! explicit convolution, and conditioning renormalises correctly.
+
+use proptest::prelude::*;
+use taskprune_prob::convolve::{convolve_direct, convolve_fft};
+use taskprune_prob::{Cdf, Pmf};
+
+/// Strategy: a normalised PMF with 1..=12 support points in bins 0..=600.
+fn arb_pmf() -> impl Strategy<Value = Pmf> {
+    prop::collection::vec((0u64..600, 1u32..1000), 1..12).prop_map(|pts| {
+        let points: Vec<(u64, f64)> =
+            pts.into_iter().map(|(b, w)| (b, w as f64)).collect();
+        let mut pmf = Pmf::from_points(&points).expect("non-empty");
+        pmf.normalise().expect("positive mass");
+        pmf
+    })
+}
+
+/// Strategy: a PMF that may carry tail mass (post-truncation).
+fn arb_truncated_pmf() -> impl Strategy<Value = Pmf> {
+    (arb_pmf(), 0u64..650).prop_map(|(mut pmf, horizon)| {
+        pmf.truncate_to_horizon(horizon);
+        pmf
+    })
+}
+
+proptest! {
+    #[test]
+    fn convolution_conserves_mass(a in arb_pmf(), b in arb_pmf()) {
+        let c = convolve_direct(&a, &b);
+        prop_assert!((c.mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_conserves_mass_with_tails(
+        a in arb_truncated_pmf(),
+        b in arb_truncated_pmf()
+    ) {
+        let c = convolve_direct(&a, &b);
+        prop_assert!((c.mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_expectation_adds(a in arb_pmf(), b in arb_pmf()) {
+        let c = convolve_direct(&a, &b);
+        let expected = a.expectation() + b.expectation();
+        prop_assert!((c.expectation() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn convolution_support_bounds(a in arb_pmf(), b in arb_pmf()) {
+        let c = convolve_direct(&a, &b);
+        prop_assert_eq!(c.min_bin(), a.min_bin() + b.min_bin());
+        prop_assert_eq!(c.max_bin(), a.max_bin() + b.max_bin());
+    }
+
+    #[test]
+    fn fft_agrees_with_direct(a in arb_pmf(), b in arb_pmf()) {
+        let d = convolve_direct(&a, &b);
+        let f = convolve_fft(&a, &b);
+        prop_assert_eq!(d.min_bin(), f.min_bin());
+        for bin in d.min_bin()..=d.max_bin() {
+            prop_assert!((d.prob_at(bin) - f.prob_at(bin)).abs() < 1e-9,
+                "bin {}: {} vs {}", bin, d.prob_at(bin), f.prob_at(bin));
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(pmf in arb_truncated_pmf()) {
+        let cdf = Cdf::from_pmf(&pmf);
+        let mut prev = 0.0;
+        for bin in 0..=pmf.max_bin() + 5 {
+            let v = cdf.at(bin);
+            prop_assert!(v >= prev - 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn success_query_equals_explicit_convolution(
+        pet in arb_pmf(),
+        tail in arb_pmf(),
+        deadline in 0u64..1400
+    ) {
+        let cdf = Cdf::from_pmf(&tail);
+        let via_dot = cdf.success_after(&pet, deadline);
+        let via_conv = convolve_direct(&pet, &tail)
+            .success_probability(deadline);
+        prop_assert!((via_dot - via_conv).abs() < 1e-9,
+            "dot {} vs conv {}", via_dot, via_conv);
+    }
+
+    #[test]
+    fn success_probability_monotone_in_deadline(
+        pmf in arb_truncated_pmf(),
+        d1 in 0u64..700,
+        d2 in 0u64..700
+    ) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(
+            pmf.success_probability(lo) <= pmf.success_probability(hi) + 1e-12
+        );
+    }
+
+    #[test]
+    fn conditioning_renormalises(pmf in arb_pmf(), cut in 0u64..700) {
+        let cond = pmf.condition_greater_than(cut);
+        prop_assert!((cond.mass() - 1.0).abs() < 1e-9);
+        prop_assert!(cond.min_bin() > cut || cut < pmf.min_bin());
+    }
+
+    #[test]
+    fn truncation_preserves_in_horizon_cdf(
+        pmf in arb_pmf(),
+        horizon in 0u64..700
+    ) {
+        let mut truncated = pmf.clone();
+        truncated.truncate_to_horizon(horizon);
+        for bin in 0..=horizon {
+            prop_assert!(
+                (truncated.cdf_at(bin) - pmf.cdf_at(bin)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf(pmf in arb_pmf(), q in 0.0f64..1.0) {
+        if let Some(bin) = pmf.quantile(q) {
+            // CDF at the quantile covers q; CDF just before does not.
+            prop_assert!(pmf.cdf_at(bin) + 1e-9 >= q);
+            if bin > pmf.min_bin() {
+                prop_assert!(pmf.cdf_at(bin - 1) < q + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_with_lands_in_support(pmf in arb_pmf(), u in 0.0f64..1.0) {
+        if let Some(bin) = pmf.sample_with(u) {
+            prop_assert!(bin >= pmf.min_bin() && bin <= pmf.max_bin());
+            prop_assert!(pmf.prob_at(bin) > 0.0 || pmf.support_len() == 1);
+        }
+    }
+
+    #[test]
+    fn mixture_mass_is_one(
+        a in arb_pmf(),
+        b in arb_pmf(),
+        w in 0.01f64..10.0
+    ) {
+        let mix = Pmf::mixture(&[(w, &a), (1.0, &b)]).unwrap();
+        prop_assert!((mix.mass() - 1.0).abs() < 1e-9);
+    }
+}

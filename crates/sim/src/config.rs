@@ -1,0 +1,78 @@
+//! Simulator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether the resource allocator runs in immediate or batch mode
+/// (Fig. 1a vs. 1b of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationMode {
+    /// Tasks are mapped to a machine the moment they arrive; there is no
+    /// arrival queue and machine queues are unbounded.
+    Immediate,
+    /// Arriving tasks wait in a batch queue; mapping happens at mapping
+    /// events and machine queues have bounded capacity.
+    Batch,
+}
+
+/// Static parameters of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Immediate or batch allocation.
+    pub mode: AllocationMode,
+    /// Waiting slots per machine queue (the paper never states its
+    /// value; 4 by default, swept by the queue-capacity ablation). In
+    /// immediate mode an arrival finding every queue full is rejected —
+    /// there is no arrival queue to wait in (Fig. 1a).
+    pub queue_capacity: usize,
+    /// Horizon (in PMF bins, relative to `now`) beyond which queue-chain
+    /// probability mass is lumped as "too late to matter". Must exceed
+    /// the largest feasible deadline slack; 256 bins = 64 time units at
+    /// the default bin width, ~6× the maximum Eq. 4 slack.
+    pub horizon_bins: u64,
+    /// If set, a task whose deadline passes while it is *executing* is
+    /// cancelled to free the machine. Off by default: §II only drops
+    /// *pending* tasks, and a non-preemptive machine runs to completion.
+    pub cancel_running_late: bool,
+    /// Seed for the simulator's own randomness (sampling actual
+    /// execution durations).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Batch-mode defaults used by the paper's main experiments.
+    pub fn batch(seed: u64) -> Self {
+        Self {
+            mode: AllocationMode::Batch,
+            queue_capacity: 4,
+            horizon_bins: 256,
+            cancel_running_late: false,
+            seed,
+        }
+    }
+
+    /// Immediate-mode defaults (Fig. 7a experiments).
+    pub fn immediate(seed: u64) -> Self {
+        Self { mode: AllocationMode::Immediate, ..Self::batch(seed) }
+    }
+
+    /// Returns the effective waiting-queue capacity for this mode.
+    pub fn effective_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let b = SimConfig::batch(1);
+        assert_eq!(b.mode, AllocationMode::Batch);
+        assert_eq!(b.effective_capacity(), 4);
+        let i = SimConfig::immediate(1);
+        assert_eq!(i.mode, AllocationMode::Immediate);
+        assert_eq!(i.effective_capacity(), 4);
+        assert!(!i.cancel_running_late);
+    }
+}

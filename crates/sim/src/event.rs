@@ -1,0 +1,186 @@
+//! The event queue driving the simulation.
+//!
+//! Two event kinds exist — task arrivals and machine completions — and
+//! both trigger a mapping event (§II: "a mapping event occurs when a task
+//! completes its execution or when a new task arrives"). Ordering is
+//! fully deterministic: by time, then completions before arrivals (free
+//! capacity before new demand at the same instant), then by stable ids.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use taskprune_model::{MachineId, SimTime, TaskId};
+
+/// A scheduled simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A machine finishes (or would finish) its running task.
+    /// `generation` guards against stale events after a cancellation:
+    /// each task start bumps the machine's generation, and completions
+    /// whose generation no longer matches are ignored.
+    Completion {
+        /// The machine that completes.
+        machine: MachineId,
+        /// Start-generation the event belongs to.
+        generation: u64,
+    },
+    /// A task arrives into the resource allocator.
+    Arrival {
+        /// Index into the trial's task list.
+        task: TaskId,
+    },
+    /// A synthetic mapping event: scheduled when tasks remain in the
+    /// batch queue but no arrival or completion will ever fire again
+    /// (every machine idle, all remaining work deferred). Guarantees the
+    /// deferred tasks are reconsidered — or reactively dropped — instead
+    /// of starving silently.
+    Wakeup,
+}
+
+impl EventKind {
+    /// Sort class: completions first at equal times.
+    fn class(&self) -> u8 {
+        match self {
+            EventKind::Completion { .. } => 0,
+            EventKind::Arrival { .. } => 1,
+            EventKind::Wakeup => 2,
+        }
+    }
+
+    /// Stable id used as the final tie-breaker.
+    fn stable_id(&self) -> u64 {
+        match self {
+            EventKind::Completion { machine, .. } => machine.0 as u64,
+            EventKind::Arrival { task } => task.0,
+            EventKind::Wakeup => 0,
+        }
+    }
+}
+
+/// An event with its firing time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.kind.class().cmp(&other.kind.class()))
+            .then_with(|| self.kind.stable_id().cmp(&other.kind.stable_id()))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-heap of events in deterministic firing order.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<std::cmp::Reverse<Event>>,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, event: Event) {
+        self.heap.push(std::cmp::Reverse(event));
+    }
+
+    /// Removes and returns the next event in firing order.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|r| r.0)
+    }
+
+    /// Next event without removing it.
+    pub fn peek(&self) -> Option<&Event> {
+        self.heap.peek().map(|r| &r.0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(t: u64, id: u64) -> Event {
+        Event {
+            time: SimTime(t),
+            kind: EventKind::Arrival { task: TaskId(id) },
+        }
+    }
+
+    fn completion(t: u64, m: u16) -> Event {
+        Event {
+            time: SimTime(t),
+            kind: EventKind::Completion {
+                machine: MachineId(m),
+                generation: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(arrival(30, 0));
+        q.push(arrival(10, 1));
+        q.push(arrival(20, 2));
+        assert_eq!(q.pop().unwrap().time, SimTime(10));
+        assert_eq!(q.pop().unwrap().time, SimTime(20));
+        assert_eq!(q.pop().unwrap().time, SimTime(30));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn completions_precede_arrivals_at_same_time() {
+        let mut q = EventQueue::new();
+        q.push(arrival(10, 0));
+        q.push(completion(10, 3));
+        let first = q.pop().unwrap();
+        assert!(matches!(first.kind, EventKind::Completion { .. }));
+    }
+
+    #[test]
+    fn stable_ids_break_remaining_ties() {
+        let mut q = EventQueue::new();
+        q.push(arrival(10, 5));
+        q.push(arrival(10, 2));
+        q.push(completion(10, 7));
+        q.push(completion(10, 1));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.kind.stable_id())
+            .collect();
+        assert_eq!(order, vec![1, 7, 2, 5]);
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(arrival(5, 0));
+        q.push(arrival(1, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek().unwrap().time, SimTime(1));
+        assert_eq!(q.len(), 2);
+    }
+}

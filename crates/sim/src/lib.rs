@@ -1,0 +1,60 @@
+//! Discrete-event simulator of a heterogeneous serverless back-end.
+//!
+//! Implements the system model of §II of the paper (Fig. 1):
+//!
+//! * tasks arrive dynamically and enter either machine queues directly
+//!   (**immediate mode**) or a batch/arrival queue (**batch mode**);
+//! * a *mapping event* fires on every task arrival and completion; before
+//!   any mapping decision, tasks that already missed their deadline are
+//!   dropped (reactive dropping);
+//! * machine queues are FCFS, non-preemptive, and tasks are never
+//!   remapped once assigned;
+//! * every machine queue tracks the **Probabilistic Completion Time** of
+//!   its tail incrementally (Eq. 1: `PCT(i,j) = PET(i,j) ∗ PCT(i−1,j)`),
+//!   enabling O(PET-support) chance-of-success queries (Eq. 2) without
+//!   re-convolving the whole queue;
+//! * the mapper ([`BatchMapper`] / [`ImmediateMapper`]) and the pruning
+//!   policy ([`Pruner`]) are plug-ins, so the pruning mechanism can be
+//!   attached to any heuristic "without altering it" (Fig. 1c).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod queue;
+pub mod stats;
+pub mod trace;
+pub mod traits;
+pub mod view;
+
+pub mod queue_testing {
+    //! Helpers for constructing machine-queue state outside the engine —
+    //! used by heuristic unit tests and the micro-benchmarks.
+
+    use crate::queue::MachineQueue;
+    use taskprune_model::Cluster;
+
+    /// Builds one empty queue per cluster machine.
+    pub fn make_queues(
+        cluster: &Cluster,
+        capacity: usize,
+        horizon_bins: u64,
+    ) -> Vec<MachineQueue> {
+        cluster
+            .machines()
+            .iter()
+            .map(|&m| MachineQueue::new(m, capacity, horizon_bins))
+            .collect()
+    }
+}
+
+pub use config::{AllocationMode, SimConfig};
+pub use engine::Engine;
+pub use stats::SimStats;
+pub use trace::{QueueSnapshot, TraceEvent, TraceLog};
+pub use traits::{
+    Assignment, BatchMapper, EventReport, ImmediateMapper, MappingStrategy,
+    NoPruning, Pruner,
+};
+pub use view::SystemView;

@@ -1,0 +1,697 @@
+//! Per-machine FCFS queues with probabilistic completion-time tracking.
+//!
+//! Each machine holds at most one *running* task (non-preemptive, §II)
+//! and a bounded FCFS queue of *waiting* tasks. Alongside the plain
+//! queue, the estimator state implements Eq. 1 incrementally:
+//!
+//! * `prefix_pmfs[i]` is the convolution of the PETs of the first `i`
+//!   waiting tasks (a *relative duration* distribution);
+//! * the *base* is the absolute-time completion distribution of the
+//!   running task, conditioned on it not having finished yet (or a point
+//!   mass at `now` for an idle machine);
+//! * the PCT of waiting task `i` is `base ∗ prefix_pmfs[i] ∗ PET(i)`, and
+//!   its chance of success (Eq. 2) is evaluated as a double dot product
+//!   without materialising that convolution.
+//!
+//! Chains are truncated at a configurable horizon: probability mass that
+//! far in the future can never contribute to an on-time completion, so
+//! success queries stay exact (see `taskprune-prob`'s tail-mass
+//! semantics).
+
+use std::collections::VecDeque;
+use taskprune_model::{
+    BinSpec, Machine, PetMatrix, SimTime, Task, TaskId,
+};
+use taskprune_prob::{Bin, Cdf, Pmf};
+
+/// The task currently executing on a machine.
+#[derive(Debug, Clone)]
+pub struct RunningTask {
+    /// The task itself.
+    pub task: Task,
+    /// When it started executing.
+    pub start: SimTime,
+    /// Ground-truth completion time (sampled by the engine). Estimators
+    /// must never read this; it exists so the engine can schedule the
+    /// completion event.
+    pub actual_finish: SimTime,
+}
+
+/// A machine's execution state plus the PCT estimator state.
+#[derive(Debug, Clone)]
+pub struct MachineQueue {
+    machine: Machine,
+    capacity: usize,
+    horizon_bins: u64,
+    generation: u64,
+    running: Option<RunningTask>,
+    waiting: VecDeque<Task>,
+    /// `prefix_pmfs[i]` = PET(w₀) ∗ … ∗ PET(w_{i−1}); `[0]` = δ(0).
+    prefix_pmfs: Vec<Pmf>,
+    /// Cumulative views of `prefix_pmfs`, kept in lock-step.
+    prefix_cdfs: Vec<Cdf>,
+}
+
+impl MachineQueue {
+    /// Creates an empty queue for `machine` with the given waiting-slot
+    /// capacity and estimator horizon.
+    pub fn new(machine: Machine, capacity: usize, horizon_bins: u64) -> Self {
+        let zero = Pmf::point_mass(0);
+        let zero_cdf = zero.to_cdf();
+        Self {
+            machine,
+            capacity,
+            horizon_bins,
+            generation: 0,
+            running: None,
+            waiting: VecDeque::new(),
+            prefix_pmfs: vec![zero],
+            prefix_cdfs: vec![zero_cdf],
+        }
+    }
+
+    /// The machine this queue belongs to.
+    #[inline]
+    pub fn machine(&self) -> Machine {
+        self.machine
+    }
+
+    /// The currently executing task, if any.
+    #[inline]
+    pub fn running(&self) -> Option<&RunningTask> {
+        self.running.as_ref()
+    }
+
+    /// Waiting tasks in FCFS order.
+    #[inline]
+    pub fn waiting(&self) -> impl ExactSizeIterator<Item = &Task> {
+        self.waiting.iter()
+    }
+
+    /// Number of free waiting slots.
+    #[inline]
+    pub fn free_slots(&self) -> usize {
+        self.capacity.saturating_sub(self.waiting.len())
+    }
+
+    /// Waiting-queue length.
+    #[inline]
+    pub fn waiting_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Whether the machine is executing a task.
+    #[inline]
+    pub fn is_busy(&self) -> bool {
+        self.running.is_some()
+    }
+
+    /// Current start-generation (stale completion events carry an older
+    /// value and are ignored by the engine).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Appends `task` to the waiting queue (Eq. 1: the new tail PCT is
+    /// the old tail convolved with the task's PET).
+    ///
+    /// # Panics
+    /// If no waiting slot is free.
+    pub fn admit(&mut self, task: Task, pet_matrix: &PetMatrix) {
+        assert!(self.free_slots() > 0, "admit into a full machine queue");
+        let pet = pet_matrix.pet(self.machine.type_id, task.type_id);
+        let last = self
+            .prefix_pmfs
+            .last()
+            .expect("prefix chain is never empty");
+        let mut next = last.convolve(pet);
+        next.truncate_to_horizon(self.horizon_bins);
+        self.prefix_cdfs.push(next.to_cdf());
+        self.prefix_pmfs.push(next);
+        self.waiting.push_back(task);
+    }
+
+    /// Removes the head waiting task so the engine can start it.
+    /// Returns `None` if the queue is empty or a task is already running.
+    pub fn pop_head_for_start(
+        &mut self,
+        pet_matrix: &PetMatrix,
+    ) -> Option<Task> {
+        if self.running.is_some() {
+            return None;
+        }
+        let task = self.waiting.pop_front()?;
+        self.rebuild_chain(pet_matrix);
+        Some(task)
+    }
+
+    /// Marks `task` as running. The engine supplies the sampled
+    /// ground-truth finish time. Returns the new generation for the
+    /// completion event.
+    pub fn set_running(
+        &mut self,
+        task: Task,
+        start: SimTime,
+        actual_finish: SimTime,
+    ) -> u64 {
+        assert!(self.running.is_none(), "machine already busy");
+        self.generation += 1;
+        self.running = Some(RunningTask { task, start, actual_finish });
+        self.generation
+    }
+
+    /// Completes the running task, returning it.
+    pub fn complete_running(&mut self) -> RunningTask {
+        self.running.take().expect("completion on an idle machine")
+    }
+
+    /// Cancels the running task (the optional `cancel_running_late`
+    /// policy). Bumps the generation so the in-flight completion event
+    /// becomes stale.
+    pub fn cancel_running(&mut self) -> RunningTask {
+        let rt = self.running.take().expect("cancel on an idle machine");
+        self.generation += 1;
+        rt
+    }
+
+    /// Removes waiting tasks that already missed their deadline at `now`
+    /// (reactive dropping, Step 1 of the pruning procedure — applied by
+    /// every configuration per §II).
+    pub fn drop_missed_deadlines(
+        &mut self,
+        now: SimTime,
+        pet_matrix: &PetMatrix,
+    ) -> Vec<Task> {
+        if self.waiting.iter().all(|t| !t.is_past_deadline(now)) {
+            return Vec::new();
+        }
+        let mut dropped = Vec::new();
+        self.waiting.retain(|t| {
+            if t.is_past_deadline(now) {
+                dropped.push(*t);
+                false
+            } else {
+                true
+            }
+        });
+        self.rebuild_chain(pet_matrix);
+        dropped
+    }
+
+    /// Removes the given waiting tasks (proactive drops chosen by the
+    /// pruner). Ids not present are ignored. Returns the removed tasks.
+    pub fn remove_waiting(
+        &mut self,
+        ids: &[TaskId],
+        pet_matrix: &PetMatrix,
+    ) -> Vec<Task> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let mut removed = Vec::new();
+        self.waiting.retain(|t| {
+            if ids.contains(&t.id) {
+                removed.push(*t);
+                false
+            } else {
+                true
+            }
+        });
+        if !removed.is_empty() {
+            self.rebuild_chain(pet_matrix);
+        }
+        removed
+    }
+
+    /// Recomputes the prefix chains from the current waiting queue.
+    fn rebuild_chain(&mut self, pet_matrix: &PetMatrix) {
+        self.prefix_pmfs.clear();
+        self.prefix_cdfs.clear();
+        let zero = Pmf::point_mass(0);
+        self.prefix_cdfs.push(zero.to_cdf());
+        self.prefix_pmfs.push(zero);
+        // Collect PETs first: `waiting` cannot be borrowed while pushing.
+        let pets: Vec<&Pmf> = self
+            .waiting
+            .iter()
+            .map(|t| pet_matrix.pet(self.machine.type_id, t.type_id))
+            .collect();
+        for pet in pets {
+            let last =
+                self.prefix_pmfs.last().expect("chain is never empty");
+            let mut next = last.convolve(pet);
+            next.truncate_to_horizon(self.horizon_bins);
+            self.prefix_cdfs.push(next.to_cdf());
+            self.prefix_pmfs.push(next);
+        }
+    }
+
+    /// The absolute-bin distribution of when the machine becomes free
+    /// for the first waiting task: the running task's PCT conditioned on
+    /// "still running at `now`", or a point mass at `now` when idle.
+    pub fn base_pmf(
+        &self,
+        bin_spec: BinSpec,
+        pet_matrix: &PetMatrix,
+        now: SimTime,
+    ) -> Pmf {
+        let now_bin = bin_spec.bin_of(now);
+        match &self.running {
+            None => Pmf::point_mass(now_bin),
+            Some(rt) => {
+                let pet =
+                    pet_matrix.pet(self.machine.type_id, rt.task.type_id);
+                let start_bin = bin_spec.bin_of(rt.start);
+                let absolute = pet.shift(start_bin);
+                if now_bin == 0 {
+                    absolute
+                } else {
+                    // Still running ⇒ completion bin ≥ now_bin.
+                    absolute.condition_greater_than(now_bin - 1)
+                }
+            }
+        }
+    }
+
+    /// Chance of success (Eq. 2) for `task` if appended at the tail of
+    /// this queue right now.
+    pub fn chance_if_appended(
+        &self,
+        bin_spec: BinSpec,
+        pet_matrix: &PetMatrix,
+        now: SimTime,
+        task: &Task,
+    ) -> f64 {
+        let base = self.base_pmf(bin_spec, pet_matrix, now);
+        let chain_cdf =
+            self.prefix_cdfs.last().expect("chain is never empty");
+        let pet = pet_matrix.pet(self.machine.type_id, task.type_id);
+        chance_of_success(
+            &base,
+            chain_cdf,
+            pet,
+            bin_spec.deadline_bin(task.deadline),
+        )
+    }
+
+    /// Walks the waiting queue head-to-tail computing each task's chance
+    /// of success, *assuming all drops already decided in this walk have
+    /// happened* (dropping a task removes its PET from the chain of every
+    /// task behind it — the compound-uncertainty reduction of §II).
+    ///
+    /// `decide(task, chance)` returns `true` to drop. The queue itself is
+    /// not modified; apply the returned ids with [`Self::remove_waiting`].
+    pub fn plan_drops(
+        &self,
+        bin_spec: BinSpec,
+        pet_matrix: &PetMatrix,
+        now: SimTime,
+        mut decide: impl FnMut(&Task, f64) -> bool,
+    ) -> Vec<TaskId> {
+        if self.waiting.is_empty() {
+            return Vec::new();
+        }
+        let base = self.base_pmf(bin_spec, pet_matrix, now);
+        let mut drops = Vec::new();
+        // Until the first drop the cached prefix chains are exact; after
+        // it we re-convolve the surviving suffix on the fly.
+        let mut live_chain: Option<(Pmf, Cdf)> = None;
+        for (i, task) in self.waiting.iter().enumerate() {
+            let pet = pet_matrix.pet(self.machine.type_id, task.type_id);
+            let deadline_bin = bin_spec.deadline_bin(task.deadline);
+            let chance = match &live_chain {
+                None => chance_of_success(
+                    &base,
+                    &self.prefix_cdfs[i],
+                    pet,
+                    deadline_bin,
+                ),
+                Some((_, cdf)) => {
+                    chance_of_success(&base, cdf, pet, deadline_bin)
+                }
+            };
+            if decide(task, chance) {
+                drops.push(task.id);
+                if live_chain.is_none() {
+                    let pmf = self.prefix_pmfs[i].clone();
+                    let cdf = pmf.to_cdf();
+                    live_chain = Some((pmf, cdf));
+                }
+            } else if let Some((pmf, cdf)) = &mut live_chain {
+                let mut next = pmf.convolve(pet);
+                next.truncate_to_horizon(self.horizon_bins);
+                *cdf = next.to_cdf();
+                *pmf = next;
+            }
+        }
+        drops
+    }
+
+    /// Deterministic expected-completion accounting used by the classic
+    /// heuristics (MCT, MM, …): expected finish of the running task
+    /// (never earlier than `now`), plus the expected execution times of
+    /// all waiting tasks. In ticks.
+    pub fn expected_ready_ticks(
+        &self,
+        pet_matrix: &PetMatrix,
+        now: SimTime,
+    ) -> f64 {
+        let mut t = match &self.running {
+            None => now.ticks() as f64,
+            Some(rt) => {
+                let e = rt.start.ticks() as f64
+                    + pet_matrix
+                        .expected_ticks(self.machine.type_id, rt.task.type_id);
+                e.max(now.ticks() as f64 + 1.0)
+            }
+        };
+        for w in &self.waiting {
+            t += pet_matrix.expected_ticks(self.machine.type_id, w.type_id);
+        }
+        t
+    }
+
+    /// All tasks still owned by this queue (running + waiting), used to
+    /// mark leftovers as unfinished at simulation end.
+    pub fn drain_all(&mut self) -> Vec<Task> {
+        let mut out: Vec<Task> =
+            self.running.take().map(|rt| rt.task).into_iter().collect();
+        out.extend(self.waiting.drain(..));
+        self.prefix_pmfs.truncate(1);
+        self.prefix_cdfs.truncate(1);
+        out
+    }
+}
+
+/// `P(base + chain + pet ≤ deadline_bin)` evaluated as a double dot
+/// product: Σₓ pet(x) · Σₐ base(a) · chain_cdf(deadline − x − a).
+///
+/// `base` is absolute bins, `chain_cdf` and `pet` relative bins. This is
+/// Eq. 2 without materialising the Eq. 1 convolution; exactness is
+/// property-tested against the explicit convolution.
+pub fn chance_of_success(
+    base: &Pmf,
+    chain_cdf: &Cdf,
+    pet: &Pmf,
+    deadline_bin: Bin,
+) -> f64 {
+    let mut total = 0.0;
+    for (x, px) in pet.iter() {
+        if px == 0.0 || x > deadline_bin {
+            continue;
+        }
+        let rem = deadline_bin - x;
+        let mut inner = 0.0;
+        for (a, pa) in base.iter() {
+            if a > rem {
+                break; // base bins ascend; later terms are all zero
+            }
+            if pa == 0.0 {
+                continue;
+            }
+            inner += pa * chain_cdf.at(rem - a);
+        }
+        total += px * inner;
+    }
+    total.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskprune_model::{BinSpec, Cluster, TaskTypeId};
+
+    const BIN: u64 = 100;
+
+    /// 1 machine type × 2 task types with easily hand-checked PETs.
+    fn pet_matrix() -> PetMatrix {
+        let spec = BinSpec::new(BIN);
+        PetMatrix::new(
+            spec,
+            1,
+            2,
+            vec![
+                Pmf::from_points(&[(2, 0.5), (4, 0.5)]).unwrap(), // type 0
+                Pmf::point_mass(3),                               // type 1
+            ],
+        )
+    }
+
+    fn queue() -> MachineQueue {
+        let cluster = Cluster::one_per_type(1);
+        MachineQueue::new(cluster.machine(taskprune_model::MachineId(0)), 4, 256)
+    }
+
+    fn task(id: u64, type_id: u16, deadline_ticks: u64) -> Task {
+        Task::new(
+            id,
+            TaskTypeId(type_id),
+            SimTime(0),
+            SimTime(deadline_ticks),
+        )
+    }
+
+    #[test]
+    fn admit_tracks_slots_and_chain() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        assert_eq!(q.free_slots(), 4);
+        q.admit(task(0, 1, 10_000), &pm);
+        q.admit(task(1, 1, 10_000), &pm);
+        assert_eq!(q.free_slots(), 2);
+        assert_eq!(q.waiting_len(), 2);
+        // Chain after two point-mass(3) PETs: prefix[2] = δ(6).
+        assert_eq!(q.prefix_pmfs[2], Pmf::point_mass(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn admit_beyond_capacity_panics() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        for i in 0..5 {
+            q.admit(task(i, 1, 10_000), &pm);
+        }
+    }
+
+    #[test]
+    fn chance_on_idle_machine_matches_hand_computation() {
+        let pm = pet_matrix();
+        let q = queue();
+        let spec = pm.bin_spec();
+        // Idle at t=0: PCT of a type-0 task = its PET {2:0.5, 4:0.5}.
+        // Deadline at tick 300 → deadline_bin 2 → P = 0.5.
+        let t = task(0, 0, 300);
+        let c = q.chance_if_appended(spec, &pm, SimTime(0), &t);
+        assert!((c - 0.5).abs() < 1e-12, "chance {c}");
+        // Deadline 500 → bin 4 → P = 1.0.
+        let t = task(1, 0, 500);
+        let c = q.chance_if_appended(spec, &pm, SimTime(0), &t);
+        assert!((c - 1.0).abs() < 1e-12);
+        // Deadline 200 → bin 1 → P = 0.
+        let t = task(2, 0, 200);
+        let c = q.chance_if_appended(spec, &pm, SimTime(0), &t);
+        assert!(c.abs() < 1e-12);
+    }
+
+    #[test]
+    fn chance_behind_queued_task_compounds() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        let spec = pm.bin_spec();
+        q.admit(task(0, 1, 10_000), &pm); // δ(3) ahead
+        // Type-0 task behind it: completion = 3 + {2:0.5, 4:0.5}.
+        // Deadline bin 5 (deadline 600) → P = 0.5.
+        let t = task(1, 0, 600);
+        let c = q.chance_if_appended(spec, &pm, SimTime(0), &t);
+        assert!((c - 0.5).abs() < 1e-12, "chance {c}");
+    }
+
+    #[test]
+    fn chance_accounts_for_conditioned_running_task() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        let spec = pm.bin_spec();
+        // Start a type-0 task ({2:0.5,4:0.5}) at t=0; at now=300 (bin 3)
+        // it is still running ⇒ its completion must be bin 4 (prob 1
+        // after conditioning away the bin-2 outcome).
+        let rt = task(0, 0, 100_000);
+        q.set_running(rt, SimTime(0), SimTime(450));
+        let t = task(1, 1, 800); // PET δ(3); completion = bin 4 + 3 = 7.
+        let c_tight =
+            q.chance_if_appended(spec, &pm, SimTime(300), &task(1, 1, 700));
+        let c_loose =
+            q.chance_if_appended(spec, &pm, SimTime(300), &task(2, 1, 800));
+        // Deadline bin of 700 is 6 < 7 ⇒ impossible.
+        assert!(c_tight.abs() < 1e-12, "tight {c_tight}");
+        // Deadline bin of 800 is 7 ⇒ certain.
+        assert!((c_loose - 1.0).abs() < 1e-12, "loose {c_loose}");
+        let _ = t;
+    }
+
+    #[test]
+    fn pop_head_rebuilds_chain() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        q.admit(task(0, 1, 10_000), &pm);
+        q.admit(task(1, 1, 10_000), &pm);
+        let head = q.pop_head_for_start(&pm).unwrap();
+        assert_eq!(head.id, TaskId(0));
+        assert_eq!(q.waiting_len(), 1);
+        assert_eq!(q.prefix_pmfs.len(), 2);
+        assert_eq!(q.prefix_pmfs[1], Pmf::point_mass(3));
+    }
+
+    #[test]
+    fn pop_head_refuses_while_busy() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        q.set_running(task(9, 1, 10_000), SimTime(0), SimTime(100));
+        q.admit(task(0, 1, 10_000), &pm);
+        assert!(q.pop_head_for_start(&pm).is_none());
+    }
+
+    #[test]
+    fn generation_bumps_on_start_and_cancel() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        let g1 = q.set_running(task(0, 1, 10_000), SimTime(0), SimTime(10));
+        q.complete_running();
+        let g2 = q.set_running(task(1, 1, 10_000), SimTime(10), SimTime(20));
+        assert!(g2 > g1);
+        let rt = q.cancel_running();
+        assert_eq!(rt.task.id, TaskId(1));
+        assert!(q.generation() > g2);
+        let _ = pm;
+    }
+
+    #[test]
+    fn reactive_drops_remove_expired_tasks() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        q.admit(task(0, 1, 100), &pm);
+        q.admit(task(1, 1, 900), &pm);
+        let dropped = q.drop_missed_deadlines(SimTime(500), &pm);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].id, TaskId(0));
+        assert_eq!(q.waiting_len(), 1);
+        assert_eq!(q.prefix_pmfs.len(), 2);
+    }
+
+    #[test]
+    fn remove_waiting_rebuilds_chain() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        q.admit(task(0, 0, 10_000), &pm);
+        q.admit(task(1, 1, 10_000), &pm);
+        q.admit(task(2, 1, 10_000), &pm);
+        let removed = q.remove_waiting(&[TaskId(1)], &pm);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(q.waiting_len(), 2);
+        // Chain is now PET(t0) ∗ PET(t2) = {2,4}·δ(3) → {5:0.5, 7:0.5}.
+        assert_eq!(q.prefix_pmfs.len(), 3);
+        assert!(
+            (q.prefix_pmfs[2].prob_at(5) - 0.5).abs() < 1e-12
+                && (q.prefix_pmfs[2].prob_at(7) - 0.5).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn plan_drops_recomputes_chances_behind_drops() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        // Two type-1 tasks (δ(3) each) then a type-0 task.
+        q.admit(task(0, 1, 10_000), &pm);
+        q.admit(task(1, 1, 10_000), &pm);
+        // Task 2's deadline bin: base 0 + 3 + 3 + {2:.5,4:.5} ⇒ bins 8/10.
+        // With deadline at bin 8 (tick 900) chance is 0.5.
+        q.admit(task(2, 0, 900), &pm);
+        // Decide: drop task 0 only; task 2's chance must then *improve*
+        // to bins 5/7 ⇒ certain (deadline bin 8).
+        let mut seen = Vec::new();
+        let drops = q.plan_drops(
+            pm.bin_spec(),
+            &pm,
+            SimTime(0),
+            |task, chance| {
+                seen.push((task.id, chance));
+                task.id == TaskId(0)
+            },
+        );
+        assert_eq!(drops, vec![TaskId(0)]);
+        assert_eq!(seen.len(), 3);
+        // Without drops task 2's chance would be 0.5; after dropping
+        // task 0 the scan must report the improved 1.0.
+        let last = seen.last().unwrap();
+        assert_eq!(last.0, TaskId(2));
+        assert!((last.1 - 1.0).abs() < 1e-12, "chance {}", last.1);
+    }
+
+    #[test]
+    fn plan_drops_uses_cached_prefixes_when_nothing_drops() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        q.admit(task(0, 1, 350), &pm); // bin 3 vs deadline bin 2 → 0
+        q.admit(task(1, 1, 10_000), &pm);
+        let mut chances = Vec::new();
+        let drops =
+            q.plan_drops(pm.bin_spec(), &pm, SimTime(0), |_, c| {
+                chances.push(c);
+                false
+            });
+        assert!(drops.is_empty());
+        assert!(chances[0].abs() < 1e-12);
+        assert!((chances[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_ready_accounts_for_running_and_waiting() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        // Idle: ready = now.
+        assert_eq!(q.expected_ready_ticks(&pm, SimTime(500)), 500.0);
+        // Running type-1 (E = (3+0.5)·100 = 350 ticks) started at 0.
+        q.set_running(task(0, 1, 10_000), SimTime(0), SimTime(999));
+        assert_eq!(q.expected_ready_ticks(&pm, SimTime(100)), 350.0);
+        // Overdue running task: floor at now + 1.
+        assert_eq!(q.expected_ready_ticks(&pm, SimTime(400)), 401.0);
+        // Plus a waiting type-0 (E = (3+0.5)·100 = 350).
+        q.admit(task(1, 0, 10_000), &pm);
+        assert_eq!(q.expected_ready_ticks(&pm, SimTime(100)), 700.0);
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        q.set_running(task(0, 1, 10_000), SimTime(0), SimTime(10));
+        q.admit(task(1, 1, 10_000), &pm);
+        q.admit(task(2, 0, 10_000), &pm);
+        let all = q.drain_all();
+        assert_eq!(all.len(), 3);
+        assert_eq!(q.waiting_len(), 0);
+        assert!(!q.is_busy());
+    }
+
+    #[test]
+    fn chance_of_success_matches_full_convolution() {
+        // Randomised agreement check against the explicit Eq. 1 path.
+        let base =
+            Pmf::from_points(&[(10, 0.3), (12, 0.45), (15, 0.25)]).unwrap();
+        let chain =
+            Pmf::from_points(&[(0, 0.2), (3, 0.5), (7, 0.3)]).unwrap();
+        let pet =
+            Pmf::from_points(&[(1, 0.6), (5, 0.4)]).unwrap();
+        let explicit = base.convolve(&chain).convolve(&pet);
+        let chain_cdf = chain.to_cdf();
+        for deadline in 8..30 {
+            let fast = chance_of_success(&base, &chain_cdf, &pet, deadline);
+            let slow = explicit.success_probability(deadline);
+            assert!(
+                (fast - slow).abs() < 1e-12,
+                "deadline {deadline}: {fast} vs {slow}"
+            );
+        }
+    }
+}

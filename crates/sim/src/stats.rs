@@ -1,0 +1,315 @@
+//! Outcome accounting and the robustness metric.
+//!
+//! The paper's performance metric is the percentage of tasks completing
+//! before their deadline (§I), measured after discarding "the first and
+//! last 100 tasks in each workload trial … to focus the results on the
+//! portion of the time span where the system is oversubscribed" (§V-B).
+//!
+//! Besides robustness, the collector tracks per-task-type outcomes (the
+//! Fairness module's input and the fairness experiments' output) and the
+//! machine-time spent on work that produced no value (the energy/cost
+//! extension of §VII).
+
+use serde::{Deserialize, Serialize};
+use taskprune_model::{SimTime, Task, TaskId, TaskOutcome, TaskTypeId};
+
+/// Number of leading and trailing tasks excluded by the paper's protocol.
+pub const PAPER_TRIM: usize = 100;
+
+/// Per-task-type outcome counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeStats {
+    /// Tasks of this type that arrived.
+    pub arrived: u64,
+    /// Completed at or before the deadline.
+    pub on_time: u64,
+    /// Completed after the deadline.
+    pub late: u64,
+    /// Dropped reactively (deadline already missed).
+    pub dropped_reactive: u64,
+    /// Dropped proactively by the pruner.
+    pub dropped_proactive: u64,
+    /// Cancelled mid-execution (optional policy).
+    pub cancelled: u64,
+    /// Rejected on arrival (immediate mode, all queues full).
+    pub rejected: u64,
+}
+
+impl TypeStats {
+    /// On-time fraction of arrived tasks (0 when none arrived).
+    pub fn on_time_fraction(&self) -> f64 {
+        if self.arrived == 0 {
+            0.0
+        } else {
+            self.on_time as f64 / self.arrived as f64
+        }
+    }
+}
+
+/// Full outcome record of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Terminal outcome per task id (`None` = never arrived, impossible
+    /// after a completed run).
+    outcomes: Vec<Option<TaskOutcome>>,
+    /// Task type per task id (for per-type aggregation).
+    types: Vec<Option<TaskTypeId>>,
+    /// Per-type counters.
+    per_type: Vec<TypeStats>,
+    /// Machine-ticks spent executing tasks that completed on time.
+    pub useful_ticks: u64,
+    /// Machine-ticks spent executing tasks that completed late or were
+    /// cancelled — pure waste the pruning mechanism aims to avoid.
+    pub wasted_ticks: u64,
+    /// Number of mapping events processed.
+    pub mapping_events: u64,
+    /// Number of deferral decisions taken (Step 10 vetoes).
+    pub deferrals: u64,
+    /// Simulated instant at which the run finished draining.
+    pub end_time: SimTime,
+    /// Execution trace, present when the engine ran with tracing
+    /// enabled (`Engine::with_trace`).
+    pub trace: Option<crate::trace::TraceLog>,
+}
+
+impl SimStats {
+    /// Creates a collector for `n_tasks` task ids and `n_types` types.
+    pub fn new(n_tasks: usize, n_types: usize) -> Self {
+        Self {
+            outcomes: vec![None; n_tasks],
+            types: vec![None; n_tasks],
+            per_type: vec![TypeStats::default(); n_types],
+            useful_ticks: 0,
+            wasted_ticks: 0,
+            mapping_events: 0,
+            deferrals: 0,
+            end_time: SimTime::ZERO,
+            trace: None,
+        }
+    }
+
+    /// Registers a task arrival.
+    pub fn record_arrival(&mut self, task: &Task) {
+        let idx = task.id.0 as usize;
+        self.types[idx] = Some(task.type_id);
+        self.per_type[task.type_id.0 as usize].arrived += 1;
+    }
+
+    /// Registers a terminal outcome. Each task may finish exactly once.
+    pub fn record_outcome(&mut self, task: &Task, outcome: TaskOutcome) {
+        let idx = task.id.0 as usize;
+        assert!(
+            self.outcomes[idx].is_none(),
+            "task {:?} finished twice ({:?} then {:?})",
+            task.id,
+            self.outcomes[idx],
+            outcome,
+        );
+        self.outcomes[idx] = Some(outcome);
+        let t = &mut self.per_type[task.type_id.0 as usize];
+        match outcome {
+            TaskOutcome::CompletedOnTime => t.on_time += 1,
+            TaskOutcome::CompletedLate => t.late += 1,
+            TaskOutcome::DroppedReactive => t.dropped_reactive += 1,
+            TaskOutcome::DroppedProactive => t.dropped_proactive += 1,
+            TaskOutcome::CancelledRunning => t.cancelled += 1,
+            TaskOutcome::Rejected => t.rejected += 1,
+            TaskOutcome::Unfinished => {}
+        }
+    }
+
+    /// Adds executed machine time, split by whether it produced value.
+    pub fn record_execution(&mut self, ticks: u64, useful: bool) {
+        if useful {
+            self.useful_ticks += ticks;
+        } else {
+            self.wasted_ticks += ticks;
+        }
+    }
+
+    /// Outcome of a specific task.
+    pub fn outcome(&self, id: TaskId) -> Option<TaskOutcome> {
+        self.outcomes.get(id.0 as usize).copied().flatten()
+    }
+
+    /// Total tasks tracked.
+    pub fn n_tasks(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Count of tasks with the given outcome (whole trial, no trim).
+    pub fn count(&self, outcome: TaskOutcome) -> usize {
+        self.outcomes.iter().filter(|&&o| o == Some(outcome)).count()
+    }
+
+    /// Per-type counters.
+    pub fn per_type(&self) -> &[TypeStats] {
+        &self.per_type
+    }
+
+    /// The robustness metric: percentage of tasks completed on time,
+    /// excluding the first and last `trim` tasks (by arrival order, which
+    /// equals id order).
+    pub fn robustness_pct(&self, trim: usize) -> f64 {
+        let n = self.outcomes.len();
+        if n <= 2 * trim {
+            return 0.0;
+        }
+        let window = &self.outcomes[trim..n - trim];
+        let on_time = window
+            .iter()
+            .filter(|o| matches!(o, Some(TaskOutcome::CompletedOnTime)))
+            .count();
+        100.0 * on_time as f64 / window.len() as f64
+    }
+
+    /// Robustness with the paper's trim of 100 tasks per end.
+    pub fn paper_robustness_pct(&self) -> f64 {
+        self.robustness_pct(PAPER_TRIM)
+    }
+
+    /// Fraction of executed machine time that was wasted (late /
+    /// cancelled work) — the §VII energy-saving measure.
+    pub fn wasted_fraction(&self) -> f64 {
+        let total = self.useful_ticks + self.wasted_ticks;
+        if total == 0 {
+            0.0
+        } else {
+            self.wasted_ticks as f64 / total as f64
+        }
+    }
+
+    /// Sanity invariant: every arrived task has exactly one outcome once
+    /// the run has drained. Returns the number of unreported tasks.
+    pub fn unreported(&self) -> usize {
+        self.outcomes
+            .iter()
+            .zip(&self.types)
+            .filter(|(o, t)| o.is_none() && t.is_some())
+            .count()
+    }
+
+    /// Variance of per-type on-time fractions — the fairness measure the
+    /// Fairness-module experiments report (lower = fairer).
+    pub fn per_type_on_time_variance(&self) -> f64 {
+        let fracs: Vec<f64> = self
+            .per_type
+            .iter()
+            .filter(|t| t.arrived > 0)
+            .map(|t| t.on_time_fraction())
+            .collect();
+        if fracs.len() < 2 {
+            return 0.0;
+        }
+        let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
+        fracs.iter().map(|f| (f - mean).powi(2)).sum::<f64>()
+            / (fracs.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(id: u64, type_id: u16) -> Task {
+        Task::new(id, TaskTypeId(type_id), SimTime(0), SimTime(100))
+    }
+
+    #[test]
+    fn robustness_counts_window_only() {
+        let mut s = SimStats::new(10, 1);
+        for i in 0..10 {
+            let t = task(i, 0);
+            s.record_arrival(&t);
+            // First 2 and last 2 on time, middle 6 alternate.
+            let outcome = if !(2..8).contains(&i) || i % 2 == 0 {
+                TaskOutcome::CompletedOnTime
+            } else {
+                TaskOutcome::DroppedReactive
+            };
+            s.record_outcome(&t, outcome);
+        }
+        // Window = tasks 2..8: on-time at 2,4,6 → 50 %.
+        assert!((s.robustness_pct(2) - 50.0).abs() < 1e-12);
+        // No trim: 7 of 10 on time.
+        assert!((s.robustness_pct(0) - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_trials_trim_to_zero() {
+        let s = SimStats::new(150, 1);
+        assert_eq!(s.robustness_pct(100), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished twice")]
+    fn double_outcome_panics() {
+        let mut s = SimStats::new(1, 1);
+        let t = task(0, 0);
+        s.record_arrival(&t);
+        s.record_outcome(&t, TaskOutcome::CompletedOnTime);
+        s.record_outcome(&t, TaskOutcome::DroppedReactive);
+    }
+
+    #[test]
+    fn per_type_counters() {
+        let mut s = SimStats::new(4, 2);
+        let a = task(0, 0);
+        let b = task(1, 0);
+        let c = task(2, 1);
+        let d = task(3, 1);
+        for t in [&a, &b, &c, &d] {
+            s.record_arrival(t);
+        }
+        s.record_outcome(&a, TaskOutcome::CompletedOnTime);
+        s.record_outcome(&b, TaskOutcome::DroppedProactive);
+        s.record_outcome(&c, TaskOutcome::CompletedLate);
+        s.record_outcome(&d, TaskOutcome::CancelledRunning);
+        assert_eq!(s.per_type()[0].on_time, 1);
+        assert_eq!(s.per_type()[0].dropped_proactive, 1);
+        assert_eq!(s.per_type()[1].late, 1);
+        assert_eq!(s.per_type()[1].cancelled, 1);
+        assert!((s.per_type()[0].on_time_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(s.unreported(), 0);
+    }
+
+    #[test]
+    fn wasted_fraction_tracks_executions() {
+        let mut s = SimStats::new(0, 1);
+        s.record_execution(300, true);
+        s.record_execution(100, false);
+        assert!((s.wasted_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(s.useful_ticks, 300);
+        assert_eq!(s.wasted_ticks, 100);
+    }
+
+    #[test]
+    fn fairness_variance() {
+        let mut s = SimStats::new(4, 2);
+        let a = task(0, 0);
+        let b = task(1, 0);
+        let c = task(2, 1);
+        let d = task(3, 1);
+        for t in [&a, &b, &c, &d] {
+            s.record_arrival(t);
+        }
+        // Type 0: 100 % on time; type 1: 0 %.
+        s.record_outcome(&a, TaskOutcome::CompletedOnTime);
+        s.record_outcome(&b, TaskOutcome::CompletedOnTime);
+        s.record_outcome(&c, TaskOutcome::DroppedProactive);
+        s.record_outcome(&d, TaskOutcome::DroppedProactive);
+        // Sample variance of {1.0, 0.0} = 0.5.
+        assert!((s.per_type_on_time_variance() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreported_detects_missing_outcomes() {
+        let mut s = SimStats::new(2, 1);
+        let a = task(0, 0);
+        let b = task(1, 0);
+        s.record_arrival(&a);
+        s.record_arrival(&b);
+        s.record_outcome(&a, TaskOutcome::CompletedOnTime);
+        assert_eq!(s.unreported(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Plug-in points: mapping heuristics and pruning policies.
+//!
+//! The paper's architecture (Fig. 1c) keeps the mapping heuristic
+//! untouched and attaches the pruning mechanism beside it. These traits
+//! realise that: the engine orchestrates mapping events and consults
+//!
+//! * a [`BatchMapper`] or [`ImmediateMapper`] for *where* tasks go, and
+//! * a [`Pruner`] for *whether* a task should be mapped at all (defer) or
+//!   evicted from a machine queue (drop).
+
+use crate::view::SystemView;
+use taskprune_model::{MachineId, SimTime, Task, TaskId};
+
+/// One task→machine mapping proposed by a batch heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// The task to map.
+    pub task: TaskId,
+    /// The machine queue it should join.
+    pub machine: MachineId,
+}
+
+/// A batch-mode mapping heuristic (MM, MSD, MMU, EDF, SJF, FCFS-RR).
+///
+/// Called repeatedly within a mapping event (the Step 7 loop of the
+/// pruning procedure): each call sees the machine state *including* tasks
+/// committed earlier in the same event, and the candidate list excludes
+/// tasks the pruner has deferred.
+pub trait BatchMapper {
+    /// Heuristic name for reports ("MM", "MSD", …).
+    fn name(&self) -> &str;
+
+    /// Proposes assignments for the current state. Proposals are applied
+    /// in order; the engine re-validates each against remaining capacity.
+    /// Returning an empty vector ends the event's mapping loop.
+    fn select(
+        &mut self,
+        view: &SystemView<'_>,
+        candidates: &[Task],
+    ) -> Vec<Assignment>;
+}
+
+/// An immediate-mode mapping heuristic (RR, MET, MCT, KPB): the arriving
+/// task is placed the moment it arrives (Fig. 1a), machine queues are
+/// unbounded and there is nothing to defer.
+pub trait ImmediateMapper {
+    /// Heuristic name for reports ("RR", "MCT", …).
+    fn name(&self) -> &str;
+
+    /// Chooses the machine for the arriving task.
+    fn place(&mut self, view: &SystemView<'_>, task: &Task) -> MachineId;
+}
+
+/// Either kind of mapper, as the engine stores it.
+pub enum MappingStrategy {
+    /// Immediate-mode resource allocation.
+    Immediate(Box<dyn ImmediateMapper>),
+    /// Batch-mode resource allocation.
+    Batch(Box<dyn BatchMapper>),
+}
+
+impl MappingStrategy {
+    /// The wrapped heuristic's name.
+    pub fn name(&self) -> &str {
+        match self {
+            MappingStrategy::Immediate(m) => m.name(),
+            MappingStrategy::Batch(m) => m.name(),
+        }
+    }
+}
+
+/// What happened between the previous mapping event and this one; the
+/// pruner's Accounting input (Fig. 4).
+#[derive(Debug, Clone, Default)]
+pub struct EventReport {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Tasks that finished executing, with their on-time flag.
+    pub completed: Vec<(Task, bool)>,
+    /// Pending tasks reactively dropped at this event for missing their
+    /// deadline (Step 1).
+    pub dropped_reactive: Vec<Task>,
+    /// Running tasks cancelled by the optional late-cancellation policy.
+    pub cancelled: Vec<Task>,
+}
+
+impl EventReport {
+    /// Number of deadline misses observed at this event — the signal the
+    /// Toggle module thresholds on (§IV-C).
+    pub fn deadline_misses(&self) -> usize {
+        self.dropped_reactive.len()
+            + self.cancelled.len()
+            + self.completed.iter().filter(|(_, on_time)| !on_time).count()
+    }
+}
+
+/// A pruning policy (the paper's contribution lives behind this trait in
+/// the `taskprune` crate; [`NoPruning`] is the baseline).
+pub trait Pruner {
+    /// Policy name for reports.
+    fn name(&self) -> &str;
+
+    /// Steps 1–2 bookkeeping: observe completions and reactive drops
+    /// since the previous mapping event (feeds Accounting, Toggle and
+    /// Fairness).
+    fn begin_event(&mut self, report: &EventReport);
+
+    /// Steps 3–6: choose machine-queue tasks to drop proactively.
+    /// Returns `(machine, task)` pairs; the engine applies them.
+    fn select_drops(
+        &mut self,
+        view: &SystemView<'_>,
+    ) -> Vec<(MachineId, TaskId)>;
+
+    /// Step 10: veto a proposed mapping, deferring the task to the next
+    /// mapping event. `chance` is the task's chance of success on the
+    /// proposed machine (Eq. 2).
+    fn should_defer(&mut self, task: &Task, chance: f64) -> bool;
+}
+
+/// The baseline policy: never drops, never defers. With it, the engine
+/// behaves exactly like the unmodified resource allocator of Fig. 1a/1b.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPruning;
+
+impl Pruner for NoPruning {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn begin_event(&mut self, _report: &EventReport) {}
+
+    fn select_drops(
+        &mut self,
+        _view: &SystemView<'_>,
+    ) -> Vec<(MachineId, TaskId)> {
+        Vec::new()
+    }
+
+    fn should_defer(&mut self, _task: &Task, _chance: f64) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskprune_model::TaskTypeId;
+
+    #[test]
+    fn event_report_counts_misses() {
+        let t = |id| {
+            Task::new(id, TaskTypeId(0), SimTime(0), SimTime(10))
+        };
+        let report = EventReport {
+            now: SimTime(100),
+            completed: vec![(t(0), true), (t(1), false), (t(2), false)],
+            dropped_reactive: vec![t(3)],
+            cancelled: vec![t(4)],
+        };
+        assert_eq!(report.deadline_misses(), 4);
+    }
+
+    #[test]
+    fn no_pruning_never_acts() {
+        let mut p = NoPruning;
+        let t = Task::new(0, TaskTypeId(0), SimTime(0), SimTime(10));
+        assert!(!p.should_defer(&t, 0.0));
+        assert_eq!(p.name(), "none");
+    }
+}

@@ -1,0 +1,223 @@
+//! The read-only system state exposed to mappers and pruners.
+//!
+//! A [`SystemView`] is constructed afresh for every decision point inside
+//! a mapping event: it borrows the machine queues and the PET matrix, so
+//! heuristics always see the effect of assignments committed earlier in
+//! the same event (the Step 7 loop semantics).
+
+use crate::queue::MachineQueue;
+use taskprune_model::{
+    BinSpec, Machine, MachineId, PetMatrix, SimTime, Task, TaskId,
+    TaskTypeId,
+};
+
+/// A snapshot view over the simulator state at one instant.
+pub struct SystemView<'a> {
+    now: SimTime,
+    queues: &'a [MachineQueue],
+    pet: &'a PetMatrix,
+}
+
+impl<'a> SystemView<'a> {
+    /// Builds a view (engine-internal; exposed for tests and tools).
+    pub fn new(
+        now: SimTime,
+        queues: &'a [MachineQueue],
+        pet: &'a PetMatrix,
+    ) -> Self {
+        Self { now, queues, pet }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The PET matrix (Eq. 1's source distributions).
+    #[inline]
+    pub fn pet(&self) -> &PetMatrix {
+        self.pet
+    }
+
+    /// The bin resolution all probabilistic estimates use.
+    #[inline]
+    pub fn bin_spec(&self) -> BinSpec {
+        self.pet.bin_spec()
+    }
+
+    /// Number of machines in the cluster.
+    #[inline]
+    pub fn n_machines(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Machine descriptors in id order.
+    pub fn machines(&self) -> impl Iterator<Item = Machine> + '_ {
+        self.queues.iter().map(|q| q.machine())
+    }
+
+    #[inline]
+    fn queue(&self, id: MachineId) -> &MachineQueue {
+        &self.queues[id.0 as usize]
+    }
+
+    /// Free waiting slots on `machine`.
+    #[inline]
+    pub fn free_slots(&self, machine: MachineId) -> usize {
+        self.queue(machine).free_slots()
+    }
+
+    /// Total free waiting slots across the cluster.
+    pub fn total_free_slots(&self) -> usize {
+        self.queues.iter().map(|q| q.free_slots()).sum()
+    }
+
+    /// Number of tasks waiting on `machine` (excludes the running task).
+    #[inline]
+    pub fn waiting_len(&self, machine: MachineId) -> usize {
+        self.queue(machine).waiting_len()
+    }
+
+    /// Whether `machine` is currently executing a task.
+    #[inline]
+    pub fn is_busy(&self, machine: MachineId) -> bool {
+        self.queue(machine).is_busy()
+    }
+
+    /// The waiting tasks of `machine` in FCFS order.
+    pub fn waiting_tasks(
+        &self,
+        machine: MachineId,
+    ) -> impl ExactSizeIterator<Item = &Task> {
+        self.queue(machine).waiting()
+    }
+
+    /// Expected execution time (ticks) of a `task_type` on `machine` —
+    /// the ETC value heuristics build on.
+    #[inline]
+    pub fn expected_exec_ticks(
+        &self,
+        machine: MachineId,
+        task_type: TaskTypeId,
+    ) -> f64 {
+        self.pet
+            .expected_ticks(self.queue(machine).machine().type_id, task_type)
+    }
+
+    /// Expected time (ticks) at which `machine` would start a task
+    /// appended now: expected completion of everything already queued.
+    #[inline]
+    pub fn expected_ready_ticks(&self, machine: MachineId) -> f64 {
+        self.queue(machine).expected_ready_ticks(self.pet, self.now)
+    }
+
+    /// Expected completion time (ticks) of `task` if appended to
+    /// `machine` now — the quantity MCT/MM/MSD minimise.
+    pub fn expected_completion_ticks(
+        &self,
+        machine: MachineId,
+        task: &Task,
+    ) -> f64 {
+        self.expected_ready_ticks(machine)
+            + self.expected_exec_ticks(machine, task.type_id)
+    }
+
+    /// Chance of success (Eq. 2) of `task` if appended to `machine` now,
+    /// accounting for the full compound uncertainty of the queue.
+    pub fn chance_if_appended(
+        &self,
+        machine: MachineId,
+        task: &Task,
+    ) -> f64 {
+        self.queue(machine).chance_if_appended(
+            self.bin_spec(),
+            self.pet,
+            self.now,
+            task,
+        )
+    }
+
+    /// Plans proactive drops on one machine queue (Steps 4–6): walks the
+    /// queue head-to-tail, handing each task's current chance of success
+    /// to `decide`; returning `true` drops the task and improves the
+    /// chances of those behind it within the same walk.
+    pub fn plan_queue_drops(
+        &self,
+        machine: MachineId,
+        decide: impl FnMut(&Task, f64) -> bool,
+    ) -> Vec<TaskId> {
+        self.queue(machine).plan_drops(
+            self.bin_spec(),
+            self.pet,
+            self.now,
+            decide,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskprune_model::{Cluster, TaskTypeId};
+    use taskprune_prob::Pmf;
+
+    fn setup() -> (Vec<MachineQueue>, PetMatrix) {
+        let pet = PetMatrix::new(
+            BinSpec::new(100),
+            2,
+            1,
+            vec![
+                Pmf::point_mass(2), // machine type 0
+                Pmf::point_mass(6), // machine type 1
+            ],
+        );
+        let cluster = Cluster::one_per_type(2);
+        let queues: Vec<MachineQueue> = cluster
+            .machines()
+            .iter()
+            .map(|&m| MachineQueue::new(m, 2, 256))
+            .collect();
+        (queues, pet)
+    }
+
+    #[test]
+    fn view_exposes_cluster_shape() {
+        let (queues, pet) = setup();
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        assert_eq!(view.n_machines(), 2);
+        assert_eq!(view.total_free_slots(), 4);
+        assert!(!view.is_busy(MachineId(0)));
+    }
+
+    #[test]
+    fn expected_completion_prefers_faster_machine() {
+        let (queues, pet) = setup();
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        let task = Task::new(0, TaskTypeId(0), SimTime(0), SimTime(5_000));
+        let c0 = view.expected_completion_ticks(MachineId(0), &task);
+        let c1 = view.expected_completion_ticks(MachineId(1), &task);
+        assert!(c0 < c1, "{c0} vs {c1}");
+    }
+
+    #[test]
+    fn committed_tasks_shift_the_view() {
+        let (mut queues, pet) = setup();
+        let task = Task::new(0, TaskTypeId(0), SimTime(0), SimTime(5_000));
+        queues[0].admit(task, &pet);
+        let view = SystemView::new(SimTime(0), &queues, &pet);
+        assert_eq!(view.free_slots(MachineId(0)), 1);
+        assert_eq!(view.waiting_len(MachineId(0)), 1);
+        let t2 = Task::new(1, TaskTypeId(0), SimTime(0), SimTime(5_000));
+        // Machine 0 now has 2 bins queued ahead: completion 2+2=4 bins vs
+        // machine 1's 6 bins.
+        let c0 = view.expected_completion_ticks(MachineId(0), &t2);
+        let c1 = view.expected_completion_ticks(MachineId(1), &t2);
+        assert!(c0 < c1);
+        // A tight deadline (bin 3 < completion bin 4) has zero chance on
+        // machine 0, while the loose one above is certain.
+        let tight = Task::new(2, TaskTypeId(0), SimTime(0), SimTime(400));
+        assert_eq!(view.chance_if_appended(MachineId(0), &tight), 0.0);
+        assert_eq!(view.chance_if_appended(MachineId(0), &t2), 1.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based fuzzing of the machine-queue estimator state.
+//!
+//! The incremental prefix-chain maintenance (extend on admit, rebuild on
+//! pop/drop) is the simulator's most intricate invariant. These tests
+//! drive a queue through random operation sequences and assert that the
+//! incrementally-maintained estimates always equal those of a freshly
+//! rebuilt queue with identical contents.
+
+use proptest::prelude::*;
+use taskprune_model::{
+    BinSpec, Cluster, MachineId, PetMatrix, SimTime, Task, TaskId,
+    TaskTypeId,
+};
+use taskprune_prob::Pmf;
+use taskprune_sim::queue::MachineQueue;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Admit(u16),
+    PopHeadForStart,
+    CompleteRunning,
+    DropByIndex(usize),
+    ReactiveDrops(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..3).prop_map(Op::Admit),
+        Just(Op::PopHeadForStart),
+        Just(Op::CompleteRunning),
+        (0usize..6).prop_map(Op::DropByIndex),
+        (0u64..20_000).prop_map(Op::ReactiveDrops),
+    ]
+}
+
+fn pet_matrix() -> PetMatrix {
+    PetMatrix::new(
+        BinSpec::new(100),
+        1,
+        3,
+        vec![
+            Pmf::from_points(&[(1, 0.25), (3, 0.75)]).unwrap(),
+            Pmf::point_mass(5),
+            Pmf::from_points(&[(2, 0.4), (4, 0.4), (9, 0.2)]).unwrap(),
+        ],
+    )
+}
+
+/// Replays the queue's current waiting list into a fresh queue, which
+/// recomputes every chain from scratch.
+fn rebuild_reference(
+    q: &MachineQueue,
+    pet: &PetMatrix,
+    capacity: usize,
+) -> MachineQueue {
+    let cluster = Cluster::one_per_type(1);
+    let mut fresh = MachineQueue::new(
+        cluster.machine(MachineId(0)),
+        capacity,
+        256,
+    );
+    if let Some(rt) = q.running() {
+        fresh.set_running(rt.task, rt.start, rt.actual_finish);
+    }
+    for task in q.waiting() {
+        fresh.admit(*task, pet);
+    }
+    fresh
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_estimates_match_rebuilt_queue(
+        ops in prop::collection::vec(arb_op(), 1..40)
+    ) {
+        let pet = pet_matrix();
+        let capacity = 6;
+        let cluster = Cluster::one_per_type(1);
+        let mut q = MachineQueue::new(
+            cluster.machine(MachineId(0)),
+            capacity,
+            256,
+        );
+        let mut next_id = 0u64;
+        let mut now = SimTime(0);
+
+        for op in ops {
+            match op {
+                Op::Admit(type_id) => {
+                    if q.free_slots() > 0 {
+                        let task = Task::new(
+                            next_id,
+                            TaskTypeId(type_id),
+                            now,
+                            SimTime(now.ticks() + 1_500 + next_id * 37),
+                        );
+                        next_id += 1;
+                        q.admit(task, &pet);
+                    }
+                }
+                Op::PopHeadForStart => {
+                    if let Some(task) = q.pop_head_for_start(&pet) {
+                        now = SimTime(now.ticks() + 50);
+                        q.set_running(
+                            task,
+                            now,
+                            SimTime(now.ticks() + 400),
+                        );
+                    }
+                }
+                Op::CompleteRunning => {
+                    if q.is_busy() {
+                        let rt = q.complete_running();
+                        now = SimTime(
+                            now.ticks().max(rt.actual_finish.ticks()),
+                        );
+                    }
+                }
+                Op::DropByIndex(i) => {
+                    let ids: Vec<TaskId> =
+                        q.waiting().map(|t| t.id).collect();
+                    if let Some(&id) = ids.get(i) {
+                        q.remove_waiting(&[id], &pet);
+                    }
+                }
+                Op::ReactiveDrops(advance) => {
+                    now = SimTime(now.ticks() + advance);
+                    q.drop_missed_deadlines(now, &pet);
+                }
+            }
+
+            // The invariant: every estimate the schedulers consume must
+            // match a from-scratch rebuild.
+            let reference = rebuild_reference(&q, &pet, capacity);
+            let spec = pet.bin_spec();
+            prop_assert_eq!(q.waiting_len(), reference.waiting_len());
+            prop_assert!(
+                (q.expected_ready_ticks(&pet, now)
+                    - reference.expected_ready_ticks(&pet, now))
+                .abs()
+                    < 1e-9
+            );
+            for type_id in 0..3u16 {
+                let probe = Task::new(
+                    u64::MAX,
+                    TaskTypeId(type_id),
+                    now,
+                    SimTime(now.ticks() + 2_500),
+                );
+                let a =
+                    q.chance_if_appended(spec, &pet, now, &probe);
+                let b = reference
+                    .chance_if_appended(spec, &pet, now, &probe);
+                prop_assert!(
+                    (a - b).abs() < 1e-9,
+                    "chance diverged: {} vs {} after ops", a, b
+                );
+            }
+            // The drop-planning scan (with no drops decided) must report
+            // the same chances as a rebuilt queue's scan.
+            let mut chances_inc = Vec::new();
+            q.plan_drops(spec, &pet, now, |_, c| {
+                chances_inc.push(c);
+                false
+            });
+            let mut chances_ref = Vec::new();
+            reference.plan_drops(spec, &pet, now, |_, c| {
+                chances_ref.push(c);
+                false
+            });
+            prop_assert_eq!(chances_inc.len(), chances_ref.len());
+            for (a, b) in chances_inc.iter().zip(&chances_ref) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_drops_never_mutates(
+        ops in prop::collection::vec(arb_op(), 1..20),
+        drop_mask in prop::collection::vec(any::<bool>(), 8)
+    ) {
+        let pet = pet_matrix();
+        let cluster = Cluster::one_per_type(1);
+        let mut q = MachineQueue::new(
+            cluster.machine(MachineId(0)),
+            8,
+            256,
+        );
+        let mut next_id = 0u64;
+        for op in ops {
+            if let Op::Admit(type_id) = op {
+                if q.free_slots() > 0 {
+                    q.admit(
+                        Task::new(
+                            next_id,
+                            TaskTypeId(type_id),
+                            SimTime(0),
+                            SimTime(2_000 + next_id * 91),
+                        ),
+                        &pet,
+                    );
+                    next_id += 1;
+                }
+            }
+        }
+        let before: Vec<TaskId> = q.waiting().map(|t| t.id).collect();
+        let spec = pet.bin_spec();
+        let mut i = 0;
+        let planned = q.plan_drops(spec, &pet, SimTime(0), |_, _| {
+            let decision = drop_mask.get(i).copied().unwrap_or(false);
+            i += 1;
+            decision
+        });
+        // Planning is read-only regardless of decisions.
+        let after: Vec<TaskId> = q.waiting().map(|t| t.id).collect();
+        prop_assert_eq!(before.clone(), after);
+        // Planned ids are a subset of the waiting set.
+        for id in planned {
+            prop_assert!(before.contains(&id));
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Arrival-pattern generation (§V-B of the paper).
+//!
+//! Two patterns are implemented:
+//!
+//! * **Constant rate** — per task type, inter-arrival gaps are drawn from
+//!   a Gamma distribution whose "variance … is 10 % of the mean";
+//! * **Variable rate (spiky)** — the paper's default: the span is divided
+//!   into equal segments, each ending in a burst during which the rate
+//!   "rises up to three times more than the base (lull) period", with
+//!   "each spike last\[ing\] for one third of the lull period".
+//!
+//! Rates are per *task type*: each type owns an independent arrival
+//! process (Fig. 6 plots four of the twelve).
+
+use serde::{Deserialize, Serialize};
+use taskprune_model::{SimTime, TaskTypeId};
+use taskprune_prob::rng::Xoshiro256PlusPlus;
+use taskprune_prob::sampler::Sampler;
+use taskprune_prob::Gamma;
+
+/// Which arrival pattern a workload uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalPattern {
+    /// Steady arrivals at each type's base rate.
+    Constant,
+    /// The paper's spiky pattern: periodic bursts at `spike_factor`× the
+    /// lull rate, each lasting one third of the lull period.
+    Spiky {
+        /// Number of spikes across the span.
+        n_spikes: usize,
+        /// Rate multiplier during a spike (3.0 in the paper).
+        spike_factor: f64,
+    },
+}
+
+impl ArrivalPattern {
+    /// The paper's spiky default: the rate triples during bursts.
+    pub fn paper_spiky() -> Self {
+        ArrivalPattern::Spiky { n_spikes: 6, spike_factor: 3.0 }
+    }
+
+    /// Short label for reports ("constant" / "spiky").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalPattern::Constant => "constant",
+            ArrivalPattern::Spiky { .. } => "spiky",
+        }
+    }
+}
+
+/// Draws one inter-arrival gap with the paper's variance rule:
+/// `Var = 0.1 · mean` (both in time units).
+fn gap_sample(
+    mean_gap_tu: f64,
+    rng: &mut Xoshiro256PlusPlus,
+) -> f64 {
+    // Gamma with mean m and variance 0.1·m has shape m/0.1 = 10·m.
+    let shape = (10.0 * mean_gap_tu).max(0.05);
+    let gamma = Gamma::from_mean_shape(mean_gap_tu, shape)
+        .expect("positive mean gap");
+    gamma.sample(rng)
+}
+
+/// Generates the arrival instants (in time units) for one task type.
+///
+/// `total_for_type` is the type's target task count across `span_tu`.
+/// The realised count differs slightly because the process is stochastic;
+/// the trial generator trims/accepts as the paper does (it likewise only
+/// "estimated" per-type counts).
+pub fn generate_arrivals_tu(
+    pattern: ArrivalPattern,
+    span_tu: f64,
+    total_for_type: usize,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Vec<f64> {
+    assert!(span_tu > 0.0, "span must be positive");
+    if total_for_type == 0 {
+        return Vec::new();
+    }
+    match pattern {
+        ArrivalPattern::Constant => {
+            let mean_gap = span_tu / total_for_type as f64;
+            let mut out = Vec::with_capacity(total_for_type + 16);
+            let mut t = gap_sample(mean_gap, rng);
+            while t < span_tu {
+                out.push(t);
+                t += gap_sample(mean_gap, rng);
+            }
+            out
+        }
+        ArrivalPattern::Spiky { n_spikes, spike_factor } => {
+            assert!(n_spikes > 0, "spiky pattern needs at least one spike");
+            assert!(spike_factor >= 1.0, "spike factor must be >= 1");
+            // Segment = lull + spike, spike = lull/3 ⇒ lull = ¾ segment.
+            let segment = span_tu / n_spikes as f64;
+            let lull_len = segment * 0.75;
+            // Conserve the total count: base rate satisfies
+            // r·lull + f·r·spike = n_per_segment.
+            let n_per_segment = total_for_type as f64 / n_spikes as f64;
+            let base_rate = n_per_segment
+                / (lull_len + spike_factor * (segment - lull_len));
+            let mut out = Vec::with_capacity(total_for_type + 16);
+            let mut t: f64 = 0.0;
+            loop {
+                // Position within the current segment decides the rate.
+                let pos = t % segment;
+                let rate = if pos < lull_len {
+                    base_rate
+                } else {
+                    base_rate * spike_factor
+                };
+                t += gap_sample(1.0 / rate, rng);
+                if t >= span_tu {
+                    break;
+                }
+                out.push(t);
+            }
+            out
+        }
+    }
+}
+
+/// A time-binned arrival-rate series for one task type — the data behind
+/// Fig. 6 of the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateSeries {
+    /// The task type measured.
+    pub type_id: TaskTypeId,
+    /// Width of one measurement window, in time units.
+    pub window_tu: f64,
+    /// Tasks per time unit in each consecutive window.
+    pub rates: Vec<f64>,
+}
+
+/// Bins arrival instants into a rate-over-time series.
+pub fn rate_series(
+    type_id: TaskTypeId,
+    arrivals_tu: &[f64],
+    span_tu: f64,
+    window_tu: f64,
+) -> RateSeries {
+    assert!(window_tu > 0.0);
+    let n_windows = (span_tu / window_tu).ceil() as usize;
+    let mut counts = vec![0usize; n_windows.max(1)];
+    for &t in arrivals_tu {
+        let w = ((t / window_tu) as usize).min(counts.len() - 1);
+        counts[w] += 1;
+    }
+    RateSeries {
+        type_id,
+        window_tu,
+        rates: counts
+            .into_iter()
+            .map(|c| c as f64 / window_tu)
+            .collect(),
+    }
+}
+
+/// Converts time-unit instants to tick-resolution [`SimTime`]s.
+pub fn to_sim_times(arrivals_tu: &[f64]) -> Vec<SimTime> {
+    arrivals_tu
+        .iter()
+        .map(|&t| SimTime::from_time_units(t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::new(seed)
+    }
+
+    #[test]
+    fn constant_count_is_close_to_target() {
+        let arrivals = generate_arrivals_tu(
+            ArrivalPattern::Constant,
+            3000.0,
+            1250,
+            &mut rng(1),
+        );
+        let n = arrivals.len() as f64;
+        assert!(
+            (n - 1250.0).abs() < 125.0,
+            "realised {n} arrivals for target 1250"
+        );
+    }
+
+    #[test]
+    fn spiky_count_is_close_to_target() {
+        let arrivals = generate_arrivals_tu(
+            ArrivalPattern::paper_spiky(),
+            3000.0,
+            1250,
+            &mut rng(2),
+        );
+        let n = arrivals.len() as f64;
+        assert!(
+            (n - 1250.0).abs() < 125.0,
+            "realised {n} arrivals for target 1250"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_span() {
+        for pattern in
+            [ArrivalPattern::Constant, ArrivalPattern::paper_spiky()]
+        {
+            let arrivals =
+                generate_arrivals_tu(pattern, 500.0, 400, &mut rng(3));
+            assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+            assert!(arrivals.iter().all(|&t| (0.0..500.0).contains(&t)));
+        }
+    }
+
+    #[test]
+    fn spiky_rate_actually_spikes() {
+        // Measure rate inside vs. outside the spike windows; the ratio
+        // should approach the spike factor.
+        let n_spikes = 4;
+        let span = 4000.0;
+        let arrivals = generate_arrivals_tu(
+            ArrivalPattern::Spiky { n_spikes, spike_factor: 3.0 },
+            span,
+            8000,
+            &mut rng(4),
+        );
+        let segment = span / n_spikes as f64;
+        let lull_len = segment * 0.75;
+        let (mut lull_count, mut spike_count) = (0.0f64, 0.0f64);
+        for &t in &arrivals {
+            if t % segment < lull_len {
+                lull_count += 1.0;
+            } else {
+                spike_count += 1.0;
+            }
+        }
+        let lull_rate = lull_count / (lull_len * n_spikes as f64);
+        let spike_rate =
+            spike_count / ((segment - lull_len) * n_spikes as f64);
+        let ratio = spike_rate / lull_rate;
+        assert!(
+            (2.2..3.8).contains(&ratio),
+            "spike/lull rate ratio {ratio} far from 3"
+        );
+    }
+
+    #[test]
+    fn constant_gaps_have_low_variance() {
+        // Var(gap) = 0.1·mean(gap) by the paper's rule: with mean gap 2tu
+        // the standard deviation is √0.2 ≈ 0.45tu.
+        let arrivals = generate_arrivals_tu(
+            ArrivalPattern::Constant,
+            20_000.0,
+            10_000,
+            &mut rng(5),
+        );
+        let gaps: Vec<f64> =
+            arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>()
+            / (gaps.len() - 1) as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean gap {mean}");
+        assert!((var - 0.2).abs() < 0.05, "gap variance {var}");
+    }
+
+    #[test]
+    fn zero_tasks_yield_no_arrivals() {
+        let arrivals = generate_arrivals_tu(
+            ArrivalPattern::Constant,
+            100.0,
+            0,
+            &mut rng(6),
+        );
+        assert!(arrivals.is_empty());
+    }
+
+    #[test]
+    fn rate_series_rates_are_per_time_unit() {
+        let arrivals = vec![0.5, 1.5, 1.7, 9.9];
+        let series = rate_series(TaskTypeId(0), &arrivals, 10.0, 2.0);
+        // Window 0 covers [0,2): 3 arrivals → 1.5 tasks/tu.
+        assert!((series.rates[0] - 1.5).abs() < 1e-12);
+        assert!((series.rates[4] - 0.5).abs() < 1e-12);
+        let total: f64 =
+            series.rates.iter().map(|r| r * series.window_tu).sum();
+        assert!((total - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = generate_arrivals_tu(
+            ArrivalPattern::paper_spiky(),
+            1000.0,
+            500,
+            &mut rng(7),
+        );
+        let b = generate_arrivals_tu(
+            ArrivalPattern::paper_spiky(),
+            1000.0,
+            500,
+            &mut rng(7),
+        );
+        assert_eq!(a, b);
+    }
+}

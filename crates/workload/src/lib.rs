@@ -1,0 +1,24 @@
+//! Workload synthesis for the pruning evaluation.
+//!
+//! Implements §V-B of the paper end to end:
+//!
+//! * [`machines`] — the eight machine types (paper footnote 1) and twelve
+//!   SPECint-style task types of the evaluation;
+//! * [`petgen`] — the PET matrix recipe: per-cell mean execution times
+//!   with inconsistent heterogeneity, then a histogram over 500 samples
+//!   from a Gamma distribution with shape drawn from [1, 20];
+//! * [`arrival`] — constant-rate (Gamma inter-arrivals, variance = 10 %
+//!   of mean) and spiky (3× bursts lasting ⅓ of the lull) patterns;
+//! * [`trial`] — full workload trials: typed, timed, deadlined task lists
+//!   (deadline Eq. 4), 30-trial sets, JSON persistence.
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod machines;
+pub mod petgen;
+pub mod trial;
+
+pub use arrival::ArrivalPattern;
+pub use petgen::PetGenConfig;
+pub use trial::{TrialSet, WorkloadConfig, WorkloadTrial};

@@ -1,0 +1,109 @@
+//! The evaluation's machine and task-type inventories.
+//!
+//! The paper's PET matrix is 8 machine types × 12 task types: twelve
+//! SPECint benchmarks timed on the eight machines named in footnote 1.
+//! The names are kept for fidelity and for readable experiment output;
+//! the timings themselves are synthesised by [`crate::petgen`] (see
+//! DESIGN.md §3 for the substitution rationale).
+
+use taskprune_model::{Cluster, MachineType, TaskType};
+
+/// Names of the eight machines from the paper's footnote 1.
+pub const MACHINE_NAMES: [&str; 8] = [
+    "Dell Precision 380 (3.0 GHz Pentium Extreme)",
+    "Apple iMac (2.0 GHz Intel Core Duo)",
+    "Apple XServe (2.0 GHz Intel Core Duo)",
+    "IBM System X 3455 (AMD Opteron 2347)",
+    "Shuttle SN25P (AMD Athlon 64 FX-60)",
+    "IBM System P 570 (4.7 GHz)",
+    "SunFire 3800",
+    "IBM BladeCenter HS21XM",
+];
+
+/// Names of twelve SPECint 2006 benchmarks standing in for the paper's
+/// twelve task types.
+pub const TASK_TYPE_NAMES: [&str; 12] = [
+    "400.perlbench",
+    "401.bzip2",
+    "403.gcc",
+    "429.mcf",
+    "445.gobmk",
+    "456.hmmer",
+    "458.sjeng",
+    "462.libquantum",
+    "464.h264ref",
+    "471.omnetpp",
+    "473.astar",
+    "483.xalancbmk",
+];
+
+/// Number of machine types in the paper's evaluation.
+pub const N_MACHINE_TYPES: usize = 8;
+
+/// Number of task types in the paper's evaluation.
+pub const N_TASK_TYPES: usize = 12;
+
+/// The eight machine types in paper order.
+pub fn machine_types() -> Vec<MachineType> {
+    MACHINE_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| MachineType::new(i as u16, *name))
+        .collect()
+}
+
+/// The twelve task types in paper order.
+pub fn task_types() -> Vec<TaskType> {
+    TASK_TYPE_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| TaskType::new(i as u16, *name))
+        .collect()
+}
+
+/// The paper's heterogeneous cluster: one machine of each of the eight
+/// types.
+pub fn heterogeneous_cluster() -> Cluster {
+    Cluster::one_per_type(N_MACHINE_TYPES as u16)
+}
+
+/// A homogeneous cluster of `n` machines, all of machine type 0. Used for
+/// the Fig. 10 experiments (§V-F).
+pub fn homogeneous_cluster(n: u16) -> Cluster {
+    Cluster::homogeneous(n, taskprune_model::MachineTypeId(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_sizes_match_paper() {
+        assert_eq!(machine_types().len(), 8);
+        assert_eq!(task_types().len(), 12);
+    }
+
+    #[test]
+    fn heterogeneous_cluster_is_one_per_type() {
+        let c = heterogeneous_cluster();
+        assert_eq!(c.len(), 8);
+        assert!(!c.is_homogeneous());
+    }
+
+    #[test]
+    fn homogeneous_cluster_shares_type() {
+        let c = homogeneous_cluster(8);
+        assert_eq!(c.len(), 8);
+        assert!(c.is_homogeneous());
+    }
+
+    #[test]
+    fn ids_are_contiguous() {
+        for (i, t) in task_types().iter().enumerate() {
+            assert_eq!(t.id.0 as usize, i);
+        }
+        for (i, m) in machine_types().iter().enumerate() {
+            assert_eq!(m.id.0 as usize, i);
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Workload trials: the task lists experiments run on.
+//!
+//! A [`WorkloadTrial`] is one realisation of the arrival process — "a
+//! list of tasks with attendant types, arrivals times, and deadlines" —
+//! and a [`TrialSet`] is the paper's experimental unit: 30 trials "built
+//! from the same arrival rate and pattern" with different seeds.
+//!
+//! Deadlines follow Eq. 4:
+//!
+//! `δᵢ = arrᵢ + avgᵢ + β · avg_all`,   β ~ U[0.8, 2.5] per task,
+//!
+//! where `avgᵢ` is the task type's mean execution time across machines
+//! and `avg_all` the overall mean, both taken from the PET matrix.
+
+use crate::arrival::{generate_arrivals_tu, ArrivalPattern};
+use serde::{Deserialize, Serialize};
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use taskprune_model::{
+    PetMatrix, SimTime, Task, TaskTypeId, TICKS_PER_TIME_UNIT,
+};
+use taskprune_prob::rng::{derive_seed, Xoshiro256PlusPlus};
+use taskprune_prob::sampler::{Sampler, UniformRange};
+
+/// Everything that defines a workload family (one experimental column in
+/// the paper's plots).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Total target number of tasks across all types (the paper's
+    /// "oversubscription level": 15 K / 20 K / 25 K).
+    pub total_tasks: usize,
+    /// Workload span in time units (Fig. 6 spans 3 000).
+    pub span_tu: f64,
+    /// Arrival pattern.
+    pub pattern: ArrivalPattern,
+    /// Relative spread of per-type task counts: each type's weight is
+    /// drawn from `U[1−s, 1+s]`. 0 = equal share per type.
+    pub type_weight_spread: f64,
+    /// Deadline slack multiplier range (`β` in Eq. 4).
+    pub slack_range: (f64, f64),
+    /// Base seed; trial `i` derives an independent seed from it.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's default: spiky arrivals, 15 K tasks over 3 000 time
+    /// units, slack β ∈ [0.8, 2.5].
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            total_tasks: 15_000,
+            span_tu: 3_000.0,
+            pattern: ArrivalPattern::paper_spiky(),
+            type_weight_spread: 0.4,
+            slack_range: (0.8, 2.5),
+            seed,
+        }
+    }
+
+    /// Same family at a different oversubscription level.
+    pub fn with_total_tasks(mut self, total: usize) -> Self {
+        self.total_tasks = total;
+        self
+    }
+
+    /// Same family with a different arrival pattern.
+    pub fn with_pattern(mut self, pattern: ArrivalPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Per-type target counts. Weights are drawn once per *config* (same
+    /// split across all trials, as the paper holds rates constant within
+    /// an experiment).
+    pub fn type_targets(&self, n_task_types: usize) -> Vec<usize> {
+        let mut rng =
+            Xoshiro256PlusPlus::new(derive_seed(self.seed, 0xBEEF));
+        let spread = self.type_weight_spread.clamp(0.0, 0.95);
+        let weights: Vec<f64> = if spread == 0.0 {
+            vec![1.0; n_task_types]
+        } else {
+            let dist = UniformRange::new(1.0 - spread, 1.0 + spread);
+            dist.sample_n(&mut rng, n_task_types)
+        };
+        let wsum: f64 = weights.iter().sum();
+        weights
+            .iter()
+            .map(|w| {
+                ((w / wsum) * self.total_tasks as f64).round() as usize
+            })
+            .collect()
+    }
+
+    /// Generates trial number `trial_idx` of this family.
+    pub fn generate_trial(
+        &self,
+        pet: &PetMatrix,
+        trial_idx: u32,
+    ) -> WorkloadTrial {
+        let n_types = pet.n_task_types();
+        let targets = self.type_targets(n_types);
+        let trial_seed =
+            derive_seed(self.seed, 0x7117 + u64::from(trial_idx));
+
+        let avg_all_tu =
+            pet.mean_expected_ticks_overall() / TICKS_PER_TIME_UNIT as f64;
+        let slack_dist =
+            UniformRange::new(self.slack_range.0, self.slack_range.1);
+
+        // (arrival_tu, type) pairs across all types, then merged.
+        let mut timed: Vec<(f64, TaskTypeId)> =
+            Vec::with_capacity(self.total_tasks + 64);
+        for (t, &target) in targets.iter().enumerate() {
+            let type_id = TaskTypeId(t as u16);
+            let mut rng = Xoshiro256PlusPlus::new(derive_seed(
+                trial_seed,
+                0xA441 + t as u64,
+            ));
+            for at in generate_arrivals_tu(
+                self.pattern,
+                self.span_tu,
+                target,
+                &mut rng,
+            ) {
+                timed.push((at, type_id));
+            }
+        }
+        timed.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("arrival instants are finite")
+                .then_with(|| a.1.cmp(&b.1))
+        });
+
+        let mut deadline_rng =
+            Xoshiro256PlusPlus::new(derive_seed(trial_seed, 0xDEAD));
+        let tasks: Vec<Task> = timed
+            .into_iter()
+            .enumerate()
+            .map(|(i, (arr_tu, type_id))| {
+                let avg_i_tu = pet
+                    .mean_expected_ticks_across_machines(type_id)
+                    / TICKS_PER_TIME_UNIT as f64;
+                let beta = slack_dist.sample(&mut deadline_rng);
+                let deadline_tu = arr_tu + avg_i_tu + beta * avg_all_tu;
+                Task::new(
+                    i as u64,
+                    type_id,
+                    SimTime::from_time_units(arr_tu),
+                    SimTime::from_time_units(deadline_tu),
+                )
+            })
+            .collect();
+
+        WorkloadTrial {
+            config: self.clone(),
+            trial_idx,
+            tasks,
+        }
+    }
+}
+
+/// One realisation of a workload: tasks sorted by arrival time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadTrial {
+    /// The family this trial was drawn from.
+    pub config: WorkloadConfig,
+    /// Which trial of the family this is.
+    pub trial_idx: u32,
+    /// Tasks in arrival order; `Task::id` equals the position.
+    pub tasks: Vec<Task>,
+}
+
+impl WorkloadTrial {
+    /// Number of tasks in the trial.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the trial is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Writes the trial as JSON (the authors likewise published their
+    /// trials for reproducibility).
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(BufWriter::new(file), self)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Reads a trial back from JSON.
+    pub fn load_json(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(BufReader::new(file))
+            .map_err(std::io::Error::other)
+    }
+}
+
+/// The paper's experimental unit: N independent trials of one family.
+#[derive(Debug, Clone)]
+pub struct TrialSet {
+    /// The trials, index = trial number.
+    pub trials: Vec<WorkloadTrial>,
+}
+
+impl TrialSet {
+    /// Generates `n_trials` trials (30 in the paper).
+    pub fn generate(
+        config: &WorkloadConfig,
+        pet: &PetMatrix,
+        n_trials: u32,
+    ) -> Self {
+        Self {
+            trials: (0..n_trials)
+                .map(|i| config.generate_trial(pet, i))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::petgen::PetGenConfig;
+
+    fn pet() -> PetMatrix {
+        PetGenConfig::paper_heterogeneous(99).generate()
+    }
+
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig {
+            total_tasks: 1_000,
+            span_tu: 300.0,
+            ..WorkloadConfig::paper_default(5)
+        }
+    }
+
+    #[test]
+    fn trial_size_close_to_target() {
+        let trial = small_config().generate_trial(&pet(), 0);
+        let n = trial.len() as f64;
+        assert!((n - 1000.0).abs() < 120.0, "trial size {n}");
+    }
+
+    #[test]
+    fn tasks_sorted_with_sequential_ids() {
+        let trial = small_config().generate_trial(&pet(), 0);
+        for (i, pair) in trial.tasks.windows(2).enumerate() {
+            assert!(pair[0].arrival <= pair[1].arrival, "disorder at {i}");
+        }
+        for (i, task) in trial.tasks.iter().enumerate() {
+            assert_eq!(task.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn deadlines_respect_eq4_bounds() {
+        let pet = pet();
+        let avg_all_tu =
+            pet.mean_expected_ticks_overall() / TICKS_PER_TIME_UNIT as f64;
+        let trial = small_config().generate_trial(&pet, 0);
+        for task in &trial.tasks {
+            let avg_i_tu = pet
+                .mean_expected_ticks_across_machines(task.type_id)
+                / TICKS_PER_TIME_UNIT as f64;
+            let slack_tu = (task.deadline - task.arrival).as_time_units();
+            let lo = avg_i_tu + 0.8 * avg_all_tu;
+            let hi = avg_i_tu + 2.5 * avg_all_tu;
+            assert!(
+                slack_tu >= lo - 1e-3 && slack_tu <= hi + 1e-3,
+                "slack {slack_tu} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn trials_differ_but_are_reproducible() {
+        let pet = pet();
+        let cfg = small_config();
+        let t0a = cfg.generate_trial(&pet, 0);
+        let t0b = cfg.generate_trial(&pet, 0);
+        let t1 = cfg.generate_trial(&pet, 1);
+        assert_eq!(t0a, t0b);
+        assert_ne!(t0a.tasks, t1.tasks);
+        // Same family: task counts stay in the same ballpark.
+        let diff = (t0a.len() as f64 - t1.len() as f64).abs();
+        assert!(diff < 200.0);
+    }
+
+    #[test]
+    fn type_targets_sum_to_total() {
+        let cfg = small_config();
+        let targets = cfg.type_targets(12);
+        let sum: usize = targets.iter().sum();
+        assert!((sum as f64 - 1000.0).abs() <= 12.0, "sum {sum}");
+        assert!(targets.iter().all(|&t| t > 0));
+    }
+
+    #[test]
+    fn zero_spread_gives_equal_targets() {
+        let cfg = WorkloadConfig {
+            type_weight_spread: 0.0,
+            ..small_config()
+        };
+        let targets = cfg.type_targets(10);
+        assert!(targets.iter().all(|&t| t == 100));
+    }
+
+    #[test]
+    fn all_task_types_appear() {
+        let trial = small_config().generate_trial(&pet(), 0);
+        let mut seen = std::collections::HashSet::new();
+        for t in &trial.tasks {
+            seen.insert(t.type_id);
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("taskprune_trial_roundtrip.json");
+        let trial = WorkloadConfig {
+            total_tasks: 50,
+            span_tu: 50.0,
+            ..small_config()
+        }
+        .generate_trial(&pet(), 3);
+        trial.save_json(&path).unwrap();
+        let back = WorkloadTrial::load_json(&path).unwrap();
+        assert_eq!(trial, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trial_set_generates_requested_count() {
+        let set = TrialSet::generate(&small_config(), &pet(), 5);
+        assert_eq!(set.trials.len(), 5);
+        // Trials must be pairwise different realisations.
+        assert_ne!(set.trials[0].tasks, set.trials[1].tasks);
+    }
+
+    #[test]
+    fn constant_pattern_trial_generates() {
+        let cfg = small_config().with_pattern(ArrivalPattern::Constant);
+        let trial = cfg.generate_trial(&pet(), 0);
+        assert!(!trial.is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! A tour of all ten mapping heuristics, bare vs. pruned.
+//!
+//! Runs every heuristic of the paper's Fig. 3 on the same oversubscribed
+//! workload — immediate-mode and batch-mode heuristics on the
+//! heterogeneous cluster, the homogeneous trio on eight identical
+//! machines — and prints the robustness with and without the pruning
+//! mechanism.
+//!
+//! Run with: `cargo run --release --example heuristic_tour`
+
+use taskprune::prelude::*;
+use taskprune::ClusterKind;
+
+fn main() {
+    let workload = WorkloadConfig {
+        total_tasks: 4_000,
+        span_tu: 600.0,
+        ..WorkloadConfig::paper_default(31_415)
+    };
+
+    println!(
+        "{} tasks over {} time units, spiky arrivals\n",
+        workload.total_tasks, workload.span_tu
+    );
+    println!("heuristic    mode        cluster        bare %   pruned %   gain");
+    println!("-----------------------------------------------------------------");
+
+    let table: &[(&[HeuristicKind], ClusterKind, &str)] = &[
+        (
+            &HeuristicKind::IMMEDIATE,
+            ClusterKind::Heterogeneous,
+            "heterogeneous",
+        ),
+        (
+            // OLB and SA: classic immediate-mode heuristics from the
+            // same literature family, beyond the paper's four.
+            &HeuristicKind::IMMEDIATE_EXTENSIONS,
+            ClusterKind::Heterogeneous,
+            "heterogeneous",
+        ),
+        (
+            &HeuristicKind::BATCH,
+            ClusterKind::Heterogeneous,
+            "heterogeneous",
+        ),
+        (
+            &HeuristicKind::HOMOGENEOUS,
+            ClusterKind::Homogeneous { n: 8 },
+            "homogeneous",
+        ),
+    ];
+
+    for &(kinds, cluster_kind, cluster_label) in table {
+        let (cluster, petgen) = cluster_kind.materialise();
+        let pet = petgen.generate();
+        for &kind in kinds {
+            let trial = workload.generate_trial(&pet, 0);
+            let mode = if kind.is_immediate() { "immediate" } else { "batch" };
+            let sim = if kind.is_immediate() {
+                SimConfig::immediate(8)
+            } else {
+                SimConfig::batch(8)
+            };
+            // Immediate mode cannot defer (no arrival queue): the pruned
+            // variant uses dropping only, exactly like the paper.
+            let pruning = if kind.is_immediate() {
+                PruningConfig {
+                    defer_enabled: false,
+                    ..PruningConfig::paper_default()
+                }
+            } else {
+                PruningConfig::paper_default()
+            };
+            let bare = ResourceAllocator::new(&cluster, &pet, sim)
+                .heuristic(kind)
+                .run(&trial.tasks);
+            let pruned = ResourceAllocator::new(&cluster, &pet, sim)
+                .heuristic(kind)
+                .pruning(pruning)
+                .run(&trial.tasks);
+            let (b, p) = (
+                bare.robustness_pct(100),
+                pruned.robustness_pct(100),
+            );
+            println!(
+                "{:<12} {:<11} {:<14} {:>5.1}   {:>7.1}   {:>+5.1}",
+                kind.name(),
+                mode,
+                cluster_label,
+                b,
+                p,
+                p - b
+            );
+        }
+    }
+    println!(
+        "\nThe mechanism plugs into every heuristic unchanged; the largest \
+         gains go to\nthe heuristics with the weakest native deadline \
+         awareness — the paper's headline."
+    );
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the `taskprune` reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so the integration
+//! tests in `tests/` and the runnable examples in `examples/` can reach
+//! the whole system through a single dependency. Library users should
+//! depend on the individual crates (most importantly [`taskprune`]).
+
+pub use taskprune;
+pub use taskprune_heuristics as heuristics;
+pub use taskprune_model as model;
+pub use taskprune_prob as prob;
+pub use taskprune_sim as sim;
+pub use taskprune_workload as workload;

@@ -1,0 +1,221 @@
+//! Cross-crate integration tests: full workload → allocator → simulator
+//! pipelines, checking the paper's qualitative claims end to end.
+
+use taskprune::prelude::*;
+use taskprune::ClusterKind;
+
+/// A moderately oversubscribed spiky workload (paper density, small span).
+fn oversubscribed(seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        total_tasks: 2_000,
+        span_tu: 300.0, // ~6.7 tasks/tu ≈ the paper's 20K regime
+        ..WorkloadConfig::paper_default(seed)
+    }
+}
+
+fn het() -> (Cluster, PetMatrix) {
+    let (cluster, petgen) = ClusterKind::Heterogeneous.materialise();
+    (cluster, petgen.generate())
+}
+
+#[test]
+fn pruning_improves_every_batch_heuristic_when_oversubscribed() {
+    let (cluster, pet) = het();
+    let trial = oversubscribed(1).generate_trial(&pet, 0);
+    for kind in HeuristicKind::BATCH {
+        let bare = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
+            .heuristic(kind)
+            .run(&trial.tasks);
+        let pruned =
+            ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
+                .heuristic(kind)
+                .pruning(PruningConfig::paper_default())
+                .run(&trial.tasks);
+        assert!(
+            pruned.robustness_pct(100) > bare.robustness_pct(100),
+            "{}: pruned {:.1}% <= bare {:.1}%",
+            kind.name(),
+            pruned.robustness_pct(100),
+            bare.robustness_pct(100)
+        );
+        // Pruning must also cut wasted machine time.
+        assert!(
+            pruned.wasted_fraction() < bare.wasted_fraction(),
+            "{}: waste did not shrink",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn pruning_improves_homogeneous_heuristics() {
+    let (cluster, petgen) = ClusterKind::Homogeneous { n: 8 }.materialise();
+    let pet = petgen.generate();
+    let trial = oversubscribed(2).generate_trial(&pet, 0);
+    for kind in HeuristicKind::HOMOGENEOUS {
+        let bare = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(2))
+            .heuristic(kind)
+            .run(&trial.tasks);
+        let pruned =
+            ResourceAllocator::new(&cluster, &pet, SimConfig::batch(2))
+                .heuristic(kind)
+                .pruning(PruningConfig::paper_default())
+                .run(&trial.tasks);
+        assert!(
+            pruned.robustness_pct(100) > bare.robustness_pct(100),
+            "{}: pruned {:.1}% <= bare {:.1}%",
+            kind.name(),
+            pruned.robustness_pct(100),
+            bare.robustness_pct(100)
+        );
+    }
+}
+
+#[test]
+fn probabilistic_dropping_helps_immediate_mode() {
+    let (cluster, pet) = het();
+    let trial = oversubscribed(3).generate_trial(&pet, 0);
+    // KPB — the paper's strongest immediate heuristic.
+    let bare =
+        ResourceAllocator::new(&cluster, &pet, SimConfig::immediate(3))
+            .heuristic(HeuristicKind::Kpb)
+            .run(&trial.tasks);
+    let dropping =
+        ResourceAllocator::new(&cluster, &pet, SimConfig::immediate(3))
+            .heuristic(HeuristicKind::Kpb)
+            .pruning(PruningConfig {
+                defer_enabled: false,
+                ..PruningConfig::paper_default()
+            })
+            .run(&trial.tasks);
+    assert!(
+        dropping.robustness_pct(100) > bare.robustness_pct(100),
+        "dropping {:.1}% <= bare {:.1}%",
+        dropping.robustness_pct(100),
+        bare.robustness_pct(100)
+    );
+    assert!(dropping.count(TaskOutcome::DroppedProactive) > 0);
+    // Immediate mode never defers (no arrival queue).
+    assert_eq!(dropping.deferrals, 0);
+}
+
+#[test]
+fn every_task_gets_exactly_one_outcome() {
+    let (cluster, pet) = het();
+    let trial = oversubscribed(4).generate_trial(&pet, 0);
+    for kind in [HeuristicKind::Mm, HeuristicKind::Kpb] {
+        let sim = if kind.is_immediate() {
+            SimConfig::immediate(4)
+        } else {
+            SimConfig::batch(4)
+        };
+        let stats = ResourceAllocator::new(&cluster, &pet, sim)
+            .heuristic(kind)
+            .pruning(PruningConfig::paper_default())
+            .run(&trial.tasks);
+        assert_eq!(stats.unreported(), 0, "{} lost tasks", kind.name());
+        let accounted: usize = [
+            TaskOutcome::CompletedOnTime,
+            TaskOutcome::CompletedLate,
+            TaskOutcome::DroppedReactive,
+            TaskOutcome::DroppedProactive,
+            TaskOutcome::CancelledRunning,
+            TaskOutcome::Rejected,
+            TaskOutcome::Unfinished,
+        ]
+        .iter()
+        .map(|&o| stats.count(o))
+        .sum();
+        assert_eq!(accounted, trial.len(), "{}", kind.name());
+    }
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let (cluster, pet) = het();
+    let trial = oversubscribed(5).generate_trial(&pet, 0);
+    let run = || {
+        ResourceAllocator::new(&cluster, &pet, SimConfig::batch(5))
+            .heuristic(HeuristicKind::Msd)
+            .pruning(PruningConfig::paper_default())
+            .run(&trial.tasks)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.robustness_pct(0), b.robustness_pct(0));
+    assert_eq!(a.deferrals, b.deferrals);
+    assert_eq!(
+        a.count(TaskOutcome::DroppedProactive),
+        b.count(TaskOutcome::DroppedProactive)
+    );
+    for i in 0..trial.len() as u64 {
+        assert_eq!(
+            a.outcome(taskprune_model::TaskId(i)),
+            b.outcome(taskprune_model::TaskId(i))
+        );
+    }
+}
+
+#[test]
+fn underloaded_system_needs_no_pruning() {
+    let (cluster, pet) = het();
+    // 8 machines, tasks arriving slower than aggregate service rate.
+    let trial = WorkloadConfig {
+        total_tasks: 300,
+        span_tu: 600.0,
+        ..WorkloadConfig::paper_default(6)
+    }
+    .generate_trial(&pet, 0);
+    let pruned = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(6))
+        .heuristic(HeuristicKind::Mm)
+        .pruning(PruningConfig::paper_default())
+        .run(&trial.tasks);
+    // Nearly everything completes; the reactive toggle almost never
+    // engages so proactive drops stay rare.
+    assert!(
+        pruned.robustness_pct(0) > 90.0,
+        "robustness {:.1}%",
+        pruned.robustness_pct(0)
+    );
+    let drops = pruned.count(TaskOutcome::DroppedProactive);
+    assert!(drops < trial.len() / 20, "{drops} proactive drops");
+}
+
+#[test]
+fn experiment_runner_matches_direct_allocator_runs() {
+    // The rayon-parallel experiment runner must agree with a serial
+    // loop over the same seeds.
+    let workload = WorkloadConfig {
+        total_tasks: 500,
+        span_tu: 100.0,
+        ..WorkloadConfig::paper_default(7)
+    };
+    let cfg = taskprune::ExperimentConfig::new(
+        HeuristicKind::Mm,
+        Some(PruningConfig::paper_default()),
+        workload.clone(),
+    )
+    .trials(3);
+    let parallel = taskprune::run_experiment(&cfg);
+
+    let (cluster, petgen) = ClusterKind::Heterogeneous.materialise();
+    let pet = petgen.generate();
+    for (trial_idx, expected) in
+        parallel.per_trial_robustness.iter().enumerate()
+    {
+        let trial = workload.generate_trial(&pet, trial_idx as u32);
+        let mut sim = SimConfig::batch(0);
+        sim.seed = taskprune_prob::rng::derive_seed(
+            workload.seed,
+            0x51D_0000 + trial_idx as u64,
+        );
+        let stats = ResourceAllocator::new(&cluster, &pet, sim)
+            .heuristic(HeuristicKind::Mm)
+            .pruning(PruningConfig::paper_default())
+            .run(&trial.tasks);
+        assert_eq!(
+            stats.robustness_pct(taskprune_sim::stats::PAPER_TRIM),
+            *expected,
+            "trial {trial_idx} diverged"
+        );
+    }
+}

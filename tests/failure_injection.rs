@@ -1,0 +1,251 @@
+//! Failure injection: degenerate and adversarial inputs must be handled
+//! gracefully — no panics, no lost tasks, sane metrics.
+
+use taskprune::prelude::*;
+use taskprune::ClusterKind;
+use taskprune_model::{BinSpec, TaskTypeId};
+use taskprune_prob::Pmf;
+
+fn het() -> (Cluster, PetMatrix) {
+    let (cluster, petgen) = ClusterKind::Heterogeneous.materialise();
+    (cluster, petgen.generate())
+}
+
+fn run_all_heuristics(cluster: &Cluster, pet: &PetMatrix, tasks: &[Task]) {
+    for kind in HeuristicKind::BATCH
+        .iter()
+        .chain(&HeuristicKind::IMMEDIATE)
+        .chain(&HeuristicKind::HOMOGENEOUS)
+    {
+        let sim = if kind.is_immediate() {
+            SimConfig::immediate(1)
+        } else {
+            SimConfig::batch(1)
+        };
+        for pruning in [None, Some(PruningConfig::paper_default())] {
+            let stats = ResourceAllocator::new(cluster, pet, sim)
+                .heuristic(*kind)
+                .pruning_opt(pruning)
+                .run(tasks);
+            assert_eq!(stats.unreported(), 0, "{} lost tasks", kind.name());
+            let r = stats.robustness_pct(0);
+            assert!((0.0..=100.0).contains(&r), "{} r={r}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn empty_workload() {
+    let (cluster, pet) = het();
+    run_all_heuristics(&cluster, &pet, &[]);
+}
+
+#[test]
+fn single_task() {
+    let (cluster, pet) = het();
+    let tasks = vec![Task::new(
+        0,
+        TaskTypeId(0),
+        SimTime::from_time_units(1.0),
+        SimTime::from_time_units(100.0),
+    )];
+    run_all_heuristics(&cluster, &pet, &tasks);
+}
+
+#[test]
+fn single_machine_cluster() {
+    let pet = PetMatrix::new(
+        BinSpec::new(250),
+        1,
+        2,
+        vec![
+            Pmf::from_points(&[(2, 0.5), (6, 0.5)]).unwrap(),
+            Pmf::point_mass(4),
+        ],
+    );
+    let cluster = Cluster::one_per_type(1);
+    let tasks: Vec<Task> = (0..200)
+        .map(|i| {
+            Task::new(
+                i,
+                TaskTypeId((i % 2) as u16),
+                SimTime(i * 200),
+                SimTime(i * 200 + 3_000),
+            )
+        })
+        .collect();
+    let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(2))
+        .heuristic(HeuristicKind::Mm)
+        .pruning(PruningConfig::paper_default())
+        .run(&tasks);
+    assert_eq!(stats.unreported(), 0);
+}
+
+#[test]
+fn zero_slack_deadlines_all_fail_cleanly() {
+    let (cluster, pet) = het();
+    // Deadline equals arrival: nothing can ever complete on time.
+    let tasks: Vec<Task> = (0..300)
+        .map(|i| {
+            let t = SimTime(i * 100);
+            Task::new(i, TaskTypeId((i % 12) as u16), t, t)
+        })
+        .collect();
+    let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(3))
+        .heuristic(HeuristicKind::Msd)
+        .pruning(PruningConfig::paper_default())
+        .run(&tasks);
+    assert_eq!(stats.count(TaskOutcome::CompletedOnTime), 0);
+    assert_eq!(stats.unreported(), 0);
+    assert_eq!(stats.robustness_pct(0), 0.0);
+}
+
+#[test]
+fn identical_deadlines_mass_arrival() {
+    let (cluster, pet) = het();
+    // 500 tasks all arriving at t=0 with one shared deadline: an
+    // extreme burst; MSD's deadline ordering degenerates entirely.
+    let tasks: Vec<Task> = (0..500)
+        .map(|i| {
+            Task::new(
+                i,
+                TaskTypeId((i % 12) as u16),
+                SimTime(0),
+                SimTime::from_time_units(40.0),
+            )
+        })
+        .collect();
+    run_all_heuristics(&cluster, &pet, &tasks);
+}
+
+#[test]
+fn deterministic_point_mass_pets() {
+    // A fully deterministic system: chance estimates become 0/1.
+    let pet = PetMatrix::new(
+        BinSpec::new(100),
+        2,
+        2,
+        vec![
+            Pmf::point_mass(3),
+            Pmf::point_mass(7),
+            Pmf::point_mass(5),
+            Pmf::point_mass(2),
+        ],
+    );
+    let cluster = Cluster::one_per_type(2);
+    let tasks: Vec<Task> = (0..100)
+        .map(|i| {
+            Task::new(
+                i,
+                TaskTypeId((i % 2) as u16),
+                SimTime(i * 150),
+                SimTime(i * 150 + 2_000),
+            )
+        })
+        .collect();
+    let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(4))
+        .heuristic(HeuristicKind::Mm)
+        .pruning(PruningConfig::paper_default())
+        .run(&tasks);
+    assert_eq!(stats.unreported(), 0);
+}
+
+#[test]
+fn extreme_oversubscription_survives() {
+    let (cluster, pet) = het();
+    // ~10x capacity: nearly everything must be pruned or expire.
+    let trial = WorkloadConfig {
+        total_tasks: 3_000,
+        span_tu: 60.0,
+        ..WorkloadConfig::paper_default(55)
+    }
+    .generate_trial(&pet, 0);
+    let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(5))
+        .heuristic(HeuristicKind::Mmu)
+        .pruning(PruningConfig::paper_default())
+        .run(&trial.tasks);
+    assert_eq!(stats.unreported(), 0);
+    // The pruner must be doing heavy lifting here.
+    assert!(
+        stats.count(TaskOutcome::DroppedProactive) > 0
+            || stats.deferrals > 0
+    );
+}
+
+#[test]
+fn trial_smaller_than_trim_window() {
+    let (cluster, pet) = het();
+    let tasks: Vec<Task> = (0..150)
+        .map(|i| {
+            Task::new(
+                i,
+                TaskTypeId(0),
+                SimTime(i * 500),
+                SimTime(i * 500 + 10_000),
+            )
+        })
+        .collect();
+    let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(6))
+        .heuristic(HeuristicKind::Mm)
+        .run(&tasks);
+    // 150 tasks < 2×100 trim → the paper window is empty → 0 by
+    // definition, not a panic.
+    assert_eq!(stats.robustness_pct(100), 0.0);
+    assert!(stats.robustness_pct(0) > 0.0);
+}
+
+#[test]
+fn queue_capacity_one_still_flows() {
+    let (cluster, pet) = het();
+    let trial = WorkloadConfig {
+        total_tasks: 400,
+        span_tu: 100.0,
+        ..WorkloadConfig::paper_default(66)
+    }
+    .generate_trial(&pet, 0);
+    let mut sim = SimConfig::batch(7);
+    sim.queue_capacity = 1;
+    let stats = ResourceAllocator::new(&cluster, &pet, sim)
+        .heuristic(HeuristicKind::Mm)
+        .pruning(PruningConfig::paper_default())
+        .run(&trial.tasks);
+    assert_eq!(stats.unreported(), 0);
+    assert!(stats.count(TaskOutcome::CompletedOnTime) > 0);
+}
+
+#[test]
+fn cancel_running_late_policy_end_to_end() {
+    let (cluster, pet) = het();
+    let trial = WorkloadConfig {
+        total_tasks: 1_000,
+        span_tu: 150.0,
+        slack_range: (0.3, 0.8), // tight deadlines → mid-run expiries
+        ..WorkloadConfig::paper_default(77)
+    }
+    .generate_trial(&pet, 0);
+    let mut sim = SimConfig::batch(8);
+    sim.cancel_running_late = true;
+    let stats = ResourceAllocator::new(&cluster, &pet, sim)
+        .heuristic(HeuristicKind::Mm)
+        .run(&trial.tasks);
+    assert_eq!(stats.unreported(), 0);
+    assert!(
+        stats.count(TaskOutcome::CancelledRunning) > 0,
+        "tight deadlines must cause mid-run cancellations"
+    );
+    // Cancellation fires at mapping events, so a task finishing between
+    // events can still complete late — but the policy must leave fewer
+    // late completions than running everything to the end does.
+    let mut sim_off = SimConfig::batch(8);
+    sim_off.cancel_running_late = false;
+    let without = ResourceAllocator::new(&cluster, &pet, sim_off)
+        .heuristic(HeuristicKind::Mm)
+        .run(&trial.tasks);
+    assert!(
+        stats.count(TaskOutcome::CompletedLate)
+            < without.count(TaskOutcome::CompletedLate),
+        "cancellation did not reduce late completions: {} vs {}",
+        stats.count(TaskOutcome::CompletedLate),
+        without.count(TaskOutcome::CompletedLate)
+    );
+}

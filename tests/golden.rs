@@ -1,0 +1,85 @@
+//! Golden regression tests: exact pinned outcomes for small, fully
+//! deterministic pipelines.
+//!
+//! Every component in the chain (workload synthesis, PET generation,
+//! event ordering, heuristics, pruning, execution sampling) is seeded
+//! and deterministic, so these values are stable across runs and
+//! platforms. If an intentional behaviour change moves them, update the
+//! constants *deliberately* — an unintentional move is a regression in
+//! one of a dozen interacting components that unit tests may individually
+//! miss.
+
+use taskprune::prelude::*;
+use taskprune::ClusterKind;
+
+fn fixture() -> (Cluster, PetMatrix, taskprune_workload::WorkloadTrial) {
+    let (cluster, petgen) = ClusterKind::Heterogeneous.materialise();
+    let pet = petgen.generate();
+    let trial = WorkloadConfig {
+        total_tasks: 800,
+        span_tu: 150.0,
+        ..WorkloadConfig::paper_default(0x601D)
+    }
+    .generate_trial(&pet, 0);
+    (cluster, pet, trial)
+}
+
+#[test]
+fn workload_synthesis_is_pinned() {
+    let (_, _, trial) = fixture();
+    assert_eq!(trial.len(), 724);
+    let t0 = &trial.tasks[0];
+    let t_mid = &trial.tasks[400];
+    assert_eq!(
+        (t0.arrival.ticks(), t0.deadline.ticks(), t0.type_id.0),
+        (2_071, 12_649, 0)
+    );
+    assert_eq!(
+        (
+            t_mid.arrival.ticks(),
+            t_mid.deadline.ticks(),
+            t_mid.type_id.0
+        ),
+        (87_442, 99_516, 10)
+    );
+}
+
+#[test]
+fn bare_mm_outcomes_are_pinned() {
+    let (cluster, pet, trial) = fixture();
+    let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(9))
+        .heuristic(HeuristicKind::Mm)
+        .run(&trial.tasks);
+    assert_eq!(
+        (
+            stats.count(TaskOutcome::CompletedOnTime),
+            stats.count(TaskOutcome::CompletedLate),
+            stats.count(TaskOutcome::DroppedReactive),
+        ),
+        (GOLDEN_MM_BARE.0, GOLDEN_MM_BARE.1, GOLDEN_MM_BARE.2),
+        "bare MM outcome counts moved"
+    );
+}
+
+#[test]
+fn pruned_mm_outcomes_are_pinned() {
+    let (cluster, pet, trial) = fixture();
+    let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(9))
+        .heuristic(HeuristicKind::Mm)
+        .pruning(PruningConfig::paper_default())
+        .run(&trial.tasks);
+    assert_eq!(
+        (
+            stats.count(TaskOutcome::CompletedOnTime),
+            stats.count(TaskOutcome::DroppedProactive),
+            stats.deferrals,
+        ),
+        (GOLDEN_MM_PRUNED.0, GOLDEN_MM_PRUNED.1, GOLDEN_MM_PRUNED.2),
+        "pruned MM outcome counts moved"
+    );
+}
+
+// Pinned values, regenerated via `cargo run -p taskprune-bench --bin
+// golden_pin` whenever behaviour changes intentionally.
+const GOLDEN_MM_BARE: (usize, usize, usize) = (446, 126, 152);
+const GOLDEN_MM_PRUNED: (usize, usize, u64) = (636, 36, 2_872);

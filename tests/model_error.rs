@@ -1,0 +1,89 @@
+//! Integration tests for the belief-vs-truth PET split and the learned
+//! estimator extension.
+
+use taskprune::extensions::{learn_from_observations, miscalibrate};
+use taskprune::prelude::*;
+use taskprune::ClusterKind;
+
+fn fixture() -> (Cluster, PetMatrix, taskprune_workload::WorkloadTrial) {
+    let (cluster, petgen) = ClusterKind::Heterogeneous.materialise();
+    let truth = petgen.generate();
+    let trial = WorkloadConfig {
+        total_tasks: 2_000,
+        span_tu: 300.0,
+        ..WorkloadConfig::paper_default(33)
+    }
+    .generate_trial(&truth, 0);
+    (cluster, truth, trial)
+}
+
+fn run_belief(
+    cluster: &Cluster,
+    belief: &PetMatrix,
+    truth: &PetMatrix,
+    tasks: &[Task],
+) -> SimStats {
+    ResourceAllocator::new(cluster, belief, SimConfig::batch(44))
+        .truth_pet(truth)
+        .heuristic(HeuristicKind::Mm)
+        .pruning(PruningConfig::paper_default())
+        .run(tasks)
+}
+
+#[test]
+fn identical_belief_equals_single_matrix_path() {
+    let (cluster, truth, trial) = fixture();
+    let split = run_belief(&cluster, &truth, &truth, &trial.tasks);
+    let single =
+        ResourceAllocator::new(&cluster, &truth, SimConfig::batch(44))
+            .heuristic(HeuristicKind::Mm)
+            .pruning(PruningConfig::paper_default())
+            .run(&trial.tasks);
+    assert_eq!(split.robustness_pct(0), single.robustness_pct(0));
+    assert_eq!(split.deferrals, single.deferrals);
+}
+
+#[test]
+fn well_learned_belief_performs_near_oracle() {
+    let (cluster, truth, trial) = fixture();
+    let oracle = run_belief(&cluster, &truth, &truth, &trial.tasks);
+    let learned = learn_from_observations(&truth, 500, 1);
+    let with_learned =
+        run_belief(&cluster, &learned, &truth, &trial.tasks);
+    let gap = (oracle.robustness_pct(100)
+        - with_learned.robustness_pct(100))
+    .abs();
+    assert!(gap < 6.0, "500-sample belief {gap:.1} pp from oracle");
+}
+
+#[test]
+fn strongly_optimistic_belief_degrades_robustness() {
+    let (cluster, truth, trial) = fixture();
+    let oracle = run_belief(&cluster, &truth, &truth, &trial.tasks);
+    // Believing everything runs 4x faster than reality: chance
+    // estimates become fantasy, the pruner stops pruning, and mapped
+    // tasks blow their deadlines.
+    let optimistic = miscalibrate(&truth, 0.25);
+    let degraded =
+        run_belief(&cluster, &optimistic, &truth, &trial.tasks);
+    assert!(
+        degraded.robustness_pct(100) < oracle.robustness_pct(100) - 3.0,
+        "optimistic belief {:.1}% not clearly below oracle {:.1}%",
+        degraded.robustness_pct(100),
+        oracle.robustness_pct(100)
+    );
+}
+
+#[test]
+fn shape_mismatched_truth_is_rejected() {
+    let (cluster, truth, trial) = fixture();
+    let small = taskprune_workload::PetGenConfig {
+        n_task_types: 3,
+        ..taskprune_workload::PetGenConfig::paper_heterogeneous(1)
+    }
+    .generate();
+    let result = std::panic::catch_unwind(|| {
+        run_belief(&cluster, &small, &truth, &trial.tasks)
+    });
+    assert!(result.is_err(), "shape mismatch must panic loudly");
+}

@@ -1,0 +1,188 @@
+//! Integration tests pinning the pruning mechanism's behavioural
+//! contracts from §IV of the paper.
+
+use taskprune::prelude::*;
+use taskprune::ClusterKind;
+
+fn setup() -> (Cluster, PetMatrix, taskprune_workload::WorkloadTrial) {
+    let (cluster, petgen) = ClusterKind::Heterogeneous.materialise();
+    let pet = petgen.generate();
+    let trial = WorkloadConfig {
+        total_tasks: 2_500,
+        span_tu: 300.0, // heavy oversubscription
+        ..WorkloadConfig::paper_default(11)
+    }
+    .generate_trial(&pet, 0);
+    (cluster, pet, trial)
+}
+
+fn run(
+    cluster: &Cluster,
+    pet: &PetMatrix,
+    tasks: &[Task],
+    pruning: PruningConfig,
+) -> SimStats {
+    ResourceAllocator::new(cluster, pet, SimConfig::batch(21))
+        .heuristic(HeuristicKind::Mm)
+        .pruning(pruning)
+        .run(tasks)
+}
+
+#[test]
+fn defer_only_configuration_never_drops_proactively() {
+    let (cluster, pet, trial) = setup();
+    let stats =
+        run(&cluster, &pet, &trial.tasks, PruningConfig::defer_only(0.5));
+    assert!(stats.deferrals > 0, "defer-only must defer under load");
+    assert_eq!(stats.count(TaskOutcome::DroppedProactive), 0);
+}
+
+#[test]
+fn always_toggle_drops_at_least_as_much_as_reactive() {
+    let (cluster, pet, trial) = setup();
+    let always = run(
+        &cluster,
+        &pet,
+        &trial.tasks,
+        PruningConfig::paper_default().with_toggle(ToggleMode::Always),
+    );
+    let reactive = run(
+        &cluster,
+        &pet,
+        &trial.tasks,
+        PruningConfig::paper_default(),
+    );
+    let never =
+        run(&cluster, &pet, &trial.tasks, PruningConfig::defer_only(0.5));
+    assert!(
+        always.count(TaskOutcome::DroppedProactive)
+            >= reactive.count(TaskOutcome::DroppedProactive)
+    );
+    assert_eq!(never.count(TaskOutcome::DroppedProactive), 0);
+    // Under *heavy* oversubscription the reactive toggle fires nearly
+    // every event, so its drop count approaches always-on.
+    assert!(reactive.count(TaskOutcome::DroppedProactive) > 0);
+}
+
+#[test]
+fn higher_threshold_defers_more() {
+    let (cluster, pet, trial) = setup();
+    let low =
+        run(&cluster, &pet, &trial.tasks, PruningConfig::defer_only(0.25));
+    let high =
+        run(&cluster, &pet, &trial.tasks, PruningConfig::defer_only(0.75));
+    assert!(
+        high.deferrals > low.deferrals,
+        "75% threshold deferred {} <= 25% threshold {}",
+        high.deferrals,
+        low.deferrals
+    );
+}
+
+/// The Fairness module's contract (§IV-D): a task type that the
+/// chance-based pruner would *persistently* sacrifice must accumulate
+/// sufferage until the pruner relents.
+///
+/// Crafted starvation scenario: on one machine, a "long" task type's
+/// chance of success is exactly 50 % even on an idle machine, so the
+/// β = 50 % pruner defers every single instance forever — they all
+/// expire. With sufferage also fed by those reactive expiries
+/// (`count_reactive_drops`), the type's threshold decays and instances
+/// start being mapped again.
+#[test]
+fn fairness_rescues_a_starved_task_type() {
+    use taskprune_model::{BinSpec, TaskTypeId};
+    use taskprune_prob::Pmf;
+
+    let pet = PetMatrix::new(
+        BinSpec::new(100),
+        1,
+        2,
+        vec![
+            Pmf::point_mass(2),                                // short type
+            Pmf::from_points(&[(6, 0.5), (12, 0.5)]).unwrap(), // long type
+        ],
+    );
+    let cluster = Cluster::one_per_type(1);
+    // Alternating arrivals; the long type's deadline bin (slack 1 000
+    // ticks = bin 10 − 1 = 9) sits between its two execution outcomes
+    // (bins 6 and 12) → chance is exactly 0.5 on an idle machine.
+    let tasks: Vec<Task> = (0..400)
+        .map(|i| {
+            let arr = SimTime(i * 400);
+            if i % 2 == 0 {
+                Task::new(i, TaskTypeId(0), arr, SimTime(arr.ticks() + 4_000))
+            } else {
+                Task::new(i, TaskTypeId(1), arr, SimTime(arr.ticks() + 1_000))
+            }
+        })
+        .collect();
+
+    let base = PruningConfig::paper_default();
+    let starved = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(9))
+        .heuristic(HeuristicKind::Mm)
+        .pruning(PruningConfig {
+            fairness: FairnessConfig::disabled(),
+            ..base
+        })
+        .run(&tasks);
+    let rescued = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(9))
+        .heuristic(HeuristicKind::Mm)
+        .pruning(PruningConfig {
+            fairness: FairnessConfig {
+                count_reactive_drops: true,
+                ..FairnessConfig::paper_default(base.threshold)
+            },
+            ..base
+        })
+        .run(&tasks);
+
+    let long_type = |s: &SimStats| s.per_type()[1].on_time;
+    assert_eq!(
+        long_type(&starved),
+        0,
+        "without fairness the 50%-chance type must be starved outright"
+    );
+    assert!(
+        long_type(&rescued) > 0,
+        "sufferage must eventually let the starved type through"
+    );
+    // The short type keeps flowing in both configurations.
+    assert!(rescued.per_type()[0].on_time > 150);
+}
+
+#[test]
+fn pruned_tasks_are_counted_not_lost() {
+    let (cluster, pet, trial) = setup();
+    let stats =
+        run(&cluster, &pet, &trial.tasks, PruningConfig::paper_default());
+    assert_eq!(stats.unreported(), 0);
+    // Heavy oversubscription: a meaningful share of the workload is
+    // pruned or expires, and the counters agree with per-type sums.
+    let per_type_proactive: u64 =
+        stats.per_type().iter().map(|t| t.dropped_proactive).sum();
+    assert_eq!(
+        per_type_proactive as usize,
+        stats.count(TaskOutcome::DroppedProactive)
+    );
+    let per_type_on_time: u64 =
+        stats.per_type().iter().map(|t| t.on_time).sum();
+    assert_eq!(
+        per_type_on_time as usize,
+        stats.count(TaskOutcome::CompletedOnTime)
+    );
+}
+
+#[test]
+fn wasted_work_shrinks_monotonically_with_mechanism_strength() {
+    let (cluster, pet, trial) = setup();
+    let bare = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(21))
+        .heuristic(HeuristicKind::Mm)
+        .run(&trial.tasks);
+    let defer_only =
+        run(&cluster, &pet, &trial.tasks, PruningConfig::defer_only(0.5));
+    let full =
+        run(&cluster, &pet, &trial.tasks, PruningConfig::paper_default());
+    assert!(defer_only.wasted_fraction() < bare.wasted_fraction());
+    assert!(full.wasted_fraction() <= defer_only.wasted_fraction() + 0.02);
+}

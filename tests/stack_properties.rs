@@ -1,0 +1,142 @@
+//! Property-based tests across the whole stack: random small workloads
+//! through the full allocator pipeline must uphold conservation,
+//! determinism, and metric bounds for every heuristic × pruning combo.
+
+use proptest::prelude::*;
+use taskprune::prelude::*;
+use taskprune_model::{BinSpec, Cluster, TaskTypeId};
+use taskprune_prob::Pmf;
+
+/// A small random PET matrix (2 machines × 3 task types) with arbitrary
+/// two-point execution distributions.
+fn arb_pet() -> impl Strategy<Value = PetMatrix> {
+    prop::collection::vec((1u64..20, 1u64..20, 0.05f64..0.95), 6).prop_map(
+        |cells| {
+            let entries: Vec<Pmf> = cells
+                .into_iter()
+                .map(|(a, b, w)| {
+                    let mut pmf =
+                        Pmf::from_points(&[(a, w), (a + b, 1.0 - w)])
+                            .expect("two-point pmf");
+                    pmf.normalise().expect("positive mass");
+                    pmf
+                })
+                .collect();
+            PetMatrix::new(BinSpec::new(100), 2, 3, entries)
+        },
+    )
+}
+
+/// A random workload of up to 60 tasks with arbitrary (sorted) arrivals
+/// and non-negative slacks.
+fn arb_tasks() -> impl Strategy<Value = Vec<Task>> {
+    prop::collection::vec((0u64..20_000, 0u64..8_000, 0u16..3), 1..60)
+        .prop_map(|mut raw| {
+            raw.sort_by_key(|&(arr, _, _)| arr);
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (arr, slack, tt))| {
+                    Task::new(
+                        i as u64,
+                        TaskTypeId(tt),
+                        SimTime(arr),
+                        SimTime(arr + slack),
+                    )
+                })
+                .collect()
+        })
+}
+
+fn outcome_total(stats: &SimStats) -> usize {
+    [
+        TaskOutcome::CompletedOnTime,
+        TaskOutcome::CompletedLate,
+        TaskOutcome::DroppedReactive,
+        TaskOutcome::DroppedProactive,
+        TaskOutcome::CancelledRunning,
+        TaskOutcome::Rejected,
+        TaskOutcome::Unfinished,
+    ]
+    .iter()
+    .map(|&o| stats.count(o))
+    .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conservation_and_bounds_hold_for_all_pipelines(
+        pet in arb_pet(),
+        tasks in arb_tasks(),
+        seed in 0u64..1000,
+    ) {
+        let cluster = Cluster::one_per_type(2);
+        for kind in [
+            HeuristicKind::Mm,
+            HeuristicKind::Msd,
+            HeuristicKind::Kpb,
+            HeuristicKind::FcfsRr,
+        ] {
+            let sim = if kind.is_immediate() {
+                SimConfig::immediate(seed)
+            } else {
+                SimConfig::batch(seed)
+            };
+            for pruning in [None, Some(PruningConfig::paper_default())] {
+                let stats =
+                    ResourceAllocator::new(&cluster, &pet, sim)
+                        .heuristic(kind)
+                        .pruning_opt(pruning)
+                        .run(&tasks);
+                prop_assert_eq!(stats.unreported(), 0);
+                prop_assert_eq!(outcome_total(&stats), tasks.len());
+                let r = stats.robustness_pct(0);
+                prop_assert!((0.0..=100.0).contains(&r));
+                let w = stats.wasted_fraction();
+                prop_assert!((0.0..=1.0).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_determinism(
+        pet in arb_pet(),
+        tasks in arb_tasks(),
+        seed in 0u64..1000,
+    ) {
+        let cluster = Cluster::one_per_type(2);
+        let run = || {
+            ResourceAllocator::new(&cluster, &pet, SimConfig::batch(seed))
+                .heuristic(HeuristicKind::Mmu)
+                .pruning(PruningConfig::paper_default())
+                .run(&tasks)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.robustness_pct(0), b.robustness_pct(0));
+        prop_assert_eq!(a.deferrals, b.deferrals);
+        prop_assert_eq!(a.mapping_events, b.mapping_events);
+    }
+
+    #[test]
+    fn on_time_tasks_really_met_their_deadline(
+        pet in arb_pet(),
+        tasks in arb_tasks(),
+    ) {
+        // A task reported on-time must have had a feasible deadline at
+        // all (deadline >= arrival + 1 minimum-duration tick).
+        let cluster = Cluster::one_per_type(2);
+        let stats =
+            ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
+                .heuristic(HeuristicKind::Mm)
+                .run(&tasks);
+        for task in &tasks {
+            if stats.outcome(task.id)
+                == Some(TaskOutcome::CompletedOnTime)
+            {
+                prop_assert!(task.deadline > task.arrival);
+            }
+        }
+    }
+}
