@@ -9,8 +9,7 @@ use taskprune_prob::convolve::{convolve_direct, convolve_fft};
 use taskprune_prob::Pmf;
 
 fn uniform_pmf(n: u64) -> Pmf {
-    let points: Vec<(u64, f64)> =
-        (0..n).map(|b| (b, 1.0 / n as f64)).collect();
+    let points: Vec<(u64, f64)> = (0..n).map(|b| (b, 1.0 / n as f64)).collect();
     Pmf::from_points(&points).expect("non-empty")
 }
 
@@ -28,15 +27,9 @@ fn bench_convolution(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("fft", n),
-            &n,
-            |bench, _| {
-                bench.iter(|| {
-                    black_box(convolve_fft(black_box(&a), black_box(&b)))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fft", n), &n, |bench, _| {
+            bench.iter(|| black_box(convolve_fft(black_box(&a), black_box(&b))))
+        });
     }
     group.finish();
 

@@ -32,7 +32,10 @@ fn exact(report: &FigureReport, key: &str) -> f64 {
 }
 
 fn main() {
-    let scale = Scale { size_factor: 0.08, trials: 3 };
+    let scale = Scale {
+        size_factor: 0.08,
+        trials: 3,
+    };
     let t0 = std::time::Instant::now();
 
     // Fig. 2 prints and self-checks via its unit tests; run it once.

@@ -45,10 +45,7 @@ fn bench_mapping(c: &mut Criterion) {
                     let view = SystemView::new(SimTime(0), &queues, &pet);
                     bench.iter(|| {
                         black_box(
-                            mapper.select(
-                                black_box(&view),
-                                black_box(&cands),
-                            ),
+                            mapper.select(black_box(&view), black_box(&cands)),
                         )
                     })
                 },

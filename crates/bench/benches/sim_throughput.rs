@@ -41,17 +41,14 @@ fn bench_sim(c: &mut Criterion) {
     });
     group.bench_function("KPB/immediate-dropping", |bench| {
         bench.iter(|| {
-            let stats = ResourceAllocator::new(
-                &cluster,
-                &pet,
-                SimConfig::immediate(5),
-            )
-            .heuristic(HeuristicKind::Kpb)
-            .pruning(PruningConfig {
-                defer_enabled: false,
-                ..PruningConfig::paper_default()
-            })
-            .run(black_box(&trial.tasks));
+            let stats =
+                ResourceAllocator::new(&cluster, &pet, SimConfig::immediate(5))
+                    .heuristic(HeuristicKind::Kpb)
+                    .pruning(PruningConfig {
+                        defer_enabled: false,
+                        ..PruningConfig::paper_default()
+                    })
+                    .run(black_box(&trial.tasks));
             black_box(stats.robustness_pct(0))
         })
     });

@@ -48,9 +48,8 @@ impl CommonArgs {
                 }
                 "--smoke" => scale = Scale::smoke(),
                 "--pattern" => {
-                    pattern = Some(
-                        iter.next().expect("--pattern needs a value"),
-                    );
+                    pattern =
+                        Some(iter.next().expect("--pattern needs a value"));
                 }
                 "--out" => {
                     out_dir = iter.next().expect("--out needs a path");
@@ -64,7 +63,12 @@ impl CommonArgs {
                 other => positionals.push(other.to_string()),
             }
         }
-        Self { scale, pattern, out_dir, positionals }
+        Self {
+            scale,
+            pattern,
+            out_dir,
+            positionals,
+        }
     }
 }
 
@@ -87,8 +91,14 @@ mod tests {
     #[test]
     fn parses_flags() {
         let a = parse(&[
-            "--trials", "5", "--scale", "0.2", "--pattern", "constant",
-            "--out", "/tmp/x",
+            "--trials",
+            "5",
+            "--scale",
+            "0.2",
+            "--pattern",
+            "constant",
+            "--out",
+            "/tmp/x",
         ]);
         assert_eq!(a.scale.trials, 5);
         assert!((a.scale.size_factor - 0.2).abs() < 1e-12);

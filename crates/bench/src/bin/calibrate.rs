@@ -7,14 +7,10 @@ use taskprune::{run_experiment, ExperimentConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let total: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1_500);
-    let span: f64 =
-        args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300.0);
-    let trials: u32 =
-        args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let total: usize =
+        args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_500);
+    let span: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300.0);
+    let trials: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
 
     println!("== calibrate: {total} tasks over {span} tu, {trials} trials ==");
     let workload = WorkloadConfig {
@@ -23,8 +19,7 @@ fn main() {
         ..WorkloadConfig::paper_default(42)
     };
 
-    for kind in [HeuristicKind::Mm, HeuristicKind::Msd, HeuristicKind::Mmu]
-    {
+    for kind in [HeuristicKind::Mm, HeuristicKind::Msd, HeuristicKind::Mmu] {
         for pruning in [None, Some(PruningConfig::paper_default())] {
             let cfg = ExperimentConfig::new(kind, pruning, workload.clone())
                 .trials(trials);

@@ -14,17 +14,21 @@ fn main() {
     }
     .generate_trial(&pet, 0);
     for factor in [0.0, 0.01, 0.05, 0.1, 0.2, 0.5] {
-        let mut pruning = PruningConfig::paper_default()
-            .with_toggle(ToggleMode::Always);
+        let mut pruning =
+            PruningConfig::paper_default().with_toggle(ToggleMode::Always);
         pruning.fairness = if factor == 0.0 {
             FairnessConfig::disabled()
         } else {
-            FairnessConfig { factor, ..FairnessConfig::paper_default(0.5) }
+            FairnessConfig {
+                factor,
+                ..FairnessConfig::paper_default(0.5)
+            }
         };
-        let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(21))
-            .heuristic(HeuristicKind::Mm)
-            .pruning(pruning)
-            .run(&trial.tasks);
+        let stats =
+            ResourceAllocator::new(&cluster, &pet, SimConfig::batch(21))
+                .heuristic(HeuristicKind::Mm)
+                .pruning(pruning)
+                .run(&trial.tasks);
         let drop_fracs: Vec<f64> = stats
             .per_type()
             .iter()

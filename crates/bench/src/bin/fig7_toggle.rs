@@ -9,8 +9,7 @@ use taskprune_bench::figures::fig7;
 
 fn main() {
     let args = CommonArgs::parse();
-    let modes: Vec<bool> = match args.positionals.first().map(|s| s.as_str())
-    {
+    let modes: Vec<bool> = match args.positionals.first().map(|s| s.as_str()) {
         Some("immediate") => vec![true],
         Some("batch") => vec![false],
         _ => vec![true, false],

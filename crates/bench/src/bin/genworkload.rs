@@ -64,8 +64,7 @@ fn parse() -> Opts {
 
 fn main() {
     let opts = parse();
-    let pet =
-        PetGenConfig::paper_heterogeneous(PET_MATRIX_SEED).generate();
+    let pet = PetGenConfig::paper_heterogeneous(PET_MATRIX_SEED).generate();
     let workload = WorkloadConfig {
         total_tasks: opts.tasks,
         span_tu: opts.span,

@@ -18,8 +18,12 @@ fn main() {
     let t_mid = &trial.tasks[400];
     println!(
         "t0 = ({}, {}, {})   t400 = ({}, {}, {})",
-        t0.arrival.ticks(), t0.deadline.ticks(), t0.type_id.0,
-        t_mid.arrival.ticks(), t_mid.deadline.ticks(), t_mid.type_id.0,
+        t0.arrival.ticks(),
+        t0.deadline.ticks(),
+        t0.type_id.0,
+        t_mid.arrival.ticks(),
+        t_mid.deadline.ticks(),
+        t_mid.type_id.0,
     );
     let bare = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(9))
         .heuristic(HeuristicKind::Mm)

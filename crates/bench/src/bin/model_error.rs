@@ -27,17 +27,13 @@ fn run_with_belief(
         .map(|trial_idx| {
             let trial = workload.generate_trial(truth, trial_idx);
             let mut sim = SimConfig::batch(0);
-            sim.seed = derive_seed(
-                workload.seed,
-                0x51D_0000 + u64::from(trial_idx),
-            );
-            let stats = taskprune::ResourceAllocator::new(
-                cluster, belief, sim,
-            )
-            .truth_pet(truth)
-            .heuristic(HeuristicKind::Mm)
-            .pruning(PruningConfig::paper_default())
-            .run(&trial.tasks);
+            sim.seed =
+                derive_seed(workload.seed, 0x51D_0000 + u64::from(trial_idx));
+            let stats = taskprune::ResourceAllocator::new(cluster, belief, sim)
+                .truth_pet(truth)
+                .heuristic(HeuristicKind::Mm)
+                .pruning(PruningConfig::paper_default())
+                .run(&trial.tasks);
             stats.robustness_pct(taskprune_sim::stats::PAPER_TRIM)
         })
         .collect();
@@ -66,15 +62,13 @@ fn main() {
         args.scale.label()
     );
 
-    let oracle =
-        run_with_belief(&truth, &truth, &cluster, &workload, trials);
+    let oracle = run_with_belief(&truth, &truth, &cluster, &workload, trials);
     println!("oracle PET                    {:>6}", oracle.display_pm(2));
 
     println!("\n-- belief learned from k observations per cell --");
     for k in [2usize, 5, 20, 100, 500] {
         let learned = learn_from_observations(&truth, k, 0xF00D);
-        let s =
-            run_with_belief(&learned, &truth, &cluster, &workload, trials);
+        let s = run_with_belief(&learned, &truth, &cluster, &workload, trials);
         println!(
             "k = {k:<4}                      {:>6}   (oracle {:+.2})",
             s.display_pm(2),
@@ -85,8 +79,7 @@ fn main() {
     println!("\n-- systematically miscalibrated belief --");
     for factor in [0.5, 0.8, 1.0, 1.25, 2.0] {
         let belief = miscalibrate(&truth, factor);
-        let s =
-            run_with_belief(&belief, &truth, &cluster, &workload, trials);
+        let s = run_with_belief(&belief, &truth, &cluster, &workload, trials);
         println!(
             "x{factor:<4}                        {:>6}   (oracle {:+.2})",
             s.display_pm(2),

@@ -8,7 +8,11 @@ use taskprune_workload::PetGenConfig;
 fn main() {
     let pet = PetGenConfig::paper_heterogeneous(PET_MATRIX_SEED).generate();
     let tu = TICKS_PER_TIME_UNIT as f64;
-    println!("PET matrix {}x{}", pet.n_machine_types(), pet.n_task_types());
+    println!(
+        "PET matrix {}x{}",
+        pet.n_machine_types(),
+        pet.n_task_types()
+    );
     let mut best_sum = 0.0;
     let mut worst_sum = 0.0;
     for t in 0..pet.n_task_types() {

@@ -33,8 +33,8 @@ fn main() {
             "--prune" => prune = true,
             "--heuristic" => {
                 let name = args.next().expect("--heuristic NAME");
-                heuristic = HeuristicKind::from_name(&name)
-                    .unwrap_or_else(|| {
+                heuristic =
+                    HeuristicKind::from_name(&name).unwrap_or_else(|| {
                         eprintln!("unknown heuristic '{name}'");
                         std::process::exit(2);
                     });
@@ -52,10 +52,8 @@ fn main() {
                     .expect("--capacity N");
             }
             "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed S");
+                seed =
+                    args.next().and_then(|v| v.parse().ok()).expect("--seed S");
             }
             "--trace" => {
                 trace_path = Some(args.next().expect("--trace FILE"));
@@ -69,8 +67,7 @@ fn main() {
 
     let trial = WorkloadTrial::load_json(std::path::Path::new(&path))
         .expect("readable trial JSON");
-    let pet =
-        PetGenConfig::paper_heterogeneous(PET_MATRIX_SEED).generate();
+    let pet = PetGenConfig::paper_heterogeneous(PET_MATRIX_SEED).generate();
     let cluster = taskprune_workload::machines::heterogeneous_cluster();
     let mut sim = if heuristic.is_immediate() {
         SimConfig::immediate(seed)
@@ -82,7 +79,10 @@ fn main() {
     let pruning = prune.then(|| {
         let base = PruningConfig::paper_default().with_threshold(threshold);
         if heuristic.is_immediate() {
-            PruningConfig { defer_enabled: false, ..base }
+            PruningConfig {
+                defer_enabled: false,
+                ..base
+            }
         } else {
             base
         }
@@ -124,7 +124,10 @@ fn main() {
         "robustness (paper trim):  {:>6.2} %",
         stats.paper_robustness_pct()
     );
-    println!("robustness (no trim):     {:>6.2} %", stats.robustness_pct(0));
+    println!(
+        "robustness (no trim):     {:>6.2} %",
+        stats.robustness_pct(0)
+    );
     for (label, outcome) in [
         ("completed on time", TaskOutcome::CompletedOnTime),
         ("completed late", TaskOutcome::CompletedLate),

@@ -60,10 +60,7 @@ pub fn bin_width(scale: Scale) -> FigureReport {
         let result = run_experiment(&cfg);
         let elapsed = t0.elapsed().as_secs_f64();
         rows.push((
-            format!(
-                "bin={width} ticks ({:.2}s wall)",
-                elapsed
-            ),
+            format!("bin={width} ticks ({:.2}s wall)", elapsed),
             result,
         ));
     }
@@ -153,8 +150,8 @@ pub fn threshold_fine(scale: Scale) -> FigureReport {
     let workload = scale.workload(25_000, 0xAB5);
     let mut rows = Vec::new();
     for pct in [10u32, 20, 30, 40, 50, 60, 70, 80, 90] {
-        let pruning = PruningConfig::paper_default()
-            .with_threshold(pct as f64 / 100.0);
+        let pruning =
+            PruningConfig::paper_default().with_threshold(pct as f64 / 100.0);
         let cfg = ExperimentConfig::new(
             HeuristicKind::Mm,
             Some(pruning),
@@ -196,17 +193,16 @@ pub fn kpb_fraction(scale: Scale) -> FigureReport {
                     workload.seed,
                     0x51D_0000 + u64::from(trial_idx),
                 );
-                let stats = taskprune::ResourceAllocator::new(
-                    &cluster, &pet, sim,
-                )
-                .strategy(MappingStrategy::Immediate(Box::new(
-                    KPercentBest::new(k),
-                )))
-                .pruning(PruningConfig {
-                    defer_enabled: false,
-                    ..PruningConfig::paper_default()
-                })
-                .run(&trial.tasks);
+                let stats =
+                    taskprune::ResourceAllocator::new(&cluster, &pet, sim)
+                        .strategy(MappingStrategy::Immediate(Box::new(
+                            KPercentBest::new(k),
+                        )))
+                        .pruning(PruningConfig {
+                            defer_enabled: false,
+                            ..PruningConfig::paper_default()
+                        })
+                        .run(&trial.tasks);
                 stats.robustness_pct(taskprune_sim::stats::PAPER_TRIM)
             })
             .collect();

@@ -19,18 +19,14 @@ pub fn run(scale: Scale, constant: bool) -> FigureReport {
     };
     let mut rows = Vec::new();
     for &level in &LEVELS {
-        let workload =
-            scale.workload(level, 0xF20).with_pattern(pattern);
+        let workload = scale.workload(level, 0xF20).with_pattern(pattern);
         for kind in HeuristicKind::HOMOGENEOUS {
             for pruning in [None, Some(PruningConfig::paper_default())] {
                 let suffix = if pruning.is_some() { "-P" } else { "" };
-                let cfg = ExperimentConfig::new(
-                    kind,
-                    pruning,
-                    workload.clone(),
-                )
-                .on_cluster(ClusterKind::Homogeneous { n: 8 })
-                .trials(scale.trials);
+                let cfg =
+                    ExperimentConfig::new(kind, pruning, workload.clone())
+                        .on_cluster(ClusterKind::Homogeneous { n: 8 })
+                        .trials(scale.trials);
                 let result = run_experiment(&cfg);
                 rows.push((
                     format!("{}k / {}{}", level / 1000, kind.name(), suffix),

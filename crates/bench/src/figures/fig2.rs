@@ -21,12 +21,15 @@ pub struct ConvolutionExample {
 
 /// Builds the Fig. 2 example.
 pub fn example() -> ConvolutionExample {
-    let pet =
-        Pmf::from_points(&[(1, 0.125), (2, 0.125), (3, 0.75)]).unwrap();
+    let pet = Pmf::from_points(&[(1, 0.125), (2, 0.125), (3, 0.75)]).unwrap();
     let queue_tail_pct =
         Pmf::from_points(&[(4, 0.17), (5, 0.33), (6, 0.50)]).unwrap();
     let result_pct = pet.convolve(&queue_tail_pct);
-    ConvolutionExample { pet, queue_tail_pct, result_pct }
+    ConvolutionExample {
+        pet,
+        queue_tail_pct,
+        result_pct,
+    }
 }
 
 /// Prints the example the way the figure lays it out.

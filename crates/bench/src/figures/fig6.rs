@@ -13,9 +13,10 @@ use taskprune_workload::PetGenConfig;
 
 /// Rate series for the first `n_types` task types of one spiky trial.
 pub fn series(scale: Scale, n_types: usize) -> Vec<RateSeries> {
-    let pet =
-        PetGenConfig::paper_heterogeneous(taskprune::experiment::PET_MATRIX_SEED)
-            .generate();
+    let pet = PetGenConfig::paper_heterogeneous(
+        taskprune::experiment::PET_MATRIX_SEED,
+    )
+    .generate();
     let workload = scale.workload(15_000, 0xF166);
     let trial = workload.generate_trial(&pet, 0);
     let window_tu = workload.span_tu / 60.0; // 60 measurement windows
@@ -56,8 +57,7 @@ pub fn run(scale: Scale, out_dir: &str) -> std::io::Result<()> {
     println!("Fig. 6 — spiky arrival pattern ({})", scale.label());
     for s in &all {
         let max = s.rates.iter().cloned().fold(0.0, f64::max);
-        let mean =
-            s.rates.iter().sum::<f64>() / s.rates.len() as f64;
+        let mean = s.rates.iter().sum::<f64>() / s.rates.len() as f64;
         println!(
             "type {:>2}: mean rate {:.3}/tu, peak {:.3}/tu (peak/mean {:.2}x)",
             s.type_id.0,
@@ -80,8 +80,7 @@ mod tests {
         assert_eq!(all.len(), 2);
         for s in &all {
             let max = s.rates.iter().cloned().fold(0.0, f64::max);
-            let mean =
-                s.rates.iter().sum::<f64>() / s.rates.len() as f64;
+            let mean = s.rates.iter().sum::<f64>() / s.rates.len() as f64;
             assert!(
                 max / mean.max(1e-9) > 1.5,
                 "type {} series too flat: peak/mean {}",

@@ -26,7 +26,10 @@ pub fn toggle_scenarios() -> [(&'static str, ToggleMode); 3] {
 /// bare heuristic. In batch mode the full mechanism (deferring at
 /// β = 50 %) is active in every scenario and only the dropping policy
 /// varies.
-pub fn cell_pruning(immediate: bool, toggle: ToggleMode) -> Option<PruningConfig> {
+pub fn cell_pruning(
+    immediate: bool,
+    toggle: ToggleMode,
+) -> Option<PruningConfig> {
     if immediate {
         if toggle == ToggleMode::Never {
             None

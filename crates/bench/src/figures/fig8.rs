@@ -26,9 +26,8 @@ pub fn run(scale: Scale) -> FigureReport {
             } else {
                 Some(PruningConfig::defer_only(threshold))
             };
-            let cfg =
-                ExperimentConfig::new(kind, pruning, workload.clone())
-                    .trials(scale.trials);
+            let cfg = ExperimentConfig::new(kind, pruning, workload.clone())
+                .trials(scale.trials);
             let result = run_experiment(&cfg);
             rows.push((
                 format!("{:.0}% / {}", threshold * 100.0, kind.name()),

@@ -11,9 +11,9 @@
 //! | [`ablations`] | — | design-choice sweeps (DESIGN.md §3) |
 
 pub mod ablations;
+pub mod fig10;
 pub mod fig2;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;

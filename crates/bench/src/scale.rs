@@ -18,13 +18,19 @@ pub struct Scale {
 impl Scale {
     /// The paper's full protocol: 30 trials at full span.
     pub fn full() -> Self {
-        Self { size_factor: 1.0, trials: 30 }
+        Self {
+            size_factor: 1.0,
+            trials: 30,
+        }
     }
 
     /// A fast smoke scale for CI and `cargo bench` runs: one tenth the
     /// span, 3 trials. The regime (tasks per time unit) is identical.
     pub fn smoke() -> Self {
-        Self { size_factor: 0.1, trials: 3 }
+        Self {
+            size_factor: 0.1,
+            trials: 3,
+        }
     }
 
     /// Applies the scale to a workload family.

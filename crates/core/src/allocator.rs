@@ -95,10 +95,9 @@ impl<'a> ResourceAllocator<'a> {
         let strategy =
             self.strategy.expect("select a heuristic before running");
         let pruner: Box<dyn Pruner> = match self.pruning {
-            Some(cfg) => Box::new(PruningMechanism::new(
-                cfg,
-                self.pet.n_task_types(),
-            )),
+            Some(cfg) => {
+                Box::new(PruningMechanism::new(cfg, self.pet.n_task_types()))
+            }
             None => Box::new(NoPruning),
         };
         let mut engine =
@@ -121,21 +120,16 @@ mod tests {
     #[test]
     fn builder_runs_batch_heuristic() {
         let pet = PetGenConfig::paper_heterogeneous(3).generate();
-        let cluster =
-            taskprune_workload::machines::heterogeneous_cluster();
+        let cluster = taskprune_workload::machines::heterogeneous_cluster();
         let trial = WorkloadConfig {
             total_tasks: 200,
             span_tu: 60.0,
             ..WorkloadConfig::paper_default(3)
         }
         .generate_trial(&pet, 0);
-        let stats = ResourceAllocator::new(
-            &cluster,
-            &pet,
-            SimConfig::batch(1),
-        )
-        .heuristic(HeuristicKind::Mm)
-        .run(&trial.tasks);
+        let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
+            .heuristic(HeuristicKind::Mm)
+            .run(&trial.tasks);
         assert_eq!(stats.unreported(), 0);
         assert_eq!(stats.n_tasks(), trial.len());
     }
@@ -143,8 +137,7 @@ mod tests {
     #[test]
     fn builder_switches_mode_for_immediate_heuristics() {
         let pet = PetGenConfig::paper_heterogeneous(3).generate();
-        let cluster =
-            taskprune_workload::machines::heterogeneous_cluster();
+        let cluster = taskprune_workload::machines::heterogeneous_cluster();
         let trial = WorkloadConfig {
             total_tasks: 150,
             span_tu: 50.0,
@@ -152,35 +145,26 @@ mod tests {
         }
         .generate_trial(&pet, 0);
         // SimConfig says batch, but KPB is immediate: builder fixes it.
-        let stats = ResourceAllocator::new(
-            &cluster,
-            &pet,
-            SimConfig::batch(1),
-        )
-        .heuristic(HeuristicKind::Kpb)
-        .run(&trial.tasks);
+        let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
+            .heuristic(HeuristicKind::Kpb)
+            .run(&trial.tasks);
         assert_eq!(stats.unreported(), 0);
     }
 
     #[test]
     fn pruning_attaches_cleanly() {
         let pet = PetGenConfig::paper_heterogeneous(3).generate();
-        let cluster =
-            taskprune_workload::machines::heterogeneous_cluster();
+        let cluster = taskprune_workload::machines::heterogeneous_cluster();
         let trial = WorkloadConfig {
             total_tasks: 300,
             span_tu: 40.0, // compressed span → oversubscribed
             ..WorkloadConfig::paper_default(5)
         }
         .generate_trial(&pet, 0);
-        let stats = ResourceAllocator::new(
-            &cluster,
-            &pet,
-            SimConfig::batch(1),
-        )
-        .heuristic(HeuristicKind::Msd)
-        .pruning(crate::pruner::PruningConfig::paper_default())
-        .run(&trial.tasks);
+        let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
+            .heuristic(HeuristicKind::Msd)
+            .pruning(crate::pruner::PruningConfig::paper_default())
+            .run(&trial.tasks);
         assert_eq!(stats.unreported(), 0);
         // The pruner must have actually acted under this load.
         assert!(stats.deferrals > 0 || stats.mapping_events > 0);
@@ -190,9 +174,7 @@ mod tests {
     #[should_panic(expected = "select a heuristic")]
     fn running_without_heuristic_panics() {
         let pet = PetGenConfig::paper_heterogeneous(3).generate();
-        let cluster =
-            taskprune_workload::machines::heterogeneous_cluster();
-        ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
-            .run(&[]);
+        let cluster = taskprune_workload::machines::heterogeneous_cluster();
+        ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1)).run(&[]);
     }
 }

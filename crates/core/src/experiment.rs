@@ -191,8 +191,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
                 stats.robustness_pct(PAPER_TRIM),
                 stats.wasted_fraction(),
                 stats.deferrals as f64,
-                stats
-                    .count(taskprune_model::TaskOutcome::DroppedProactive)
+                stats.count(taskprune_model::TaskOutcome::DroppedProactive)
                     as f64,
                 stats.per_type_on_time_variance(),
             )
@@ -200,8 +199,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         .collect();
 
     let per_trial: Vec<f64> = outcomes.iter().map(|o| o.0).collect();
-    let robustness = SummaryStats::from_values(&per_trial)
-        .expect("at least one trial");
+    let robustness =
+        SummaryStats::from_values(&per_trial).expect("at least one trial");
     let mean = |f: fn(&(f64, f64, f64, f64, f64)) -> f64| {
         outcomes.iter().map(f).sum::<f64>() / outcomes.len() as f64
     };
@@ -230,12 +229,9 @@ mod tests {
 
     #[test]
     fn experiment_aggregates_trials() {
-        let cfg = ExperimentConfig::new(
-            HeuristicKind::Mm,
-            None,
-            small_workload(11),
-        )
-        .trials(4);
+        let cfg =
+            ExperimentConfig::new(HeuristicKind::Mm, None, small_workload(11))
+                .trials(4);
         let result = run_experiment(&cfg);
         assert_eq!(result.per_trial_robustness.len(), 4);
         assert_eq!(result.robustness.n, 4);
@@ -284,11 +280,8 @@ mod tests {
 
     #[test]
     fn labels_encode_pruning() {
-        let base = ExperimentConfig::new(
-            HeuristicKind::Mm,
-            None,
-            small_workload(1),
-        );
+        let base =
+            ExperimentConfig::new(HeuristicKind::Mm, None, small_workload(1));
         let pruned = ExperimentConfig::new(
             HeuristicKind::Mm,
             Some(PruningConfig::paper_default()),
@@ -300,8 +293,7 @@ mod tests {
 
     #[test]
     fn homogeneous_cluster_materialises() {
-        let (cluster, petgen) =
-            ClusterKind::Homogeneous { n: 8 }.materialise();
+        let (cluster, petgen) = ClusterKind::Homogeneous { n: 8 }.materialise();
         assert_eq!(cluster.len(), 8);
         assert!(cluster.is_homogeneous());
         assert_eq!(petgen.n_machine_types, 1);

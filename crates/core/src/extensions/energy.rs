@@ -46,8 +46,7 @@ impl CostModel {
             wasted_machine_hours: wasted_h,
             wasted_energy_wh: wasted_h * self.active_power_watts,
             wasted_cost: wasted_h * self.price_per_machine_hour,
-            total_cost: (useful_h + wasted_h)
-                * self.price_per_machine_hour,
+            total_cost: (useful_h + wasted_h) * self.price_per_machine_hour,
         }
     }
 }

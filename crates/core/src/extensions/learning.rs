@@ -54,13 +54,15 @@ pub fn learn_from_observations(
 /// distribution stretched by `factor` (> 1 = pessimistic belief, < 1 =
 /// optimistic). Bin mass moves to `round(bin · factor)`.
 pub fn miscalibrate(truth: &PetMatrix, factor: f64) -> PetMatrix {
-    assert!(factor > 0.0 && factor.is_finite(), "factor must be positive");
+    assert!(
+        factor > 0.0 && factor.is_finite(),
+        "factor must be positive"
+    );
     let mut entries =
         Vec::with_capacity(truth.n_machine_types() * truth.n_task_types());
     for m in 0..truth.n_machine_types() {
         for t in 0..truth.n_task_types() {
-            let pet = truth
-                .pet(MachineTypeId(m as u16), TaskTypeId(t as u16));
+            let pet = truth.pet(MachineTypeId(m as u16), TaskTypeId(t as u16));
             let points: Vec<(u64, f64)> = pet
                 .iter()
                 .filter(|(_, p)| *p > 0.0)
@@ -111,9 +113,8 @@ mod tests {
         let truth = truth();
         let few = learn_from_observations(&truth, 3, 7);
         let many = learn_from_observations(&truth, 5_000, 7);
-        let cell = |p: &PetMatrix| {
-            p.expected_bins(MachineTypeId(0), TaskTypeId(0))
-        };
+        let cell =
+            |p: &PetMatrix| p.expected_bins(MachineTypeId(0), TaskTypeId(0));
         let true_mean = cell(&truth);
         let err_many = (cell(&many) - true_mean).abs();
         // 5 000 observations pin the mean to within a small fraction of
@@ -140,12 +141,11 @@ mod tests {
         let optimistic = miscalibrate(&truth, 0.5);
         for m in 0..2u16 {
             for t in 0..2u16 {
-                let base = truth
-                    .expected_bins(MachineTypeId(m), TaskTypeId(t));
-                let hi = pessimistic
-                    .expected_bins(MachineTypeId(m), TaskTypeId(t));
-                let lo = optimistic
-                    .expected_bins(MachineTypeId(m), TaskTypeId(t));
+                let base = truth.expected_bins(MachineTypeId(m), TaskTypeId(t));
+                let hi =
+                    pessimistic.expected_bins(MachineTypeId(m), TaskTypeId(t));
+                let lo =
+                    optimistic.expected_bins(MachineTypeId(m), TaskTypeId(t));
                 assert!((hi - base * 2.0).abs() <= 0.5, "{hi} vs {base}");
                 assert!((lo - base * 0.5).abs() <= 0.5, "{lo} vs {base}");
             }

@@ -71,10 +71,7 @@ impl Pruner for PriorityAwarePruner {
         let mut out = Vec::new();
         for machine in view.machines() {
             let drops = view.plan_queue_drops(machine.id, |task, chance| {
-                let fairness_offset = self
-                    .inner
-                    .fairness()
-                    .score(task.type_id);
+                let fairness_offset = self.inner.fairness().score(task.type_id);
                 let bar =
                     (self.value_threshold(task) - fairness_offset).max(0.0);
                 chance <= bar && chance < 1.0
@@ -97,8 +94,7 @@ mod tests {
     use taskprune_model::{SimTime, TaskTypeId};
 
     fn task_with_value(value: f64) -> Task {
-        let mut t =
-            Task::new(0, TaskTypeId(0), SimTime(0), SimTime(10_000));
+        let mut t = Task::new(0, TaskTypeId(0), SimTime(0), SimTime(10_000));
         t.value = value;
         t
     }
@@ -149,7 +145,8 @@ mod tests {
         // Two tasks with 50 % chance (deadline bin 2): the high-value one
         // must survive an always-on dropping pass, the unit-value one
         // (chance ≤ β) must not.
-        let mut precious = Task::new(0, TaskTypeId(0), SimTime(0), SimTime(300));
+        let mut precious =
+            Task::new(0, TaskTypeId(0), SimTime(0), SimTime(300));
         precious.value = 5.0;
         queues[0].admit(precious, &pet);
 

@@ -61,11 +61,9 @@ pub mod pruner;
 
 pub use allocator::ResourceAllocator;
 pub use experiment::{
-    ClusterKind, ExperimentConfig, ExperimentResult, run_experiment,
+    run_experiment, ClusterKind, ExperimentConfig, ExperimentResult,
 };
-pub use pruner::{
-    FairnessConfig, PruningConfig, PruningMechanism, ToggleMode,
-};
+pub use pruner::{FairnessConfig, PruningConfig, PruningMechanism, ToggleMode};
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
@@ -77,9 +75,7 @@ pub mod prelude {
         FairnessConfig, PruningConfig, PruningMechanism, ToggleMode,
     };
     pub use taskprune_heuristics::HeuristicKind;
-    pub use taskprune_model::{
-        Cluster, PetMatrix, SimTime, Task, TaskOutcome,
-    };
+    pub use taskprune_model::{Cluster, PetMatrix, SimTime, Task, TaskOutcome};
     pub use taskprune_sim::{SimConfig, SimStats};
     pub use taskprune_workload::{
         ArrivalPattern, PetGenConfig, WorkloadConfig,

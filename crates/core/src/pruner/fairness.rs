@@ -21,7 +21,10 @@ pub struct Fairness {
 impl Fairness {
     /// Creates zeroed scores for `n_task_types` types.
     pub fn new(cfg: FairnessConfig, n_task_types: usize) -> Self {
-        Self { cfg, scores: vec![0.0; n_task_types] }
+        Self {
+            cfg,
+            scores: vec![0.0; n_task_types],
+        }
     }
 
     /// Current sufferage score γₖ.

@@ -81,7 +81,8 @@ impl Pruner for PruningMechanism {
             self.fairness.on_reactive_drop(task.type_id);
         }
         // Step 3: Toggle re-evaluates oversubscription.
-        self.toggle.update(self.accounting.misses_since_last_event());
+        self.toggle
+            .update(self.accounting.misses_since_last_event());
     }
 
     fn select_drops(
@@ -131,9 +132,7 @@ impl Pruner for PruningMechanism {
 mod tests {
     use super::*;
     use crate::pruner::config::ToggleMode;
-    use taskprune_model::{
-        BinSpec, Cluster, PetMatrix, SimTime, TaskTypeId,
-    };
+    use taskprune_model::{BinSpec, Cluster, PetMatrix, SimTime, TaskTypeId};
     use taskprune_prob::Pmf;
     use taskprune_sim::queue_testing::make_queues;
 
@@ -162,8 +161,7 @@ mod tests {
 
     #[test]
     fn defers_below_threshold_only() {
-        let mut p =
-            PruningMechanism::new(PruningConfig::paper_default(), 1);
+        let mut p = PruningMechanism::new(PruningConfig::paper_default(), 1);
         assert!(p.should_defer(&task(0, 1_000), 0.49));
         assert!(p.should_defer(&task(1, 1_000), 0.50));
         assert!(!p.should_defer(&task(2, 1_000), 0.51));
@@ -188,8 +186,7 @@ mod tests {
         queues[0].admit(task(0, 200), &pet);
         let view = SystemView::new(SimTime(0), &queues, &pet);
 
-        let mut p =
-            PruningMechanism::new(PruningConfig::paper_default(), 1);
+        let mut p = PruningMechanism::new(PruningConfig::paper_default(), 1);
         // No misses observed → reactive toggle stays off → no drops.
         p.begin_event(&EventReport::default());
         assert!(p.select_drops(&view).is_empty());
@@ -277,8 +274,7 @@ mod tests {
 
     #[test]
     fn completions_restore_strictness() {
-        let mut p =
-            PruningMechanism::new(PruningConfig::paper_default(), 1);
+        let mut p = PruningMechanism::new(PruningConfig::paper_default(), 1);
         for _ in 0..4 {
             p.fairness.on_proactive_drop(TaskTypeId(0));
         }

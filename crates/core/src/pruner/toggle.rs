@@ -19,7 +19,10 @@ impl Toggle {
     /// Creates a toggle in the given mode, initially disengaged (except
     /// for [`ToggleMode::Always`]).
     pub fn new(mode: ToggleMode) -> Self {
-        Self { mode, engaged: matches!(mode, ToggleMode::Always) }
+        Self {
+            mode,
+            engaged: matches!(mode, ToggleMode::Always),
+        }
     }
 
     /// Updates the engagement decision from this event's miss count.
@@ -27,9 +30,7 @@ impl Toggle {
         self.engaged = match self.mode {
             ToggleMode::Never => false,
             ToggleMode::Always => true,
-            ToggleMode::Reactive { alpha } => {
-                misses_since_last_event >= alpha
-            }
+            ToggleMode::Reactive { alpha } => misses_since_last_event >= alpha,
         };
     }
 

@@ -129,13 +129,15 @@ impl BatchMapper for TwoPhase {
                         continue;
                     }
                     let mid = MachineId(m as u16);
-                    let completion = ready[m]
-                        + view.expected_exec_ticks(mid, task.type_id);
+                    let completion =
+                        ready[m] + view.expected_exec_ticks(mid, task.type_id);
                     if best.is_none_or(|(_, c)| completion < c) {
                         best = Some((mid, completion));
                     }
                 }
-                let Some((machine, completion)) = best else { break };
+                let Some((machine, completion)) = best else {
+                    break;
+                };
                 let better = match (winner, self.phase2) {
                     (None, _) => true,
                     (Some((widx, _, wcomp)), Phase2::MinCompletion) => {
@@ -153,8 +155,7 @@ impl BatchMapper for TwoPhase {
                         let w = unassigned[widx];
                         let u_t =
                             urgency(task.deadline.ticks() as f64, completion);
-                        let u_w =
-                            urgency(w.deadline.ticks() as f64, wcomp);
+                        let u_w = urgency(w.deadline.ticks() as f64, wcomp);
                         u_t > u_w || (u_t == u_w && task.id < w.id)
                     }
                 };
@@ -162,12 +163,17 @@ impl BatchMapper for TwoPhase {
                     winner = Some((idx, machine, completion));
                 }
             }
-            let Some((idx, machine, _)) = winner else { break };
+            let Some((idx, machine, _)) = winner else {
+                break;
+            };
             let task = unassigned.swap_remove(idx);
             let m = machine.0 as usize;
             ready[m] += view.expected_exec_ticks(machine, task.type_id);
             slots[m] -= 1;
-            out.push(Assignment { task: task.id, machine });
+            out.push(Assignment {
+                task: task.id,
+                machine,
+            });
         }
         out
     }
@@ -217,14 +223,16 @@ mod tests {
     fn mm_picks_global_minimum_first() {
         let mut mm = MM::new();
         // t0 (type 0) completes at 250 on m0; t1 (type 1) at 350 on m0.
-        let cands =
-            vec![task(0, 1, 100_000), task(1, 0, 100_000)];
+        let cands = vec![task(0, 1, 100_000), task(1, 0, 100_000)];
         let out = assignments_of(&mut mm, &cands);
         // First assignment must be task 1 (the min-min pair) on m0.
-        assert_eq!(out[0], Assignment {
-            task: TaskId(1),
-            machine: MachineId(0)
-        });
+        assert_eq!(
+            out[0],
+            Assignment {
+                task: TaskId(1),
+                machine: MachineId(0)
+            }
+        );
         // Everything eventually assigned (4 slots for 2 tasks).
         assert_eq!(out.len(), 2);
     }
@@ -235,14 +243,11 @@ mod tests {
         // Four type-0 tasks: m0 exec 250, m1 exec 450.
         // Virtual ready times: m0: 250, 500 → then m1 wins at 450 once
         // m0's accumulated completion exceeds it.
-        let cands: Vec<Task> =
-            (0..4).map(|i| task(i, 0, 100_000)).collect();
+        let cands: Vec<Task> = (0..4).map(|i| task(i, 0, 100_000)).collect();
         let out = assignments_of(&mut mm, &cands);
         assert_eq!(out.len(), 4);
-        let to_m0 =
-            out.iter().filter(|a| a.machine == MachineId(0)).count();
-        let to_m1 =
-            out.iter().filter(|a| a.machine == MachineId(1)).count();
+        let to_m0 = out.iter().filter(|a| a.machine == MachineId(0)).count();
+        let to_m1 = out.iter().filter(|a| a.machine == MachineId(1)).count();
         // m0: completions 250, 500; m1: 450, 900 → 2 apiece.
         assert_eq!((to_m0, to_m1), (2, 2));
     }
@@ -291,8 +296,7 @@ mod tests {
         queues[0].admit(task(99, 0, 100_000), &pet);
         let view = SystemView::new(SimTime(0), &queues, &pet);
         let mut mm = MM::new();
-        let cands: Vec<Task> =
-            (0..3).map(|i| task(i, 0, 100_000)).collect();
+        let cands: Vec<Task> = (0..3).map(|i| task(i, 0, 100_000)).collect();
         let out = mm.select(&view, &cands);
         // Only machine 1's single slot remains.
         assert_eq!(out.len(), 1);
@@ -312,6 +316,9 @@ mod tests {
             .collect();
         let mut a = MMU::new();
         let mut b = MMU::new();
-        assert_eq!(assignments_of(&mut a, &cands), assignments_of(&mut b, &cands));
+        assert_eq!(
+            assignments_of(&mut a, &cands),
+            assignments_of(&mut b, &cands)
+        );
     }
 }

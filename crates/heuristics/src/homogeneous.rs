@@ -101,7 +101,10 @@ fn assign_in_order(
         let Some((m, _)) = best else { break };
         ready[m] += view.expected_exec_ticks(MachineId(m as u16), task.type_id);
         slots[m] -= 1;
-        out.push(Assignment { task: task.id, machine: MachineId(m as u16) });
+        out.push(Assignment {
+            task: task.id,
+            machine: MachineId(m as u16),
+        });
     }
     out
 }
@@ -189,11 +192,7 @@ mod tests {
             BinSpec::new(100),
             1,
             3,
-            vec![
-                Pmf::point_mass(2),
-                Pmf::point_mass(5),
-                Pmf::point_mass(9),
-            ],
+            vec![Pmf::point_mass(2), Pmf::point_mass(5), Pmf::point_mass(9)],
         )
     }
 
@@ -216,8 +215,7 @@ mod tests {
     #[test]
     fn fcfs_rr_keeps_arrival_order_and_cycles_machines() {
         let mut m = FcfsRoundRobin::new();
-        let cands: Vec<Task> =
-            (0..4).map(|i| task(i, 0, 100_000)).collect();
+        let cands: Vec<Task> = (0..4).map(|i| task(i, 0, 100_000)).collect();
         let out = homogeneous_view_run(&mut m, &cands, 2);
         assert_eq!(out.len(), 4);
         let tasks: Vec<u64> = out.iter().map(|a| a.task.0).collect();
@@ -241,11 +239,8 @@ mod tests {
     #[test]
     fn edf_sorts_by_deadline() {
         let mut m = EarliestDeadlineFirst::new();
-        let cands = vec![
-            task(0, 0, 9_000),
-            task(1, 0, 1_000),
-            task(2, 0, 5_000),
-        ];
+        let cands =
+            vec![task(0, 0, 9_000), task(1, 0, 1_000), task(2, 0, 5_000)];
         let out = homogeneous_view_run(&mut m, &cands, 2);
         let order: Vec<u64> = out.iter().map(|a| a.task.0).collect();
         assert_eq!(order, vec![1, 2, 0]);
@@ -268,8 +263,7 @@ mod tests {
     fn ordered_assignment_balances_ready_times() {
         // 4 equal tasks on 2 machines must split 2-2, not 4-0.
         let mut m = EarliestDeadlineFirst::new();
-        let cands: Vec<Task> =
-            (0..4).map(|i| task(i, 1, 100_000)).collect();
+        let cands: Vec<Task> = (0..4).map(|i| task(i, 1, 100_000)).collect();
         let out = homogeneous_view_run(&mut m, &cands, 2);
         let to0 = out.iter().filter(|a| a.machine == MachineId(0)).count();
         assert_eq!(to0, 2);
@@ -279,8 +273,7 @@ mod tests {
     fn stops_when_slots_exhausted() {
         // 2 machines × 2 slots = 4; 6 candidates → 4 assignments.
         let mut m = ShortestJobFirst::new();
-        let cands: Vec<Task> =
-            (0..6).map(|i| task(i, 0, 100_000)).collect();
+        let cands: Vec<Task> = (0..6).map(|i| task(i, 0, 100_000)).collect();
         let out = homogeneous_view_run(&mut m, &cands, 2);
         assert_eq!(out.len(), 4);
     }

@@ -60,9 +60,7 @@ impl ImmediateMapper for MinimumExecutionTime {
     }
 
     fn place(&mut self, view: &SystemView<'_>, task: &Task) -> MachineId {
-        argmin_available(view, |m| {
-            view.expected_exec_ticks(m, task.type_id)
-        })
+        argmin_available(view, |m| view.expected_exec_ticks(m, task.type_id))
     }
 }
 
@@ -85,9 +83,7 @@ impl ImmediateMapper for MinimumCompletionTime {
     }
 
     fn place(&mut self, view: &SystemView<'_>, task: &Task) -> MachineId {
-        argmin_available(view, |m| {
-            view.expected_completion_ticks(m, task)
-        })
+        argmin_available(view, |m| view.expected_completion_ticks(m, task))
     }
 }
 
@@ -125,13 +121,10 @@ impl ImmediateMapper for KPercentBest {
 
     fn place(&mut self, view: &SystemView<'_>, task: &Task) -> MachineId {
         let n = view.n_machines();
-        let keep = ((n as f64 * self.k_fraction).ceil() as usize)
-            .clamp(1, n);
+        let keep = ((n as f64 * self.k_fraction).ceil() as usize).clamp(1, n);
         // Rank machines by expected execution time, keep the best K%.
-        let mut by_exec: Vec<MachineId> = view
-            .machines()
-            .map(|m| m.id)
-            .collect();
+        let mut by_exec: Vec<MachineId> =
+            view.machines().map(|m| m.id).collect();
         by_exec.sort_by(|&a, &b| {
             view.expected_exec_ticks(a, task.type_id)
                 .partial_cmp(&view.expected_exec_ticks(b, task.type_id))
@@ -151,9 +144,7 @@ impl ImmediateMapper for KPercentBest {
                     .then_with(|| a.cmp(&b))
             });
         available.unwrap_or_else(|| {
-            argmin_available(view, |m| {
-                view.expected_completion_ticks(m, task)
-            })
+            argmin_available(view, |m| view.expected_completion_ticks(m, task))
         })
     }
 }
@@ -203,7 +194,11 @@ impl SwitchingAlgorithm {
             (0.0..1.0).contains(&low) && low < high && high <= 1.0,
             "SA thresholds need 0 <= low < high <= 1"
         );
-        Self { low, high, using_met: false }
+        Self {
+            low,
+            high,
+            using_met: false,
+        }
     }
 
     /// The classic configuration: switch to MET at r ≥ 0.9, back to MCT
@@ -247,9 +242,7 @@ impl ImmediateMapper for SwitchingAlgorithm {
                 view.expected_exec_ticks(m, task.type_id)
             })
         } else {
-            argmin_available(view, |m| {
-                view.expected_completion_ticks(m, task)
-            })
+            argmin_available(view, |m| view.expected_completion_ticks(m, task))
         }
     }
 }
@@ -324,8 +317,7 @@ mod tests {
         let view = SystemView::new(SimTime(0), &queues, &pet);
         let mut rr = RoundRobin::new();
         let t = task(0, 0);
-        let picks: Vec<u16> =
-            (0..5).map(|_| rr.place(&view, &t).0).collect();
+        let picks: Vec<u16> = (0..5).map(|_| rr.place(&view, &t).0).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1]);
     }
 

@@ -22,7 +22,9 @@ pub mod minmin_fast;
 pub mod registry;
 
 pub use batch::{TwoPhase, MM, MMU, MSD};
-pub use homogeneous::{FcfsRoundRobin, EarliestDeadlineFirst, ShortestJobFirst};
+pub use homogeneous::{
+    EarliestDeadlineFirst, FcfsRoundRobin, ShortestJobFirst,
+};
 pub use immediate::{
     KPercentBest, MinimumCompletionTime, MinimumExecutionTime,
     OpportunisticLoadBalancing, RoundRobin, SwitchingAlgorithm,

@@ -38,11 +38,7 @@ struct Best {
 /// Phase 1 for one task: the machine with minimum expected completion
 /// time among those with free virtual slots (ties → lowest machine id,
 /// matching `TwoPhase`).
-fn best_for(
-    exec: &[f64],
-    ready: &[f64],
-    slots: &[usize],
-) -> Option<Best> {
+fn best_for(exec: &[f64], ready: &[f64], slots: &[usize]) -> Option<Best> {
     let mut best: Option<Best> = None;
     for (m, (&r, &s)) in ready.iter().zip(slots).enumerate() {
         if s == 0 {
@@ -50,7 +46,10 @@ fn best_for(
         }
         let completion = r + exec[m];
         if best.is_none_or(|b| completion < b.completion) {
-            best = Some(Best { machine: m, completion });
+            best = Some(Best {
+                machine: m,
+                completion,
+            });
         }
     }
     best
@@ -81,10 +80,7 @@ impl BatchMapper for EfficientMinMin {
             .map(|t| {
                 (0..n_machines)
                     .map(|m| {
-                        view.expected_exec_ticks(
-                            MachineId(m as u16),
-                            t.type_id,
-                        )
+                        view.expected_exec_ticks(MachineId(m as u16), t.type_id)
                     })
                     .collect()
             })
@@ -145,38 +141,31 @@ mod tests {
     use super::*;
     use crate::batch::MM;
     use proptest::prelude::*;
-    use taskprune_model::{
-        BinSpec, Cluster, PetMatrix, SimTime, TaskTypeId,
-    };
+    use taskprune_model::{BinSpec, Cluster, PetMatrix, SimTime, TaskTypeId};
     use taskprune_prob::Pmf;
     use taskprune_sim::queue_testing::make_queues;
 
-    fn arb_setup(
-    ) -> impl Strategy<Value = (PetMatrix, Vec<Task>, Vec<usize>)> {
-        let pet = prop::collection::vec(1u64..40, 3 * 4).prop_map(
-            |bins| {
-                let entries: Vec<Pmf> =
-                    bins.into_iter().map(Pmf::point_mass).collect();
-                PetMatrix::new(BinSpec::new(100), 3, 4, entries)
-            },
-        );
-        let tasks = prop::collection::vec(
-            (0u16..4, 500u64..50_000),
-            1..60,
-        )
-        .prop_map(|raw| {
-            raw.into_iter()
-                .enumerate()
-                .map(|(i, (tt, slack))| {
-                    Task::new(
-                        i as u64,
-                        TaskTypeId(tt),
-                        SimTime(0),
-                        SimTime(slack),
-                    )
-                })
-                .collect()
+    fn arb_setup() -> impl Strategy<Value = (PetMatrix, Vec<Task>, Vec<usize>)>
+    {
+        let pet = prop::collection::vec(1u64..40, 3 * 4).prop_map(|bins| {
+            let entries: Vec<Pmf> =
+                bins.into_iter().map(Pmf::point_mass).collect();
+            PetMatrix::new(BinSpec::new(100), 3, 4, entries)
         });
+        let tasks = prop::collection::vec((0u16..4, 500u64..50_000), 1..60)
+            .prop_map(|raw| {
+                raw.into_iter()
+                    .enumerate()
+                    .map(|(i, (tt, slack))| {
+                        Task::new(
+                            i as u64,
+                            TaskTypeId(tt),
+                            SimTime(0),
+                            SimTime(slack),
+                        )
+                    })
+                    .collect()
+            });
         let backlog = prop::collection::vec(0usize..4, 3);
         (pet, tasks, backlog)
     }
@@ -213,12 +202,8 @@ mod tests {
 
     #[test]
     fn empty_candidates() {
-        let pet = PetMatrix::new(
-            BinSpec::new(100),
-            1,
-            1,
-            vec![Pmf::point_mass(1)],
-        );
+        let pet =
+            PetMatrix::new(BinSpec::new(100), 1, 1, vec![Pmf::point_mass(1)]);
         let cluster = Cluster::one_per_type(1);
         let queues = make_queues(&cluster, 4, 256);
         let view = SystemView::new(SimTime(0), &queues, &pet);
@@ -237,9 +222,7 @@ mod tests {
         let queues = make_queues(&cluster, 2, 256);
         let view = SystemView::new(SimTime(0), &queues, &pet);
         let tasks: Vec<Task> = (0..10)
-            .map(|i| {
-                Task::new(i, TaskTypeId(0), SimTime(0), SimTime(100_000))
-            })
+            .map(|i| Task::new(i, TaskTypeId(0), SimTime(0), SimTime(100_000)))
             .collect();
         let out = EfficientMinMin::new().select(&view, &tasks);
         assert_eq!(out.len(), 4); // 2 machines × 2 slots

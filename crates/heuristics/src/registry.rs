@@ -148,18 +148,14 @@ impl HeuristicKind {
                 SwitchingAlgorithm::classic(),
             )),
             HeuristicKind::Mm => MappingStrategy::Batch(Box::new(MM::new())),
-            HeuristicKind::Msd => {
-                MappingStrategy::Batch(Box::new(MSD::new()))
-            }
-            HeuristicKind::Mmu => {
-                MappingStrategy::Batch(Box::new(MMU::new()))
-            }
+            HeuristicKind::Msd => MappingStrategy::Batch(Box::new(MSD::new())),
+            HeuristicKind::Mmu => MappingStrategy::Batch(Box::new(MMU::new())),
             HeuristicKind::FcfsRr => {
                 MappingStrategy::Batch(Box::new(FcfsRoundRobin::new()))
             }
-            HeuristicKind::Edf => MappingStrategy::Batch(Box::new(
-                EarliestDeadlineFirst::new(),
-            )),
+            HeuristicKind::Edf => {
+                MappingStrategy::Batch(Box::new(EarliestDeadlineFirst::new()))
+            }
             HeuristicKind::Sjf => {
                 MappingStrategy::Batch(Box::new(ShortestJobFirst::new()))
             }
@@ -198,8 +194,9 @@ mod tests {
             assert!(matches!(kind.make(), MappingStrategy::Immediate(_)));
             assert!(kind.is_immediate());
         }
-        for kind in
-            HeuristicKind::BATCH.iter().chain(&HeuristicKind::HOMOGENEOUS)
+        for kind in HeuristicKind::BATCH
+            .iter()
+            .chain(&HeuristicKind::HOMOGENEOUS)
         {
             assert!(matches!(kind.make(), MappingStrategy::Batch(_)));
             assert!(!kind.is_immediate());

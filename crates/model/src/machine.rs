@@ -11,15 +11,31 @@ use serde::{Deserialize, Serialize};
 
 /// Identifier of a machine type (column group of the PET matrix).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-    Serialize, Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
 )]
 pub struct MachineTypeId(pub u16);
 
 /// Identifier of a concrete machine instance.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-    Serialize, Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
 )]
 pub struct MachineId(pub u16);
 
@@ -36,7 +52,10 @@ pub struct MachineType {
 impl MachineType {
     /// Creates a machine type.
     pub fn new(id: u16, name: impl Into<String>) -> Self {
-        Self { id: MachineTypeId(id), name: name.into() }
+        Self {
+            id: MachineTypeId(id),
+            name: name.into(),
+        }
     }
 }
 
@@ -52,7 +71,10 @@ pub struct Machine {
 impl Machine {
     /// Creates a machine.
     pub fn new(id: u16, type_id: MachineTypeId) -> Self {
-        Self { id: MachineId(id), type_id }
+        Self {
+            id: MachineId(id),
+            type_id,
+        }
     }
 }
 

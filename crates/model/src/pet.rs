@@ -51,8 +51,7 @@ impl PetMatrix {
             n_machine_types * n_task_types,
             "PET matrix shape mismatch"
         );
-        let expected_bins =
-            entries.iter().map(|p| p.expectation()).collect();
+        let expected_bins = entries.iter().map(|p| p.expectation()).collect();
         Self {
             bin_spec,
             n_machine_types,
@@ -109,8 +108,7 @@ impl PetMatrix {
         machine: MachineTypeId,
         task: TaskTypeId,
     ) -> f64 {
-        (self.expected_bins(machine, task) + 0.5)
-            * self.bin_spec.width() as f64
+        (self.expected_bins(machine, task) + 0.5) * self.bin_spec.width() as f64
     }
 
     /// Samples an actual execution duration in ticks: draws a bin from
@@ -134,10 +132,7 @@ impl PetMatrix {
 
     /// Mean expected execution time of a task type across all machine
     /// types, in ticks — `avg_i` in the paper's deadline equation (Eq. 4).
-    pub fn mean_expected_ticks_across_machines(
-        &self,
-        task: TaskTypeId,
-    ) -> f64 {
+    pub fn mean_expected_ticks_across_machines(&self, task: TaskTypeId) -> f64 {
         let total: f64 = (0..self.n_machine_types)
             .map(|m| self.expected_ticks(MachineTypeId(m as u16), task))
             .sum();
@@ -179,10 +174,10 @@ mod tests {
         // 2 machine types × 2 task types.
         let spec = BinSpec::new(100);
         let entries = vec![
-            Pmf::point_mass(2),                                  // m0,t0
-            Pmf::from_points(&[(4, 0.5), (8, 0.5)]).unwrap(),    // m0,t1
-            Pmf::from_points(&[(1, 0.5), (3, 0.5)]).unwrap(),    // m1,t0
-            Pmf::point_mass(10),                                 // m1,t1
+            Pmf::point_mass(2),                               // m0,t0
+            Pmf::from_points(&[(4, 0.5), (8, 0.5)]).unwrap(), // m0,t1
+            Pmf::from_points(&[(1, 0.5), (3, 0.5)]).unwrap(), // m1,t0
+            Pmf::point_mass(10),                              // m1,t1
         ];
         PetMatrix::new(spec, 2, 2, entries)
     }
@@ -190,37 +185,19 @@ mod tests {
     #[test]
     fn lookup_and_expectations() {
         let m = tiny_matrix();
-        assert_eq!(
-            m.expected_bins(MachineTypeId(0), TaskTypeId(0)),
-            2.0
-        );
-        assert_eq!(
-            m.expected_bins(MachineTypeId(0), TaskTypeId(1)),
-            6.0
-        );
-        assert_eq!(
-            m.expected_bins(MachineTypeId(1), TaskTypeId(0)),
-            2.0
-        );
+        assert_eq!(m.expected_bins(MachineTypeId(0), TaskTypeId(0)), 2.0);
+        assert_eq!(m.expected_bins(MachineTypeId(0), TaskTypeId(1)), 6.0);
+        assert_eq!(m.expected_bins(MachineTypeId(1), TaskTypeId(0)), 2.0);
         // Ticks use bin midpoints: (2 + 0.5) * 100.
-        assert_eq!(
-            m.expected_ticks(MachineTypeId(0), TaskTypeId(0)),
-            250.0
-        );
+        assert_eq!(m.expected_ticks(MachineTypeId(0), TaskTypeId(0)), 250.0);
     }
 
     #[test]
     fn eq4_aggregates() {
         let m = tiny_matrix();
         // avg_t0 = (250 + 250)/2 ; avg_t1 = (650 + 1050)/2.
-        assert_eq!(
-            m.mean_expected_ticks_across_machines(TaskTypeId(0)),
-            250.0
-        );
-        assert_eq!(
-            m.mean_expected_ticks_across_machines(TaskTypeId(1)),
-            850.0
-        );
+        assert_eq!(m.mean_expected_ticks_across_machines(TaskTypeId(0)), 250.0);
+        assert_eq!(m.mean_expected_ticks_across_machines(TaskTypeId(1)), 850.0);
         assert_eq!(m.mean_expected_ticks_overall(), 550.0);
     }
 
@@ -239,17 +216,10 @@ mod tests {
         let m = tiny_matrix();
         let mut rng = Xoshiro256PlusPlus::new(5);
         for _ in 0..1000 {
-            let d = m.sample_duration(
-                MachineTypeId(0),
-                TaskTypeId(0),
-                &mut rng,
-            );
+            let d =
+                m.sample_duration(MachineTypeId(0), TaskTypeId(0), &mut rng);
             // Point mass at bin 2 of width 100: duration in [200, 300).
-            assert!(
-                (200..300).contains(&d.ticks()),
-                "duration {}",
-                d.ticks()
-            );
+            assert!((200..300).contains(&d.ticks()), "duration {}", d.ticks());
         }
     }
 

@@ -11,15 +11,31 @@ use serde::{Deserialize, Serialize};
 
 /// Identifier of a task type (row of the PET matrix).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-    Serialize, Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
 )]
 pub struct TaskTypeId(pub u16);
 
 /// Identifier of a single task instance.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-    Serialize, Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Serialize,
+    Deserialize,
 )]
 pub struct TaskId(pub u64);
 
@@ -35,7 +51,10 @@ pub struct TaskType {
 impl TaskType {
     /// Creates a task type.
     pub fn new(id: u16, name: impl Into<String>) -> Self {
-        Self { id: TaskTypeId(id), name: name.into() }
+        Self {
+            id: TaskTypeId(id),
+            name: name.into(),
+        }
     }
 }
 
@@ -88,9 +107,7 @@ impl Task {
 }
 
 /// The terminal state of a task, the categories the evaluation counts.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TaskOutcome {
     /// Finished at or before its deadline — the robustness numerator.
     CompletedOnTime,

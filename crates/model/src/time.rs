@@ -22,8 +22,17 @@ pub const TICKS_PER_TIME_UNIT: u64 = 1_000;
 /// the arithmetic operators keep both readable: `point + duration`,
 /// `point - point`.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-    Serialize, Deserialize,
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    Serialize,
+    Deserialize,
 )]
 pub struct SimTime(pub u64);
 

@@ -36,12 +36,20 @@ impl Cdf {
             acc += p;
             cum.push(acc);
         }
-        Self { offset: pmf.min_bin(), cum, window_mass: acc }
+        Self {
+            offset: pmf.min_bin(),
+            cum,
+            window_mass: acc,
+        }
     }
 
     /// The degenerate CDF of a point mass: 0 before `bin`, 1 from `bin` on.
     pub fn point_mass(bin: Bin) -> Self {
-        Self { offset: bin, cum: vec![1.0], window_mass: 1.0 }
+        Self {
+            offset: bin,
+            cum: vec![1.0],
+            window_mass: 1.0,
+        }
     }
 
     /// `P(X ≤ bin)`.
@@ -108,8 +116,7 @@ mod tests {
 
     #[test]
     fn cdf_matches_pmf_cdf() {
-        let pmf =
-            Pmf::from_points(&[(2, 0.2), (4, 0.3), (7, 0.5)]).unwrap();
+        let pmf = Pmf::from_points(&[(2, 0.2), (4, 0.3), (7, 0.5)]).unwrap();
         let cdf = pmf.to_cdf();
         for bin in 0..12 {
             assert!(
@@ -139,8 +146,7 @@ mod tests {
 
     #[test]
     fn success_after_equals_explicit_convolution() {
-        let tail =
-            Pmf::from_points(&[(4, 0.17), (5, 0.33), (6, 0.5)]).unwrap();
+        let tail = Pmf::from_points(&[(4, 0.17), (5, 0.33), (6, 0.5)]).unwrap();
         let pet =
             Pmf::from_points(&[(1, 0.125), (2, 0.125), (3, 0.75)]).unwrap();
         let cdf = tail.to_cdf();

@@ -32,15 +32,34 @@ pub fn convolve(a: &Pmf, b: &Pmf) -> Pmf {
 }
 
 /// Combined tail mass: an outcome lands beyond the horizon if either
-/// operand did.
+/// operand did. Inputs and output are clamped to `[0, 1]` — repeated
+/// `truncate_to_horizon` accumulation can leave a tail a few ULPs above
+/// 1.0, and inclusion–exclusion must not launder that into an invalid
+/// probability.
 fn combined_tail(a: &Pmf, b: &Pmf) -> f64 {
-    let (ta, tb) = (a.tail_mass(), b.tail_mass());
-    ta + tb - ta * tb
+    let ta = a.tail_mass().clamp(0.0, 1.0);
+    let tb = b.tail_mass().clamp(0.0, 1.0);
+    (ta + tb - ta * tb).clamp(0.0, 1.0)
+}
+
+/// The convolution of a pure-tail operand with anything is pure tail:
+/// every outcome involving the tail is itself beyond the horizon.
+///
+/// Under `Pmf`'s invariants a pure-tail operand normally arrives as a
+/// single zero bin (never an empty window), and the main loops already
+/// produce this result for it; the explicit guard below only defends
+/// the `an + bn - 1` length arithmetic against an invariant-violating
+/// empty window reaching convolution.
+fn all_tail_result(a: &Pmf, b: &Pmf) -> Pmf {
+    Pmf::from_dense(a.min_bin() + b.min_bin(), vec![0.0], combined_tail(a, b))
 }
 
 /// Direct O(n·m) convolution.
 pub fn convolve_direct(a: &Pmf, b: &Pmf) -> Pmf {
     let (an, bn) = (a.support_len(), b.support_len());
+    if an == 0 || bn == 0 {
+        return all_tail_result(a, b);
+    }
     let mut out = vec![0.0f64; an + bn - 1];
     let ap = a.dense_probs();
     let bp = b.dense_probs();
@@ -71,6 +90,9 @@ pub fn convolve_direct(a: &Pmf, b: &Pmf) -> Pmf {
 /// are clamped to zero; the result is within 1e-9 of the direct method for
 /// normalised inputs.
 pub fn convolve_fft(a: &Pmf, b: &Pmf) -> Pmf {
+    if a.support_len() == 0 || b.support_len() == 0 {
+        return all_tail_result(a, b);
+    }
     let out = fft::convolve_real(a.dense_probs(), b.dense_probs());
     Pmf::from_dense(a.min_bin() + b.min_bin(), out, combined_tail(a, b))
 }
@@ -90,8 +112,7 @@ mod tests {
         // PET.max+PCT.max] and mass must be conserved.
         let pet =
             Pmf::from_points(&[(1, 0.125), (2, 0.125), (3, 0.75)]).unwrap();
-        let tail =
-            Pmf::from_points(&[(4, 0.17), (5, 0.33), (6, 0.5)]).unwrap();
+        let tail = Pmf::from_points(&[(4, 0.17), (5, 0.33), (6, 0.5)]).unwrap();
         let pct = convolve_direct(&pet, &tail);
         assert_eq!(pct.min_bin(), 5);
         assert_eq!(pct.max_bin(), 9);
@@ -141,6 +162,50 @@ mod tests {
         let c = convolve(&a, &b);
         assert!(approx(c.tail_mass(), 0.5 + 0.25 - 0.5 * 0.25));
         assert!(approx(c.mass(), 1.0));
+    }
+
+    #[test]
+    fn combined_tail_clamps_rounding_above_one() {
+        // Accumulate a tail from summands whose floating-point sum drifts
+        // a few ULPs above the exact value (0.1 + 0.2 + 0.3 + 0.4 > 1.0
+        // in f64), then push the entire window past the horizon so the
+        // whole drifted mass lands in the tail.
+        let mut a =
+            Pmf::from_points(&[(10, 0.1), (11, 0.2), (12, 0.3), (13, 0.4)])
+                .unwrap();
+        a.truncate_to_horizon(5);
+        let mut b = a.clone();
+        b.truncate_to_horizon(5);
+        let c = convolve(&a, &b);
+        assert!(
+            c.tail_mass() <= 1.0,
+            "combined tail {} exceeds 1.0",
+            c.tail_mass()
+        );
+        assert!(c.tail_mass() > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn all_tail_operand_is_well_defined() {
+        // One operand entirely beyond the horizon: the result must be
+        // pure tail mass, for both convolution paths.
+        let mut tail_only = Pmf::from_points(&[(50, 1.0)]).unwrap();
+        tail_only.truncate_to_horizon(10);
+        assert!(approx(tail_only.tail_mass(), 1.0));
+        let b = Pmf::from_points(&[(1, 0.5), (3, 0.5)]).unwrap();
+        for c in [
+            convolve_direct(&tail_only, &b),
+            convolve_direct(&b, &tail_only),
+            convolve_fft(&tail_only, &b),
+            convolve(&tail_only, &tail_only),
+        ] {
+            assert!(approx(c.tail_mass(), 1.0));
+            assert!(approx(c.mass(), 1.0));
+            assert!(
+                approx(c.success_probability(u64::MAX / 2), 0.0),
+                "pure-tail convolution must never succeed"
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl Complex {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     #[inline]
@@ -41,17 +44,26 @@ impl Complex {
 
     #[inline]
     fn add(self, o: Self) -> Self {
-        Self { re: self.re + o.re, im: self.im + o.im }
+        Self {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 
     #[inline]
     fn sub(self, o: Self) -> Self {
-        Self { re: self.re - o.re, im: self.im - o.im }
+        Self {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 
     #[inline]
     fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -141,10 +153,7 @@ pub fn convolve_real(a: &[f64], b: &[f64]) -> Vec<f64> {
         let zk = z[k];
         let zr = z[k_rev].conj();
         let ak = zk.add(zr).scale(0.5);
-        let bk = Complex::new(
-            0.5 * (zk.im - zr.im),
-            -0.5 * (zk.re - zr.re),
-        );
+        let bk = Complex::new(0.5 * (zk.im - zr.im), -0.5 * (zk.re - zr.re));
         prod[k] = ak.mul(bk);
     }
     fft_in_place(&mut prod, true);
@@ -216,8 +225,10 @@ mod tests {
 
     #[test]
     fn convolve_real_matches_naive_asymmetric_lengths() {
-        let a: Vec<f64> = (0..57).map(|i| ((i * 37) % 11) as f64 / 55.0).collect();
-        let b: Vec<f64> = (0..9).map(|i| ((i * 13) % 7) as f64 / 21.0).collect();
+        let a: Vec<f64> =
+            (0..57).map(|i| ((i * 37) % 11) as f64 / 55.0).collect();
+        let b: Vec<f64> =
+            (0..9).map(|i| ((i * 13) % 7) as f64 / 21.0).collect();
         let fft = convolve_real(&a, &b);
         let naive = naive_convolve(&a, &b);
         for (x, y) in fft.iter().zip(&naive) {

@@ -61,18 +61,34 @@ impl Pmf {
                 probs[(b - lo) as usize] += p;
             }
         }
-        Ok(Self { offset: lo, probs, tail_mass: 0.0 })
+        Ok(Self {
+            offset: lo,
+            probs,
+            tail_mass: 0.0,
+        })
     }
 
     /// A PMF that is 1 with certainty at `bin` (deterministic duration).
     pub fn point_mass(bin: Bin) -> Self {
-        Self { offset: bin, probs: vec![1.0], tail_mass: 0.0 }
+        Self {
+            offset: bin,
+            probs: vec![1.0],
+            tail_mass: 0.0,
+        }
     }
 
     /// Builds a PMF directly from a dense window. Used internally by
     /// convolution and the histogram pipeline; trims zero edges.
-    pub(crate) fn from_dense(offset: Bin, probs: Vec<f64>, tail_mass: f64) -> Self {
-        let mut pmf = Self { offset, probs, tail_mass };
+    pub(crate) fn from_dense(
+        offset: Bin,
+        probs: Vec<f64>,
+        tail_mass: f64,
+    ) -> Self {
+        let mut pmf = Self {
+            offset,
+            probs,
+            tail_mass,
+        };
         pmf.trim();
         pmf
     }
@@ -401,10 +417,7 @@ mod tests {
     #[test]
     fn from_points_rejects_empty_and_negative() {
         assert_eq!(Pmf::from_points(&[]), Err(ProbError::EmptySupport));
-        assert_eq!(
-            Pmf::from_points(&[(1, 0.0)]),
-            Err(ProbError::EmptySupport)
-        );
+        assert_eq!(Pmf::from_points(&[(1, 0.0)]), Err(ProbError::EmptySupport));
         assert!(matches!(
             Pmf::from_points(&[(1, -0.5)]),
             Err(ProbError::InvalidProbability(_))
@@ -499,8 +512,7 @@ mod tests {
 
     #[test]
     fn condition_greater_than_renormalises() {
-        let pmf =
-            Pmf::from_points(&[(1, 0.25), (2, 0.25), (3, 0.5)]).unwrap();
+        let pmf = Pmf::from_points(&[(1, 0.25), (2, 0.25), (3, 0.5)]).unwrap();
         let cond = pmf.condition_greater_than(1);
         assert_eq!(cond.min_bin(), 2);
         assert!(approx(cond.prob_at(2), 0.25 / 0.75));

@@ -171,7 +171,8 @@ fn fill_bytes_from_u64<R: RngCore>(rng: &mut R, dest: &mut [u8]) {
 /// generator so that changing one experiment parameter never perturbs the
 /// random choices of an unrelated component.
 pub fn derive_seed(base: u64, stream: u64) -> u64 {
-    let mut sm = SplitMix64::new(base ^ stream.wrapping_mul(0xA24BAED4963EE407));
+    let mut sm =
+        SplitMix64::new(base ^ stream.wrapping_mul(0xA24BAED4963EE407));
     sm.next()
 }
 
@@ -217,8 +218,7 @@ mod tests {
     fn xoshiro_f64_mean_is_near_half() {
         let mut rng = Xoshiro256PlusPlus::new(99);
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 

@@ -80,7 +80,10 @@ impl LogNormal {
     /// Creates a log-normal distribution from the underlying normal's
     /// parameters.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative"
+        );
         Self { mu, sigma }
     }
 }
@@ -105,7 +108,10 @@ impl LogUniform {
     /// positive and `lo < hi`.
     pub fn new(lo: f64, hi: f64) -> Self {
         assert!(lo > 0.0 && hi > lo, "log-uniform needs 0 < lo < hi");
-        Self { ln_lo: lo.ln(), ln_hi: hi.ln() }
+        Self {
+            ln_lo: lo.ln(),
+            ln_hi: hi.ln(),
+        }
     }
 }
 

@@ -51,7 +51,14 @@ impl SummaryStats {
         } else {
             0.0
         };
-        Some(Self { n, mean, std_dev, ci95_half_width: half, min, max })
+        Some(Self {
+            n,
+            mean,
+            std_dev,
+            ci95_half_width: half,
+            min,
+            max,
+        })
     }
 
     /// Lower edge of the 95 % confidence interval.
@@ -80,10 +87,9 @@ impl SummaryStats {
 /// 1.96 beyond.
 pub fn t_critical_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
-        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
-        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
-        2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
     ];
     match df {
         0 => f64::INFINITY,
@@ -164,8 +170,10 @@ mod tests {
 
     #[test]
     fn known_mean_and_std() {
-        let s = SummaryStats::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
-            .unwrap();
+        let s = SummaryStats::from_values(&[
+            2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0,
+        ])
+        .unwrap();
         assert!((s.mean - 5.0).abs() < 1e-12);
         // Sample variance = 32/7.
         assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
@@ -213,10 +221,10 @@ mod tests {
 
     #[test]
     fn welch_t_detects_separated_samples() {
-        let a = SummaryStats::from_values(&[70.0, 71.0, 69.5, 70.5, 70.2])
-            .unwrap();
-        let b = SummaryStats::from_values(&[60.0, 61.0, 59.5, 60.5, 60.2])
-            .unwrap();
+        let a =
+            SummaryStats::from_values(&[70.0, 71.0, 69.5, 70.5, 70.2]).unwrap();
+        let b =
+            SummaryStats::from_values(&[60.0, 61.0, 59.5, 60.5, 60.2]).unwrap();
         let (t, df) = welch_t(&a, &b).unwrap();
         assert!(t > 10.0, "t={t}");
         assert!(df > 3.0 && df < 9.0, "df={df}");
@@ -226,10 +234,8 @@ mod tests {
 
     #[test]
     fn welch_t_on_overlapping_samples_is_insignificant() {
-        let a =
-            SummaryStats::from_values(&[50.0, 55.0, 45.0, 52.0]).unwrap();
-        let b =
-            SummaryStats::from_values(&[49.0, 54.0, 46.0, 51.0]).unwrap();
+        let a = SummaryStats::from_values(&[50.0, 55.0, 45.0, 52.0]).unwrap();
+        let b = SummaryStats::from_values(&[49.0, 54.0, 46.0, 51.0]).unwrap();
         assert!(!significantly_above(&a, &b));
     }
 
@@ -253,7 +259,8 @@ mod tests {
     fn welford_is_stable_for_large_offsets() {
         // Classic catastrophic-cancellation case for naive two-pass sums.
         let base = 1e9;
-        let values: Vec<f64> = (0..1000).map(|i| base + (i % 7) as f64).collect();
+        let values: Vec<f64> =
+            (0..1000).map(|i| base + (i % 7) as f64).collect();
         let s = SummaryStats::from_values(&values).unwrap();
         assert!(s.std_dev > 0.0 && s.std_dev < 10.0);
     }

@@ -52,7 +52,10 @@ impl SimConfig {
 
     /// Immediate-mode defaults (Fig. 7a experiments).
     pub fn immediate(seed: u64) -> Self {
-        Self { mode: AllocationMode::Immediate, ..Self::batch(seed) }
+        Self {
+            mode: AllocationMode::Immediate,
+            ..Self::batch(seed)
+        }
     }
 
     /// Returns the effective waiting-queue capacity for this mode.

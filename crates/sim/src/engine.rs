@@ -156,7 +156,10 @@ impl<'a> Engine<'a> {
             let mut arriving: Option<Task> = None;
 
             match event.kind {
-                EventKind::Completion { machine, generation } => {
+                EventKind::Completion {
+                    machine,
+                    generation,
+                } => {
                     let q = &mut self.queues[machine.0 as usize];
                     if q.generation() != generation {
                         continue; // stale event from a cancelled start
@@ -261,10 +264,8 @@ impl<'a> Engine<'a> {
                         &rt.task,
                         TaskOutcome::CancelledRunning,
                     );
-                    self.stats.record_execution(
-                        (self.now - rt.start).ticks(),
-                        false,
-                    );
+                    self.stats
+                        .record_execution((self.now - rt.start).ticks(), false);
                     report.cancelled.push(rt.task);
                     self.trace_event(TraceEvent::Cancelled {
                         task: rt.task.id,
@@ -349,9 +350,9 @@ impl<'a> Engine<'a> {
             let view = SystemView::new(self.now, &self.queues, self.pet);
             match &mut self.strategy {
                 MappingStrategy::Immediate(m) => m.place(&view, &task),
-                MappingStrategy::Batch(_) => panic!(
-                    "immediate mode requires an immediate-mode mapper"
-                ),
+                MappingStrategy::Batch(_) => {
+                    panic!("immediate mode requires an immediate-mode mapper")
+                }
             }
         };
         let machine = if self.queues[chosen.0 as usize].free_slots() > 0 {
@@ -365,7 +366,10 @@ impl<'a> Engine<'a> {
             MachineId(fallback as u16)
         };
         self.queues[machine.0 as usize].admit(task, self.pet);
-        self.trace_event(TraceEvent::Mapped { task: task.id, machine });
+        self.trace_event(TraceEvent::Mapped {
+            task: task.id,
+            machine,
+        });
     }
 
     /// The Step 7 while-loop: heuristic proposes, pruner vetoes,
@@ -394,8 +398,7 @@ impl<'a> Engine<'a> {
                 break;
             }
             let proposals = {
-                let view =
-                    SystemView::new(self.now, &self.queues, self.pet);
+                let view = SystemView::new(self.now, &self.queues, self.pet);
                 mapper.select(&view, &candidates)
             };
             if proposals.is_empty() {
@@ -533,9 +536,7 @@ fn group_by_machine(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{
-        Assignment, BatchMapper, ImmediateMapper, NoPruning,
-    };
+    use crate::traits::{Assignment, BatchMapper, ImmediateMapper, NoPruning};
     use taskprune_model::{BinSpec, TaskTypeId};
     use taskprune_prob::Pmf;
 
@@ -563,7 +564,10 @@ mod tests {
             candidates
                 .iter()
                 .take(view.free_slots(MachineId(0)))
-                .map(|t| Assignment { task: t.id, machine: MachineId(0) })
+                .map(|t| Assignment {
+                    task: t.id,
+                    machine: MachineId(0),
+                })
                 .collect()
         }
     }
@@ -575,11 +579,7 @@ mod tests {
         fn name(&self) -> &str {
             "rr"
         }
-        fn place(
-            &mut self,
-            view: &SystemView<'_>,
-            _task: &Task,
-        ) -> MachineId {
+        fn place(&mut self, view: &SystemView<'_>, _task: &Task) -> MachineId {
             let m = MachineId((self.next % view.n_machines()) as u16);
             self.next += 1;
             m

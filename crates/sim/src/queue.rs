@@ -19,9 +19,7 @@
 //! semantics).
 
 use std::collections::VecDeque;
-use taskprune_model::{
-    BinSpec, Machine, PetMatrix, SimTime, Task, TaskId,
-};
+use taskprune_model::{BinSpec, Machine, PetMatrix, SimTime, Task, TaskId};
 use taskprune_prob::{Bin, Cdf, Pmf};
 
 /// The task currently executing on a machine.
@@ -157,7 +155,11 @@ impl MachineQueue {
     ) -> u64 {
         assert!(self.running.is_none(), "machine already busy");
         self.generation += 1;
-        self.running = Some(RunningTask { task, start, actual_finish });
+        self.running = Some(RunningTask {
+            task,
+            start,
+            actual_finish,
+        });
         self.generation
     }
 
@@ -238,8 +240,7 @@ impl MachineQueue {
             .map(|t| pet_matrix.pet(self.machine.type_id, t.type_id))
             .collect();
         for pet in pets {
-            let last =
-                self.prefix_pmfs.last().expect("chain is never empty");
+            let last = self.prefix_pmfs.last().expect("chain is never empty");
             let mut next = last.convolve(pet);
             next.truncate_to_horizon(self.horizon_bins);
             self.prefix_cdfs.push(next.to_cdf());
@@ -260,8 +261,7 @@ impl MachineQueue {
         match &self.running {
             None => Pmf::point_mass(now_bin),
             Some(rt) => {
-                let pet =
-                    pet_matrix.pet(self.machine.type_id, rt.task.type_id);
+                let pet = pet_matrix.pet(self.machine.type_id, rt.task.type_id);
                 let start_bin = bin_spec.bin_of(rt.start);
                 let absolute = pet.shift(start_bin);
                 if now_bin == 0 {
@@ -284,8 +284,7 @@ impl MachineQueue {
         task: &Task,
     ) -> f64 {
         let base = self.base_pmf(bin_spec, pet_matrix, now);
-        let chain_cdf =
-            self.prefix_cdfs.last().expect("chain is never empty");
+        let chain_cdf = self.prefix_cdfs.last().expect("chain is never empty");
         let pet = pet_matrix.pet(self.machine.type_id, task.type_id);
         chance_of_success(
             &base,
@@ -440,16 +439,15 @@ mod tests {
 
     fn queue() -> MachineQueue {
         let cluster = Cluster::one_per_type(1);
-        MachineQueue::new(cluster.machine(taskprune_model::MachineId(0)), 4, 256)
+        MachineQueue::new(
+            cluster.machine(taskprune_model::MachineId(0)),
+            4,
+            256,
+        )
     }
 
     fn task(id: u64, type_id: u16, deadline_ticks: u64) -> Task {
-        Task::new(
-            id,
-            TaskTypeId(type_id),
-            SimTime(0),
-            SimTime(deadline_ticks),
-        )
+        Task::new(id, TaskTypeId(type_id), SimTime(0), SimTime(deadline_ticks))
     }
 
     #[test]
@@ -500,7 +498,8 @@ mod tests {
         let pm = pet_matrix();
         let mut q = queue();
         let spec = pm.bin_spec();
-        q.admit(task(0, 1, 10_000), &pm); // δ(3) ahead
+        // δ(3) ahead.
+        q.admit(task(0, 1, 10_000), &pm);
         // Type-0 task behind it: completion = 3 + {2:0.5, 4:0.5}.
         // Deadline bin 5 (deadline 600) → P = 0.5.
         let t = task(1, 0, 600);
@@ -610,15 +609,11 @@ mod tests {
         // Decide: drop task 0 only; task 2's chance must then *improve*
         // to bins 5/7 ⇒ certain (deadline bin 8).
         let mut seen = Vec::new();
-        let drops = q.plan_drops(
-            pm.bin_spec(),
-            &pm,
-            SimTime(0),
-            |task, chance| {
+        let drops =
+            q.plan_drops(pm.bin_spec(), &pm, SimTime(0), |task, chance| {
                 seen.push((task.id, chance));
                 task.id == TaskId(0)
-            },
-        );
+            });
         assert_eq!(drops, vec![TaskId(0)]);
         assert_eq!(seen.len(), 3);
         // Without drops task 2's chance would be 0.5; after dropping
@@ -635,11 +630,10 @@ mod tests {
         q.admit(task(0, 1, 350), &pm); // bin 3 vs deadline bin 2 → 0
         q.admit(task(1, 1, 10_000), &pm);
         let mut chances = Vec::new();
-        let drops =
-            q.plan_drops(pm.bin_spec(), &pm, SimTime(0), |_, c| {
-                chances.push(c);
-                false
-            });
+        let drops = q.plan_drops(pm.bin_spec(), &pm, SimTime(0), |_, c| {
+            chances.push(c);
+            false
+        });
         assert!(drops.is_empty());
         assert!(chances[0].abs() < 1e-12);
         assert!((chances[1] - 1.0).abs() < 1e-12);
@@ -679,10 +673,8 @@ mod tests {
         // Randomised agreement check against the explicit Eq. 1 path.
         let base =
             Pmf::from_points(&[(10, 0.3), (12, 0.45), (15, 0.25)]).unwrap();
-        let chain =
-            Pmf::from_points(&[(0, 0.2), (3, 0.5), (7, 0.3)]).unwrap();
-        let pet =
-            Pmf::from_points(&[(1, 0.6), (5, 0.4)]).unwrap();
+        let chain = Pmf::from_points(&[(0, 0.2), (3, 0.5), (7, 0.3)]).unwrap();
+        let pet = Pmf::from_points(&[(1, 0.6), (5, 0.4)]).unwrap();
         let explicit = base.convolve(&chain).convolve(&pet);
         let chain_cdf = chain.to_cdf();
         for deadline in 8..30 {

@@ -139,7 +139,10 @@ impl SimStats {
 
     /// Count of tasks with the given outcome (whole trial, no trim).
     pub fn count(&self, outcome: TaskOutcome) -> usize {
-        self.outcomes.iter().filter(|&&o| o == Some(outcome)).count()
+        self.outcomes
+            .iter()
+            .filter(|&&o| o == Some(outcome))
+            .count()
     }
 
     /// Per-type counters.

@@ -232,11 +232,17 @@ mod tests {
         log.record(SimTime(2), TraceEvent::Arrived { task: TaskId(8) });
         log.record(
             SimTime(3),
-            TraceEvent::Mapped { task: TaskId(7), machine: MachineId(2) },
+            TraceEvent::Mapped {
+                task: TaskId(7),
+                machine: MachineId(2),
+            },
         );
         log.record(
             SimTime(9),
-            TraceEvent::Completed { task: TaskId(7), on_time: true },
+            TraceEvent::Completed {
+                task: TaskId(7),
+                on_time: true,
+            },
         );
         let history = log.task_history(TaskId(7));
         assert_eq!(history.len(), 3);

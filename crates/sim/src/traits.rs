@@ -90,7 +90,11 @@ impl EventReport {
     pub fn deadline_misses(&self) -> usize {
         self.dropped_reactive.len()
             + self.cancelled.len()
-            + self.completed.iter().filter(|(_, on_time)| !on_time).count()
+            + self
+                .completed
+                .iter()
+                .filter(|(_, on_time)| !on_time)
+                .count()
     }
 }
 
@@ -149,9 +153,7 @@ mod tests {
 
     #[test]
     fn event_report_counts_misses() {
-        let t = |id| {
-            Task::new(id, TaskTypeId(0), SimTime(0), SimTime(10))
-        };
+        let t = |id| Task::new(id, TaskTypeId(0), SimTime(0), SimTime(10));
         let report = EventReport {
             now: SimTime(100),
             completed: vec![(t(0), true), (t(1), false), (t(2), false)],

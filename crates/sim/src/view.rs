@@ -7,8 +7,7 @@
 
 use crate::queue::MachineQueue;
 use taskprune_model::{
-    BinSpec, Machine, MachineId, PetMatrix, SimTime, Task, TaskId,
-    TaskTypeId,
+    BinSpec, Machine, MachineId, PetMatrix, SimTime, Task, TaskId, TaskTypeId,
 };
 
 /// A snapshot view over the simulator state at one instant.
@@ -125,11 +124,7 @@ impl<'a> SystemView<'a> {
 
     /// Chance of success (Eq. 2) of `task` if appended to `machine` now,
     /// accounting for the full compound uncertainty of the queue.
-    pub fn chance_if_appended(
-        &self,
-        machine: MachineId,
-        task: &Task,
-    ) -> f64 {
+    pub fn chance_if_appended(&self, machine: MachineId, task: &Task) -> f64 {
         self.queue(machine).chance_if_appended(
             self.bin_spec(),
             self.pet,

@@ -8,8 +8,7 @@
 
 use proptest::prelude::*;
 use taskprune_model::{
-    BinSpec, Cluster, MachineId, PetMatrix, SimTime, Task, TaskId,
-    TaskTypeId,
+    BinSpec, Cluster, MachineId, PetMatrix, SimTime, Task, TaskId, TaskTypeId,
 };
 use taskprune_prob::Pmf;
 use taskprune_sim::queue::MachineQueue;
@@ -54,11 +53,8 @@ fn rebuild_reference(
     capacity: usize,
 ) -> MachineQueue {
     let cluster = Cluster::one_per_type(1);
-    let mut fresh = MachineQueue::new(
-        cluster.machine(MachineId(0)),
-        capacity,
-        256,
-    );
+    let mut fresh =
+        MachineQueue::new(cluster.machine(MachineId(0)), capacity, 256);
     if let Some(rt) = q.running() {
         fresh.set_running(rt.task, rt.start, rt.actual_finish);
     }

@@ -2,8 +2,7 @@
 //! lifecycle story.
 
 use taskprune_model::{
-    BinSpec, Cluster, PetMatrix, SimTime, Task, TaskId, TaskOutcome,
-    TaskTypeId,
+    BinSpec, Cluster, PetMatrix, SimTime, Task, TaskId, TaskOutcome, TaskTypeId,
 };
 use taskprune_prob::Pmf;
 use taskprune_sim::{
@@ -33,12 +32,7 @@ impl BatchMapper for ToZero {
 }
 
 fn run_traced(tasks: &[Task]) -> taskprune_sim::SimStats {
-    let pet = PetMatrix::new(
-        BinSpec::new(100),
-        1,
-        1,
-        vec![Pmf::point_mass(2)],
-    );
+    let pet = PetMatrix::new(BinSpec::new(100), 1, 1, vec![Pmf::point_mass(2)]);
     let cluster = Cluster::one_per_type(1);
     Engine::new(
         SimConfig::batch(1),
@@ -91,8 +85,7 @@ fn dropped_tasks_end_with_a_drop_event() {
     assert!(dropped > 10);
     let mut drop_events = 0;
     for id in 0..30 {
-        if stats.outcome(TaskId(id)) == Some(TaskOutcome::DroppedReactive)
-        {
+        if stats.outcome(TaskId(id)) == Some(TaskOutcome::DroppedReactive) {
             let history = trace.task_history(TaskId(id));
             assert!(matches!(
                 history.last().expect("non-empty history").1,
@@ -115,27 +108,24 @@ fn snapshots_observe_queue_pressure() {
     // A 40-task burst onto one machine must show batch-queue pressure.
     assert!(trace.peak_batch_queue() > 10);
     // Snapshots are chronological.
-    assert!(trace
-        .snapshots()
-        .windows(2)
-        .all(|w| w[0].at <= w[1].at));
+    assert!(trace.snapshots().windows(2).all(|w| w[0].at <= w[1].at));
 }
 
 #[test]
 fn tracing_does_not_change_outcomes() {
     let tasks: Vec<Task> = (0..50)
         .map(|i| {
-            Task::new(i, TaskTypeId(0), SimTime(i * 120), SimTime(i * 120 + 900))
+            Task::new(
+                i,
+                TaskTypeId(0),
+                SimTime(i * 120),
+                SimTime(i * 120 + 900),
+            )
         })
         .collect();
     let traced = run_traced(&tasks);
 
-    let pet = PetMatrix::new(
-        BinSpec::new(100),
-        1,
-        1,
-        vec![Pmf::point_mass(2)],
-    );
+    let pet = PetMatrix::new(BinSpec::new(100), 1, 1, vec![Pmf::point_mass(2)]);
     let cluster = Cluster::one_per_type(1);
     let untraced = Engine::new(
         SimConfig::batch(1),
@@ -148,9 +138,6 @@ fn tracing_does_not_change_outcomes() {
 
     assert_eq!(traced.robustness_pct(0), untraced.robustness_pct(0));
     for i in 0..50 {
-        assert_eq!(
-            traced.outcome(TaskId(i)),
-            untraced.outcome(TaskId(i))
-        );
+        assert_eq!(traced.outcome(TaskId(i)), untraced.outcome(TaskId(i)));
     }
 }

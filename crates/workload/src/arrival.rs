@@ -36,7 +36,10 @@ pub enum ArrivalPattern {
 impl ArrivalPattern {
     /// The paper's spiky default: the rate triples during bursts.
     pub fn paper_spiky() -> Self {
-        ArrivalPattern::Spiky { n_spikes: 6, spike_factor: 3.0 }
+        ArrivalPattern::Spiky {
+            n_spikes: 6,
+            spike_factor: 3.0,
+        }
     }
 
     /// Short label for reports ("constant" / "spiky").
@@ -50,14 +53,11 @@ impl ArrivalPattern {
 
 /// Draws one inter-arrival gap with the paper's variance rule:
 /// `Var = 0.1 · mean` (both in time units).
-fn gap_sample(
-    mean_gap_tu: f64,
-    rng: &mut Xoshiro256PlusPlus,
-) -> f64 {
+fn gap_sample(mean_gap_tu: f64, rng: &mut Xoshiro256PlusPlus) -> f64 {
     // Gamma with mean m and variance 0.1·m has shape m/0.1 = 10·m.
     let shape = (10.0 * mean_gap_tu).max(0.05);
-    let gamma = Gamma::from_mean_shape(mean_gap_tu, shape)
-        .expect("positive mean gap");
+    let gamma =
+        Gamma::from_mean_shape(mean_gap_tu, shape).expect("positive mean gap");
     gamma.sample(rng)
 }
 
@@ -88,7 +88,10 @@ pub fn generate_arrivals_tu(
             }
             out
         }
-        ArrivalPattern::Spiky { n_spikes, spike_factor } => {
+        ArrivalPattern::Spiky {
+            n_spikes,
+            spike_factor,
+        } => {
             assert!(n_spikes > 0, "spiky pattern needs at least one spike");
             assert!(spike_factor >= 1.0, "spike factor must be >= 1");
             // Segment = lull + spike, spike = lull/3 ⇒ lull = ¾ segment.
@@ -149,10 +152,7 @@ pub fn rate_series(
     RateSeries {
         type_id,
         window_tu,
-        rates: counts
-            .into_iter()
-            .map(|c| c as f64 / window_tu)
-            .collect(),
+        rates: counts.into_iter().map(|c| c as f64 / window_tu).collect(),
     }
 }
 
@@ -204,8 +204,7 @@ mod tests {
 
     #[test]
     fn arrivals_are_sorted_and_in_span() {
-        for pattern in
-            [ArrivalPattern::Constant, ArrivalPattern::paper_spiky()]
+        for pattern in [ArrivalPattern::Constant, ArrivalPattern::paper_spiky()]
         {
             let arrivals =
                 generate_arrivals_tu(pattern, 500.0, 400, &mut rng(3));
@@ -221,7 +220,10 @@ mod tests {
         let n_spikes = 4;
         let span = 4000.0;
         let arrivals = generate_arrivals_tu(
-            ArrivalPattern::Spiky { n_spikes, spike_factor: 3.0 },
+            ArrivalPattern::Spiky {
+                n_spikes,
+                spike_factor: 3.0,
+            },
             span,
             8000,
             &mut rng(4),
@@ -237,8 +239,7 @@ mod tests {
             }
         }
         let lull_rate = lull_count / (lull_len * n_spikes as f64);
-        let spike_rate =
-            spike_count / ((segment - lull_len) * n_spikes as f64);
+        let spike_rate = spike_count / ((segment - lull_len) * n_spikes as f64);
         let ratio = spike_rate / lull_rate;
         assert!(
             (2.2..3.8).contains(&ratio),
@@ -256,8 +257,7 @@ mod tests {
             10_000,
             &mut rng(5),
         );
-        let gaps: Vec<f64> =
-            arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+        let gaps: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>()
             / (gaps.len() - 1) as f64;

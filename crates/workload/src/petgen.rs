@@ -115,17 +115,16 @@ impl PetGenConfig {
         let bases: Vec<f64> =
             base_dist.sample_n(&mut base_rng, self.n_task_types);
 
-        let speeds: Vec<f64> = if self.machine_factor_range.0
-            == self.machine_factor_range.1
-        {
-            vec![self.machine_factor_range.0; self.n_machine_types]
-        } else {
-            LogUniform::new(
-                self.machine_factor_range.0,
-                self.machine_factor_range.1,
-            )
-            .sample_n(&mut speed_rng, self.n_machine_types)
-        };
+        let speeds: Vec<f64> =
+            if self.machine_factor_range.0 == self.machine_factor_range.1 {
+                vec![self.machine_factor_range.0; self.n_machine_types]
+            } else {
+                LogUniform::new(
+                    self.machine_factor_range.0,
+                    self.machine_factor_range.1,
+                )
+                .sample_n(&mut speed_rng, self.n_machine_types)
+            };
 
         let affinity = LogNormal::new(0.0, self.affinity_sigma.max(0.0));
         let shape_dist =

@@ -72,8 +72,7 @@ impl WorkloadConfig {
     /// split across all trials, as the paper holds rates constant within
     /// an experiment).
     pub fn type_targets(&self, n_task_types: usize) -> Vec<usize> {
-        let mut rng =
-            Xoshiro256PlusPlus::new(derive_seed(self.seed, 0xBEEF));
+        let mut rng = Xoshiro256PlusPlus::new(derive_seed(self.seed, 0xBEEF));
         let spread = self.type_weight_spread.clamp(0.0, 0.95);
         let weights: Vec<f64> = if spread == 0.0 {
             vec![1.0; n_task_types]
@@ -84,9 +83,7 @@ impl WorkloadConfig {
         let wsum: f64 = weights.iter().sum();
         weights
             .iter()
-            .map(|w| {
-                ((w / wsum) * self.total_tasks as f64).round() as usize
-            })
+            .map(|w| ((w / wsum) * self.total_tasks as f64).round() as usize)
             .collect()
     }
 
@@ -98,8 +95,7 @@ impl WorkloadConfig {
     ) -> WorkloadTrial {
         let n_types = pet.n_task_types();
         let targets = self.type_targets(n_types);
-        let trial_seed =
-            derive_seed(self.seed, 0x7117 + u64::from(trial_idx));
+        let trial_seed = derive_seed(self.seed, 0x7117 + u64::from(trial_idx));
 
         let avg_all_tu =
             pet.mean_expected_ticks_overall() / TICKS_PER_TIME_UNIT as f64;
@@ -136,8 +132,7 @@ impl WorkloadConfig {
             .into_iter()
             .enumerate()
             .map(|(i, (arr_tu, type_id))| {
-                let avg_i_tu = pet
-                    .mean_expected_ticks_across_machines(type_id)
+                let avg_i_tu = pet.mean_expected_ticks_across_machines(type_id)
                     / TICKS_PER_TIME_UNIT as f64;
                 let beta = slack_dist.sample(&mut deadline_rng);
                 let deadline_tu = arr_tu + avg_i_tu + beta * avg_all_tu;

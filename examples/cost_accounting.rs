@@ -26,17 +26,22 @@ fn main() {
     let cost_model = CostModel::representative();
 
     println!("-- energy / cost impact of pruning (MM heuristic) --\n");
-    println!("config        on-time %   wasted h   wasted Wh   wasted $   total $");
+    println!(
+        "config        on-time %   wasted h   wasted Wh   wasted $   total $"
+    );
     for pruning in [None, Some(PruningConfig::paper_default())] {
-        let stats =
-            ResourceAllocator::new(&cluster, &pet, SimConfig::batch(5))
-                .heuristic(HeuristicKind::Mm)
-                .pruning_opt(pruning)
-                .run(&trial.tasks);
+        let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(5))
+            .heuristic(HeuristicKind::Mm)
+            .pruning_opt(pruning)
+            .run(&trial.tasks);
         let report = cost_model.report(&stats);
         println!(
             "{:<12} {:>9.1}   {:>8.2}   {:>9.1}   {:>8.4}   {:>7.4}",
-            if pruning.is_some() { "MM + prune" } else { "MM bare" },
+            if pruning.is_some() {
+                "MM + prune"
+            } else {
+                "MM bare"
+            },
             stats.robustness_pct(100),
             report.wasted_machine_hours,
             report.wasted_energy_wh,
@@ -54,19 +59,18 @@ fn main() {
             task.value = 5.0;
         }
     }
-    let high_value_on_time = |stats: &SimStats, tasks: &[Task]| -> (usize, usize) {
-        let mut on_time = 0;
-        let mut total = 0;
-        for t in tasks.iter().filter(|t| t.value > 1.0) {
-            total += 1;
-            if stats.outcome(t.id)
-                == Some(TaskOutcome::CompletedOnTime)
-            {
-                on_time += 1;
+    let high_value_on_time =
+        |stats: &SimStats, tasks: &[Task]| -> (usize, usize) {
+            let mut on_time = 0;
+            let mut total = 0;
+            for t in tasks.iter().filter(|t| t.value > 1.0) {
+                total += 1;
+                if stats.outcome(t.id) == Some(TaskOutcome::CompletedOnTime) {
+                    on_time += 1;
+                }
             }
-        }
-        (on_time, total)
-    };
+            (on_time, total)
+        };
 
     for (label, pruner) in [
         (
@@ -92,8 +96,7 @@ fn main() {
             pruner,
         )
         .run(&valued_tasks);
-        let (hv_on_time, hv_total) =
-            high_value_on_time(&stats, &valued_tasks);
+        let (hv_on_time, hv_total) = high_value_on_time(&stats, &valued_tasks);
         println!(
             "{label:<24} overall {:>5.1} %   high-value {:>4}/{:<4} ({:.1} %)",
             stats.robustness_pct(100),

@@ -22,8 +22,12 @@ fn main() {
         "{} tasks over {} time units, spiky arrivals\n",
         workload.total_tasks, workload.span_tu
     );
-    println!("heuristic    mode        cluster        bare %   pruned %   gain");
-    println!("-----------------------------------------------------------------");
+    println!(
+        "heuristic    mode        cluster        bare %   pruned %   gain"
+    );
+    println!(
+        "-----------------------------------------------------------------"
+    );
 
     let table: &[(&[HeuristicKind], ClusterKind, &str)] = &[
         (
@@ -55,7 +59,11 @@ fn main() {
         let pet = petgen.generate();
         for &kind in kinds {
             let trial = workload.generate_trial(&pet, 0);
-            let mode = if kind.is_immediate() { "immediate" } else { "batch" };
+            let mode = if kind.is_immediate() {
+                "immediate"
+            } else {
+                "batch"
+            };
             let sim = if kind.is_immediate() {
                 SimConfig::immediate(8)
             } else {
@@ -78,10 +86,7 @@ fn main() {
                 .heuristic(kind)
                 .pruning(pruning)
                 .run(&trial.tasks);
-            let (b, p) = (
-                bare.robustness_pct(100),
-                pruned.robustness_pct(100),
-            );
+            let (b, p) = (bare.robustness_pct(100), pruned.robustness_pct(100));
             println!(
                 "{:<12} {:<11} {:<14} {:>5.1}   {:>7.1}   {:>+5.1}",
                 kind.name(),

@@ -33,18 +33,16 @@ fn main() {
     );
 
     // Baseline: MM (Min-Min) without pruning.
-    let baseline =
-        ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
-            .heuristic(HeuristicKind::Mm)
-            .run(&trial.tasks);
+    let baseline = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
+        .heuristic(HeuristicKind::Mm)
+        .run(&trial.tasks);
 
     // Same heuristic with the pruning mechanism plugged in beside it —
     // the heuristic itself is untouched (the paper's Fig. 1c).
-    let pruned =
-        ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
-            .heuristic(HeuristicKind::Mm)
-            .pruning(PruningConfig::paper_default())
-            .run(&trial.tasks);
+    let pruned = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
+        .heuristic(HeuristicKind::Mm)
+        .pruning(PruningConfig::paper_default())
+        .run(&trial.tasks);
 
     println!("\n                      MM        MM + pruning");
     println!(

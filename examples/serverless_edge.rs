@@ -39,7 +39,10 @@ fn main() {
     let workload = WorkloadConfig {
         total_tasks: 5_000,
         span_tu: 800.0,
-        pattern: ArrivalPattern::Spiky { n_spikes: 4, spike_factor: 3.0 },
+        pattern: ArrivalPattern::Spiky {
+            n_spikes: 4,
+            spike_factor: 3.0,
+        },
         ..WorkloadConfig::paper_default(5_150)
     };
     let trial = workload.generate_trial(&pet, 0);

@@ -22,7 +22,11 @@ use taskprune_prob::{Gamma, Histogram};
 
 /// Builds an execution-time PMF for a (machine, codec) pair from a mean
 /// (in time units) — the §V-B histogram recipe on a hand-picked mean.
-fn pet_cell(mean_tu: f64, shape: f64, rng: &mut Xoshiro256PlusPlus) -> taskprune_prob::Pmf {
+fn pet_cell(
+    mean_tu: f64,
+    shape: f64,
+    rng: &mut Xoshiro256PlusPlus,
+) -> taskprune_prob::Pmf {
     let gamma =
         Gamma::from_mean_shape(mean_tu * TICKS_PER_TIME_UNIT as f64, shape)
             .expect("valid gamma");
@@ -52,7 +56,9 @@ fn main() {
     let entries: Vec<taskprune_prob::Pmf> = means
         .iter()
         .flat_map(|row| {
-            row.iter().map(|&m| pet_cell(m, 6.0, &mut rng)).collect::<Vec<_>>()
+            row.iter()
+                .map(|&m| pet_cell(m, 6.0, &mut rng))
+                .collect::<Vec<_>>()
         })
         .collect();
     let pet = PetMatrix::new(BinSpec::new(250), 4, 3, entries);
@@ -63,7 +69,10 @@ fn main() {
     let workload = WorkloadConfig {
         total_tasks: 2_500,
         span_tu: 400.0,
-        pattern: ArrivalPattern::Spiky { n_spikes: 5, spike_factor: 3.0 },
+        pattern: ArrivalPattern::Spiky {
+            n_spikes: 5,
+            spike_factor: 3.0,
+        },
         type_weight_spread: 0.2,
         slack_range: (0.8, 2.0),
         seed: 99,

@@ -76,10 +76,9 @@ fn probabilistic_dropping_helps_immediate_mode() {
     let (cluster, pet) = het();
     let trial = oversubscribed(3).generate_trial(&pet, 0);
     // KPB — the paper's strongest immediate heuristic.
-    let bare =
-        ResourceAllocator::new(&cluster, &pet, SimConfig::immediate(3))
-            .heuristic(HeuristicKind::Kpb)
-            .run(&trial.tasks);
+    let bare = ResourceAllocator::new(&cluster, &pet, SimConfig::immediate(3))
+        .heuristic(HeuristicKind::Kpb)
+        .run(&trial.tasks);
     let dropping =
         ResourceAllocator::new(&cluster, &pet, SimConfig::immediate(3))
             .heuristic(HeuristicKind::Kpb)

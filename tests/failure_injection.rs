@@ -167,8 +167,7 @@ fn extreme_oversubscription_survives() {
     assert_eq!(stats.unreported(), 0);
     // The pruner must be doing heavy lifting here.
     assert!(
-        stats.count(TaskOutcome::DroppedProactive) > 0
-            || stats.deferrals > 0
+        stats.count(TaskOutcome::DroppedProactive) > 0 || stats.deferrals > 0
     );
 }
 

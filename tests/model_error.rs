@@ -34,11 +34,10 @@ fn run_belief(
 fn identical_belief_equals_single_matrix_path() {
     let (cluster, truth, trial) = fixture();
     let split = run_belief(&cluster, &truth, &truth, &trial.tasks);
-    let single =
-        ResourceAllocator::new(&cluster, &truth, SimConfig::batch(44))
-            .heuristic(HeuristicKind::Mm)
-            .pruning(PruningConfig::paper_default())
-            .run(&trial.tasks);
+    let single = ResourceAllocator::new(&cluster, &truth, SimConfig::batch(44))
+        .heuristic(HeuristicKind::Mm)
+        .pruning(PruningConfig::paper_default())
+        .run(&trial.tasks);
     assert_eq!(split.robustness_pct(0), single.robustness_pct(0));
     assert_eq!(split.deferrals, single.deferrals);
 }
@@ -48,11 +47,9 @@ fn well_learned_belief_performs_near_oracle() {
     let (cluster, truth, trial) = fixture();
     let oracle = run_belief(&cluster, &truth, &truth, &trial.tasks);
     let learned = learn_from_observations(&truth, 500, 1);
-    let with_learned =
-        run_belief(&cluster, &learned, &truth, &trial.tasks);
-    let gap = (oracle.robustness_pct(100)
-        - with_learned.robustness_pct(100))
-    .abs();
+    let with_learned = run_belief(&cluster, &learned, &truth, &trial.tasks);
+    let gap =
+        (oracle.robustness_pct(100) - with_learned.robustness_pct(100)).abs();
     assert!(gap < 6.0, "500-sample belief {gap:.1} pp from oracle");
 }
 
@@ -64,8 +61,7 @@ fn strongly_optimistic_belief_degrades_robustness() {
     // estimates become fantasy, the pruner stops pruning, and mapped
     // tasks blow their deadlines.
     let optimistic = miscalibrate(&truth, 0.25);
-    let degraded =
-        run_belief(&cluster, &optimistic, &truth, &trial.tasks);
+    let degraded = run_belief(&cluster, &optimistic, &truth, &trial.tasks);
     assert!(
         degraded.robustness_pct(100) < oracle.robustness_pct(100) - 3.0,
         "optimistic belief {:.1}% not clearly below oracle {:.1}%",

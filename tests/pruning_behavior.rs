@@ -46,12 +46,8 @@ fn always_toggle_drops_at_least_as_much_as_reactive() {
         &trial.tasks,
         PruningConfig::paper_default().with_toggle(ToggleMode::Always),
     );
-    let reactive = run(
-        &cluster,
-        &pet,
-        &trial.tasks,
-        PruningConfig::paper_default(),
-    );
+    let reactive =
+        run(&cluster, &pet, &trial.tasks, PruningConfig::paper_default());
     let never =
         run(&cluster, &pet, &trial.tasks, PruningConfig::defer_only(0.5));
     assert!(
@@ -67,10 +63,18 @@ fn always_toggle_drops_at_least_as_much_as_reactive() {
 #[test]
 fn higher_threshold_defers_more() {
     let (cluster, pet, trial) = setup();
-    let low =
-        run(&cluster, &pet, &trial.tasks, PruningConfig::defer_only(0.25));
-    let high =
-        run(&cluster, &pet, &trial.tasks, PruningConfig::defer_only(0.75));
+    let low = run(
+        &cluster,
+        &pet,
+        &trial.tasks,
+        PruningConfig::defer_only(0.25),
+    );
+    let high = run(
+        &cluster,
+        &pet,
+        &trial.tasks,
+        PruningConfig::defer_only(0.75),
+    );
     assert!(
         high.deferrals > low.deferrals,
         "75% threshold deferred {} <= 25% threshold {}",
@@ -99,7 +103,7 @@ fn fairness_rescues_a_starved_task_type() {
         1,
         2,
         vec![
-            Pmf::point_mass(2),                                // short type
+            Pmf::point_mass(2), // short type
             Pmf::from_points(&[(6, 0.5), (12, 0.5)]).unwrap(), // long type
         ],
     );

@@ -15,9 +15,8 @@ fn arb_pet() -> impl Strategy<Value = PetMatrix> {
             let entries: Vec<Pmf> = cells
                 .into_iter()
                 .map(|(a, b, w)| {
-                    let mut pmf =
-                        Pmf::from_points(&[(a, w), (a + b, 1.0 - w)])
-                            .expect("two-point pmf");
+                    let mut pmf = Pmf::from_points(&[(a, w), (a + b, 1.0 - w)])
+                        .expect("two-point pmf");
                     pmf.normalise().expect("positive mass");
                     pmf
                 })
@@ -30,8 +29,8 @@ fn arb_pet() -> impl Strategy<Value = PetMatrix> {
 /// A random workload of up to 60 tasks with arbitrary (sorted) arrivals
 /// and non-negative slacks.
 fn arb_tasks() -> impl Strategy<Value = Vec<Task>> {
-    prop::collection::vec((0u64..20_000, 0u64..8_000, 0u16..3), 1..60)
-        .prop_map(|mut raw| {
+    prop::collection::vec((0u64..20_000, 0u64..8_000, 0u16..3), 1..60).prop_map(
+        |mut raw| {
             raw.sort_by_key(|&(arr, _, _)| arr);
             raw.into_iter()
                 .enumerate()
@@ -44,7 +43,8 @@ fn arb_tasks() -> impl Strategy<Value = Vec<Task>> {
                     )
                 })
                 .collect()
-        })
+        },
+    )
 }
 
 fn outcome_total(stats: &SimStats) -> usize {

@@ -1,0 +1,237 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Provides the macro/struct surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, benchmark groups, parametrised
+//! ids, throughput annotation — backed by a simple calibrated wall-clock
+//! timer instead of criterion's statistical machinery. Good enough to
+//! compare alternatives locally and to keep `cargo bench` runnable
+//! offline; not a substitute for real criterion numbers.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(400);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parametrised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(
+        name: impl Into<String>,
+        parameter: impl std::fmt::Display,
+    ) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it for the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub uses a fixed target time.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.throughput, routine);
+        let _ = &self.criterion;
+    }
+
+    /// Benchmarks `routine` with an input value (the input is borrowed by
+    /// the closure; the stub adds nothing over `bench_function`).
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.throughput, |b| routine(b, input));
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, None, routine);
+        self
+    }
+
+    /// Accepted for API compatibility with criterion's builder.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    // Calibrate: find an iteration count filling the target window.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        if b.elapsed >= TARGET_MEASURE || iters >= 1 << 24 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        let grow = if b.elapsed < TARGET_MEASURE / 16 {
+            8
+        } else {
+            2
+        };
+        iters = iters.saturating_mul(grow);
+    };
+
+    let mut line = format!("{name:<50} {}", format_time(per_iter));
+    if let Some(tp) = throughput {
+        match tp {
+            Throughput::Elements(n) => {
+                let _ = write!(line, "  ({:.0} elem/s)", n as f64 / per_iter);
+            }
+            Throughput::Bytes(n) => {
+                let _ = write!(
+                    line,
+                    "  ({:.1} MiB/s)",
+                    n as f64 / per_iter / (1024.0 * 1024.0)
+                );
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:>10.2} ns/iter", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:>10.2} µs/iter", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:>10.2} ms/iter", secs * 1e3)
+    } else {
+        format!("{secs:>10.3} s/iter")
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

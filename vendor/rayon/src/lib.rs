@@ -1,0 +1,117 @@
+//! Vendored stand-in for `rayon`.
+//!
+//! Implements the one pattern this workspace uses —
+//! `slice.par_iter().map(f).collect()` — with real data parallelism over
+//! `std::thread::scope`: the input is split into one contiguous chunk
+//! per available core, mapped on worker threads, and re-concatenated in
+//! order, so results are deterministic and identical to the sequential
+//! evaluation.
+
+/// One-stop imports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Borrowing entry point: `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<O, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> O + Sync,
+        O: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, O: Send, F: Fn(&'a T) -> O + Sync> ParMap<'a, T, F> {
+    /// Evaluates the map on worker threads and collects results in input
+    /// order.
+    pub fn collect<B: FromIterator<O>>(self) -> B {
+        let n = self.items.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if workers <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk_len = n.div_ceil(workers);
+        let f = &self.f;
+        let mut parts: Vec<Vec<O>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || chunk.iter().map(f).collect::<Vec<O>>())
+                })
+                .collect();
+            parts = handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stub worker panicked"))
+                .collect();
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u32> = (0..10_000).collect();
+        let doubled: Vec<u64> =
+            input.par_iter().map(|&x| u64::from(x) * 2).collect();
+        let expected: Vec<u64> =
+            input.iter().map(|&x| u64::from(x) * 2).collect();
+        assert_eq!(doubled, expected);
+    }
+
+    #[test]
+    fn works_on_empty_input() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,508 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` in this
+//! offline environment) and emits `Serialize`/`Deserialize` impls against
+//! the concrete [`serde::Value`] tree. Supports exactly what this
+//! workspace needs: non-generic structs (named, tuple, unit) and enums
+//! whose variants are unit, named-field, or tuple. `#[serde(...)]`
+//! attributes are not supported and will be rejected nowhere — they are
+//! simply ignored like every other attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` via the value-tree model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` via the value-tree model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// A minimal item model
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips any number of `#[...]` attributes.
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+                           // Outer attribute group `[...]`.
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub")
+        {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Skips tokens until a top-level `,`, balancing `<...>` pairs.
+    /// Returns false when the cursor is exhausted without seeing a comma.
+    fn skip_until_toplevel_comma(&mut self) -> bool {
+        let mut angle_depth = 0i32;
+        // `->` tokenizes as `-` (joint) then `>`; that `>` is not an
+        // angle-bracket closer and must not unbalance the depth.
+        let mut after_joint_minus = false;
+        while let Some(tok) = self.next() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' if !after_joint_minus => {
+                        angle_depth -= 1;
+                        assert!(
+                            angle_depth >= 0,
+                            "serde derive: unbalanced `>` in field type"
+                        );
+                    }
+                    ',' if angle_depth == 0 => return true,
+                    _ => {}
+                }
+                after_joint_minus = p.as_char() == '-'
+                    && p.spacing() == proc_macro::Spacing::Joint;
+            } else {
+                after_joint_minus = false;
+            }
+        }
+        false
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kind = c.expect_ident();
+    let name = c.expect_ident();
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stub does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_struct_body(&mut c),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_enum_body(&mut c),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_struct_body(c: &mut Cursor) -> Fields {
+    match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            parse_named_fields(g.stream())
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis =>
+        {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde derive: unexpected struct body {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let mut c = Cursor::new(stream);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        names.push(c.expect_ident());
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:`, got {other:?}"),
+        }
+        if !c.skip_until_toplevel_comma() {
+            break;
+        }
+    }
+    Fields::Named(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !c.skip_until_toplevel_comma() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_enum_body(c: &mut Cursor) -> Vec<Variant> {
+    let group = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde derive: expected enum body, got {other:?}"),
+    };
+    let mut c = Cursor::new(group.stream());
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                c.pos += 1;
+                parse_named_fields(body)
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis =>
+            {
+                let body = g.stream();
+                c.pos += 1;
+                Fields::Tuple(count_tuple_fields(body))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional discriminant, then the trailing comma.
+        if !c.skip_until_toplevel_comma() {
+            break;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (rendered as source text, parsed back into tokens)
+// ---------------------------------------------------------------------------
+
+fn tuple_binders(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("f{i}")).collect()
+}
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({f:?}.to_string(), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "::serde::Value::Object(vec![{}])",
+                        entries.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => {
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                }
+                Fields::Tuple(n) => {
+                    let entries: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!("::serde::Serialize::to_value(&self.{i})")
+                        })
+                        .collect();
+                    format!(
+                        "::serde::Value::Array(vec![{}])",
+                        entries.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        Fields::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => \
+                                 ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                                 ::serde::Value::Object(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => \
+                             ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders = tuple_binders(*n).join(", ");
+                            let entries: Vec<String> = tuple_binders(*n)
+                                .iter()
+                                .map(|b| {
+                                    format!("::serde::Serialize::to_value({b})")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binders}) => \
+                                 ::serde::Value::Object(vec![({vname:?}.to_string(), \
+                                 ::serde::Value::Array(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 v.get_field({f:?})?)?,"
+                            )
+                        })
+                        .collect();
+                    format!("Ok({name} {{ {} }})", inits.join(" "))
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_value(&items[{i}])?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                                 Ok({name}({})),\n\
+                             other => Err(::serde::Error::unexpected(\
+                                 \"array of length {n}\", other)),\n\
+                         }}",
+                        inits.join(" ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => Ok({name}::{vname}),")
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         payload.get_field({f:?})?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => Ok({name}::{vname} {{ {} }}),",
+                                inits.join(" ")
+                            ))
+                        }
+                        Fields::Tuple(1) => Some(format!(
+                            "{vname:?} => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         &items[{i}])?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => match payload {{\n\
+                                     ::serde::Value::Array(items) \
+                                         if items.len() == {n} => \
+                                         Ok({name}::{vname}({})),\n\
+                                     other => Err(::serde::Error::unexpected(\
+                                         \"array of length {n}\", other)),\n\
+                                 }},",
+                                inits.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => Err(::serde::Error::custom(\
+                                     format!(\"unknown variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(fields) \
+                                 if fields.len() == 1 => {{\n\
+                                 let (tag, payload) = &fields[0];\n\
+                                 let _ = payload;\n\
+                                 match tag.as_str() {{\n\
+                                     {}\n\
+                                     other => Err(::serde::Error::custom(\
+                                         format!(\"unknown variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::unexpected(\
+                                 \"enum\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    }
+}
