@@ -5,6 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use taskprune_bench::chainbench::{
+    probe_task, wide_pet_matrix, wide_queue, CHAIN_DEPTHS, CHAIN_SUPPORTS,
+};
 use taskprune_model::{Cluster, MachineId, SimTime, Task, TaskTypeId};
 use taskprune_sim::queue_testing::make_queues;
 use taskprune_sim::SystemView;
@@ -19,15 +22,12 @@ fn bench_chance(c: &mut Criterion) {
     for &depth in &[0usize, 2, 4, 8] {
         let mut queues = make_queues(&cluster, depth.max(1), 256);
         for i in 0..depth {
-            queues[0].admit(
-                Task::new(
-                    i as u64 + 1,
-                    TaskTypeId((i % 12) as u16),
-                    SimTime(0),
-                    SimTime(1_000_000),
-                ),
-                &pet,
-            );
+            queues[0].admit(Task::new(
+                i as u64 + 1,
+                TaskTypeId((i % 12) as u16),
+                SimTime(0),
+                SimTime(1_000_000),
+            ));
         }
         group.bench_with_input(
             BenchmarkId::new("queue-depth", depth),
@@ -45,19 +45,45 @@ fn bench_chance(c: &mut Criterion) {
     }
     group.finish();
 
+    // Wide-support sweep: the Eq. 2 dot product against warm cached
+    // chains, across queue depths {4,16,64} × PET supports {64,512,4k}.
+    let mut group = c.benchmark_group("chance_of_success_wide");
+    for &support in CHAIN_SUPPORTS {
+        let pet = wide_pet_matrix(support);
+        let probe = probe_task(u64::MAX);
+        for &depth in CHAIN_DEPTHS {
+            let q = wide_queue(depth);
+            // Warm the lazily-repaired chain outside the timing loop.
+            let _ =
+                q.chance_if_appended(pet.bin_spec(), &pet, SimTime(0), &probe);
+            group.bench_with_input(
+                BenchmarkId::new(format!("support-{support}"), depth),
+                &depth,
+                |bench, _| {
+                    bench.iter(|| {
+                        black_box(q.chance_if_appended(
+                            pet.bin_spec(),
+                            &pet,
+                            SimTime(0),
+                            black_box(&probe),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
     // The scalar baseline the deterministic heuristics use instead.
     c.bench_function("expected_completion_ticks", |bench| {
         let mut queues = make_queues(&cluster, 4, 256);
         for i in 0..4 {
-            queues[0].admit(
-                Task::new(
-                    i + 1,
-                    TaskTypeId((i % 12) as u16),
-                    SimTime(0),
-                    SimTime(1_000_000),
-                ),
-                &pet,
-            );
+            queues[0].admit(Task::new(
+                i + 1,
+                TaskTypeId((i % 12) as u16),
+                SimTime(0),
+                SimTime(1_000_000),
+            ));
         }
         let view = SystemView::new(SimTime(0), &queues, &pet);
         bench.iter(|| {

@@ -1,8 +1,14 @@
 //! Criterion bench: one batch-mode mapping decision (the two-phase
-//! heuristic's `select`) as a function of batch-queue length.
+//! heuristic's `select`) as a function of batch-queue length, plus the
+//! estimator-maintenance cycle a mapping event inflicts on a machine
+//! queue (pop → complete → admit → chance query) across queue depths
+//! and PET supports.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use taskprune_bench::chainbench::{
+    probe_task, wide_pet_matrix, wide_queue, CHAIN_DEPTHS, CHAIN_SUPPORTS,
+};
 use taskprune_heuristics::{EfficientMinMin, MM, MMU, MSD};
 use taskprune_model::{Cluster, SimTime, Task, TaskTypeId};
 use taskprune_sim::queue_testing::make_queues;
@@ -55,5 +61,43 @@ fn bench_mapping(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mapping);
+/// The per-machine estimator work of one mapping event: the queue head
+/// starts and completes, a new arrival is admitted, and the next
+/// chance query repairs the chain. Lazy maintenance coalesces the pop
+/// and the admit into one suffix repair with zero steady-state
+/// allocation.
+fn bench_queue_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_event_queue_maintenance");
+    for &support in CHAIN_SUPPORTS {
+        let pet = wide_pet_matrix(support);
+        let spec = pet.bin_spec();
+        let probe = probe_task(u64::MAX);
+        for &depth in CHAIN_DEPTHS {
+            let mut q = wide_queue(depth);
+            let mut next_id = 1_000_000u64;
+            group.bench_with_input(
+                BenchmarkId::new(format!("support-{support}"), depth),
+                &depth,
+                |bench, _| {
+                    bench.iter(|| {
+                        let head = q.pop_head_for_start().unwrap();
+                        q.set_running(head, SimTime(0), SimTime(1));
+                        q.complete_running();
+                        q.admit(probe_task(next_id));
+                        next_id += 1;
+                        black_box(q.chance_if_appended(
+                            spec,
+                            &pet,
+                            SimTime(0),
+                            &probe,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping, bench_queue_maintenance);
 criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion bench: incremental prefix-chain maintenance vs from-scratch
+//! rebuilds across queue depths {4, 16, 64} and PET supports
+//! {64, 512, 4096}.
+//!
+//! Each scenario performs one realistic mutation cycle on a
+//! steady-state queue and then forces the chain current with a chance
+//! query. The `incremental` variant relies on lazy suffix-only repair;
+//! the `scratch` variant forces a full rebuild after the mutation — the
+//! pre-incremental cost profile `MachineQueue::rebuild_chain` had.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use taskprune_bench::chainbench::{
+    probe_task, wide_pet_matrix, wide_queue, CHAIN_DEPTHS, CHAIN_SUPPORTS,
+};
+use taskprune_model::SimTime;
+
+fn bench_rebuild(c: &mut Criterion) {
+    for &support in CHAIN_SUPPORTS {
+        let pet = wide_pet_matrix(support);
+        let spec = pet.bin_spec();
+        let probe = probe_task(u64::MAX);
+        let mut group =
+            c.benchmark_group(format!("rebuild_chain/support-{support}"));
+        for &depth in CHAIN_DEPTHS {
+            let mut q = wide_queue(depth);
+            group.bench_with_input(
+                BenchmarkId::new("tail-drop-incremental", depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| {
+                        let id = q.waiting().last().unwrap().id;
+                        let t = q.remove_waiting(&[id])[0];
+                        q.admit(t);
+                        black_box(q.chance_if_appended(
+                            spec,
+                            &pet,
+                            SimTime(0),
+                            &probe,
+                        ))
+                    })
+                },
+            );
+            let mut q = wide_queue(depth);
+            group.bench_with_input(
+                BenchmarkId::new("tail-drop-scratch", depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| {
+                        let id = q.waiting().last().unwrap().id;
+                        let t = q.remove_waiting(&[id])[0];
+                        q.force_full_rebuild(&pet);
+                        q.admit(t);
+                        black_box(q.chance_if_appended(
+                            spec,
+                            &pet,
+                            SimTime(0),
+                            &probe,
+                        ))
+                    })
+                },
+            );
+            let mut q = wide_queue(depth);
+            group.bench_with_input(
+                BenchmarkId::new("mid-drop-incremental", depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| {
+                        let id = q.waiting().nth(depth / 2).unwrap().id;
+                        let t = q.remove_waiting(&[id])[0];
+                        q.admit(t);
+                        black_box(q.chance_if_appended(
+                            spec,
+                            &pet,
+                            SimTime(0),
+                            &probe,
+                        ))
+                    })
+                },
+            );
+            let mut q = wide_queue(depth);
+            group.bench_with_input(
+                BenchmarkId::new("mid-drop-scratch", depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| {
+                        let id = q.waiting().nth(depth / 2).unwrap().id;
+                        let t = q.remove_waiting(&[id])[0];
+                        q.force_full_rebuild(&pet);
+                        q.admit(t);
+                        black_box(q.chance_if_appended(
+                            spec,
+                            &pet,
+                            SimTime(0),
+                            &probe,
+                        ))
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_rebuild);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Shared fixtures for the prefix-chain micro-benchmarks: synthetic
+//! wide-support PET matrices and steady-state queues at the depth ×
+//! support grid the perf baseline tracks.
+
+use taskprune_model::{
+    BinSpec, Cluster, MachineId, PetMatrix, SimTime, Task, TaskTypeId,
+};
+use taskprune_prob::Pmf;
+use taskprune_sim::queue::MachineQueue;
+
+/// Queue depths the chain benches sweep.
+pub const CHAIN_DEPTHS: &[usize] = &[4, 16, 64];
+
+/// PET support lengths (bins) the chain benches sweep.
+pub const CHAIN_SUPPORTS: &[usize] = &[64, 512, 4096];
+
+/// Chain truncation horizon used by the benches: long enough that small
+/// supports never truncate, short enough to bound the memory of the
+/// depth-64 × support-4096 cell.
+pub const CHAIN_HORIZON: u64 = 8_192;
+
+/// A 1×1 PET matrix whose single entry is uniform over
+/// `[1, support]` bins.
+pub fn wide_pet_matrix(support: usize) -> PetMatrix {
+    let points: Vec<(u64, f64)> = (1..=support as u64)
+        .map(|b| (b, 1.0 / support as f64))
+        .collect();
+    PetMatrix::new(
+        BinSpec::new(100),
+        1,
+        1,
+        vec![Pmf::from_points(&points).expect("uniform support")],
+    )
+}
+
+/// A far-future-deadline task of the matrix's single type.
+pub fn probe_task(id: u64) -> Task {
+    Task::new(id, TaskTypeId(0), SimTime(0), SimTime(u64::MAX / 4))
+}
+
+/// A queue pre-filled with `depth` waiting tasks (ids `0..depth`), with
+/// one spare slot so mutation cycles can re-admit what they remove. The
+/// chain is built lazily at the first estimate query.
+pub fn wide_queue(depth: usize) -> MachineQueue {
+    let cluster = Cluster::one_per_type(1);
+    let mut q = MachineQueue::new(
+        cluster.machine(MachineId(0)),
+        depth + 1,
+        CHAIN_HORIZON,
+    );
+    for i in 0..depth {
+        q.admit(probe_task(i as u64));
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_consistent_queues() {
+        let pet = wide_pet_matrix(64);
+        let q = wide_queue(4);
+        assert_eq!(q.waiting_len(), 4);
+        assert_eq!(q.free_slots(), 1);
+        let (pmfs, _) = q.chain_snapshot(&pet);
+        assert_eq!(pmfs.len(), 5);
+        // Four uniform-64 PETs convolved: support ends at 4 × 64.
+        assert_eq!(pmfs[4].max_bin(), 256);
+    }
+}

@@ -7,6 +7,7 @@
 //! them with CLI scaling knobs and CSV/Markdown output into `results/`.
 
 pub mod args;
+pub mod chainbench;
 pub mod figures;
 pub mod report;
 pub mod scale;

@@ -1,5 +1,8 @@
-//! CSV / Markdown emission of experiment series into `results/`.
+//! CSV / Markdown emission of experiment series into `results/`, plus
+//! machine-readable JSON baselines for micro-benchmarks (the perf
+//! trajectory CI tracks across PRs).
 
+use serde::Serialize;
 use std::io::Write;
 use std::path::Path;
 use taskprune::ExperimentResult;
@@ -78,6 +81,57 @@ impl FigureReport {
     /// Prints the Markdown table to stdout.
     pub fn print(&self) {
         println!("{}", self.to_markdown());
+    }
+}
+
+/// One timed scenario of a micro-benchmark baseline: an operation on a
+/// queue of `queue_depth` tasks whose PETs have `pet_support` bins,
+/// measured under the incremental chain maintenance and under a forced
+/// from-scratch rebuild.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchEntry {
+    /// Scenario label (e.g. "tail_drop", "mid_drop", "steady_cycle").
+    pub scenario: String,
+    /// Number of waiting tasks in the queue under test.
+    pub queue_depth: usize,
+    /// Support length (bins) of every PET in the queue.
+    pub pet_support: usize,
+    /// Nanoseconds per operation with incremental chain maintenance.
+    pub incremental_ns: f64,
+    /// Nanoseconds per operation with a forced from-scratch rebuild
+    /// after every mutation (the pre-incremental cost profile).
+    pub scratch_ns: f64,
+    /// `scratch_ns / incremental_ns`.
+    pub speedup: f64,
+}
+
+/// A machine-readable micro-benchmark baseline, written as
+/// `BENCH_<name>.json` so CI and later PRs can diff perf trajectories.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Benchmark family name (file becomes `BENCH_<name>.json`).
+    pub name: String,
+    /// Free-form description of what was measured and how.
+    pub description: String,
+    /// Measured scenarios.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("bench report serialises")
+    }
+
+    /// Writes `<out_dir>/BENCH_<name>.json` and returns its path.
+    pub fn write_file(&self, out_dir: &str) -> std::io::Result<String> {
+        let dir = Path::new(out_dir);
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path.display().to_string())
     }
 }
 

@@ -148,7 +148,7 @@ mod tests {
         let mut precious =
             Task::new(0, TaskTypeId(0), SimTime(0), SimTime(300));
         precious.value = 5.0;
-        queues[0].admit(precious, &pet);
+        queues[0].admit(precious);
 
         let mut p = PriorityAwarePruner::new(
             PruningConfig::paper_default()
@@ -164,8 +164,7 @@ mod tests {
 
         // Same chance, unit value → dropped.
         let mut queues2 = make_queues(&cluster, 4, 256);
-        queues2[0]
-            .admit(Task::new(1, TaskTypeId(0), SimTime(0), SimTime(300)), &pet);
+        queues2[0].admit(Task::new(1, TaskTypeId(0), SimTime(0), SimTime(300)));
         let view2 = SystemView::new(SimTime(0), &queues2, &pet);
         assert_eq!(p.select_drops(&view2).len(), 1);
     }

@@ -183,7 +183,7 @@ mod tests {
         let cluster = Cluster::one_per_type(1);
         let mut queues = make_queues(&cluster, 4, 256);
         // A task with zero chance: deadline bin 1 < min completion bin 2.
-        queues[0].admit(task(0, 200), &pet);
+        queues[0].admit(task(0, 200));
         let view = SystemView::new(SimTime(0), &queues, &pet);
 
         let mut p = PruningMechanism::new(PruningConfig::paper_default(), 1);
@@ -202,7 +202,7 @@ mod tests {
         let pet = pet();
         let cluster = Cluster::one_per_type(1);
         let mut queues = make_queues(&cluster, 4, 256);
-        queues[0].admit(task(0, 200), &pet);
+        queues[0].admit(task(0, 200));
         let view = SystemView::new(SimTime(0), &queues, &pet);
         let cfg =
             PruningConfig::paper_default().with_toggle(ToggleMode::Always);
@@ -216,7 +216,7 @@ mod tests {
         let pet = pet();
         let cluster = Cluster::one_per_type(1);
         let mut queues = make_queues(&cluster, 4, 256);
-        queues[0].admit(task(0, 200), &pet);
+        queues[0].admit(task(0, 200));
         let view = SystemView::new(SimTime(0), &queues, &pet);
         let cfg = PruningConfig::defer_only(0.5);
         let mut p = PruningMechanism::new(cfg, 1);
@@ -230,7 +230,7 @@ mod tests {
         let cluster = Cluster::one_per_type(1);
         let mut queues = make_queues(&cluster, 4, 256);
         // Deadline bin 9 ≥ max completion bin 4 → chance 1.0.
-        queues[0].admit(task(0, 999), &pet);
+        queues[0].admit(task(0, 999));
         let view = SystemView::new(SimTime(0), &queues, &pet);
         let cfg =
             PruningConfig::paper_default().with_toggle(ToggleMode::Always);
@@ -244,8 +244,8 @@ mod tests {
         let pet = pet();
         let cluster = Cluster::one_per_type(1);
         let mut queues = make_queues(&cluster, 4, 256);
-        queues[0].admit(task(0, 200), &pet);
-        queues[0].admit(task(1, 200), &pet);
+        queues[0].admit(task(0, 200));
+        queues[0].admit(task(1, 200));
         let view = SystemView::new(SimTime(0), &queues, &pet);
         let cfg =
             PruningConfig::paper_default().with_toggle(ToggleMode::Always);

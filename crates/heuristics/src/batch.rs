@@ -293,7 +293,7 @@ mod tests {
         let cluster = Cluster::one_per_type(2);
         let mut queues = make_queues(&cluster, 1, 256);
         // Fill machine 0's single slot.
-        queues[0].admit(task(99, 0, 100_000), &pet);
+        queues[0].admit(task(99, 0, 100_000));
         let view = SystemView::new(SimTime(0), &queues, &pet);
         let mut mm = MM::new();
         let cands: Vec<Task> = (0..3).map(|i| task(i, 0, 100_000)).collect();

@@ -229,7 +229,7 @@ mod tests {
         let pet = pet();
         let cluster = Cluster::homogeneous(2, MachineTypeId(0));
         let mut queues = make_queues(&cluster, 1, 256);
-        queues[0].admit(task(99, 0, 100_000), &pet);
+        queues[0].admit(task(99, 0, 100_000));
         let view = SystemView::new(SimTime(0), &queues, &pet);
         let mut m = FcfsRoundRobin::new();
         let out = m.select(&view, &[task(0, 0, 100_000)]);

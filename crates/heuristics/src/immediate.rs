@@ -340,7 +340,7 @@ mod tests {
         // Pile four type-0 tasks (9 bins each on machine 2? no — admit
         // to machine 2 directly) onto the affinity machine.
         for i in 10..14 {
-            queues[2].admit(task(i, 0), &pet);
+            queues[2].admit(task(i, 0));
         }
         let view = SystemView::new(SimTime(0), &queues, &pet);
         let mut mct = MinimumCompletionTime;
@@ -361,7 +361,7 @@ mod tests {
         let mut queues = make_queues(&cluster, 4, 256);
         // Backlog on machine 2 (the MET choice for type 0).
         for i in 10..14 {
-            queues[2].admit(task(i, 0), &pet);
+            queues[2].admit(task(i, 0));
         }
         let view = SystemView::new(SimTime(0), &queues, &pet);
         // keep = ceil(3 · 0.34) = 2 best-exec machines for type 0:
@@ -384,7 +384,7 @@ mod tests {
         let cluster = Cluster::one_per_type(3);
         let mut queues = make_queues(&cluster, 4, 256);
         for i in 10..14 {
-            queues[2].admit(task(i, 0), &pet);
+            queues[2].admit(task(i, 0));
         }
         let view = SystemView::new(SimTime(0), &queues, &pet);
         let mut kpb = KPercentBest::new(0.01); // keep = 1 machine
@@ -407,8 +407,8 @@ mod tests {
         let cluster = Cluster::one_per_type(3);
         let mut queues = make_queues(&cluster, 4, 256);
         // Load machines 0 and 2; machine 1 is idle → earliest ready.
-        queues[0].admit(task(10, 0), &pet);
-        queues[2].admit(task(11, 0), &pet);
+        queues[0].admit(task(10, 0));
+        queues[2].admit(task(11, 0));
         let view = SystemView::new(SimTime(0), &queues, &pet);
         let mut olb = OpportunisticLoadBalancing::new();
         // For a type-0 task MET would say machine 2 and MCT machine 2/1;
@@ -429,7 +429,7 @@ mod tests {
         // Unbalance machine 2 heavily: ratio collapses to 0 → MCT.
         let mut queues = make_queues(&cluster, 4, 256);
         for i in 10..14 {
-            queues[2].admit(task(i, 0), &pet);
+            queues[2].admit(task(i, 0));
         }
         let view = SystemView::new(SimTime(0), &queues, &pet);
         let picked = sa.place(&view, &task(1, 0));

@@ -187,9 +187,7 @@ mod tests {
                             TaskTypeId((id % 4) as u16),
                             SimTime(0),
                             SimTime(1_000_000),
-                        ),
-                        &pet,
-                    );
+                        ));
                     id += 1;
                 }
             }

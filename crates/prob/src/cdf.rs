@@ -29,18 +29,27 @@ pub struct Cdf {
 impl Cdf {
     /// Builds the cumulative view of `pmf`.
     pub fn from_pmf(pmf: &Pmf) -> Self {
-        let probs = pmf.dense_probs();
-        let mut cum = Vec::with_capacity(probs.len());
+        let mut cdf = Self {
+            offset: 0,
+            cum: Vec::with_capacity(pmf.support_len()),
+            window_mass: 0.0,
+        };
+        cdf.assign_from_pmf(pmf);
+        cdf
+    }
+
+    /// Rebuilds `self` as the cumulative view of `pmf`, reusing the
+    /// existing allocation (the in-place counterpart of
+    /// [`Cdf::from_pmf`], exposed as [`Pmf::to_cdf_into`]).
+    pub(crate) fn assign_from_pmf(&mut self, pmf: &Pmf) {
+        self.cum.clear();
         let mut acc = 0.0;
-        for &p in probs {
+        for &p in pmf.dense_probs() {
             acc += p;
-            cum.push(acc);
+            self.cum.push(acc);
         }
-        Self {
-            offset: pmf.min_bin(),
-            cum,
-            window_mass: acc,
-        }
+        self.offset = pmf.min_bin();
+        self.window_mass = acc;
     }
 
     /// The degenerate CDF of a point mass: 0 before `bin`, 1 from `bin` on.

@@ -14,6 +14,7 @@
 //!   against each other.
 
 use crate::fft;
+use crate::fft::FftScratch;
 use crate::pmf::Pmf;
 
 /// Above this direct-work estimate (`n·m`), convolution switches to FFT.
@@ -31,6 +32,112 @@ pub fn convolve(a: &Pmf, b: &Pmf) -> Pmf {
     }
 }
 
+/// Reusable working memory for [`convolve_into`]: FFT buffers and cached
+/// twiddle plans. One scratch per hot loop (e.g. per machine queue)
+/// makes repeated convolutions allocation-free in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct ConvScratch {
+    fft: FftScratch,
+}
+
+impl ConvScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Convolves `a ∗ b` into `out`, reusing `out`'s window allocation and
+/// `scratch`'s FFT working memory. Picks direct vs FFT exactly like
+/// [`convolve`] and produces bit-identical values to it — the
+/// allocating entry points below delegate here, so there is exactly one
+/// kernel per algorithm and the incremental queue chains stay exactly
+/// equal to from-scratch rebuilds.
+///
+/// `out` must be a distinct object from `a` and `b` (guaranteed by the
+/// borrow checker at any call site that does not transmute).
+pub fn convolve_into(a: &Pmf, b: &Pmf, out: &mut Pmf, s: &mut ConvScratch) {
+    if a.support_len() * b.support_len() > FFT_THRESHOLD {
+        fft_into(a, b, out, s);
+    } else {
+        direct_into(a, b, out);
+    }
+}
+
+/// Writes the result header (offset, combined tail) into `out` and
+/// clears its window. Returns `true` if a pure-tail operand was handled
+/// entirely (the all-tail edge case: every outcome involving the tail
+/// is itself beyond the horizon, so the result is a single zero bin).
+///
+/// Under `Pmf`'s invariants a pure-tail operand normally arrives as a
+/// single zero bin (never an empty window), and the main kernels
+/// already produce this result for it; the guard only defends the
+/// `an + bn − 1` length arithmetic against an invariant-violating empty
+/// window reaching convolution.
+fn begin_result(a: &Pmf, b: &Pmf, out: &mut Pmf) -> bool {
+    let degenerate = a.support_len() == 0 || b.support_len() == 0;
+    let tail = combined_tail(a, b);
+    let (offset, probs, tail_slot) = out.raw_parts_mut();
+    *offset = a.min_bin() + b.min_bin();
+    *tail_slot = tail;
+    probs.clear();
+    if degenerate {
+        probs.push(0.0);
+        out.trim();
+    }
+    degenerate
+}
+
+/// The direct O(n·m) kernel (single definition; both the arena and the
+/// allocating entry points run exactly these loops).
+fn direct_into(a: &Pmf, b: &Pmf, out: &mut Pmf) {
+    if begin_result(a, b, out) {
+        return;
+    }
+    let (an, bn) = (a.support_len(), b.support_len());
+    let (_, probs, _) = out.raw_parts_mut();
+    probs.resize(an + bn - 1, 0.0);
+    let ap = a.dense_probs();
+    let bp = b.dense_probs();
+    // Iterate the shorter operand on the outside: fewer passes over the
+    // output window.
+    if an <= bn {
+        for (i, &pa) in ap.iter().enumerate() {
+            if pa == 0.0 {
+                continue;
+            }
+            for (j, &pb) in bp.iter().enumerate() {
+                probs[i + j] += pa * pb;
+            }
+        }
+    } else {
+        for (j, &pb) in bp.iter().enumerate() {
+            if pb == 0.0 {
+                continue;
+            }
+            for (i, &pa) in ap.iter().enumerate() {
+                probs[i + j] += pa * pb;
+            }
+        }
+    }
+    out.trim();
+}
+
+/// The FFT kernel (single definition, via [`fft::convolve_real_with`]).
+fn fft_into(a: &Pmf, b: &Pmf, out: &mut Pmf, s: &mut ConvScratch) {
+    if begin_result(a, b, out) {
+        return;
+    }
+    let (_, probs, _) = out.raw_parts_mut();
+    fft::convolve_real_with(
+        a.dense_probs(),
+        b.dense_probs(),
+        probs,
+        &mut s.fft,
+    );
+    out.trim();
+}
+
 /// Combined tail mass: an outcome lands beyond the horizon if either
 /// operand did. Inputs and output are clamped to `[0, 1]` — repeated
 /// `truncate_to_horizon` accumulation can leave a tail a few ULPs above
@@ -42,59 +149,20 @@ fn combined_tail(a: &Pmf, b: &Pmf) -> f64 {
     (ta + tb - ta * tb).clamp(0.0, 1.0)
 }
 
-/// The convolution of a pure-tail operand with anything is pure tail:
-/// every outcome involving the tail is itself beyond the horizon.
-///
-/// Under `Pmf`'s invariants a pure-tail operand normally arrives as a
-/// single zero bin (never an empty window), and the main loops already
-/// produce this result for it; the explicit guard below only defends
-/// the `an + bn - 1` length arithmetic against an invariant-violating
-/// empty window reaching convolution.
-fn all_tail_result(a: &Pmf, b: &Pmf) -> Pmf {
-    Pmf::from_dense(a.min_bin() + b.min_bin(), vec![0.0], combined_tail(a, b))
-}
-
-/// Direct O(n·m) convolution.
+/// Direct O(n·m) convolution (delegates to the shared kernel).
 pub fn convolve_direct(a: &Pmf, b: &Pmf) -> Pmf {
-    let (an, bn) = (a.support_len(), b.support_len());
-    if an == 0 || bn == 0 {
-        return all_tail_result(a, b);
-    }
-    let mut out = vec![0.0f64; an + bn - 1];
-    let ap = a.dense_probs();
-    let bp = b.dense_probs();
-    // Iterate the shorter operand on the outside: fewer passes over `out`.
-    if an <= bn {
-        for (i, &pa) in ap.iter().enumerate() {
-            if pa == 0.0 {
-                continue;
-            }
-            for (j, &pb) in bp.iter().enumerate() {
-                out[i + j] += pa * pb;
-            }
-        }
-    } else {
-        for (j, &pb) in bp.iter().enumerate() {
-            if pb == 0.0 {
-                continue;
-            }
-            for (i, &pa) in ap.iter().enumerate() {
-                out[i + j] += pa * pb;
-            }
-        }
-    }
-    Pmf::from_dense(a.min_bin() + b.min_bin(), out, combined_tail(a, b))
+    let mut out = Pmf::point_mass(0);
+    direct_into(a, b, &mut out);
+    out
 }
 
-/// FFT-based convolution. Negative rounding artefacts from the transform
-/// are clamped to zero; the result is within 1e-9 of the direct method for
-/// normalised inputs.
+/// FFT-based convolution (delegates to the shared kernel). Negative
+/// rounding artefacts from the transform are clamped to zero; the
+/// result is within 1e-9 of the direct method for normalised inputs.
 pub fn convolve_fft(a: &Pmf, b: &Pmf) -> Pmf {
-    if a.support_len() == 0 || b.support_len() == 0 {
-        return all_tail_result(a, b);
-    }
-    let out = fft::convolve_real(a.dense_probs(), b.dense_probs());
-    Pmf::from_dense(a.min_bin() + b.min_bin(), out, combined_tail(a, b))
+    let mut out = Pmf::point_mass(0);
+    fft_into(a, b, &mut out, &mut ConvScratch::new());
+    out
 }
 
 #[cfg(test)]
@@ -206,6 +274,74 @@ mod tests {
                 "pure-tail convolution must never succeed"
             );
         }
+    }
+
+    /// Bitwise equality: the arena path must be indistinguishable from
+    /// the allocating path.
+    fn assert_bit_identical(a: &Pmf, b: &Pmf) {
+        assert_eq!(a.min_bin(), b.min_bin());
+        assert_eq!(a.support_len(), b.support_len());
+        assert_eq!(a.tail_mass().to_bits(), b.tail_mass().to_bits());
+        for (x, y) in a.dense_probs().iter().zip(b.dense_probs()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn convolve_into_matches_convolve_exactly() {
+        let mut scratch = ConvScratch::new();
+        let mut out = Pmf::point_mass(0);
+        let cases = [
+            (
+                Pmf::from_points(&[(1, 0.125), (2, 0.125), (3, 0.75)]).unwrap(),
+                Pmf::from_points(&[(4, 0.17), (5, 0.33), (6, 0.5)]).unwrap(),
+            ),
+            (Pmf::point_mass(3), Pmf::point_mass(9)),
+            (
+                Pmf::from_points(&[(0, 0.4), (700, 0.6)]).unwrap(),
+                Pmf::from_points(&[(2, 1.0)]).unwrap(),
+            ),
+        ];
+        for (a, b) in &cases {
+            convolve_into(a, b, &mut out, &mut scratch);
+            assert_bit_identical(&out, &convolve(a, b));
+            // And with the operands swapped, reusing the same buffers.
+            convolve_into(b, a, &mut out, &mut scratch);
+            assert_bit_identical(&out, &convolve(b, a));
+        }
+    }
+
+    #[test]
+    fn convolve_into_matches_on_fft_sized_supports() {
+        // Force the FFT path: work = 400 × 400 > 64k.
+        let n = 400usize;
+        let uniform: Vec<(u64, f64)> =
+            (0..n as u64).map(|b| (b, 1.0 / n as f64)).collect();
+        let a = Pmf::from_points(&uniform).unwrap();
+        let mut scratch = ConvScratch::new();
+        let mut out = Pmf::point_mass(0);
+        convolve_into(&a, &a, &mut out, &mut scratch);
+        assert_bit_identical(&out, &convolve(&a, &a));
+        // Second call with warm plans must still match.
+        convolve_into(&a, &a, &mut out, &mut scratch);
+        assert_bit_identical(&out, &convolve(&a, &a));
+    }
+
+    #[test]
+    fn convolve_into_handles_all_tail_operands() {
+        // The empty-dense-window / pure-tail edge cases fixed in PR 1.
+        let mut tail_only = Pmf::from_points(&[(50, 1.0)]).unwrap();
+        tail_only.truncate_to_horizon(10);
+        let b = Pmf::from_points(&[(1, 0.5), (3, 0.5)]).unwrap();
+        let mut scratch = ConvScratch::new();
+        let mut out = Pmf::point_mass(7);
+        for (x, y) in [(&tail_only, &b), (&b, &tail_only)] {
+            convolve_into(x, y, &mut out, &mut scratch);
+            assert_bit_identical(&out, &convolve(x, y));
+            assert!(approx(out.tail_mass(), 1.0));
+        }
+        convolve_into(&tail_only, &tail_only, &mut out, &mut scratch);
+        assert_bit_identical(&out, &convolve(&tail_only, &tail_only));
     }
 
     #[test]

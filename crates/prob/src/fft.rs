@@ -5,6 +5,16 @@
 //! input sequences into one complex signal (`a + i·b`), transforms once,
 //! separates the spectra algebraically, multiplies, and inverse-transforms
 //! — one forward and one inverse FFT per convolution instead of three.
+//!
+//! Two entry points exist for each operation: a self-contained one that
+//! allocates its working memory per call ([`convolve_real`],
+//! [`fft_in_place`]) and an arena-backed one ([`convolve_real_with`],
+//! [`fft_in_place_planned`]) that reuses caller-owned buffers and cached
+//! twiddle tables ([`FftPlanner`]). The planned transform evaluates the
+//! twiddles with the *same* incremental recurrence the ad-hoc transform
+//! uses (`w ← w·w_len`, starting from 1), so both paths produce
+//! bit-identical spectra — an equivalence the simulator's determinism
+//! suite depends on.
 
 /// A minimal complex number for the FFT kernels.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +82,150 @@ pub fn next_pow2(n: usize) -> usize {
     n.next_power_of_two()
 }
 
+/// Precomputed twiddle tables for one transform size.
+///
+/// The tables are laid out stage-major: for stage lengths
+/// `len = 2, 4, …, n` the `len/2` twiddles of that stage are stored
+/// consecutively (`n − 1` entries in total). Each stage's table is built
+/// with the exact recurrence [`fft_in_place`] uses (`w₀ = 1`,
+/// `w_{k+1} = w_k · w_len`), so a planned transform is bit-identical to
+/// an unplanned one. Forward and inverse tables are kept separately.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    forward: Vec<Complex>,
+    inverse: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds the twiddle tables for transforms of length `n`
+    /// (a power of two).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two");
+        let build = |sign: f64| {
+            let mut table = Vec::with_capacity(n.saturating_sub(1));
+            let mut len = 2usize;
+            while len <= n {
+                let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+                let wlen = Complex::new(ang.cos(), ang.sin());
+                let mut w = Complex::new(1.0, 0.0);
+                for _ in 0..len / 2 {
+                    table.push(w);
+                    w = w.mul(wlen);
+                }
+                len <<= 1;
+            }
+            table
+        };
+        Self {
+            n,
+            forward: build(-1.0),
+            inverse: build(1.0),
+        }
+    }
+
+    /// Transform length this plan serves.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for the degenerate length-1 transform.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+}
+
+/// A cache of [`FftPlan`]s keyed by transform size.
+///
+/// The hot loop convolves many PMFs of similar support lengths; caching
+/// the twiddle tables amortises their trigonometry across calls. Plans
+/// are retained for every size requested (at most one per power of two,
+/// so the cache stays tiny).
+#[derive(Debug, Clone, Default)]
+pub struct FftPlanner {
+    /// `plans[k]` serves transforms of length `2^k`.
+    plans: Vec<Option<FftPlan>>,
+}
+
+impl FftPlanner {
+    /// An empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The plan for transforms of length `n` (a power of two), built on
+    /// first use and cached afterwards.
+    pub fn plan(&mut self, n: usize) -> &FftPlan {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two");
+        let k = n.trailing_zeros() as usize;
+        if self.plans.len() <= k {
+            self.plans.resize(k + 1, None);
+        }
+        self.plans[k].get_or_insert_with(|| FftPlan::new(n))
+    }
+}
+
+/// In-place radix-2 FFT using a precomputed [`FftPlan`].
+/// Bit-identical to [`fft_in_place`] (see the plan's construction).
+pub fn fft_in_place_planned(
+    data: &mut [Complex],
+    inverse: bool,
+    plan: &FftPlan,
+) {
+    let n = data.len();
+    assert_eq!(n, plan.n, "plan length mismatch");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Danielson–Lanczos butterflies, twiddles read from the table.
+    let table = if inverse {
+        &plan.inverse
+    } else {
+        &plan.forward
+    };
+    let mut stage_base = 0usize;
+    let mut len = 2usize;
+    while len <= n {
+        let twiddles = &table[stage_base..stage_base + len / 2];
+        let mut i = 0;
+        while i < n {
+            for (k, &w) in twiddles.iter().enumerate() {
+                let u = data[i + k];
+                let v = data[i + k + len / 2].mul(w);
+                data[i + k] = u.add(v);
+                data[i + k + len / 2] = u.sub(v);
+            }
+            i += len;
+        }
+        stage_base += len / 2;
+        len <<= 1;
+    }
+
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            *x = x.scale(inv_n);
+        }
+    }
+}
+
 /// In-place iterative radix-2 FFT. `data.len()` must be a power of two.
 /// `inverse` selects the inverse transform (including the 1/N scaling).
 pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
@@ -130,24 +284,61 @@ pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
 /// rounding artefacts are clamped to zero so the result remains a valid
 /// (sub-)probability vector.
 pub fn convolve_real(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut scratch = FftScratch::new();
+    convolve_real_with(a, b, &mut out, &mut scratch);
+    out
+}
+
+/// Caller-owned working memory for [`convolve_real_with`]: the packed
+/// signal, the spectral product, and the twiddle-plan cache. Reusing one
+/// scratch across calls makes repeated convolutions allocation-free once
+/// the buffers have grown to the working-set size.
+#[derive(Debug, Clone, Default)]
+pub struct FftScratch {
+    planner: FftPlanner,
+    z: Vec<Complex>,
+    prod: Vec<Complex>,
+}
+
+impl FftScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Linear convolution of two real sequences into `out`, reusing
+/// `scratch`'s buffers and cached twiddle tables. Produces exactly the
+/// same values as [`convolve_real`] (which delegates here).
+pub fn convolve_real_with(
+    a: &[f64],
+    b: &[f64],
+    out: &mut Vec<f64>,
+    scratch: &mut FftScratch,
+) {
     assert!(!a.is_empty() && !b.is_empty());
     let out_len = a.len() + b.len() - 1;
     let n = next_pow2(out_len);
+    let FftScratch { planner, z, prod } = scratch;
+    let plan = planner.plan(n);
 
     // Pack: z = a + i·b.
-    let mut z = vec![Complex::ZERO; n];
+    z.clear();
+    z.resize(n, Complex::ZERO);
     for (i, &x) in a.iter().enumerate() {
         z[i].re = x;
     }
     for (i, &x) in b.iter().enumerate() {
         z[i].im = x;
     }
-    fft_in_place(&mut z, false);
+    fft_in_place_planned(z, false, plan);
 
     // Separate spectra: A[k] = (Z[k] + conj(Z[n−k]))/2,
     //                   B[k] = (Z[k] − conj(Z[n−k]))/(2i),
     // then multiply pointwise. Done in one pass over conjugate pairs.
-    let mut prod = vec![Complex::ZERO; n];
+    prod.clear();
+    prod.resize(n, Complex::ZERO);
     for k in 0..n {
         let k_rev = if k == 0 { 0 } else { n - k };
         let zk = z[k];
@@ -156,12 +347,16 @@ pub fn convolve_real(a: &[f64], b: &[f64]) -> Vec<f64> {
         let bk = Complex::new(0.5 * (zk.im - zr.im), -0.5 * (zk.re - zr.re));
         prod[k] = ak.mul(bk);
     }
-    fft_in_place(&mut prod, true);
+    fft_in_place_planned(prod, true, plan);
 
-    prod.into_iter()
-        .take(out_len)
-        .map(|c| if c.re < 0.0 { 0.0 } else { c.re })
-        .collect()
+    out.clear();
+    out.extend(prod.iter().take(out_len).map(|c| {
+        if c.re < 0.0 {
+            0.0
+        } else {
+            c.re
+        }
+    }));
 }
 
 #[cfg(test)]
@@ -241,6 +436,58 @@ mod tests {
         let out = convolve_real(&[0.5], &[0.25]);
         assert_eq!(out.len(), 1);
         assert!((out[0] - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planned_fft_is_bit_identical_to_ad_hoc() {
+        let mut planner = FftPlanner::new();
+        for &n in &[1usize, 2, 8, 64, 256] {
+            let original: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            for inverse in [false, true] {
+                let mut ad_hoc = original.clone();
+                fft_in_place(&mut ad_hoc, inverse);
+                let mut planned = original.clone();
+                fft_in_place_planned(&mut planned, inverse, planner.plan(n));
+                for (a, p) in ad_hoc.iter().zip(&planned) {
+                    assert_eq!(a.re.to_bits(), p.re.to_bits());
+                    assert_eq!(a.im.to_bits(), p.im.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_convolution_is_bit_identical_and_reusable() {
+        let a: Vec<f64> =
+            (0..123).map(|i| ((i * 7) % 13) as f64 / 100.0).collect();
+        let b: Vec<f64> =
+            (0..45).map(|i| ((i * 11) % 5) as f64 / 30.0).collect();
+        let fresh = convolve_real(&a, &b);
+        let mut scratch = FftScratch::new();
+        let mut out = Vec::new();
+        // Reuse the same scratch and output buffer across several calls
+        // of different sizes; every result must match bit-for-bit.
+        for _ in 0..3 {
+            convolve_real_with(&a, &b, &mut out, &mut scratch);
+            assert_eq!(out.len(), fresh.len());
+            for (x, y) in out.iter().zip(&fresh) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            convolve_real_with(&b, &b, &mut out, &mut scratch);
+            assert_eq!(out.len(), 2 * b.len() - 1);
+        }
+    }
+
+    #[test]
+    fn planner_caches_plans_per_size() {
+        let mut planner = FftPlanner::new();
+        let p = planner.plan(16) as *const FftPlan;
+        let q = planner.plan(16) as *const FftPlan;
+        assert_eq!(p, q, "same size must reuse the cached plan");
+        assert_eq!(planner.plan(16).len(), 16);
+        assert!(!planner.plan(2).is_empty());
     }
 
     #[test]

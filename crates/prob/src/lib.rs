@@ -39,6 +39,7 @@ pub mod stats;
 mod tests_sampler_extra;
 
 pub use cdf::Cdf;
+pub use convolve::{convolve_into, ConvScratch};
 pub use gamma::Gamma;
 pub use histogram::Histogram;
 pub use pmf::Pmf;

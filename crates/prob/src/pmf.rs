@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// * every entry is finite and non-negative;
 /// * `mass() = Σ probs + tail_mass` stays within rounding error of the
 ///   input mass (exactly 1.0 for normalised PMFs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Pmf {
     /// Bin index of `probs[0]`.
     offset: Bin,
@@ -29,6 +29,24 @@ pub struct Pmf {
     probs: Vec<f64>,
     /// Probability mass lumped beyond the represented window ("very late").
     tail_mass: f64,
+}
+
+impl Clone for Pmf {
+    fn clone(&self) -> Self {
+        Self {
+            offset: self.offset,
+            probs: self.probs.clone(),
+            tail_mass: self.tail_mass,
+        }
+    }
+
+    /// Reuses `self`'s window allocation — the arena paths rely on
+    /// `clone_from` being allocation-free once buffers have grown.
+    fn clone_from(&mut self, source: &Self) {
+        self.offset = source.offset;
+        self.probs.clone_from(&source.probs);
+        self.tail_mass = source.tail_mass;
+    }
 }
 
 impl Pmf {
@@ -93,8 +111,17 @@ impl Pmf {
         pmf
     }
 
+    /// Exposes the raw parts for same-crate in-place construction (the
+    /// `convolve_into` family). Callers must restore the type invariants
+    /// (usually by ending with [`Pmf::trim`]).
+    pub(crate) fn raw_parts_mut(
+        &mut self,
+    ) -> (&mut Bin, &mut Vec<f64>, &mut f64) {
+        (&mut self.offset, &mut self.probs, &mut self.tail_mass)
+    }
+
     /// Removes zero-probability bins from both edges of the window.
-    fn trim(&mut self) {
+    pub(crate) fn trim(&mut self) {
         let first_nz = self.probs.iter().position(|&p| p > 0.0);
         match first_nz {
             None => {
@@ -260,6 +287,14 @@ impl Pmf {
         }
     }
 
+    /// In-place variant of [`Pmf::shift`]: writes the shifted copy into
+    /// `out`, reusing its window allocation.
+    pub fn shift_into(&self, bins: Bin, out: &mut Pmf) {
+        out.offset = self.offset + bins;
+        out.probs.clone_from(&self.probs);
+        out.tail_mass = self.tail_mass;
+    }
+
     /// Truncates the window at `horizon`: mass at bins `> horizon` is moved
     /// into the tail. Keeps success-probability queries for any deadline
     /// `<= horizon` exact while bounding memory and convolution cost.
@@ -294,27 +329,52 @@ impl Pmf {
     /// `bin + 1` — "completion is imminent" — which is the standard
     /// fallback and keeps downstream convolutions well-defined.
     pub fn condition_greater_than(&self, bin: Bin) -> Self {
+        let mut out = self.clone();
+        out.condition_greater_than_in_place(bin);
+        out
+    }
+
+    /// In-place variant of [`Pmf::condition_greater_than`]: conditions
+    /// `self` on `X > bin` without allocating (beyond what the window
+    /// already holds). Produces exactly the same values as the
+    /// allocating version — the same drop-front-then-rescale operations
+    /// run on the same floats.
+    pub fn condition_greater_than_in_place(&mut self, bin: Bin) {
         if bin < self.offset {
-            return self.clone();
+            return;
         }
         let cut = (bin - self.offset + 1) as usize; // first index to keep
         if cut >= self.probs.len() && self.tail_mass <= 0.0 {
-            return Self::point_mass(bin + 1);
+            self.set_point_mass(bin + 1);
+            return;
         }
-        let kept: Vec<f64> = self.probs.get(cut..).unwrap_or(&[]).to_vec();
-        let remaining: f64 = kept.iter().sum::<f64>() + self.tail_mass;
+        let remaining: f64 =
+            self.probs.get(cut..).unwrap_or(&[]).iter().sum::<f64>()
+                + self.tail_mass;
         if remaining <= 1e-12 {
-            return Self::point_mass(bin + 1);
+            self.set_point_mass(bin + 1);
+            return;
         }
         let inv = 1.0 / remaining;
-        let probs: Vec<f64> = kept.iter().map(|p| p * inv).collect();
-        let mut out = Self {
-            offset: bin + 1,
-            probs: if probs.is_empty() { vec![0.0] } else { probs },
-            tail_mass: self.tail_mass * inv,
-        };
-        out.trim();
-        out
+        self.probs.drain(..cut.min(self.probs.len()));
+        for p in &mut self.probs {
+            *p *= inv;
+        }
+        if self.probs.is_empty() {
+            self.probs.push(0.0);
+        }
+        self.offset = bin + 1;
+        self.tail_mass *= inv;
+        self.trim();
+    }
+
+    /// Rewrites `self` as a point mass at `bin`, keeping the window
+    /// allocation — the in-place counterpart of [`Pmf::point_mass`].
+    pub fn set_point_mass(&mut self, bin: Bin) {
+        self.offset = bin;
+        self.probs.clear();
+        self.probs.push(1.0);
+        self.tail_mass = 0.0;
     }
 
     /// Convolution `self ∗ other` (Eq. 1 of the paper): the distribution of
@@ -365,6 +425,13 @@ impl Pmf {
     /// Builds the cumulative view of this PMF.
     pub fn to_cdf(&self) -> Cdf {
         Cdf::from_pmf(self)
+    }
+
+    /// In-place variant of [`Pmf::to_cdf`]: rebuilds `out` from this PMF,
+    /// reusing its allocation. Same accumulation order as
+    /// [`Cdf::from_pmf`], so the values are bit-identical.
+    pub fn to_cdf_into(&self, out: &mut Cdf) {
+        out.assign_from_pmf(self);
     }
 
     /// Draws one sample (a bin) from this PMF using the supplied uniform

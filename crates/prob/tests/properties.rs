@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use taskprune_prob::convolve::{convolve_direct, convolve_fft};
-use taskprune_prob::{Cdf, Pmf};
+use taskprune_prob::{convolve_into, Cdf, ConvScratch, Pmf};
 
 /// Strategy: a normalised PMF with 1..=12 support points in bins 0..=600.
 fn arb_pmf() -> impl Strategy<Value = Pmf> {
@@ -155,5 +155,108 @@ proptest! {
     ) {
         let mix = Pmf::mixture(&[(w, &a), (1.0, &b)]).unwrap();
         prop_assert!((mix.mass() - 1.0).abs() < 1e-9);
+    }
+
+    // ------------------------------------------------------------------
+    // Arena (in-place / scratch) APIs: every `_into` variant must be
+    // indistinguishable from its allocating counterpart — bit-for-bit,
+    // because the incremental queue chains rely on exact equality with
+    // from-scratch rebuilds. Buffers are deliberately pre-dirtied with
+    // unrelated state to prove the reuse path fully overwrites them.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn convolve_into_equals_convolve(
+        a in arb_truncated_pmf(),
+        b in arb_truncated_pmf(),
+        dirty in arb_pmf()
+    ) {
+        let mut scratch = ConvScratch::new();
+        let mut out = dirty; // reused buffer with unrelated contents
+        convolve_into(&a, &b, &mut out, &mut scratch);
+        let fresh = a.convolve(&b);
+        prop_assert_eq!(&out, &fresh);
+        prop_assert_eq!(
+            out.tail_mass().to_bits(),
+            fresh.tail_mass().to_bits()
+        );
+    }
+
+    #[test]
+    fn convolve_into_handles_pure_tail_operands(
+        a in arb_pmf(),
+        keep_bins in 0u64..5
+    ) {
+        // Truncate one operand into a pure-tail PMF (the all-tail edge
+        // case fixed in PR 1) and check the arena path agrees.
+        let mut tail_only = a.clone();
+        let cut = a.min_bin().saturating_sub(keep_bins + 1);
+        tail_only.truncate_to_horizon(cut);
+        let mut scratch = ConvScratch::new();
+        let mut out = Pmf::point_mass(3);
+        convolve_into(&tail_only, &a, &mut out, &mut scratch);
+        prop_assert_eq!(&out, &tail_only.convolve(&a));
+        convolve_into(&a, &tail_only, &mut out, &mut scratch);
+        prop_assert_eq!(&out, &a.convolve(&tail_only));
+    }
+
+    #[test]
+    fn to_cdf_into_equals_to_cdf(
+        pmf in arb_truncated_pmf(),
+        dirty in arb_pmf()
+    ) {
+        let mut out = dirty.to_cdf(); // pre-dirtied buffer
+        pmf.to_cdf_into(&mut out);
+        prop_assert_eq!(&out, &pmf.to_cdf());
+    }
+
+    #[test]
+    fn shift_into_equals_shift(
+        pmf in arb_truncated_pmf(),
+        bins in 0u64..1000,
+        dirty in arb_pmf()
+    ) {
+        let mut out = dirty;
+        pmf.shift_into(bins, &mut out);
+        prop_assert_eq!(&out, &pmf.shift(bins));
+    }
+
+    #[test]
+    fn condition_in_place_equals_allocating(
+        pmf in arb_truncated_pmf(),
+        cut in 0u64..700
+    ) {
+        let mut cond = pmf.clone();
+        cond.condition_greater_than_in_place(cut);
+        prop_assert_eq!(&cond, &pmf.condition_greater_than(cut));
+    }
+
+    #[test]
+    fn set_point_mass_equals_point_mass(
+        dirty in arb_truncated_pmf(),
+        bin in 0u64..1000
+    ) {
+        let mut out = dirty;
+        out.set_point_mass(bin);
+        prop_assert_eq!(&out, &Pmf::point_mass(bin));
+    }
+
+    #[test]
+    fn scratch_reuse_across_mixed_sizes_stays_exact(
+        pmfs in prop::collection::vec(arb_truncated_pmf(), 2..6)
+    ) {
+        // One scratch + one rotating output across a chain of
+        // convolutions of varying support sizes — the arena pattern the
+        // machine queues use. Compare against the allocating fold.
+        let mut scratch = ConvScratch::new();
+        let mut acc = Pmf::point_mass(0);
+        let mut out = Pmf::point_mass(0);
+        let mut reference = Pmf::point_mass(0);
+        for pmf in &pmfs {
+            convolve_into(&acc, pmf, &mut out, &mut scratch);
+            std::mem::swap(&mut acc, &mut out);
+            reference = reference.convolve(pmf);
+            prop_assert_eq!(&acc, &reference);
+        }
     }
 }

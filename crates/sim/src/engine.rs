@@ -49,6 +49,11 @@ pub struct Engine<'a> {
     stats: SimStats,
     trace: Option<TraceLog>,
     wakeup_pending: bool,
+    /// Reused per-event buffer for reactive drops (mapping events fire
+    /// per arrival/completion; per-event allocation is kept near zero).
+    reactive_buf: Vec<Task>,
+    /// Reused per-round buffer for the batch mapping loop's candidates.
+    candidate_buf: Vec<Task>,
 }
 
 impl<'a> Engine<'a> {
@@ -81,6 +86,8 @@ impl<'a> Engine<'a> {
             stats: SimStats::new(0, 0),
             trace: None,
             wakeup_pending: false,
+            reactive_buf: Vec::new(),
+            candidate_buf: Vec::new(),
         }
     }
 
@@ -276,7 +283,8 @@ impl<'a> Engine<'a> {
 
         // Step 1: reactive drops of deadline-missed pending tasks.
         let now = self.now;
-        let mut reactive: Vec<Task> = Vec::new();
+        let mut reactive = std::mem::take(&mut self.reactive_buf);
+        reactive.clear();
         self.arrival_queue.retain(|t| {
             if t.is_past_deadline(now) {
                 reactive.push(*t);
@@ -286,7 +294,7 @@ impl<'a> Engine<'a> {
             }
         });
         for q in &mut self.queues {
-            reactive.extend(q.drop_missed_deadlines(now, self.pet));
+            reactive.extend(q.drop_missed_deadlines(now));
         }
         for t in &reactive {
             self.stats.record_outcome(t, TaskOutcome::DroppedReactive);
@@ -309,8 +317,8 @@ impl<'a> Engine<'a> {
         };
         if !drops.is_empty() {
             for (machine, ids) in group_by_machine(drops) {
-                let removed = self.queues[machine.0 as usize]
-                    .remove_waiting(&ids, self.pet);
+                let removed =
+                    self.queues[machine.0 as usize].remove_waiting(&ids);
                 for t in removed {
                     self.stats
                         .record_outcome(&t, TaskOutcome::DroppedProactive);
@@ -334,6 +342,9 @@ impl<'a> Engine<'a> {
         // Machines that were idle with an empty queue may have just
         // received work.
         self.start_idle_machines();
+
+        // Reclaim the reactive-drop buffer for the next event.
+        self.reactive_buf = report.dropped_reactive;
     }
 
     /// Immediate-mode placement (Fig. 1a): the mapper picks a machine;
@@ -365,7 +376,7 @@ impl<'a> Engine<'a> {
                 .expect("checked above that a free slot exists");
             MachineId(fallback as u16)
         };
-        self.queues[machine.0 as usize].admit(task, self.pet);
+        self.queues[machine.0 as usize].admit(task);
         self.trace_event(TraceEvent::Mapped {
             task: task.id,
             machine,
@@ -382,7 +393,7 @@ impl<'a> Engine<'a> {
             }
         };
         let mut deferred: HashSet<TaskId> = HashSet::new();
-        let mut candidates: Vec<Task> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.candidate_buf);
         loop {
             if self.queues.iter().all(|q| q.free_slots() == 0) {
                 break;
@@ -438,7 +449,7 @@ impl<'a> Engine<'a> {
                     progressed = true; // candidate set shrank
                 } else {
                     self.arrival_queue.remove(pos);
-                    self.queues[machine_idx].admit(task, self.pet);
+                    self.queues[machine_idx].admit(task);
                     if let Some(log) = &mut self.trace {
                         log.record(
                             self.now,
@@ -455,6 +466,7 @@ impl<'a> Engine<'a> {
                 break;
             }
         }
+        self.candidate_buf = candidates;
     }
 
     /// Starts the queue head on every idle machine, sampling the actual
@@ -465,7 +477,7 @@ impl<'a> Engine<'a> {
             if q.is_busy() {
                 continue;
             }
-            if let Some(task) = q.pop_head_for_start(self.pet) {
+            if let Some(task) = q.pop_head_for_start() {
                 let duration = self.truth.sample_duration(
                     q.machine().type_id,
                     task.type_id,

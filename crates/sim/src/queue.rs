@@ -4,23 +4,57 @@
 //! and a bounded FCFS queue of *waiting* tasks. Alongside the plain
 //! queue, the estimator state implements Eq. 1 incrementally:
 //!
-//! * `prefix_pmfs[i]` is the convolution of the PETs of the first `i`
+//! * `chain[i]` is the convolution of the PETs of the first `i`
 //!   waiting tasks (a *relative duration* distribution);
 //! * the *base* is the absolute-time completion distribution of the
 //!   running task, conditioned on it not having finished yet (or a point
 //!   mass at `now` for an idle machine);
-//! * the PCT of waiting task `i` is `base ∗ prefix_pmfs[i] ∗ PET(i)`, and
+//! * the PCT of waiting task `i` is `base ∗ chain[i] ∗ PET(i)`, and
 //!   its chance of success (Eq. 2) is evaluated as a double dot product
 //!   without materialising that convolution.
+//!
+//! # Incremental maintenance and the convolution arena
+//!
+//! Chains are maintained *lazily*: structural mutations (admitting,
+//! popping the head for execution, reactive or proactive drops) never
+//! re-convolve anything — they only record the first chain position the
+//! mutation invalidated. The next estimate query repairs the chain from
+//! that position, reusing each slot's existing window allocation via
+//! `convolve_into`/`to_cdf_into` and one [`ConvScratch`] per queue (FFT
+//! buffers + cached twiddle plans). Consequences:
+//!
+//! * a proactive drop at queue position `k` costs `len − k` tail
+//!   convolutions instead of a full O(len) rebuild — the prefixes ahead
+//!   of the drop are reused as-is;
+//! * back-to-back mutations inside one mapping event (reactive drops,
+//!   then a pop, then proactive drops) coalesce into a *single* suffix
+//!   repair at the first query instead of one full rebuild each;
+//! * admitting into a clean chain is exactly one tail convolution, so
+//!   the common arrival path stays O(1);
+//! * steady-state mapping events perform no heap allocation in the
+//!   estimator: chain slots, CDF views, the base distribution, and the
+//!   drop-planning walk all reuse arena buffers.
+//!
+//! Deconvolution is deliberately avoided: removing a PET from a
+//! truncated convolution is numerically ill-posed (the horizon lumps
+//! tail mass irreversibly), so invalidated suffixes are re-convolved
+//! forward. Because the repair performs the exact same
+//! convolve-then-truncate operations, in the same order, on the same
+//! operands as a from-scratch rebuild, the incremental chains are
+//! **bit-identical** to rebuilt ones — `queue_fuzz` pins that
+//! equivalence and the golden/determinism suites depend on it.
 //!
 //! Chains are truncated at a configurable horizon: probability mass that
 //! far in the future can never contribute to an on-time completion, so
 //! success queries stay exact (see `taskprune-prob`'s tail-mass
 //! semantics).
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use taskprune_model::{BinSpec, Machine, PetMatrix, SimTime, Task, TaskId};
-use taskprune_prob::{Bin, Cdf, Pmf};
+use taskprune_model::{
+    BinSpec, Machine, MachineTypeId, PetMatrix, SimTime, Task, TaskId,
+};
+use taskprune_prob::{convolve_into, Bin, Cdf, ConvScratch, Pmf};
 
 /// The task currently executing on a machine.
 #[derive(Debug, Clone)]
@@ -35,6 +69,88 @@ pub struct RunningTask {
     pub actual_finish: SimTime,
 }
 
+/// The lazily-repaired prefix-chain cache plus the per-queue convolution
+/// arena. Interior-mutable so estimate queries on `&MachineQueue` can
+/// repair the chain in place.
+#[derive(Debug, Clone)]
+struct ChainCache {
+    /// Slot `i` = PET(w₀) ∗ … ∗ PET(w_{i−1}); slot 0 = δ(0). Physical
+    /// length may exceed the live chain: slots past the current queue
+    /// length are spare buffers whose allocations get reused.
+    pmfs: Vec<Pmf>,
+    /// Cumulative views of `pmfs`, kept in lock-step.
+    cdfs: Vec<Cdf>,
+    /// Number of leading slots that are valid for the current waiting
+    /// list. Always ≥ 1: slot 0 is constant.
+    valid: usize,
+    /// FFT buffers and cached twiddle plans for `convolve_into`.
+    scratch: ConvScratch,
+    /// Rotating live-chain buffers for the `plan_drops` walk.
+    walk_pmf: Pmf,
+    walk_next: Pmf,
+    walk_cdf: Cdf,
+    /// Base buffer dedicated to the `plan_drops` walk, separate from
+    /// `base` so re-entrant chance queries from a `decide` callback
+    /// cannot clobber the walk's base distribution.
+    walk_base: Pmf,
+    /// Guards the walk buffers: a nested `plan_drops` on the same queue
+    /// would silently corrupt them, so it fails loudly instead.
+    walk_active: bool,
+    /// Buffer for the base (machine-ready-time) distribution.
+    base: Pmf,
+}
+
+impl ChainCache {
+    fn new() -> Self {
+        let zero = Pmf::point_mass(0);
+        let zero_cdf = zero.to_cdf();
+        Self {
+            pmfs: vec![zero.clone()],
+            cdfs: vec![zero_cdf.clone()],
+            valid: 1,
+            scratch: ConvScratch::new(),
+            walk_pmf: zero.clone(),
+            walk_next: zero.clone(),
+            walk_cdf: zero_cdf,
+            walk_base: zero.clone(),
+            walk_active: false,
+            base: zero,
+        }
+    }
+
+    /// Records that the waiting task at `first_changed` (and everything
+    /// behind it) no longer matches the cached chain.
+    fn invalidate_from(&mut self, first_changed: usize) {
+        self.valid = self.valid.min(first_changed + 1);
+    }
+
+    /// Repairs the chain up to the current queue length, re-convolving
+    /// only the invalidated suffix into reused slot allocations.
+    fn repair(
+        &mut self,
+        waiting: &VecDeque<Task>,
+        machine_type: MachineTypeId,
+        pet_matrix: &PetMatrix,
+        horizon_bins: Bin,
+    ) {
+        let target = waiting.len() + 1;
+        while self.valid < target {
+            let i = self.valid;
+            let pet = pet_matrix.pet(machine_type, waiting[i - 1].type_id);
+            if self.pmfs.len() <= i {
+                self.pmfs.push(Pmf::point_mass(0));
+                self.cdfs.push(Cdf::point_mass(0));
+            }
+            let (done, rest) = self.pmfs.split_at_mut(i);
+            let slot = &mut rest[0];
+            convolve_into(&done[i - 1], pet, slot, &mut self.scratch);
+            slot.truncate_to_horizon(horizon_bins);
+            slot.to_cdf_into(&mut self.cdfs[i]);
+            self.valid = i + 1;
+        }
+    }
+}
+
 /// A machine's execution state plus the PCT estimator state.
 #[derive(Debug, Clone)]
 pub struct MachineQueue {
@@ -44,18 +160,13 @@ pub struct MachineQueue {
     generation: u64,
     running: Option<RunningTask>,
     waiting: VecDeque<Task>,
-    /// `prefix_pmfs[i]` = PET(w₀) ∗ … ∗ PET(w_{i−1}); `[0]` = δ(0).
-    prefix_pmfs: Vec<Pmf>,
-    /// Cumulative views of `prefix_pmfs`, kept in lock-step.
-    prefix_cdfs: Vec<Cdf>,
+    chain: RefCell<ChainCache>,
 }
 
 impl MachineQueue {
     /// Creates an empty queue for `machine` with the given waiting-slot
     /// capacity and estimator horizon.
     pub fn new(machine: Machine, capacity: usize, horizon_bins: u64) -> Self {
-        let zero = Pmf::point_mass(0);
-        let zero_cdf = zero.to_cdf();
         Self {
             machine,
             capacity,
@@ -63,8 +174,7 @@ impl MachineQueue {
             generation: 0,
             running: None,
             waiting: VecDeque::new(),
-            prefix_pmfs: vec![zero],
-            prefix_cdfs: vec![zero_cdf],
+            chain: RefCell::new(ChainCache::new()),
         }
     }
 
@@ -112,35 +222,31 @@ impl MachineQueue {
     }
 
     /// Appends `task` to the waiting queue (Eq. 1: the new tail PCT is
-    /// the old tail convolved with the task's PET).
+    /// the old tail convolved with the task's PET). O(1): extending a
+    /// clean chain costs exactly one tail convolution at the next
+    /// estimate query; on an invalidated chain the extension folds into
+    /// the pending suffix repair — and an admit whose task is popped or
+    /// dropped before any query costs nothing at all.
     ///
     /// # Panics
     /// If no waiting slot is free.
-    pub fn admit(&mut self, task: Task, pet_matrix: &PetMatrix) {
+    pub fn admit(&mut self, task: Task) {
         assert!(self.free_slots() > 0, "admit into a full machine queue");
-        let pet = pet_matrix.pet(self.machine.type_id, task.type_id);
-        let last = self
-            .prefix_pmfs
-            .last()
-            .expect("prefix chain is never empty");
-        let mut next = last.convolve(pet);
-        next.truncate_to_horizon(self.horizon_bins);
-        self.prefix_cdfs.push(next.to_cdf());
-        self.prefix_pmfs.push(next);
         self.waiting.push_back(task);
     }
 
     /// Removes the head waiting task so the engine can start it.
     /// Returns `None` if the queue is empty or a task is already running.
-    pub fn pop_head_for_start(
-        &mut self,
-        pet_matrix: &PetMatrix,
-    ) -> Option<Task> {
+    ///
+    /// O(1): every chain position loses the head's PET, so the whole
+    /// chain is invalidated and rebuilt lazily at the next query —
+    /// coalescing with any other mutations in the same mapping event.
+    pub fn pop_head_for_start(&mut self) -> Option<Task> {
         if self.running.is_some() {
             return None;
         }
         let task = self.waiting.pop_front()?;
-        self.rebuild_chain(pet_matrix);
+        self.chain.get_mut().invalidate_from(0);
         Some(task)
     }
 
@@ -179,99 +285,94 @@ impl MachineQueue {
 
     /// Removes waiting tasks that already missed their deadline at `now`
     /// (reactive dropping, Step 1 of the pruning procedure — applied by
-    /// every configuration per §II).
-    pub fn drop_missed_deadlines(
-        &mut self,
-        now: SimTime,
-        pet_matrix: &PetMatrix,
-    ) -> Vec<Task> {
-        if self.waiting.iter().all(|t| !t.is_past_deadline(now)) {
-            return Vec::new();
-        }
+    /// every configuration per §II). Invalidates the chain from the
+    /// first expired position only.
+    pub fn drop_missed_deadlines(&mut self, now: SimTime) -> Vec<Task> {
         let mut dropped = Vec::new();
+        let mut first_removed = None;
+        let mut idx = 0usize;
         self.waiting.retain(|t| {
-            if t.is_past_deadline(now) {
+            let expired = t.is_past_deadline(now);
+            if expired {
+                first_removed.get_or_insert(idx);
                 dropped.push(*t);
-                false
-            } else {
-                true
             }
+            idx += 1;
+            !expired
         });
-        self.rebuild_chain(pet_matrix);
+        if let Some(first) = first_removed {
+            self.chain.get_mut().invalidate_from(first);
+        }
         dropped
     }
 
     /// Removes the given waiting tasks (proactive drops chosen by the
     /// pruner). Ids not present are ignored. Returns the removed tasks.
-    pub fn remove_waiting(
-        &mut self,
-        ids: &[TaskId],
-        pet_matrix: &PetMatrix,
-    ) -> Vec<Task> {
+    ///
+    /// The id set is sorted once and probed by binary search, so a batch
+    /// removal is O(queue · log ids) instead of the former O(queue·ids)
+    /// linear scans; the chain is invalidated from the first removed
+    /// position only.
+    pub fn remove_waiting(&mut self, ids: &[TaskId]) -> Vec<Task> {
         if ids.is_empty() {
             return Vec::new();
         }
+        let mut sorted: Vec<TaskId> = ids.to_vec();
+        sorted.sort_unstable();
         let mut removed = Vec::new();
+        let mut first_removed = None;
+        let mut idx = 0usize;
         self.waiting.retain(|t| {
-            if ids.contains(&t.id) {
+            let hit = sorted.binary_search(&t.id).is_ok();
+            if hit {
+                first_removed.get_or_insert(idx);
                 removed.push(*t);
-                false
-            } else {
-                true
             }
+            idx += 1;
+            !hit
         });
-        if !removed.is_empty() {
-            self.rebuild_chain(pet_matrix);
+        if let Some(first) = first_removed {
+            self.chain.get_mut().invalidate_from(first);
         }
         removed
     }
 
-    /// Recomputes the prefix chains from the current waiting queue.
-    fn rebuild_chain(&mut self, pet_matrix: &PetMatrix) {
-        self.prefix_pmfs.clear();
-        self.prefix_cdfs.clear();
-        let zero = Pmf::point_mass(0);
-        self.prefix_cdfs.push(zero.to_cdf());
-        self.prefix_pmfs.push(zero);
-        // Collect PETs first: `waiting` cannot be borrowed while pushing.
-        let pets: Vec<&Pmf> = self
-            .waiting
-            .iter()
-            .map(|t| pet_matrix.pet(self.machine.type_id, t.type_id))
-            .collect();
-        for pet in pets {
-            let last = self.prefix_pmfs.last().expect("chain is never empty");
-            let mut next = last.convolve(pet);
-            next.truncate_to_horizon(self.horizon_bins);
-            self.prefix_cdfs.push(next.to_cdf());
-            self.prefix_pmfs.push(next);
+    /// Writes the base distribution into `out`: the absolute-bin
+    /// distribution of when the machine becomes free for the first
+    /// waiting task — the running task's PCT conditioned on "still
+    /// running at `now`", or a point mass at `now` when idle.
+    fn write_base(
+        &self,
+        bin_spec: BinSpec,
+        pet_matrix: &PetMatrix,
+        now: SimTime,
+        out: &mut Pmf,
+    ) {
+        let now_bin = bin_spec.bin_of(now);
+        match &self.running {
+            None => out.set_point_mass(now_bin),
+            Some(rt) => {
+                let pet = pet_matrix.pet(self.machine.type_id, rt.task.type_id);
+                pet.shift_into(bin_spec.bin_of(rt.start), out);
+                if now_bin > 0 {
+                    // Still running ⇒ completion bin ≥ now_bin.
+                    out.condition_greater_than_in_place(now_bin - 1);
+                }
+            }
         }
     }
 
-    /// The absolute-bin distribution of when the machine becomes free
-    /// for the first waiting task: the running task's PCT conditioned on
-    /// "still running at `now`", or a point mass at `now` when idle.
+    /// The base distribution as an owned PMF (see [`Self::write_base`];
+    /// the query paths use the arena-buffered variant).
     pub fn base_pmf(
         &self,
         bin_spec: BinSpec,
         pet_matrix: &PetMatrix,
         now: SimTime,
     ) -> Pmf {
-        let now_bin = bin_spec.bin_of(now);
-        match &self.running {
-            None => Pmf::point_mass(now_bin),
-            Some(rt) => {
-                let pet = pet_matrix.pet(self.machine.type_id, rt.task.type_id);
-                let start_bin = bin_spec.bin_of(rt.start);
-                let absolute = pet.shift(start_bin);
-                if now_bin == 0 {
-                    absolute
-                } else {
-                    // Still running ⇒ completion bin ≥ now_bin.
-                    absolute.condition_greater_than(now_bin - 1)
-                }
-            }
-        }
+        let mut out = Pmf::point_mass(0);
+        self.write_base(bin_spec, pet_matrix, now, &mut out);
+        out
     }
 
     /// Chance of success (Eq. 2) for `task` if appended at the tail of
@@ -283,11 +384,19 @@ impl MachineQueue {
         now: SimTime,
         task: &Task,
     ) -> f64 {
-        let base = self.base_pmf(bin_spec, pet_matrix, now);
-        let chain_cdf = self.prefix_cdfs.last().expect("chain is never empty");
+        let mut chain = self.chain.borrow_mut();
+        chain.repair(
+            &self.waiting,
+            self.machine.type_id,
+            pet_matrix,
+            self.horizon_bins,
+        );
+        let cache = &mut *chain;
+        self.write_base(bin_spec, pet_matrix, now, &mut cache.base);
+        let chain_cdf = &cache.cdfs[self.waiting.len()];
         let pet = pet_matrix.pet(self.machine.type_id, task.type_id);
         chance_of_success(
-            &base,
+            &cache.base,
             chain_cdf,
             pet,
             bin_spec.deadline_bin(task.deadline),
@@ -301,6 +410,13 @@ impl MachineQueue {
     ///
     /// `decide(task, chance)` returns `true` to drop. The queue itself is
     /// not modified; apply the returned ids with [`Self::remove_waiting`].
+    /// The post-drop live chain re-convolves into rotating arena buffers
+    /// (with a walk-dedicated base), so the walk allocates nothing
+    /// beyond the returned ids. The chain cache is *not* held borrowed
+    /// across `decide`: the callback may freely issue read-only estimate
+    /// queries against this queue ([`Self::chance_if_appended`]); only a
+    /// nested `plan_drops` on the same queue is unsupported (it would
+    /// clobber the shared walk buffers).
     pub fn plan_drops(
         &self,
         bin_spec: BinSpec,
@@ -311,39 +427,69 @@ impl MachineQueue {
         if self.waiting.is_empty() {
             return Vec::new();
         }
-        let base = self.base_pmf(bin_spec, pet_matrix, now);
+        {
+            let mut chain = self.chain.borrow_mut();
+            assert!(
+                !chain.walk_active,
+                "nested plan_drops on the same queue would corrupt the \
+                 shared walk buffers"
+            );
+            chain.walk_active = true;
+            chain.repair(
+                &self.waiting,
+                self.machine.type_id,
+                pet_matrix,
+                self.horizon_bins,
+            );
+            let cache = &mut *chain;
+            self.write_base(bin_spec, pet_matrix, now, &mut cache.walk_base);
+        }
         let mut drops = Vec::new();
         // Until the first drop the cached prefix chains are exact; after
-        // it we re-convolve the surviving suffix on the fly.
-        let mut live_chain: Option<(Pmf, Cdf)> = None;
+        // it the surviving suffix re-convolves through the walk buffers.
+        let mut live = false;
         for (i, task) in self.waiting.iter().enumerate() {
             let pet = pet_matrix.pet(self.machine.type_id, task.type_id);
             let deadline_bin = bin_spec.deadline_bin(task.deadline);
-            let chance = match &live_chain {
-                None => chance_of_success(
-                    &base,
-                    &self.prefix_cdfs[i],
-                    pet,
-                    deadline_bin,
-                ),
-                Some((_, cdf)) => {
-                    chance_of_success(&base, cdf, pet, deadline_bin)
-                }
+            let chance = {
+                let chain = self.chain.borrow();
+                let cdf = if live {
+                    &chain.walk_cdf
+                } else {
+                    &chain.cdfs[i]
+                };
+                chance_of_success(&chain.walk_base, cdf, pet, deadline_bin)
             };
             if decide(task, chance) {
                 drops.push(task.id);
-                if live_chain.is_none() {
-                    let pmf = self.prefix_pmfs[i].clone();
-                    let cdf = pmf.to_cdf();
-                    live_chain = Some((pmf, cdf));
+                if !live {
+                    let mut chain = self.chain.borrow_mut();
+                    let ChainCache {
+                        pmfs,
+                        walk_pmf,
+                        walk_cdf,
+                        ..
+                    } = &mut *chain;
+                    walk_pmf.clone_from(&pmfs[i]);
+                    pmfs[i].to_cdf_into(walk_cdf);
+                    live = true;
                 }
-            } else if let Some((pmf, cdf)) = &mut live_chain {
-                let mut next = pmf.convolve(pet);
-                next.truncate_to_horizon(self.horizon_bins);
-                *cdf = next.to_cdf();
-                *pmf = next;
+            } else if live {
+                let mut chain = self.chain.borrow_mut();
+                let ChainCache {
+                    scratch,
+                    walk_pmf,
+                    walk_next,
+                    walk_cdf,
+                    ..
+                } = &mut *chain;
+                convolve_into(walk_pmf, pet, walk_next, scratch);
+                walk_next.truncate_to_horizon(self.horizon_bins);
+                walk_next.to_cdf_into(walk_cdf);
+                std::mem::swap(walk_pmf, walk_next);
             }
         }
+        self.chain.borrow_mut().walk_active = false;
         drops
     }
 
@@ -377,9 +523,40 @@ impl MachineQueue {
         let mut out: Vec<Task> =
             self.running.take().map(|rt| rt.task).into_iter().collect();
         out.extend(self.waiting.drain(..));
-        self.prefix_pmfs.truncate(1);
-        self.prefix_cdfs.truncate(1);
+        self.chain.get_mut().valid = 1;
         out
+    }
+
+    /// Invalidates the whole cached chain and repairs it immediately —
+    /// the cost profile of the pre-incremental `rebuild_chain`. Exposed
+    /// as the from-scratch baseline for benches and the fuzz reference.
+    pub fn force_full_rebuild(&mut self, pet_matrix: &PetMatrix) {
+        let chain = self.chain.get_mut();
+        chain.valid = 1;
+        chain.repair(
+            &self.waiting,
+            self.machine.type_id,
+            pet_matrix,
+            self.horizon_bins,
+        );
+    }
+
+    /// Repairs the chain, then clones out the live prefix PMFs and CDFs
+    /// (`chain[0..=len]`). Test/diagnostic hook for the bit-for-bit
+    /// equivalence invariant; not a hot-path API.
+    pub fn chain_snapshot(
+        &self,
+        pet_matrix: &PetMatrix,
+    ) -> (Vec<Pmf>, Vec<Cdf>) {
+        let mut chain = self.chain.borrow_mut();
+        chain.repair(
+            &self.waiting,
+            self.machine.type_id,
+            pet_matrix,
+            self.horizon_bins,
+        );
+        let n = self.waiting.len() + 1;
+        (chain.pmfs[..n].to_vec(), chain.cdfs[..n].to_vec())
     }
 }
 
@@ -455,21 +632,21 @@ mod tests {
         let pm = pet_matrix();
         let mut q = queue();
         assert_eq!(q.free_slots(), 4);
-        q.admit(task(0, 1, 10_000), &pm);
-        q.admit(task(1, 1, 10_000), &pm);
+        q.admit(task(0, 1, 10_000));
+        q.admit(task(1, 1, 10_000));
         assert_eq!(q.free_slots(), 2);
         assert_eq!(q.waiting_len(), 2);
-        // Chain after two point-mass(3) PETs: prefix[2] = δ(6).
-        assert_eq!(q.prefix_pmfs[2], Pmf::point_mass(6));
+        // Chain after two point-mass(3) PETs: chain[2] = δ(6).
+        let (pmfs, _) = q.chain_snapshot(&pm);
+        assert_eq!(pmfs[2], Pmf::point_mass(6));
     }
 
     #[test]
     #[should_panic(expected = "full")]
     fn admit_beyond_capacity_panics() {
-        let pm = pet_matrix();
         let mut q = queue();
         for i in 0..5 {
-            q.admit(task(i, 1, 10_000), &pm);
+            q.admit(task(i, 1, 10_000));
         }
     }
 
@@ -499,7 +676,7 @@ mod tests {
         let mut q = queue();
         let spec = pm.bin_spec();
         // δ(3) ahead.
-        q.admit(task(0, 1, 10_000), &pm);
+        q.admit(task(0, 1, 10_000));
         // Type-0 task behind it: completion = 3 + {2:0.5, 4:0.5}.
         // Deadline bin 5 (deadline 600) → P = 0.5.
         let t = task(1, 0, 600);
@@ -530,30 +707,29 @@ mod tests {
     }
 
     #[test]
-    fn pop_head_rebuilds_chain() {
+    fn pop_head_invalidates_then_repairs_chain() {
         let pm = pet_matrix();
         let mut q = queue();
-        q.admit(task(0, 1, 10_000), &pm);
-        q.admit(task(1, 1, 10_000), &pm);
-        let head = q.pop_head_for_start(&pm).unwrap();
+        q.admit(task(0, 1, 10_000));
+        q.admit(task(1, 1, 10_000));
+        let head = q.pop_head_for_start().unwrap();
         assert_eq!(head.id, TaskId(0));
         assert_eq!(q.waiting_len(), 1);
-        assert_eq!(q.prefix_pmfs.len(), 2);
-        assert_eq!(q.prefix_pmfs[1], Pmf::point_mass(3));
+        let (pmfs, _) = q.chain_snapshot(&pm);
+        assert_eq!(pmfs.len(), 2);
+        assert_eq!(pmfs[1], Pmf::point_mass(3));
     }
 
     #[test]
     fn pop_head_refuses_while_busy() {
-        let pm = pet_matrix();
         let mut q = queue();
         q.set_running(task(9, 1, 10_000), SimTime(0), SimTime(100));
-        q.admit(task(0, 1, 10_000), &pm);
-        assert!(q.pop_head_for_start(&pm).is_none());
+        q.admit(task(0, 1, 10_000));
+        assert!(q.pop_head_for_start().is_none());
     }
 
     #[test]
     fn generation_bumps_on_start_and_cancel() {
-        let pm = pet_matrix();
         let mut q = queue();
         let g1 = q.set_running(task(0, 1, 10_000), SimTime(0), SimTime(10));
         q.complete_running();
@@ -562,38 +738,77 @@ mod tests {
         let rt = q.cancel_running();
         assert_eq!(rt.task.id, TaskId(1));
         assert!(q.generation() > g2);
-        let _ = pm;
     }
 
     #[test]
     fn reactive_drops_remove_expired_tasks() {
         let pm = pet_matrix();
         let mut q = queue();
-        q.admit(task(0, 1, 100), &pm);
-        q.admit(task(1, 1, 900), &pm);
-        let dropped = q.drop_missed_deadlines(SimTime(500), &pm);
+        q.admit(task(0, 1, 100));
+        q.admit(task(1, 1, 900));
+        let dropped = q.drop_missed_deadlines(SimTime(500));
         assert_eq!(dropped.len(), 1);
         assert_eq!(dropped[0].id, TaskId(0));
         assert_eq!(q.waiting_len(), 1);
-        assert_eq!(q.prefix_pmfs.len(), 2);
+        assert_eq!(q.chain_snapshot(&pm).0.len(), 2);
     }
 
     #[test]
-    fn remove_waiting_rebuilds_chain() {
+    fn remove_waiting_repairs_suffix_only() {
         let pm = pet_matrix();
         let mut q = queue();
-        q.admit(task(0, 0, 10_000), &pm);
-        q.admit(task(1, 1, 10_000), &pm);
-        q.admit(task(2, 1, 10_000), &pm);
-        let removed = q.remove_waiting(&[TaskId(1)], &pm);
+        q.admit(task(0, 0, 10_000));
+        q.admit(task(1, 1, 10_000));
+        q.admit(task(2, 1, 10_000));
+        let removed = q.remove_waiting(&[TaskId(1)]);
         assert_eq!(removed.len(), 1);
         assert_eq!(q.waiting_len(), 2);
         // Chain is now PET(t0) ∗ PET(t2) = {2,4}·δ(3) → {5:0.5, 7:0.5}.
-        assert_eq!(q.prefix_pmfs.len(), 3);
+        let (pmfs, _) = q.chain_snapshot(&pm);
+        assert_eq!(pmfs.len(), 3);
         assert!(
-            (q.prefix_pmfs[2].prob_at(5) - 0.5).abs() < 1e-12
-                && (q.prefix_pmfs[2].prob_at(7) - 0.5).abs() < 1e-12
+            (pmfs[2].prob_at(5) - 0.5).abs() < 1e-12
+                && (pmfs[2].prob_at(7) - 0.5).abs() < 1e-12
         );
+    }
+
+    #[test]
+    fn remove_waiting_batch_uses_sorted_lookup() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        for i in 0..4 {
+            q.admit(task(i, 1, 10_000));
+        }
+        // Unsorted id batch, with one id that is not present.
+        let removed =
+            q.remove_waiting(&[TaskId(3), TaskId(0), TaskId(99), TaskId(2)]);
+        let ids: Vec<TaskId> = removed.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![TaskId(0), TaskId(2), TaskId(3)]);
+        assert_eq!(q.waiting_len(), 1);
+        assert_eq!(q.waiting().next().unwrap().id, TaskId(1));
+        let (pmfs, _) = q.chain_snapshot(&pm);
+        assert_eq!(pmfs[1], Pmf::point_mass(3));
+    }
+
+    #[test]
+    fn coalesced_mutations_match_fresh_rebuild() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        for i in 0..4 {
+            q.admit(task(i, (i % 2) as u16, 10_000));
+        }
+        // Several structural changes with no query in between: pop the
+        // head, drop one mid-queue task, admit a replacement.
+        let _ = q.pop_head_for_start().unwrap();
+        q.remove_waiting(&[TaskId(2)]);
+        q.admit(task(9, 0, 10_000));
+        // One lazy repair must now equal a from-scratch rebuild exactly.
+        let incremental = q.chain_snapshot(&pm);
+        let mut fresh = queue();
+        for t in q.waiting() {
+            fresh.admit(*t);
+        }
+        assert_eq!(incremental, fresh.chain_snapshot(&pm));
     }
 
     #[test]
@@ -601,11 +816,11 @@ mod tests {
         let pm = pet_matrix();
         let mut q = queue();
         // Two type-1 tasks (δ(3) each) then a type-0 task.
-        q.admit(task(0, 1, 10_000), &pm);
-        q.admit(task(1, 1, 10_000), &pm);
+        q.admit(task(0, 1, 10_000));
+        q.admit(task(1, 1, 10_000));
         // Task 2's deadline bin: base 0 + 3 + 3 + {2:.5,4:.5} ⇒ bins 8/10.
         // With deadline at bin 8 (tick 900) chance is 0.5.
-        q.admit(task(2, 0, 900), &pm);
+        q.admit(task(2, 0, 900));
         // Decide: drop task 0 only; task 2's chance must then *improve*
         // to bins 5/7 ⇒ certain (deadline bin 8).
         let mut seen = Vec::new();
@@ -624,11 +839,40 @@ mod tests {
     }
 
     #[test]
+    fn plan_drops_allows_reentrant_chance_queries() {
+        // A pruner's decide callback may ask read-only estimate queries
+        // against the same queue mid-walk (e.g. "would a fresh task
+        // still fit?"); the walk must neither panic nor let the nested
+        // query clobber its base distribution.
+        let pm = pet_matrix();
+        let mut q = queue();
+        q.admit(task(0, 1, 10_000));
+        q.admit(task(1, 1, 10_000));
+        q.admit(task(2, 0, 900)); // chance 0.5 behind two δ(3) tasks
+        let spec = pm.bin_spec();
+        let mut seen = Vec::new();
+        let drops = q.plan_drops(spec, &pm, SimTime(0), |task, chance| {
+            let probe =
+                Task::new(99, TaskTypeId(0), SimTime(0), SimTime(10_000));
+            let nested = q.chance_if_appended(spec, &pm, SimTime(0), &probe);
+            assert!((0.0..=1.0).contains(&nested), "nested {nested}");
+            seen.push((task.id, chance));
+            task.id == TaskId(0)
+        });
+        assert_eq!(drops, vec![TaskId(0)]);
+        // Same chances as the non-reentrant walk: dropping task 0 lifts
+        // task 2 from 0.5 to certain (see plan_drops_recomputes_...).
+        let last = seen.last().unwrap();
+        assert_eq!(last.0, TaskId(2));
+        assert!((last.1 - 1.0).abs() < 1e-12, "chance {}", last.1);
+    }
+
+    #[test]
     fn plan_drops_uses_cached_prefixes_when_nothing_drops() {
         let pm = pet_matrix();
         let mut q = queue();
-        q.admit(task(0, 1, 350), &pm); // bin 3 vs deadline bin 2 → 0
-        q.admit(task(1, 1, 10_000), &pm);
+        q.admit(task(0, 1, 350)); // bin 3 vs deadline bin 2 → 0
+        q.admit(task(1, 1, 10_000));
         let mut chances = Vec::new();
         let drops = q.plan_drops(pm.bin_spec(), &pm, SimTime(0), |_, c| {
             chances.push(c);
@@ -651,7 +895,7 @@ mod tests {
         // Overdue running task: floor at now + 1.
         assert_eq!(q.expected_ready_ticks(&pm, SimTime(400)), 401.0);
         // Plus a waiting type-0 (E = (3+0.5)·100 = 350).
-        q.admit(task(1, 0, 10_000), &pm);
+        q.admit(task(1, 0, 10_000));
         assert_eq!(q.expected_ready_ticks(&pm, SimTime(100)), 700.0);
     }
 
@@ -660,12 +904,14 @@ mod tests {
         let pm = pet_matrix();
         let mut q = queue();
         q.set_running(task(0, 1, 10_000), SimTime(0), SimTime(10));
-        q.admit(task(1, 1, 10_000), &pm);
-        q.admit(task(2, 0, 10_000), &pm);
+        q.admit(task(1, 1, 10_000));
+        q.admit(task(2, 0, 10_000));
         let all = q.drain_all();
         assert_eq!(all.len(), 3);
         assert_eq!(q.waiting_len(), 0);
         assert!(!q.is_busy());
+        // The chain is reset to the empty-queue state.
+        assert_eq!(q.chain_snapshot(&pm).0, vec![Pmf::point_mass(0)]);
     }
 
     #[test]

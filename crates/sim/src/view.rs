@@ -199,7 +199,7 @@ mod tests {
     fn committed_tasks_shift_the_view() {
         let (mut queues, pet) = setup();
         let task = Task::new(0, TaskTypeId(0), SimTime(0), SimTime(5_000));
-        queues[0].admit(task, &pet);
+        queues[0].admit(task);
         let view = SystemView::new(SimTime(0), &queues, &pet);
         assert_eq!(view.free_slots(MachineId(0)), 1);
         assert_eq!(view.waiting_len(MachineId(0)), 1);

@@ -43,12 +43,12 @@ fn mapping_ops_on_empty_queue_are_noops() {
 
     // Every operation a mapping event performs must tolerate a machine
     // whose queue holds nothing at all.
-    assert!(q.drop_missed_deadlines(SimTime(1_000_000), &pet).is_empty());
-    assert!(q.remove_waiting(&[TaskId(42)], &pet).is_empty());
+    assert!(q.drop_missed_deadlines(SimTime(1_000_000)).is_empty());
+    assert!(q.remove_waiting(&[TaskId(42)]).is_empty());
     assert!(q
         .plan_drops(pet.bin_spec(), &pet, SimTime(500), |_, _| true)
         .is_empty());
-    assert!(q.pop_head_for_start(&pet).is_none());
+    assert!(q.pop_head_for_start().is_none());
     assert!(q.drain_all().is_empty());
     assert_eq!(q.expected_ready_ticks(&pet, SimTime(700)), 700.0);
 
@@ -64,12 +64,11 @@ fn mapping_ops_on_empty_queue_are_noops() {
 
 #[test]
 fn remove_waiting_ignores_unknown_ids() {
-    let pet = pet_matrix();
     let mut q = empty_queue();
-    q.admit(task(0, 1, 10_000), &pet);
+    q.admit(task(0, 1, 10_000));
     // Dropping ids that are not (or no longer) in the queue — e.g. a
     // pruner decision raced by a reactive drop — must be a no-op.
-    let removed = q.remove_waiting(&[TaskId(7), TaskId(99)], &pet);
+    let removed = q.remove_waiting(&[TaskId(7), TaskId(99)]);
     assert!(removed.is_empty());
     assert_eq!(q.waiting_len(), 1);
 }

@@ -1,10 +1,14 @@
 //! Property-based fuzzing of the machine-queue estimator state.
 //!
-//! The incremental prefix-chain maintenance (extend on admit, rebuild on
-//! pop/drop) is the simulator's most intricate invariant. These tests
-//! drive a queue through random operation sequences and assert that the
-//! incrementally-maintained estimates always equal those of a freshly
-//! rebuilt queue with identical contents.
+//! The lazy incremental prefix-chain maintenance (single tail
+//! convolution on admit, suffix-only repair after pops and drops,
+//! coalescing of back-to-back mutations) is the simulator's most
+//! intricate invariant. These tests drive a queue through random
+//! operation sequences and assert that the incrementally-maintained
+//! chains and estimates always equal those of a freshly rebuilt queue
+//! with identical contents — the chains **bit-for-bit**, because the
+//! incremental repair performs the exact same convolve-then-truncate
+//! operations a from-scratch rebuild does.
 
 use proptest::prelude::*;
 use taskprune_model::{
@@ -19,6 +23,10 @@ enum Op {
     PopHeadForStart,
     CompleteRunning,
     DropByIndex(usize),
+    /// Proactive batch drop: every waiting index whose bit is set in the
+    /// mask is removed in one `remove_waiting` call (exercises the
+    /// sorted-id lookup and the first-changed-position invalidation).
+    DropBatch(u8),
     ReactiveDrops(u64),
 }
 
@@ -28,6 +36,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
         Just(Op::PopHeadForStart),
         Just(Op::CompleteRunning),
         (0usize..6).prop_map(Op::DropByIndex),
+        any::<u8>().prop_map(Op::DropBatch),
         (0u64..20_000).prop_map(Op::ReactiveDrops),
     ]
 }
@@ -47,11 +56,7 @@ fn pet_matrix() -> PetMatrix {
 
 /// Replays the queue's current waiting list into a fresh queue, which
 /// recomputes every chain from scratch.
-fn rebuild_reference(
-    q: &MachineQueue,
-    pet: &PetMatrix,
-    capacity: usize,
-) -> MachineQueue {
+fn rebuild_reference(q: &MachineQueue, capacity: usize) -> MachineQueue {
     let cluster = Cluster::one_per_type(1);
     let mut fresh =
         MachineQueue::new(cluster.machine(MachineId(0)), capacity, 256);
@@ -59,9 +64,65 @@ fn rebuild_reference(
         fresh.set_running(rt.task, rt.start, rt.actual_finish);
     }
     for task in q.waiting() {
-        fresh.admit(*task, pet);
+        fresh.admit(*task);
     }
     fresh
+}
+
+/// Applies one fuzz op to `q`, threading the id counter and the clock —
+/// the single definition both equivalence proptests replay, so a new
+/// `Op` variant cannot be exercised in one test but not the other.
+fn apply_op(
+    q: &mut MachineQueue,
+    op: Op,
+    next_id: &mut u64,
+    now: &mut SimTime,
+) {
+    match op {
+        Op::Admit(type_id) => {
+            if q.free_slots() > 0 {
+                let task = Task::new(
+                    *next_id,
+                    TaskTypeId(type_id),
+                    *now,
+                    SimTime(now.ticks() + 1_500 + *next_id * 37),
+                );
+                *next_id += 1;
+                q.admit(task);
+            }
+        }
+        Op::PopHeadForStart => {
+            if let Some(task) = q.pop_head_for_start() {
+                *now = SimTime(now.ticks() + 50);
+                q.set_running(task, *now, SimTime(now.ticks() + 400));
+            }
+        }
+        Op::CompleteRunning => {
+            if q.is_busy() {
+                let rt = q.complete_running();
+                *now = SimTime(now.ticks().max(rt.actual_finish.ticks()));
+            }
+        }
+        Op::DropByIndex(i) => {
+            let ids: Vec<TaskId> = q.waiting().map(|t| t.id).collect();
+            if let Some(&id) = ids.get(i) {
+                q.remove_waiting(&[id]);
+            }
+        }
+        Op::DropBatch(mask) => {
+            let ids: Vec<TaskId> = q
+                .waiting()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << (i % 8)) != 0)
+                .map(|(_, t)| t.id)
+                .collect();
+            q.remove_waiting(&ids);
+        }
+        Op::ReactiveDrops(advance) => {
+            *now = SimTime(now.ticks() + advance);
+            q.drop_missed_deadlines(*now);
+        }
+    }
 }
 
 proptest! {
@@ -83,55 +144,19 @@ proptest! {
         let mut now = SimTime(0);
 
         for op in ops {
-            match op {
-                Op::Admit(type_id) => {
-                    if q.free_slots() > 0 {
-                        let task = Task::new(
-                            next_id,
-                            TaskTypeId(type_id),
-                            now,
-                            SimTime(now.ticks() + 1_500 + next_id * 37),
-                        );
-                        next_id += 1;
-                        q.admit(task, &pet);
-                    }
-                }
-                Op::PopHeadForStart => {
-                    if let Some(task) = q.pop_head_for_start(&pet) {
-                        now = SimTime(now.ticks() + 50);
-                        q.set_running(
-                            task,
-                            now,
-                            SimTime(now.ticks() + 400),
-                        );
-                    }
-                }
-                Op::CompleteRunning => {
-                    if q.is_busy() {
-                        let rt = q.complete_running();
-                        now = SimTime(
-                            now.ticks().max(rt.actual_finish.ticks()),
-                        );
-                    }
-                }
-                Op::DropByIndex(i) => {
-                    let ids: Vec<TaskId> =
-                        q.waiting().map(|t| t.id).collect();
-                    if let Some(&id) = ids.get(i) {
-                        q.remove_waiting(&[id], &pet);
-                    }
-                }
-                Op::ReactiveDrops(advance) => {
-                    now = SimTime(now.ticks() + advance);
-                    q.drop_missed_deadlines(now, &pet);
-                }
-            }
+            apply_op(&mut q, op, &mut next_id, &mut now);
 
             // The invariant: every estimate the schedulers consume must
-            // match a from-scratch rebuild.
-            let reference = rebuild_reference(&q, &pet, capacity);
+            // match a from-scratch rebuild — and the cached chains
+            // themselves must match bit-for-bit.
+            let reference = rebuild_reference(&q, capacity);
             let spec = pet.bin_spec();
             prop_assert_eq!(q.waiting_len(), reference.waiting_len());
+            prop_assert_eq!(
+                q.chain_snapshot(&pet),
+                reference.chain_snapshot(&pet),
+                "incremental chain diverged from a from-scratch rebuild"
+            );
             prop_assert!(
                 (q.expected_ready_ticks(&pet, now)
                     - reference.expected_ready_ticks(&pet, now))
@@ -149,9 +174,9 @@ proptest! {
                     q.chance_if_appended(spec, &pet, now, &probe);
                 let b = reference
                     .chance_if_appended(spec, &pet, now, &probe);
-                prop_assert!(
-                    (a - b).abs() < 1e-9,
-                    "chance diverged: {} vs {} after ops", a, b
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "chance diverged: {} vs {}", a, b
                 );
             }
             // The drop-planning scan (with no drops decided) must report
@@ -168,9 +193,33 @@ proptest! {
             });
             prop_assert_eq!(chances_inc.len(), chances_ref.len());
             for (a, b) in chances_inc.iter().zip(&chances_ref) {
-                prop_assert!((a - b).abs() < 1e-9);
+                prop_assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+    }
+
+    /// A forced full rebuild (the benchmark baseline) must be a no-op
+    /// with respect to the chain contents: whatever lazy state the queue
+    /// is in, repairing and rebuilding agree bit-for-bit.
+    #[test]
+    fn force_full_rebuild_is_idempotent(
+        ops in prop::collection::vec(arb_op(), 1..25)
+    ) {
+        let pet = pet_matrix();
+        let cluster = Cluster::one_per_type(1);
+        let mut q = MachineQueue::new(
+            cluster.machine(MachineId(0)),
+            6,
+            256,
+        );
+        let mut next_id = 0u64;
+        let mut now = SimTime(0);
+        for op in ops {
+            apply_op(&mut q, op, &mut next_id, &mut now);
+        }
+        let lazy = q.chain_snapshot(&pet);
+        q.force_full_rebuild(&pet);
+        prop_assert_eq!(lazy, q.chain_snapshot(&pet));
     }
 
     #[test]
@@ -195,9 +244,7 @@ proptest! {
                             TaskTypeId(type_id),
                             SimTime(0),
                             SimTime(2_000 + next_id * 91),
-                        ),
-                        &pet,
-                    );
+                        ));
                     next_id += 1;
                 }
             }
@@ -217,5 +264,9 @@ proptest! {
         for id in planned {
             prop_assert!(before.contains(&id));
         }
+        // And the cached chain state is untouched by the walk.
+        let snap = q.chain_snapshot(&pet);
+        let reference = rebuild_reference(&q, 8);
+        prop_assert_eq!(snap, reference.chain_snapshot(&pet));
     }
 }

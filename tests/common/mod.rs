@@ -1,0 +1,19 @@
+//! Shared tier-1 scaling knob for the slow integration suites.
+//!
+//! Heavy workloads run at `TASKPRUNE_TEST_SCALE` (default 0.3×) of
+//! their original sizes so the edit loop stays fast; each suite's
+//! `*_full_scale` `#[ignore]` tests pin the original sizes as a second,
+//! heavier tier (`cargo test -- --ignored`).
+
+/// The configured size factor (default 0.3).
+pub fn test_scale() -> f64 {
+    std::env::var("TASKPRUNE_TEST_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.3)
+}
+
+/// `n` scaled by `factor`, rounded, floored at 1.
+pub fn scaled(n: u64, factor: f64) -> u64 {
+    ((n as f64) * factor).round().max(1.0) as u64
+}

@@ -6,6 +6,9 @@ use taskprune::ClusterKind;
 use taskprune_model::{BinSpec, TaskTypeId};
 use taskprune_prob::Pmf;
 
+mod common;
+use common::{scaled, test_scale};
+
 fn het() -> (Cluster, PetMatrix) {
     let (cluster, petgen) = ClusterKind::Heterogeneous.materialise();
     (cluster, petgen.generate())
@@ -64,7 +67,8 @@ fn single_machine_cluster() {
         ],
     );
     let cluster = Cluster::one_per_type(1);
-    let tasks: Vec<Task> = (0..200)
+    let n = scaled(200, test_scale());
+    let tasks: Vec<Task> = (0..n)
         .map(|i| {
             Task::new(
                 i,
@@ -85,7 +89,7 @@ fn single_machine_cluster() {
 fn zero_slack_deadlines_all_fail_cleanly() {
     let (cluster, pet) = het();
     // Deadline equals arrival: nothing can ever complete on time.
-    let tasks: Vec<Task> = (0..300)
+    let tasks: Vec<Task> = (0..scaled(300, test_scale()))
         .map(|i| {
             let t = SimTime(i * 100);
             Task::new(i, TaskTypeId((i % 12) as u16), t, t)
@@ -100,12 +104,12 @@ fn zero_slack_deadlines_all_fail_cleanly() {
     assert_eq!(stats.robustness_pct(0), 0.0);
 }
 
-#[test]
-fn identical_deadlines_mass_arrival() {
+fn identical_deadlines_mass_arrival_impl(factor: f64) {
     let (cluster, pet) = het();
-    // 500 tasks all arriving at t=0 with one shared deadline: an
-    // extreme burst; MSD's deadline ordering degenerates entirely.
-    let tasks: Vec<Task> = (0..500)
+    // 500 tasks (at full scale) all arriving at t=0 with one shared
+    // deadline: an extreme burst; MSD's deadline ordering degenerates
+    // entirely.
+    let tasks: Vec<Task> = (0..scaled(500, factor))
         .map(|i| {
             Task::new(
                 i,
@@ -116,6 +120,17 @@ fn identical_deadlines_mass_arrival() {
         })
         .collect();
     run_all_heuristics(&cluster, &pet, &tasks);
+}
+
+#[test]
+fn identical_deadlines_mass_arrival() {
+    identical_deadlines_mass_arrival_impl(test_scale());
+}
+
+#[test]
+#[ignore = "heavy tier: original full-size burst"]
+fn identical_deadlines_mass_arrival_full_scale() {
+    identical_deadlines_mass_arrival_impl(1.0);
 }
 
 #[test]
@@ -133,7 +148,7 @@ fn deterministic_point_mass_pets() {
         ],
     );
     let cluster = Cluster::one_per_type(2);
-    let tasks: Vec<Task> = (0..100)
+    let tasks: Vec<Task> = (0..scaled(100, test_scale()))
         .map(|i| {
             Task::new(
                 i,
@@ -150,13 +165,14 @@ fn deterministic_point_mass_pets() {
     assert_eq!(stats.unreported(), 0);
 }
 
-#[test]
-fn extreme_oversubscription_survives() {
+fn extreme_oversubscription_impl(factor: f64) {
     let (cluster, pet) = het();
-    // ~10x capacity: nearly everything must be pruned or expire.
+    // ~10x capacity: nearly everything must be pruned or expire. The
+    // span shrinks with the task count so the density (and thus the
+    // oversubscription regime) is scale-invariant.
     let trial = WorkloadConfig {
-        total_tasks: 3_000,
-        span_tu: 60.0,
+        total_tasks: scaled(3_000, factor) as usize,
+        span_tu: 60.0 * factor,
         ..WorkloadConfig::paper_default(55)
     }
     .generate_trial(&pet, 0);
@@ -169,6 +185,17 @@ fn extreme_oversubscription_survives() {
     assert!(
         stats.count(TaskOutcome::DroppedProactive) > 0 || stats.deferrals > 0
     );
+}
+
+#[test]
+fn extreme_oversubscription_survives() {
+    extreme_oversubscription_impl(test_scale());
+}
+
+#[test]
+#[ignore = "heavy tier: original 3000-task overload"]
+fn extreme_oversubscription_full_scale() {
+    extreme_oversubscription_impl(1.0);
 }
 
 #[test]
@@ -196,9 +223,10 @@ fn trial_smaller_than_trim_window() {
 #[test]
 fn queue_capacity_one_still_flows() {
     let (cluster, pet) = het();
+    let factor = test_scale();
     let trial = WorkloadConfig {
-        total_tasks: 400,
-        span_tu: 100.0,
+        total_tasks: scaled(400, factor) as usize,
+        span_tu: 100.0 * factor,
         ..WorkloadConfig::paper_default(66)
     }
     .generate_trial(&pet, 0);
@@ -212,12 +240,11 @@ fn queue_capacity_one_still_flows() {
     assert!(stats.count(TaskOutcome::CompletedOnTime) > 0);
 }
 
-#[test]
-fn cancel_running_late_policy_end_to_end() {
+fn cancel_running_late_impl(factor: f64) {
     let (cluster, pet) = het();
     let trial = WorkloadConfig {
-        total_tasks: 1_000,
-        span_tu: 150.0,
+        total_tasks: scaled(1_000, factor) as usize,
+        span_tu: 150.0 * factor,
         slack_range: (0.3, 0.8), // tight deadlines → mid-run expiries
         ..WorkloadConfig::paper_default(77)
     }
@@ -247,4 +274,15 @@ fn cancel_running_late_policy_end_to_end() {
         stats.count(TaskOutcome::CompletedLate),
         without.count(TaskOutcome::CompletedLate)
     );
+}
+
+#[test]
+fn cancel_running_late_policy_end_to_end() {
+    cancel_running_late_impl(test_scale());
+}
+
+#[test]
+#[ignore = "heavy tier: original 1000-task cancellation workload"]
+fn cancel_running_late_full_scale() {
+    cancel_running_late_impl(1.0);
 }

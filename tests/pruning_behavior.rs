@@ -4,16 +4,25 @@
 use taskprune::prelude::*;
 use taskprune::ClusterKind;
 
-fn setup() -> (Cluster, PetMatrix, taskprune_workload::WorkloadTrial) {
+mod common;
+use common::{scaled, test_scale};
+
+fn setup_with(
+    factor: f64,
+) -> (Cluster, PetMatrix, taskprune_workload::WorkloadTrial) {
     let (cluster, petgen) = ClusterKind::Heterogeneous.materialise();
     let pet = petgen.generate();
     let trial = WorkloadConfig {
-        total_tasks: 2_500,
-        span_tu: 300.0, // heavy oversubscription
+        total_tasks: scaled(2_500, factor) as usize,
+        span_tu: 300.0 * factor, // heavy oversubscription
         ..WorkloadConfig::paper_default(11)
     }
     .generate_trial(&pet, 0);
     (cluster, pet, trial)
+}
+
+fn setup() -> (Cluster, PetMatrix, taskprune_workload::WorkloadTrial) {
+    setup_with(test_scale())
 }
 
 fn run(
@@ -177,9 +186,13 @@ fn pruned_tasks_are_counted_not_lost() {
     );
 }
 
-#[test]
-fn wasted_work_shrinks_monotonically_with_mechanism_strength() {
-    let (cluster, pet, trial) = setup();
+fn wasted_work_monotonic_impl(
+    (cluster, pet, trial): (
+        Cluster,
+        PetMatrix,
+        taskprune_workload::WorkloadTrial,
+    ),
+) {
     let bare = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(21))
         .heuristic(HeuristicKind::Mm)
         .run(&trial.tasks);
@@ -189,4 +202,26 @@ fn wasted_work_shrinks_monotonically_with_mechanism_strength() {
         run(&cluster, &pet, &trial.tasks, PruningConfig::paper_default());
     assert!(defer_only.wasted_fraction() < bare.wasted_fraction());
     assert!(full.wasted_fraction() <= defer_only.wasted_fraction() + 0.02);
+}
+
+#[test]
+fn wasted_work_shrinks_monotonically_with_mechanism_strength() {
+    wasted_work_monotonic_impl(setup());
+}
+
+/// Heavy tier (`cargo test -- --ignored`): the §IV behaviour contracts
+/// at the paper-sized 2 500-task workload.
+#[test]
+#[ignore = "heavy tier: original 2500-task oversubscribed workload"]
+fn full_scale_contracts() {
+    let (cluster, pet, trial) = setup_with(1.0);
+    let defer =
+        run(&cluster, &pet, &trial.tasks, PruningConfig::defer_only(0.5));
+    assert!(defer.deferrals > 0);
+    assert_eq!(defer.count(TaskOutcome::DroppedProactive), 0);
+    let full =
+        run(&cluster, &pet, &trial.tasks, PruningConfig::paper_default());
+    assert_eq!(full.unreported(), 0);
+    assert!(full.count(TaskOutcome::DroppedProactive) > 0);
+    wasted_work_monotonic_impl((cluster, pet, trial));
 }
