@@ -81,7 +81,7 @@ fn bench_queue_maintenance(c: &mut Criterion) {
                 |bench, _| {
                     bench.iter(|| {
                         let head = q.pop_head_for_start().unwrap();
-                        q.set_running(head, SimTime(0), SimTime(1));
+                        q.set_running(head, SimTime(0));
                         q.complete_running();
                         q.admit(probe_task(next_id));
                         next_id += 1;

@@ -1,23 +1,36 @@
-//! Machine-readable mapping-event perf baseline.
+//! Machine-readable mapping-event perf trajectory.
 //!
 //! Times the queue-estimator mutation cycles a mapping event performs —
 //! tail drops, mid-queue drops, and the pop/admit steady-state cycle —
 //! under the lazy incremental chain maintenance and under a forced
 //! from-scratch rebuild (the pre-incremental cost profile), across
-//! queue depths {4, 16, 64} × PET supports {64, 512, 4096}. Writes
-//! `results/BENCH_mapping_event.json` so CI and later PRs can diff the
-//! perf trajectory.
+//! queue depths {4, 16, 64} × PET supports {64, 512, 4096}.
 //!
-//! Flags: `--smoke` (small grid for CI), `--out DIR`.
+//! Each invocation **appends** a commit-stamped run to the series in
+//! `results/BENCH_mapping_event.json` (migrating the pre-series
+//! single-report format on first contact), so the file accumulates one
+//! entry per PR and the perf trajectory is diffable across history.
+//!
+//! Flags:
+//! * `--smoke`        small grid for CI;
+//! * `--out DIR`      series directory (default `results`);
+//! * `--commit LABEL` stamp for this run (default: `git rev-parse
+//!   --short HEAD`, falling back to `unknown`);
+//! * `--check`        exit non-zero when this run's geometric-mean
+//!   `incremental_ns` is >15 % slower than the previous run over the
+//!   matching scenarios (the CI regression gate).
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 use taskprune_bench::chainbench::{
     probe_task, wide_pet_matrix, wide_queue, CHAIN_DEPTHS, CHAIN_SUPPORTS,
 };
-use taskprune_bench::report::{BenchEntry, BenchReport};
+use taskprune_bench::report::{BenchEntry, BenchSeries};
 use taskprune_model::{PetMatrix, SimTime};
 use taskprune_sim::queue::MachineQueue;
+
+/// The CI regression threshold: mean slowdown beyond this fails `--check`.
+const REGRESSION_THRESHOLD: f64 = 0.15;
 
 /// Nanoseconds per call of `f`, doubling the iteration count until the
 /// measurement window is long enough to trust.
@@ -75,7 +88,7 @@ fn steady_cycle(q: &mut MachineQueue, pet: &PetMatrix, scratch: bool) -> f64 {
         if scratch {
             q.force_full_rebuild(pet);
         }
-        q.set_running(head, SimTime(0), SimTime(1));
+        q.set_running(head, SimTime(0));
         q.complete_running();
         q.admit(probe_task(next_id));
         next_id += 1;
@@ -83,14 +96,33 @@ fn steady_cycle(q: &mut MachineQueue, pet: &PetMatrix, scratch: bool) -> f64 {
     })
 }
 
+/// `git rev-parse --short HEAD`, or `unknown` outside a work tree.
+fn head_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
     let out_dir = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "results".to_string());
+    let commit = args
+        .iter()
+        .position(|a| a == "--commit")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(head_commit);
 
     let (depths, supports): (&[usize], &[usize]) = if smoke {
         (&[4, 16], &[64])
@@ -135,15 +167,35 @@ fn main() {
         }
     }
 
-    let report = BenchReport {
-        name: "mapping_event".to_string(),
-        description: "Queue-estimator mutation cycles per mapping event \
-                      (remove/admit/pop + chance query): lazy incremental \
-                      prefix-chain maintenance vs forced from-scratch \
-                      rebuilds. ns per cycle, release build."
-            .to_string(),
-        entries,
-    };
-    let path = report.write_file(&out_dir).expect("write bench baseline");
-    println!("wrote {path}");
+    let mut series = BenchSeries::load_or_new(
+        &out_dir,
+        "mapping_event",
+        "Per-PR perf trajectory of the queue-estimator mutation cycles a \
+         mapping event performs (remove/admit/pop + chance query): lazy \
+         incremental prefix-chain maintenance vs forced from-scratch \
+         rebuilds. ns per cycle, release build; one commit-stamped run \
+         appended per invocation. The regression gate compares the \
+         machine-relative incremental-vs-scratch speedup, not absolute ns.",
+    )
+    .expect("unreadable bench series — fix or remove it before appending");
+    series.append(commit.clone(), entries);
+    let gate = series.check_regression(REGRESSION_THRESHOLD);
+    let path = series.write_file(&out_dir).expect("write bench series");
+    println!("wrote {path} ({} runs, newest {commit})", series.runs.len());
+    match gate {
+        Ok(ratio) => {
+            println!(
+                "perf gate: incremental-vs-scratch speedup degradation \
+                 {ratio:.3}x vs previous run (threshold {:.2}x)",
+                1.0 + REGRESSION_THRESHOLD
+            );
+        }
+        Err(report) => {
+            eprintln!("{report}");
+            if check {
+                std::process::exit(1);
+            }
+            eprintln!("(--check not set: recorded but not failing)");
+        }
+    }
 }

@@ -2,7 +2,7 @@
 //! machine-readable JSON baselines for micro-benchmarks (the perf
 //! trajectory CI tracks across PRs).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::io::Write;
 use std::path::Path;
 use taskprune::ExperimentResult;
@@ -88,7 +88,7 @@ impl FigureReport {
 /// queue of `queue_depth` tasks whose PETs have `pet_support` bins,
 /// measured under the incremental chain maintenance and under a forced
 /// from-scratch rebuild.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchEntry {
     /// Scenario label (e.g. "tail_drop", "mid_drop", "steady_cycle").
     pub scenario: String,
@@ -107,7 +107,7 @@ pub struct BenchEntry {
 
 /// A machine-readable micro-benchmark baseline, written as
 /// `BENCH_<name>.json` so CI and later PRs can diff perf trajectories.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
     /// Benchmark family name (file becomes `BENCH_<name>.json`).
     pub name: String,
@@ -130,6 +130,178 @@ impl BenchReport {
         let path = dir.join(format!("BENCH_{}.json", self.name));
         let mut f = std::fs::File::create(&path)?;
         f.write_all(self.to_json().as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path.display().to_string())
+    }
+}
+
+/// One commit-stamped measurement run inside a [`BenchSeries`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRun {
+    /// Commit (or other label) the run was measured at.
+    pub commit: String,
+    /// Measured scenarios.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// A per-PR perf trajectory: the same micro-benchmark measured at a
+/// sequence of commits, appended to on every run of the baseline bin.
+/// CI compares the newest run against the previous one and fails the
+/// build on a regression (see [`BenchSeries::check_regression`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchSeries {
+    /// Benchmark family name (file is `BENCH_<name>.json`).
+    pub name: String,
+    /// Free-form description of what was measured and how.
+    pub description: String,
+    /// Measurement runs, oldest first.
+    pub runs: Vec<BenchRun>,
+}
+
+impl BenchSeries {
+    /// Loads the series from `<dir>/BENCH_<name>.json`. A *missing*
+    /// file starts a fresh, empty series; a file in the pre-series
+    /// single-report format is migrated into a series whose sole run is
+    /// labelled `pre-series`. A file that exists but parses as neither
+    /// format is an **error** — callers must not append-and-overwrite a
+    /// tracked history they failed to read (a truncated write or merge
+    /// conflict would silently destroy the whole trajectory otherwise).
+    pub fn load_or_new(
+        dir: &str,
+        name: &str,
+        description: &str,
+    ) -> std::io::Result<Self> {
+        let path = Path::new(dir).join(format!("BENCH_{name}.json"));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Self {
+                    name: name.to_string(),
+                    description: description.to_string(),
+                    runs: Vec::new(),
+                });
+            }
+            Err(e) => return Err(e),
+        };
+        if let Ok(series) = serde_json::from_str::<BenchSeries>(&text) {
+            if !series.runs.is_empty() {
+                return Ok(series);
+            }
+        }
+        if let Ok(report) = serde_json::from_str::<BenchReport>(&text) {
+            if !report.entries.is_empty() {
+                return Ok(Self {
+                    name: report.name,
+                    description: report.description,
+                    runs: vec![BenchRun {
+                        commit: "pre-series".to_string(),
+                        entries: report.entries,
+                    }],
+                });
+            }
+        }
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{} exists but is neither a bench series nor a legacy \
+                 report; refusing to overwrite the tracked history",
+                path.display()
+            ),
+        ))
+    }
+
+    /// Appends one commit-stamped run.
+    pub fn append(
+        &mut self,
+        commit: impl Into<String>,
+        entries: Vec<BenchEntry>,
+    ) {
+        self.runs.push(BenchRun {
+            commit: commit.into(),
+            entries,
+        });
+    }
+
+    /// Compares the newest run against the previous one over the
+    /// matching (scenario, depth, support) triples. The gated quantity
+    /// is the **speedup** (`scratch_ns / incremental_ns`): because both
+    /// timings inside one run come from the same machine, the speedup
+    /// is machine-relative, so a run recorded on a developer laptop and
+    /// one recorded on a CI runner remain comparable — a slower host
+    /// scales both numerators and denominators. A regression in the
+    /// incremental path shows up as a *drop* in speedup against the
+    /// stable from-scratch yardstick.
+    ///
+    /// Returns `Err` with a human-readable report when the
+    /// geometric-mean speedup degradation exceeds `1 + threshold`
+    /// (e.g. `threshold = 0.15` = incremental lost 15 % vs scratch);
+    /// `Ok` carries the mean degradation factor (1.0 when fewer than
+    /// two runs or no matching triples exist; values below 1.0 mean
+    /// the incremental path got relatively faster). The geometric mean
+    /// over all matching scenarios — rather than any single one —
+    /// keeps the gate robust to per-scenario timer noise.
+    pub fn check_regression(&self, threshold: f64) -> Result<f64, String> {
+        let [.., prev, last] = self.runs.as_slice() else {
+            return Ok(1.0);
+        };
+        let mut log_sum = 0.0;
+        let mut n = 0usize;
+        let mut detail = String::new();
+        for e in &last.entries {
+            let Some(base) = prev.entries.iter().find(|p| {
+                p.scenario == e.scenario
+                    && p.queue_depth == e.queue_depth
+                    && p.pet_support == e.pet_support
+            }) else {
+                continue;
+            };
+            if base.speedup <= 0.0 || e.speedup <= 0.0 {
+                continue;
+            }
+            // > 1.0 when the incremental path lost ground vs scratch.
+            let degradation = base.speedup / e.speedup;
+            log_sum += degradation.ln();
+            n += 1;
+            detail.push_str(&format!(
+                "  {} d{} s{}: speedup {:.2}x -> {:.2}x ({:+.1} %)\n",
+                e.scenario,
+                e.queue_depth,
+                e.pet_support,
+                base.speedup,
+                e.speedup,
+                100.0 * (1.0 / degradation - 1.0),
+            ));
+        }
+        if n == 0 {
+            return Ok(1.0);
+        }
+        let mean_degradation = (log_sum / n as f64).exp();
+        if mean_degradation > 1.0 + threshold {
+            Err(format!(
+                "perf regression: geometric-mean incremental-vs-scratch \
+                 speedup degraded by {:.3}x, exceeding {:.3}x ({} vs {})\n{}",
+                mean_degradation,
+                1.0 + threshold,
+                last.commit,
+                prev.commit,
+                detail,
+            ))
+        } else {
+            Ok(mean_degradation)
+        }
+    }
+
+    /// Writes `<out_dir>/BENCH_<name>.json` and returns its path.
+    pub fn write_file(&self, out_dir: &str) -> std::io::Result<String> {
+        let dir = Path::new(out_dir);
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(
+            serde_json::to_string(self)
+                .expect("bench series serialises")
+                .as_bytes(),
+        )?;
         f.write_all(b"\n")?;
         Ok(path.display().to_string())
     }
@@ -190,5 +362,115 @@ mod tests {
         assert!(dir.join("figX.md").exists());
         assert!(dir.join("figX.csv").exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An entry whose incremental path is `ns` against a fixed 1000 ns
+    /// scratch yardstick — so a larger `ns` means a *worse* speedup.
+    fn entry(scenario: &str, ns: f64) -> BenchEntry {
+        BenchEntry {
+            scenario: scenario.to_string(),
+            queue_depth: 16,
+            pet_support: 64,
+            incremental_ns: ns,
+            scratch_ns: 1_000.0,
+            speedup: 1_000.0 / ns,
+        }
+    }
+
+    #[test]
+    fn legacy_report_migrates_into_a_series() {
+        let dir = std::env::temp_dir().join("taskprune_series_migrate");
+        let dir_str = dir.to_str().unwrap().to_string();
+        let legacy = BenchReport {
+            name: "probe".to_string(),
+            description: "d".to_string(),
+            entries: vec![entry("tail_drop", 100.0)],
+        };
+        legacy.write_file(&dir_str).unwrap();
+        let series = BenchSeries::load_or_new(&dir_str, "probe", "d").unwrap();
+        assert_eq!(series.runs.len(), 1);
+        assert_eq!(series.runs[0].commit, "pre-series");
+        assert_eq!(series.runs[0].entries.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn series_roundtrips_and_appends() {
+        let dir = std::env::temp_dir().join("taskprune_series_roundtrip");
+        let dir_str = dir.to_str().unwrap().to_string();
+        let mut series =
+            BenchSeries::load_or_new(&dir_str, "probe", "d").unwrap();
+        assert!(series.runs.is_empty());
+        series.append("aaa111", vec![entry("tail_drop", 100.0)]);
+        series.write_file(&dir_str).unwrap();
+        let mut back =
+            BenchSeries::load_or_new(&dir_str, "probe", "d").unwrap();
+        assert_eq!(back.runs.len(), 1);
+        back.append("bbb222", vec![entry("tail_drop", 101.0)]);
+        back.write_file(&dir_str).unwrap();
+        let last = BenchSeries::load_or_new(&dir_str, "probe", "d").unwrap();
+        assert_eq!(last.runs.len(), 2);
+        assert_eq!(last.runs[1].commit, "bbb222");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_series_file_is_an_error_not_an_overwrite() {
+        let dir = std::env::temp_dir().join("taskprune_series_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_str = dir.to_str().unwrap().to_string();
+        std::fs::write(dir.join("BENCH_probe.json"), "{\"truncated\": tru")
+            .unwrap();
+        let err = BenchSeries::load_or_new(&dir_str, "probe", "d")
+            .expect_err("corrupt history must not be silently replaced");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // The corrupt file is untouched.
+        let left =
+            std::fs::read_to_string(dir.join("BENCH_probe.json")).unwrap();
+        assert!(left.starts_with("{\"truncated\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn regression_gate_trips_on_relative_slowdown_only() {
+        let mut series = BenchSeries {
+            name: "probe".to_string(),
+            description: "d".to_string(),
+            runs: Vec::new(),
+        };
+        // Single run: nothing to compare against.
+        series.append("a", vec![entry("tail_drop", 100.0)]);
+        assert_eq!(series.check_regression(0.15), Ok(1.0));
+
+        // Incremental 10 % slower vs the same scratch yardstick: the
+        // speedup dropped 100/1000 -> ~9.09x, degradation 1.1 — under
+        // the gate.
+        series.append("b", vec![entry("tail_drop", 110.0)]);
+        let ratio = series.check_regression(0.15).expect("within threshold");
+        assert!((ratio - 1.1).abs() < 1e-9, "ratio {ratio}");
+
+        // 30 % relative slowdown: the gate must trip and name commits.
+        series.append("c", vec![entry("tail_drop", 143.0)]);
+        let err = series.check_regression(0.15).unwrap_err();
+        assert!(err.contains("perf regression"), "{err}");
+        assert!(err.contains('c') && err.contains('b'));
+
+        // A uniformly slower *machine* (both timings scaled 3x) keeps
+        // the speedup unchanged: no false positive across hosts.
+        let cross_machine = BenchEntry {
+            scenario: "tail_drop".to_string(),
+            queue_depth: 16,
+            pet_support: 64,
+            incremental_ns: 3.0 * 143.0,
+            scratch_ns: 3_000.0,
+            speedup: 3_000.0 / (3.0 * 143.0),
+        };
+        series.append("d", vec![cross_machine]);
+        let ratio = series.check_regression(0.15).expect("machine-neutral");
+        assert!((ratio - 1.0).abs() < 1e-9, "ratio {ratio}");
+
+        // Unmatched scenarios are ignored entirely.
+        series.append("e", vec![entry("other", 9_999.0)]);
+        assert_eq!(series.check_regression(0.15), Ok(1.0));
     }
 }

@@ -1,12 +1,16 @@
 //! The resource allocator: heuristic + optional pruning + engine, wired
 //! together (Fig. 1c).
+//!
+//! A thin domain-level facade over [`taskprune_sim::SchedulerBuilder`]:
+//! it resolves a [`HeuristicKind`] into a strategy (forcing the
+//! matching allocation mode) and a [`PruningConfig`] into the pruning
+//! mechanism, then builds and drives the engine.
 
 use crate::pruner::{PruningConfig, PruningMechanism};
 use taskprune_heuristics::HeuristicKind;
 use taskprune_model::{Cluster, PetMatrix, Task};
 use taskprune_sim::{
-    AllocationMode, Engine, MappingStrategy, NoPruning, Pruner, SimConfig,
-    SimStats,
+    ConfigError, MappingStrategy, SchedulerBuilder, SimConfig, SimStats,
 };
 
 /// Builder for one simulation run: pick a heuristic, optionally attach
@@ -58,11 +62,7 @@ impl<'a> ResourceAllocator<'a> {
     /// switched to match the heuristic (immediate heuristics force
     /// immediate mode, batch heuristics batch mode).
     pub fn heuristic(mut self, kind: HeuristicKind) -> Self {
-        self.sim.mode = if kind.is_immediate() {
-            AllocationMode::Immediate
-        } else {
-            AllocationMode::Batch
-        };
+        self.sim.mode = kind.allocation_mode();
         self.strategy = Some(kind.make());
         self
     }
@@ -87,28 +87,39 @@ impl<'a> ResourceAllocator<'a> {
         self
     }
 
+    /// Runs the workload and returns its outcome record, surfacing any
+    /// configuration problem as a typed [`ConfigError`].
+    pub fn try_run(self, tasks: &[Task]) -> Result<SimStats, ConfigError> {
+        let mut builder =
+            SchedulerBuilder::new(self.cluster, self.pet).config(self.sim);
+        if let Some(strategy) = self.strategy {
+            builder = builder.strategy(strategy);
+        }
+        if let Some(cfg) = self.pruning {
+            builder = builder
+                .pruner(PruningMechanism::new(cfg, self.pet.n_task_types()));
+        }
+        if let Some(truth) = self.truth {
+            builder = builder.truth(truth);
+        }
+        // The sink is a type parameter, so the traced and untraced runs
+        // build differently-monomorphised engines — the untraced one
+        // pays literally nothing for observability.
+        Ok(match self.trace {
+            Some(log) => builder.sink(log).build()?.run(tasks),
+            None => builder.build()?.run(tasks),
+        })
+    }
+
     /// Runs the workload and returns its outcome record.
     ///
     /// # Panics
-    /// If no heuristic was selected.
+    /// On any configuration the builder rejects — most importantly when
+    /// no heuristic was selected. [`ResourceAllocator::try_run`] is the
+    /// non-panicking variant.
     pub fn run(self, tasks: &[Task]) -> SimStats {
-        let strategy =
-            self.strategy.expect("select a heuristic before running");
-        let pruner: Box<dyn Pruner> = match self.pruning {
-            Some(cfg) => {
-                Box::new(PruningMechanism::new(cfg, self.pet.n_task_types()))
-            }
-            None => Box::new(NoPruning),
-        };
-        let mut engine =
-            Engine::new(self.sim, self.cluster, self.pet, strategy, pruner);
-        if let Some(truth) = self.truth {
-            engine = engine.with_truth(truth);
-        }
-        if let Some(log) = self.trace {
-            engine = engine.with_trace(log);
-        }
-        engine.run(tasks)
+        self.try_run(tasks)
+            .unwrap_or_else(|e| panic!("invalid allocator configuration: {e}"))
     }
 }
 
@@ -171,10 +182,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "select a heuristic")]
+    #[should_panic(expected = "select a mapping heuristic")]
     fn running_without_heuristic_panics() {
         let pet = PetGenConfig::paper_heterogeneous(3).generate();
         let cluster = taskprune_workload::machines::heterogeneous_cluster();
         ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1)).run(&[]);
+    }
+
+    #[test]
+    fn try_run_surfaces_config_errors_without_panicking() {
+        let pet = PetGenConfig::paper_heterogeneous(3).generate();
+        let cluster = taskprune_workload::machines::heterogeneous_cluster();
+        let err = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
+            .try_run(&[])
+            .expect_err("missing heuristic must be rejected");
+        assert_eq!(err, ConfigError::MissingStrategy);
+
+        let mut sim = SimConfig::batch(1);
+        sim.queue_capacity = 0;
+        let err = ResourceAllocator::new(&cluster, &pet, sim)
+            .strategy(HeuristicKind::Mm.make())
+            .try_run(&[])
+            .expect_err("zero capacity must be rejected");
+        assert_eq!(err, ConfigError::ZeroQueueCapacity);
     }
 }

@@ -180,12 +180,17 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
                 cfg.workload.seed,
                 0x51D_0000 + u64::from(trial_idx),
             );
-            let mut alloc = ResourceAllocator::new(&cluster, &pet, sim)
-                .heuristic(cfg.heuristic);
-            if let Some(p) = cfg.pruning {
-                alloc = alloc.pruning(p);
-            }
-            let stats = alloc.run(&trial.tasks);
+            // The allocator resolves this trial's configuration through
+            // the validated SchedulerBuilder; a bad experiment config
+            // fails every trial identically, so surface the typed error
+            // once with context instead of panicking deep in the engine.
+            let stats = ResourceAllocator::new(&cluster, &pet, sim)
+                .heuristic(cfg.heuristic)
+                .pruning_opt(cfg.pruning)
+                .try_run(&trial.tasks)
+                .unwrap_or_else(|e| {
+                    panic!("experiment {:?} rejected: {e}", cfg.label)
+                });
             debug_assert_eq!(stats.unreported(), 0);
             (
                 stats.robustness_pct(PAPER_TRIM),

@@ -89,11 +89,22 @@ impl Pruner for PruningMechanism {
         &mut self,
         view: &SystemView<'_>,
     ) -> Vec<(MachineId, TaskId)> {
+        let mut out = Vec::new();
+        self.select_drops_into(view, &mut out);
+        out
+    }
+
+    /// The real implementation: the scheduler core calls this on the
+    /// hot path with a reused output buffer.
+    fn select_drops_into(
+        &mut self,
+        view: &SystemView<'_>,
+        out: &mut Vec<(MachineId, TaskId)>,
+    ) {
         // Steps 4–6, guarded by the Toggle.
         if !self.toggle.dropping_engaged() {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
         for machine in view.machines() {
             let beta = self.cfg.threshold;
             let fairness = &mut self.fairness;
@@ -112,7 +123,6 @@ impl Pruner for PruningMechanism {
             });
             out.extend(drops.into_iter().map(|id| (machine.id, id)));
         }
-        out
     }
 
     fn should_defer(&mut self, task: &Task, chance: f64) -> bool {

@@ -37,12 +37,26 @@ pub enum Phase2 {
 pub struct TwoPhase {
     name: &'static str,
     phase2: Phase2,
+    /// Reused virtual ready-time per machine (scratch; cleared per
+    /// call).
+    ready: Vec<f64>,
+    /// Reused virtual free-slot count per machine (scratch).
+    slots: Vec<usize>,
+    /// Reused unassigned set as indices into the candidate slice
+    /// (scratch).
+    unassigned: Vec<usize>,
 }
 
 impl TwoPhase {
     /// Creates a two-phase heuristic with the given phase-2 rule.
     pub fn new(name: &'static str, phase2: Phase2) -> Self {
-        Self { name, phase2 }
+        Self {
+            name,
+            phase2,
+            ready: Vec::new(),
+            slots: Vec::new(),
+            unassigned: Vec::new(),
+        }
     }
 }
 
@@ -106,31 +120,50 @@ impl BatchMapper for TwoPhase {
         view: &SystemView<'_>,
         candidates: &[Task],
     ) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        self.select_into(view, candidates, &mut out);
+        out
+    }
+
+    /// The real implementation: the scheduler core calls this on the
+    /// hot path with a reused output buffer, and the virtual machine
+    /// state lives in reused scratch vectors — a steady-state mapping
+    /// round allocates nothing.
+    fn select_into(
+        &mut self,
+        view: &SystemView<'_>,
+        candidates: &[Task],
+        out: &mut Vec<Assignment>,
+    ) {
         let n_machines = view.n_machines();
         // Virtual machine state for this mapping event.
-        let mut ready: Vec<f64> = (0..n_machines)
-            .map(|m| view.expected_ready_ticks(MachineId(m as u16)))
-            .collect();
-        let mut slots: Vec<usize> = (0..n_machines)
-            .map(|m| view.free_slots(MachineId(m as u16)))
-            .collect();
-        let mut unassigned: Vec<&Task> = candidates.iter().collect();
-        let mut out = Vec::new();
+        self.ready.clear();
+        self.ready.extend(
+            (0..n_machines)
+                .map(|m| view.expected_ready_ticks(MachineId(m as u16))),
+        );
+        self.slots.clear();
+        self.slots.extend(
+            (0..n_machines).map(|m| view.free_slots(MachineId(m as u16))),
+        );
+        self.unassigned.clear();
+        self.unassigned.extend(0..candidates.len());
 
-        while !unassigned.is_empty() && slots.iter().any(|&s| s > 0) {
+        while !self.unassigned.is_empty() && self.slots.iter().any(|&s| s > 0) {
             // Phase 1: best machine (min expected completion) per task,
             // among machines with a free virtual slot.
             // Phase 2: pick the winning pair by the heuristic's rule.
             let mut winner: Option<(usize, MachineId, f64)> = None; // (idx, machine, completion)
-            for (idx, task) in unassigned.iter().enumerate() {
+            for (idx, &ti) in self.unassigned.iter().enumerate() {
+                let task = &candidates[ti];
                 let mut best: Option<(MachineId, f64)> = None;
                 for m in 0..n_machines {
-                    if slots[m] == 0 {
+                    if self.slots[m] == 0 {
                         continue;
                     }
                     let mid = MachineId(m as u16);
-                    let completion =
-                        ready[m] + view.expected_exec_ticks(mid, task.type_id);
+                    let completion = self.ready[m]
+                        + view.expected_exec_ticks(mid, task.type_id);
                     if best.is_none_or(|(_, c)| completion < c) {
                         best = Some((mid, completion));
                     }
@@ -143,16 +176,17 @@ impl BatchMapper for TwoPhase {
                     (Some((widx, _, wcomp)), Phase2::MinCompletion) => {
                         completion < wcomp
                             || (completion == wcomp
-                                && task.id < unassigned[widx].id)
+                                && task.id
+                                    < candidates[self.unassigned[widx]].id)
                     }
                     (Some((widx, _, wcomp)), Phase2::SoonestDeadline) => {
-                        let w = unassigned[widx];
+                        let w = &candidates[self.unassigned[widx]];
                         task.deadline < w.deadline
                             || (task.deadline == w.deadline
                                 && completion < wcomp)
                     }
                     (Some((widx, _, wcomp)), Phase2::MaxUrgency) => {
-                        let w = unassigned[widx];
+                        let w = &candidates[self.unassigned[widx]];
                         let u_t =
                             urgency(task.deadline.ticks() as f64, completion);
                         let u_w = urgency(w.deadline.ticks() as f64, wcomp);
@@ -166,16 +200,15 @@ impl BatchMapper for TwoPhase {
             let Some((idx, machine, _)) = winner else {
                 break;
             };
-            let task = unassigned.swap_remove(idx);
+            let task = &candidates[self.unassigned.swap_remove(idx)];
             let m = machine.0 as usize;
-            ready[m] += view.expected_exec_ticks(machine, task.type_id);
-            slots[m] -= 1;
+            self.ready[m] += view.expected_exec_ticks(machine, task.type_id);
+            self.slots[m] -= 1;
             out.push(Assignment {
                 task: task.id,
                 machine,
             });
         }
-        out
     }
 }
 

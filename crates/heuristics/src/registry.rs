@@ -9,7 +9,7 @@ use crate::immediate::{
     KPercentBest, MinimumCompletionTime, MinimumExecutionTime,
     OpportunisticLoadBalancing, RoundRobin, SwitchingAlgorithm,
 };
-use taskprune_sim::MappingStrategy;
+use taskprune_sim::{AllocationMode, MappingStrategy};
 
 /// Every heuristic of the paper's Fig. 3, by name.
 #[derive(
@@ -126,6 +126,17 @@ impl HeuristicKind {
         )
     }
 
+    /// The allocation mode this heuristic requires — what a
+    /// [`taskprune_sim::SchedulerBuilder`] configuration must match for
+    /// [`HeuristicKind::make`]'s strategy to pass validation.
+    pub fn allocation_mode(self) -> AllocationMode {
+        if self.is_immediate() {
+            AllocationMode::Immediate
+        } else {
+            AllocationMode::Batch
+        }
+    }
+
     /// Instantiates the heuristic as an engine-ready strategy.
     pub fn make(self) -> MappingStrategy {
         match self {
@@ -193,6 +204,7 @@ mod tests {
         {
             assert!(matches!(kind.make(), MappingStrategy::Immediate(_)));
             assert!(kind.is_immediate());
+            assert_eq!(kind.allocation_mode(), AllocationMode::Immediate);
         }
         for kind in HeuristicKind::BATCH
             .iter()
@@ -200,6 +212,7 @@ mod tests {
         {
             assert!(matches!(kind.make(), MappingStrategy::Batch(_)));
             assert!(!kind.is_immediate());
+            assert_eq!(kind.allocation_mode(), AllocationMode::Batch);
         }
     }
 

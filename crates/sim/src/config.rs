@@ -1,6 +1,7 @@
-//! Simulator configuration.
+//! Simulator configuration and its typed validation errors.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Whether the resource allocator runs in immediate or batch mode
 /// (Fig. 1a vs. 1b of the paper).
@@ -62,11 +63,140 @@ impl SimConfig {
     pub fn effective_capacity(&self) -> usize {
         self.queue_capacity
     }
+
+    /// Validates the static parameters, returning the first problem
+    /// found. [`crate::SchedulerBuilder`] calls this before
+    /// constructing anything.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if self.horizon_bins < MIN_HORIZON_BINS {
+            return Err(ConfigError::HorizonTooSmall {
+                horizon_bins: self.horizon_bins,
+            });
+        }
+        Ok(())
+    }
 }
+
+/// Smallest usable estimator horizon: bin 0 ("now") plus at least one
+/// future bin — anything less lumps *all* probability mass as "too
+/// late" and every chance query degenerates to zero.
+pub const MIN_HORIZON_BINS: u64 = 2;
+
+/// Why a scheduler configuration was rejected by
+/// [`crate::SchedulerBuilder`]. Replaces the panicking validation the
+/// former positional constructor performed mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The cluster has no machines to schedule onto.
+    EmptyCluster,
+    /// `queue_capacity` is zero: no task could ever be admitted.
+    ZeroQueueCapacity,
+    /// `horizon_bins` is below [`MIN_HORIZON_BINS`].
+    HorizonTooSmall {
+        /// The offending value.
+        horizon_bins: u64,
+    },
+    /// The allocation mode and the mapping heuristic disagree (an
+    /// immediate-mode mapper in batch mode, or vice versa).
+    ModeMismatch {
+        /// The configured allocation mode.
+        mode: AllocationMode,
+        /// The name of the mismatched heuristic.
+        heuristic: String,
+    },
+    /// No mapping heuristic was supplied to the builder.
+    MissingStrategy,
+    /// The belief and ground-truth PET matrices disagree on shape or
+    /// bin width, so estimates could not even index correctly.
+    BeliefTruthMismatch {
+        /// Which aspect disagrees ("machine types", "task types",
+        /// "bin width").
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyCluster => {
+                write!(f, "cluster must have at least one machine")
+            }
+            ConfigError::ZeroQueueCapacity => {
+                write!(f, "queue_capacity must be at least 1")
+            }
+            ConfigError::HorizonTooSmall { horizon_bins } => write!(
+                f,
+                "horizon_bins = {horizon_bins} is below the minimum of \
+                 {MIN_HORIZON_BINS}"
+            ),
+            ConfigError::ModeMismatch { mode, heuristic } => {
+                write!(f, "heuristic {heuristic:?} cannot run in {mode:?} mode")
+            }
+            ConfigError::MissingStrategy => {
+                write!(f, "select a mapping heuristic before building")
+            }
+            ConfigError::BeliefTruthMismatch { what } => {
+                write!(f, "belief/truth PET matrices disagree on {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_accepts_paper_defaults() {
+        assert_eq!(SimConfig::batch(1).validate(), Ok(()));
+        assert_eq!(SimConfig::immediate(1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_capacity() {
+        let mut cfg = SimConfig::batch(1);
+        cfg.queue_capacity = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroQueueCapacity));
+    }
+
+    #[test]
+    fn validate_rejects_tiny_horizon() {
+        let mut cfg = SimConfig::batch(1);
+        cfg.horizon_bins = 1;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::HorizonTooSmall { horizon_bins: 1 })
+        );
+    }
+
+    #[test]
+    fn config_error_displays_are_specific() {
+        let errors: Vec<ConfigError> = vec![
+            ConfigError::EmptyCluster,
+            ConfigError::ZeroQueueCapacity,
+            ConfigError::HorizonTooSmall { horizon_bins: 0 },
+            ConfigError::ModeMismatch {
+                mode: AllocationMode::Batch,
+                heuristic: "RR".to_string(),
+            },
+            ConfigError::MissingStrategy,
+            ConfigError::BeliefTruthMismatch { what: "bin width" },
+        ];
+        let rendered: Vec<String> =
+            errors.iter().map(|e| e.to_string()).collect();
+        for (i, a) in rendered.iter().enumerate() {
+            assert!(!a.is_empty());
+            for b in rendered.iter().skip(i + 1) {
+                assert_ne!(a, b, "two errors render identically");
+            }
+        }
+        assert!(rendered[3].contains("RR"));
+    }
 
     #[test]
     fn defaults() {

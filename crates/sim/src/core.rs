@@ -1,0 +1,899 @@
+//! The streaming scheduler core: mapping decisions without a clock
+//! driver.
+//!
+//! [`SchedulerCore`] is the paper's resource allocator (Fig. 1) as a
+//! *clock-free state machine*. It owns the machine queues, the batch
+//! queue, the mapping heuristic and the pruning policy, but it never
+//! schedules an event and never samples an execution time. Callers feed
+//! it reality:
+//!
+//! * [`advance_to`](SchedulerCore::advance_to) moves the core's notion
+//!   of "now" forward;
+//! * [`push_arrival`](SchedulerCore::push_arrival) ingests one task —
+//!   live traffic, a recorded trace, or the §V-B generator all feed this
+//!   same path;
+//! * [`complete`](SchedulerCore::complete) reports that a machine
+//!   finished its running task;
+//! * [`wakeup`](SchedulerCore::wakeup) fires a synthetic mapping event
+//!   (the deferral-starvation safety net).
+//!
+//! Each of these runs one *mapping event* (the paper's Fig. 5
+//! procedure) and records its outcomes as typed [`Decision`]s, drained
+//! with [`drain_decisions`](SchedulerCore::drain_decisions). Tasks the
+//! core wants executed surface as [`Start`] records via
+//! [`drain_starts`](SchedulerCore::drain_starts); the caller decides
+//! when those executions finish and reports back via `complete` — in a
+//! simulation that means sampling a ground-truth duration, in a live
+//! deployment it means waiting for the worker.
+//!
+//! [`crate::Engine`] is the bundled discrete-event driver over this
+//! core; [`crate::SchedulerBuilder`] constructs either.
+//!
+//! # Allocation discipline
+//!
+//! A steady-state mapping event performs no heap allocation in the
+//! core: the reactive-drop list, the candidate list, the proposal list,
+//! the deferred-id set, the drop work-lists, the event report and the
+//! decision/start buffers are all reused arenas, and [`SystemView`]
+//! construction is three borrows on the stack. (The estimator side has
+//! been allocation-free since the convolution arena; see
+//! [`crate::queue`].)
+
+use crate::config::{AllocationMode, SimConfig};
+use crate::queue::MachineQueue;
+use crate::sink::{NullSink, Sink};
+use crate::stats::SimStats;
+use crate::trace::{QueueSnapshot, TraceEvent};
+use crate::traits::{Assignment, EventReport, MappingStrategy, Pruner};
+use crate::view::SystemView;
+use std::collections::HashSet;
+use taskprune_model::{
+    Machine, MachineId, PetMatrix, SimTime, Task, TaskId, TaskOutcome,
+};
+
+/// One scheduling decision the core took during a mapping event.
+///
+/// Decisions are the core's *output stream*: every mapping event appends
+/// the decisions it took, and the caller drains them with
+/// [`SchedulerCore::drain_decisions`]. They mirror the paper's Fig. 5
+/// procedure — reactive drops (Step 1), proactive probabilistic drops
+/// (Steps 3–6), assignments and deferrals (Steps 7–11) — plus the two
+/// immediate-mode outcomes (rejection, optional late cancellation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The task was committed to a machine queue (Step 11).
+    Assign {
+        /// The mapped task.
+        task: TaskId,
+        /// The machine queue it joined.
+        machine: MachineId,
+    },
+    /// The pruner vetoed a proposed mapping; the task stays in the batch
+    /// queue until the next mapping event (Step 10).
+    DeferToBatch {
+        /// The deferred task.
+        task: TaskId,
+    },
+    /// The task's deadline passed while it was pending, so it was
+    /// dropped reactively (Step 1; applied by every configuration).
+    DropReactive {
+        /// The dropped task.
+        task: TaskId,
+    },
+    /// The pruner dropped the task from a machine queue because its
+    /// chance of success fell below the threshold (Steps 4–6).
+    DropProbabilistic {
+        /// The dropped task.
+        task: TaskId,
+    },
+    /// Immediate mode only: the task arrived while every machine queue
+    /// was full and there is no batch queue to hold it (Fig. 1a).
+    Reject {
+        /// The rejected task.
+        task: TaskId,
+    },
+    /// The optional `cancel_running_late` policy cancelled a task whose
+    /// deadline passed mid-execution.
+    CancelRunning {
+        /// The cancelled task.
+        task: TaskId,
+    },
+}
+
+impl Decision {
+    /// The task this decision is about.
+    pub fn task(&self) -> TaskId {
+        match *self {
+            Decision::Assign { task, .. }
+            | Decision::DeferToBatch { task }
+            | Decision::DropReactive { task }
+            | Decision::DropProbabilistic { task }
+            | Decision::Reject { task }
+            | Decision::CancelRunning { task } => task,
+        }
+    }
+}
+
+/// A task the core wants executed: the FCFS head of a machine that just
+/// went idle. The core has already marked the machine busy; the caller
+/// owes it a matching [`SchedulerCore::complete`] once the execution
+/// finishes (however the caller learns that — sampling in a simulation,
+/// a worker callback in a live system).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Start {
+    /// The machine that begins executing (id + type for duration
+    /// lookup).
+    pub machine: Machine,
+    /// The task it executes.
+    pub task: Task,
+}
+
+/// The clock-free scheduling state machine. See the [module
+/// docs](self) for the contract; construct via
+/// [`crate::SchedulerBuilder::build_core`].
+pub struct SchedulerCore<'a, S: Sink = NullSink> {
+    cfg: SimConfig,
+    /// The matrix every *estimate* uses: the scheduler's belief about
+    /// execution times.
+    pet: &'a PetMatrix,
+    strategy: MappingStrategy,
+    pruner: Box<dyn Pruner>,
+    queues: Vec<MachineQueue>,
+    /// Batch-mode arrival queue, in arrival order.
+    arrival_queue: Vec<Task>,
+    now: SimTime,
+    stats: SimStats,
+    sink: S,
+    /// Decisions taken since the last drain.
+    decisions: Vec<Decision>,
+    /// Spare buffer swapped with `decisions` on drain (zero-alloc
+    /// draining).
+    decisions_spare: Vec<Decision>,
+    /// Starts issued since the last drain, in machine-index order per
+    /// phase.
+    starts: Vec<Start>,
+    /// Spare buffer swapped with `starts` on drain.
+    starts_spare: Vec<Start>,
+    /// Reused per-event report fed to the pruner (Accounting input).
+    report: EventReport,
+    /// Reused per-round buffer for the batch mapping loop's candidates.
+    candidate_buf: Vec<Task>,
+    /// Reused per-round buffer for the heuristic's proposals.
+    proposal_buf: Vec<Assignment>,
+    /// Reused per-event set of task ids the pruner deferred.
+    deferred_buf: HashSet<TaskId>,
+    /// Reused per-event buffer for the pruner's proactive drops.
+    drop_buf: Vec<(MachineId, TaskId)>,
+    /// Reused per-machine id list sliced out of `drop_buf`.
+    drop_ids_buf: Vec<TaskId>,
+}
+
+impl<'a, S: Sink> SchedulerCore<'a, S> {
+    /// Builds the core. Crate-internal: [`crate::SchedulerBuilder`] is
+    /// the validated public constructor.
+    pub(crate) fn from_parts(
+        cfg: SimConfig,
+        machines: &[Machine],
+        pet: &'a PetMatrix,
+        strategy: MappingStrategy,
+        pruner: Box<dyn Pruner>,
+        sink: S,
+    ) -> Self {
+        let capacity = cfg.effective_capacity();
+        let queues = machines
+            .iter()
+            .map(|&m| MachineQueue::new(m, capacity, cfg.horizon_bins))
+            .collect();
+        Self {
+            cfg,
+            pet,
+            strategy,
+            pruner,
+            queues,
+            arrival_queue: Vec::new(),
+            now: SimTime::ZERO,
+            stats: SimStats::new(0, pet.n_task_types()),
+            sink,
+            decisions: Vec::new(),
+            decisions_spare: Vec::new(),
+            starts: Vec::new(),
+            starts_spare: Vec::new(),
+            report: EventReport::default(),
+            candidate_buf: Vec::new(),
+            proposal_buf: Vec::new(),
+            deferred_buf: HashSet::new(),
+            drop_buf: Vec::new(),
+            drop_ids_buf: Vec::new(),
+        }
+    }
+
+    /// Replaces the sink, preserving all scheduling state. Used by the
+    /// builder to switch the observability type parameter.
+    pub(crate) fn with_sink<T: Sink>(self, sink: T) -> SchedulerCore<'a, T> {
+        SchedulerCore {
+            cfg: self.cfg,
+            pet: self.pet,
+            strategy: self.strategy,
+            pruner: self.pruner,
+            queues: self.queues,
+            arrival_queue: self.arrival_queue,
+            now: self.now,
+            stats: self.stats,
+            sink,
+            decisions: self.decisions,
+            decisions_spare: self.decisions_spare,
+            starts: self.starts,
+            starts_spare: self.starts_spare,
+            report: self.report,
+            candidate_buf: self.candidate_buf,
+            proposal_buf: self.proposal_buf,
+            deferred_buf: self.deferred_buf,
+            drop_buf: self.drop_buf,
+            drop_ids_buf: self.drop_ids_buf,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The streaming API.
+    // ------------------------------------------------------------------
+
+    /// Moves the core's clock forward to `t`. Time never runs backwards;
+    /// callers advance to an instant before reporting what happened at
+    /// that instant.
+    ///
+    /// # Panics
+    /// If `t` is before the current clock — in release builds too: a
+    /// silently rewound clock would corrupt every subsequent deadline
+    /// check and trace timestamp, which is far worse than failing
+    /// loudly (the check is one predictable branch per event).
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(
+            t >= self.now,
+            "time ran backwards: advance_to({t:?}) with now = {:?}",
+            self.now
+        );
+        self.now = t;
+    }
+
+    /// Ingests one arriving task and runs its mapping event at the
+    /// current clock. The task's `arrival` must not lie in the future
+    /// (advance the clock first); a task delivered late simply arrives
+    /// now.
+    pub fn push_arrival(&mut self, task: Task) {
+        debug_assert!(
+            task.arrival <= self.now,
+            "arrival {:?} is in the future; call advance_to first",
+            task.arrival
+        );
+        self.begin_report();
+        self.stats.record_arrival(&task);
+        self.sink
+            .record(self.now, TraceEvent::Arrived { task: task.id });
+        self.mapping_event(Some(task));
+    }
+
+    /// Reports that `machine` finished executing `task` at the current
+    /// clock, then runs the completion's mapping event.
+    ///
+    /// Returns `false` (and does nothing) when the machine is not
+    /// currently running that task — the stale-completion case after a
+    /// cancellation, which event-driven callers hit when a completion
+    /// they scheduled was overtaken.
+    pub fn complete(&mut self, machine: MachineId, task: TaskId) -> bool {
+        let q = &mut self.queues[machine.0 as usize];
+        if q.running().map(|rt| rt.task.id) != Some(task) {
+            return false; // stale: the start this completion belonged to
+                          // was cancelled
+        }
+        let rt = q.complete_running();
+        let on_time = self.now <= rt.task.deadline;
+        self.begin_report();
+        self.stats.record_outcome(
+            &rt.task,
+            if on_time {
+                TaskOutcome::CompletedOnTime
+            } else {
+                TaskOutcome::CompletedLate
+            },
+        );
+        self.stats
+            .record_execution((self.now - rt.start).ticks(), on_time);
+        self.report.completed.push((rt.task, on_time));
+        self.sink.record(
+            self.now,
+            TraceEvent::Completed {
+                task: rt.task.id,
+                on_time,
+            },
+        );
+        self.mapping_event(None);
+        true
+    }
+
+    /// Runs a synthetic mapping event at the current clock: nothing
+    /// arrived and nothing completed, but pending work should be
+    /// reconsidered (deferred tasks retried or reactively dropped).
+    pub fn wakeup(&mut self) {
+        self.begin_report();
+        self.mapping_event(None);
+    }
+
+    /// Returns every decision taken since the last drain, oldest first,
+    /// and clears the internal buffer (a buffer swap — no allocation).
+    pub fn drain_decisions(&mut self) -> &[Decision] {
+        std::mem::swap(&mut self.decisions, &mut self.decisions_spare);
+        self.decisions.clear();
+        &self.decisions_spare
+    }
+
+    /// Returns every execution start issued since the last drain, oldest
+    /// first, and clears the internal buffer. Each start owes the core a
+    /// [`SchedulerCore::complete`] call.
+    pub fn drain_starts(&mut self) -> &[Start] {
+        std::mem::swap(&mut self.starts, &mut self.starts_spare);
+        self.starts.clear();
+        &self.starts_spare
+    }
+
+    /// Finishes the run: every task still pending (batch queue or
+    /// machine queues) is recorded as [`TaskOutcome::Unfinished`], and
+    /// the outcome record — including the sink's trace, if it keeps one
+    /// — is returned.
+    pub fn finish(mut self) -> SimStats {
+        let leftovers: Vec<Task> = self
+            .queues
+            .iter_mut()
+            .flat_map(|q| q.drain_all())
+            .chain(self.arrival_queue.drain(..))
+            .collect();
+        for t in leftovers {
+            self.stats.record_outcome(&t, TaskOutcome::Unfinished);
+        }
+        self.stats.end_time = self.now;
+        self.stats.trace = self.sink.into_trace();
+        self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for drivers and live callers.
+    // ------------------------------------------------------------------
+
+    /// The core's current clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The static configuration the core was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The belief PET matrix all estimates use.
+    pub fn pet(&self) -> &'a PetMatrix {
+        self.pet
+    }
+
+    /// Number of machines in the cluster.
+    pub fn n_machines(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Number of tasks waiting in the batch queue.
+    pub fn pending_batch_len(&self) -> usize {
+        self.arrival_queue.len()
+    }
+
+    /// The soonest deadline among batch-queue tasks, if any — drivers
+    /// schedule the wakeup safety net just past it when no other event
+    /// will ever fire.
+    pub fn earliest_pending_deadline(&self) -> Option<SimTime> {
+        self.arrival_queue.iter().map(|t| t.deadline).min()
+    }
+
+    /// The accumulated outcome record (read-only while running;
+    /// [`SchedulerCore::finish`] returns it by value).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// A read-only view of the current system state — what mappers and
+    /// pruners see.
+    pub fn view(&self) -> SystemView<'_> {
+        SystemView::new(self.now, &self.queues, self.pet)
+    }
+
+    // ------------------------------------------------------------------
+    // The mapping event (Fig. 5).
+    // ------------------------------------------------------------------
+
+    /// Resets the reused event report for a new mapping event.
+    fn begin_report(&mut self) {
+        self.report.now = self.now;
+        self.report.completed.clear();
+        self.report.dropped_reactive.clear();
+        self.report.cancelled.clear();
+    }
+
+    /// One mapping event: the Fig. 5 procedure. `arriving` is the task
+    /// whose arrival triggered the event, if any.
+    fn mapping_event(&mut self, arriving: Option<Task>) {
+        self.stats.mapping_events += 1;
+        if self.sink.snapshot_due(self.stats.mapping_events) {
+            let snapshot = QueueSnapshot {
+                at: self.now,
+                batch_queue_len: self.arrival_queue.len(),
+                waiting_total: self
+                    .queues
+                    .iter()
+                    .map(|q| q.waiting_len())
+                    .sum(),
+                busy_machines: self
+                    .queues
+                    .iter()
+                    .filter(|q| q.is_busy())
+                    .count(),
+            };
+            self.sink.record_snapshot(snapshot);
+        }
+
+        // The arriving task joins the batch queue before any decision
+        // (in immediate mode it is held aside for direct placement).
+        let immediate_arrival = match self.cfg.mode {
+            AllocationMode::Batch => {
+                if let Some(t) = arriving {
+                    self.arrival_queue.push(t);
+                }
+                None
+            }
+            AllocationMode::Immediate => arriving,
+        };
+
+        // Optional policy: cancel running tasks that are already late.
+        if self.cfg.cancel_running_late {
+            for i in 0..self.queues.len() {
+                let late = self.queues[i]
+                    .running()
+                    .is_some_and(|rt| rt.task.is_past_deadline(self.now));
+                if late {
+                    let rt = self.queues[i].cancel_running();
+                    self.stats.record_outcome(
+                        &rt.task,
+                        TaskOutcome::CancelledRunning,
+                    );
+                    self.stats
+                        .record_execution((self.now - rt.start).ticks(), false);
+                    self.report.cancelled.push(rt.task);
+                    self.decisions
+                        .push(Decision::CancelRunning { task: rt.task.id });
+                    self.sink.record(
+                        self.now,
+                        TraceEvent::Cancelled { task: rt.task.id },
+                    );
+                }
+            }
+        }
+
+        // Step 1: reactive drops of deadline-missed pending tasks.
+        let now = self.now;
+        let report = &mut self.report;
+        self.arrival_queue.retain(|t| {
+            if t.is_past_deadline(now) {
+                report.dropped_reactive.push(*t);
+                false
+            } else {
+                true
+            }
+        });
+        for q in &mut self.queues {
+            report.dropped_reactive.extend(q.drop_missed_deadlines(now));
+        }
+        for i in 0..self.report.dropped_reactive.len() {
+            let t = self.report.dropped_reactive[i];
+            self.stats.record_outcome(&t, TaskOutcome::DroppedReactive);
+            self.decisions.push(Decision::DropReactive { task: t.id });
+            self.sink
+                .record(self.now, TraceEvent::DroppedReactive { task: t.id });
+        }
+
+        // Freed machines pick up their queue heads immediately (physical
+        // FCFS behaviour; also frees waiting slots for this event's
+        // mapping phase).
+        self.start_ready_machines();
+
+        // Step 2: feed Accounting / Toggle / Fairness.
+        self.pruner.begin_event(&self.report);
+
+        // Steps 3–6: proactive dropping from machine queues.
+        let mut drops = std::mem::take(&mut self.drop_buf);
+        drops.clear();
+        {
+            let view = SystemView::new(self.now, &self.queues, self.pet);
+            self.pruner.select_drops_into(&view, &mut drops);
+        }
+        if !drops.is_empty() {
+            // Stable-sort by machine so each queue gets one batched
+            // removal, preserving the pruner's per-machine drop order.
+            drops.sort_by_key(|&(machine, _)| machine);
+            let mut ids = std::mem::take(&mut self.drop_ids_buf);
+            let mut i = 0;
+            while i < drops.len() {
+                let machine = drops[i].0;
+                ids.clear();
+                while i < drops.len() && drops[i].0 == machine {
+                    ids.push(drops[i].1);
+                    i += 1;
+                }
+                let removed =
+                    self.queues[machine.0 as usize].remove_waiting(&ids);
+                for t in removed {
+                    self.stats
+                        .record_outcome(&t, TaskOutcome::DroppedProactive);
+                    self.decisions
+                        .push(Decision::DropProbabilistic { task: t.id });
+                    self.sink.record(
+                        self.now,
+                        TraceEvent::DroppedProactive { task: t.id },
+                    );
+                }
+            }
+            self.drop_ids_buf = ids;
+        }
+        self.drop_buf = drops;
+
+        // Steps 7–11: the mapping loop.
+        match self.cfg.mode {
+            AllocationMode::Immediate => {
+                if let Some(task) = immediate_arrival {
+                    self.place_immediately(task);
+                }
+            }
+            AllocationMode::Batch => self.batch_mapping_loop(),
+        }
+
+        // Machines that were idle with an empty queue may have just
+        // received work.
+        self.start_ready_machines();
+    }
+
+    /// Immediate-mode placement (Fig. 1a): the mapper picks a machine;
+    /// if that queue is full the first machine with a free slot takes
+    /// the task instead, and if every queue is full the task is rejected
+    /// — there is no arrival queue to hold it.
+    fn place_immediately(&mut self, task: Task) {
+        if self.queues.iter().all(|q| q.free_slots() == 0) {
+            self.stats.record_outcome(&task, TaskOutcome::Rejected);
+            self.decisions.push(Decision::Reject { task: task.id });
+            self.sink
+                .record(self.now, TraceEvent::Rejected { task: task.id });
+            return;
+        }
+        let chosen = {
+            let view = SystemView::new(self.now, &self.queues, self.pet);
+            match &mut self.strategy {
+                MappingStrategy::Immediate(m) => m.place(&view, &task),
+                MappingStrategy::Batch(_) => {
+                    panic!("immediate mode requires an immediate-mode mapper")
+                }
+            }
+        };
+        let machine = if self.queues[chosen.0 as usize].free_slots() > 0 {
+            chosen
+        } else {
+            let fallback = self
+                .queues
+                .iter()
+                .position(|q| q.free_slots() > 0)
+                .expect("checked above that a free slot exists");
+            MachineId(fallback as u16)
+        };
+        self.queues[machine.0 as usize].admit(task);
+        self.decisions.push(Decision::Assign {
+            task: task.id,
+            machine,
+        });
+        self.sink.record(
+            self.now,
+            TraceEvent::Mapped {
+                task: task.id,
+                machine,
+            },
+        );
+    }
+
+    /// The Step 7 while-loop: heuristic proposes, pruner vetoes,
+    /// survivors dispatch, repeat until no progress is possible.
+    fn batch_mapping_loop(&mut self) {
+        let mapper = match &mut self.strategy {
+            MappingStrategy::Batch(m) => m,
+            MappingStrategy::Immediate(_) => {
+                panic!("batch mode requires a batch-mode mapper")
+            }
+        };
+        let mut deferred = std::mem::take(&mut self.deferred_buf);
+        deferred.clear();
+        let mut candidates = std::mem::take(&mut self.candidate_buf);
+        let mut proposals = std::mem::take(&mut self.proposal_buf);
+        loop {
+            if self.queues.iter().all(|q| q.free_slots() == 0) {
+                break;
+            }
+            candidates.clear();
+            candidates.extend(
+                self.arrival_queue
+                    .iter()
+                    .filter(|t| !deferred.contains(&t.id))
+                    .copied(),
+            );
+            if candidates.is_empty() {
+                break;
+            }
+            proposals.clear();
+            {
+                let view = SystemView::new(self.now, &self.queues, self.pet);
+                mapper.select_into(&view, &candidates, &mut proposals);
+            }
+            if proposals.is_empty() {
+                break;
+            }
+            let mut progressed = false;
+            for pi in 0..proposals.len() {
+                let assignment = proposals[pi];
+                if deferred.contains(&assignment.task) {
+                    continue;
+                }
+                let machine_idx = assignment.machine.0 as usize;
+                if self.queues[machine_idx].free_slots() == 0 {
+                    continue; // stale proposal for a queue filled earlier
+                }
+                let Some(pos) = self
+                    .arrival_queue
+                    .iter()
+                    .position(|t| t.id == assignment.task)
+                else {
+                    continue;
+                };
+                let task = self.arrival_queue[pos];
+                let chance = {
+                    let view =
+                        SystemView::new(self.now, &self.queues, self.pet);
+                    view.chance_if_appended(assignment.machine, &task)
+                };
+                if self.pruner.should_defer(&task, chance) {
+                    deferred.insert(task.id);
+                    self.stats.deferrals += 1;
+                    self.decisions
+                        .push(Decision::DeferToBatch { task: task.id });
+                    self.sink.record(
+                        self.now,
+                        TraceEvent::Deferred { task: task.id },
+                    );
+                    progressed = true; // candidate set shrank
+                } else {
+                    self.arrival_queue.remove(pos);
+                    self.queues[machine_idx].admit(task);
+                    self.decisions.push(Decision::Assign {
+                        task: task.id,
+                        machine: assignment.machine,
+                    });
+                    self.sink.record(
+                        self.now,
+                        TraceEvent::Mapped {
+                            task: task.id,
+                            machine: assignment.machine,
+                        },
+                    );
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        self.deferred_buf = deferred;
+        self.candidate_buf = candidates;
+        self.proposal_buf = proposals;
+    }
+
+    /// Starts the queue head on every idle machine (non-preemptive FCFS)
+    /// and records a [`Start`] for the caller, in machine-index order.
+    fn start_ready_machines(&mut self) {
+        for i in 0..self.queues.len() {
+            let q = &mut self.queues[i];
+            if q.is_busy() {
+                continue;
+            }
+            if let Some(task) = q.pop_head_for_start() {
+                q.set_running(task, self.now);
+                let machine = q.machine();
+                self.starts.push(Start { machine, task });
+                self.sink.record(
+                    self.now,
+                    TraceEvent::Started {
+                        task: task.id,
+                        machine: machine.id,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl<S: Sink> std::fmt::Debug for SchedulerCore<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerCore")
+            .field("now", &self.now)
+            .field("mode", &self.cfg.mode)
+            .field("heuristic", &self.strategy.name())
+            .field("pruner", &self.pruner.name())
+            .field("machines", &self.queues.len())
+            .field("pending_batch", &self.arrival_queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::SchedulerBuilder;
+    use crate::traits::{BatchMapper, NoPruning};
+    use taskprune_model::{BinSpec, Cluster, TaskTypeId};
+    use taskprune_prob::Pmf;
+
+    fn det_pet() -> PetMatrix {
+        PetMatrix::new(BinSpec::new(100), 1, 1, vec![Pmf::point_mass(2)])
+    }
+
+    struct ToZero;
+    impl BatchMapper for ToZero {
+        fn name(&self) -> &str {
+            "to-zero"
+        }
+        fn select(
+            &mut self,
+            view: &SystemView<'_>,
+            candidates: &[Task],
+        ) -> Vec<Assignment> {
+            candidates
+                .iter()
+                .take(view.free_slots(MachineId(0)))
+                .map(|t| Assignment {
+                    task: t.id,
+                    machine: MachineId(0),
+                })
+                .collect()
+        }
+    }
+
+    fn core<'a>(
+        pet: &'a PetMatrix,
+        cluster: &Cluster,
+    ) -> SchedulerCore<'a, NullSink> {
+        SchedulerBuilder::new(cluster, pet)
+            .config(SimConfig::batch(1))
+            .strategy(MappingStrategy::Batch(Box::new(ToZero)))
+            .pruner(NoPruning)
+            .build_core()
+            .expect("valid configuration")
+    }
+
+    #[test]
+    fn push_arrival_assigns_and_starts() {
+        let pet = det_pet();
+        let cluster = Cluster::one_per_type(1);
+        let mut c = core(&pet, &cluster);
+        let t = Task::new(0, TaskTypeId(0), SimTime(0), SimTime(100_000));
+        c.push_arrival(t);
+        let decisions = c.drain_decisions().to_vec();
+        assert_eq!(
+            decisions,
+            vec![Decision::Assign {
+                task: TaskId(0),
+                machine: MachineId(0)
+            }]
+        );
+        let starts = c.drain_starts();
+        assert_eq!(starts.len(), 1);
+        assert_eq!(starts[0].task.id, TaskId(0));
+        // Buffers drained: nothing left.
+        assert!(c.drain_decisions().is_empty());
+        assert!(c.drain_starts().is_empty());
+    }
+
+    #[test]
+    fn complete_reports_outcome_and_is_stale_safe() {
+        let pet = det_pet();
+        let cluster = Cluster::one_per_type(1);
+        let mut c = core(&pet, &cluster);
+        let t = Task::new(0, TaskTypeId(0), SimTime(0), SimTime(1_000));
+        c.push_arrival(t);
+        let start = c.drain_starts()[0];
+        // A completion for a task the machine is not running is stale.
+        assert!(!c.complete(start.machine.id, TaskId(77)));
+        c.advance_to(SimTime(250));
+        assert!(c.complete(start.machine.id, TaskId(0)));
+        // Completing again is stale (machine idle).
+        assert!(!c.complete(start.machine.id, TaskId(0)));
+        let stats = c.finish();
+        assert_eq!(
+            stats.outcome(TaskId(0)),
+            Some(TaskOutcome::CompletedOnTime)
+        );
+        assert_eq!(stats.unreported(), 0);
+    }
+
+    #[test]
+    fn late_arrival_is_dropped_reactively() {
+        let pet = det_pet();
+        let cluster = Cluster::one_per_type(1);
+        let mut c = core(&pet, &cluster);
+        c.advance_to(SimTime(5_000));
+        // Deadline already passed when the task finally arrives.
+        let t = Task::new(0, TaskTypeId(0), SimTime(4_000), SimTime(4_500));
+        c.push_arrival(t);
+        assert_eq!(
+            c.drain_decisions(),
+            &[Decision::DropReactive { task: TaskId(0) }]
+        );
+        let stats = c.finish();
+        assert_eq!(
+            stats.outcome(TaskId(0)),
+            Some(TaskOutcome::DroppedReactive)
+        );
+    }
+
+    #[test]
+    fn finish_marks_pending_work_unfinished() {
+        let pet = det_pet();
+        let cluster = Cluster::one_per_type(1);
+        let mut c = core(&pet, &cluster);
+        for i in 0..3 {
+            let t = Task::new(i, TaskTypeId(0), SimTime(0), SimTime(100_000));
+            c.push_arrival(t);
+        }
+        assert_eq!(c.pending_batch_len(), 0); // capacity 4: all queued
+        let stats = c.finish();
+        // One running + two waiting, none completed.
+        assert_eq!(stats.count(TaskOutcome::Unfinished), 3);
+    }
+
+    #[test]
+    fn decision_task_accessor_covers_all_variants() {
+        let id = TaskId(7);
+        let all = [
+            Decision::Assign {
+                task: id,
+                machine: MachineId(0),
+            },
+            Decision::DeferToBatch { task: id },
+            Decision::DropReactive { task: id },
+            Decision::DropProbabilistic { task: id },
+            Decision::Reject { task: id },
+            Decision::CancelRunning { task: id },
+        ];
+        assert!(all.iter().all(|d| d.task() == id));
+    }
+
+    #[test]
+    fn wakeup_retries_pending_batch_tasks() {
+        let pet = det_pet();
+        let cluster = Cluster::one_per_type(1);
+        let mut c = core(&pet, &cluster);
+        // Fill waiting slots (4) + 1 running + 2 stuck in batch queue.
+        for i in 0..7 {
+            let t = Task::new(i, TaskTypeId(0), SimTime(0), SimTime(400));
+            c.push_arrival(t);
+        }
+        assert_eq!(c.pending_batch_len(), 2);
+        assert_eq!(c.earliest_pending_deadline(), Some(SimTime(400)));
+        c.drain_decisions();
+        c.advance_to(SimTime(500));
+        c.wakeup();
+        // Both batch-queue stragglers expired at the wakeup.
+        let reactive = c
+            .drain_decisions()
+            .iter()
+            .filter(|d| matches!(d, Decision::DropReactive { .. }))
+            .count();
+        assert!(reactive >= 2, "stragglers dropped, got {reactive}");
+    }
+}

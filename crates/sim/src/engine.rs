@@ -1,133 +1,126 @@
-//! The simulation engine: event loop and mapping-event orchestration.
+//! The discrete-event driver over the streaming scheduler core.
 //!
-//! Each event (arrival / completion) triggers one *mapping event*
-//! following the paper's Fig. 5 procedure:
+//! [`Engine`] owns what a *simulation* adds on top of scheduling: the
+//! event queue, the ground-truth execution-time matrix, and the RNG
+//! that samples actual durations. All mapping decisions live in
+//! [`SchedulerCore`] — the engine merely advances the clock, feeds
+//! arrivals and completions into the core, and turns the core's
+//! [`Start`](crate::core::Start) records into future completion events.
 //!
-//! 1. drop every pending task that already missed its deadline
-//!    (reactive; applied by all configurations per §II);
-//! 2. report completions and misses to the pruner (Accounting input);
-//! 3. –6. let the pruner select proactive drops from machine queues;
-//! 7. –11. loop: ask the mapping heuristic for assignments, let the
-//!    pruner veto (defer) individual mappings, dispatch the rest —
-//!    until the batch queue is exhausted or machine queues are full.
+//! Two entry points drive the same code path:
 //!
-//! Execution is non-preemptive FCFS: when a machine goes idle its queue
-//! head starts immediately; the actual duration is sampled from the PET
-//! matrix (the same distribution the estimators reason over).
+//! * [`Engine::run`] — the legacy all-up-front interface: a slice of
+//!   tasks sorted by arrival (the `WorkloadTrial` layout);
+//! * [`Engine::run_stream`] — the streaming interface: any iterator of
+//!   tasks ordered by arrival time, consumed one arrival at a time
+//!   (recorded traces, generators, live adapters).
+//!
+//! `run` is a thin shim over `run_stream`, so the two are bit-identical
+//! by construction — the root determinism suite pins this.
 
-use crate::config::{AllocationMode, SimConfig};
+use crate::config::SimConfig;
+use crate::core::SchedulerCore;
 use crate::event::{Event, EventKind, EventQueue};
-use crate::queue::MachineQueue;
+use crate::sink::{NullSink, Sink};
 use crate::stats::SimStats;
-use crate::trace::{QueueSnapshot, TraceEvent, TraceLog};
-use crate::traits::{EventReport, MappingStrategy, Pruner};
-use crate::view::SystemView;
-use std::collections::HashSet;
-use taskprune_model::{
-    Cluster, MachineId, PetMatrix, SimTime, Task, TaskId, TaskOutcome,
-};
+use crate::trace::TraceLog;
+use crate::traits::{MappingStrategy, Pruner};
+use taskprune_model::{Cluster, PetMatrix, SimTime, Task};
 use taskprune_prob::rng::Xoshiro256PlusPlus;
 
-/// A single-run simulation engine. Construct, then call [`Engine::run`].
-pub struct Engine<'a> {
-    cfg: SimConfig,
-    /// The matrix every *estimate* uses (queue chains, chances, expected
-    /// completions): the scheduler's belief about execution times.
-    pet: &'a PetMatrix,
+/// A single-run simulation: a [`SchedulerCore`] plus the event loop
+/// driving it. Construct via [`crate::SchedulerBuilder::build`] (or the
+/// legacy [`Engine::new`]), then call [`Engine::run`] or
+/// [`Engine::run_stream`].
+pub struct Engine<'a, S: Sink = NullSink> {
+    core: SchedulerCore<'a, S>,
     /// The matrix actual durations are sampled from: ground truth.
-    /// Identical to `pet` unless [`Engine::with_truth`] separates them
-    /// to study estimator error.
+    /// Identical to the core's belief matrix unless the builder's
+    /// `truth` separated them to study estimator error.
     truth: &'a PetMatrix,
-    strategy: MappingStrategy,
-    pruner: Box<dyn Pruner>,
-    queues: Vec<MachineQueue>,
-    /// Batch-mode arrival queue, in arrival order.
-    arrival_queue: Vec<Task>,
     events: EventQueue,
-    now: SimTime,
     rng: Xoshiro256PlusPlus,
-    stats: SimStats,
-    trace: Option<TraceLog>,
     wakeup_pending: bool,
-    /// Reused per-event buffer for reactive drops (mapping events fire
-    /// per arrival/completion; per-event allocation is kept near zero).
-    reactive_buf: Vec<Task>,
-    /// Reused per-round buffer for the batch mapping loop's candidates.
-    candidate_buf: Vec<Task>,
 }
 
-impl<'a> Engine<'a> {
+impl<'a> Engine<'a, NullSink> {
     /// Creates an engine for one simulation run.
+    ///
+    /// Legacy positional constructor kept as a compatibility shim over
+    /// [`crate::SchedulerBuilder`]; prefer the builder for anything
+    /// new.
+    ///
+    /// # Panics
+    /// On any configuration the builder would reject (empty cluster,
+    /// zero capacity, degenerate horizon, mode/heuristic mismatch).
     pub fn new(
         cfg: SimConfig,
-        cluster: &Cluster,
+        cluster: &'a Cluster,
         pet: &'a PetMatrix,
         strategy: MappingStrategy,
         pruner: Box<dyn Pruner>,
     ) -> Self {
-        assert!(!cluster.is_empty(), "cluster must have machines");
-        let capacity = cfg.effective_capacity();
-        let queues = cluster
-            .machines()
-            .iter()
-            .map(|&m| MachineQueue::new(m, capacity, cfg.horizon_bins))
-            .collect();
+        crate::build::SchedulerBuilder::new(cluster, pet)
+            .config(cfg)
+            .strategy(strategy)
+            .pruner_boxed(pruner)
+            .build()
+            .unwrap_or_else(|e| panic!("invalid scheduler configuration: {e}"))
+    }
+}
+
+impl<'a, S: Sink> Engine<'a, S> {
+    /// Wraps a built core into a driver. Crate-internal; the builder is
+    /// the public entrance.
+    pub(crate) fn from_core(
+        core: SchedulerCore<'a, S>,
+        truth: &'a PetMatrix,
+        seed: u64,
+    ) -> Self {
         Self {
-            cfg,
-            pet,
-            truth: pet,
-            strategy,
-            pruner,
-            queues,
-            arrival_queue: Vec::new(),
+            core,
+            truth,
             events: EventQueue::new(),
-            now: SimTime::ZERO,
-            rng: Xoshiro256PlusPlus::new(cfg.seed),
-            stats: SimStats::new(0, 0),
-            trace: None,
+            rng: Xoshiro256PlusPlus::new(seed),
             wakeup_pending: false,
-            reactive_buf: Vec::new(),
-            candidate_buf: Vec::new(),
         }
     }
 
     /// Enables execution tracing; the log is returned inside
     /// [`SimStats::trace`] after the run.
-    pub fn with_trace(mut self, log: TraceLog) -> Self {
-        self.trace = Some(log);
-        self
-    }
-
-    /// Appends a lifecycle event when tracing is enabled.
-    #[inline]
-    fn trace_event(&mut self, event: TraceEvent) {
-        if let Some(log) = &mut self.trace {
-            log.record(self.now, event);
+    ///
+    /// Legacy shim over [`crate::SchedulerBuilder::sink`]; note the
+    /// engine's sink type changes to [`TraceLog`].
+    pub fn with_trace(self, log: TraceLog) -> Engine<'a, TraceLog> {
+        Engine {
+            core: self.core.with_sink(log),
+            truth: self.truth,
+            events: self.events,
+            rng: self.rng,
+            wakeup_pending: self.wakeup_pending,
         }
     }
 
-    /// Separates the scheduler's *belief* from ground truth: estimates
-    /// keep using the matrix passed to [`Engine::new`], while actual
-    /// execution durations are sampled from `truth`. Used to study how
-    /// robust the pruning mechanism is to execution-time model error
-    /// (e.g. a PET learned from few samples, or a miscalibrated one).
+    /// Separates the scheduler's *belief* from ground truth (see
+    /// [`crate::SchedulerBuilder::truth`]).
     ///
     /// # Panics
     /// If the two matrices disagree on shape or bin width — estimates
     /// would not even index correctly.
     pub fn with_truth(mut self, truth: &'a PetMatrix) -> Self {
+        let belief = self.core.pet();
         assert_eq!(
-            self.pet.n_machine_types(),
+            belief.n_machine_types(),
             truth.n_machine_types(),
             "belief/truth machine-type mismatch"
         );
         assert_eq!(
-            self.pet.n_task_types(),
+            belief.n_task_types(),
             truth.n_task_types(),
             "belief/truth task-type mismatch"
         );
         assert_eq!(
-            self.pet.bin_spec(),
+            belief.bin_spec(),
             truth.bin_spec(),
             "belief/truth bin-width mismatch"
         );
@@ -139,417 +132,147 @@ impl<'a> Engine<'a> {
     /// last arrival) and returns the outcome record.
     ///
     /// `tasks` must be sorted by arrival with `task.id` equal to its
-    /// index — the layout `WorkloadTrial` produces.
-    pub fn run(mut self, tasks: &[Task]) -> SimStats {
+    /// index — the layout `WorkloadTrial` produces. This is the legacy
+    /// entry point; it feeds the same streaming path as
+    /// [`Engine::run_stream`].
+    pub fn run(self, tasks: &[Task]) -> SimStats {
         for (i, task) in tasks.iter().enumerate() {
             assert_eq!(
                 task.id.0 as usize, i,
                 "task ids must equal their index"
             );
-            self.events.push(Event {
-                time: task.arrival,
-                kind: EventKind::Arrival { task: task.id },
-            });
         }
-        self.stats = SimStats::new(tasks.len(), self.pet.n_task_types());
-
-        while let Some(event) = self.events.pop() {
-            debug_assert!(event.time >= self.now, "time ran backwards");
-            self.now = event.time;
-            let mut report = EventReport {
-                now: self.now,
-                ..Default::default()
-            };
-            let mut arriving: Option<Task> = None;
-
-            match event.kind {
-                EventKind::Completion {
-                    machine,
-                    generation,
-                } => {
-                    let q = &mut self.queues[machine.0 as usize];
-                    if q.generation() != generation {
-                        continue; // stale event from a cancelled start
-                    }
-                    let rt = q.complete_running();
-                    let on_time = rt.actual_finish <= rt.task.deadline;
-                    self.stats.record_outcome(
-                        &rt.task,
-                        if on_time {
-                            TaskOutcome::CompletedOnTime
-                        } else {
-                            TaskOutcome::CompletedLate
-                        },
-                    );
-                    self.stats.record_execution(
-                        (rt.actual_finish - rt.start).ticks(),
-                        on_time,
-                    );
-                    report.completed.push((rt.task, on_time));
-                    self.trace_event(TraceEvent::Completed {
-                        task: rt.task.id,
-                        on_time,
-                    });
-                }
-                EventKind::Arrival { task } => {
-                    let t = tasks[task.0 as usize];
-                    self.stats.record_arrival(&t);
-                    self.trace_event(TraceEvent::Arrived { task: t.id });
-                    arriving = Some(t);
-                }
-                EventKind::Wakeup => {
-                    self.wakeup_pending = false;
-                }
-            }
-
-            self.mapping_event(arriving, report);
-            self.maybe_schedule_wakeup();
-        }
-
-        // Drain leftovers (only possible if the span ended mid-flight).
-        let leftovers: Vec<Task> = self
-            .queues
-            .iter_mut()
-            .flat_map(|q| q.drain_all())
-            .chain(self.arrival_queue.drain(..))
-            .collect();
-        for t in leftovers {
-            self.stats.record_outcome(&t, TaskOutcome::Unfinished);
-        }
-        self.stats.end_time = self.now;
-        self.stats.trace = self.trace.take();
-        self.stats
+        self.run_stream(tasks.iter().copied())
     }
 
-    /// One mapping event: the Fig. 5 procedure.
-    fn mapping_event(
-        &mut self,
-        arriving: Option<Task>,
-        mut report: EventReport,
-    ) {
-        self.stats.mapping_events += 1;
-        if let Some(log) = &mut self.trace {
-            if log.snapshot_due(self.stats.mapping_events) {
-                log.record_snapshot(QueueSnapshot {
-                    at: self.now,
-                    batch_queue_len: self.arrival_queue.len(),
-                    waiting_total: self
-                        .queues
-                        .iter()
-                        .map(|q| q.waiting_len())
-                        .sum(),
-                    busy_machines: self
-                        .queues
-                        .iter()
-                        .filter(|q| q.is_busy())
-                        .count(),
-                });
-            }
-        }
-
-        // The arriving task joins the batch queue before any decision
-        // (in immediate mode it is held aside for direct placement).
-        let immediate_arrival = match self.cfg.mode {
-            AllocationMode::Batch => {
-                if let Some(t) = arriving {
-                    self.arrival_queue.push(t);
-                }
-                None
-            }
-            AllocationMode::Immediate => arriving,
-        };
-
-        // Optional policy: cancel running tasks that are already late.
-        if self.cfg.cancel_running_late {
-            for i in 0..self.queues.len() {
-                let late = self.queues[i]
-                    .running()
-                    .is_some_and(|rt| rt.task.is_past_deadline(self.now));
-                if late {
-                    let rt = self.queues[i].cancel_running();
-                    self.stats.record_outcome(
-                        &rt.task,
-                        TaskOutcome::CancelledRunning,
-                    );
-                    self.stats
-                        .record_execution((self.now - rt.start).ticks(), false);
-                    report.cancelled.push(rt.task);
-                    self.trace_event(TraceEvent::Cancelled {
-                        task: rt.task.id,
-                    });
-                }
-            }
-        }
-
-        // Step 1: reactive drops of deadline-missed pending tasks.
-        let now = self.now;
-        let mut reactive = std::mem::take(&mut self.reactive_buf);
-        reactive.clear();
-        self.arrival_queue.retain(|t| {
-            if t.is_past_deadline(now) {
-                reactive.push(*t);
-                false
-            } else {
-                true
-            }
-        });
-        for q in &mut self.queues {
-            reactive.extend(q.drop_missed_deadlines(now));
-        }
-        for t in &reactive {
-            self.stats.record_outcome(t, TaskOutcome::DroppedReactive);
-            self.trace_event(TraceEvent::DroppedReactive { task: t.id });
-        }
-        report.dropped_reactive = reactive;
-
-        // Freed machines pick up their queue heads immediately (physical
-        // FCFS behaviour; also frees waiting slots for this event's
-        // mapping phase).
-        self.start_idle_machines();
-
-        // Step 2: feed Accounting / Toggle / Fairness.
-        self.pruner.begin_event(&report);
-
-        // Steps 3–6: proactive dropping from machine queues.
-        let drops = {
-            let view = SystemView::new(self.now, &self.queues, self.pet);
-            self.pruner.select_drops(&view)
-        };
-        if !drops.is_empty() {
-            for (machine, ids) in group_by_machine(drops) {
-                let removed =
-                    self.queues[machine.0 as usize].remove_waiting(&ids);
-                for t in removed {
-                    self.stats
-                        .record_outcome(&t, TaskOutcome::DroppedProactive);
-                    self.trace_event(TraceEvent::DroppedProactive {
-                        task: t.id,
-                    });
-                }
-            }
-        }
-
-        // Steps 7–11: the mapping loop.
-        match self.cfg.mode {
-            AllocationMode::Immediate => {
-                if let Some(task) = immediate_arrival {
-                    self.place_immediately(task);
-                }
-            }
-            AllocationMode::Batch => self.batch_mapping_loop(),
-        }
-
-        // Machines that were idle with an empty queue may have just
-        // received work.
-        self.start_idle_machines();
-
-        // Reclaim the reactive-drop buffer for the next event.
-        self.reactive_buf = report.dropped_reactive;
-    }
-
-    /// Immediate-mode placement (Fig. 1a): the mapper picks a machine;
-    /// if that queue is full the first machine with a free slot takes
-    /// the task instead, and if every queue is full the task is rejected
-    /// — there is no arrival queue to hold it.
-    fn place_immediately(&mut self, task: Task) {
-        if self.queues.iter().all(|q| q.free_slots() == 0) {
-            self.stats.record_outcome(&task, TaskOutcome::Rejected);
-            self.trace_event(TraceEvent::Rejected { task: task.id });
-            return;
-        }
-        let chosen = {
-            let view = SystemView::new(self.now, &self.queues, self.pet);
-            match &mut self.strategy {
-                MappingStrategy::Immediate(m) => m.place(&view, &task),
-                MappingStrategy::Batch(_) => {
-                    panic!("immediate mode requires an immediate-mode mapper")
-                }
-            }
-        };
-        let machine = if self.queues[chosen.0 as usize].free_slots() > 0 {
-            chosen
-        } else {
-            let fallback = self
-                .queues
-                .iter()
-                .position(|q| q.free_slots() > 0)
-                .expect("checked above that a free slot exists");
-            MachineId(fallback as u16)
-        };
-        self.queues[machine.0 as usize].admit(task);
-        self.trace_event(TraceEvent::Mapped {
-            task: task.id,
-            machine,
-        });
-    }
-
-    /// The Step 7 while-loop: heuristic proposes, pruner vetoes,
-    /// survivors dispatch, repeat until no progress is possible.
-    fn batch_mapping_loop(&mut self) {
-        let mapper = match &mut self.strategy {
-            MappingStrategy::Batch(m) => m,
-            MappingStrategy::Immediate(_) => {
-                panic!("batch mode requires a batch-mode mapper")
-            }
-        };
-        let mut deferred: HashSet<TaskId> = HashSet::new();
-        let mut candidates = std::mem::take(&mut self.candidate_buf);
+    /// Consumes an arrival stream ordered by non-decreasing
+    /// `task.arrival`, pushing each task into the core the moment the
+    /// simulated clock reaches it, and drains the system after the last
+    /// arrival.
+    ///
+    /// A task whose `arrival` lies before the clock (an out-of-order
+    /// delivery) is ingested immediately at the current instant — the
+    /// clock never rewinds, so one late task cannot corrupt the
+    /// timeline of everything after it.
+    pub fn run_stream<I>(mut self, arrivals: I) -> SimStats
+    where
+        I: IntoIterator<Item = Task>,
+    {
+        let mut source = arrivals.into_iter().peekable();
         loop {
-            if self.queues.iter().all(|q| q.free_slots() == 0) {
-                break;
-            }
-            candidates.clear();
-            candidates.extend(
-                self.arrival_queue
-                    .iter()
-                    .filter(|t| !deferred.contains(&t.id))
-                    .copied(),
-            );
-            if candidates.is_empty() {
-                break;
-            }
-            let proposals = {
-                let view = SystemView::new(self.now, &self.queues, self.pet);
-                mapper.select(&view, &candidates)
+            // Merge the event heap with the arrival stream, preserving
+            // the historical order: time, then completions before
+            // arrivals before wakeups, then stable ids.
+            let event_first = match (self.events.peek(), source.peek()) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(event), Some(task)) => {
+                    event.time < task.arrival
+                        || (event.time == task.arrival
+                            && matches!(
+                                event.kind,
+                                EventKind::Completion { .. }
+                            ))
+                }
             };
-            if proposals.is_empty() {
-                break;
-            }
-            let mut progressed = false;
-            for assignment in proposals {
-                if deferred.contains(&assignment.task) {
-                    continue;
-                }
-                let machine_idx = assignment.machine.0 as usize;
-                if self.queues[machine_idx].free_slots() == 0 {
-                    continue; // stale proposal for a queue filled earlier
-                }
-                let Some(pos) = self
-                    .arrival_queue
-                    .iter()
-                    .position(|t| t.id == assignment.task)
-                else {
-                    continue;
-                };
-                let task = self.arrival_queue[pos];
-                let chance = {
-                    let view =
-                        SystemView::new(self.now, &self.queues, self.pet);
-                    view.chance_if_appended(assignment.machine, &task)
-                };
-                if self.pruner.should_defer(&task, chance) {
-                    deferred.insert(task.id);
-                    self.stats.deferrals += 1;
-                    if let Some(log) = &mut self.trace {
-                        log.record(
-                            self.now,
-                            TraceEvent::Deferred { task: task.id },
-                        );
+            if event_first {
+                let event = self.events.pop().expect("peeked above");
+                self.core.advance_to(event.time);
+                match event.kind {
+                    EventKind::Completion { machine, task } => {
+                        if !self.core.complete(machine, task) {
+                            continue; // stale event from a cancelled start
+                        }
                     }
-                    progressed = true; // candidate set shrank
-                } else {
-                    self.arrival_queue.remove(pos);
-                    self.queues[machine_idx].admit(task);
-                    if let Some(log) = &mut self.trace {
-                        log.record(
-                            self.now,
-                            TraceEvent::Mapped {
-                                task: task.id,
-                                machine: assignment.machine,
-                            },
-                        );
+                    EventKind::Wakeup => {
+                        self.wakeup_pending = false;
+                        self.core.wakeup();
                     }
-                    progressed = true;
+                    EventKind::Arrival { .. } => unreachable!(
+                        "arrivals are fed from the stream, never enqueued"
+                    ),
                 }
+            } else {
+                let task = source.next().expect("peeked above");
+                // A task delivered out of order (arrival before the
+                // clock) arrives *now* — the same late-delivery
+                // semantics a live front-end has. The clock never
+                // rewinds.
+                self.core.advance_to(task.arrival.max(self.core.now()));
+                self.core.push_arrival(task);
             }
-            if !progressed {
-                break;
-            }
+            self.dispatch_starts();
+            // The driver consumes the decision stream so the buffer
+            // stays bounded; streaming callers drain it themselves.
+            self.core.drain_decisions();
+            self.maybe_schedule_wakeup(source.peek().is_some());
         }
-        self.candidate_buf = candidates;
+        self.core.finish()
     }
 
-    /// Starts the queue head on every idle machine, sampling the actual
-    /// duration and scheduling the completion event.
-    fn start_idle_machines(&mut self) {
-        for i in 0..self.queues.len() {
-            let q = &mut self.queues[i];
-            if q.is_busy() {
-                continue;
-            }
-            if let Some(task) = q.pop_head_for_start() {
-                let duration = self.truth.sample_duration(
-                    q.machine().type_id,
-                    task.type_id,
-                    &mut self.rng,
-                );
-                let finish = self.now + duration;
-                let generation = q.set_running(task, self.now, finish);
-                if let Some(log) = &mut self.trace {
-                    log.record(
-                        self.now,
-                        TraceEvent::Started {
-                            task: task.id,
-                            machine: MachineId(i as u16),
-                        },
-                    );
-                }
-                self.events.push(Event {
-                    time: finish,
-                    kind: EventKind::Completion {
-                        machine: MachineId(i as u16),
-                        generation,
-                    },
-                });
-            }
+    /// Turns the core's pending starts into completion events, sampling
+    /// each actual duration from the ground-truth matrix.
+    fn dispatch_starts(&mut self) {
+        let now = self.core.now();
+        // Field borrows are disjoint: the starts slice borrows the core,
+        // sampling borrows the rng, scheduling borrows the event queue.
+        for start in self.core.drain_starts() {
+            let duration = self.truth.sample_duration(
+                start.machine.type_id,
+                start.task.type_id,
+                &mut self.rng,
+            );
+            self.events.push(Event {
+                time: now + duration,
+                kind: EventKind::Completion {
+                    machine: start.machine.id,
+                    task: start.task.id,
+                },
+            });
         }
     }
 
     /// Guarantees forward progress when work remains in the batch queue
-    /// but no event will ever fire again (all machines idle and every
-    /// remaining task deferred): schedule a synthetic mapping event at
-    /// the earliest pending deadline, where the task is either retried
-    /// or reactively dropped.
-    fn maybe_schedule_wakeup(&mut self) {
-        if self.wakeup_pending
-            || self.arrival_queue.is_empty()
-            || !self.events.is_empty()
-        {
+    /// but no event will ever fire again (all machines idle, no future
+    /// arrival, every remaining task deferred): schedule a synthetic
+    /// mapping event at the earliest pending deadline, where the task
+    /// is either retried or reactively dropped.
+    fn maybe_schedule_wakeup(&mut self, more_arrivals: bool) {
+        if self.wakeup_pending || more_arrivals || !self.events.is_empty() {
             return;
         }
-        let earliest = self
-            .arrival_queue
-            .iter()
-            .map(|t| t.deadline)
-            .min()
-            .expect("non-empty arrival queue");
+        let Some(earliest) = self.core.earliest_pending_deadline() else {
+            return;
+        };
         self.events.push(Event {
-            time: SimTime(earliest.ticks().max(self.now.ticks()) + 1),
+            time: SimTime(earliest.ticks().max(self.core.now().ticks()) + 1),
             kind: EventKind::Wakeup,
         });
         self.wakeup_pending = true;
     }
 }
 
-/// Groups `(machine, task)` pairs into per-machine id lists.
-fn group_by_machine(
-    drops: Vec<(MachineId, TaskId)>,
-) -> Vec<(MachineId, Vec<TaskId>)> {
-    let mut grouped: Vec<(MachineId, Vec<TaskId>)> = Vec::new();
-    for (machine, task) in drops {
-        match grouped.iter_mut().find(|(m, _)| *m == machine) {
-            Some((_, ids)) => ids.push(task),
-            None => grouped.push((machine, vec![task])),
-        }
+impl<S: Sink> std::fmt::Debug for Engine<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("core", &self.core)
+            .field("pending_events", &self.events.len())
+            .field("wakeup_pending", &self.wakeup_pending)
+            .finish_non_exhaustive()
     }
-    grouped
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{Assignment, BatchMapper, ImmediateMapper, NoPruning};
-    use taskprune_model::{BinSpec, TaskTypeId};
+    use crate::traits::{
+        Assignment, BatchMapper, EventReport, ImmediateMapper, NoPruning,
+    };
+    use crate::view::SystemView;
+    use taskprune_model::{
+        BinSpec, MachineId, TaskId, TaskOutcome, TaskTypeId,
+    };
     use taskprune_prob::Pmf;
 
     /// Deterministic PET: every task takes exactly 2 bins (200 ticks).
@@ -796,5 +519,51 @@ mod tests {
             Some(TaskOutcome::CompletedOnTime)
         );
         assert!(stats.wasted_ticks > 0);
+    }
+
+    #[test]
+    fn out_of_order_delivery_arrives_now_instead_of_rewinding() {
+        let pet = det_pet(1);
+        let cluster = Cluster::one_per_type(1);
+        // Task 1 is delivered after task 0 despite an earlier arrival
+        // stamp: it must be ingested at the clock (200), not corrupt
+        // the timeline by rewinding to 100.
+        let tasks = [
+            Task::new(0, TaskTypeId(0), SimTime(200), SimTime(100_000)),
+            Task::new(1, TaskTypeId(0), SimTime(100), SimTime(100_000)),
+        ];
+        let stats = Engine::new(
+            SimConfig::batch(1),
+            &cluster,
+            &pet,
+            MappingStrategy::Batch(Box::new(ToZero)),
+            Box::new(NoPruning),
+        )
+        .run_stream(tasks.iter().copied());
+        assert_eq!(stats.count(TaskOutcome::CompletedOnTime), 2);
+        assert_eq!(stats.unreported(), 0);
+        assert!(stats.end_time >= SimTime(200));
+    }
+
+    #[test]
+    fn run_stream_matches_run_bit_for_bit() {
+        let pet = det_pet(2);
+        let cluster = Cluster::one_per_type(2);
+        let tasks = tasks_every(60, 30, 700);
+        let make = || {
+            Engine::new(
+                SimConfig::batch(42),
+                &cluster,
+                &pet,
+                MappingStrategy::Batch(Box::new(ToZero)),
+                Box::new(NoPruning),
+            )
+        };
+        let batch = make().run(&tasks);
+        let streamed = make().run_stream(tasks.iter().copied());
+        assert_eq!(
+            serde_json::to_string(&batch).unwrap(),
+            serde_json::to_string(&streamed).unwrap(),
+        );
     }
 }

@@ -13,17 +13,21 @@ use taskprune_model::{MachineId, SimTime, TaskId};
 /// A scheduled simulation event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
-    /// A machine finishes (or would finish) its running task.
-    /// `generation` guards against stale events after a cancellation:
-    /// each task start bumps the machine's generation, and completions
-    /// whose generation no longer matches are ignored.
+    /// A machine finishes (or would finish) its running task. The task
+    /// id guards against stale events after a cancellation: the core
+    /// ignores a completion whose task the machine no longer runs
+    /// (tasks execute at most once, so the id identifies the start).
     Completion {
         /// The machine that completes.
         machine: MachineId,
-        /// Start-generation the event belongs to.
-        generation: u64,
+        /// The task whose start this event belongs to.
+        task: TaskId,
     },
-    /// A task arrives into the resource allocator.
+    /// A task arrives into the resource allocator. [`crate::Engine`]
+    /// feeds arrivals from the stream directly and never enqueues this
+    /// kind; it remains part of the event vocabulary for custom drivers
+    /// and pins the ordering contract (completions before arrivals at
+    /// equal times).
     Arrival {
         /// Index into the trial's task list.
         task: TaskId,
@@ -134,7 +138,7 @@ mod tests {
             time: SimTime(t),
             kind: EventKind::Completion {
                 machine: MachineId(m),
-                generation: 0,
+                task: TaskId(0),
             },
         }
     }

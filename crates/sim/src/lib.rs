@@ -16,13 +16,36 @@
 //! * the mapper ([`BatchMapper`] / [`ImmediateMapper`]) and the pruning
 //!   policy ([`Pruner`]) are plug-ins, so the pruning mechanism can be
 //!   attached to any heuristic "without altering it" (Fig. 1c).
+//!
+//! # Architecture: driver over core over sinks
+//!
+//! The crate is layered so the scheduler is usable outside the
+//! simulation:
+//!
+//! * [`SchedulerCore`] — the clock-free decision state machine. Feed it
+//!   `advance_to` / `push_arrival` / `complete` / `wakeup`; read back
+//!   typed [`Decision`]s and [`Start`] records. No event queue, no
+//!   duration sampling: live traffic can drive it directly.
+//! * [`Engine`] — the bundled discrete-event *driver*: merges an
+//!   arrival stream with its completion-event heap, samples
+//!   ground-truth durations, and owns the wakeup safety net. `run`
+//!   (task slice) and `run_stream` (any ordered iterator) are
+//!   bit-identical paths.
+//! * [`Sink`] — pluggable observability, chosen *by type*: the default
+//!   [`NullSink`] compiles to nothing, [`TraceLog`] records the full
+//!   lifecycle trace.
+//! * [`SchedulerBuilder`] — the validated fluent constructor for both;
+//!   misconfigurations surface as typed [`ConfigError`]s at build time.
 
 #![warn(missing_docs)]
 
+pub mod build;
 pub mod config;
+pub mod core;
 pub mod engine;
 pub mod event;
 pub mod queue;
+pub mod sink;
 pub mod stats;
 pub mod trace;
 pub mod traits;
@@ -49,8 +72,11 @@ pub mod queue_testing {
     }
 }
 
-pub use config::{AllocationMode, SimConfig};
+pub use build::SchedulerBuilder;
+pub use config::{AllocationMode, ConfigError, SimConfig};
+pub use core::{Decision, SchedulerCore, Start};
 pub use engine::Engine;
+pub use sink::{NullSink, Sink};
 pub use stats::SimStats;
 pub use trace::{QueueSnapshot, TraceEvent, TraceLog};
 pub use traits::{

@@ -57,16 +57,17 @@ use taskprune_model::{
 use taskprune_prob::{convolve_into, Bin, Cdf, ConvScratch, Pmf};
 
 /// The task currently executing on a machine.
-#[derive(Debug, Clone)]
+///
+/// Deliberately carries no finish time: when the task completes is the
+/// *caller's* knowledge (a sampled duration in the simulation driver, a
+/// worker callback in a live deployment), and estimators must never see
+/// it — they reason only from the PET and `start`.
+#[derive(Debug, Clone, Copy)]
 pub struct RunningTask {
     /// The task itself.
     pub task: Task,
     /// When it started executing.
     pub start: SimTime,
-    /// Ground-truth completion time (sampled by the engine). Estimators
-    /// must never read this; it exists so the engine can schedule the
-    /// completion event.
-    pub actual_finish: SimTime,
 }
 
 /// The lazily-repaired prefix-chain cache plus the per-queue convolution
@@ -250,22 +251,13 @@ impl MachineQueue {
         Some(task)
     }
 
-    /// Marks `task` as running. The engine supplies the sampled
-    /// ground-truth finish time. Returns the new generation for the
-    /// completion event.
-    pub fn set_running(
-        &mut self,
-        task: Task,
-        start: SimTime,
-        actual_finish: SimTime,
-    ) -> u64 {
+    /// Marks `task` as running from `start`. When it finishes is the
+    /// caller's knowledge, reported later via the core's `complete`.
+    /// Returns the new start-generation.
+    pub fn set_running(&mut self, task: Task, start: SimTime) -> u64 {
         assert!(self.running.is_none(), "machine already busy");
         self.generation += 1;
-        self.running = Some(RunningTask {
-            task,
-            start,
-            actual_finish,
-        });
+        self.running = Some(RunningTask { task, start });
         self.generation
     }
 
@@ -693,7 +685,7 @@ mod tests {
         // it is still running ⇒ its completion must be bin 4 (prob 1
         // after conditioning away the bin-2 outcome).
         let rt = task(0, 0, 100_000);
-        q.set_running(rt, SimTime(0), SimTime(450));
+        q.set_running(rt, SimTime(0));
         let t = task(1, 1, 800); // PET δ(3); completion = bin 4 + 3 = 7.
         let c_tight =
             q.chance_if_appended(spec, &pm, SimTime(300), &task(1, 1, 700));
@@ -723,7 +715,7 @@ mod tests {
     #[test]
     fn pop_head_refuses_while_busy() {
         let mut q = queue();
-        q.set_running(task(9, 1, 10_000), SimTime(0), SimTime(100));
+        q.set_running(task(9, 1, 10_000), SimTime(0));
         q.admit(task(0, 1, 10_000));
         assert!(q.pop_head_for_start().is_none());
     }
@@ -731,9 +723,9 @@ mod tests {
     #[test]
     fn generation_bumps_on_start_and_cancel() {
         let mut q = queue();
-        let g1 = q.set_running(task(0, 1, 10_000), SimTime(0), SimTime(10));
+        let g1 = q.set_running(task(0, 1, 10_000), SimTime(0));
         q.complete_running();
-        let g2 = q.set_running(task(1, 1, 10_000), SimTime(10), SimTime(20));
+        let g2 = q.set_running(task(1, 1, 10_000), SimTime(10));
         assert!(g2 > g1);
         let rt = q.cancel_running();
         assert_eq!(rt.task.id, TaskId(1));
@@ -890,7 +882,7 @@ mod tests {
         // Idle: ready = now.
         assert_eq!(q.expected_ready_ticks(&pm, SimTime(500)), 500.0);
         // Running type-1 (E = (3+0.5)·100 = 350 ticks) started at 0.
-        q.set_running(task(0, 1, 10_000), SimTime(0), SimTime(999));
+        q.set_running(task(0, 1, 10_000), SimTime(0));
         assert_eq!(q.expected_ready_ticks(&pm, SimTime(100)), 350.0);
         // Overdue running task: floor at now + 1.
         assert_eq!(q.expected_ready_ticks(&pm, SimTime(400)), 401.0);
@@ -903,7 +895,7 @@ mod tests {
     fn drain_returns_everything() {
         let pm = pet_matrix();
         let mut q = queue();
-        q.set_running(task(0, 1, 10_000), SimTime(0), SimTime(10));
+        q.set_running(task(0, 1, 10_000), SimTime(0));
         q.admit(task(1, 1, 10_000));
         q.admit(task(2, 0, 10_000));
         let all = q.drain_all();

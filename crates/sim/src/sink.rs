@@ -1,0 +1,105 @@
+//! Pluggable observability for the scheduler core.
+//!
+//! The core reports every task-lifecycle transition and periodic queue
+//! snapshot to a [`Sink`]. Observability is a *type parameter* of
+//! [`crate::SchedulerCore`] and [`crate::Engine`], so the default
+//! [`NullSink`] compiles to nothing at all — tracing costs exactly zero
+//! when it is off, with no `Option` branch and no virtual dispatch on
+//! the hot mapping-event path.
+//!
+//! [`crate::TraceLog`] implements `Sink`, turning the previous
+//! `Engine::with_trace` special case into one implementation among any
+//! number (metrics exporters, stdout printers, test probes, …).
+
+use crate::trace::{QueueSnapshot, TraceEvent, TraceLog};
+use taskprune_model::SimTime;
+
+/// A consumer of scheduler observability events.
+///
+/// All methods have no-op defaults: implementations override only what
+/// they care about. `snapshot_due` gates snapshot *construction* — when
+/// it returns `false` the core does not even assemble the
+/// [`QueueSnapshot`], so a sink that ignores snapshots pays nothing for
+/// them.
+pub trait Sink {
+    /// Observes one task-lifecycle transition at simulated time `at`.
+    fn record(&mut self, at: SimTime, event: TraceEvent) {
+        let _ = (at, event);
+    }
+
+    /// Whether a queue snapshot should be taken at the given
+    /// mapping-event ordinal (1-based, monotonically increasing).
+    fn snapshot_due(&self, mapping_event: u64) -> bool {
+        let _ = mapping_event;
+        false
+    }
+
+    /// Observes a sampled queue snapshot (only called after
+    /// [`Sink::snapshot_due`] returned `true`).
+    fn record_snapshot(&mut self, snapshot: QueueSnapshot) {
+        let _ = snapshot;
+    }
+
+    /// Converts the sink into a [`TraceLog`] for
+    /// [`crate::SimStats::trace`] once the run finishes. Sinks that do
+    /// not accumulate a trace return `None` (the default).
+    fn into_trace(self) -> Option<TraceLog>
+    where
+        Self: Sized,
+    {
+        None
+    }
+}
+
+/// The default sink: ignores everything, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {}
+
+impl Sink for TraceLog {
+    fn record(&mut self, at: SimTime, event: TraceEvent) {
+        TraceLog::record(self, at, event);
+    }
+
+    fn snapshot_due(&self, mapping_event: u64) -> bool {
+        TraceLog::snapshot_due(self, mapping_event)
+    }
+
+    fn record_snapshot(&mut self, snapshot: QueueSnapshot) {
+        TraceLog::record_snapshot(self, snapshot);
+    }
+
+    fn into_trace(self) -> Option<TraceLog> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskprune_model::TaskId;
+
+    #[test]
+    fn null_sink_discards_and_never_snapshots() {
+        let mut sink = NullSink;
+        sink.record(SimTime(1), TraceEvent::Arrived { task: TaskId(0) });
+        assert!(!sink.snapshot_due(0));
+        assert!(!sink.snapshot_due(16));
+        assert!(Sink::into_trace(sink).is_none());
+    }
+
+    #[test]
+    fn trace_log_sink_accumulates_and_converts() {
+        let mut log = TraceLog::new(8, 4);
+        Sink::record(
+            &mut log,
+            SimTime(3),
+            TraceEvent::Arrived { task: TaskId(9) },
+        );
+        assert!(Sink::snapshot_due(&log, 4));
+        assert!(!Sink::snapshot_due(&log, 5));
+        let trace = Sink::into_trace(log).expect("trace log converts");
+        assert_eq!(trace.len(), 1);
+    }
+}

@@ -88,8 +88,39 @@ impl SimStats {
         }
     }
 
+    /// Largest forward jump `ensure_task` accepts: the per-task tables
+    /// are *dense* (indexed by id), so a sparse id scheme — timestamps,
+    /// snowflakes — would ask for a table the size of the id space.
+    /// Jumping more than this past the current length fails loudly
+    /// instead of attempting a multi-gigabyte allocation.
+    const MAX_ID_JUMP: usize = 1 << 24;
+
+    /// Grows the per-task tables to cover `id` — the streaming core
+    /// learns the task population one arrival at a time, so the
+    /// collector sizes itself as ids appear instead of up front.
+    ///
+    /// # Panics
+    /// If `id` lies more than [`Self::MAX_ID_JUMP`] past the current
+    /// table length: task ids must be (roughly) dense. Sparse external
+    /// ids need a compaction layer in front of the scheduler.
+    fn ensure_task(&mut self, id: TaskId) {
+        let idx = id.0 as usize;
+        if idx >= self.outcomes.len() {
+            assert!(
+                idx - self.outcomes.len() < Self::MAX_ID_JUMP,
+                "task id {idx} jumps far past the {} tracked so far: \
+                 SimStats tables are dense per id — compact sparse \
+                 external ids before feeding the scheduler",
+                self.outcomes.len(),
+            );
+            self.outcomes.resize(idx + 1, None);
+            self.types.resize(idx + 1, None);
+        }
+    }
+
     /// Registers a task arrival.
     pub fn record_arrival(&mut self, task: &Task) {
+        self.ensure_task(task.id);
         let idx = task.id.0 as usize;
         self.types[idx] = Some(task.type_id);
         self.per_type[task.type_id.0 as usize].arrived += 1;
@@ -97,6 +128,7 @@ impl SimStats {
 
     /// Registers a terminal outcome. Each task may finish exactly once.
     pub fn record_outcome(&mut self, task: &Task, outcome: TaskOutcome) {
+        self.ensure_task(task.id);
         let idx = task.id.0 as usize;
         assert!(
             self.outcomes[idx].is_none(),
@@ -242,6 +274,27 @@ mod tests {
     fn tiny_trials_trim_to_zero() {
         let s = SimStats::new(150, 1);
         assert_eq!(s.robustness_pct(100), 0.0);
+    }
+
+    #[test]
+    fn tables_grow_as_streaming_arrivals_appear() {
+        let mut s = SimStats::new(0, 1);
+        assert_eq!(s.n_tasks(), 0);
+        let t = task(4, 0);
+        s.record_arrival(&t);
+        s.record_outcome(&t, TaskOutcome::CompletedOnTime);
+        assert_eq!(s.n_tasks(), 5);
+        assert_eq!(s.outcome(TaskId(4)), Some(TaskOutcome::CompletedOnTime));
+        assert_eq!(s.outcome(TaskId(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense per id")]
+    fn sparse_external_ids_fail_loudly_instead_of_allocating() {
+        let mut s = SimStats::new(0, 1);
+        // A snowflake-style id must not trigger a table the size of the
+        // id space.
+        s.record_arrival(&task(1_700_000_000_000, 0));
     }
 
     #[test]

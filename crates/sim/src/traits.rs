@@ -38,6 +38,20 @@ pub trait BatchMapper {
         view: &SystemView<'_>,
         candidates: &[Task],
     ) -> Vec<Assignment>;
+
+    /// Buffer-reusing variant of [`BatchMapper::select`]: appends the
+    /// proposals to `out` (already cleared by the caller). The scheduler
+    /// core calls *this* on the hot path with a reused buffer; the
+    /// default delegates to `select`, so implementations override it
+    /// only to eliminate the per-round allocation.
+    fn select_into(
+        &mut self,
+        view: &SystemView<'_>,
+        candidates: &[Task],
+        out: &mut Vec<Assignment>,
+    ) {
+        out.extend(self.select(view, candidates));
+    }
 }
 
 /// An immediate-mode mapping heuristic (RR, MET, MCT, KPB): the arriving
@@ -115,6 +129,19 @@ pub trait Pruner {
         &mut self,
         view: &SystemView<'_>,
     ) -> Vec<(MachineId, TaskId)>;
+
+    /// Buffer-reusing variant of [`Pruner::select_drops`]: appends the
+    /// drops to `out` (already cleared by the caller). The scheduler
+    /// core calls *this* on the hot path with a reused buffer; the
+    /// default delegates to `select_drops`, so implementations override
+    /// it only to eliminate the per-event allocation.
+    fn select_drops_into(
+        &mut self,
+        view: &SystemView<'_>,
+        out: &mut Vec<(MachineId, TaskId)>,
+    ) {
+        out.extend(self.select_drops(view));
+    }
 
     /// Step 10: veto a proposed mapping, deferring the task to the next
     /// mapping event. `chance` is the task's chance of success on the

@@ -78,7 +78,7 @@ fn stale_generation_identifies_completions_of_cancelled_tasks() {
     let pet = pet_matrix();
     let mut q = empty_queue();
     // Start a task; its completion event carries generation g1.
-    let g1 = q.set_running(task(0, 1, 10_000), SimTime(0), SimTime(300));
+    let g1 = q.set_running(task(0, 1, 10_000), SimTime(0));
     // The task is cancelled (e.g. dropped for running past its
     // deadline) before the completion event fires.
     let rt = q.cancel_running();
@@ -89,7 +89,7 @@ fn stale_generation_identifies_completions_of_cancelled_tasks() {
     assert_ne!(q.generation(), g1);
     assert!(!q.is_busy());
     // A new task can start and complete normally afterwards.
-    let g2 = q.set_running(task(1, 1, 10_000), SimTime(400), SimTime(700));
+    let g2 = q.set_running(task(1, 1, 10_000), SimTime(400));
     assert!(g2 > g1);
     let done = q.complete_running();
     assert_eq!(done.task.id, TaskId(1));
@@ -104,7 +104,7 @@ fn chance_query_survives_task_outliving_its_pet() {
     // running at bin 50 — far beyond its entire modelled distribution.
     // The conditioned base collapses to "imminent completion"; queries
     // must stay finite and bounded.
-    q.set_running(task(0, 0, 1_000_000), SimTime(0), SimTime(99_999));
+    q.set_running(task(0, 0, 1_000_000), SimTime(0));
     let c = q.chance_if_appended(
         pet.bin_spec(),
         &pet,

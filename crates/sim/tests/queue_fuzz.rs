@@ -61,7 +61,7 @@ fn rebuild_reference(q: &MachineQueue, capacity: usize) -> MachineQueue {
     let mut fresh =
         MachineQueue::new(cluster.machine(MachineId(0)), capacity, 256);
     if let Some(rt) = q.running() {
-        fresh.set_running(rt.task, rt.start, rt.actual_finish);
+        fresh.set_running(rt.task, rt.start);
     }
     for task in q.waiting() {
         fresh.admit(*task);
@@ -94,13 +94,16 @@ fn apply_op(
         Op::PopHeadForStart => {
             if let Some(task) = q.pop_head_for_start() {
                 *now = SimTime(now.ticks() + 50);
-                q.set_running(task, *now, SimTime(now.ticks() + 400));
+                q.set_running(task, *now);
             }
         }
         Op::CompleteRunning => {
             if q.is_busy() {
+                // The queue no longer stores a finish time (that is the
+                // driver's knowledge); the fuzz models a fixed 400-tick
+                // execution, clamped monotonic.
                 let rt = q.complete_running();
-                *now = SimTime(now.ticks().max(rt.actual_finish.ticks()));
+                *now = SimTime(now.ticks().max(rt.start.ticks() + 400));
             }
         }
         Op::DropByIndex(i) => {

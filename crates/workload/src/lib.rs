@@ -10,15 +10,20 @@
 //! * [`arrival`] — constant-rate (Gamma inter-arrivals, variance = 10 %
 //!   of mean) and spiky (3× bursts lasting ⅓ of the lull) patterns;
 //! * [`trial`] — full workload trials: typed, timed, deadlined task lists
-//!   (deadline Eq. 4), 30-trial sets, JSON persistence.
+//!   (deadline Eq. 4), 30-trial sets, JSON persistence;
+//! * [`stream`] — arrival streams ([`TraceSource`]): recorded traces and
+//!   the generator feeding the scheduler's streaming ingest path one
+//!   task at a time.
 
 #![warn(missing_docs)]
 
 pub mod arrival;
 pub mod machines;
 pub mod petgen;
+pub mod stream;
 pub mod trial;
 
 pub use arrival::ArrivalPattern;
 pub use petgen::PetGenConfig;
+pub use stream::{TaskStream, TraceSource};
 pub use trial::{TrialSet, WorkloadConfig, WorkloadTrial};

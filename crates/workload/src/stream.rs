@@ -1,0 +1,129 @@
+//! Arrival streams: feeding workloads into the scheduler one task at a
+//! time.
+//!
+//! The streaming scheduler core ingests arrivals through a single
+//! `push_arrival` path; a [`TraceSource`] is anything that can supply
+//! that stream in arrival order. Recorded traces
+//! ([`WorkloadTrial::into_source`], [`TaskStream::from_tasks`]) and the
+//! §V-B synthetic generator ([`WorkloadConfig::stream_trial`]) all
+//! produce the same [`TaskStream`], so a simulation replay and a live
+//! ingest pipeline are literally the same code path.
+
+use crate::trial::{WorkloadConfig, WorkloadTrial};
+use taskprune_model::{PetMatrix, Task};
+
+/// An ordered stream of task arrivals.
+///
+/// A `TraceSource` is any iterator of tasks whose `arrival` times are
+/// non-decreasing — the contract `Engine::run_stream` and
+/// `SchedulerCore::push_arrival` rely on. The blanket implementation
+/// makes every conforming iterator a source; [`TaskStream`] is the
+/// canonical concrete one.
+pub trait TraceSource: Iterator<Item = Task> {}
+
+impl<I: Iterator<Item = Task>> TraceSource for I {}
+
+/// A materialised arrival stream, sorted by arrival time.
+#[derive(Debug, Clone)]
+pub struct TaskStream {
+    tasks: std::vec::IntoIter<Task>,
+}
+
+impl TaskStream {
+    /// Wraps an explicit task list. The tasks must already be sorted by
+    /// non-decreasing arrival time (debug-asserted).
+    pub fn from_tasks(tasks: Vec<Task>) -> Self {
+        debug_assert!(
+            tasks.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "trace sources must be sorted by arrival time"
+        );
+        Self {
+            tasks: tasks.into_iter(),
+        }
+    }
+
+    /// Number of arrivals remaining in the stream.
+    pub fn remaining(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+impl Iterator for TaskStream {
+    type Item = Task;
+
+    fn next(&mut self) -> Option<Task> {
+        self.tasks.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.tasks.size_hint()
+    }
+}
+
+impl ExactSizeIterator for TaskStream {}
+
+impl WorkloadTrial {
+    /// Converts the trial into an arrival stream for the streaming
+    /// ingest path (`push_arrival`); the recorded-trace twin of
+    /// [`WorkloadConfig::stream_trial`].
+    pub fn into_source(self) -> TaskStream {
+        TaskStream::from_tasks(self.tasks)
+    }
+}
+
+impl WorkloadConfig {
+    /// Generates trial `trial_idx` of this family directly as an
+    /// arrival stream — the §V-B generator feeding the same
+    /// `push_arrival` path a recorded trace does.
+    pub fn stream_trial(&self, pet: &PetMatrix, trial_idx: u32) -> TaskStream {
+        self.generate_trial(pet, trial_idx).into_source()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::petgen::PetGenConfig;
+
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig {
+            total_tasks: 200,
+            span_tu: 60.0,
+            ..WorkloadConfig::paper_default(5)
+        }
+    }
+
+    #[test]
+    fn trial_source_streams_every_task_in_order() {
+        let pet = PetGenConfig::paper_heterogeneous(99).generate();
+        let trial = small_config().generate_trial(&pet, 0);
+        let expected = trial.tasks.clone();
+        let source = trial.into_source();
+        assert_eq!(source.remaining(), expected.len());
+        let streamed: Vec<_> = source.collect();
+        assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn generator_and_recorded_trace_yield_the_same_stream() {
+        let pet = PetGenConfig::paper_heterogeneous(99).generate();
+        let cfg = small_config();
+        let generated: Vec<_> = cfg.stream_trial(&pet, 3).collect();
+        let recorded: Vec<_> =
+            cfg.generate_trial(&pet, 3).into_source().collect();
+        assert_eq!(generated, recorded);
+    }
+
+    #[test]
+    fn any_sorted_iterator_is_a_trace_source() {
+        fn consume(source: impl TraceSource) -> usize {
+            source.count()
+        }
+        let pet = PetGenConfig::paper_heterogeneous(99).generate();
+        let trial = small_config().generate_trial(&pet, 0);
+        let n = trial.len();
+        // Both a TaskStream and a plain vec iterator satisfy the trait.
+        assert_eq!(consume(trial.tasks.clone().into_iter()), n);
+        assert_eq!(consume(trial.into_source()), n);
+    }
+}

@@ -9,7 +9,7 @@
 
 use taskprune::extensions::{CostModel, PriorityAwarePruner};
 use taskprune::prelude::*;
-use taskprune_sim::{Engine, Pruner};
+use taskprune_sim::{Pruner, SchedulerBuilder};
 
 fn main() {
     let pet = PetGenConfig::paper_heterogeneous(
@@ -88,14 +88,13 @@ fn main() {
             )) as Box<dyn Pruner>,
         ),
     ] {
-        let stats = Engine::new(
-            SimConfig::batch(5),
-            &cluster,
-            &pet,
-            HeuristicKind::Mm.make(),
-            pruner,
-        )
-        .run(&valued_tasks);
+        let stats = SchedulerBuilder::new(&cluster, &pet)
+            .config(SimConfig::batch(5))
+            .strategy(HeuristicKind::Mm.make())
+            .pruner_boxed(pruner)
+            .build()
+            .expect("valid configuration")
+            .run(&valued_tasks);
         let (hv_on_time, hv_total) = high_value_on_time(&stats, &valued_tasks);
         println!(
             "{label:<24} overall {:>5.1} %   high-value {:>4}/{:<4} ({:.1} %)",
