@@ -72,12 +72,82 @@ impl CommonArgs {
     }
 }
 
+/// Parsed flags shared by the `bench_*_baseline` series bins:
+/// `--smoke`, `--out DIR`, `--commit LABEL`, `--check`. One parser so
+/// the two bins' CLI contracts (and ci.yml's invocations) cannot
+/// drift.
+#[derive(Debug, Clone)]
+pub struct BaselineArgs {
+    /// Reduced measurement effort for CI.
+    pub smoke: bool,
+    /// Fail the process on a tripped regression/scaling gate.
+    pub check: bool,
+    /// Series directory (default `results`).
+    pub out_dir: String,
+    /// Commit stamp for the appended run (default: `git rev-parse
+    /// --short HEAD`, falling back to `unknown`).
+    pub commit: String,
+}
+
+impl BaselineArgs {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)] // not a collection conversion
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        let value_of = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1).cloned())
+        };
+        Self {
+            smoke: args.iter().any(|a| a == "--smoke"),
+            check: args.iter().any(|a| a == "--check"),
+            out_dir: value_of("--out").unwrap_or_else(|| "results".into()),
+            commit: value_of("--commit").unwrap_or_else(head_commit),
+        }
+    }
+}
+
+/// `git rev-parse --short HEAD`, or `unknown` outside a work tree.
+pub fn head_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> CommonArgs {
         CommonArgs::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn baseline_args_parse_all_flags() {
+        let a = BaselineArgs::from_iter(
+            ["--smoke", "--check", "--out", "/tmp/x", "--commit", "abc"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert!(a.smoke && a.check);
+        assert_eq!(a.out_dir, "/tmp/x");
+        assert_eq!(a.commit, "abc");
+        let d = BaselineArgs::from_iter(std::iter::empty());
+        assert!(!d.smoke && !d.check);
+        assert_eq!(d.out_dir, "results");
+        assert!(!d.commit.is_empty());
     }
 
     #[test]

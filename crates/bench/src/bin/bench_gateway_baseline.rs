@@ -1,0 +1,187 @@
+//! Machine-readable federation-throughput trajectory.
+//!
+//! Measures aggregate ingest throughput (arrivals/second of wall time)
+//! of the standard oversubscribed MM + pruning scenario pushed through
+//! a [`taskprune_sim::FederatedEngine`] at shard counts {1, 2, 4, 8},
+//! round-robin routed. The 1-shard run *is* the plain engine (the
+//! federation equivalence suite pins it bit-identical), so the series
+//! doubles as the single-cluster ingest baseline.
+//!
+//! Sharding pays even single-threaded: the batch mapping loop is
+//! superlinear in batch-queue depth, so N shards each holding 1/N of
+//! the backlog do strictly less work per mapping event than one
+//! cluster holding all of it.
+//!
+//! Entries reuse the [`BenchEntry`] schema so the commit-stamped
+//! [`BenchSeries`] machinery (and its machine-relative regression
+//! gates) applies unchanged:
+//!
+//! * `scenario`       — `"gateway_ingest_<shards>"` (one scenario per
+//!   shard count, so the per-scenario gate judges each independently
+//!   and a one-shard-count regression cannot hide in a geomean);
+//! * `queue_depth`    — the **shard count**;
+//! * `pet_support`    — the total task count pushed;
+//! * `incremental_ns` — ns per arrival at this shard count;
+//! * `scratch_ns`     — ns per arrival of the 1-shard yardstick run;
+//! * `speedup`        — aggregate throughput scaling vs 1 shard.
+//!
+//! Flags: `--smoke` (single repeat for CI — the workload itself stays
+//! the standard one so the smoke run's (scenario, shard count, task
+//! count) triples match the tracked series and the regression
+//! comparison is never vacuous), `--out DIR`, `--commit LABEL`,
+//! `--check` (exit non-zero on a noise-aware per-scenario regression
+//! vs the previous run, **or** when the 4-shard scaling fails to
+//! exceed 1× — the federation must never cost throughput).
+
+use std::time::Instant;
+use taskprune::prelude::*;
+use taskprune::pruner::PruningMechanism;
+use taskprune_bench::args::BaselineArgs;
+use taskprune_bench::report::{BenchEntry, BenchSeries};
+
+const REGRESSION_THRESHOLD: f64 = 0.15;
+
+/// Shard counts measured, ascending; index 0 is the yardstick.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Wall-clock ns per arrival for one full federated run (build
+/// excluded, drain included — the figure a front-end cares about).
+fn ns_per_arrival(
+    cluster: &Cluster,
+    pet: &PetMatrix,
+    tasks: &[Task],
+    shards: usize,
+    repeats: u32,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let engine = GatewayBuilder::new(cluster, pet)
+            .config(SimConfig::batch(7))
+            .shards(shards)
+            .policy(RoundRobinRoute::new())
+            .strategy_with(|_| HeuristicKind::Mm.make())
+            .pruner_with(|_| {
+                Box::new(PruningMechanism::new(
+                    PruningConfig::paper_default(),
+                    pet.n_task_types(),
+                ))
+            })
+            .build()
+            .expect("valid configuration");
+        let start = Instant::now();
+        let stats = engine.run_stream(tasks.iter().copied());
+        let elapsed = start.elapsed().as_nanos() as f64;
+        assert_eq!(stats.unreported(), 0);
+        // Best-of-N: the standard way to strip scheduler noise from a
+        // single-shot wall-clock measurement.
+        best = best.min(elapsed / tasks.len() as f64);
+    }
+    best
+}
+
+fn main() {
+    let BaselineArgs {
+        smoke,
+        check,
+        out_dir,
+        commit,
+    } = BaselineArgs::parse();
+
+    let (total_tasks, span_tu) = (10_000, 600.0);
+    let repeats = if smoke { 1 } else { 3 };
+
+    let pet = PetGenConfig::paper_heterogeneous(
+        taskprune::experiment::PET_MATRIX_SEED,
+    )
+    .generate();
+    let cluster = taskprune_workload::machines::heterogeneous_cluster();
+    let tasks = WorkloadConfig {
+        total_tasks,
+        span_tu,
+        ..WorkloadConfig::paper_default(42)
+    }
+    .generate_trial(&pet, 0)
+    .tasks;
+
+    let mut entries = Vec::new();
+    let mut yardstick = f64::NAN;
+    let mut scaling_at_4 = f64::NAN;
+    for &shards in &SHARD_COUNTS {
+        let ns = ns_per_arrival(&cluster, &pet, &tasks, shards, repeats);
+        if shards == 1 {
+            yardstick = ns;
+        }
+        let speedup = yardstick / ns;
+        if shards == 4 {
+            scaling_at_4 = speedup;
+        }
+        let arrivals_per_sec = 1e9 / ns;
+        eprintln!(
+            "gateway_ingest shards {shards}: {ns:>9.0} ns/arrival \
+             ({arrivals_per_sec:>9.0} arrivals/s), {speedup:.2}x vs 1 shard"
+        );
+        entries.push(BenchEntry {
+            // One scenario per shard count: the per-scenario gate then
+            // judges each independently instead of geomeaning a
+            // 2-shard regression away against flat 1/4/8 entries.
+            scenario: format!("gateway_ingest_{shards}"),
+            queue_depth: shards,
+            pet_support: total_tasks,
+            incremental_ns: ns,
+            scratch_ns: yardstick,
+            speedup,
+        });
+    }
+
+    let mut series = BenchSeries::load_or_new(
+        &out_dir,
+        "gateway_baseline",
+        "Per-PR federation ingest-throughput trajectory: the standard \
+         oversubscribed MM+pruning workload pushed through a round-robin \
+         FederatedEngine at shard counts 1/2/4/8. queue_depth = shard \
+         count, pet_support = tasks pushed, incremental_ns = ns per \
+         arrival, scratch_ns = the same run's 1-shard yardstick, speedup \
+         = aggregate throughput scaling vs 1 shard (machine-relative, so \
+         runs from different hosts stay comparable). One commit-stamped \
+         run appended per invocation.",
+    )
+    .expect("unreadable bench series — fix or remove it before appending");
+    series.append(commit.clone(), entries);
+    let gate = series.check_regression_per_scenario(REGRESSION_THRESHOLD);
+    let path = series.write_file(&out_dir).expect("write bench series");
+    println!("wrote {path} ({} runs, newest {commit})", series.runs.len());
+
+    let mut failed = false;
+    if scaling_at_4 <= 1.0 {
+        eprintln!(
+            "scaling gate: 4-shard aggregate throughput is {scaling_at_4:.2}x \
+             the 1-shard baseline — the federation must scale >1x"
+        );
+        failed = true;
+    } else {
+        println!(
+            "scaling gate: 1 -> 4 shards scales aggregate ingest \
+             {scaling_at_4:.2}x (>1x required)"
+        );
+    }
+    match gate {
+        Ok(per_scenario) => {
+            for (scenario, degradation) in per_scenario {
+                println!(
+                    "perf gate: {scenario} scaling degradation \
+                     {degradation:.3}x vs previous run"
+                );
+            }
+        }
+        Err(report) => {
+            eprintln!("{report}");
+            failed = true;
+        }
+    }
+    if failed && check {
+        std::process::exit(1);
+    }
+    if failed {
+        eprintln!("(--check not set: recorded but not failing)");
+    }
+}

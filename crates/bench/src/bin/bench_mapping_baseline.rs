@@ -16,12 +16,14 @@
 //! * `--out DIR`      series directory (default `results`);
 //! * `--commit LABEL` stamp for this run (default: `git rev-parse
 //!   --short HEAD`, falling back to `unknown`);
-//! * `--check`        exit non-zero when this run's geometric-mean
-//!   `incremental_ns` is >15 % slower than the previous run over the
-//!   matching scenarios (the CI regression gate).
+//! * `--check`        exit non-zero when any *scenario's* geometric-mean
+//!   incremental-vs-scratch speedup degrades past its noise-aware
+//!   allowance vs the previous run (the CI regression gate; see
+//!   `BenchSeries::check_regression_per_scenario`).
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+use taskprune_bench::args::BaselineArgs;
 use taskprune_bench::chainbench::{
     probe_task, wide_pet_matrix, wide_queue, CHAIN_DEPTHS, CHAIN_SUPPORTS,
 };
@@ -96,33 +98,13 @@ fn steady_cycle(q: &mut MachineQueue, pet: &PetMatrix, scratch: bool) -> f64 {
     })
 }
 
-/// `git rev-parse --short HEAD`, or `unknown` outside a work tree.
-fn head_commit() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let check = args.iter().any(|a| a == "--check");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "results".to_string());
-    let commit = args
-        .iter()
-        .position(|a| a == "--commit")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(head_commit);
+    let BaselineArgs {
+        smoke,
+        check,
+        out_dir,
+        commit,
+    } = BaselineArgs::parse();
 
     let (depths, supports): (&[usize], &[usize]) = if smoke {
         (&[4, 16], &[64])
@@ -179,16 +161,22 @@ fn main() {
     )
     .expect("unreadable bench series — fix or remove it before appending");
     series.append(commit.clone(), entries);
-    let gate = series.check_regression(REGRESSION_THRESHOLD);
+    let gate = series.check_regression_per_scenario(REGRESSION_THRESHOLD);
     let path = series.write_file(&out_dir).expect("write bench series");
     println!("wrote {path} ({} runs, newest {commit})", series.runs.len());
     match gate {
-        Ok(ratio) => {
-            println!(
-                "perf gate: incremental-vs-scratch speedup degradation \
-                 {ratio:.3}x vs previous run (threshold {:.2}x)",
-                1.0 + REGRESSION_THRESHOLD
-            );
+        Ok(per_scenario) => {
+            for (scenario, degradation) in &per_scenario {
+                println!(
+                    "perf gate: {scenario} speedup degradation \
+                     {degradation:.3}x vs previous run (base threshold \
+                     {:.2}x, noise-widened per scenario)",
+                    1.0 + REGRESSION_THRESHOLD
+                );
+            }
+            if per_scenario.is_empty() {
+                println!("perf gate: no previous run to compare against");
+            }
         }
         Err(report) => {
             eprintln!("{report}");

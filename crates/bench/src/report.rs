@@ -291,6 +291,115 @@ impl BenchSeries {
         }
     }
 
+    /// Per-scenario geometric-mean speedup degradation between two
+    /// runs, over their matching (scenario, depth, support) triples.
+    /// Deterministic (BTreeMap) scenario order.
+    fn scenario_degradations(
+        prev: &BenchRun,
+        last: &BenchRun,
+    ) -> Vec<(String, f64)> {
+        let mut acc: std::collections::BTreeMap<String, (f64, usize)> =
+            std::collections::BTreeMap::new();
+        for e in &last.entries {
+            let Some(base) = prev.entries.iter().find(|p| {
+                p.scenario == e.scenario
+                    && p.queue_depth == e.queue_depth
+                    && p.pet_support == e.pet_support
+            }) else {
+                continue;
+            };
+            if base.speedup <= 0.0 || e.speedup <= 0.0 {
+                continue;
+            }
+            let slot = acc.entry(e.scenario.clone()).or_insert((0.0, 0));
+            slot.0 += (base.speedup / e.speedup).ln();
+            slot.1 += 1;
+        }
+        acc.into_iter()
+            .map(|(scenario, (log_sum, n))| {
+                (scenario, (log_sum / n as f64).exp())
+            })
+            .collect()
+    }
+
+    /// The **per-scenario, noise-aware** regression gate: compares the
+    /// newest run against the previous one *per scenario* (so a real
+    /// regression in one scenario cannot hide behind improvements in
+    /// the others, which the all-scenario geometric mean allowed), with
+    /// each scenario's threshold widened by its own historical
+    /// run-to-run noise.
+    ///
+    /// For every scenario the gated quantity is the geometric-mean
+    /// speedup degradation over that scenario's matching (depth,
+    /// support) triples — machine-relative for the same reason as
+    /// [`BenchSeries::check_regression`]. The allowance is
+    /// `(1 + base_threshold) · exp(2σ)`, where σ is the standard
+    /// deviation of the scenario's historical log-degradations across
+    /// all earlier consecutive run pairs in the series: a scenario
+    /// whose measurements have historically bounced ±20 % between runs
+    /// gets proportionally more headroom than one that has been stable
+    /// to ±2 %, instead of both sharing one blunt threshold. With
+    /// fewer than two historical pairs σ is taken as 0 and the gate
+    /// degenerates to the plain per-scenario threshold.
+    ///
+    /// Returns the per-scenario degradations (scenario name, factor)
+    /// on success, or a human-readable report naming every tripping
+    /// scenario.
+    pub fn check_regression_per_scenario(
+        &self,
+        base_threshold: f64,
+    ) -> Result<Vec<(String, f64)>, String> {
+        let [.., prev, last] = self.runs.as_slice() else {
+            return Ok(Vec::new());
+        };
+        let current = Self::scenario_degradations(prev, last);
+
+        // Historical per-scenario log-degradations: every consecutive
+        // pair strictly before the (prev, last) pair under judgement.
+        let mut history: std::collections::BTreeMap<String, Vec<f64>> =
+            std::collections::BTreeMap::new();
+        let n_runs = self.runs.len();
+        for pair in self.runs.windows(2).take(n_runs.saturating_sub(2)) {
+            for (scenario, degradation) in
+                Self::scenario_degradations(&pair[0], &pair[1])
+            {
+                history.entry(scenario).or_default().push(degradation.ln());
+            }
+        }
+        let sigma = |scenario: &str| -> f64 {
+            let Some(logs) = history.get(scenario) else {
+                return 0.0;
+            };
+            if logs.len() < 2 {
+                return 0.0;
+            }
+            let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+            let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f64>()
+                / (logs.len() - 1) as f64;
+            var.sqrt()
+        };
+
+        let mut failures = String::new();
+        for (scenario, degradation) in &current {
+            let allowed =
+                (1.0 + base_threshold) * (2.0 * sigma(scenario)).exp();
+            if *degradation > allowed {
+                failures.push_str(&format!(
+                    "  {scenario}: speedup degraded {degradation:.3}x, \
+                     exceeding its noise-aware allowance {allowed:.3}x\n"
+                ));
+            }
+        }
+        if failures.is_empty() {
+            Ok(current)
+        } else {
+            Err(format!(
+                "perf regression ({} vs {}):\n{failures}",
+                last.commit, prev.commit,
+            ))
+        }
+    }
+
     /// Writes `<out_dir>/BENCH_<name>.json` and returns its path.
     pub fn write_file(&self, out_dir: &str) -> std::io::Result<String> {
         let dir = Path::new(out_dir);
@@ -472,5 +581,98 @@ mod tests {
         // Unmatched scenarios are ignored entirely.
         series.append("e", vec![entry("other", 9_999.0)]);
         assert_eq!(series.check_regression(0.15), Ok(1.0));
+    }
+
+    #[test]
+    fn per_scenario_gate_catches_what_the_mean_dilutes() {
+        let mut series = BenchSeries {
+            name: "probe".to_string(),
+            description: "d".to_string(),
+            runs: Vec::new(),
+        };
+        // Three scenarios, two runs: two scenarios speed *up* 20 %
+        // while one regresses 40 %. The all-scenario geometric mean
+        // (~0.97x) sails under a 15 % gate; the per-scenario gate must
+        // name the regressing scenario.
+        series.append(
+            "a",
+            vec![
+                entry("tail_drop", 100.0),
+                entry("mid_drop", 100.0),
+                entry("steady_cycle", 100.0),
+            ],
+        );
+        series.append(
+            "b",
+            vec![
+                entry("tail_drop", 80.0),
+                entry("mid_drop", 80.0),
+                entry("steady_cycle", 140.0),
+            ],
+        );
+        assert!(
+            series.check_regression(0.15).is_ok(),
+            "mean gate dilutes by design in this fixture"
+        );
+        let err = series.check_regression_per_scenario(0.15).unwrap_err();
+        assert!(err.contains("steady_cycle"), "{err}");
+        assert!(!err.contains("tail_drop"), "{err}");
+    }
+
+    #[test]
+    fn per_scenario_gate_widens_with_historical_noise() {
+        let noisy = |ns: f64| BenchEntry {
+            scenario: "jittery".to_string(),
+            queue_depth: 16,
+            pet_support: 64,
+            incremental_ns: ns,
+            scratch_ns: 1_000.0,
+            speedup: 1_000.0 / ns,
+        };
+        let mut series = BenchSeries {
+            name: "probe".to_string(),
+            description: "d".to_string(),
+            runs: Vec::new(),
+        };
+        // A scenario that historically bounces ±30 % between runs...
+        for ns in [100.0, 130.0, 100.0, 130.0, 100.0] {
+            series.append("h", vec![noisy(ns)]);
+        }
+        // ...takes another +30 % bounce. A flat 15 % gate would trip;
+        // the noise-aware allowance must absorb it.
+        series.append("new", vec![noisy(130.0)]);
+        let per = series
+            .check_regression_per_scenario(0.15)
+            .expect("historically noisy scenario gets headroom");
+        assert_eq!(per.len(), 1);
+        assert!((per[0].1 - 1.3).abs() < 1e-9, "degradation {}", per[0].1);
+
+        // A stable scenario with the same final 30 % hit must trip.
+        let mut stable = BenchSeries {
+            name: "probe".to_string(),
+            description: "d".to_string(),
+            runs: Vec::new(),
+        };
+        for _ in 0..5 {
+            stable.append("h", vec![noisy(100.0)]);
+        }
+        stable.append("new", vec![noisy(130.0)]);
+        let err = stable.check_regression_per_scenario(0.15).unwrap_err();
+        assert!(err.contains("jittery"), "{err}");
+    }
+
+    #[test]
+    fn per_scenario_gate_handles_thin_series() {
+        let mut series = BenchSeries {
+            name: "probe".to_string(),
+            description: "d".to_string(),
+            runs: Vec::new(),
+        };
+        assert_eq!(series.check_regression_per_scenario(0.15), Ok(vec![]));
+        series.append("a", vec![entry("tail_drop", 100.0)]);
+        assert_eq!(series.check_regression_per_scenario(0.15), Ok(vec![]));
+        // Two runs, no history: plain per-scenario threshold applies.
+        series.append("b", vec![entry("tail_drop", 200.0)]);
+        assert!(series.check_regression_per_scenario(0.15).is_err());
     }
 }

@@ -10,7 +10,8 @@ use crate::pruner::{PruningConfig, PruningMechanism};
 use taskprune_heuristics::HeuristicKind;
 use taskprune_model::{Cluster, PetMatrix, Task};
 use taskprune_sim::{
-    ConfigError, MappingStrategy, SchedulerBuilder, SimConfig, SimStats,
+    ConfigError, FederationStats, GatewayBuilder, MappingStrategy, RoutePolicy,
+    RunError, SchedulerBuilder, SimConfig, SimStats,
 };
 
 /// Builder for one simulation run: pick a heuristic, optionally attach
@@ -20,6 +21,7 @@ pub struct ResourceAllocator<'a> {
     pet: &'a PetMatrix,
     truth: Option<&'a PetMatrix>,
     sim: SimConfig,
+    heuristic: Option<HeuristicKind>,
     strategy: Option<MappingStrategy>,
     pruning: Option<PruningConfig>,
     trace: Option<taskprune_sim::TraceLog>,
@@ -37,6 +39,7 @@ impl<'a> ResourceAllocator<'a> {
             pet,
             truth: None,
             sim,
+            heuristic: None,
             strategy: None,
             pruning: None,
             trace: None,
@@ -63,6 +66,7 @@ impl<'a> ResourceAllocator<'a> {
     /// immediate mode, batch heuristics batch mode).
     pub fn heuristic(mut self, kind: HeuristicKind) -> Self {
         self.sim.mode = kind.allocation_mode();
+        self.heuristic = Some(kind);
         self.strategy = Some(kind.make());
         self
     }
@@ -88,8 +92,9 @@ impl<'a> ResourceAllocator<'a> {
     }
 
     /// Runs the workload and returns its outcome record, surfacing any
-    /// configuration problem as a typed [`ConfigError`].
-    pub fn try_run(self, tasks: &[Task]) -> Result<SimStats, ConfigError> {
+    /// configuration problem — or a malformed trace (e.g. ids too
+    /// sparse for the dense outcome tables) — as a typed [`RunError`].
+    pub fn try_run(self, tasks: &[Task]) -> Result<SimStats, RunError> {
         let mut builder =
             SchedulerBuilder::new(self.cluster, self.pet).config(self.sim);
         if let Some(strategy) = self.strategy {
@@ -106,9 +111,64 @@ impl<'a> ResourceAllocator<'a> {
         // build differently-monomorphised engines — the untraced one
         // pays literally nothing for observability.
         Ok(match self.trace {
-            Some(log) => builder.sink(log).build()?.run(tasks),
-            None => builder.build()?.run(tasks),
+            Some(log) => builder
+                .sink(log)
+                .build()?
+                .try_run_stream(tasks.iter().copied())?,
+            None => builder.build()?.try_run_stream(tasks.iter().copied())?,
         })
+    }
+
+    /// Runs the workload through a federation of `shards` independent
+    /// paper-system instances (each a copy of this allocator's cluster,
+    /// heuristic and pruning configuration) behind the given routing
+    /// policy, returning the fan-in record.
+    ///
+    /// Requires the heuristic to have been selected via
+    /// [`ResourceAllocator::heuristic`] — each shard instantiates its
+    /// own stateful copy. Tracing is per-shard and not supported
+    /// through this facade: a [`ResourceAllocator::traced`] allocator
+    /// is **rejected** (rather than silently dropping the trace);
+    /// drive a [`taskprune_sim::GatewayBuilder`] with
+    /// [`sink_with`](taskprune_sim::GatewayBuilder::sink_with) for
+    /// per-shard traces.
+    pub fn try_run_federated(
+        self,
+        shards: usize,
+        policy: Box<dyn RoutePolicy>,
+        tasks: &[Task],
+    ) -> Result<FederationStats, RunError> {
+        if self.trace.is_some() {
+            return Err(ConfigError::FederatedTraceUnsupported.into());
+        }
+        let Some(kind) = self.heuristic else {
+            // Distinguish "nothing selected" from "a custom strategy
+            // was installed via .strategy(..)": a single instance
+            // cannot be shared across N shards, and telling the caller
+            // a strategy is *missing* when they installed one would be
+            // contradictory.
+            return Err(if self.strategy.is_some() {
+                ConfigError::FederatedStrategyNotPerShard.into()
+            } else {
+                ConfigError::MissingStrategy.into()
+            });
+        };
+        let n_types = self.pet.n_task_types();
+        let pruning = self.pruning;
+        let mut builder = GatewayBuilder::new(self.cluster, self.pet)
+            .config(self.sim)
+            .shards(shards)
+            .policy_boxed(policy)
+            .strategy_with(move |_| kind.make());
+        if let Some(cfg) = pruning {
+            builder = builder.pruner_with(move |_| {
+                Box::new(PruningMechanism::new(cfg, n_types))
+            });
+        }
+        if let Some(truth) = self.truth {
+            builder = builder.truth(truth);
+        }
+        Ok(builder.build()?.run_stream(tasks.iter().copied()))
     }
 
     /// Runs the workload and returns its outcome record.
@@ -196,7 +256,7 @@ mod tests {
         let err = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
             .try_run(&[])
             .expect_err("missing heuristic must be rejected");
-        assert_eq!(err, ConfigError::MissingStrategy);
+        assert_eq!(err, RunError::Config(ConfigError::MissingStrategy));
 
         let mut sim = SimConfig::batch(1);
         sim.queue_capacity = 0;
@@ -204,6 +264,96 @@ mod tests {
             .strategy(HeuristicKind::Mm.make())
             .try_run(&[])
             .expect_err("zero capacity must be rejected");
-        assert_eq!(err, ConfigError::ZeroQueueCapacity);
+        assert_eq!(err, RunError::Config(ConfigError::ZeroQueueCapacity));
+    }
+
+    #[test]
+    fn try_run_surfaces_malformed_traces_as_stats_errors() {
+        use taskprune_model::{SimTime, TaskTypeId};
+        let pet = PetGenConfig::paper_heterogeneous(3).generate();
+        let cluster = taskprune_workload::machines::heterogeneous_cluster();
+        // A snowflake-style id straight into a single cluster (no
+        // gateway compaction): a recoverable typed error, not a panic.
+        let bad = vec![taskprune_model::Task::new(
+            1_700_000_000_000,
+            TaskTypeId(0),
+            SimTime(0),
+            SimTime(1_000),
+        )];
+        let err = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
+            .heuristic(HeuristicKind::Mm)
+            .try_run(&bad)
+            .expect_err("sparse external ids must be rejected");
+        assert!(matches!(err, RunError::Stats(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn federated_run_aggregates_across_shards() {
+        use taskprune_sim::LeastQueuedRoute;
+        let pet = PetGenConfig::paper_heterogeneous(3).generate();
+        let cluster = taskprune_workload::machines::heterogeneous_cluster();
+        let trial = WorkloadConfig {
+            total_tasks: 400,
+            span_tu: 60.0,
+            ..WorkloadConfig::paper_default(8)
+        }
+        .generate_trial(&pet, 0);
+        let stats = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(2))
+            .heuristic(HeuristicKind::Mm)
+            .pruning(crate::pruner::PruningConfig::paper_default())
+            .try_run_federated(
+                3,
+                Box::new(LeastQueuedRoute::new()),
+                &trial.tasks,
+            )
+            .expect("valid federated configuration");
+        assert_eq!(stats.per_shard.len(), 3);
+        assert_eq!(stats.n_tasks(), trial.len());
+        assert_eq!(stats.unreported(), 0);
+        // The router actually spread load: no shard saw everything.
+        assert!(stats.per_shard.iter().all(|s| s.n_arrived() < trial.len()));
+    }
+
+    #[test]
+    fn federated_run_without_heuristic_kind_is_rejected() {
+        use taskprune_sim::RoundRobinRoute;
+        let pet = PetGenConfig::paper_heterogeneous(3).generate();
+        let cluster = taskprune_workload::machines::heterogeneous_cluster();
+        let err = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
+            .try_run_federated(2, Box::new(RoundRobinRoute::new()), &[])
+            .expect_err("heuristic kind is required for shard factories");
+        assert_eq!(err, RunError::Config(ConfigError::MissingStrategy));
+    }
+
+    #[test]
+    fn federated_run_explains_why_a_custom_strategy_is_rejected() {
+        use taskprune_sim::RoundRobinRoute;
+        let pet = PetGenConfig::paper_heterogeneous(3).generate();
+        let cluster = taskprune_workload::machines::heterogeneous_cluster();
+        let err = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
+            .strategy(HeuristicKind::Mm.make())
+            .try_run_federated(2, Box::new(RoundRobinRoute::new()), &[])
+            .expect_err("one strategy instance cannot serve N shards");
+        assert_eq!(
+            err,
+            RunError::Config(ConfigError::FederatedStrategyNotPerShard)
+        );
+        assert!(err.to_string().contains("per shard"), "{err}");
+    }
+
+    #[test]
+    fn federated_run_rejects_a_single_trace_log() {
+        use taskprune_sim::RoundRobinRoute;
+        let pet = PetGenConfig::paper_heterogeneous(3).generate();
+        let cluster = taskprune_workload::machines::heterogeneous_cluster();
+        let err = ResourceAllocator::new(&cluster, &pet, SimConfig::batch(1))
+            .heuristic(HeuristicKind::Mm)
+            .traced()
+            .try_run_federated(2, Box::new(RoundRobinRoute::new()), &[])
+            .expect_err("a single TraceLog cannot observe N shards");
+        assert_eq!(
+            err,
+            RunError::Config(ConfigError::FederatedTraceUnsupported)
+        );
     }
 }

@@ -61,7 +61,8 @@ pub mod pruner;
 
 pub use allocator::ResourceAllocator;
 pub use experiment::{
-    run_experiment, ClusterKind, ExperimentConfig, ExperimentResult,
+    run_experiment, run_federated_experiment, ClusterKind, ExperimentConfig,
+    ExperimentResult,
 };
 pub use pruner::{FairnessConfig, PruningConfig, PruningMechanism, ToggleMode};
 
@@ -69,14 +70,18 @@ pub use pruner::{FairnessConfig, PruningConfig, PruningMechanism, ToggleMode};
 pub mod prelude {
     pub use crate::allocator::ResourceAllocator;
     pub use crate::experiment::{
-        run_experiment, ClusterKind, ExperimentConfig, ExperimentResult,
+        run_experiment, run_federated_experiment, ClusterKind,
+        ExperimentConfig, ExperimentResult,
     };
     pub use crate::pruner::{
         FairnessConfig, PruningConfig, PruningMechanism, ToggleMode,
     };
-    pub use taskprune_heuristics::HeuristicKind;
+    pub use taskprune_heuristics::{BestChanceRoute, HeuristicKind};
     pub use taskprune_model::{Cluster, PetMatrix, SimTime, Task, TaskOutcome};
-    pub use taskprune_sim::{SimConfig, SimStats};
+    pub use taskprune_sim::{
+        FederationStats, GatewayBuilder, LeastQueuedRoute, RoundRobinRoute,
+        RoutePolicy, SimConfig, SimStats,
+    };
     pub use taskprune_workload::{
         ArrivalPattern, PetGenConfig, WorkloadConfig,
     };

@@ -19,6 +19,7 @@ pub mod batch;
 pub mod homogeneous;
 pub mod immediate;
 pub mod minmin_fast;
+pub mod probe;
 pub mod registry;
 
 pub use batch::{TwoPhase, MM, MMU, MSD};
@@ -30,4 +31,7 @@ pub use immediate::{
     OpportunisticLoadBalancing, RoundRobin, SwitchingAlgorithm,
 };
 pub use minmin_fast::EfficientMinMin;
+pub use probe::{
+    best_admission_chance, best_expected_completion, BestChanceRoute,
+};
 pub use registry::HeuristicKind;

@@ -23,6 +23,7 @@
 
 use crate::config::{ConfigError, SimConfig};
 use crate::core::SchedulerCore;
+use crate::decisions::{Decisions, NullDecisions};
 use crate::engine::Engine;
 use crate::sink::{NullSink, Sink};
 use crate::traits::{MappingStrategy, NoPruning, Pruner};
@@ -34,7 +35,11 @@ use taskprune_model::{Cluster, PetMatrix};
 /// The builder copies the (small) machine list out of the cluster, so
 /// only the PET matrices must outlive the built core — the cluster
 /// borrow ends with [`SchedulerBuilder::new`].
-pub struct SchedulerBuilder<'a, S: Sink = NullSink> {
+pub struct SchedulerBuilder<
+    'a,
+    S: Sink = NullSink,
+    D: Decisions = NullDecisions,
+> {
     cfg: SimConfig,
     machines: Vec<taskprune_model::Machine>,
     pet: &'a PetMatrix,
@@ -42,13 +47,14 @@ pub struct SchedulerBuilder<'a, S: Sink = NullSink> {
     strategy: Option<MappingStrategy>,
     pruner: Option<Box<dyn Pruner>>,
     sink: S,
+    decisions: D,
 }
 
-impl<'a> SchedulerBuilder<'a, NullSink> {
+impl<'a> SchedulerBuilder<'a, NullSink, NullDecisions> {
     /// Starts a builder over the given cluster and (belief) PET matrix.
     /// Defaults: batch mode with the paper's parameters and seed 0, no
-    /// pruning, ground truth equal to belief, and the zero-cost
-    /// [`NullSink`].
+    /// pruning, ground truth equal to belief, the zero-cost
+    /// [`NullSink`], and the discard-everything [`NullDecisions`].
     pub fn new(cluster: &Cluster, pet: &'a PetMatrix) -> Self {
         Self {
             cfg: SimConfig::batch(0),
@@ -58,11 +64,12 @@ impl<'a> SchedulerBuilder<'a, NullSink> {
             strategy: None,
             pruner: None,
             sink: NullSink,
+            decisions: NullDecisions,
         }
     }
 }
 
-impl<'a, S: Sink> SchedulerBuilder<'a, S> {
+impl<'a, S: Sink, D: Decisions> SchedulerBuilder<'a, S, D> {
     /// Sets the static simulation parameters (mode, capacity, horizon,
     /// seed, …).
     pub fn config(mut self, cfg: SimConfig) -> Self {
@@ -109,7 +116,7 @@ impl<'a, S: Sink> SchedulerBuilder<'a, S> {
     /// Replaces the observability sink (default: the zero-cost
     /// [`NullSink`]). Passing a [`crate::TraceLog`] records the full
     /// execution trace into [`crate::SimStats::trace`].
-    pub fn sink<T: Sink>(self, sink: T) -> SchedulerBuilder<'a, T> {
+    pub fn sink<T: Sink>(self, sink: T) -> SchedulerBuilder<'a, T, D> {
         SchedulerBuilder {
             cfg: self.cfg,
             machines: self.machines,
@@ -118,6 +125,28 @@ impl<'a, S: Sink> SchedulerBuilder<'a, S> {
             strategy: self.strategy,
             pruner: self.pruner,
             sink,
+            decisions: self.decisions,
+        }
+    }
+
+    /// Replaces the typed-decision consumer the [`Engine`] driver feeds
+    /// after every event (default: the discard-everything
+    /// [`NullDecisions`]). Pass `&mut consumer` to keep ownership for
+    /// after the run — `&mut D` implements [`Decisions`] by
+    /// delegation.
+    pub fn decisions<T: Decisions>(
+        self,
+        decisions: T,
+    ) -> SchedulerBuilder<'a, S, T> {
+        SchedulerBuilder {
+            cfg: self.cfg,
+            machines: self.machines,
+            pet: self.pet,
+            truth: self.truth,
+            strategy: self.strategy,
+            pruner: self.pruner,
+            sink: self.sink,
+            decisions,
         }
     }
 
@@ -166,29 +195,43 @@ impl<'a, S: Sink> SchedulerBuilder<'a, S> {
         Ok(())
     }
 
-    /// Builds the clock-free [`SchedulerCore`] for streaming callers.
+    /// Builds the clock-free [`SchedulerCore`] for streaming callers
+    /// (who drain decisions themselves — the consumer is a driver
+    /// concern, so it is dropped here).
     pub fn build_core(self) -> Result<SchedulerCore<'a, S>, ConfigError> {
+        Ok(self.build_parts()?.0)
+    }
+
+    /// Validates and splits the builder into the core plus the decision
+    /// consumer destined for the driver.
+    fn build_parts(self) -> Result<(SchedulerCore<'a, S>, D), ConfigError> {
         self.validate()?;
         let strategy = self.strategy.expect("validated above");
         let pruner = self.pruner.unwrap_or_else(|| Box::new(NoPruning));
-        Ok(SchedulerCore::from_parts(
+        let core = SchedulerCore::from_parts(
             self.cfg,
             &self.machines,
             self.pet,
             strategy,
             pruner,
             self.sink,
-        ))
+        );
+        Ok((core, self.decisions))
     }
 
     /// Builds the discrete-event [`Engine`] (the core plus an event
     /// driver that samples ground-truth durations).
-    pub fn build(self) -> Result<Engine<'a, S>, ConfigError> {
+    pub fn build(self) -> Result<Engine<'a, S, D>, ConfigError> {
         let truth = self.truth;
         let pet = self.pet;
         let seed = self.cfg.seed;
-        let core = self.build_core()?;
-        Ok(Engine::from_core(core, truth.unwrap_or(pet), seed))
+        let (core, decisions) = self.build_parts()?;
+        Ok(Engine::from_core(
+            core,
+            truth.unwrap_or(pet),
+            seed,
+            decisions,
+        ))
     }
 }
 

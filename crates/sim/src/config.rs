@@ -116,6 +116,19 @@ pub enum ConfigError {
         /// "bin width").
         what: &'static str,
     },
+    /// A [`crate::Gateway`] was asked for zero shards: there would be
+    /// nowhere to route an arrival.
+    ZeroShards,
+    /// A single-run facade was asked to trace a federated run. Tracing
+    /// is per-shard; install per-shard sinks through
+    /// [`crate::GatewayBuilder::sink_with`] instead.
+    FederatedTraceUnsupported,
+    /// A federated run was given one already-instantiated mapping
+    /// strategy, but every shard needs its own stateful instance —
+    /// select the heuristic by kind (or use
+    /// [`crate::GatewayBuilder::strategy_with`], the per-shard
+    /// factory).
+    FederatedStrategyNotPerShard,
 }
 
 impl fmt::Display for ConfigError {
@@ -141,11 +154,65 @@ impl fmt::Display for ConfigError {
             ConfigError::BeliefTruthMismatch { what } => {
                 write!(f, "belief/truth PET matrices disagree on {what}")
             }
+            ConfigError::ZeroShards => {
+                write!(f, "a gateway needs at least one shard to route to")
+            }
+            ConfigError::FederatedTraceUnsupported => {
+                write!(
+                    f,
+                    "tracing a federated run needs per-shard sinks \
+                     (GatewayBuilder::sink_with), not a single TraceLog"
+                )
+            }
+            ConfigError::FederatedStrategyNotPerShard => {
+                write!(
+                    f,
+                    "a federated run needs one mapping-strategy instance \
+                     per shard: select the heuristic by kind, or use \
+                     GatewayBuilder::strategy_with (a single installed \
+                     strategy cannot be shared across shards)"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Anything that can stop a run when driven through the fallible entry
+/// points (`try_run`, [`crate::Engine::try_run_stream`]): either the
+/// configuration was rejected up front, or the input trace itself was
+/// malformed mid-stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The scheduler configuration was rejected at build time.
+    Config(ConfigError),
+    /// The outcome collector rejected a record (malformed trace).
+    Stats(crate::stats::StatsError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Config(e) => e.fmt(f),
+            RunError::Stats(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        RunError::Config(e)
+    }
+}
+
+impl From<crate::stats::StatsError> for RunError {
+    fn from(e: crate::stats::StatsError) -> Self {
+        RunError::Stats(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -186,6 +253,9 @@ mod tests {
             },
             ConfigError::MissingStrategy,
             ConfigError::BeliefTruthMismatch { what: "bin width" },
+            ConfigError::ZeroShards,
+            ConfigError::FederatedTraceUnsupported,
+            ConfigError::FederatedStrategyNotPerShard,
         ];
         let rendered: Vec<String> =
             errors.iter().map(|e| e.to_string()).collect();

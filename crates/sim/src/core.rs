@@ -259,17 +259,35 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
     /// current clock. The task's `arrival` must not lie in the future
     /// (advance the clock first); a task delivered late simply arrives
     /// now.
+    ///
+    /// # Panics
+    /// When the task id is too sparse for the dense outcome tables —
+    /// [`SchedulerCore::try_push_arrival`] is the recoverable variant.
     pub fn push_arrival(&mut self, task: Task) {
+        self.try_push_arrival(task)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`SchedulerCore::push_arrival`]: a task whose id the
+    /// dense outcome tables cannot absorb (see
+    /// [`crate::stats::StatsError`]) is rejected *before* touching any
+    /// scheduling state, so the caller can drop or re-label it and keep
+    /// streaming.
+    pub fn try_push_arrival(
+        &mut self,
+        task: Task,
+    ) -> Result<(), crate::stats::StatsError> {
         debug_assert!(
             task.arrival <= self.now,
             "arrival {:?} is in the future; call advance_to first",
             task.arrival
         );
+        self.stats.try_record_arrival(&task)?;
         self.begin_report();
-        self.stats.record_arrival(&task);
         self.sink
             .record(self.now, TraceEvent::Arrived { task: task.id });
         self.mapping_event(Some(task));
+        Ok(())
     }
 
     /// Reports that `machine` finished executing `task` at the current

@@ -1,0 +1,199 @@
+//! Pluggable consumers of the scheduler's typed decision stream.
+//!
+//! [`SchedulerCore`](crate::SchedulerCore) records every mapping-event
+//! outcome as a typed [`Decision`]; streaming callers drain them with
+//! `drain_decisions`. The bundled [`Engine`](crate::Engine) driver used
+//! to drain-and-discard that stream each event — live callers running
+//! the engine had no way to subscribe. A [`Decisions`] consumer is the
+//! fix, mirroring the [`Sink`](crate::Sink) design exactly: it is a
+//! *type parameter* of the engine, the default [`NullDecisions`]
+//! compiles the delivery loop away, and any other implementation
+//! receives each decision the moment the event that produced it ends.
+//!
+//! `&mut D` also implements `Decisions`, so a caller can lend a
+//! consumer to the engine and keep ownership for after the run:
+//!
+//! ```no_run
+//! # use taskprune_sim::{SchedulerBuilder, DecisionCounter};
+//! # let (cluster, pet, tasks): (_, _, Vec<taskprune_model::Task>) =
+//! #     unimplemented!();
+//! let mut counter = DecisionCounter::default();
+//! let stats = SchedulerBuilder::new(&cluster, &pet)
+//!     .decisions(&mut counter)
+//!     .build()?
+//!     .run(&tasks);
+//! println!("{}", counter.summary());
+//! # Ok::<(), taskprune_sim::ConfigError>(())
+//! ```
+
+use crate::core::Decision;
+use taskprune_model::SimTime;
+
+/// A consumer of the typed decision stream.
+///
+/// The only method has a no-op default, so implementations override
+/// exactly what they need. Decisions arrive oldest-first, each stamped
+/// with the simulated instant of the mapping event that took it.
+pub trait Decisions {
+    /// Observes one scheduling decision taken at simulated time `at`.
+    fn on_decision(&mut self, at: SimTime, decision: Decision) {
+        let _ = (at, decision);
+    }
+}
+
+/// The default consumer: ignores everything, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullDecisions;
+
+impl Decisions for NullDecisions {}
+
+impl<D: Decisions + ?Sized> Decisions for &mut D {
+    fn on_decision(&mut self, at: SimTime, decision: Decision) {
+        (**self).on_decision(at, decision);
+    }
+}
+
+/// Counts decisions per variant — the cheapest useful subscriber, and
+/// the one `examples/live_ingest.rs` prints its summary through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionCounter {
+    /// Tasks committed to a machine queue.
+    pub assigned: u64,
+    /// Pruner vetoes sending a task back to the batch queue.
+    pub deferred: u64,
+    /// Deadline-missed pending tasks dropped reactively.
+    pub dropped_reactive: u64,
+    /// Tasks pruned probabilistically from machine queues.
+    pub dropped_probabilistic: u64,
+    /// Immediate-mode rejections (all queues full).
+    pub rejected: u64,
+    /// Late running tasks cancelled mid-execution.
+    pub cancelled: u64,
+}
+
+impl DecisionCounter {
+    /// Total decisions observed.
+    pub fn total(&self) -> u64 {
+        self.assigned
+            + self.deferred
+            + self.dropped_reactive
+            + self.dropped_probabilistic
+            + self.rejected
+            + self.cancelled
+    }
+
+    /// One-line human summary of the observed stream.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} decisions: {} assigned, {} deferred, {} dropped reactive, \
+             {} pruned, {} rejected, {} cancelled",
+            self.total(),
+            self.assigned,
+            self.deferred,
+            self.dropped_reactive,
+            self.dropped_probabilistic,
+            self.rejected,
+            self.cancelled,
+        )
+    }
+}
+
+impl Decisions for DecisionCounter {
+    fn on_decision(&mut self, _at: SimTime, decision: Decision) {
+        match decision {
+            Decision::Assign { .. } => self.assigned += 1,
+            Decision::DeferToBatch { .. } => self.deferred += 1,
+            Decision::DropReactive { .. } => self.dropped_reactive += 1,
+            Decision::DropProbabilistic { .. } => {
+                self.dropped_probabilistic += 1
+            }
+            Decision::Reject { .. } => self.rejected += 1,
+            Decision::CancelRunning { .. } => self.cancelled += 1,
+        }
+    }
+}
+
+/// Records the full timestamped decision stream — the trace-everything
+/// subscriber for tests and offline analysis.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionLog {
+    /// The observed stream, oldest first.
+    pub entries: Vec<(SimTime, Decision)>,
+}
+
+impl Decisions for DecisionLog {
+    fn on_decision(&mut self, at: SimTime, decision: Decision) {
+        self.entries.push((at, decision));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskprune_model::{MachineId, TaskId};
+
+    fn one_of_each() -> [Decision; 6] {
+        let task = TaskId(1);
+        [
+            Decision::Assign {
+                task,
+                machine: MachineId(0),
+            },
+            Decision::DeferToBatch { task },
+            Decision::DropReactive { task },
+            Decision::DropProbabilistic { task },
+            Decision::Reject { task },
+            Decision::CancelRunning { task },
+        ]
+    }
+
+    #[test]
+    fn counter_tracks_every_variant() {
+        let mut c = DecisionCounter::default();
+        for d in one_of_each() {
+            c.on_decision(SimTime(5), d);
+        }
+        assert_eq!(c.total(), 6);
+        assert_eq!((c.assigned, c.deferred, c.dropped_reactive), (1, 1, 1));
+        assert_eq!(
+            (c.dropped_probabilistic, c.rejected, c.cancelled),
+            (1, 1, 1)
+        );
+        assert!(c.summary().starts_with("6 decisions"));
+    }
+
+    #[test]
+    fn borrowed_consumer_delegates() {
+        let mut c = DecisionCounter::default();
+        {
+            let mut borrowed: &mut DecisionCounter = &mut c;
+            // Route through the `&mut D` blanket impl explicitly (plain
+            // method syntax would auto-deref to the inherent impl).
+            <&mut DecisionCounter as Decisions>::on_decision(
+                &mut borrowed,
+                SimTime(0),
+                Decision::Assign {
+                    task: TaskId(0),
+                    machine: MachineId(0),
+                },
+            );
+        }
+        assert_eq!(c.assigned, 1);
+    }
+
+    #[test]
+    fn log_keeps_order_and_timestamps() {
+        let mut log = DecisionLog::default();
+        log.on_decision(SimTime(1), Decision::Reject { task: TaskId(9) });
+        log.on_decision(SimTime(2), Decision::DropReactive { task: TaskId(9) });
+        assert_eq!(log.entries.len(), 2);
+        assert_eq!(log.entries[0].0, SimTime(1));
+        assert!(matches!(log.entries[1].1, Decision::DropReactive { .. }));
+    }
+
+    #[test]
+    fn null_consumer_is_a_no_op() {
+        let mut n = NullDecisions;
+        n.on_decision(SimTime(0), Decision::Reject { task: TaskId(0) });
+    }
+}

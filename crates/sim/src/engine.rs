@@ -20,9 +20,10 @@
 
 use crate::config::SimConfig;
 use crate::core::SchedulerCore;
+use crate::decisions::{Decisions, NullDecisions};
 use crate::event::{Event, EventKind, EventQueue};
 use crate::sink::{NullSink, Sink};
-use crate::stats::SimStats;
+use crate::stats::{SimStats, StatsError};
 use crate::trace::TraceLog;
 use crate::traits::{MappingStrategy, Pruner};
 use taskprune_model::{Cluster, PetMatrix, SimTime, Task};
@@ -32,7 +33,12 @@ use taskprune_prob::rng::Xoshiro256PlusPlus;
 /// driving it. Construct via [`crate::SchedulerBuilder::build`] (or the
 /// legacy [`Engine::new`]), then call [`Engine::run`] or
 /// [`Engine::run_stream`].
-pub struct Engine<'a, S: Sink = NullSink> {
+///
+/// `D` is the [`Decisions`] consumer the driver feeds the core's typed
+/// decision stream into after every event; the default
+/// [`NullDecisions`] restores the historical drain-and-discard
+/// behaviour at zero cost.
+pub struct Engine<'a, S: Sink = NullSink, D: Decisions = NullDecisions> {
     core: SchedulerCore<'a, S>,
     /// The matrix actual durations are sampled from: ground truth.
     /// Identical to the core's belief matrix unless the builder's
@@ -41,6 +47,7 @@ pub struct Engine<'a, S: Sink = NullSink> {
     events: EventQueue,
     rng: Xoshiro256PlusPlus,
     wakeup_pending: bool,
+    decisions: D,
 }
 
 impl<'a> Engine<'a, NullSink> {
@@ -69,13 +76,14 @@ impl<'a> Engine<'a, NullSink> {
     }
 }
 
-impl<'a, S: Sink> Engine<'a, S> {
+impl<'a, S: Sink, D: Decisions> Engine<'a, S, D> {
     /// Wraps a built core into a driver. Crate-internal; the builder is
     /// the public entrance.
     pub(crate) fn from_core(
         core: SchedulerCore<'a, S>,
         truth: &'a PetMatrix,
         seed: u64,
+        decisions: D,
     ) -> Self {
         Self {
             core,
@@ -83,6 +91,7 @@ impl<'a, S: Sink> Engine<'a, S> {
             events: EventQueue::new(),
             rng: Xoshiro256PlusPlus::new(seed),
             wakeup_pending: false,
+            decisions,
         }
     }
 
@@ -91,13 +100,14 @@ impl<'a, S: Sink> Engine<'a, S> {
     ///
     /// Legacy shim over [`crate::SchedulerBuilder::sink`]; note the
     /// engine's sink type changes to [`TraceLog`].
-    pub fn with_trace(self, log: TraceLog) -> Engine<'a, TraceLog> {
+    pub fn with_trace(self, log: TraceLog) -> Engine<'a, TraceLog, D> {
         Engine {
             core: self.core.with_sink(log),
             truth: self.truth,
             events: self.events,
             rng: self.rng,
             wakeup_pending: self.wakeup_pending,
+            decisions: self.decisions,
         }
     }
 
@@ -154,7 +164,28 @@ impl<'a, S: Sink> Engine<'a, S> {
     /// delivery) is ingested immediately at the current instant — the
     /// clock never rewinds, so one late task cannot corrupt the
     /// timeline of everything after it.
-    pub fn run_stream<I>(mut self, arrivals: I) -> SimStats
+    ///
+    /// # Panics
+    /// When the stream carries a task id too sparse for the dense
+    /// outcome tables; [`Engine::try_run_stream`] is the recoverable
+    /// variant.
+    pub fn run_stream<I>(self, arrivals: I) -> SimStats
+    where
+        I: IntoIterator<Item = Task>,
+    {
+        self.try_run_stream(arrivals)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Engine::run_stream`]: a malformed arrival (an id the
+    /// dense stats tables cannot absorb) surfaces as a typed
+    /// [`StatsError`] instead of a panic, so a caller replaying an
+    /// untrusted external trace can treat it as a recoverable input
+    /// error.
+    pub fn try_run_stream<I>(
+        mut self,
+        arrivals: I,
+    ) -> Result<SimStats, StatsError>
     where
         I: IntoIterator<Item = Task>,
     {
@@ -200,15 +231,19 @@ impl<'a, S: Sink> Engine<'a, S> {
                 // semantics a live front-end has. The clock never
                 // rewinds.
                 self.core.advance_to(task.arrival.max(self.core.now()));
-                self.core.push_arrival(task);
+                self.core.try_push_arrival(task)?;
             }
             self.dispatch_starts();
             // The driver consumes the decision stream so the buffer
-            // stays bounded; streaming callers drain it themselves.
-            self.core.drain_decisions();
+            // stays bounded, delivering each decision to the consumer
+            // (the default NullDecisions compiles this loop away).
+            let now = self.core.now();
+            for decision in self.core.drain_decisions() {
+                self.decisions.on_decision(now, *decision);
+            }
             self.maybe_schedule_wakeup(source.peek().is_some());
         }
-        self.core.finish()
+        Ok(self.core.finish())
     }
 
     /// Turns the core's pending starts into completion events, sampling
@@ -253,7 +288,7 @@ impl<'a, S: Sink> Engine<'a, S> {
     }
 }
 
-impl<S: Sink> std::fmt::Debug for Engine<'_, S> {
+impl<S: Sink, D: Decisions> std::fmt::Debug for Engine<'_, S, D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("core", &self.core)
@@ -543,6 +578,54 @@ mod tests {
         assert_eq!(stats.count(TaskOutcome::CompletedOnTime), 2);
         assert_eq!(stats.unreported(), 0);
         assert!(stats.end_time >= SimTime(200));
+    }
+
+    #[test]
+    fn decision_consumer_sees_the_full_stream() {
+        use crate::decisions::DecisionCounter;
+        let pet = det_pet(1);
+        let cluster = Cluster::one_per_type(1);
+        let tasks = tasks_every(12, 100, 10_000);
+        let mut counter = DecisionCounter::default();
+        let stats = crate::build::SchedulerBuilder::new(&cluster, &pet)
+            .config(SimConfig::batch(3))
+            .strategy(MappingStrategy::Batch(Box::new(ToZero)))
+            .decisions(&mut counter)
+            .build()
+            .expect("valid configuration")
+            .run(&tasks);
+        // Every task was eventually assigned exactly once, and the
+        // consumer observed each assignment the driver used to discard.
+        assert_eq!(counter.assigned as usize, 12);
+        assert_eq!(counter.total(), 12);
+        assert_eq!(
+            stats.count(TaskOutcome::CompletedOnTime)
+                + stats.count(TaskOutcome::CompletedLate)
+                + stats.count(TaskOutcome::DroppedReactive),
+            12
+        );
+    }
+
+    #[test]
+    fn try_run_stream_surfaces_sparse_ids_as_errors() {
+        let pet = det_pet(1);
+        let cluster = Cluster::one_per_type(1);
+        let bad = vec![Task::new(
+            u64::from(u32::MAX) * 1_000,
+            TaskTypeId(0),
+            SimTime(0),
+            SimTime(1_000),
+        )];
+        let err = Engine::new(
+            SimConfig::batch(1),
+            &cluster,
+            &pet,
+            MappingStrategy::Batch(Box::new(ToZero)),
+            Box::new(NoPruning),
+        )
+        .try_run_stream(bad)
+        .expect_err("sparse id must surface, not panic");
+        assert!(matches!(err, crate::stats::StatsError::SparseTaskId { .. }));
     }
 
     #[test]

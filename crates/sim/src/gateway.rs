@@ -1,0 +1,1077 @@
+//! Sharded cluster federation: one gateway, N independent scheduler
+//! shards.
+//!
+//! The paper evaluates one load balancer in front of one heterogeneous
+//! cluster; its companion work frames pruning as part of a
+//! resource-allocation *system* whose front-end mediates between users
+//! and many machine queues. A [`Gateway`] is that front-end: it owns N
+//! independent [`SchedulerCore`] shards — each a full paper-system
+//! instance with its own machines, queues, pruner and heuristic — and
+//! routes one live arrival stream across them through a pluggable
+//! [`RoutePolicy`].
+//!
+//! Three concerns live at the federation boundary and nowhere else:
+//!
+//! * **Routing** — which shard absorbs each arrival
+//!   ([`crate::route`]);
+//! * **Id compaction** ([`IdCompactor`]) — external task ids may be
+//!   sparse (timestamps, snowflakes), out of order, or even duplicated;
+//!   each shard sees only its own dense, arrival-ordered internal id
+//!   space, so the per-shard outcome tables stay dense and small;
+//! * **Fan-in** ([`FederationStats`]) — per-shard outcome records merge
+//!   into federation-level robustness/throughput figures
+//!   deterministically, trimmed by *global arrival order*.
+//!
+//! A **one-shard gateway is bit-identical to the plain engine**: the
+//! round-robin policy degenerates to "always shard 0", compaction maps
+//! a dense in-order trace onto itself, and the federated driver
+//! ([`FederatedEngine`]) replays exactly the event ordering of
+//! [`crate::Engine`] — `tests/federation_equivalence.rs` pins this on
+//! serialized [`SimStats`], trace included.
+
+use crate::config::{ConfigError, SimConfig};
+use crate::core::{Decision, SchedulerCore, Start};
+use crate::event::EventKind;
+use crate::route::{RoundRobinRoute, RoutePolicy, ShardView};
+use crate::sink::{NullSink, Sink};
+use crate::stats::SimStats;
+use crate::traits::{MappingStrategy, Pruner};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use taskprune_model::{
+    Cluster, Machine, MachineId, PetMatrix, SimTime, Task, TaskId, TaskOutcome,
+    TaskTypeId,
+};
+use taskprune_prob::rng::{derive_seed, Xoshiro256PlusPlus};
+
+// ---------------------------------------------------------------------
+// Id compaction.
+// ---------------------------------------------------------------------
+
+/// Translates sparse/out-of-order external task ids into each shard's
+/// dense internal id space.
+///
+/// Internal ids are assigned per shard in arrival order (`0, 1, 2, …`),
+/// which is exactly the layout the dense [`SimStats`] tables want —
+/// the >2²⁴-jump guard can never fire behind a compactor. The mapping
+/// is append-only, so an internal id round-trips to the external id it
+/// was assigned for even when external ids repeat (each occurrence gets
+/// a fresh internal id).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IdCompactor {
+    /// Per shard: internal id (index) → external id.
+    per_shard: Vec<Vec<TaskId>>,
+}
+
+impl IdCompactor {
+    /// A compactor for `n_shards` shards.
+    pub fn new(n_shards: usize) -> Self {
+        Self {
+            per_shard: vec![Vec::new(); n_shards],
+        }
+    }
+
+    /// Assigns the next dense internal id of `shard` to `external`.
+    pub fn assign(&mut self, shard: usize, external: TaskId) -> TaskId {
+        let table = &mut self.per_shard[shard];
+        let internal = TaskId(table.len() as u64);
+        table.push(external);
+        internal
+    }
+
+    /// The external id an internal id was assigned for.
+    pub fn external(&self, shard: usize, internal: TaskId) -> Option<TaskId> {
+        self.per_shard
+            .get(shard)
+            .and_then(|t| t.get(internal.0 as usize))
+            .copied()
+    }
+
+    /// Number of ids assigned on `shard`.
+    pub fn assigned(&self, shard: usize) -> usize {
+        self.per_shard.get(shard).map_or(0, Vec::len)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The gateway.
+// ---------------------------------------------------------------------
+
+/// One arrival as the federation recorded it: where it was routed and
+/// under which internal id. The global sequence of these is the
+/// federation's arrival-ordered trim window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FedArrival {
+    /// The shard the task was routed to.
+    pub shard: u32,
+    /// The dense id the shard knows the task by.
+    pub internal: TaskId,
+    /// The id the outside world knows the task by.
+    pub external: TaskId,
+}
+
+/// One decision from the federated decision stream, translated back
+/// into external ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FedDecision {
+    /// The shard that took the decision.
+    pub shard: usize,
+    /// The decision, with the task's *external* id restored.
+    pub decision: Decision,
+}
+
+/// One execution start surfaced through the gateway. The caller owes a
+/// matching [`Gateway::complete`] with the *internal* id (kept here
+/// alongside the externally-labelled task).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedStart {
+    /// The shard whose machine starts executing.
+    pub shard: usize,
+    /// The machine that begins executing.
+    pub machine: Machine,
+    /// The task it executes, with its **external** id restored.
+    pub task: Task,
+    /// The shard-internal id [`Gateway::complete`] expects back.
+    pub internal: TaskId,
+}
+
+/// The federation front-end: N independent [`SchedulerCore`] shards
+/// behind a [`RoutePolicy`], with id compaction at the boundary.
+///
+/// Mirrors the core's streaming API one level up: `advance_to` /
+/// `push_arrival` / `complete` / `wakeup`, with decisions and starts
+/// drained in shard-index order and translated back to external ids.
+/// Construct via [`GatewayBuilder`]; [`FederatedEngine`] is the bundled
+/// discrete-event driver over it.
+pub struct Gateway<'a, S: Sink = NullSink> {
+    shards: Vec<SchedulerCore<'a, S>>,
+    policy: Box<dyn RoutePolicy>,
+    compact: IdCompactor,
+    /// Global arrival order across the federation.
+    arrival_order: Vec<FedArrival>,
+    /// Latest (shard, internal) per external id, for callers that only
+    /// know external ids. Duplicated external ids: latest wins.
+    latest: HashMap<u64, (u32, TaskId)>,
+    /// Reused output buffer for [`Gateway::drain_decisions`].
+    decisions: Vec<FedDecision>,
+    /// Reused output buffer for [`Gateway::drain_starts`].
+    starts: Vec<FedStart>,
+}
+
+impl<'a, S: Sink> Gateway<'a, S> {
+    fn from_parts(
+        shards: Vec<SchedulerCore<'a, S>>,
+        policy: Box<dyn RoutePolicy>,
+    ) -> Self {
+        let n = shards.len();
+        Self {
+            shards,
+            policy,
+            compact: IdCompactor::new(n),
+            arrival_order: Vec::new(),
+            latest: HashMap::new(),
+            decisions: Vec::new(),
+            starts: Vec::new(),
+        }
+    }
+
+    /// Number of shards behind the gateway.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing policy's display name.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Read-only access to the shards (shard-index order).
+    pub fn shards(&self) -> &[SchedulerCore<'a, S>] {
+        &self.shards
+    }
+
+    /// The federation clock (all shards share one timeline).
+    pub fn now(&self) -> SimTime {
+        self.shards[0].now()
+    }
+
+    /// Moves every shard's clock forward to `t`.
+    ///
+    /// # Panics
+    /// If `t` is before the current clock (time never runs backwards —
+    /// see [`SchedulerCore::advance_to`]).
+    pub fn advance_to(&mut self, t: SimTime) {
+        for shard in &mut self.shards {
+            shard.advance_to(t);
+        }
+    }
+
+    /// Routes one arriving task (carrying its *external* id), compacts
+    /// the id into the chosen shard's dense space, and runs that
+    /// shard's mapping event. Returns the routed shard and the internal
+    /// id assigned.
+    pub fn push_arrival(&mut self, task: Task) -> (usize, TaskId) {
+        // A single shard needs no routing decision at all — the
+        // bit-identity-critical 1-shard path skips the policy (and its
+        // view materialisation) entirely.
+        let shard = if self.shards.len() == 1 {
+            0
+        } else {
+            // The views borrow the shards, so they cannot live in a
+            // reused arena on `self`; one small shard-count-sized
+            // allocation per arrival is the price of the borrow (noise
+            // next to the mapping event it precedes).
+            let views: Vec<ShardView<'_>> = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    ShardView::new(i, s.view(), s.pending_batch_len())
+                })
+                .collect();
+            self.policy.route(&views, &task)
+        };
+        assert!(
+            shard < self.shards.len(),
+            "route policy {:?} returned shard {shard} of {}",
+            self.policy.name(),
+            self.shards.len(),
+        );
+        let internal = self.compact.assign(shard, task.id);
+        self.latest.insert(task.id.0, (shard as u32, internal));
+        self.arrival_order.push(FedArrival {
+            shard: shard as u32,
+            internal,
+            external: task.id,
+        });
+        let mut relabelled = task;
+        relabelled.id = internal;
+        self.shards[shard].push_arrival(relabelled);
+        (shard, internal)
+    }
+
+    /// Reports that `machine` on `shard` finished the task with the
+    /// given *internal* id (as handed out via [`FedStart`]). Returns
+    /// `false` for stale completions, exactly like
+    /// [`SchedulerCore::complete`].
+    pub fn complete(
+        &mut self,
+        shard: usize,
+        machine: MachineId,
+        internal: TaskId,
+    ) -> bool {
+        self.shards[shard].complete(machine, internal)
+    }
+
+    /// Where an external id currently lives: the `(shard, internal)`
+    /// pair of its **latest** arrival (duplicated external ids shadow
+    /// earlier occurrences).
+    pub fn resolve(&self, external: TaskId) -> Option<(usize, TaskId)> {
+        self.latest.get(&external.0).map(|&(s, i)| (s as usize, i))
+    }
+
+    /// Fires a synthetic mapping event on one shard (the deferral
+    /// safety net).
+    pub fn wakeup(&mut self, shard: usize) {
+        self.shards[shard].wakeup();
+    }
+
+    /// The soonest batch-queue deadline on `shard`, if any — drivers
+    /// schedule the per-shard wakeup safety net just past it.
+    pub fn earliest_pending_deadline(&self, shard: usize) -> Option<SimTime> {
+        self.shards[shard].earliest_pending_deadline()
+    }
+
+    /// Drains every shard's decision stream (shard-index order, oldest
+    /// first within a shard) with external ids restored.
+    pub fn drain_decisions(&mut self) -> &[FedDecision] {
+        self.decisions.clear();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            for d in shard.drain_decisions() {
+                self.decisions.push(FedDecision {
+                    shard: i,
+                    decision: relabel_decision(*d, |id| {
+                        self.compact
+                            .external(i, id)
+                            .expect("decision about an id the shard was fed")
+                    }),
+                });
+            }
+        }
+        &self.decisions
+    }
+
+    /// Drains and discards every shard's decision stream without
+    /// building or relabelling anything — the zero-cost path for
+    /// drivers that only need the buffers kept bounded (the federated
+    /// analogue of the engine's `NullDecisions`).
+    pub fn discard_decisions(&mut self) {
+        for shard in &mut self.shards {
+            shard.drain_decisions();
+        }
+    }
+
+    /// Drains every shard's pending execution starts (shard-index
+    /// order). Each owes the gateway a [`Gateway::complete`].
+    pub fn drain_starts(&mut self) -> &[FedStart] {
+        self.starts.clear();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            for &Start { machine, task } in shard.drain_starts() {
+                let mut external = task;
+                external.id = self
+                    .compact
+                    .external(i, task.id)
+                    .expect("start for an id the shard was fed");
+                self.starts.push(FedStart {
+                    shard: i,
+                    machine,
+                    task: external,
+                    internal: task.id,
+                });
+            }
+        }
+        &self.starts
+    }
+
+    /// Finishes every shard and returns the federation's outcome
+    /// record.
+    pub fn finish(self) -> FederationStats {
+        FederationStats {
+            per_shard: self
+                .shards
+                .into_iter()
+                .map(SchedulerCore::finish)
+                .collect(),
+            arrivals: self.arrival_order,
+        }
+    }
+}
+
+impl<S: Sink> std::fmt::Debug for Gateway<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("shards", &self.shards.len())
+            .field("policy", &self.policy.name())
+            .field("arrivals", &self.arrival_order.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Rewrites the task id inside a decision.
+fn relabel_decision(
+    d: Decision,
+    mut f: impl FnMut(TaskId) -> TaskId,
+) -> Decision {
+    match d {
+        Decision::Assign { task, machine } => Decision::Assign {
+            task: f(task),
+            machine,
+        },
+        Decision::DeferToBatch { task } => {
+            Decision::DeferToBatch { task: f(task) }
+        }
+        Decision::DropReactive { task } => {
+            Decision::DropReactive { task: f(task) }
+        }
+        Decision::DropProbabilistic { task } => {
+            Decision::DropProbabilistic { task: f(task) }
+        }
+        Decision::Reject { task } => Decision::Reject { task: f(task) },
+        Decision::CancelRunning { task } => {
+            Decision::CancelRunning { task: f(task) }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fan-in: the federation-level outcome record.
+// ---------------------------------------------------------------------
+
+/// The merged outcome record of a federated run: every shard's
+/// [`SimStats`] plus the global arrival order that stitches them
+/// together. All aggregate figures are deterministic folds in
+/// shard-index or arrival order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FederationStats {
+    /// Per-shard outcome records, in shard-index order (internal id
+    /// spaces).
+    pub per_shard: Vec<SimStats>,
+    arrivals: Vec<FedArrival>,
+}
+
+impl FederationStats {
+    /// Total arrivals across the federation.
+    pub fn n_tasks(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// The global arrival sequence (routing + id assignments).
+    pub fn arrivals(&self) -> &[FedArrival] {
+        &self.arrivals
+    }
+
+    /// The outcome of an arrival by global arrival index.
+    pub fn outcome_at(&self, arrival_idx: usize) -> Option<TaskOutcome> {
+        let a = self.arrivals.get(arrival_idx)?;
+        self.per_shard[a.shard as usize].outcome(a.internal)
+    }
+
+    /// The outcome of an external id's **latest** arrival.
+    pub fn outcome(&self, external: TaskId) -> Option<TaskOutcome> {
+        let a = self
+            .arrivals
+            .iter()
+            .rev()
+            .find(|a| a.external == external)?;
+        self.per_shard[a.shard as usize].outcome(a.internal)
+    }
+
+    /// Federation-wide count of one outcome.
+    pub fn count(&self, outcome: TaskOutcome) -> usize {
+        self.per_shard.iter().map(|s| s.count(outcome)).sum()
+    }
+
+    /// Federation-wide arrived-but-unresolved count (0 after a clean
+    /// drain).
+    pub fn unreported(&self) -> usize {
+        self.per_shard.iter().map(SimStats::unreported).sum()
+    }
+
+    /// Total mapping events across the shards.
+    pub fn mapping_events(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.mapping_events).sum()
+    }
+
+    /// Total deferral decisions across the shards.
+    pub fn deferrals(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.deferrals).sum()
+    }
+
+    /// Federated robustness: % of tasks on time after trimming the
+    /// first and last `trim` arrivals **in global arrival order** —
+    /// the same §V-B protocol the single-cluster metric uses, applied
+    /// at federation granularity.
+    pub fn robustness_pct(&self, trim: usize) -> f64 {
+        let n = self.arrivals.len();
+        if n <= 2 * trim {
+            return 0.0;
+        }
+        let window = &self.arrivals[trim..n - trim];
+        let on_time = window
+            .iter()
+            .filter(|a| {
+                matches!(
+                    self.per_shard[a.shard as usize].outcome(a.internal),
+                    Some(TaskOutcome::CompletedOnTime)
+                )
+            })
+            .count();
+        100.0 * on_time as f64 / window.len() as f64
+    }
+
+    /// Robustness with the paper's trim of 100 tasks per end.
+    pub fn paper_robustness_pct(&self) -> f64 {
+        self.robustness_pct(crate::stats::PAPER_TRIM)
+    }
+
+    /// Fraction of executed machine time wasted, federation-wide.
+    pub fn wasted_fraction(&self) -> f64 {
+        let useful: u64 = self.per_shard.iter().map(|s| s.useful_ticks).sum();
+        let wasted: u64 = self.per_shard.iter().map(|s| s.wasted_ticks).sum();
+        if useful + wasted == 0 {
+            0.0
+        } else {
+            wasted as f64 / (useful + wasted) as f64
+        }
+    }
+
+    /// Instant the last shard finished draining.
+    pub fn end_time(&self) -> SimTime {
+        self.per_shard
+            .iter()
+            .map(|s| s.end_time)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Deterministically merges the shards into one [`SimStats`] keyed
+    /// by **global arrival index** (dense by construction): outcomes
+    /// and per-type counters replay in arrival order, tick/event
+    /// counters fold in shard-index order. The merged record drops
+    /// per-shard traces (they live in
+    /// [`FederationStats::per_shard`]).
+    pub fn merged(&self) -> SimStats {
+        let n_types = self.per_shard.iter().map(|s| s.per_type().len()).max();
+        let mut merged = SimStats::new(0, n_types.unwrap_or(0));
+        for (gi, a) in self.arrivals.iter().enumerate() {
+            let shard = &self.per_shard[a.shard as usize];
+            let ty = shard.task_type(a.internal).unwrap_or(TaskTypeId(0));
+            let t = Task::new(gi as u64, ty, SimTime::ZERO, SimTime::ZERO);
+            merged.record_arrival(&t);
+            if let Some(outcome) = shard.outcome(a.internal) {
+                merged.record_outcome(&t, outcome);
+            }
+        }
+        for s in &self.per_shard {
+            merged.useful_ticks += s.useful_ticks;
+            merged.wasted_ticks += s.wasted_ticks;
+            merged.mapping_events += s.mapping_events;
+            merged.deferrals += s.deferrals;
+        }
+        merged.end_time = self.end_time();
+        merged
+    }
+}
+
+// ---------------------------------------------------------------------
+// Builder.
+// ---------------------------------------------------------------------
+
+type StrategyFn<'a> = Box<dyn FnMut(usize) -> MappingStrategy + 'a>;
+type PrunerFn<'a> = Box<dyn FnMut(usize) -> Box<dyn Pruner> + 'a>;
+
+/// Fluent, validated construction of a [`Gateway`] or a
+/// [`FederatedEngine`].
+///
+/// Every shard is a full paper-system instance over the *same* cluster
+/// shape and PET matrix; the heuristic and pruner are supplied as
+/// per-shard factories (strategies are stateful and not clonable).
+/// Shard 0 keeps the configured seed — so a one-shard federation is
+/// bit-identical to the plain engine — and shard `i > 0` derives an
+/// independent stream from it.
+pub struct GatewayBuilder<'a, S: Sink = NullSink> {
+    cluster: Cluster,
+    pet: &'a PetMatrix,
+    truth: Option<&'a PetMatrix>,
+    cfg: SimConfig,
+    n_shards: usize,
+    policy: Option<Box<dyn RoutePolicy>>,
+    strategy_fn: Option<StrategyFn<'a>>,
+    pruner_fn: Option<PrunerFn<'a>>,
+    sink_fn: Box<dyn FnMut(usize) -> S + 'a>,
+}
+
+impl<'a> GatewayBuilder<'a, NullSink> {
+    /// Starts a builder over the per-shard cluster shape and (belief)
+    /// PET matrix. Defaults: one shard, batch-mode paper parameters,
+    /// round-robin routing, no pruning, [`NullSink`] observability.
+    pub fn new(cluster: &Cluster, pet: &'a PetMatrix) -> Self {
+        Self {
+            cluster: cluster.clone(),
+            pet,
+            truth: None,
+            cfg: SimConfig::batch(0),
+            n_shards: 1,
+            policy: None,
+            strategy_fn: None,
+            pruner_fn: None,
+            sink_fn: Box::new(|_| NullSink),
+        }
+    }
+}
+
+impl<'a, S: Sink> GatewayBuilder<'a, S> {
+    /// Sets the per-shard simulation parameters (mode, capacity,
+    /// horizon, seed, …).
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the number of shards.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.n_shards = n;
+        self
+    }
+
+    /// Installs the routing policy (default: [`RoundRobinRoute`]).
+    pub fn policy(mut self, policy: impl RoutePolicy + 'static) -> Self {
+        self.policy = Some(Box::new(policy));
+        self
+    }
+
+    /// Installs an already-boxed routing policy.
+    pub fn policy_boxed(mut self, policy: Box<dyn RoutePolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Installs the per-shard mapping-heuristic factory (called once
+    /// per shard index). Required.
+    pub fn strategy_with(
+        mut self,
+        f: impl FnMut(usize) -> MappingStrategy + 'a,
+    ) -> Self {
+        self.strategy_fn = Some(Box::new(f));
+        self
+    }
+
+    /// Installs the per-shard pruning-policy factory (default: no
+    /// pruning).
+    pub fn pruner_with(
+        mut self,
+        f: impl FnMut(usize) -> Box<dyn Pruner> + 'a,
+    ) -> Self {
+        self.pruner_fn = Some(Box::new(f));
+        self
+    }
+
+    /// Separates the shards' belief from ground truth (see
+    /// [`crate::SchedulerBuilder::truth`]); the [`FederatedEngine`]
+    /// samples actual durations from `truth`.
+    pub fn truth(mut self, truth: &'a PetMatrix) -> Self {
+        self.truth = Some(truth);
+        self
+    }
+
+    /// Replaces the per-shard observability sink factory (default:
+    /// [`NullSink`] everywhere).
+    pub fn sink_with<T: Sink>(
+        self,
+        f: impl FnMut(usize) -> T + 'a,
+    ) -> GatewayBuilder<'a, T> {
+        GatewayBuilder {
+            cluster: self.cluster,
+            pet: self.pet,
+            truth: self.truth,
+            cfg: self.cfg,
+            n_shards: self.n_shards,
+            policy: self.policy,
+            strategy_fn: self.strategy_fn,
+            pruner_fn: self.pruner_fn,
+            sink_fn: Box::new(f),
+        }
+    }
+
+    /// The execution-sampling seed shard `i` runs under: shard 0 keeps
+    /// the configured seed (one shard ≡ plain engine), later shards
+    /// derive decorrelated streams.
+    pub fn shard_seed(base: u64, shard: usize) -> u64 {
+        if shard == 0 {
+            base
+        } else {
+            derive_seed(base, shard as u64)
+        }
+    }
+
+    /// Builds the bare [`Gateway`] for streaming callers.
+    pub fn build_gateway(mut self) -> Result<Gateway<'a, S>, ConfigError> {
+        if self.n_shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        let Some(mut strategy_fn) = self.strategy_fn.take() else {
+            return Err(ConfigError::MissingStrategy);
+        };
+        let mut shards = Vec::with_capacity(self.n_shards);
+        for i in 0..self.n_shards {
+            let mut cfg = self.cfg;
+            cfg.seed = Self::shard_seed(self.cfg.seed, i);
+            let mut b = crate::SchedulerBuilder::new(&self.cluster, self.pet)
+                .config(cfg)
+                .strategy(strategy_fn(i));
+            if let Some(pruner_fn) = self.pruner_fn.as_mut() {
+                b = b.pruner_boxed(pruner_fn(i));
+            }
+            if let Some(truth) = self.truth {
+                b = b.truth(truth);
+            }
+            shards.push(b.sink((self.sink_fn)(i)).build_core()?);
+        }
+        let policy = self
+            .policy
+            .unwrap_or_else(|| Box::new(RoundRobinRoute::new()));
+        Ok(Gateway::from_parts(shards, policy))
+    }
+
+    /// Builds the federated discrete-event driver (the gateway plus a
+    /// global event loop sampling ground-truth durations per shard).
+    pub fn build(self) -> Result<FederatedEngine<'a, S>, ConfigError> {
+        let truth = self.truth;
+        let pet = self.pet;
+        let gateway = self.build_gateway()?;
+        let rngs = gateway
+            .shards()
+            .iter()
+            .map(|s| Xoshiro256PlusPlus::new(s.config().seed))
+            .collect();
+        let n = gateway.n_shards();
+        Ok(FederatedEngine {
+            gateway,
+            truth: truth.unwrap_or(pet),
+            events: BinaryHeap::new(),
+            rngs,
+            pending: vec![0; n],
+            wakeup_pending: vec![false; n],
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The federated discrete-event driver.
+// ---------------------------------------------------------------------
+
+/// One scheduled event of the federated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FedEvent {
+    time: SimTime,
+    shard: usize,
+    kind: EventKind,
+}
+
+impl FedEvent {
+    /// Sort class matching [`crate::event`]'s contract: completions
+    /// before arrivals before wakeups at equal times.
+    fn class(&self) -> u8 {
+        match self.kind {
+            EventKind::Completion { .. } => 0,
+            EventKind::Arrival { .. } => 1,
+            EventKind::Wakeup => 2,
+        }
+    }
+
+    fn stable_id(&self) -> u64 {
+        match self.kind {
+            EventKind::Completion { machine, .. } => machine.0 as u64,
+            EventKind::Arrival { task } => task.0,
+            EventKind::Wakeup => 0,
+        }
+    }
+}
+
+impl Ord for FedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.class().cmp(&other.class()))
+            .then_with(|| self.shard.cmp(&other.shard))
+            .then_with(|| self.stable_id().cmp(&other.stable_id()))
+    }
+}
+
+impl PartialOrd for FedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The federation's bundled simulation driver: merges one arrival
+/// stream with a global completion/wakeup heap across all shards,
+/// sampling each shard's ground-truth durations from its own
+/// decorrelated RNG stream. With one shard this replays
+/// [`crate::Engine::run_stream`] event for event.
+pub struct FederatedEngine<'a, S: Sink = NullSink> {
+    gateway: Gateway<'a, S>,
+    truth: &'a PetMatrix,
+    events: BinaryHeap<Reverse<FedEvent>>,
+    rngs: Vec<Xoshiro256PlusPlus>,
+    /// Pending heap events per shard (the per-shard analogue of the
+    /// engine's `events.is_empty()` wakeup guard).
+    pending: Vec<usize>,
+    wakeup_pending: Vec<bool>,
+}
+
+impl<'a, S: Sink> FederatedEngine<'a, S> {
+    /// Number of shards being driven.
+    pub fn n_shards(&self) -> usize {
+        self.gateway.n_shards()
+    }
+
+    /// Consumes an arrival stream ordered by non-decreasing
+    /// `task.arrival` — external ids may be sparse, out of order or
+    /// duplicated — routes every task through the gateway, and drains
+    /// all shards after the last arrival.
+    pub fn run_stream<I>(mut self, arrivals: I) -> FederationStats
+    where
+        I: IntoIterator<Item = Task>,
+    {
+        let mut source = arrivals.into_iter().peekable();
+        loop {
+            let event_first = match (self.events.peek(), source.peek()) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(Reverse(event)), Some(task)) => {
+                    event.time < task.arrival
+                        || (event.time == task.arrival
+                            && matches!(
+                                event.kind,
+                                EventKind::Completion { .. }
+                            ))
+                }
+            };
+            if event_first {
+                let Reverse(event) = self.events.pop().expect("peeked above");
+                self.pending[event.shard] -= 1;
+                self.gateway.advance_to(event.time);
+                match event.kind {
+                    EventKind::Completion { machine, task } => {
+                        if !self.gateway.complete(event.shard, machine, task) {
+                            continue; // stale after a cancellation
+                        }
+                    }
+                    EventKind::Wakeup => {
+                        self.wakeup_pending[event.shard] = false;
+                        self.gateway.wakeup(event.shard);
+                    }
+                    EventKind::Arrival { .. } => unreachable!(
+                        "arrivals are fed from the stream, never enqueued"
+                    ),
+                }
+            } else {
+                let task = source.next().expect("peeked above");
+                let now = self.gateway.now();
+                self.gateway.advance_to(task.arrival.max(now));
+                self.gateway.push_arrival(task);
+            }
+            self.dispatch_starts();
+            // Keep the per-shard decision buffers bounded without
+            // paying for relabelling; streaming callers drive the
+            // gateway directly when they want the decisions.
+            self.gateway.discard_decisions();
+            self.maybe_schedule_wakeups(source.peek().is_some());
+        }
+        self.gateway.finish()
+    }
+
+    /// Turns every pending start into a completion event, sampling the
+    /// actual duration from the owning shard's ground-truth stream.
+    fn dispatch_starts(&mut self) {
+        let now = self.gateway.now();
+        for fs in self.gateway.drain_starts() {
+            let duration = self.truth.sample_duration(
+                fs.machine.type_id,
+                fs.task.type_id,
+                &mut self.rngs[fs.shard],
+            );
+            self.events.push(Reverse(FedEvent {
+                time: now + duration,
+                shard: fs.shard,
+                kind: EventKind::Completion {
+                    machine: fs.machine.id,
+                    task: fs.internal,
+                },
+            }));
+            self.pending[fs.shard] += 1;
+        }
+    }
+
+    /// The per-shard wakeup safety net: when no event will ever fire
+    /// again on a shard but its batch queue still holds work, schedule
+    /// a synthetic mapping event just past the earliest pending
+    /// deadline.
+    fn maybe_schedule_wakeups(&mut self, more_arrivals: bool) {
+        if more_arrivals {
+            return;
+        }
+        let now = self.gateway.now();
+        for shard in 0..self.gateway.n_shards() {
+            if self.wakeup_pending[shard] || self.pending[shard] > 0 {
+                continue;
+            }
+            let Some(earliest) = self.gateway.earliest_pending_deadline(shard)
+            else {
+                continue;
+            };
+            self.events.push(Reverse(FedEvent {
+                time: SimTime(earliest.ticks().max(now.ticks()) + 1),
+                shard,
+                kind: EventKind::Wakeup,
+            }));
+            self.pending[shard] += 1;
+            self.wakeup_pending[shard] = true;
+        }
+    }
+}
+
+impl<S: Sink> std::fmt::Debug for FederatedEngine<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederatedEngine")
+            .field("gateway", &self.gateway)
+            .field("pending_events", &self.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::LeastQueuedRoute;
+    use crate::traits::NoPruning;
+    use crate::traits::{Assignment, BatchMapper};
+    use crate::view::SystemView;
+    use taskprune_model::BinSpec;
+    use taskprune_prob::Pmf;
+
+    fn det_pet() -> PetMatrix {
+        PetMatrix::new(BinSpec::new(100), 1, 1, vec![Pmf::point_mass(2)])
+    }
+
+    struct ToZero;
+    impl BatchMapper for ToZero {
+        fn name(&self) -> &str {
+            "to-zero"
+        }
+        fn select(
+            &mut self,
+            view: &SystemView<'_>,
+            candidates: &[Task],
+        ) -> Vec<Assignment> {
+            candidates
+                .iter()
+                .take(view.free_slots(MachineId(0)))
+                .map(|t| Assignment {
+                    task: t.id,
+                    machine: MachineId(0),
+                })
+                .collect()
+        }
+    }
+
+    fn builder<'a>(
+        pet: &'a PetMatrix,
+        cluster: &Cluster,
+        shards: usize,
+    ) -> GatewayBuilder<'a, NullSink> {
+        GatewayBuilder::new(cluster, pet)
+            .config(SimConfig::batch(1))
+            .shards(shards)
+            .strategy_with(|_| MappingStrategy::Batch(Box::new(ToZero)))
+            .pruner_with(|_| Box::new(NoPruning))
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let pet = det_pet();
+        let cluster = Cluster::one_per_type(1);
+        let err = builder(&pet, &cluster, 0)
+            .build_gateway()
+            .expect_err("zero shards must fail");
+        assert_eq!(err, ConfigError::ZeroShards);
+    }
+
+    #[test]
+    fn missing_strategy_is_rejected() {
+        let pet = det_pet();
+        let cluster = Cluster::one_per_type(1);
+        let err = GatewayBuilder::new(&cluster, &pet)
+            .shards(2)
+            .build_gateway()
+            .expect_err("no strategy must fail");
+        assert_eq!(err, ConfigError::MissingStrategy);
+    }
+
+    #[test]
+    fn shard_seeds_keep_shard0_and_decorrelate_the_rest() {
+        assert_eq!(GatewayBuilder::<NullSink>::shard_seed(42, 0), 42);
+        let s1 = GatewayBuilder::<NullSink>::shard_seed(42, 1);
+        let s2 = GatewayBuilder::<NullSink>::shard_seed(42, 2);
+        assert_ne!(s1, 42);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn compactor_round_trips_sparse_and_duplicate_ids() {
+        let mut c = IdCompactor::new(2);
+        let a = c.assign(0, TaskId(1_700_000_000_000));
+        let b = c.assign(0, TaskId(7));
+        let d = c.assign(1, TaskId(7)); // duplicate external id
+        assert_eq!((a, b, d), (TaskId(0), TaskId(1), TaskId(0)));
+        assert_eq!(c.external(0, a), Some(TaskId(1_700_000_000_000)));
+        assert_eq!(c.external(0, b), Some(TaskId(7)));
+        assert_eq!(c.external(1, d), Some(TaskId(7)));
+        assert_eq!(c.external(0, TaskId(5)), None);
+        assert_eq!((c.assigned(0), c.assigned(1)), (2, 1));
+    }
+
+    #[test]
+    fn gateway_routes_and_relabels_sparse_ids() {
+        let pet = det_pet();
+        let cluster = Cluster::one_per_type(1);
+        let mut gw = builder(&pet, &cluster, 2)
+            .build_gateway()
+            .expect("valid configuration");
+        // Two snowflake-ish external ids round-robin across shards.
+        let t0 = Task::new(
+            9_000_000_000_123,
+            TaskTypeId(0),
+            SimTime(0),
+            SimTime(100_000),
+        );
+        let t1 = Task::new(
+            9_000_000_555_000,
+            TaskTypeId(0),
+            SimTime(0),
+            SimTime(100_000),
+        );
+        assert_eq!(gw.push_arrival(t0), (0, TaskId(0)));
+        assert_eq!(gw.push_arrival(t1), (1, TaskId(0)));
+        assert_eq!(gw.resolve(TaskId(9_000_000_555_000)), Some((1, TaskId(0))));
+        // Decisions and starts surface the external ids.
+        let decisions = gw.drain_decisions().to_vec();
+        assert_eq!(decisions.len(), 2);
+        assert_eq!(
+            decisions[0].decision,
+            Decision::Assign {
+                task: TaskId(9_000_000_000_123),
+                machine: MachineId(0)
+            }
+        );
+        assert_eq!(decisions[0].shard, 0);
+        let starts = gw.drain_starts().to_vec();
+        assert_eq!(starts.len(), 2);
+        assert_eq!(starts[0].task.id, TaskId(9_000_000_000_123));
+        assert_eq!(starts[0].internal, TaskId(0));
+        // Completion via the internal handle.
+        assert!(gw.complete(
+            starts[0].shard,
+            starts[0].machine.id,
+            starts[0].internal
+        ));
+        let stats = gw.finish();
+        assert_eq!(stats.n_tasks(), 2);
+        assert_eq!(
+            stats.outcome(TaskId(9_000_000_000_123)),
+            Some(TaskOutcome::CompletedOnTime)
+        );
+        assert_eq!(stats.count(TaskOutcome::CompletedOnTime), 1);
+    }
+
+    #[test]
+    fn federated_engine_drains_everything_and_merges() {
+        let pet = det_pet();
+        let cluster = Cluster::one_per_type(1);
+        let tasks: Vec<Task> = (0..40)
+            .map(|i| {
+                let arr = i as u64 * 50;
+                Task::new(
+                    i as u64,
+                    TaskTypeId(0),
+                    SimTime(arr),
+                    SimTime(arr + 100_000),
+                )
+            })
+            .collect();
+        let fed = builder(&pet, &cluster, 4)
+            .policy(LeastQueuedRoute::new())
+            .build()
+            .expect("valid configuration");
+        assert_eq!(fed.n_shards(), 4);
+        let stats = fed.run_stream(tasks.iter().copied());
+        assert_eq!(stats.n_tasks(), 40);
+        assert_eq!(stats.unreported(), 0);
+        // Four shards, arrivals every 50 ticks, service 200 ticks each:
+        // least-queued keeps all shards busy and everything completes.
+        assert_eq!(stats.count(TaskOutcome::CompletedOnTime), 40);
+        assert!((stats.robustness_pct(0) - 100.0).abs() < 1e-12);
+        let merged = stats.merged();
+        assert_eq!(merged.n_tasks(), 40);
+        assert_eq!(merged.count(TaskOutcome::CompletedOnTime), 40);
+        assert_eq!(merged.mapping_events, stats.mapping_events());
+        assert_eq!(merged.end_time, stats.end_time());
+        // Every shard saw a dense internal id space.
+        for shard in &stats.per_shard {
+            assert_eq!(shard.n_tasks(), shard.n_arrived());
+        }
+    }
+}

@@ -34,17 +34,28 @@
 //! * [`Sink`] — pluggable observability, chosen *by type*: the default
 //!   [`NullSink`] compiles to nothing, [`TraceLog`] records the full
 //!   lifecycle trace.
+//! * [`Decisions`] — pluggable consumer of the typed decision stream,
+//!   also chosen by type: the default [`NullDecisions`] restores the
+//!   driver's historical drain-and-discard at zero cost.
 //! * [`SchedulerBuilder`] — the validated fluent constructor for both;
 //!   misconfigurations surface as typed [`ConfigError`]s at build time.
+//! * [`Gateway`] — the federation layer: N independent cores behind a
+//!   pluggable [`RoutePolicy`], with external-id compaction at the
+//!   boundary and a deterministic [`FederationStats`] fan-in;
+//!   [`FederatedEngine`] is its bundled discrete-event driver. One
+//!   shard is bit-identical to [`Engine`].
 
 #![warn(missing_docs)]
 
 pub mod build;
 pub mod config;
 pub mod core;
+pub mod decisions;
 pub mod engine;
 pub mod event;
+pub mod gateway;
 pub mod queue;
+pub mod route;
 pub mod sink;
 pub mod stats;
 pub mod trace;
@@ -73,11 +84,17 @@ pub mod queue_testing {
 }
 
 pub use build::SchedulerBuilder;
-pub use config::{AllocationMode, ConfigError, SimConfig};
+pub use config::{AllocationMode, ConfigError, RunError, SimConfig};
 pub use core::{Decision, SchedulerCore, Start};
+pub use decisions::{DecisionCounter, DecisionLog, Decisions, NullDecisions};
 pub use engine::Engine;
+pub use gateway::{
+    FedArrival, FedDecision, FedStart, FederatedEngine, FederationStats,
+    Gateway, GatewayBuilder, IdCompactor,
+};
+pub use route::{LeastQueuedRoute, RoundRobinRoute, RoutePolicy, ShardView};
 pub use sink::{NullSink, Sink};
-pub use stats::SimStats;
+pub use stats::{SimStats, StatsError};
 pub use trace::{QueueSnapshot, TraceEvent, TraceLog};
 pub use traits::{
     Assignment, BatchMapper, EventReport, ImmediateMapper, MappingStrategy,

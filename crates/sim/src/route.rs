@@ -1,0 +1,216 @@
+//! Routing policies: which shard of a federation receives an arrival.
+//!
+//! A [`crate::Gateway`] multiplexes one live arrival stream across N
+//! independent [`crate::SchedulerCore`] shards. The choice of shard is
+//! the federation's one new degree of freedom, so it is a plug-in — a
+//! [`RoutePolicy`] sees a read-only [`ShardView`] of every shard and
+//! names the recipient. Two stateless baselines ship here
+//! ([`RoundRobinRoute`], [`LeastQueuedRoute`]); the probability-aware
+//! policy, which reuses the Eq. 1 prefix chains through the estimate
+//! probes, lives with the other estimate-driven logic in
+//! `taskprune_heuristics::probe`.
+
+use crate::view::SystemView;
+use taskprune_model::Task;
+
+/// A read-only snapshot of one shard, handed to routing policies.
+///
+/// Wraps the shard's [`SystemView`] (machine queues, PET matrix, chance
+/// probes) plus the gateway-level state a view cannot see: the shard
+/// index and the batch-queue backlog.
+pub struct ShardView<'v> {
+    index: usize,
+    view: SystemView<'v>,
+    pending_batch: usize,
+}
+
+impl<'v> ShardView<'v> {
+    /// Builds a shard view (gateway-internal; public for policy tests).
+    pub fn new(
+        index: usize,
+        view: SystemView<'v>,
+        pending_batch: usize,
+    ) -> Self {
+        Self {
+            index,
+            view,
+            pending_batch,
+        }
+    }
+
+    /// This shard's index within the federation.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The shard's system view — machine queues, free slots, and the
+    /// Eq. 2 chance probes.
+    pub fn view(&self) -> &SystemView<'v> {
+        &self.view
+    }
+
+    /// Tasks waiting in the shard's batch queue.
+    pub fn pending_batch_len(&self) -> usize {
+        self.pending_batch
+    }
+
+    /// Total tasks currently inside the shard: batch queue + machine
+    /// queues + running tasks. The load figure `LeastQueuedRoute`
+    /// balances on.
+    pub fn tasks_in_system(&self) -> usize {
+        let queued: usize = (0..self.view.n_machines())
+            .map(|i| {
+                let m = taskprune_model::MachineId(i as u16);
+                self.view.waiting_len(m) + usize::from(self.view.is_busy(m))
+            })
+            .sum();
+        self.pending_batch + queued
+    }
+}
+
+/// Chooses the shard that receives each arriving task.
+///
+/// Policies may keep state (round-robin cursors, EWMA load estimates);
+/// the gateway calls [`RoutePolicy::route`] exactly once per arrival,
+/// in arrival order, so any internal state advances deterministically.
+/// The returned index must be `< shards.len()`.
+pub trait RoutePolicy {
+    /// Display name, for reports and debugging.
+    fn name(&self) -> &str;
+
+    /// Picks the destination shard for `task`.
+    fn route(&mut self, shards: &[ShardView<'_>], task: &Task) -> usize;
+}
+
+/// Cycles through the shards in index order, ignoring state entirely —
+/// the baseline every other policy has to beat.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinRoute {
+    next: usize,
+}
+
+impl RoundRobinRoute {
+    /// Starts the cycle at shard 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RoutePolicy for RoundRobinRoute {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn route(&mut self, shards: &[ShardView<'_>], _task: &Task) -> usize {
+        let shard = self.next % shards.len();
+        self.next = self.next.wrapping_add(1);
+        shard
+    }
+}
+
+/// Routes each arrival to the shard holding the fewest tasks (batch
+/// queue + machine queues + running), ties broken by lowest index —
+/// join-the-shortest-queue at federation granularity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastQueuedRoute;
+
+impl LeastQueuedRoute {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl RoutePolicy for LeastQueuedRoute {
+    fn name(&self) -> &str {
+        "least-queued"
+    }
+
+    fn route(&mut self, shards: &[ShardView<'_>], _task: &Task) -> usize {
+        shards
+            .iter()
+            .min_by_key(|s| (s.tasks_in_system(), s.index()))
+            .map(|s| s.index())
+            .expect("gateway guarantees at least one shard")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::MachineQueue;
+    use taskprune_model::{BinSpec, Cluster, PetMatrix, SimTime, TaskTypeId};
+    use taskprune_prob::Pmf;
+
+    fn pet() -> PetMatrix {
+        PetMatrix::new(BinSpec::new(100), 1, 1, vec![Pmf::point_mass(2)])
+    }
+
+    fn queues(n_tasks: usize, pet: &PetMatrix) -> Vec<MachineQueue> {
+        let cluster = Cluster::one_per_type(1);
+        let mut qs: Vec<MachineQueue> = cluster
+            .machines()
+            .iter()
+            .map(|&m| MachineQueue::new(m, 8, 256))
+            .collect();
+        for i in 0..n_tasks {
+            qs[0].admit(Task::new(
+                i as u64,
+                TaskTypeId(0),
+                SimTime(0),
+                SimTime(100_000),
+            ));
+        }
+        let _ = pet;
+        qs
+    }
+
+    fn probe() -> Task {
+        Task::new(99, TaskTypeId(0), SimTime(0), SimTime(100_000))
+    }
+
+    #[test]
+    fn round_robin_cycles_in_index_order() {
+        let pet = pet();
+        let q0 = queues(0, &pet);
+        let q1 = queues(0, &pet);
+        let views = vec![
+            ShardView::new(0, SystemView::new(SimTime(0), &q0, &pet), 0),
+            ShardView::new(1, SystemView::new(SimTime(0), &q1, &pet), 0),
+        ];
+        let mut rr = RoundRobinRoute::new();
+        let picks: Vec<usize> =
+            (0..5).map(|_| rr.route(&views, &probe())).collect();
+        assert_eq!(picks, vec![0, 1, 0, 1, 0]);
+        assert_eq!(rr.name(), "round-robin");
+    }
+
+    #[test]
+    fn least_queued_prefers_the_emptier_shard() {
+        let pet = pet();
+        let busy = queues(3, &pet);
+        let idle = queues(0, &pet);
+        let views = vec![
+            ShardView::new(0, SystemView::new(SimTime(0), &busy, &pet), 2),
+            ShardView::new(1, SystemView::new(SimTime(0), &idle, &pet), 0),
+        ];
+        assert_eq!(views[0].tasks_in_system(), 5);
+        assert_eq!(views[0].pending_batch_len(), 2);
+        assert_eq!(views[1].tasks_in_system(), 0);
+        let mut lq = LeastQueuedRoute::new();
+        assert_eq!(lq.route(&views, &probe()), 1);
+        assert_eq!(lq.name(), "least-queued");
+    }
+
+    #[test]
+    fn least_queued_ties_break_to_the_lowest_index() {
+        let pet = pet();
+        let a = queues(1, &pet);
+        let b = queues(1, &pet);
+        let views = vec![
+            ShardView::new(0, SystemView::new(SimTime(0), &a, &pet), 0),
+            ShardView::new(1, SystemView::new(SimTime(0), &b, &pet), 0),
+        ];
+        assert_eq!(LeastQueuedRoute::new().route(&views, &probe()), 0);
+    }
+}

@@ -11,10 +11,45 @@
 //! extension of §VII).
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use taskprune_model::{SimTime, Task, TaskId, TaskOutcome, TaskTypeId};
 
 /// Number of leading and trailing tasks excluded by the paper's protocol.
 pub const PAPER_TRIM: usize = 100;
+
+/// Why the outcome collector refused a record. Surfaced through
+/// [`crate::Engine::try_run_stream`] and
+/// `ResourceAllocator::try_run`, so a malformed external trace is a
+/// recoverable error instead of a panic deep inside a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// A task id jumped far past the population tracked so far. The
+    /// per-task tables are dense per id, so a sparse id scheme
+    /// (timestamps, snowflakes) would ask for a table the size of the
+    /// id space. Sparse external ids need a compaction layer — the
+    /// [`crate::Gateway`] provides one at the federation boundary.
+    SparseTaskId {
+        /// The offending id.
+        id: u64,
+        /// How many ids the tables covered when it appeared.
+        tracked: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::SparseTaskId { id, tracked } => write!(
+                f,
+                "task id {id} jumps far past the {tracked} tracked so far: \
+                 SimStats tables are dense per id — compact sparse external \
+                 ids (the Gateway does) before feeding the scheduler"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
 
 /// Per-task-type outcome counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,6 +91,10 @@ pub struct SimStats {
     types: Vec<Option<TaskTypeId>>,
     /// Per-type counters.
     per_type: Vec<TypeStats>,
+    /// Task ids in the order they arrived. The robustness trim window is
+    /// defined over *arrival order* (§V-B "first and last 100 tasks"),
+    /// which a streaming deployment cannot assume equals id order.
+    arrival_order: Vec<TaskId>,
     /// Machine-ticks spent executing tasks that completed on time.
     pub useful_ticks: u64,
     /// Machine-ticks spent executing tasks that completed late or were
@@ -79,6 +118,7 @@ impl SimStats {
             outcomes: vec![None; n_tasks],
             types: vec![None; n_tasks],
             per_type: vec![TypeStats::default(); n_types],
+            arrival_order: Vec::new(),
             useful_ticks: 0,
             wasted_ticks: 0,
             mapping_events: 0,
@@ -98,32 +138,54 @@ impl SimStats {
     /// Grows the per-task tables to cover `id` — the streaming core
     /// learns the task population one arrival at a time, so the
     /// collector sizes itself as ids appear instead of up front.
-    ///
-    /// # Panics
-    /// If `id` lies more than [`Self::MAX_ID_JUMP`] past the current
-    /// table length: task ids must be (roughly) dense. Sparse external
-    /// ids need a compaction layer in front of the scheduler.
-    fn ensure_task(&mut self, id: TaskId) {
+    /// Fails with [`StatsError::SparseTaskId`] when `id` lies more than
+    /// [`Self::MAX_ID_JUMP`] past the current table length: task ids
+    /// must be (roughly) dense, and a sparse id scheme must be
+    /// compacted (e.g. by the [`crate::Gateway`]) before reaching the
+    /// collector.
+    fn try_ensure_task(&mut self, id: TaskId) -> Result<(), StatsError> {
         let idx = id.0 as usize;
         if idx >= self.outcomes.len() {
-            assert!(
-                idx - self.outcomes.len() < Self::MAX_ID_JUMP,
-                "task id {idx} jumps far past the {} tracked so far: \
-                 SimStats tables are dense per id — compact sparse \
-                 external ids before feeding the scheduler",
-                self.outcomes.len(),
-            );
+            if idx - self.outcomes.len() >= Self::MAX_ID_JUMP {
+                return Err(StatsError::SparseTaskId {
+                    id: id.0,
+                    tracked: self.outcomes.len(),
+                });
+            }
             self.outcomes.resize(idx + 1, None);
             self.types.resize(idx + 1, None);
         }
+        Ok(())
     }
 
-    /// Registers a task arrival.
-    pub fn record_arrival(&mut self, task: &Task) {
-        self.ensure_task(task.id);
+    /// Infallible [`SimStats::try_ensure_task`] for internal paths that
+    /// only see ids an arrival already admitted.
+    fn ensure_task(&mut self, id: TaskId) {
+        self.try_ensure_task(id).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Registers a task arrival, rejecting ids the dense tables cannot
+    /// absorb.
+    pub fn try_record_arrival(
+        &mut self,
+        task: &Task,
+    ) -> Result<(), StatsError> {
+        self.try_ensure_task(task.id)?;
         let idx = task.id.0 as usize;
         self.types[idx] = Some(task.type_id);
         self.per_type[task.type_id.0 as usize].arrived += 1;
+        self.arrival_order.push(task.id);
+        Ok(())
+    }
+
+    /// Registers a task arrival.
+    ///
+    /// # Panics
+    /// When the id is sparse (see [`SimStats::try_record_arrival`], the
+    /// recoverable variant).
+    pub fn record_arrival(&mut self, task: &Task) {
+        self.try_record_arrival(task)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Registers a terminal outcome. Each task may finish exactly once.
@@ -183,19 +245,37 @@ impl SimStats {
     }
 
     /// The robustness metric: percentage of tasks completed on time,
-    /// excluding the first and last `trim` tasks (by arrival order, which
-    /// equals id order).
+    /// excluding the first and last `trim` tasks **by arrival order** —
+    /// which a streaming deployment cannot assume equals id order, so
+    /// the collector tracks the arrival sequence explicitly.
     pub fn robustness_pct(&self, trim: usize) -> f64 {
-        let n = self.outcomes.len();
+        let n = self.arrival_order.len();
         if n <= 2 * trim {
             return 0.0;
         }
-        let window = &self.outcomes[trim..n - trim];
+        let window = &self.arrival_order[trim..n - trim];
         let on_time = window
             .iter()
-            .filter(|o| matches!(o, Some(TaskOutcome::CompletedOnTime)))
+            .filter(|id| {
+                matches!(self.outcome(**id), Some(TaskOutcome::CompletedOnTime))
+            })
             .count();
         100.0 * on_time as f64 / window.len() as f64
+    }
+
+    /// The task ids in arrival order (the robustness trim sequence).
+    pub fn arrival_order(&self) -> &[TaskId] {
+        &self.arrival_order
+    }
+
+    /// Number of arrivals recorded.
+    pub fn n_arrived(&self) -> usize {
+        self.arrival_order.len()
+    }
+
+    /// The type a task arrived with, if it arrived.
+    pub fn task_type(&self, id: TaskId) -> Option<TaskTypeId> {
+        self.types.get(id.0 as usize).copied().flatten()
     }
 
     /// Robustness with the paper's trim of 100 tasks per end.
@@ -356,6 +436,58 @@ mod tests {
         s.record_outcome(&d, TaskOutcome::DroppedProactive);
         // Sample variance of {1.0, 0.0} = 0.5.
         assert!((s.per_type_on_time_variance() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robustness_trim_follows_arrival_order_not_id_order() {
+        // Four tasks arrive in the order 3, 0, 2, 1; only the *first
+        // arrival* (id 3) and *last arrival* (id 1) are on time.
+        let mut s = SimStats::new(0, 1);
+        for id in [3u64, 0, 2, 1] {
+            s.record_arrival(&task(id, 0));
+        }
+        s.record_outcome(&task(3, 0), TaskOutcome::CompletedOnTime);
+        s.record_outcome(&task(0, 0), TaskOutcome::DroppedReactive);
+        s.record_outcome(&task(2, 0), TaskOutcome::DroppedReactive);
+        s.record_outcome(&task(1, 0), TaskOutcome::CompletedOnTime);
+        // Trimming one task per end must cut arrivals 3 and 1 (the
+        // on-time ones), not ids 0 and 3: the window {0, 2} is 0 %
+        // on time. An id-ordered trim would report 50 %.
+        assert_eq!(s.robustness_pct(1), 0.0);
+        assert!((s.robustness_pct(0) - 50.0).abs() < 1e-12);
+        assert_eq!(s.arrival_order()[0], TaskId(3));
+        assert_eq!(s.n_arrived(), 4);
+    }
+
+    #[test]
+    fn try_record_arrival_surfaces_sparse_ids_as_typed_errors() {
+        let mut s = SimStats::new(0, 1);
+        let err = s
+            .try_record_arrival(&task(1_700_000_000_000, 0))
+            .expect_err("snowflake id must be rejected");
+        assert_eq!(
+            err,
+            StatsError::SparseTaskId {
+                id: 1_700_000_000_000,
+                tracked: 0
+            }
+        );
+        assert!(err.to_string().contains("dense per id"));
+        // The failed arrival left no partial record behind.
+        assert_eq!(s.n_tasks(), 0);
+        assert_eq!(s.n_arrived(), 0);
+        // A dense id still goes through afterwards.
+        assert!(s.try_record_arrival(&task(0, 0)).is_ok());
+        assert_eq!(s.n_arrived(), 1);
+    }
+
+    #[test]
+    fn task_type_accessor_reports_arrived_types_only() {
+        let mut s = SimStats::new(2, 2);
+        s.record_arrival(&task(1, 1));
+        assert_eq!(s.task_type(TaskId(1)), Some(TaskTypeId(1)));
+        assert_eq!(s.task_type(TaskId(0)), None);
+        assert_eq!(s.task_type(TaskId(99)), None);
     }
 
     #[test]

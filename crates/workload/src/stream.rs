@@ -46,6 +46,46 @@ impl TaskStream {
     pub fn remaining(&self) -> usize {
         self.tasks.len()
     }
+
+    /// Merges several sorted streams into one stream sorted by arrival
+    /// time — the adapter that turns per-tenant (or per-generator)
+    /// traces into the single interleaved stream a federation gateway
+    /// ingests. Ties break by source index then original order, so the
+    /// interleaving is deterministic.
+    pub fn merge(sources: Vec<TaskStream>) -> TaskStream {
+        let mut tagged: Vec<(usize, usize, Task)> = Vec::new();
+        for (src, stream) in sources.into_iter().enumerate() {
+            for (pos, task) in stream.enumerate() {
+                tagged.push((src, pos, task));
+            }
+        }
+        tagged.sort_by_key(|&(src, pos, task)| (task.arrival, src, pos));
+        TaskStream {
+            tasks: tagged
+                .into_iter()
+                .map(|(_, _, task)| task)
+                .collect::<Vec<_>>()
+                .into_iter(),
+        }
+    }
+
+    /// Relabels every task id as `base + id * stride`, turning a dense
+    /// trial into one with sparse, snowflake-style external ids — what
+    /// a real front-end hands a gateway, and exactly what the gateway's
+    /// id-compaction layer exists to absorb. A `stride` of 1 with
+    /// distinct `base`s merely namespaces several streams apart.
+    pub fn with_id_stride(self, base: u64, stride: u64) -> TaskStream {
+        let tasks: Vec<Task> = self
+            .tasks
+            .map(|mut t| {
+                t.id = taskprune_model::TaskId(base + t.id.0 * stride);
+                t
+            })
+            .collect();
+        TaskStream {
+            tasks: tasks.into_iter(),
+        }
+    }
 }
 
 impl Iterator for TaskStream {
@@ -112,6 +152,51 @@ mod tests {
         let recorded: Vec<_> =
             cfg.generate_trial(&pet, 3).into_source().collect();
         assert_eq!(generated, recorded);
+    }
+
+    #[test]
+    fn merge_interleaves_by_arrival_with_stable_ties() {
+        use taskprune_model::{SimTime, Task, TaskTypeId};
+        let mk = |ids: &[(u64, u64)]| {
+            TaskStream::from_tasks(
+                ids.iter()
+                    .map(|&(id, at)| {
+                        Task::new(
+                            id,
+                            TaskTypeId(0),
+                            SimTime(at),
+                            SimTime(at + 100),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let a = mk(&[(0, 10), (1, 30)]);
+        let b = mk(&[(0, 10), (1, 20)]);
+        let merged: Vec<Task> = TaskStream::merge(vec![a, b]).collect();
+        let order: Vec<(u64, u64)> =
+            merged.iter().map(|t| (t.id.0, t.arrival.ticks())).collect();
+        // Tie at t=10 breaks to source 0 first.
+        assert_eq!(order, vec![(0, 10), (0, 10), (1, 20), (1, 30)]);
+        assert!(merged.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn id_stride_sparsifies_without_touching_timing() {
+        let pet = PetGenConfig::paper_heterogeneous(99).generate();
+        let trial = small_config().generate_trial(&pet, 0);
+        let before: Vec<_> = trial.tasks.clone();
+        let sparse: Vec<_> = trial
+            .into_source()
+            .with_id_stride(1_000_000_000, 1_000)
+            .collect();
+        assert_eq!(sparse.len(), before.len());
+        for (s, b) in sparse.iter().zip(&before) {
+            assert_eq!(s.id.0, 1_000_000_000 + b.id.0 * 1_000);
+            assert_eq!(s.arrival, b.arrival);
+            assert_eq!(s.deadline, b.deadline);
+            assert_eq!(s.type_id, b.type_id);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::collections::BinaryHeap;
 use taskprune::prelude::*;
 use taskprune_prob::rng::Xoshiro256PlusPlus;
-use taskprune_sim::{Decision, SchedulerBuilder};
+use taskprune_sim::{Decision, DecisionCounter, Decisions, SchedulerBuilder};
 
 /// One in-flight execution: when it finishes and on which machine.
 /// Ordered as a min-heap on finish time.
@@ -97,7 +97,10 @@ fn main() {
     let mut rng = Xoshiro256PlusPlus::new(7);
     let mut in_flight: BinaryHeap<InFlight> = BinaryHeap::new();
     let mut printed = 0usize;
-    let mut total_decisions = 0usize;
+    // The same `Decisions` consumer the Engine driver accepts via
+    // `SchedulerBuilder::decisions(..)` — here fed by hand, since this
+    // loop drives the bare core.
+    let mut counter = DecisionCounter::default();
 
     println!(
         "streaming {} tasks into an MM + pruning scheduler...\n",
@@ -149,9 +152,11 @@ fn main() {
             });
         }
 
-        // Print the decision stream as it drains (first 40 shown).
+        // Print the decision stream as it drains (first 40 shown),
+        // feeding every decision through the typed consumer.
+        let now = core.now();
         for decision in core.drain_decisions() {
-            total_decisions += 1;
+            counter.on_decision(now, *decision);
             if printed < 40 {
                 println!(
                     "[t={:>8.2}tu] {}",
@@ -168,7 +173,7 @@ fn main() {
 
     let stats = core.finish();
     println!("\n--- drained ---");
-    println!("decisions streamed     {total_decisions}");
+    println!("decision summary       {}", counter.summary());
     println!("mapping events         {}", stats.mapping_events);
     println!(
         "on-time                {}",
