@@ -130,6 +130,7 @@ fn main() {
                     incremental_ns: inc,
                     scratch_ns: scr,
                     speedup,
+                    robustness_pct: None,
                 });
             };
 

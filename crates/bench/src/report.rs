@@ -88,7 +88,7 @@ impl FigureReport {
 /// queue of `queue_depth` tasks whose PETs have `pet_support` bins,
 /// measured under the incremental chain maintenance and under a forced
 /// from-scratch rebuild.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BenchEntry {
     /// Scenario label (e.g. "tail_drop", "mid_drop", "steady_cycle").
     pub scenario: String,
@@ -103,6 +103,49 @@ pub struct BenchEntry {
     pub scratch_ns: f64,
     /// `scratch_ns / incremental_ns`.
     pub speedup: f64,
+    /// Paper-trim robustness (% on time) of the measured run, where
+    /// the scenario has one (the federation ingest series records it
+    /// so throughput shifts can be read against *scheduling-quality*
+    /// shifts — e.g. "2 shards slower because they drop less"). `None`
+    /// for pure micro-benchmarks.
+    pub robustness_pct: Option<f64>,
+}
+
+// Hand-written (de)serialization instead of the derive: runs recorded
+// before `robustness_pct` existed must keep loading, so a missing
+// field reads as `None` — the vendored serde derive has no
+// `#[serde(default)]`.
+impl Serialize for BenchEntry {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("scenario".to_string(), self.scenario.to_value()),
+            ("queue_depth".to_string(), self.queue_depth.to_value()),
+            ("pet_support".to_string(), self.pet_support.to_value()),
+            ("incremental_ns".to_string(), self.incremental_ns.to_value()),
+            ("scratch_ns".to_string(), self.scratch_ns.to_value()),
+            ("speedup".to_string(), self.speedup.to_value()),
+            ("robustness_pct".to_string(), self.robustness_pct.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for BenchEntry {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            scenario: Deserialize::from_value(v.get_field("scenario")?)?,
+            queue_depth: Deserialize::from_value(v.get_field("queue_depth")?)?,
+            pet_support: Deserialize::from_value(v.get_field("pet_support")?)?,
+            incremental_ns: Deserialize::from_value(
+                v.get_field("incremental_ns")?,
+            )?,
+            scratch_ns: Deserialize::from_value(v.get_field("scratch_ns")?)?,
+            speedup: Deserialize::from_value(v.get_field("speedup")?)?,
+            robustness_pct: match v.get_field("robustness_pct") {
+                Ok(field) => Deserialize::from_value(field)?,
+                Err(_) => None, // pre-PR5 run: field absent
+            },
+        })
+    }
 }
 
 /// A machine-readable micro-benchmark baseline, written as
@@ -483,7 +526,29 @@ mod tests {
             incremental_ns: ns,
             scratch_ns: 1_000.0,
             speedup: 1_000.0 / ns,
+            robustness_pct: None,
         }
+    }
+
+    #[test]
+    fn entries_without_robustness_still_parse() {
+        // Runs recorded before `robustness_pct` existed (every pre-PR5
+        // entry in the tracked series) must keep loading as `None`,
+        // and the new field must round-trip when present.
+        let legacy = "{\"scenario\":\"tail_drop\",\"queue_depth\":16,\
+                      \"pet_support\":64,\"incremental_ns\":100.0,\
+                      \"scratch_ns\":1000.0,\"speedup\":10.0}";
+        let parsed: BenchEntry =
+            serde_json::from_str(legacy).expect("legacy entry parses");
+        assert_eq!(parsed.robustness_pct, None);
+        let mut with_field = parsed.clone();
+        with_field.robustness_pct = Some(84.5);
+        let json = serde_json::to_string(&with_field).unwrap();
+        let back: BenchEntry =
+            serde_json::from_str(&json).expect("new entry parses");
+        assert_eq!(back.robustness_pct, Some(84.5));
+        assert_eq!(back.scenario, "tail_drop");
+        assert_eq!(back.speedup, 10.0);
     }
 
     #[test]
@@ -573,6 +638,7 @@ mod tests {
             incremental_ns: 3.0 * 143.0,
             scratch_ns: 3_000.0,
             speedup: 3_000.0 / (3.0 * 143.0),
+            robustness_pct: None,
         };
         series.append("d", vec![cross_machine]);
         let ratio = series.check_regression(0.15).expect("machine-neutral");
@@ -628,6 +694,7 @@ mod tests {
             incremental_ns: ns,
             scratch_ns: 1_000.0,
             speedup: 1_000.0 / ns,
+            robustness_pct: None,
         };
         let mut series = BenchSeries {
             name: "probe".to_string(),

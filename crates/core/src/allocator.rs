@@ -138,6 +138,41 @@ impl<'a> ResourceAllocator<'a> {
         policy: Box<dyn RoutePolicy>,
         tasks: &[Task],
     ) -> Result<FederationStats, RunError> {
+        Ok(self
+            .federated_builder(shards, policy)?
+            .build()?
+            .run_stream(tasks.iter().copied()))
+    }
+
+    /// [`ResourceAllocator::try_run_federated`] on the **parallel**
+    /// driver: the same federation, with every shard's event loop on a
+    /// work-stealing pool of `threads` threads (`None` honours
+    /// `TASKPRUNE_THREADS`, else all hardware threads). The outcome
+    /// record is bit-identical to the serial variant at any thread
+    /// count — `tests/parallel_equivalence.rs` pins it — so this is
+    /// purely a wall-clock knob.
+    pub fn try_run_federated_parallel(
+        self,
+        shards: usize,
+        threads: Option<usize>,
+        policy: Box<dyn RoutePolicy>,
+        tasks: &[Task],
+    ) -> Result<FederationStats, RunError> {
+        let mut builder = self.federated_builder(shards, policy)?;
+        if let Some(threads) = threads {
+            builder = builder.threads(threads);
+        }
+        Ok(builder.build_parallel()?.run_stream(tasks.iter().copied()))
+    }
+
+    /// The shared federation setup behind both federated entry points
+    /// (one code path, so the serial and parallel drivers cannot drift
+    /// apart on shard configuration).
+    fn federated_builder(
+        self,
+        shards: usize,
+        policy: Box<dyn RoutePolicy>,
+    ) -> Result<GatewayBuilder<'a, taskprune_sim::NullSink>, RunError> {
         if self.trace.is_some() {
             return Err(ConfigError::FederatedTraceUnsupported.into());
         }
@@ -168,7 +203,7 @@ impl<'a> ResourceAllocator<'a> {
         if let Some(truth) = self.truth {
             builder = builder.truth(truth);
         }
-        Ok(builder.build()?.run_stream(tasks.iter().copied()))
+        Ok(builder)
     }
 
     /// Runs the workload and returns its outcome record.
@@ -312,6 +347,46 @@ mod tests {
         assert_eq!(stats.unreported(), 0);
         // The router actually spread load: no shard saw everything.
         assert!(stats.per_shard.iter().all(|s| s.n_arrived() < trial.len()));
+    }
+
+    #[test]
+    fn federated_parallel_run_matches_the_serial_driver() {
+        use taskprune_sim::{LeastQueuedRoute, RoundRobinRoute};
+        let pet = PetGenConfig::paper_heterogeneous(3).generate();
+        let cluster = taskprune_workload::machines::heterogeneous_cluster();
+        let trial = WorkloadConfig {
+            total_tasks: 400,
+            span_tu: 60.0,
+            ..WorkloadConfig::paper_default(8)
+        }
+        .generate_trial(&pet, 0);
+        let alloc = || {
+            ResourceAllocator::new(&cluster, &pet, SimConfig::batch(2))
+                .heuristic(HeuristicKind::Mm)
+                .pruning(crate::pruner::PruningConfig::paper_default())
+        };
+        // Both scheduling regimes: stateless (round-robin) and
+        // lockstep (least-queued).
+        for stateless in [true, false] {
+            let policy = || -> Box<dyn taskprune_sim::RoutePolicy> {
+                if stateless {
+                    Box::new(RoundRobinRoute::new())
+                } else {
+                    Box::new(LeastQueuedRoute::new())
+                }
+            };
+            let serial = alloc()
+                .try_run_federated(3, policy(), &trial.tasks)
+                .expect("valid federated configuration");
+            let parallel = alloc()
+                .try_run_federated_parallel(3, Some(2), policy(), &trial.tasks)
+                .expect("valid parallel configuration");
+            assert_eq!(
+                serde_json::to_string(&serial).unwrap(),
+                serde_json::to_string(&parallel).unwrap(),
+                "stateless={stateless}: parallel facade diverged"
+            );
+        }
     }
 
     #[test]

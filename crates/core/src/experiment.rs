@@ -5,6 +5,16 @@
 //! [`run_experiment`] executes its independent trials in parallel with
 //! rayon (the paper used an HPC cluster for the same fan-out), reporting
 //! the mean and 95 % confidence interval of the robustness metric.
+//!
+//! Trials are scheduled **one job per trial on a work-stealing pool**
+//! (the vendored rayon), not chunk-per-core: trial durations are
+//! heavily skewed — an oversubscribed trial's mapping events cost far
+//! more than an undersubscribed one's — and contiguous chunks used to
+//! leave cores idle behind the slowest chunk. Stealing reorders only
+//! *execution*; each trial writes its own result slot, so the
+//! aggregate is bit-identical at any pool size (`TASKPRUNE_THREADS`
+//! pins the size; `tests/determinism.rs` pins the identity against a
+//! serial reference).
 
 use crate::allocator::ResourceAllocator;
 use crate::pruner::PruningConfig;

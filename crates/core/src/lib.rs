@@ -79,8 +79,9 @@ pub mod prelude {
     pub use taskprune_heuristics::{BestChanceRoute, HeuristicKind};
     pub use taskprune_model::{Cluster, PetMatrix, SimTime, Task, TaskOutcome};
     pub use taskprune_sim::{
-        FederationStats, GatewayBuilder, LeastQueuedRoute, RoundRobinRoute,
-        RoutePolicy, SimConfig, SimStats,
+        FederationStats, GatewayBuilder, LeastQueuedRoute,
+        ParallelFederatedEngine, RoundRobinRoute, RoutePolicy, SimConfig,
+        SimStats,
     };
     pub use taskprune_workload::{
         ArrivalPattern, PetGenConfig, WorkloadConfig,

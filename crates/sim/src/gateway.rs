@@ -191,6 +191,19 @@ impl<'a, S: Sink> Gateway<'a, S> {
         &self.shards
     }
 
+    /// Mutable shard access for the parallel driver, which advances
+    /// disjoint shards on worker threads (crate-internal: arbitrary
+    /// external mutation could break the arrival bookkeeping).
+    pub(crate) fn shards_mut(&mut self) -> &mut [SchedulerCore<'a, S>] {
+        &mut self.shards
+    }
+
+    /// Whether the routing policy declared itself state-independent
+    /// (see [`RoutePolicy::is_stateless`]).
+    pub(crate) fn policy_is_stateless(&self) -> bool {
+        self.policy.is_stateless()
+    }
+
     /// The federation clock (all shards share one timeline).
     pub fn now(&self) -> SimTime {
         self.shards[0].now()
@@ -212,11 +225,28 @@ impl<'a, S: Sink> Gateway<'a, S> {
     /// shard's mapping event. Returns the routed shard and the internal
     /// id assigned.
     pub fn push_arrival(&mut self, task: Task) -> (usize, TaskId) {
+        let (shard, relabelled) = self.route_only(task);
+        let internal = relabelled.id;
+        self.shards[shard].push_arrival(relabelled);
+        (shard, internal)
+    }
+
+    /// The routing half of [`Gateway::push_arrival`]: picks the shard,
+    /// compacts the external id, and records the global arrival — but
+    /// does **not** run the shard's mapping event. Returns the shard
+    /// and the task relabelled with its internal id; the caller owes
+    /// that shard a matching `push_arrival` of the relabelled task
+    /// (the parallel driver delivers it through a mailbox instead of
+    /// inline).
+    pub(crate) fn route_only(&mut self, task: Task) -> (usize, Task) {
         // A single shard needs no routing decision at all — the
         // bit-identity-critical 1-shard path skips the policy (and its
-        // view materialisation) entirely.
+        // view materialisation) entirely. Stateless policies skip only
+        // the views: their cursor still advances identically.
         let shard = if self.shards.len() == 1 {
             0
+        } else if self.policy.is_stateless() {
+            self.policy.route_stateless(self.shards.len(), &task)
         } else {
             // The views borrow the shards, so they cannot live in a
             // reused arena on `self`; one small shard-count-sized
@@ -247,8 +277,7 @@ impl<'a, S: Sink> Gateway<'a, S> {
         });
         let mut relabelled = task;
         relabelled.id = internal;
-        self.shards[shard].push_arrival(relabelled);
-        (shard, internal)
+        (shard, relabelled)
     }
 
     /// Reports that `machine` on `shard` finished the task with the
@@ -266,9 +295,23 @@ impl<'a, S: Sink> Gateway<'a, S> {
 
     /// Where an external id currently lives: the `(shard, internal)`
     /// pair of its **latest** arrival (duplicated external ids shadow
-    /// earlier occurrences).
+    /// earlier occurrences). A caller that re-submitted an external id
+    /// and still needs to reach the *superseded* instance cannot get
+    /// there from here — hold the [`FedStart`] handles and use
+    /// [`Gateway::complete_internal`] instead.
     pub fn resolve(&self, external: TaskId) -> Option<(usize, TaskId)> {
         self.latest.get(&external.0).map(|&(s, i)| (s as usize, i))
+    }
+
+    /// Completes an execution by its [`FedStart`] handle — the
+    /// `(shard, machine, internal)` triple the gateway surfaced when
+    /// the execution began. Unlike resolving by external id (which is
+    /// latest-wins under duplicate external ids), this reaches **any**
+    /// live instance, including one whose external id has since been
+    /// re-submitted and shadowed. Returns `false` for stale
+    /// completions, exactly like [`Gateway::complete`].
+    pub fn complete_internal(&mut self, start: &FedStart) -> bool {
+        self.complete(start.shard, start.machine.id, start.internal)
     }
 
     /// Fires a synthetic mapping event on one shard (the deferral
@@ -546,6 +589,7 @@ pub struct GatewayBuilder<'a, S: Sink = NullSink> {
     truth: Option<&'a PetMatrix>,
     cfg: SimConfig,
     n_shards: usize,
+    threads: Option<usize>,
     policy: Option<Box<dyn RoutePolicy>>,
     strategy_fn: Option<StrategyFn<'a>>,
     pruner_fn: Option<PrunerFn<'a>>,
@@ -563,6 +607,7 @@ impl<'a> GatewayBuilder<'a, NullSink> {
             truth: None,
             cfg: SimConfig::batch(0),
             n_shards: 1,
+            threads: None,
             policy: None,
             strategy_fn: None,
             pruner_fn: None,
@@ -582,6 +627,17 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
     /// Sets the number of shards.
     pub fn shards(mut self, n: usize) -> Self {
         self.n_shards = n;
+        self
+    }
+
+    /// Sets the worker-thread count of
+    /// [`GatewayBuilder::build_parallel`]'s executor (clamped to ≥ 1;
+    /// 1 runs every shard inline on the caller). Default: the
+    /// `TASKPRUNE_THREADS` environment variable, else all hardware
+    /// threads. Ignored by the single-threaded [`GatewayBuilder::build`]
+    /// driver.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
         self
     }
 
@@ -637,6 +693,7 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
             truth: self.truth,
             cfg: self.cfg,
             n_shards: self.n_shards,
+            threads: self.threads,
             policy: self.policy,
             strategy_fn: self.strategy_fn,
             pruner_fn: self.pruner_fn,
@@ -704,6 +761,25 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
             pending: vec![0; n],
             wakeup_pending: vec![false; n],
         })
+    }
+
+    /// Builds the **parallel** federated driver: the same gateway, but
+    /// each shard's event loop runs on a work-stealing pool of
+    /// [`GatewayBuilder::threads`] threads, bit-identical to
+    /// [`GatewayBuilder::build`] at any thread count (see
+    /// [`crate::ParallelFederatedEngine`]).
+    pub fn build_parallel(
+        self,
+    ) -> Result<crate::ParallelFederatedEngine<'a, S>, ConfigError> {
+        let truth = self.truth;
+        let pet = self.pet;
+        let threads = self.threads;
+        let gateway = self.build_gateway()?;
+        Ok(crate::ParallelFederatedEngine::from_gateway(
+            gateway,
+            truth.unwrap_or(pet),
+            threads,
+        ))
     }
 }
 

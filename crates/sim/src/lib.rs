@@ -44,6 +44,10 @@
 //!   boundary and a deterministic [`FederationStats`] fan-in;
 //!   [`FederatedEngine`] is its bundled discrete-event driver. One
 //!   shard is bit-identical to [`Engine`].
+//! * [`ParallelFederatedEngine`] — the same federation driven with one
+//!   worker per shard on a work-stealing pool, routing serialized on
+//!   the coordinator. Bit-identical to [`FederatedEngine`] at every
+//!   thread count; parallelism is purely a wall-clock change.
 
 #![warn(missing_docs)]
 
@@ -54,6 +58,7 @@ pub mod decisions;
 pub mod engine;
 pub mod event;
 pub mod gateway;
+pub mod parallel;
 pub mod queue;
 pub mod route;
 pub mod sink;
@@ -92,6 +97,7 @@ pub use gateway::{
     FedArrival, FedDecision, FedStart, FederatedEngine, FederationStats,
     Gateway, GatewayBuilder, IdCompactor,
 };
+pub use parallel::ParallelFederatedEngine;
 pub use route::{LeastQueuedRoute, RoundRobinRoute, RoutePolicy, ShardView};
 pub use sink::{NullSink, Sink};
 pub use stats::{SimStats, StatsError};

@@ -80,6 +80,30 @@ pub trait RoutePolicy {
 
     /// Picks the destination shard for `task`.
     fn route(&mut self, shards: &[ShardView<'_>], task: &Task) -> usize;
+
+    /// Whether this policy routes **without reading shard state**: its
+    /// decision may depend only on the shard *count*, the task, and
+    /// the policy's own internal state (a round-robin cursor, a hash).
+    ///
+    /// Declaring `true` is a contract: [`RoutePolicy::route_stateless`]
+    /// must be implemented and must pick exactly the shard
+    /// [`RoutePolicy::route`] would pick. In exchange the gateway skips
+    /// materialising shard views, and the parallel federated driver
+    /// routes the whole arrival stream up front so every shard runs
+    /// its event loop with **zero cross-shard barriers**.
+    fn is_stateless(&self) -> bool {
+        false
+    }
+
+    /// [`RoutePolicy::route`] without the views, for policies that
+    /// declare [`RoutePolicy::is_stateless`]. Only called when
+    /// `is_stateless()` is `true`.
+    fn route_stateless(&mut self, n_shards: usize, task: &Task) -> usize {
+        let _ = (n_shards, task);
+        unimplemented!(
+            "route_stateless is required when is_stateless() returns true"
+        )
+    }
 }
 
 /// Cycles through the shards in index order, ignoring state entirely —
@@ -101,8 +125,16 @@ impl RoutePolicy for RoundRobinRoute {
         "round-robin"
     }
 
-    fn route(&mut self, shards: &[ShardView<'_>], _task: &Task) -> usize {
-        let shard = self.next % shards.len();
+    fn route(&mut self, shards: &[ShardView<'_>], task: &Task) -> usize {
+        self.route_stateless(shards.len(), task)
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
+
+    fn route_stateless(&mut self, n_shards: usize, _task: &Task) -> usize {
+        let shard = self.next % n_shards;
         self.next = self.next.wrapping_add(1);
         shard
     }

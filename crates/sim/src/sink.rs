@@ -21,7 +21,11 @@ use taskprune_model::SimTime;
 /// it returns `false` the core does not even assemble the
 /// [`QueueSnapshot`], so a sink that ignores snapshots pays nothing for
 /// them.
-pub trait Sink {
+///
+/// `Send` because the owning [`crate::SchedulerCore`] may run as a
+/// federation shard on a worker thread of the parallel federated
+/// driver (one thread at a time — no `Sync` requirement).
+pub trait Sink: Send {
     /// Observes one task-lifecycle transition at simulated time `at`.
     fn record(&mut self, at: SimTime, event: TraceEvent) {
         let _ = (at, event);

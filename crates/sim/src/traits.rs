@@ -26,7 +26,11 @@ pub struct Assignment {
 /// pruning procedure): each call sees the machine state *including* tasks
 /// committed earlier in the same event, and the candidate list excludes
 /// tasks the pruner has deferred.
-pub trait BatchMapper {
+///
+/// `Send` because a [`crate::SchedulerCore`] owning the mapper is a
+/// federation shard, and the parallel federated driver moves shards
+/// onto worker threads (each shard stays single-threaded — no `Sync`).
+pub trait BatchMapper: Send {
     /// Heuristic name for reports ("MM", "MSD", …).
     fn name(&self) -> &str;
 
@@ -56,8 +60,9 @@ pub trait BatchMapper {
 
 /// An immediate-mode mapping heuristic (RR, MET, MCT, KPB): the arriving
 /// task is placed the moment it arrives (Fig. 1a), machine queues are
-/// unbounded and there is nothing to defer.
-pub trait ImmediateMapper {
+/// unbounded and there is nothing to defer. `Send` for the same reason
+/// as [`BatchMapper`].
+pub trait ImmediateMapper: Send {
     /// Heuristic name for reports ("RR", "MCT", …).
     fn name(&self) -> &str;
 
@@ -113,8 +118,9 @@ impl EventReport {
 }
 
 /// A pruning policy (the paper's contribution lives behind this trait in
-/// the `taskprune` crate; [`NoPruning`] is the baseline).
-pub trait Pruner {
+/// the `taskprune` crate; [`NoPruning`] is the baseline). `Send` for
+/// the same reason as [`BatchMapper`].
+pub trait Pruner: Send {
     /// Policy name for reports.
     fn name(&self) -> &str;
 

