@@ -43,7 +43,9 @@
 //! the 4-shard scaling fails to exceed 1×, **or** — on hosts with ≥ 4
 //! hardware threads, i.e. CI — when the 1→4-thread parallel-driver
 //! scaling fails to exceed 1.5×; on smaller hosts the thread gate is
-//! recorded but not enforced, since the hardware cannot express it).
+//! **waived with a warning** and the `gateway_parallel_t4` entry is
+//! stamped `gate: "skipped(cores<4)"`, so the tracked series records a
+//! skip rather than a silent pass).
 
 use std::time::Instant;
 use taskprune::prelude::*;
@@ -198,8 +200,17 @@ fn main() {
             scratch_ns: yardstick,
             speedup,
             robustness_pct: Some(m.robustness_pct),
+            gate: None,
         });
     }
+
+    // The thread-scaling gate needs >= 4 hardware threads to be
+    // expressible; on smaller hosts it is *waived*, and the waiver is
+    // stamped into the gated entry so the tracked series shows a skip,
+    // not a pass.
+    let hw_threads =
+        std::thread::available_parallelism().map_or(1, |p| p.get());
+    let thread_gate_skipped = hw_threads < 4;
 
     // Family 2: parallel driver across thread counts at 4 shards.
     let mut thread_yardstick = f64::NAN;
@@ -246,6 +257,8 @@ fn main() {
             scratch_ns: thread_yardstick,
             speedup,
             robustness_pct: Some(m.robustness_pct),
+            gate: (threads == 4 && thread_gate_skipped)
+                .then(|| "skipped(cores<4)".to_string()),
         });
     }
 
@@ -286,25 +299,22 @@ fn main() {
              {scaling_at_4_shards:.2}x (>1x required)"
         );
     }
-    let hw_threads =
-        std::thread::available_parallelism().map_or(1, |p| p.get());
-    if scaling_at_4_threads <= THREAD_SCALING_GATE {
-        if hw_threads >= 4 {
-            eprintln!(
-                "thread gate: 1 -> 4 threads scales the 4-shard parallel \
-                 driver {scaling_at_4_threads:.2}x — \
-                 >{THREAD_SCALING_GATE}x required on this {hw_threads}-\
-                 thread host"
-            );
-            failed = true;
-        } else {
-            println!(
-                "thread gate: {scaling_at_4_threads:.2}x at 1 -> 4 threads \
-                 recorded but not enforced — host has only {hw_threads} \
-                 hardware thread(s), the >{THREAD_SCALING_GATE}x gate \
-                 needs >= 4 (CI enforces it)"
-            );
-        }
+    if thread_gate_skipped {
+        eprintln!(
+            "warning: thread gate SKIPPED — host has only {hw_threads} \
+             hardware thread(s), the >{THREAD_SCALING_GATE}x 1 -> 4-thread \
+             gate needs >= 4; measured {scaling_at_4_threads:.2}x, recorded \
+             gate=\"skipped(cores<4)\" in the gateway_parallel_t4 entry \
+             (CI enforces the gate on >= 4-thread hosts)"
+        );
+    } else if scaling_at_4_threads <= THREAD_SCALING_GATE {
+        eprintln!(
+            "thread gate: 1 -> 4 threads scales the 4-shard parallel \
+             driver {scaling_at_4_threads:.2}x — \
+             >{THREAD_SCALING_GATE}x required on this {hw_threads}-\
+             thread host"
+        );
+        failed = true;
     } else {
         println!(
             "thread gate: 1 -> 4 threads scales the 4-shard parallel \

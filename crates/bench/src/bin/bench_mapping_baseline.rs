@@ -131,6 +131,7 @@ fn main() {
                     scratch_ns: scr,
                     speedup,
                     robustness_pct: None,
+                    gate: None,
                 });
             };
 

@@ -109,11 +109,17 @@ pub struct BenchEntry {
     /// shifts — e.g. "2 shards slower because they drop less"). `None`
     /// for pure micro-benchmarks.
     pub robustness_pct: Option<f64>,
+    /// Gate disposition of the run that produced this entry: `None`
+    /// when the measurement was gated normally, or a marker such as
+    /// `"skipped(cores<4)"` when the host could not support the gate
+    /// and it was waived — so a waived run is visible in the tracked
+    /// series instead of reading as a silent pass.
+    pub gate: Option<String>,
 }
 
 // Hand-written (de)serialization instead of the derive: runs recorded
-// before `robustness_pct` existed must keep loading, so a missing
-// field reads as `None` — the vendored serde derive has no
+// before `robustness_pct` / `gate` existed must keep loading, so a
+// missing field reads as `None` — the vendored serde derive has no
 // `#[serde(default)]`.
 impl Serialize for BenchEntry {
     fn to_value(&self) -> serde::Value {
@@ -125,6 +131,7 @@ impl Serialize for BenchEntry {
             ("scratch_ns".to_string(), self.scratch_ns.to_value()),
             ("speedup".to_string(), self.speedup.to_value()),
             ("robustness_pct".to_string(), self.robustness_pct.to_value()),
+            ("gate".to_string(), self.gate.to_value()),
         ])
     }
 }
@@ -140,9 +147,13 @@ impl Deserialize for BenchEntry {
             )?,
             scratch_ns: Deserialize::from_value(v.get_field("scratch_ns")?)?,
             speedup: Deserialize::from_value(v.get_field("speedup")?)?,
-            robustness_pct: match v.get_field("robustness_pct") {
-                Ok(field) => Deserialize::from_value(field)?,
-                Err(_) => None, // pre-PR5 run: field absent
+            robustness_pct: match v.get_opt("robustness_pct") {
+                Some(field) => Deserialize::from_value(field)?,
+                None => None, // pre-PR5 run: field absent
+            },
+            gate: match v.get_opt("gate") {
+                Some(field) => Deserialize::from_value(field)?,
+                None => None, // pre-PR6 run: field absent
             },
         })
     }
@@ -527,6 +538,7 @@ mod tests {
             scratch_ns: 1_000.0,
             speedup: 1_000.0 / ns,
             robustness_pct: None,
+            gate: None,
         }
     }
 
@@ -549,6 +561,27 @@ mod tests {
         assert_eq!(back.robustness_pct, Some(84.5));
         assert_eq!(back.scenario, "tail_drop");
         assert_eq!(back.speedup, 10.0);
+    }
+
+    #[test]
+    fn gate_marker_roundtrips_and_defaults_to_none() {
+        // Entries recorded before the gate-disposition field existed
+        // must keep loading as `None`, and a recorded waiver must
+        // survive a series round-trip verbatim.
+        let legacy = "{\"scenario\":\"gateway_parallel_t4\",\
+                      \"queue_depth\":4,\"pet_support\":10000,\
+                      \"incremental_ns\":100.0,\"scratch_ns\":1000.0,\
+                      \"speedup\":10.0,\"robustness_pct\":84.5}";
+        let parsed: BenchEntry =
+            serde_json::from_str(legacy).expect("pre-gate entry parses");
+        assert_eq!(parsed.gate, None);
+        let mut skipped = parsed.clone();
+        skipped.gate = Some("skipped(cores<4)".to_string());
+        let json = serde_json::to_string(&skipped).unwrap();
+        let back: BenchEntry =
+            serde_json::from_str(&json).expect("waived entry parses");
+        assert_eq!(back.gate.as_deref(), Some("skipped(cores<4)"));
+        assert_eq!(back.robustness_pct, Some(84.5));
     }
 
     #[test]
@@ -639,6 +672,7 @@ mod tests {
             scratch_ns: 3_000.0,
             speedup: 3_000.0 / (3.0 * 143.0),
             robustness_pct: None,
+            gate: None,
         };
         series.append("d", vec![cross_machine]);
         let ratio = series.check_regression(0.15).expect("machine-neutral");
@@ -695,6 +729,7 @@ mod tests {
             scratch_ns: 1_000.0,
             speedup: 1_000.0 / ns,
             robustness_pct: None,
+            gate: None,
         };
         let mut series = BenchSeries {
             name: "probe".to_string(),

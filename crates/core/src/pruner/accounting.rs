@@ -5,10 +5,11 @@
 //! each mapping event's [`EventReport`] into the counters the Toggle and
 //! Fairness modules consume, and keeps lifetime totals for reporting.
 
+use serde::{Deserialize, Serialize};
 use taskprune_sim::EventReport;
 
 /// Lifetime and per-event counters of task outcomes.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Accounting {
     /// Deadline misses observed at the most recent mapping event (the
     /// Toggle's input signal).

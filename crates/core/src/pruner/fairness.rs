@@ -61,6 +61,17 @@ impl Fairness {
         }
     }
 
+    /// Replaces the whole score table from a checkpoint. Returns
+    /// `false` (and changes nothing) when the checkpoint was taken for
+    /// a different number of task types.
+    pub(crate) fn restore_scores(&mut self, scores: &[f64]) -> bool {
+        if scores.len() != self.scores.len() {
+            return false;
+        }
+        self.scores.copy_from_slice(scores);
+        true
+    }
+
     fn bump(&mut self, k: TaskTypeId, delta: f64) {
         let s = &mut self.scores[k.0 as usize];
         *s = (*s + delta).clamp(self.cfg.min_score, self.cfg.max_score);

@@ -19,6 +19,7 @@ use super::accounting::Accounting;
 use super::config::PruningConfig;
 use super::fairness::Fairness;
 use super::toggle::Toggle;
+use serde::{Deserialize, Serialize};
 use taskprune_model::{MachineId, Task, TaskId};
 use taskprune_sim::{EventReport, Pruner, SystemView};
 
@@ -135,6 +136,43 @@ impl Pruner for PruningMechanism {
             <= self
                 .fairness
                 .effective_threshold(self.cfg.threshold, task.type_id)
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        // Configuration (thresholds, toggle mode, fairness factor) is
+        // construction-time state, like a queue's capacity: the restore
+        // target must be built with the same config, so only the
+        // evolving state travels.
+        serde::Value::Object(vec![
+            ("accounting".to_owned(), self.accounting.to_value()),
+            (
+                "engaged".to_owned(),
+                serde::Value::Bool(self.toggle.dropping_engaged()),
+            ),
+            (
+                "scores".to_owned(),
+                serde::Serialize::to_value(self.fairness.scores()),
+            ),
+        ])
+    }
+
+    fn restore_state(
+        &mut self,
+        state: &serde::Value,
+    ) -> Result<(), serde::Error> {
+        let accounting =
+            Accounting::from_value(state.get_field("accounting")?)?;
+        let engaged = bool::from_value(state.get_field("engaged")?)?;
+        let scores = Vec::<f64>::from_value(state.get_field("scores")?)?;
+        if !self.fairness.restore_scores(&scores) {
+            return Err(serde::Error::custom(
+                "fairness score count differs from this mechanism's \
+                 task-type count",
+            ));
+        }
+        self.accounting = accounting;
+        self.toggle.set_engaged(engaged);
+        Ok(())
     }
 }
 

@@ -39,6 +39,12 @@ impl Toggle {
         self.engaged
     }
 
+    /// Overrides the engagement decision — only for restoring a
+    /// checkpointed mechanism mid-event-cycle.
+    pub(crate) fn set_engaged(&mut self, engaged: bool) {
+        self.engaged = engaged;
+    }
+
     /// The configured mode.
     pub fn mode(&self) -> ToggleMode {
         self.mode

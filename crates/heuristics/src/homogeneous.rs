@@ -69,6 +69,18 @@ impl BatchMapper for FcfsRoundRobin {
         }
         out
     }
+
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::UInt(self.next as u64)
+    }
+
+    fn restore_state(
+        &mut self,
+        state: &serde::Value,
+    ) -> Result<(), serde::Error> {
+        self.next = serde::Deserialize::from_value(state)?;
+        Ok(())
+    }
 }
 
 /// Shared second stage of EDF / SJF: assign an ordered task list to the

@@ -40,6 +40,18 @@ impl ImmediateMapper for RoundRobin {
         }
         MachineId((self.next % n) as u16)
     }
+
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::UInt(self.next as u64)
+    }
+
+    fn restore_state(
+        &mut self,
+        state: &serde::Value,
+    ) -> Result<(), serde::Error> {
+        self.next = serde::Deserialize::from_value(state)?;
+        Ok(())
+    }
 }
 
 /// Minimum Expected Execution Time: the machine whose PET mean for the

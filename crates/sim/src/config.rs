@@ -189,6 +189,9 @@ pub enum RunError {
     Config(ConfigError),
     /// The outcome collector rejected a record (malformed trace).
     Stats(crate::stats::StatsError),
+    /// A checkpoint failed verification or decode during an elastic
+    /// operation (failover replay, live reshard).
+    Snapshot(crate::snapshot::SnapshotError),
 }
 
 impl fmt::Display for RunError {
@@ -196,11 +199,20 @@ impl fmt::Display for RunError {
         match self {
             RunError::Config(e) => e.fmt(f),
             RunError::Stats(e) => e.fmt(f),
+            RunError::Snapshot(e) => e.fmt(f),
         }
     }
 }
 
-impl std::error::Error for RunError {}
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Config(e) => Some(e),
+            RunError::Stats(e) => Some(e),
+            RunError::Snapshot(e) => Some(e),
+        }
+    }
+}
 
 impl From<ConfigError> for RunError {
     fn from(e: ConfigError) -> Self {
@@ -211,6 +223,12 @@ impl From<ConfigError> for RunError {
 impl From<crate::stats::StatsError> for RunError {
     fn from(e: crate::stats::StatsError) -> Self {
         RunError::Stats(e)
+    }
+}
+
+impl From<crate::snapshot::SnapshotError> for RunError {
+    fn from(e: crate::snapshot::SnapshotError) -> Self {
+        RunError::Snapshot(e)
     }
 }
 

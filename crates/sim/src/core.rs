@@ -42,10 +42,12 @@
 use crate::config::{AllocationMode, SimConfig};
 use crate::queue::MachineQueue;
 use crate::sink::{NullSink, Sink};
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::stats::SimStats;
 use crate::trace::{QueueSnapshot, TraceEvent};
 use crate::traits::{Assignment, EventReport, MappingStrategy, Pruner};
 use crate::view::SystemView;
+use serde::{Deserialize, Serialize, Value};
 use std::collections::HashSet;
 use taskprune_model::{
     Machine, MachineId, PetMatrix, SimTime, Task, TaskId, TaskOutcome,
@@ -418,6 +420,80 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
     /// pruners see.
     pub fn view(&self) -> SystemView<'_> {
         SystemView::new(self.now, &self.queues, self.pet)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing.
+    // ------------------------------------------------------------------
+
+    /// Captures the core's complete durable state into a sealed,
+    /// versioned [`Snapshot`]: clock, batch queue, every machine
+    /// queue, the outcome record, and the plug-in state of the
+    /// strategy, pruner and sink. Static configuration (the
+    /// [`SimConfig`], cluster and PET matrix) is not serialized — a
+    /// restore target must be built identically. Scratch arenas,
+    /// drained-decision buffers and the Eq. 1 chain caches are
+    /// rebuilt, not serialized.
+    pub fn snapshot(&self) -> Snapshot {
+        let queues: Vec<Value> =
+            self.queues.iter().map(|q| q.state_value()).collect();
+        Snapshot::seal(
+            "scheduler-core",
+            Value::Object(vec![
+                ("now".to_owned(), self.now.to_value()),
+                ("arrival_queue".to_owned(), self.arrival_queue.to_value()),
+                ("queues".to_owned(), Value::Array(queues)),
+                ("stats".to_owned(), self.stats.to_value()),
+                ("strategy".to_owned(), self.strategy.snapshot_state()),
+                ("pruner".to_owned(), self.pruner.snapshot_state()),
+                ("sink".to_owned(), self.sink.snapshot_state()),
+            ]),
+        )
+    }
+
+    /// Restores state captured by [`SchedulerCore::snapshot`] into
+    /// this core, after verifying the envelope (version + state hash).
+    /// The core must have been built with the same configuration,
+    /// cluster, PET matrix and plug-in types as the one that took the
+    /// snapshot. Pending decision/start buffers are cleared — a
+    /// restored core starts from a drained state, exactly as the
+    /// snapshotting core was at its checkpoint.
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`]; on error the core's state is
+    /// unspecified and the core should be discarded.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        let payload = snap.verify()?.clone();
+        let now = SimTime::from_value(payload.get_field("now")?)?;
+        let arrival_queue =
+            Vec::<Task>::from_value(payload.get_field("arrival_queue")?)?;
+        let stats = SimStats::from_value(payload.get_field("stats")?)?;
+        let Value::Array(queue_states) = payload.get_field("queues")? else {
+            return Err(SnapshotError::ShapeMismatch {
+                what: "`queues` payload is not an array",
+            });
+        };
+        if queue_states.len() != self.queues.len() {
+            return Err(SnapshotError::ShapeMismatch {
+                what: "snapshot machine count differs from this cluster",
+            });
+        }
+        for (q, state) in self.queues.iter_mut().zip(queue_states) {
+            q.restore_value(state)?;
+        }
+        self.strategy
+            .restore_state(payload.get_field("strategy")?)?;
+        self.pruner.restore_state(payload.get_field("pruner")?)?;
+        self.sink.restore_state(payload.get_field("sink")?)?;
+        self.now = now;
+        self.arrival_queue = arrival_queue;
+        self.stats = stats;
+        self.decisions.clear();
+        self.decisions_spare.clear();
+        self.starts.clear();
+        self.starts_spare.clear();
+        self.begin_report();
+        Ok(())
     }
 
     // ------------------------------------------------------------------

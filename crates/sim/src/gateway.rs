@@ -32,13 +32,16 @@
 use crate::config::{ConfigError, SimConfig};
 use crate::core::{Decision, SchedulerCore, Start};
 use crate::event::EventKind;
+use crate::journal::{JournalOp, ShardJournal};
 use crate::route::{RoundRobinRoute, RoutePolicy, ShardView};
 use crate::sink::{NullSink, Sink};
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::stats::SimStats;
 use crate::traits::{MappingStrategy, Pruner};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::iter::Peekable;
 use taskprune_model::{
     Cluster, Machine, MachineId, PetMatrix, SimTime, Task, TaskId, TaskOutcome,
     TaskTypeId,
@@ -91,6 +94,22 @@ impl IdCompactor {
     /// Number of ids assigned on `shard`.
     pub fn assigned(&self, shard: usize) -> usize {
         self.per_shard.get(shard).map_or(0, Vec::len)
+    }
+
+    /// Captures the compactor's id tables into a sealed, versioned
+    /// [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::seal("id-compactor", self.to_value())
+    }
+
+    /// Restores the tables captured by [`IdCompactor::snapshot`],
+    /// after verifying the envelope (version + state hash).
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`] from the envelope or payload decode.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        *self = Self::from_value(snap.verify()?)?;
+        Ok(())
     }
 }
 
@@ -375,6 +394,71 @@ impl<'a, S: Sink> Gateway<'a, S> {
             }
         }
         &self.starts
+    }
+
+    /// Captures the whole federation front-end into a sealed,
+    /// versioned [`Snapshot`]: every shard's full (nested, itself
+    /// sealed) core snapshot, the id compactor, the global arrival
+    /// order, and the routing policy's plug-in state. The
+    /// external-id index is rebuilt from the arrival order on restore,
+    /// and the drain buffers are scratch — neither is serialized.
+    pub fn snapshot(&self) -> Snapshot {
+        let shards: Vec<Value> = self
+            .shards
+            .iter()
+            .map(|s| s.snapshot().to_value())
+            .collect();
+        Snapshot::seal(
+            "gateway",
+            Value::Object(vec![
+                ("shards".to_owned(), Value::Array(shards)),
+                ("compact".to_owned(), self.compact.to_value()),
+                ("arrival_order".to_owned(), self.arrival_order.to_value()),
+                ("policy".to_owned(), self.policy.snapshot_state()),
+            ]),
+        )
+    }
+
+    /// Restores state captured by [`Gateway::snapshot`] into this
+    /// gateway, verifying the outer envelope **and** every nested
+    /// per-shard envelope (defense in depth: a desynced or tampered
+    /// shard payload cannot hide inside an intact outer hash). The
+    /// gateway must have been built with the same shard count,
+    /// configuration and plug-in types.
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`]; on error the gateway's state is
+    /// unspecified and it should be discarded.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        let payload = snap.verify()?.clone();
+        let Value::Array(shard_snaps) = payload.get_field("shards")? else {
+            return Err(SnapshotError::ShapeMismatch {
+                what: "`shards` payload is not an array",
+            });
+        };
+        if shard_snaps.len() != self.shards.len() {
+            return Err(SnapshotError::ShapeMismatch {
+                what: "snapshot shard count differs from this federation",
+            });
+        }
+        for (core, wire) in self.shards.iter_mut().zip(shard_snaps) {
+            let nested = Snapshot::from_value(wire)?;
+            core.restore(&nested)?;
+        }
+        self.compact = IdCompactor::from_value(payload.get_field("compact")?)?;
+        self.arrival_order =
+            Vec::<FedArrival>::from_value(payload.get_field("arrival_order")?)?;
+        self.policy.restore_state(payload.get_field("policy")?)?;
+        // Replaying the arrival order front to back makes the latest
+        // occurrence of each external id win — the live invariant.
+        self.latest = self
+            .arrival_order
+            .iter()
+            .map(|a| (a.external.0, (a.shard, a.internal)))
+            .collect();
+        self.decisions.clear();
+        self.starts.clear();
+        Ok(())
     }
 
     /// Finishes every shard and returns the federation's outcome
@@ -760,6 +844,9 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
             rngs,
             pending: vec![0; n],
             wakeup_pending: vec![false; n],
+            journals: None,
+            arrival_log: None,
+            arrivals_ingested: 0,
         })
     }
 
@@ -845,6 +932,16 @@ pub struct FederatedEngine<'a, S: Sink = NullSink> {
     /// engine's `events.is_empty()` wakeup guard).
     pending: Vec<usize>,
     wakeup_pending: Vec<bool>,
+    /// Per-shard operation journals since the last checkpoint
+    /// (crash-failover; opt-in via
+    /// [`FederatedEngine::enable_journal`]).
+    journals: Option<Vec<ShardJournal>>,
+    /// The external arrival stream as ingested, pre-routing (live
+    /// reshard; opt-in via [`FederatedEngine::enable_arrival_log`]).
+    arrival_log: Option<Vec<Task>>,
+    /// Arrivals ingested so far — the watermark
+    /// [`FederatedEngine::run_until`] pauses against.
+    arrivals_ingested: u64,
 }
 
 impl<'a, S: Sink> FederatedEngine<'a, S> {
@@ -862,7 +959,51 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
         I: IntoIterator<Item = Task>,
     {
         let mut source = arrivals.into_iter().peekable();
+        self.drive(&mut source, None);
+        self.gateway.finish()
+    }
+
+    /// Drives the event loop until `watermark` arrivals (total, since
+    /// construction) have been ingested, then pauses. Pausing is
+    /// non-destructive: the engine holds its heap, clocks and RNG
+    /// streams, so continuing with
+    /// [`FederatedEngine::finish_stream`] on the *same* source
+    /// replays exactly the call sequence an uninterrupted
+    /// [`FederatedEngine::run_stream`] would have made. The pause
+    /// point is where elastic operations happen: checkpoint shards,
+    /// verify the gateway state hash, or stop the world to reshard.
+    pub fn run_until<I>(&mut self, source: &mut Peekable<I>, watermark: u64)
+    where
+        I: Iterator<Item = Task>,
+    {
+        self.drive(source, Some(watermark));
+    }
+
+    /// Consumes the rest of a stream a [`FederatedEngine::run_until`]
+    /// paused on, drains all shards, and returns the federation's
+    /// outcome record.
+    pub fn finish_stream<I>(
+        mut self,
+        source: &mut Peekable<I>,
+    ) -> FederationStats
+    where
+        I: Iterator<Item = Task>,
+    {
+        self.drive(source, None);
+        self.gateway.finish()
+    }
+
+    /// The event loop shared by all drivers: interleaves the arrival
+    /// stream with the completion/wakeup heap, optionally pausing once
+    /// `pause_after` arrivals have been ingested.
+    fn drive<I>(&mut self, source: &mut Peekable<I>, pause_after: Option<u64>)
+    where
+        I: Iterator<Item = Task>,
+    {
         loop {
+            if pause_after.is_some_and(|w| self.arrivals_ingested >= w) {
+                return;
+            }
             let event_first = match (self.events.peek(), source.peek()) {
                 (None, None) => break,
                 (Some(_), None) => true,
@@ -882,11 +1023,25 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
                 self.gateway.advance_to(event.time);
                 match event.kind {
                     EventKind::Completion { machine, task } => {
+                        // Journal before the staleness check: a stale
+                        // completion is rejected deterministically on
+                        // replay too, so recording it keeps the replay
+                        // an exact re-run.
+                        if let Some(journals) = &mut self.journals {
+                            journals[event.shard].record(
+                                event.time,
+                                JournalOp::Completion { machine, task },
+                            );
+                        }
                         if !self.gateway.complete(event.shard, machine, task) {
                             continue; // stale after a cancellation
                         }
                     }
                     EventKind::Wakeup => {
+                        if let Some(journals) = &mut self.journals {
+                            journals[event.shard]
+                                .record(event.time, JournalOp::Wakeup);
+                        }
                         self.wakeup_pending[event.shard] = false;
                         self.gateway.wakeup(event.shard);
                     }
@@ -897,8 +1052,17 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
             } else {
                 let task = source.next().expect("peeked above");
                 let now = self.gateway.now();
-                self.gateway.advance_to(task.arrival.max(now));
-                self.gateway.push_arrival(task);
+                let at = task.arrival.max(now);
+                self.gateway.advance_to(at);
+                if let Some(log) = &mut self.arrival_log {
+                    log.push(task);
+                }
+                let (shard, relabelled) = self.gateway.route_only(task);
+                if let Some(journals) = &mut self.journals {
+                    journals[shard].record(at, JournalOp::Arrival(relabelled));
+                }
+                self.gateway.shards_mut()[shard].push_arrival(relabelled);
+                self.arrivals_ingested += 1;
             }
             self.dispatch_starts();
             // Keep the per-shard decision buffers bounded without
@@ -907,7 +1071,104 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
             self.gateway.discard_decisions();
             self.maybe_schedule_wakeups(source.peek().is_some());
         }
-        self.gateway.finish()
+    }
+
+    /// Turns on per-shard operation journaling: every arrival,
+    /// completion and wakeup applied to a shard is recorded so
+    /// [`FederatedEngine::recover_shard`] can replay the shard from
+    /// its last [`FederatedEngine::checkpoint`]. Idempotent.
+    pub fn enable_journal(&mut self) {
+        if self.journals.is_none() {
+            self.journals =
+                Some(vec![ShardJournal::new(); self.gateway.n_shards()]);
+        }
+    }
+
+    /// Turns on the external arrival log: every ingested task is
+    /// recorded pre-routing, so a paused federation can re-split its
+    /// entire history across a different shard count. Idempotent.
+    pub fn enable_arrival_log(&mut self) {
+        if self.arrival_log.is_none() {
+            self.arrival_log = Some(Vec::new());
+        }
+    }
+
+    /// The external arrivals ingested so far (empty unless
+    /// [`FederatedEngine::enable_arrival_log`] was called).
+    pub fn arrival_log(&self) -> &[Task] {
+        self.arrival_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Arrivals ingested since construction — the watermark coordinate
+    /// [`FederatedEngine::run_until`] pauses against.
+    pub fn arrivals_ingested(&self) -> u64 {
+        self.arrivals_ingested
+    }
+
+    /// One shard's operation journal (empty unless
+    /// [`FederatedEngine::enable_journal`] was called).
+    pub fn journal(&self, shard: usize) -> &ShardJournal {
+        self.journals
+            .as_ref()
+            .map_or(ShardJournal::EMPTY, |j| &j[shard])
+    }
+
+    /// Checkpoints one shard: captures its sealed core [`Snapshot`]
+    /// and clears the shard's journal (the snapshot supersedes the
+    /// logged prefix). Call at a paused watermark —
+    /// [`FederatedEngine::run_until`] — so the capture is
+    /// quiescent.
+    pub fn checkpoint(&mut self, shard: usize) -> Snapshot {
+        let snap = self.gateway.shards()[shard].snapshot();
+        if let Some(journals) = &mut self.journals {
+            journals[shard].clear();
+        }
+        snap
+    }
+
+    /// Crash-failover: rebuilds shard `shard` from its last
+    /// [`FederatedEngine::checkpoint`] plus the journal recorded since
+    /// — modelling a shard whose in-memory state died while the
+    /// coordinator (event heap, RNG streams, the other shards)
+    /// survived. The journal replay re-applies every operation the
+    /// shard saw since the checkpoint; the starts it re-emits are
+    /// discarded because the surviving heap already holds their
+    /// completions. Requires [`FederatedEngine::enable_journal`].
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`] from the envelope or payload; on error
+    /// the shard is unusable and the engine should be discarded.
+    ///
+    /// # Panics
+    /// When journaling was never enabled (there is nothing to replay
+    /// from, so "recovery" would silently lose operations).
+    pub fn recover_shard(
+        &mut self,
+        shard: usize,
+        snap: &Snapshot,
+    ) -> Result<(), SnapshotError> {
+        let journals = self
+            .journals
+            .as_ref()
+            .expect("recover_shard requires enable_journal");
+        // The federation clock is lockstep under this serial driver;
+        // capture it before the restore rewinds the shard.
+        let now = self.gateway.now();
+        let core = &mut self.gateway.shards_mut()[shard];
+        core.restore(snap)?;
+        journals[shard].replay(core);
+        if core.now() < now {
+            core.advance_to(now);
+        }
+        Ok(())
+    }
+
+    /// Captures the whole federation front-end (every shard, the
+    /// compactor, the arrival order, the routing policy) into one
+    /// sealed [`Snapshot`] — see [`Gateway::snapshot`]. Verifying it
+    /// at a watermark is the federation's desync detector.
+    pub fn snapshot_gateway(&self) -> Snapshot {
+        self.gateway.snapshot()
     }
 
     /// Turns every pending start into a completion event, sampling the

@@ -48,6 +48,12 @@
 //!   worker per shard on a work-stealing pool, routing serialized on
 //!   the coordinator. Bit-identical to [`FederatedEngine`] at every
 //!   thread count; parallelism is purely a wall-clock change.
+//! * [`Snapshot`] / [`ShardJournal`] — the elasticity layer: versioned,
+//!   hash-sealed state capture for cores, queues and whole gateways,
+//!   plus per-shard replayable operation logs. Together they give
+//!   crash-failover (`replay(snapshot, log)` reproduces a shard
+//!   bit-identically) and live resharding (pause at an arrival
+//!   watermark, snapshot, re-split across K′ shards, resume).
 
 #![warn(missing_docs)]
 
@@ -58,10 +64,12 @@ pub mod decisions;
 pub mod engine;
 pub mod event;
 pub mod gateway;
+pub mod journal;
 pub mod parallel;
 pub mod queue;
 pub mod route;
 pub mod sink;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 pub mod traits;
@@ -97,9 +105,11 @@ pub use gateway::{
     FedArrival, FedDecision, FedStart, FederatedEngine, FederationStats,
     Gateway, GatewayBuilder, IdCompactor,
 };
+pub use journal::{JournalEntry, JournalOp, ShardJournal};
 pub use parallel::ParallelFederatedEngine;
 pub use route::{LeastQueuedRoute, RoundRobinRoute, RoutePolicy, ShardView};
 pub use sink::{NullSink, Sink};
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use stats::{SimStats, StatsError};
 pub use trace::{QueueSnapshot, TraceEvent, TraceLog};
 pub use traits::{

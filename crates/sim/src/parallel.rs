@@ -74,6 +74,7 @@
 use crate::event::{Event, EventKind, EventQueue};
 use crate::gateway::{FederationStats, Gateway};
 use crate::sink::{NullSink, Sink};
+use crate::snapshot::Snapshot;
 use crate::SchedulerCore;
 use std::collections::VecDeque;
 use taskprune_model::{PetMatrix, SimTime, Task};
@@ -296,6 +297,13 @@ pub struct ParallelFederatedEngine<'a, S: Sink = NullSink> {
     lanes: Vec<ShardLane>,
     pool: rayon::ThreadPool,
     threads: usize,
+    /// Running maximum of ingested arrival times — the serial
+    /// processing instant of the latest arrival, carried across
+    /// [`ParallelFederatedEngine::ingest_prefix`] calls.
+    watermark: Option<SimTime>,
+    /// Pre-routing copies of every ingested arrival (original external
+    /// ids), kept when resharding needs to re-split the stream.
+    arrival_log: Option<Vec<Task>>,
 }
 
 impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
@@ -322,6 +330,8 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
             lanes,
             pool: rayon::ThreadPool::new(threads),
             threads,
+            watermark: None,
+            arrival_log: None,
         }
     }
 
@@ -341,20 +351,53 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
     /// the shards in parallel, and drains everything after the last
     /// arrival. Output is bit-identical to
     /// [`crate::FederatedEngine::run_stream`] on the same inputs.
-    pub fn run_stream<I>(mut self, arrivals: I) -> FederationStats
+    pub fn run_stream<I>(self, arrivals: I) -> FederationStats
     where
         I: IntoIterator<Item = Task>,
     {
-        let stateless =
-            self.gateway.policy_is_stateless() || self.gateway.n_shards() == 1;
-        let t_last = if stateless {
-            self.route_all_upfront(arrivals)
-        } else {
-            self.run_lockstep_arrivals(arrivals)
-        };
+        self.finish_stream(arrivals)
+    }
+
+    /// Routes and executes a prefix of the arrival stream, leaving the
+    /// engine paused at the prefix watermark: every prefix arrival has
+    /// been routed (id compaction, arrival record, policy state) and
+    /// delivered to its shard, and no post-stream drain has begun.
+    /// Pair with [`ParallelFederatedEngine::snapshot_gateway`] to
+    /// checkpoint the paused federation, then
+    /// [`ParallelFederatedEngine::finish_stream`] to resume — or drop
+    /// the engine and re-split the recorded
+    /// [`ParallelFederatedEngine::arrival_log`] across a different
+    /// shard count (live resharding).
+    pub fn ingest_prefix<I>(&mut self, arrivals: I)
+    where
+        I: IntoIterator<Item = Task>,
+    {
+        self.ingest(arrivals);
+        if self.stateless_schedule() {
+            // The stateless schedule normally defers all shard work to
+            // the finale; deliver the routed prefix now so the pause
+            // point observes shards advanced to the watermark. The
+            // per-shard operation sequence is exactly the one
+            // `run_shard` would have replayed, so a later
+            // `finish_stream` stays bit-identical.
+            self.deliver_mailboxes();
+        }
+    }
+
+    /// Ingests the remaining arrivals and runs the federation to
+    /// completion — the second half of a run paused by
+    /// [`ParallelFederatedEngine::ingest_prefix`]. Calling it with the
+    /// whole stream (no prior prefix) is exactly
+    /// [`ParallelFederatedEngine::run_stream`].
+    pub fn finish_stream<I>(mut self, arrivals: I) -> FederationStats
+    where
+        I: IntoIterator<Item = Task>,
+    {
+        self.ingest(arrivals);
+        let t_last = self.watermark;
         // Parallel finale: every lane runs/drains independently. On
-        // the stateless path this is the *entire* simulation; on the
-        // lockstep path only the post-arrival drain remains.
+        // the stateless path this is the *entire* remaining simulation;
+        // on the lockstep path only the post-arrival drain remains.
         {
             let truth = self.truth;
             let lanes = &mut self.lanes;
@@ -368,26 +411,84 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
         self.finish()
     }
 
-    /// Stateless-policy schedule: route the whole stream into per-shard
-    /// mailboxes on the coordinator (identical routing bookkeeping to
-    /// the serial driver). Returns the last arrival's processing
-    /// instant, if any arrivals existed.
-    fn route_all_upfront<I>(&mut self, arrivals: I) -> Option<SimTime>
+    /// Starts recording every ingested arrival (pre-routing, original
+    /// external ids) so a paused run can be re-split across a different
+    /// shard count. Idempotent; enable before the first ingest.
+    pub fn enable_arrival_log(&mut self) {
+        self.arrival_log.get_or_insert_with(Vec::new);
+    }
+
+    /// The recorded arrivals in ingest order. Empty unless
+    /// [`ParallelFederatedEngine::enable_arrival_log`] was called.
+    pub fn arrival_log(&self) -> &[Task] {
+        self.arrival_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Captures the routing layer — shard cores, id compaction,
+    /// arrival records and policy state — as a sealed, versioned
+    /// [`Snapshot`]. Meaningful at an
+    /// [`ParallelFederatedEngine::ingest_prefix`] pause point.
+    pub fn snapshot_gateway(&self) -> Snapshot {
+        self.gateway.snapshot()
+    }
+
+    /// Whether the zero-barrier mailbox schedule applies.
+    fn stateless_schedule(&self) -> bool {
+        self.gateway.policy_is_stateless() || self.gateway.n_shards() == 1
+    }
+
+    /// Routes a batch of arrivals under whichever schedule the policy
+    /// admits, updating the watermark and the arrival log.
+    fn ingest<I>(&mut self, arrivals: I)
     where
         I: IntoIterator<Item = Task>,
     {
-        let mut watermark: Option<SimTime> = None;
+        if self.stateless_schedule() {
+            self.route_ingest(arrivals);
+        } else {
+            self.lockstep_ingest(arrivals);
+        }
+    }
+
+    /// Stateless-policy schedule: route the stream into per-shard
+    /// mailboxes on the coordinator (identical routing bookkeeping to
+    /// the serial driver); shard execution is deferred.
+    fn route_ingest<I>(&mut self, arrivals: I)
+    where
+        I: IntoIterator<Item = Task>,
+    {
         for task in arrivals {
             let target =
-                watermark.map_or(task.arrival, |w| w.max(task.arrival));
-            watermark = Some(target);
+                self.watermark.map_or(task.arrival, |w| w.max(task.arrival));
+            self.watermark = Some(target);
+            if let Some(log) = self.arrival_log.as_mut() {
+                log.push(task);
+            }
             let (shard, relabelled) = self.gateway.route_only(task);
             self.lanes[shard].mailbox.push_back(Mail {
                 task: relabelled,
                 target,
             });
         }
-        watermark
+    }
+
+    /// Drains every shard's mailbox in parallel — the delivery half of
+    /// the stateless schedule, pulled forward by `ingest_prefix`.
+    fn deliver_mailboxes(&mut self) {
+        let truth = self.truth;
+        let lanes = &mut self.lanes;
+        let shards = self.gateway.shards_mut();
+        self.pool.scope(|s| {
+            for (lane, core) in lanes.iter_mut().zip(shards.iter_mut()) {
+                if !lane.mailbox.is_empty() {
+                    s.spawn(move || {
+                        while let Some(mail) = lane.mailbox.pop_front() {
+                            lane.deliver(core, truth, mail);
+                        }
+                    });
+                }
+            }
+        });
     }
 
     /// State-dependent-policy schedule: one epoch per arrival. All
@@ -396,16 +497,18 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
     /// driver's and runs the routed shard's mapping event inline (that
     /// chain is serial by data dependency — each routing decision
     /// observes the previous arrival's mapping).
-    fn run_lockstep_arrivals<I>(&mut self, arrivals: I) -> Option<SimTime>
+    fn lockstep_ingest<I>(&mut self, arrivals: I)
     where
         I: IntoIterator<Item = Task>,
     {
         let truth = self.truth;
-        let mut watermark: Option<SimTime> = None;
         for task in arrivals {
             let cutoff = task.arrival;
-            let target = watermark.map_or(cutoff, |w| w.max(cutoff));
-            watermark = Some(target);
+            let target = self.watermark.map_or(cutoff, |w| w.max(cutoff));
+            self.watermark = Some(target);
+            if let Some(log) = self.arrival_log.as_mut() {
+                log.push(task);
+            }
             {
                 let lanes = &mut self.lanes;
                 let shards = self.gateway.shards_mut();
@@ -443,7 +546,6 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
             self.lanes[shard].dispatch_starts(core, truth);
             core.drain_decisions();
         }
-        watermark
     }
 
     /// Deterministic fan-in: advance every shard to the federation-wide
@@ -594,6 +696,36 @@ mod tests {
                     "stateless={stateless} threads={threads}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn prefix_ingest_then_finish_matches_one_shot() {
+        let workload = tasks(50, 30);
+        for stateless in [true, false] {
+            let reference = run_parallel(3, 2, stateless, &workload);
+            let pet = det_pet();
+            let cluster = Cluster::one_per_type(1);
+            let mut b = builder(&pet, &cluster, 3).threads(2);
+            if stateless {
+                b = b.policy(RoundRobinRoute::new());
+            } else {
+                b = b.policy(LeastQueuedRoute::new());
+            }
+            let mut engine = b.build_parallel().expect("valid configuration");
+            engine.enable_arrival_log();
+            engine.ingest_prefix(workload[..20].iter().copied());
+            assert_eq!(engine.arrival_log().len(), 20);
+            engine
+                .snapshot_gateway()
+                .verify()
+                .expect("paused-federation snapshot verifies");
+            let stats = engine.finish_stream(workload[20..].iter().copied());
+            assert_eq!(
+                serde_json::to_string(&reference).unwrap(),
+                serde_json::to_string(&stats).unwrap(),
+                "stateless={stateless}"
+            );
         }
     }
 

@@ -49,6 +49,8 @@
 //! success queries stay exact (see `taskprune-prob`'s tail-mass
 //! semantics).
 
+use crate::snapshot::{Snapshot, SnapshotError};
+use serde::{Deserialize, Serialize, Value};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use taskprune_model::{
@@ -533,6 +535,64 @@ impl MachineQueue {
         );
     }
 
+    /// Captures the queue's durable state into a sealed, versioned
+    /// [`Snapshot`]: generation counter, running task, and waiting
+    /// list. The machine identity, capacity and horizon are
+    /// construction-time configuration and are *not* serialized — a
+    /// restore target must be built with the same configuration. The
+    /// Eq. 1 chain cache and convolution arena are never serialized;
+    /// [`MachineQueue::restore`] rebuilds them lazily, bit-identically
+    /// (the incremental-chain equivalence contract).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::seal("machine-queue", self.state_value())
+    }
+
+    /// Restores state captured by [`MachineQueue::snapshot`], after
+    /// verifying the envelope (version + state hash).
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`]: a bad envelope, an undecodable payload,
+    /// or a waiting list that does not fit this queue's capacity.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        let payload = snap.verify()?.clone();
+        self.restore_value(&payload)
+    }
+
+    /// The raw (unsealed) state payload, for embedding inside a larger
+    /// component's snapshot.
+    pub(crate) fn state_value(&self) -> Value {
+        let running = self.running.as_ref().map(|rt| (rt.task, rt.start));
+        Value::Object(vec![
+            ("generation".to_owned(), self.generation.to_value()),
+            ("running".to_owned(), running.to_value()),
+            ("waiting".to_owned(), self.waiting.to_value()),
+        ])
+    }
+
+    /// Applies a payload produced by [`MachineQueue::state_value`].
+    pub(crate) fn restore_value(
+        &mut self,
+        v: &Value,
+    ) -> Result<(), SnapshotError> {
+        let generation = u64::from_value(v.get_field("generation")?)?;
+        let running =
+            Option::<(Task, SimTime)>::from_value(v.get_field("running")?)?;
+        let waiting = VecDeque::<Task>::from_value(v.get_field("waiting")?)?;
+        if waiting.len() > self.capacity {
+            return Err(SnapshotError::ShapeMismatch {
+                what: "waiting list exceeds this queue's capacity",
+            });
+        }
+        self.generation = generation;
+        self.running = running.map(|(task, start)| RunningTask { task, start });
+        self.waiting = waiting;
+        // The chain cache is rebuilt lazily from the restored waiting
+        // list; slot 0 (δ(0)) is constant, so "valid = 1" discards
+        // everything else while keeping the arena allocations.
+        self.chain.get_mut().valid = 1;
+        Ok(())
+    }
+
     /// Repairs the chain, then clones out the live prefix PMFs and CDFs
     /// (`chain[0..=len]`). Test/diagnostic hook for the bit-for-bit
     /// equivalence invariant; not a hot-path API.
@@ -904,6 +964,41 @@ mod tests {
         assert!(!q.is_busy());
         // The chain is reset to the empty-queue state.
         assert_eq!(q.chain_snapshot(&pm).0, vec![Pmf::point_mass(0)]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_and_rebuilds_the_chain() {
+        let pm = pet_matrix();
+        let mut q = queue();
+        q.set_running(task(0, 1, 10_000), SimTime(0));
+        q.admit(task(1, 1, 10_000));
+        q.admit(task(2, 0, 900));
+        let snap = q.snapshot();
+        assert_eq!(snap.component(), Some("machine-queue"));
+        let mut fresh = queue();
+        fresh.restore(&snap).expect("intact snapshot restores");
+        assert_eq!(fresh.generation(), q.generation());
+        assert_eq!(fresh.waiting_len(), 2);
+        assert!(fresh.is_busy());
+        // The rebuilt-lazily chain must equal the live one exactly.
+        assert_eq!(fresh.chain_snapshot(&pm), q.chain_snapshot(&pm));
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_an_over_capacity_waiting_list() {
+        let cluster = Cluster::one_per_type(1);
+        let m = cluster.machine(taskprune_model::MachineId(0));
+        let mut big = MachineQueue::new(m, 8, 256);
+        for i in 0..6 {
+            big.admit(task(i, 1, 10_000));
+        }
+        let snap = big.snapshot();
+        let mut small = MachineQueue::new(m, 4, 256);
+        let err = small.restore(&snap).expect_err("must not overfill");
+        assert!(
+            matches!(err, SnapshotError::ShapeMismatch { .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

@@ -104,6 +104,33 @@ pub trait RoutePolicy {
             "route_stateless is required when is_stateless() returns true"
         )
     }
+
+    /// Captures the policy's internal state (cursors, load estimates)
+    /// for a federation snapshot. Stateless-in-memory policies keep
+    /// the default ([`serde::Value::Null`]); policies with memory must
+    /// override this *and* [`RoutePolicy::restore_state`] so a
+    /// restored gateway keeps routing identically.
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores state captured by [`RoutePolicy::snapshot_state`].
+    /// The default accepts only `Null` (the stateless capture).
+    ///
+    /// # Errors
+    /// When `state` is not what this implementation's
+    /// `snapshot_state` produces.
+    fn restore_state(
+        &mut self,
+        state: &serde::Value,
+    ) -> Result<(), serde::Error> {
+        match state {
+            serde::Value::Null => Ok(()),
+            other => {
+                Err(serde::Error::unexpected("null (stateless policy)", other))
+            }
+        }
+    }
 }
 
 /// Cycles through the shards in index order, ignoring state entirely —
@@ -137,6 +164,18 @@ impl RoutePolicy for RoundRobinRoute {
         let shard = self.next % n_shards;
         self.next = self.next.wrapping_add(1);
         shard
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::UInt(self.next as u64)
+    }
+
+    fn restore_state(
+        &mut self,
+        state: &serde::Value,
+    ) -> Result<(), serde::Error> {
+        self.next = serde::Deserialize::from_value(state)?;
+        Ok(())
     }
 }
 

@@ -53,6 +53,33 @@ pub trait Sink: Send {
     {
         None
     }
+
+    /// Captures the sink's accumulated state for a federation
+    /// snapshot. Sinks that accumulate nothing keep the default
+    /// ([`serde::Value::Null`]); accumulating sinks (a [`TraceLog`])
+    /// must override this *and* [`Sink::restore_state`] so a restored
+    /// shard's trace stays bit-identical.
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores state captured by [`Sink::snapshot_state`]. The
+    /// default accepts only `Null` (the stateless capture).
+    ///
+    /// # Errors
+    /// When `state` is not what this implementation's
+    /// `snapshot_state` produces.
+    fn restore_state(
+        &mut self,
+        state: &serde::Value,
+    ) -> Result<(), serde::Error> {
+        match state {
+            serde::Value::Null => Ok(()),
+            other => {
+                Err(serde::Error::unexpected("null (stateless sink)", other))
+            }
+        }
+    }
 }
 
 /// The default sink: ignores everything, compiles to nothing.
@@ -76,6 +103,18 @@ impl Sink for TraceLog {
 
     fn into_trace(self) -> Option<TraceLog> {
         Some(self)
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Serialize::to_value(self)
+    }
+
+    fn restore_state(
+        &mut self,
+        state: &serde::Value,
+    ) -> Result<(), serde::Error> {
+        *self = serde::Deserialize::from_value(state)?;
+        Ok(())
     }
 }
 

@@ -56,6 +56,32 @@ pub trait BatchMapper: Send {
     ) {
         out.extend(self.select(view, candidates));
     }
+
+    /// Captures the heuristic's internal state for a federation
+    /// snapshot. Stateless heuristics keep the default
+    /// ([`serde::Value::Null`]); stateful ones (round-robin cursors,
+    /// …) must override this *and* [`BatchMapper::restore_state`].
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores state captured by [`BatchMapper::snapshot_state`]. The
+    /// default accepts only `Null` (the stateless capture).
+    ///
+    /// # Errors
+    /// When `state` is not what this implementation's
+    /// `snapshot_state` produces.
+    fn restore_state(
+        &mut self,
+        state: &serde::Value,
+    ) -> Result<(), serde::Error> {
+        match state {
+            serde::Value::Null => Ok(()),
+            other => {
+                Err(serde::Error::unexpected("null (stateless mapper)", other))
+            }
+        }
+    }
 }
 
 /// An immediate-mode mapping heuristic (RR, MET, MCT, KPB): the arriving
@@ -68,6 +94,31 @@ pub trait ImmediateMapper: Send {
 
     /// Chooses the machine for the arriving task.
     fn place(&mut self, view: &SystemView<'_>, task: &Task) -> MachineId;
+
+    /// Captures the heuristic's internal state for a federation
+    /// snapshot (see [`BatchMapper::snapshot_state`]).
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores state captured by
+    /// [`ImmediateMapper::snapshot_state`]. The default accepts only
+    /// `Null` (the stateless capture).
+    ///
+    /// # Errors
+    /// When `state` is not what this implementation's
+    /// `snapshot_state` produces.
+    fn restore_state(
+        &mut self,
+        state: &serde::Value,
+    ) -> Result<(), serde::Error> {
+        match state {
+            serde::Value::Null => Ok(()),
+            other => {
+                Err(serde::Error::unexpected("null (stateless mapper)", other))
+            }
+        }
+    }
 }
 
 /// Either kind of mapper, as the engine stores it.
@@ -84,6 +135,28 @@ impl MappingStrategy {
         match self {
             MappingStrategy::Immediate(m) => m.name(),
             MappingStrategy::Batch(m) => m.name(),
+        }
+    }
+
+    /// Captures the wrapped heuristic's snapshot state.
+    pub fn snapshot_state(&self) -> serde::Value {
+        match self {
+            MappingStrategy::Immediate(m) => m.snapshot_state(),
+            MappingStrategy::Batch(m) => m.snapshot_state(),
+        }
+    }
+
+    /// Restores the wrapped heuristic from a snapshot capture.
+    ///
+    /// # Errors
+    /// When `state` does not match the wrapped heuristic's capture.
+    pub fn restore_state(
+        &mut self,
+        state: &serde::Value,
+    ) -> Result<(), serde::Error> {
+        match self {
+            MappingStrategy::Immediate(m) => m.restore_state(state),
+            MappingStrategy::Batch(m) => m.restore_state(state),
         }
     }
 }
@@ -153,6 +226,31 @@ pub trait Pruner: Send {
     /// mapping event. `chance` is the task's chance of success on the
     /// proposed machine (Eq. 2).
     fn should_defer(&mut self, task: &Task, chance: f64) -> bool;
+
+    /// Captures the policy's internal state (toggle engagement,
+    /// fairness scores, accounting) for a federation snapshot (see
+    /// [`BatchMapper::snapshot_state`]).
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restores state captured by [`Pruner::snapshot_state`]. The
+    /// default accepts only `Null` (the stateless capture).
+    ///
+    /// # Errors
+    /// When `state` is not what this implementation's
+    /// `snapshot_state` produces.
+    fn restore_state(
+        &mut self,
+        state: &serde::Value,
+    ) -> Result<(), serde::Error> {
+        match state {
+            serde::Value::Null => Ok(()),
+            other => {
+                Err(serde::Error::unexpected("null (stateless pruner)", other))
+            }
+        }
+    }
 }
 
 /// The baseline policy: never drops, never defers. With it, the engine

@@ -46,6 +46,19 @@ impl Value {
             other => Err(Error::unexpected("object", other)),
         }
     }
+
+    /// Looks up a field of an object by name, returning `None` when the
+    /// field is absent (the forward-compatible decode convention: data
+    /// written before a field existed must keep loading). Non-objects
+    /// also yield `None`.
+    pub fn get_opt(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => {
+                fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Serialization/deserialization error.
