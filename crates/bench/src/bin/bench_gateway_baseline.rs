@@ -33,7 +33,11 @@
 //! family) or thread count (parallel family), `pet_support` = tasks
 //! pushed, `incremental_ns` = ns/arrival, `scratch_ns` = the family's
 //! yardstick, `speedup` = throughput scaling vs the yardstick,
-//! `robustness_pct` = the run's paper-trim robustness.
+//! `robustness_pct` = the run's paper-trim robustness, and
+//! `robustness_under_faults_pct` = the same scenario supervised under
+//! a fixed seeded `FaultPlan` storm with a zero retry budget (the
+//! worst-case degraded mode) — so the series tracks fault-*tolerance*
+//! regressions commit over commit alongside throughput.
 //!
 //! Flags: `--smoke` (single repeat for CI — the workload stays the
 //! standard one so the smoke run's (scenario, depth, support) triples
@@ -54,6 +58,10 @@ use taskprune_bench::args::BaselineArgs;
 use taskprune_bench::report::{BenchEntry, BenchSeries};
 
 const REGRESSION_THRESHOLD: f64 = 0.15;
+
+/// Fixed seed of the fault storm behind `robustness_under_faults_pct`
+/// (one of the two seeds the CI fault-matrix job pins).
+const FAULT_PLAN_SEED: u64 = 0xFA01;
 
 /// Shard counts measured (serial driver), ascending; index 0 is the
 /// yardstick.
@@ -143,6 +151,50 @@ fn measure(
     }
 }
 
+/// Paper-trim robustness of the same scenario **supervised under the
+/// fixed seeded fault storm with a zero retry budget** — worst-case
+/// degraded mode: lost deliveries stay lost, the crashed shard is
+/// quarantined and its backlog re-routed to the survivors. Not timed
+/// (one run, quality only); the gap to the fault-free
+/// `robustness_pct` is the tracked fault-tolerance signal.
+fn measure_under_faults(
+    cluster: &Cluster,
+    pet: &PetMatrix,
+    tasks: &[Task],
+    shards: usize,
+    threads: Option<usize>,
+) -> f64 {
+    let plan = FaultPlan::generate(
+        FAULT_PLAN_SEED,
+        &FaultSpec::storm(shards, (tasks.len() / shards.max(1)) as u64),
+    );
+    let builder = build_engine(cluster, pet, shards);
+    let stats = match threads {
+        None => {
+            let engine = builder.build().expect("valid configuration");
+            let mut sup = Supervisor::new(engine, RecoveryPolicy::no_retries());
+            sup.arm(plan);
+            sup.run_stream(tasks.iter().copied())
+        }
+        Some(t) => {
+            let engine = builder
+                .threads(t)
+                .build_parallel()
+                .expect("valid configuration");
+            let mut sup =
+                ParallelSupervisor::new(engine, RecoveryPolicy::no_retries());
+            sup.arm(&plan);
+            sup.run_stream(tasks.iter().copied())
+        }
+    };
+    assert_eq!(
+        stats.unreported(),
+        0,
+        "degraded runs must account for every arrival"
+    );
+    stats.paper_robustness_pct()
+}
+
 fn main() {
     let BaselineArgs {
         smoke,
@@ -174,6 +226,8 @@ fn main() {
     let mut scaling_at_4_shards = f64::NAN;
     for &shards in &SHARD_COUNTS {
         let m = measure(&cluster, &pet, &tasks, shards, None, repeats);
+        let faulted =
+            measure_under_faults(&cluster, &pet, &tasks, shards, None);
         let ns = m.ns_per_arrival;
         if shards == 1 {
             yardstick = ns;
@@ -185,7 +239,7 @@ fn main() {
         eprintln!(
             "gateway_ingest shards {shards}: {ns:>9.0} ns/arrival \
              ({:>9.0} arrivals/s), {speedup:.2}x vs 1 shard, \
-             robustness {:.1} %",
+             robustness {:.1} % ({faulted:.1} % under the fault storm)",
             1e9 / ns,
             m.robustness_pct,
         );
@@ -200,6 +254,7 @@ fn main() {
             scratch_ns: yardstick,
             speedup,
             robustness_pct: Some(m.robustness_pct),
+            robustness_under_faults_pct: Some(faulted),
             gate: None,
         });
     }
@@ -224,6 +279,13 @@ fn main() {
             PARALLEL_SHARDS,
             Some(threads),
             repeats,
+        );
+        let faulted = measure_under_faults(
+            &cluster,
+            &pet,
+            &tasks,
+            PARALLEL_SHARDS,
+            Some(threads),
         );
         let ns = m.ns_per_arrival;
         if threads == 1 {
@@ -257,6 +319,7 @@ fn main() {
             scratch_ns: thread_yardstick,
             speedup,
             robustness_pct: Some(m.robustness_pct),
+            robustness_under_faults_pct: Some(faulted),
             gate: (threads == 4 && thread_gate_skipped)
                 .then(|| "skipped(cores<4)".to_string()),
         });
@@ -276,8 +339,11 @@ fn main() {
          throughput scaling vs that yardstick (machine-relative, so \
          runs from different hosts stay comparable), robustness_pct = \
          the run's paper-trim robustness (throughput shifts are read \
-         against scheduling quality). One commit-stamped run appended \
-         per invocation.",
+         against scheduling quality), robustness_under_faults_pct = \
+         the same scenario supervised under the fixed 0xFA01 FaultPlan \
+         storm with a zero retry budget (worst-case degraded mode; the \
+         gap to robustness_pct is the tracked fault-tolerance signal). \
+         One commit-stamped run appended per invocation.",
     )
     .expect("unreadable bench series — fix or remove it before appending");
     series.append(commit.clone(), entries);

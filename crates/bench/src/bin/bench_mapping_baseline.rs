@@ -131,6 +131,7 @@ fn main() {
                     scratch_ns: scr,
                     speedup,
                     robustness_pct: None,
+                    robustness_under_faults_pct: None,
                     gate: None,
                 });
             };

@@ -109,6 +109,16 @@ pub struct BenchEntry {
     /// shifts — e.g. "2 shards slower because they drop less"). `None`
     /// for pure micro-benchmarks.
     pub robustness_pct: Option<f64>,
+    /// Paper-trim robustness (% on time) of the same scenario run
+    /// **supervised under a fixed seeded `FaultPlan` storm with a
+    /// zero retry budget** — the worst-case degraded mode (lost
+    /// deliveries stay lost, a crashed shard is quarantined and its
+    /// backlog re-routed). Tracked next to [`BenchEntry::robustness_pct`]
+    /// so the series catches fault-*tolerance* regressions commit over
+    /// commit: a shrinking gap means degradation got more graceful, a
+    /// widening one means quarantine/re-route quality regressed.
+    /// `None` for scenarios without a fault-storm twin.
+    pub robustness_under_faults_pct: Option<f64>,
     /// Gate disposition of the run that produced this entry: `None`
     /// when the measurement was gated normally, or a marker such as
     /// `"skipped(cores<4)"` when the host could not support the gate
@@ -131,6 +141,10 @@ impl Serialize for BenchEntry {
             ("scratch_ns".to_string(), self.scratch_ns.to_value()),
             ("speedup".to_string(), self.speedup.to_value()),
             ("robustness_pct".to_string(), self.robustness_pct.to_value()),
+            (
+                "robustness_under_faults_pct".to_string(),
+                self.robustness_under_faults_pct.to_value(),
+            ),
             ("gate".to_string(), self.gate.to_value()),
         ])
     }
@@ -150,6 +164,12 @@ impl Deserialize for BenchEntry {
             robustness_pct: match v.get_opt("robustness_pct") {
                 Some(field) => Deserialize::from_value(field)?,
                 None => None, // pre-PR5 run: field absent
+            },
+            robustness_under_faults_pct: match v
+                .get_opt("robustness_under_faults_pct")
+            {
+                Some(field) => Deserialize::from_value(field)?,
+                None => None, // pre-PR7 run: field absent
             },
             gate: match v.get_opt("gate") {
                 Some(field) => Deserialize::from_value(field)?,
@@ -538,6 +558,7 @@ mod tests {
             scratch_ns: 1_000.0,
             speedup: 1_000.0 / ns,
             robustness_pct: None,
+            robustness_under_faults_pct: None,
             gate: None,
         }
     }
@@ -553,12 +574,15 @@ mod tests {
         let parsed: BenchEntry =
             serde_json::from_str(legacy).expect("legacy entry parses");
         assert_eq!(parsed.robustness_pct, None);
+        assert_eq!(parsed.robustness_under_faults_pct, None);
         let mut with_field = parsed.clone();
         with_field.robustness_pct = Some(84.5);
+        with_field.robustness_under_faults_pct = Some(61.2);
         let json = serde_json::to_string(&with_field).unwrap();
         let back: BenchEntry =
             serde_json::from_str(&json).expect("new entry parses");
         assert_eq!(back.robustness_pct, Some(84.5));
+        assert_eq!(back.robustness_under_faults_pct, Some(61.2));
         assert_eq!(back.scenario, "tail_drop");
         assert_eq!(back.speedup, 10.0);
     }
@@ -672,6 +696,7 @@ mod tests {
             scratch_ns: 3_000.0,
             speedup: 3_000.0 / (3.0 * 143.0),
             robustness_pct: None,
+            robustness_under_faults_pct: None,
             gate: None,
         };
         series.append("d", vec![cross_machine]);
@@ -729,6 +754,7 @@ mod tests {
             scratch_ns: 1_000.0,
             speedup: 1_000.0 / ns,
             robustness_pct: None,
+            robustness_under_faults_pct: None,
             gate: None,
         };
         let mut series = BenchSeries {

@@ -7,11 +7,13 @@
 //! mechanism, then builds and drives the engine.
 
 use crate::pruner::{PruningConfig, PruningMechanism};
+use serde::{Deserialize, Serialize};
 use taskprune_heuristics::HeuristicKind;
 use taskprune_model::{Cluster, PetMatrix, Task};
 use taskprune_sim::{
-    ConfigError, FederationStats, GatewayBuilder, MappingStrategy, RoutePolicy,
-    RunError, SchedulerBuilder, SimConfig, SimStats,
+    ConfigError, FaultPlan, FederationStats, GatewayBuilder, MappingStrategy,
+    RecoveryPolicy, RoutePolicy, RunError, SchedulerBuilder, SimConfig,
+    SimStats, Snapshot, SnapshotError, Supervisor,
 };
 
 /// Builder for one simulation run: pick a heuristic, optionally attach
@@ -240,6 +242,62 @@ impl<'a> ResourceAllocator<'a> {
         Ok(builder.build_parallel()?.run_stream(
             logged.into_iter().chain(tasks[split..].iter().copied()),
         ))
+    }
+
+    /// [`ResourceAllocator::try_run_federated`] under the self-healing
+    /// [`Supervisor`]: the federation auto-checkpoints on the
+    /// `recovery` policy's cadence, heals any faults in the armed
+    /// `plan` (bounded retries, checkpoint + journal replay), and
+    /// degrades gracefully — quarantine plus backlog re-route — when a
+    /// shard's budget runs out. The returned record carries the
+    /// [`taskprune_sim::RecoveryLog`] of every action taken.
+    ///
+    /// With `restart` set to `(watermark, policy_after)`, the run
+    /// additionally exercises a **cold coordinator restart**: the
+    /// supervisor pauses once `watermark` arrivals are ingested,
+    /// captures the whole coordinator (event heap, truth-RNG streams,
+    /// journals, fault-injector cursor) as a sealed
+    /// [`Snapshot`], encodes it to the wire format and back (the
+    /// durable-storage round-trip), tears the federation down, and
+    /// resumes a freshly built one from the decoded capture under
+    /// `policy_after` (a second instance — routing state travels in
+    /// the snapshot, not the policy object). A supervised restarted
+    /// run is bit-identical to an uninterrupted one —
+    /// `tests/self_healing.rs` pins it. The pre-restart supervisor's
+    /// recovery log dies with it; the returned record carries the
+    /// successor's log only.
+    #[allow(clippy::too_many_arguments)] // mirrors the elastic facade
+    pub fn try_run_federated_supervised(
+        self,
+        shards: usize,
+        policy: Box<dyn RoutePolicy>,
+        recovery: RecoveryPolicy,
+        plan: Option<FaultPlan>,
+        restart: Option<(u64, Box<dyn RoutePolicy>)>,
+        tasks: &[Task],
+    ) -> Result<FederationStats, RunError> {
+        let rebuild = self.config_copy();
+        let engine = self.federated_builder(shards, policy)?.build()?;
+        let mut sup = Supervisor::new(engine, recovery);
+        if let Some(plan) = plan {
+            sup.arm(plan);
+        }
+        let mut source = tasks.iter().copied().peekable();
+        let Some((watermark, policy_after)) = restart else {
+            return Ok(sup.finish_stream(&mut source));
+        };
+        sup.run_until(&mut source, watermark);
+        let wire = sup.snapshot_coordinator().to_value();
+        drop(sup);
+        let snap = Snapshot::from_value(&wire).map_err(SnapshotError::from)?;
+        let mut successor =
+            rebuild.federated_builder(shards, policy_after)?.build()?;
+        successor.restore_coordinator(&snap)?;
+        // The injector cursor travels inside the snapshot, so the
+        // successor needs no re-arm; a fresh supervisor re-checkpoints
+        // every shard at the restart point and resumes the cadence.
+        let sup = Supervisor::new(successor, recovery);
+        Ok(sup.finish_stream(&mut source))
     }
 
     /// A second allocator with the same run configuration, for the

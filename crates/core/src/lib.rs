@@ -79,9 +79,10 @@ pub mod prelude {
     pub use taskprune_heuristics::{BestChanceRoute, HeuristicKind};
     pub use taskprune_model::{Cluster, PetMatrix, SimTime, Task, TaskOutcome};
     pub use taskprune_sim::{
-        FederationStats, GatewayBuilder, LeastQueuedRoute,
-        ParallelFederatedEngine, RoundRobinRoute, RoutePolicy, SimConfig,
-        SimStats,
+        FaultKind, FaultPlan, FaultSpec, FederationStats, GatewayBuilder,
+        LeastQueuedRoute, ParallelFederatedEngine, ParallelSupervisor,
+        RecoveryLog, RecoveryPolicy, RoundRobinRoute, RoutePolicy, RunError,
+        SimConfig, SimStats, Supervisor,
     };
     pub use taskprune_workload::{
         ArrivalPattern, PetGenConfig, WorkloadConfig,

@@ -138,12 +138,27 @@ impl Pruner for PruningMechanism {
                 .effective_threshold(self.cfg.threshold, task.type_id)
     }
 
+    fn tighten_threshold(&mut self, factor: f64) {
+        // Raising β prunes more: every chance ≤ β − γₖ comparison
+        // catches more tasks. Clamp to the same (0, 1] range
+        // `with_threshold` enforces, and keep the fairness clamp
+        // consistent with it (sufferage never exempts past β).
+        let t = (self.cfg.threshold * factor).clamp(0.0, 1.0);
+        self.cfg.threshold = t;
+        self.cfg.fairness.max_score = self.cfg.fairness.max_score.min(t);
+    }
+
     fn snapshot_state(&self) -> serde::Value {
-        // Configuration (thresholds, toggle mode, fairness factor) is
+        // Configuration (toggle mode, fairness factor) is
         // construction-time state, like a queue's capacity: the restore
         // target must be built with the same config, so only the
-        // evolving state travels.
+        // evolving state travels. The threshold is the exception since
+        // `tighten_threshold` made it mutable mid-run.
         serde::Value::Object(vec![
+            (
+                "threshold".to_owned(),
+                serde::Value::Float(self.cfg.threshold),
+            ),
             ("accounting".to_owned(), self.accounting.to_value()),
             (
                 "engaged".to_owned(),
@@ -169,6 +184,11 @@ impl Pruner for PruningMechanism {
                 "fairness score count differs from this mechanism's \
                  task-type count",
             ));
+        }
+        // Absent in pre-tightening snapshots: the threshold was
+        // construction-only then, so the built value is already right.
+        if let Some(v) = state.get_opt("threshold") {
+            self.cfg.threshold = f64::from_value(v)?;
         }
         self.accounting = accounting;
         self.toggle.set_engaged(engaged);

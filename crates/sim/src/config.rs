@@ -192,6 +192,12 @@ pub enum RunError {
     /// A checkpoint failed verification or decode during an elastic
     /// operation (failover replay, live reshard).
     Snapshot(crate::snapshot::SnapshotError),
+    /// `recover_shard` was asked to replay a shard on an engine that
+    /// never enabled journaling: there is no operation log to replay,
+    /// so "recovery" would silently lose every operation since the
+    /// checkpoint. Call `enable_journal` before the run (the
+    /// [`crate::Supervisor`] does this automatically).
+    RecoveryUnavailable,
 }
 
 impl fmt::Display for RunError {
@@ -200,6 +206,12 @@ impl fmt::Display for RunError {
             RunError::Config(e) => e.fmt(f),
             RunError::Stats(e) => e.fmt(f),
             RunError::Snapshot(e) => e.fmt(f),
+            RunError::RecoveryUnavailable => write!(
+                f,
+                "recover_shard requires enable_journal: without an \
+                 operation journal there is nothing to replay, and \
+                 recovery would silently lose operations"
+            ),
         }
     }
 }
@@ -210,6 +222,7 @@ impl std::error::Error for RunError {
             RunError::Config(e) => Some(e),
             RunError::Stats(e) => Some(e),
             RunError::Snapshot(e) => Some(e),
+            RunError::RecoveryUnavailable => None,
         }
     }
 }

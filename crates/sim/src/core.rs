@@ -416,6 +416,59 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
         &self.stats
     }
 
+    /// Removes and returns every task still waiting in the batch queue
+    /// (arrival order, shard-internal ids). The tasks have *arrived* —
+    /// their arrival records stay in the stats — but no mapping
+    /// decision has committed them to a machine yet, so stealing them
+    /// here is legal: this is how a federation supervisor re-routes a
+    /// quarantined shard's backlog to healthy shards (the drained
+    /// instances end as [`TaskOutcome::Unfinished`] on this core unless
+    /// something resolves them elsewhere).
+    pub fn drain_batch_queue(&mut self) -> Vec<Task> {
+        std::mem::take(&mut self.arrival_queue)
+    }
+
+    /// Closes the book on a task this shard will never run. A drained
+    /// (stolen) batch-queue task keeps its arrival record here but is
+    /// no longer in any queue, so [`SchedulerCore::finish`] would miss
+    /// it and leave the shard with `unreported() > 0`. The supervisor
+    /// calls this per stolen task; the re-routed instance on the
+    /// receiving shard carries the live outcome (and, being the later
+    /// arrival record, shadows this one in federation-level lookups).
+    pub(crate) fn record_unfinished(&mut self, task: &Task) {
+        self.stats.record_outcome(task, TaskOutcome::Unfinished);
+    }
+
+    /// Simulated crash: forgets the recoverable in-memory scheduling
+    /// state — batch queue, machine queues (running and waiting tasks
+    /// vanish with the RAM that held them), outcome record, clock,
+    /// pending decision/start buffers. Everything a
+    /// [`SchedulerCore::restore`] would overwrite is dropped; a
+    /// subsequent restore + journal replay rebuilds the shard exactly
+    /// (`FederatedEngine::recover_shard`). Plug-in state is left
+    /// untouched only because recovery must overwrite it anyway — an
+    /// unrecovered wiped core is *degraded*, not usable.
+    pub(crate) fn wipe(&mut self) {
+        self.arrival_queue.clear();
+        for q in &mut self.queues {
+            q.drain_all();
+        }
+        self.stats = SimStats::new(0, self.pet.n_task_types());
+        self.now = SimTime::ZERO;
+        self.decisions.clear();
+        self.decisions_spare.clear();
+        self.starts.clear();
+        self.starts_spare.clear();
+    }
+
+    /// Degraded-mode load shedding: multiplies the pruner's aggression
+    /// up (see [`crate::Pruner::tighten_threshold`]). Called by the
+    /// supervisor on healthy shards when a quarantined shard's load is
+    /// re-routed onto them.
+    pub(crate) fn tighten_pruner(&mut self, factor: f64) {
+        self.pruner.tighten_threshold(factor);
+    }
+
     /// A read-only view of the current system state — what mappers and
     /// pruners see.
     pub fn view(&self) -> SystemView<'_> {

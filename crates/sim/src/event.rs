@@ -6,12 +6,13 @@
 //! fully deterministic: by time, then completions before arrivals (free
 //! capacity before new demand at the same instant), then by stable ids.
 
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use taskprune_model::{MachineId, SimTime, TaskId};
 
 /// A scheduled simulation event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EventKind {
     /// A machine finishes (or would finish) its running task. The task
     /// id guards against stale events after a cancellation: the core
@@ -61,7 +62,7 @@ impl EventKind {
 }
 
 /// An event with its firing time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Event {
     /// When the event fires.
     pub time: SimTime,

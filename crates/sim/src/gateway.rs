@@ -29,16 +29,18 @@
 //! [`crate::Engine`] — `tests/federation_equivalence.rs` pins this on
 //! serialized [`SimStats`], trace included.
 
-use crate::config::{ConfigError, SimConfig};
+use crate::config::{ConfigError, RunError, SimConfig};
 use crate::core::{Decision, SchedulerCore, Start};
 use crate::event::EventKind;
+use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::journal::{JournalOp, ShardJournal};
 use crate::route::{RoundRobinRoute, RoutePolicy, ShardView};
 use crate::sink::{NullSink, Sink};
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::stats::SimStats;
+use crate::supervisor::RecoveryLog;
 use crate::traits::{MappingStrategy, Pruner};
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::iter::Peekable;
@@ -176,6 +178,9 @@ pub struct Gateway<'a, S: Sink = NullSink> {
     decisions: Vec<FedDecision>,
     /// Reused output buffer for [`Gateway::drain_starts`].
     starts: Vec<FedStart>,
+    /// Shards a supervisor has taken out of rotation after exhausting
+    /// their recovery budget. Routing remaps around them.
+    quarantined: Vec<bool>,
 }
 
 impl<'a, S: Sink> Gateway<'a, S> {
@@ -192,6 +197,7 @@ impl<'a, S: Sink> Gateway<'a, S> {
             latest: HashMap::new(),
             decisions: Vec::new(),
             starts: Vec::new(),
+            quarantined: vec![false; n],
         }
     }
 
@@ -223,9 +229,30 @@ impl<'a, S: Sink> Gateway<'a, S> {
         self.policy.is_stateless()
     }
 
-    /// The federation clock (all shards share one timeline).
+    /// Whether a supervisor has quarantined `shard` (degraded mode:
+    /// the shard accepts no new work and its in-flight events are
+    /// discarded).
+    pub fn is_quarantined(&self, shard: usize) -> bool {
+        self.quarantined[shard]
+    }
+
+    /// Takes `shard` out of the routing rotation. Crate-internal: only
+    /// the supervisor's quarantine path may degrade the federation,
+    /// and it owes the batch-queue salvage that goes with it.
+    pub(crate) fn set_quarantined(&mut self, shard: usize) {
+        self.quarantined[shard] = true;
+    }
+
+    /// The federation clock (all shards share one timeline). Taken as
+    /// the max over the shards: in healthy operation every shard
+    /// agrees, and after a crash wiped one shard's clock the surviving
+    /// shards still define the federation's time.
     pub fn now(&self) -> SimTime {
-        self.shards[0].now()
+        self.shards
+            .iter()
+            .map(SchedulerCore::now)
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Moves every shard's clock forward to `t`.
@@ -287,6 +314,19 @@ impl<'a, S: Sink> Gateway<'a, S> {
             self.policy.name(),
             self.shards.len(),
         );
+        // Degraded mode: a quarantined shard accepts no new work. The
+        // remap is deterministic (next healthy index clockwise), so a
+        // degraded run stays replayable from the same seed and fault
+        // plan. If every shard is quarantined the original pick
+        // stands — the work is stranded either way.
+        let shard = if self.quarantined[shard] {
+            (1..self.shards.len())
+                .map(|k| (shard + k) % self.shards.len())
+                .find(|&s| !self.quarantined[s])
+                .unwrap_or(shard)
+        } else {
+            shard
+        };
         let internal = self.compact.assign(shard, task.id);
         self.latest.insert(task.id.0, (shard as u32, internal));
         self.arrival_order.push(FedArrival {
@@ -415,6 +455,7 @@ impl<'a, S: Sink> Gateway<'a, S> {
                 ("compact".to_owned(), self.compact.to_value()),
                 ("arrival_order".to_owned(), self.arrival_order.to_value()),
                 ("policy".to_owned(), self.policy.snapshot_state()),
+                ("quarantined".to_owned(), self.quarantined.to_value()),
             ]),
         )
     }
@@ -449,6 +490,21 @@ impl<'a, S: Sink> Gateway<'a, S> {
         self.arrival_order =
             Vec::<FedArrival>::from_value(payload.get_field("arrival_order")?)?;
         self.policy.restore_state(payload.get_field("policy")?)?;
+        // Pre-supervisor snapshots carry no quarantine vector; absent
+        // means every shard was healthy when the capture was taken.
+        self.quarantined = match payload.get_opt("quarantined") {
+            Some(v) => {
+                let q = Vec::<bool>::from_value(v)?;
+                if q.len() != self.shards.len() {
+                    return Err(SnapshotError::ShapeMismatch {
+                        what: "quarantine vector length differs from \
+                               this federation's shard count",
+                    });
+                }
+                q
+            }
+            None => vec![false; self.shards.len()],
+        };
         // Replaying the arrival order front to back makes the latest
         // occurrence of each external id win — the live invariant.
         self.latest = self
@@ -471,6 +527,7 @@ impl<'a, S: Sink> Gateway<'a, S> {
                 .map(SchedulerCore::finish)
                 .collect(),
             arrivals: self.arrival_order,
+            recovery: RecoveryLog::default(),
         }
     }
 }
@@ -519,18 +576,54 @@ fn relabel_decision(
 /// [`SimStats`] plus the global arrival order that stitches them
 /// together. All aggregate figures are deterministic folds in
 /// shard-index or arrival order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FederationStats {
     /// Per-shard outcome records, in shard-index order (internal id
     /// spaces).
     pub per_shard: Vec<SimStats>,
     arrivals: Vec<FedArrival>,
+    /// What the supervisor did during the run (empty when the run was
+    /// unsupervised). Deliberately **excluded** from the serialized
+    /// wire shape: the bit-identity tests compare supervised runs
+    /// against fault-free ones on serialized stats, and the log
+    /// records *how* the outcome was reached, not the outcome itself.
+    pub(crate) recovery: RecoveryLog,
+}
+
+/// The wire shape is exactly the pre-supervisor `{per_shard,
+/// arrivals}` derive. The recovery log is observability — read it via
+/// [`FederationStats::recovery_log`] and serialize it on its own.
+impl Serialize for FederationStats {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("per_shard".to_owned(), self.per_shard.to_value()),
+            ("arrivals".to_owned(), self.arrivals.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FederationStats {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Self {
+            per_shard: Vec::<SimStats>::from_value(v.get_field("per_shard")?)?,
+            arrivals: Vec::<FedArrival>::from_value(v.get_field("arrivals")?)?,
+            recovery: RecoveryLog::default(),
+        })
+    }
 }
 
 impl FederationStats {
     /// Total arrivals across the federation.
     pub fn n_tasks(&self) -> usize {
         self.arrivals.len()
+    }
+
+    /// Every action the supervisor took during the run — checkpoints,
+    /// fault detections, retries, replays, quarantines. Empty for
+    /// unsupervised runs, and excluded from the serialized wire shape
+    /// (serialize the log itself for durable audit trails).
+    pub fn recovery_log(&self) -> &RecoveryLog {
+        &self.recovery
     }
 
     /// The global arrival sequence (routing + id assignments).
@@ -847,6 +940,9 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
             journals: None,
             arrival_log: None,
             arrivals_ingested: 0,
+            injector: None,
+            notices: Vec::new(),
+            applied_since_ckpt: vec![0; n],
         })
     }
 
@@ -875,7 +971,7 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
 // ---------------------------------------------------------------------
 
 /// One scheduled event of the federated timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct FedEvent {
     time: SimTime,
     shard: usize,
@@ -918,6 +1014,37 @@ impl PartialOrd for FedEvent {
     }
 }
 
+/// Why [`FederatedEngine::drive`] returned control to its caller.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DriveSignal {
+    /// Stream and heap are both empty: the run is over.
+    Exhausted,
+    /// The requested arrival watermark was reached (non-destructive
+    /// pause).
+    Watermark,
+    /// An injected fault fired and needs a recovery decision **now**,
+    /// at the fault instant — deferring it would let the loop consume
+    /// truth-RNG draws in a different order than the fault-free run
+    /// and break bit-identity after recovery.
+    Fault(FaultReport),
+}
+
+/// An injected fault, as the event loop observed it. Handed to the
+/// [`crate::Supervisor`] (or resolved destructively when no
+/// supervisor is attached).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FaultReport {
+    /// The shard the fault struck.
+    pub shard: usize,
+    /// What kind of fault fired.
+    pub kind: FaultKind,
+    /// Simulation time at the fault instant.
+    pub time: SimTime,
+    /// The undelivered completion, for lost/delayed/duplicated
+    /// deliveries (`None` for crashes).
+    pub op: Option<(MachineId, TaskId)>,
+}
+
 /// The federation's bundled simulation driver: merges one arrival
 /// stream with a global completion/wakeup heap across all shards,
 /// sampling each shard's ground-truth durations from its own
@@ -942,6 +1069,18 @@ pub struct FederatedEngine<'a, S: Sink = NullSink> {
     /// Arrivals ingested so far — the watermark
     /// [`FederatedEngine::run_until`] pauses against.
     arrivals_ingested: u64,
+    /// Deterministic fault injection, armed via
+    /// [`FederatedEngine::arm_faults`].
+    injector: Option<FaultInjector>,
+    /// Faults that resolved inline without pausing the loop (duplicate
+    /// deliveries suppressed by the staleness dedupe); the supervisor
+    /// drains these into its [`RecoveryLog`].
+    notices: Vec<FaultReport>,
+    /// Journal entries applied (delivered, not just recorded) per
+    /// shard since its last checkpoint. `journal.len() − applied` is
+    /// the journal gap — a positive gap at a quiescent watermark means
+    /// a recorded operation never reached the shard (a lost delivery).
+    applied_since_ckpt: Vec<u64>,
 }
 
 impl<'a, S: Sink> FederatedEngine<'a, S> {
@@ -959,7 +1098,7 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
         I: IntoIterator<Item = Task>,
     {
         let mut source = arrivals.into_iter().peekable();
-        self.drive(&mut source, None);
+        self.drive_unsupervised(&mut source, None);
         self.gateway.finish()
     }
 
@@ -976,7 +1115,7 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
     where
         I: Iterator<Item = Task>,
     {
-        self.drive(source, Some(watermark));
+        self.drive_unsupervised(source, Some(watermark));
     }
 
     /// Consumes the rest of a stream a [`FederatedEngine::run_until`]
@@ -989,23 +1128,52 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
     where
         I: Iterator<Item = Task>,
     {
-        self.drive(source, None);
+        self.drive_unsupervised(source, None);
         self.gateway.finish()
+    }
+
+    /// Drives without a supervisor: injected faults stand unrepaired.
+    /// A lost delivery stays lost (the affected machine never frees,
+    /// its unfinished work surfaces as `Unfinished` at the drain) and
+    /// a crashed shard keeps running from wiped state — state never
+    /// corrupts, robustness degrades. Attach a [`crate::Supervisor`]
+    /// to heal instead.
+    fn drive_unsupervised<I>(
+        &mut self,
+        source: &mut Peekable<I>,
+        pause_after: Option<u64>,
+    ) where
+        I: Iterator<Item = Task>,
+    {
+        loop {
+            match self.drive(source, pause_after) {
+                DriveSignal::Exhausted | DriveSignal::Watermark => return,
+                DriveSignal::Fault(report) => {
+                    let more = source.peek().is_some();
+                    self.resolve_fault(&report, false, more);
+                }
+            }
+        }
     }
 
     /// The event loop shared by all drivers: interleaves the arrival
     /// stream with the completion/wakeup heap, optionally pausing once
-    /// `pause_after` arrivals have been ingested.
-    fn drive<I>(&mut self, source: &mut Peekable<I>, pause_after: Option<u64>)
+    /// `pause_after` arrivals have been ingested, and surfacing
+    /// injected faults to the caller at the exact instant they fire.
+    pub(crate) fn drive<I>(
+        &mut self,
+        source: &mut Peekable<I>,
+        pause_after: Option<u64>,
+    ) -> DriveSignal
     where
         I: Iterator<Item = Task>,
     {
         loop {
             if pause_after.is_some_and(|w| self.arrivals_ingested >= w) {
-                return;
+                return DriveSignal::Watermark;
             }
             let event_first = match (self.events.peek(), source.peek()) {
-                (None, None) => break,
+                (None, None) => return DriveSignal::Exhausted,
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
                 (Some(Reverse(event)), Some(task)) => {
@@ -1017,24 +1185,75 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
                             ))
                 }
             };
+            let mut crashed: Option<usize> = None;
             if event_first {
                 let Reverse(event) = self.events.pop().expect("peeked above");
                 self.pending[event.shard] -= 1;
+                if self.gateway.is_quarantined(event.shard) {
+                    // A quarantined shard's hardware is gone: in-flight
+                    // completions and wakeups for it vanish unseen.
+                    continue;
+                }
                 self.gateway.advance_to(event.time);
                 match event.kind {
                     EventKind::Completion { machine, task } => {
                         // Journal before the staleness check: a stale
                         // completion is rejected deterministically on
                         // replay too, so recording it keeps the replay
-                        // an exact re-run.
+                        // an exact re-run. It also lands *before* the
+                        // injector — a lost delivery is lost by the
+                        // transport after the coordinator durably
+                        // recorded it, which is exactly what lets
+                        // recovery redeliver it.
                         if let Some(journals) = &mut self.journals {
                             journals[event.shard].record(
                                 event.time,
                                 JournalOp::Completion { machine, task },
                             );
                         }
-                        if !self.gateway.complete(event.shard, machine, task) {
-                            continue; // stale after a cancellation
+                        let fault = self
+                            .injector
+                            .as_mut()
+                            .and_then(|i| i.on_completion_delivery(event.shard))
+                            .map(|f| f.kind);
+                        match fault {
+                            Some(
+                                kind @ (FaultKind::LostCompletion
+                                | FaultKind::DelayedCompletion),
+                            ) => {
+                                return DriveSignal::Fault(FaultReport {
+                                    shard: event.shard,
+                                    kind,
+                                    time: event.time,
+                                    op: Some((machine, task)),
+                                });
+                            }
+                            other => {
+                                if other == Some(FaultKind::DuplicateCompletion)
+                                {
+                                    // The duplicated copy is rejected
+                                    // by the staleness dedupe (a task
+                                    // executes at most once per
+                                    // internal id), so the first copy
+                                    // applies below and nothing needs
+                                    // healing — but the supervisor
+                                    // logs the suppression.
+                                    self.notices.push(FaultReport {
+                                        shard: event.shard,
+                                        kind: FaultKind::DuplicateCompletion,
+                                        time: event.time,
+                                        op: Some((machine, task)),
+                                    });
+                                }
+                                self.applied_since_ckpt[event.shard] += 1;
+                                if !self.gateway.complete(
+                                    event.shard,
+                                    machine,
+                                    task,
+                                ) {
+                                    continue; // stale after a cancellation
+                                }
+                            }
                         }
                     }
                     EventKind::Wakeup => {
@@ -1042,6 +1261,7 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
                             journals[event.shard]
                                 .record(event.time, JournalOp::Wakeup);
                         }
+                        self.applied_since_ckpt[event.shard] += 1;
                         self.wakeup_pending[event.shard] = false;
                         self.gateway.wakeup(event.shard);
                     }
@@ -1061,8 +1281,16 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
                 if let Some(journals) = &mut self.journals {
                     journals[shard].record(at, JournalOp::Arrival(relabelled));
                 }
+                self.applied_since_ckpt[shard] += 1;
                 self.gateway.shards_mut()[shard].push_arrival(relabelled);
                 self.arrivals_ingested += 1;
+                if self
+                    .injector
+                    .as_mut()
+                    .is_some_and(|i| i.on_arrival_delivered(shard))
+                {
+                    crashed = Some(shard);
+                }
             }
             self.dispatch_starts();
             // Keep the per-shard decision buffers bounded without
@@ -1070,6 +1298,21 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
             // gateway directly when they want the decisions.
             self.gateway.discard_decisions();
             self.maybe_schedule_wakeups(source.peek().is_some());
+            if let Some(shard) = crashed {
+                // The crash strikes after the arrival's mapping round
+                // fully committed (starts dispatched, wakeups
+                // scheduled): the surviving heap already holds the
+                // round's consequences, which is exactly the failure
+                // model `recover_shard` replays against.
+                let time = self.gateway.now();
+                self.gateway.shards_mut()[shard].wipe();
+                return DriveSignal::Fault(FaultReport {
+                    shard,
+                    kind: FaultKind::ShardCrash,
+                    time,
+                    op: None,
+                });
+            }
         }
     }
 
@@ -1123,6 +1366,7 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
         if let Some(journals) = &mut self.journals {
             journals[shard].clear();
         }
+        self.applied_since_ckpt[shard] = 0;
         snap
     }
 
@@ -1136,30 +1380,309 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
     /// completions. Requires [`FederatedEngine::enable_journal`].
     ///
     /// # Errors
-    /// Any [`SnapshotError`] from the envelope or payload; on error
-    /// the shard is unusable and the engine should be discarded.
-    ///
-    /// # Panics
-    /// When journaling was never enabled (there is nothing to replay
-    /// from, so "recovery" would silently lose operations).
+    /// [`RunError::RecoveryUnavailable`] when journaling was never
+    /// enabled (there is nothing to replay from, so "recovery" would
+    /// silently lose operations), or any [`SnapshotError`] from the
+    /// envelope or payload — on the latter the shard is unusable and
+    /// the engine should be discarded.
     pub fn recover_shard(
         &mut self,
         shard: usize,
         snap: &Snapshot,
-    ) -> Result<(), SnapshotError> {
-        let journals = self
-            .journals
-            .as_ref()
-            .expect("recover_shard requires enable_journal");
-        // The federation clock is lockstep under this serial driver;
-        // capture it before the restore rewinds the shard.
+    ) -> Result<(), RunError> {
+        let Some(journals) = self.journals.as_ref() else {
+            return Err(RunError::RecoveryUnavailable);
+        };
+        // The federation clock is lockstep under this serial driver
+        // (and `Gateway::now` survives a wiped shard clock); capture
+        // it before the restore rewinds the shard.
         let now = self.gateway.now();
         let core = &mut self.gateway.shards_mut()[shard];
-        core.restore(snap)?;
+        core.restore(snap).map_err(RunError::Snapshot)?;
         journals[shard].replay(core);
         if core.now() < now {
             core.advance_to(now);
         }
+        // Replay delivered every journaled op to the shard: gap zero.
+        self.applied_since_ckpt[shard] = journals[shard].len() as u64;
+        Ok(())
+    }
+
+    /// Arms deterministic fault injection: the plan's events fire at
+    /// their per-shard delivery counts as the run proceeds. Injection
+    /// draws nothing from the truth RNG streams, so an armed engine
+    /// whose faults are all healed is bit-identical to an unarmed one.
+    /// Rearming replaces any previous plan and resets its counters.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        let n = self.gateway.n_shards();
+        self.injector = Some(FaultInjector::new(plan, n));
+    }
+
+    /// Drains the faults that resolved inline without pausing the loop
+    /// (duplicate deliveries the staleness dedupe suppressed).
+    pub(crate) fn take_notices(&mut self) -> Vec<FaultReport> {
+        std::mem::take(&mut self.notices)
+    }
+
+    /// Settles a fault [`FederatedEngine::drive`] returned, at the
+    /// fault instant. `redeliver` replays a lost/delayed completion
+    /// from its journal record (mirroring the fault-free delivery
+    /// exactly, including the silent no-op for a stale completion);
+    /// `false` abandons it — the degraded path. Crashes carry no op to
+    /// redeliver; their recovery is [`FederatedEngine::recover_shard`]
+    /// or [`FederatedEngine::quarantine_shard`].
+    pub(crate) fn resolve_fault(
+        &mut self,
+        report: &FaultReport,
+        redeliver: bool,
+        more_arrivals: bool,
+    ) {
+        if !redeliver {
+            return;
+        }
+        let Some((machine, task)) = report.op else {
+            return;
+        };
+        self.applied_since_ckpt[report.shard] += 1;
+        if self.gateway.complete(report.shard, machine, task) {
+            self.dispatch_starts();
+            self.gateway.discard_decisions();
+            self.maybe_schedule_wakeups(more_arrivals);
+        }
+    }
+
+    /// Degrades the federation: takes `shard` out of rotation, salvages
+    /// its still-unmapped batch-queue backlog, and re-routes those
+    /// tasks (under their external ids) to healthy shards. Returns how
+    /// many tasks were re-routed. In-flight events for the shard are
+    /// discarded from the heap as they surface; future arrivals remap
+    /// deterministically around it. Crate-internal: the
+    /// [`crate::Supervisor`] quarantines only after exhausting a
+    /// shard's recovery budget.
+    pub(crate) fn quarantine_shard(
+        &mut self,
+        shard: usize,
+        more_arrivals: bool,
+    ) -> u64 {
+        let stranded = self.gateway.shards_mut()[shard].drain_batch_queue();
+        self.gateway.set_quarantined(shard);
+        let now = self.gateway.now();
+        let mut rerouted = 0u64;
+        for task in stranded {
+            // Close the donor shard's record first: the stolen instance
+            // never runs here, and `finish()` only sweeps tasks still
+            // sitting in a queue.
+            self.gateway.shards_mut()[shard].record_unfinished(&task);
+            let external = self
+                .gateway
+                .compact
+                .external(shard, task.id)
+                .expect("a queued task was assigned an internal id");
+            let mut relabel = task;
+            relabel.id = external;
+            // Not an external-stream arrival: `arrivals_ingested` and
+            // the injector's coordinates must not move — the re-route
+            // is the supervisor's doing, not the workload's.
+            let (target, relabelled) = self.gateway.route_only(relabel);
+            if let Some(journals) = &mut self.journals {
+                journals[target].record(now, JournalOp::Arrival(relabelled));
+            }
+            self.applied_since_ckpt[target] += 1;
+            self.gateway.shards_mut()[target].push_arrival(relabelled);
+            rerouted += 1;
+        }
+        self.dispatch_starts();
+        self.gateway.discard_decisions();
+        self.maybe_schedule_wakeups(more_arrivals);
+        rerouted
+    }
+
+    /// Tightens the pruning threshold on every healthy shard — the
+    /// degraded-mode load shed that accompanies a quarantine (see
+    /// [`crate::Pruner::tighten_threshold`]).
+    pub(crate) fn tighten_healthy_pruners(&mut self, factor: f64) {
+        for shard in 0..self.gateway.n_shards() {
+            if !self.gateway.is_quarantined(shard) {
+                self.gateway.shards_mut()[shard].tighten_pruner(factor);
+            }
+        }
+    }
+
+    /// Whether the injector makes shard `shard`'s next checkpoint
+    /// attempt fail (transient storage fault).
+    pub(crate) fn checkpoint_attempt_fails(&mut self, shard: usize) -> bool {
+        self.injector
+            .as_mut()
+            .is_some_and(|i| i.on_checkpoint_attempt(shard))
+    }
+
+    /// Whether the injector makes shard `shard`'s next recovery
+    /// attempt fail (transient restore fault).
+    pub(crate) fn recovery_attempt_fails(&mut self, shard: usize) -> bool {
+        self.injector
+            .as_mut()
+            .is_some_and(|i| i.on_recovery_attempt(shard))
+    }
+
+    /// Journaled-but-undelivered operations on `shard` since its last
+    /// checkpoint. Zero in healthy operation; positive exactly while a
+    /// lost/delayed completion remains unredelivered. Always zero with
+    /// journaling off (there is nothing to compare).
+    pub(crate) fn journal_gap(&self, shard: usize) -> u64 {
+        self.journals.as_ref().map_or(0, |j| {
+            (j[shard].len() as u64)
+                .saturating_sub(self.applied_since_ckpt[shard])
+        })
+    }
+
+    /// The federation clock (see [`Gateway::now`]).
+    pub fn now(&self) -> SimTime {
+        self.gateway.now()
+    }
+
+    /// Read access to the gateway for the supervisor's health checks.
+    pub(crate) fn gateway_ref(&self) -> &Gateway<'a, S> {
+        &self.gateway
+    }
+
+    /// Finishes the run from the supervisor's pump loop (the owned
+    /// equivalent of the tail of [`FederatedEngine::finish_stream`]).
+    pub(crate) fn finish_now(self) -> FederationStats {
+        self.gateway.finish()
+    }
+
+    /// Captures the **coordinator** state — the event heap, per-shard
+    /// truth-RNG streams, driver counters, journals, arrival log and
+    /// armed fault plan — together with the full nested
+    /// [`Gateway::snapshot`], into one sealed [`Snapshot`]. Where
+    /// [`FederatedEngine::checkpoint`] protects a shard against its
+    /// own crash (the coordinator survives), this protects against
+    /// losing the whole process: a federation rebuilt from the same
+    /// builder configuration and restored via
+    /// [`FederatedEngine::restore_coordinator`] resumes the run from
+    /// disk, bit-identically. Take it at a paused watermark.
+    pub fn snapshot_coordinator(&self) -> Snapshot {
+        let mut events: Vec<FedEvent> =
+            self.events.iter().map(|r| r.0).collect();
+        // The heap's internal layout is unspecified; sorted order is
+        // the canonical serialization (and rebuilds the same heap).
+        events.sort();
+        let rngs: Vec<Value> = self
+            .rngs
+            .iter()
+            .map(|r| r.state().to_vec().to_value())
+            .collect();
+        let opt = |v: Option<Value>| v.unwrap_or(Value::Null);
+        Snapshot::seal(
+            "federated-coordinator",
+            Value::Object(vec![
+                ("gateway".to_owned(), self.gateway.snapshot().to_value()),
+                ("events".to_owned(), events.to_value()),
+                ("rngs".to_owned(), Value::Array(rngs)),
+                ("pending".to_owned(), self.pending.to_value()),
+                ("wakeup_pending".to_owned(), self.wakeup_pending.to_value()),
+                (
+                    "arrivals_ingested".to_owned(),
+                    self.arrivals_ingested.to_value(),
+                ),
+                (
+                    "applied_since_ckpt".to_owned(),
+                    self.applied_since_ckpt.to_value(),
+                ),
+                (
+                    "journals".to_owned(),
+                    opt(self.journals.as_ref().map(Serialize::to_value)),
+                ),
+                (
+                    "arrival_log".to_owned(),
+                    opt(self.arrival_log.as_ref().map(Serialize::to_value)),
+                ),
+                (
+                    "injector".to_owned(),
+                    opt(self.injector.as_ref().map(FaultInjector::to_value)),
+                ),
+            ]),
+        )
+    }
+
+    /// Restores state captured by
+    /// [`FederatedEngine::snapshot_coordinator`] into this engine,
+    /// verifying the outer envelope and every nested one. The engine
+    /// must have been built with the same shard count, configuration
+    /// and plug-in types as the one that took the snapshot.
+    ///
+    /// # Errors
+    /// Any [`SnapshotError`]; on error the engine's state is
+    /// unspecified and it should be discarded.
+    pub fn restore_coordinator(
+        &mut self,
+        snap: &Snapshot,
+    ) -> Result<(), SnapshotError> {
+        let payload = snap.verify()?.clone();
+        let n = self.gateway.n_shards();
+        let nested = Snapshot::from_value(payload.get_field("gateway")?)?;
+        self.gateway.restore(&nested)?;
+        let events = Vec::<FedEvent>::from_value(payload.get_field("events")?)?;
+        let rng_states =
+            Vec::<Vec<u64>>::from_value(payload.get_field("rngs")?)?;
+        if rng_states.len() != n {
+            return Err(SnapshotError::ShapeMismatch {
+                what: "snapshot RNG-stream count differs from this \
+                       federation's shard count",
+            });
+        }
+        let mut rngs = Vec::with_capacity(n);
+        for state in &rng_states {
+            let words: [u64; 4] =
+                state.as_slice().try_into().map_err(|_| {
+                    SnapshotError::ShapeMismatch {
+                        what: "an RNG stream state is not four words",
+                    }
+                })?;
+            rngs.push(Xoshiro256PlusPlus::from_state(words));
+        }
+        let pending = Vec::<usize>::from_value(payload.get_field("pending")?)?;
+        let wakeup_pending =
+            Vec::<bool>::from_value(payload.get_field("wakeup_pending")?)?;
+        let applied =
+            Vec::<u64>::from_value(payload.get_field("applied_since_ckpt")?)?;
+        if pending.len() != n || wakeup_pending.len() != n || applied.len() != n
+        {
+            return Err(SnapshotError::ShapeMismatch {
+                what: "per-shard driver state differs from this \
+                       federation's shard count",
+            });
+        }
+        let arrivals_ingested =
+            u64::from_value(payload.get_field("arrivals_ingested")?)?;
+        let journals = match payload.get_field("journals")? {
+            Value::Null => None,
+            v => Some(Vec::<ShardJournal>::from_value(v)?),
+        };
+        if journals.as_ref().is_some_and(|j| j.len() != n) {
+            return Err(SnapshotError::ShapeMismatch {
+                what: "journal count differs from this federation's \
+                       shard count",
+            });
+        }
+        let arrival_log = match payload.get_field("arrival_log")? {
+            Value::Null => None,
+            v => Some(Vec::<Task>::from_value(v)?),
+        };
+        let injector = match payload.get_field("injector")? {
+            Value::Null => None,
+            v => Some(FaultInjector::from_value(v)?),
+        };
+        self.events = events.into_iter().map(Reverse).collect();
+        self.rngs = rngs;
+        self.pending = pending;
+        self.wakeup_pending = wakeup_pending;
+        self.arrivals_ingested = arrivals_ingested;
+        self.applied_since_ckpt = applied;
+        self.journals = journals;
+        self.arrival_log = arrival_log;
+        self.injector = injector;
+        self.notices.clear();
         Ok(())
     }
 
@@ -1203,7 +1726,10 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
         }
         let now = self.gateway.now();
         for shard in 0..self.gateway.n_shards() {
-            if self.wakeup_pending[shard] || self.pending[shard] > 0 {
+            if self.wakeup_pending[shard]
+                || self.pending[shard] > 0
+                || self.gateway.is_quarantined(shard)
+            {
                 continue;
             }
             let Some(earliest) = self.gateway.earliest_pending_deadline(shard)

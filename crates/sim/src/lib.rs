@@ -54,6 +54,13 @@
 //!   crash-failover (`replay(snapshot, log)` reproduces a shard
 //!   bit-identically) and live resharding (pause at an arrival
 //!   watermark, snapshot, re-split across K′ shards, resume).
+//! * [`FaultPlan`] / [`Supervisor`] — the robustness layer: seeded,
+//!   replayable fault schedules injected into either federated driver,
+//!   and a self-healing supervisor that auto-checkpoints, detects
+//!   faults, retries within a bounded budget (deterministic sim-time
+//!   backoff), and degrades gracefully — quarantine plus pruning-based
+//!   load shedding — when the budget runs out. Every action lands in a
+//!   deterministic [`RecoveryLog`].
 
 #![warn(missing_docs)]
 
@@ -63,6 +70,7 @@ pub mod core;
 pub mod decisions;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod gateway;
 pub mod journal;
 pub mod parallel;
@@ -71,6 +79,7 @@ pub mod route;
 pub mod sink;
 pub mod snapshot;
 pub mod stats;
+pub mod supervisor;
 pub mod trace;
 pub mod traits;
 pub mod view;
@@ -101,6 +110,7 @@ pub use config::{AllocationMode, ConfigError, RunError, SimConfig};
 pub use core::{Decision, SchedulerCore, Start};
 pub use decisions::{DecisionCounter, DecisionLog, Decisions, NullDecisions};
 pub use engine::Engine;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use gateway::{
     FedArrival, FedDecision, FedStart, FederatedEngine, FederationStats,
     Gateway, GatewayBuilder, IdCompactor,
@@ -111,6 +121,10 @@ pub use route::{LeastQueuedRoute, RoundRobinRoute, RoutePolicy, ShardView};
 pub use sink::{NullSink, Sink};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use stats::{SimStats, StatsError};
+pub use supervisor::{
+    ParallelSupervisor, RecoveryAction, RecoveryActionKind, RecoveryLog,
+    RecoveryPolicy, Supervisor,
+};
 pub use trace::{QueueSnapshot, TraceEvent, TraceLog};
 pub use traits::{
     Assignment, BatchMapper, EventReport, ImmediateMapper, MappingStrategy,

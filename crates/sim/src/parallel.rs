@@ -72,12 +72,17 @@
 //! [`FederationStats`] — traces included — is bit-identical.
 
 use crate::event::{Event, EventKind, EventQueue};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultSite};
 use crate::gateway::{FederationStats, Gateway};
+use crate::journal::{JournalOp, ShardJournal};
 use crate::sink::{NullSink, Sink};
 use crate::snapshot::Snapshot;
+use crate::supervisor::{
+    backoff_at, RecoveryActionKind, RecoveryLog, RecoveryPolicy,
+};
 use crate::SchedulerCore;
 use std::collections::VecDeque;
-use taskprune_model::{PetMatrix, SimTime, Task};
+use taskprune_model::{MachineId, PetMatrix, SimTime, Task, TaskId};
 use taskprune_prob::rng::Xoshiro256PlusPlus;
 
 /// One routed arrival in a shard's mailbox.
@@ -89,6 +94,281 @@ struct Mail {
     /// running maximum of arrival times (equal to `task.arrival` for
     /// the documented non-decreasing streams, later for stragglers).
     target: SimTime,
+}
+
+/// The lane-local half of the self-healing supervisor (see
+/// [`crate::ParallelSupervisor`]): each lane carries its own journal,
+/// checkpoint, retry budget, fault schedule and recovery log, so every
+/// fault is detected and healed *on the worker thread that owns the
+/// shard* — no cross-lane coordination, no barriers, no locks.
+///
+/// Semantics mirror the serial [`crate::Supervisor`] per shard:
+///
+/// * completions are journaled before the fault consult, so a lost or
+///   delayed delivery can be redelivered from the durable record at
+///   the fault instant (exact heal — zero trace in simulation state);
+/// * a crash wipes the core, then bounded retries rebuild it from the
+///   lane checkpoint plus journal replay;
+/// * an exhausted budget fail-stops the lane: one free salvage restore
+///   (a read of durable storage, not a retry) rebuilds the pre-crash
+///   history so nothing already completed is lost, then the lane is
+///   quarantined — subsequent deliveries are recorded but never
+///   started, heap events vanish with the hardware, and everything
+///   still pending surfaces as `Unfinished` at the drain.
+///
+/// The one structural difference from the serial supervisor: there is
+/// no cross-shard backlog re-route (lanes cannot reach each other
+/// mid-run) and no watermark health checks (lanes never pause); the
+/// coordinator remaps *future* arrivals around a quarantined lane on
+/// the lockstep path, and auto-checkpoints run on a per-lane arrival
+/// cadence instead of a global watermark.
+struct LaneGuard {
+    policy: RecoveryPolicy,
+    shard: usize,
+    /// The durable restore point — refreshed on the checkpoint cadence.
+    checkpoint: Snapshot,
+    /// Operations applied since `checkpoint` (cleared when it moves).
+    journal: ShardJournal,
+    /// This shard's slice of the armed [`FaultPlan`].
+    faults: Vec<FaultEvent>,
+    retries_left: u32,
+    arrivals_seen: u64,
+    completions_seen: u64,
+    checkpoints_seen: u64,
+    recoveries_seen: u64,
+    quarantined: bool,
+    log: RecoveryLog,
+}
+
+impl LaneGuard {
+    fn new(policy: RecoveryPolicy, shard: usize, checkpoint: Snapshot) -> Self {
+        Self {
+            policy,
+            shard,
+            checkpoint,
+            journal: ShardJournal::new(),
+            faults: Vec::new(),
+            retries_left: policy.retry_budget,
+            arrivals_seen: 0,
+            completions_seen: 0,
+            checkpoints_seen: 0,
+            recoveries_seen: 0,
+            quarantined: false,
+            log: RecoveryLog::default(),
+        }
+    }
+
+    /// The armed fault striking the `nth` operation at `site`, if any.
+    fn fault_at(&self, site: FaultSite, nth: u64) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|e| e.kind.site() == site && e.nth == nth)
+            .map(|e| e.kind)
+    }
+
+    /// Journals one completion delivery and consults the fault
+    /// schedule. Returns whether the completion should be applied to
+    /// the core (`false` = the delivery is lost; the journal record
+    /// keeps it recoverable by a later replay, and the stuck task
+    /// surfaces as `Unfinished` if the budget never allows one).
+    fn on_completion(
+        &mut self,
+        time: SimTime,
+        machine: MachineId,
+        task: TaskId,
+    ) -> bool {
+        // Journal before the fault consult, exactly like the serial
+        // driver: the transport loses the delivery *after* the durable
+        // record exists, which is what makes redelivery possible.
+        self.journal
+            .record(time, JournalOp::Completion { machine, task });
+        self.completions_seen += 1;
+        match self.fault_at(FaultSite::Completion, self.completions_seen) {
+            Some(
+                kind @ (FaultKind::LostCompletion
+                | FaultKind::DelayedCompletion),
+            ) => {
+                self.log.push(
+                    time,
+                    self.shard,
+                    RecoveryActionKind::FaultDetected { fault: kind },
+                );
+                if self.retries_left == 0 {
+                    return false; // stays lost: budget exhausted
+                }
+                self.retries_left -= 1;
+                let backoff = backoff_at(self.policy.backoff_base, 1);
+                self.log.push(
+                    time,
+                    self.shard,
+                    RecoveryActionKind::RetryScheduled {
+                        attempt: 1,
+                        backoff,
+                        at: SimTime(time.ticks().saturating_add(backoff)),
+                    },
+                );
+                self.log.push(
+                    time,
+                    self.shard,
+                    RecoveryActionKind::Redelivered,
+                );
+                true // redelivered from the journal record, same instant
+            }
+            Some(FaultKind::DuplicateCompletion) => {
+                // The duplicated copy is rejected by the staleness
+                // dedupe; the first copy applies and nothing needs
+                // healing — log the suppression only.
+                self.log.push(
+                    time,
+                    self.shard,
+                    RecoveryActionKind::DuplicateSuppressed,
+                );
+                true
+            }
+            _ => true,
+        }
+    }
+
+    /// Journals one routed arrival; returns whether the shard crashes
+    /// right after its mapping round commits.
+    fn on_arrival(&mut self, time: SimTime, task: Task) -> bool {
+        self.journal.record(time, JournalOp::Arrival(task));
+        self.arrivals_seen += 1;
+        self.fault_at(FaultSite::Arrival, self.arrivals_seen)
+            .is_some()
+    }
+
+    /// The crash path: wipe, then bounded retries of checkpoint +
+    /// journal replay; on an exhausted budget, one free salvage
+    /// restore and fail-stop (quarantine).
+    fn settle_crash<S: Sink>(
+        &mut self,
+        core: &mut SchedulerCore<'_, S>,
+        now: SimTime,
+    ) {
+        self.log.push(
+            now,
+            self.shard,
+            RecoveryActionKind::FaultDetected {
+                fault: FaultKind::ShardCrash,
+            },
+        );
+        core.wipe();
+        let mut attempt = 0u32;
+        while self.retries_left > 0 {
+            attempt += 1;
+            self.retries_left -= 1;
+            let backoff = backoff_at(self.policy.backoff_base, attempt);
+            self.log.push(
+                now,
+                self.shard,
+                RecoveryActionKind::RetryScheduled {
+                    attempt,
+                    backoff,
+                    at: SimTime(now.ticks().saturating_add(backoff)),
+                },
+            );
+            self.recoveries_seen += 1;
+            if self
+                .fault_at(FaultSite::Recovery, self.recoveries_seen)
+                .is_some()
+            {
+                self.log.push(
+                    now,
+                    self.shard,
+                    RecoveryActionKind::RecoveryFailed { attempt },
+                );
+                continue;
+            }
+            if self.restore(core, now) {
+                self.log.push(
+                    now,
+                    self.shard,
+                    RecoveryActionKind::RecoveryReplayed {
+                        journal_ops: self.journal.len() as u64,
+                    },
+                );
+                return;
+            }
+            self.log.push(
+                now,
+                self.shard,
+                RecoveryActionKind::RecoveryFailed { attempt },
+            );
+        }
+        // Budget exhausted: the shard stays down. Rebuild its state
+        // once from durable storage — not to revive it, but so the
+        // history up to the crash (completed tasks, outcome records)
+        // survives into the final stats — then fail-stop. No backlog
+        // re-route: lanes cannot reach each other mid-run, so the
+        // still-queued work lands as `Unfinished` instead.
+        let _ = self.restore(core, now);
+        self.quarantined = true;
+        self.log.push(
+            now,
+            self.shard,
+            RecoveryActionKind::Quarantined { rerouted: 0 },
+        );
+    }
+
+    /// Checkpoint restore + journal replay + clock re-advance. Returns
+    /// whether the core was rebuilt.
+    fn restore<S: Sink>(
+        &self,
+        core: &mut SchedulerCore<'_, S>,
+        now: SimTime,
+    ) -> bool {
+        if core.restore(&self.checkpoint).is_err() {
+            return false;
+        }
+        self.journal.replay(core);
+        if now > core.now() {
+            core.advance_to(now);
+        }
+        true
+    }
+
+    /// Auto-checkpoint on the per-lane arrival cadence, retrying
+    /// transient storage faults within the budget. Skipping on
+    /// exhaustion is safe: the journal keeps growing, so recovery
+    /// stays possible from the previous checkpoint.
+    fn maybe_checkpoint<S: Sink>(&mut self, core: &SchedulerCore<'_, S>) {
+        let interval = self.policy.checkpoint_interval.max(1);
+        if !self.arrivals_seen.is_multiple_of(interval) {
+            return;
+        }
+        let now = core.now();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.checkpoints_seen += 1;
+            if self
+                .fault_at(FaultSite::Checkpoint, self.checkpoints_seen)
+                .is_some()
+            {
+                self.log.push(
+                    now,
+                    self.shard,
+                    RecoveryActionKind::CheckpointFailed { attempt },
+                );
+                if self.retries_left > 0 {
+                    self.retries_left -= 1;
+                    continue;
+                }
+                return;
+            }
+            self.checkpoint = core.snapshot();
+            self.journal.clear();
+            self.log.push(
+                now,
+                self.shard,
+                RecoveryActionKind::CheckpointTaken {
+                    watermark: self.arrivals_seen,
+                },
+            );
+            return;
+        }
+    }
 }
 
 /// The per-shard driver state the serial [`crate::FederatedEngine`]
@@ -107,6 +387,10 @@ struct ShardLane {
     wakeup_pending: bool,
     /// Routed arrivals awaiting delivery (stateless-policy schedule).
     mailbox: VecDeque<Mail>,
+    /// Lane-local supervision, when the engine is wrapped in a
+    /// [`crate::ParallelSupervisor`]. `None` costs nothing on the
+    /// unsupervised hot path.
+    guard: Option<LaneGuard>,
 }
 
 impl ShardLane {
@@ -117,7 +401,21 @@ impl ShardLane {
             pending: 0,
             wakeup_pending: false,
             mailbox: VecDeque::new(),
+            guard: None,
         }
+    }
+
+    /// Whether this lane has fail-stopped (budget-exhausted crash).
+    fn is_quarantined(&self) -> bool {
+        self.guard.as_ref().is_some_and(|g| g.quarantined)
+    }
+
+    /// Drops every pending heap event — a quarantined lane's hardware
+    /// is gone, so in-flight completions and wakeups vanish unseen.
+    fn discard_events(&mut self) {
+        self.events = EventQueue::new();
+        self.pending = 0;
+        self.wakeup_pending = false;
     }
 
     /// Turns the shard's pending starts into completion events,
@@ -168,14 +466,29 @@ impl ShardLane {
         cutoff: SimTime,
         target: SimTime,
     ) {
+        if self.is_quarantined() {
+            while self.has_due(cutoff) {
+                self.events.pop();
+                self.pending -= 1;
+            }
+            if target > core.now() {
+                core.advance_to(target);
+            }
+            return;
+        }
         while self.has_due(cutoff) {
             let event = self.events.pop().expect("has_due peeked");
             self.pending -= 1;
             core.advance_to(event.time);
             match event.kind {
                 EventKind::Completion { machine, task } => {
-                    if !core.complete(machine, task) {
-                        continue; // stale after a cancellation
+                    let apply = match self.guard.as_mut() {
+                        Some(g) => g.on_completion(event.time, machine, task),
+                        None => true,
+                    };
+                    if !apply || !core.complete(machine, task) {
+                        continue; // lost delivery, or stale after a
+                                  // cancellation
                     }
                 }
                 // Wakeups are only ever scheduled once the arrival
@@ -191,7 +504,11 @@ impl ShardLane {
     }
 
     /// Delivers one mailbox arrival: due completions first, then the
-    /// shard's mapping event at the arrival's serial instant.
+    /// shard's mapping event at the arrival's serial instant. When a
+    /// [`LaneGuard`] is installed this is also the fault frontier:
+    /// the arrival is journaled, the crash schedule consulted after
+    /// the mapping round commits, and the auto-checkpoint cadence
+    /// advanced.
     fn deliver<S: Sink>(
         &mut self,
         core: &mut SchedulerCore<'_, S>,
@@ -199,9 +516,38 @@ impl ShardLane {
         mail: Mail,
     ) {
         self.advance_events(core, truth, mail.task.arrival, mail.target);
+        if self.is_quarantined() {
+            // Fail-stopped shard: record the arrival so its outcome is
+            // accounted (`Unfinished` at the drain — no machine will
+            // ever start it), but dispatch nothing.
+            core.push_arrival(mail.task);
+            let _ = core.drain_starts();
+            core.drain_decisions();
+            return;
+        }
+        let crashed = match self.guard.as_mut() {
+            Some(g) => g.on_arrival(mail.target, mail.task),
+            None => false,
+        };
         core.push_arrival(mail.task);
         self.dispatch_starts(core, truth);
         core.drain_decisions();
+        if crashed {
+            // The crash strikes after the arrival's mapping round fully
+            // committed: the surviving heap already holds the round's
+            // consequences, which is exactly the failure model the
+            // checkpoint + journal replay rebuilds against.
+            let now = core.now();
+            let g = self.guard.as_mut().expect("crash implies a guard");
+            g.settle_crash(core, now);
+            if g.quarantined {
+                self.discard_events();
+                return;
+            }
+        }
+        if let Some(g) = self.guard.as_mut() {
+            g.maybe_checkpoint(core);
+        }
     }
 
     /// The serial driver's per-shard wakeup safety net: when no event
@@ -238,17 +584,32 @@ impl ShardLane {
         truth: &PetMatrix,
         t_last: SimTime,
     ) {
+        if self.is_quarantined() {
+            // Heap events die with the hardware; whatever the batch
+            // and machine queues still hold surfaces as `Unfinished`
+            // when the core finishes.
+            self.discard_events();
+            return;
+        }
         self.maybe_schedule_wakeup(core, t_last);
         while let Some(event) = self.events.pop() {
             self.pending -= 1;
             core.advance_to(event.time);
             match event.kind {
                 EventKind::Completion { machine, task } => {
-                    if !core.complete(machine, task) {
-                        continue; // stale after a cancellation
+                    let apply = match self.guard.as_mut() {
+                        Some(g) => g.on_completion(event.time, machine, task),
+                        None => true,
+                    };
+                    if !apply || !core.complete(machine, task) {
+                        continue; // lost delivery, or stale after a
+                                  // cancellation
                     }
                 }
                 EventKind::Wakeup => {
+                    if let Some(g) = self.guard.as_mut() {
+                        g.journal.record(event.time, JournalOp::Wakeup);
+                    }
                     self.wakeup_pending = false;
                     core.wakeup();
                 }
@@ -408,6 +769,7 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
                 }
             });
         }
+        self.sync_quarantine_flags();
         self.finish()
     }
 
@@ -430,6 +792,43 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
     /// [`ParallelFederatedEngine::ingest_prefix`] pause point.
     pub fn snapshot_gateway(&self) -> Snapshot {
         self.gateway.snapshot()
+    }
+
+    /// Installs a [`LaneGuard`] on every lane: journaling on, an
+    /// initial checkpoint captured, the retry budget charged. Called by
+    /// [`crate::ParallelSupervisor::new`]; arm faults afterwards so the
+    /// bootstrap captures are not themselves fault targets.
+    pub(crate) fn supervise(&mut self, policy: RecoveryPolicy) {
+        for (i, (lane, core)) in self
+            .lanes
+            .iter_mut()
+            .zip(self.gateway.shards().iter())
+            .enumerate()
+        {
+            lane.guard = Some(LaneGuard::new(policy, i, core.snapshot()));
+        }
+    }
+
+    /// Arms deterministic fault injection lane-locally: each guard
+    /// receives its own shard's slice of the plan. Requires
+    /// [`ParallelFederatedEngine::supervise`] first (guards hold the
+    /// schedules); slices for unsupervised lanes are dropped.
+    pub(crate) fn arm_lane_faults(&mut self, plan: &FaultPlan) {
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
+            if let Some(g) = lane.guard.as_mut() {
+                g.faults = plan.for_shard(i);
+            }
+        }
+    }
+
+    /// Publishes lane fail-stops into the gateway's routing layer so
+    /// subsequent ingests remap new arrivals around dead shards.
+    fn sync_quarantine_flags(&mut self) {
+        for i in 0..self.lanes.len() {
+            if self.lanes[i].is_quarantined() {
+                self.gateway.set_quarantined(i);
+            }
+        }
     }
 
     /// Whether the zero-barrier mailbox schedule applies.
@@ -489,6 +888,7 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
                 }
             }
         });
+        self.sync_quarantine_flags();
     }
 
     /// State-dependent-policy schedule: one epoch per arrival. All
@@ -541,17 +941,63 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
                     }
                 }
             }
-            let (shard, _) = self.gateway.push_arrival(task);
-            let core = &mut self.gateway.shards_mut()[shard];
-            self.lanes[shard].dispatch_starts(core, truth);
-            core.drain_decisions();
+            // The routing + mapping chain is the serial driver's,
+            // split so the lane guard (when installed) can journal the
+            // relabelled arrival and consult the crash schedule after
+            // the mapping round commits — the same fault frontier the
+            // mailbox path uses.
+            let (shard, relabelled) = self.gateway.route_only(task);
+            if self.lanes[shard].is_quarantined() {
+                // Only reachable when *every* shard is quarantined
+                // (route_only remaps around dead shards otherwise):
+                // record the arrival, start nothing.
+                let core = &mut self.gateway.shards_mut()[shard];
+                core.push_arrival(relabelled);
+                let _ = core.drain_starts();
+                core.drain_decisions();
+                continue;
+            }
+            let crashed = match self.lanes[shard].guard.as_mut() {
+                Some(g) => g.on_arrival(target, relabelled),
+                None => false,
+            };
+            {
+                let core = &mut self.gateway.shards_mut()[shard];
+                core.push_arrival(relabelled);
+                self.lanes[shard].dispatch_starts(core, truth);
+                core.drain_decisions();
+            }
+            if crashed {
+                let core = &mut self.gateway.shards_mut()[shard];
+                let now = core.now();
+                let g = self.lanes[shard]
+                    .guard
+                    .as_mut()
+                    .expect("crash implies a guard");
+                g.settle_crash(core, now);
+                if g.quarantined {
+                    self.lanes[shard].discard_events();
+                    self.gateway.set_quarantined(shard);
+                    continue;
+                }
+            }
+            if let Some(g) = self.lanes[shard].guard.as_mut() {
+                g.maybe_checkpoint(&self.gateway.shards()[shard]);
+            }
         }
     }
 
     /// Deterministic fan-in: advance every shard to the federation-wide
     /// end time (the serial driver's shared final clock) and collect
-    /// the outcome record in fixed shard order.
+    /// the outcome record in fixed shard order — with the lane guards'
+    /// recovery logs merged (shard-index order) into the stats.
     fn finish(mut self) -> FederationStats {
+        let mut recovery = RecoveryLog::default();
+        for lane in &mut self.lanes {
+            if let Some(g) = lane.guard.as_mut() {
+                recovery.extend(std::mem::take(&mut g.log));
+            }
+        }
         let t_end = self
             .gateway
             .shards()
@@ -564,7 +1010,9 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
                 core.advance_to(t_end);
             }
         }
-        self.gateway.finish()
+        let mut stats = self.gateway.finish();
+        stats.recovery = recovery;
+        stats
     }
 }
 

@@ -227,6 +227,16 @@ pub trait Pruner: Send {
     /// proposed machine (Eq. 2).
     fn should_defer(&mut self, task: &Task, chance: f64) -> bool;
 
+    /// Degraded-mode load shedding: multiply the policy's pruning
+    /// threshold by `factor` (> 1 prunes more aggressively), clamped
+    /// to whatever range the policy considers valid. A federation
+    /// supervisor calls this on healthy shards when a quarantined
+    /// shard's backlog is re-routed onto them — pruning doubles as the
+    /// paper's own load-shedding valve. The default is a no-op:
+    /// thresholdless policies (like [`NoPruning`]) have nothing to
+    /// tighten.
+    fn tighten_threshold(&mut self, _factor: f64) {}
+
     /// Captures the policy's internal state (toggle engagement,
     /// fairness scores, accounting) for a federation snapshot (see
     /// [`BatchMapper::snapshot_state`]).

@@ -117,7 +117,10 @@ fn main() {
 
     // Act 2: a tampered checkpoint is rejected before it can restore.
     match engine.recover_shard(1, &corrupt(&checkpoint)) {
-        Err(SnapshotError::HashMismatch { expected, found }) => println!(
+        Err(RunError::Snapshot(SnapshotError::HashMismatch {
+            expected,
+            found,
+        })) => println!(
             "tampered checkpoint rejected: hash {found:#018x} != \
              sealed {expected:#018x}"
         ),

@@ -313,12 +313,15 @@ fn tampered_checkpoint_is_rejected_on_recovery() {
         .recover_shard(1, &tampered(&snap))
         .expect_err("a corrupted checkpoint must not restore");
     assert!(
-        matches!(err, SnapshotError::HashMismatch { .. }),
+        matches!(
+            err,
+            taskprune_sim::RunError::Snapshot(
+                SnapshotError::HashMismatch { .. }
+            )
+        ),
         "expected HashMismatch, got {err:?}"
     );
-    // The error converts into the facade's RunError for `?` chaining.
-    let run_err: taskprune_sim::RunError = err.into();
-    assert!(!run_err.to_string().is_empty());
+    assert!(!err.to_string().is_empty());
     // The untampered checkpoint still recovers the shard fine.
     engine
         .recover_shard(1, &snap)

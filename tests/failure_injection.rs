@@ -1,10 +1,19 @@
 //! Failure injection: degenerate and adversarial inputs must be handled
 //! gracefully — no panics, no lost tasks, sane metrics.
+//!
+//! The second half injects **runtime** faults: generated `FaultPlan`
+//! storms and property-tested arbitrary fault schedules against the
+//! supervised drivers (serial and parallel — the parallel default
+//! honours `TASKPRUNE_THREADS`, which the CI fault-matrix job pins to
+//! 1 and the core count).
 
+use proptest::prelude::*;
 use taskprune::prelude::*;
+use taskprune::pruner::PruningMechanism;
 use taskprune::ClusterKind;
 use taskprune_model::{BinSpec, TaskTypeId};
 use taskprune_prob::Pmf;
+use taskprune_sim::FaultEvent;
 
 mod common;
 use common::{scaled, test_scale};
@@ -285,4 +294,210 @@ fn cancel_running_late_policy_end_to_end() {
 #[ignore = "heavy tier: original 1000-task cancellation workload"]
 fn cancel_running_late_full_scale() {
     cancel_running_late_impl(1.0);
+}
+
+// ---------------------------------------------------------------------
+// Runtime fault injection: FaultPlan storms against both drivers.
+// ---------------------------------------------------------------------
+
+fn fault_fixture() -> (Cluster, PetMatrix, Vec<Task>) {
+    let (cluster, petgen) = ClusterKind::Heterogeneous.materialise();
+    let pet = petgen.generate();
+    let factor = test_scale();
+    let tasks = WorkloadConfig {
+        total_tasks: scaled(1_500, factor) as usize,
+        span_tu: scaled(260, factor) as f64,
+        ..WorkloadConfig::paper_default(4321)
+    }
+    .generate_trial(&pet, 0)
+    .tasks;
+    (cluster, pet, tasks)
+}
+
+fn json(stats: &FederationStats) -> String {
+    serde_json::to_string(stats).expect("serializes")
+}
+
+fn federated_builder<'a>(
+    cluster: &Cluster,
+    pet: &'a PetMatrix,
+    shards: usize,
+) -> GatewayBuilder<'a> {
+    let n_types = pet.n_task_types();
+    GatewayBuilder::new(cluster, pet)
+        .config(SimConfig::batch(9))
+        .shards(shards)
+        .policy(RoundRobinRoute::new())
+        .strategy_with(move |_| HeuristicKind::Mm.make())
+        .pruner_with(move |_| {
+            Box::new(PruningMechanism::new(
+                PruningConfig::paper_default(),
+                n_types,
+            ))
+        })
+}
+
+/// Generous enough that no storm can exhaust a shard's budget.
+fn full_budget() -> RecoveryPolicy {
+    RecoveryPolicy {
+        retry_budget: 64,
+        ..RecoveryPolicy::default()
+    }
+}
+
+/// The runtime fault matrix: two fixed storm seeds × {serial,
+/// parallel at 1 thread, parallel at the ambient `TASKPRUNE_THREADS`
+/// default} — every cell heals to the fault-free serialized stats.
+#[test]
+fn fault_storms_heal_identically_across_the_driver_matrix() {
+    let (cluster, pet, tasks) = fault_fixture();
+    let shards = 3usize;
+    let reference = federated_builder(&cluster, &pet, shards)
+        .build()
+        .expect("valid configuration")
+        .run_stream(tasks.iter().copied());
+    assert_eq!(reference.unreported(), 0);
+    let reference_json = json(&reference);
+
+    for plan_seed in [0xFA01u64, 0xFA02] {
+        let plan = FaultPlan::generate(
+            plan_seed,
+            &FaultSpec::storm(shards, (tasks.len() / shards) as u64),
+        );
+        // Serial.
+        let engine = federated_builder(&cluster, &pet, shards)
+            .build()
+            .expect("valid configuration");
+        let mut sup = Supervisor::new(engine, full_budget());
+        sup.arm(plan.clone());
+        assert_eq!(
+            reference_json,
+            json(&sup.run_stream(tasks.iter().copied())),
+            "serial, plan seed {plan_seed:#x}"
+        );
+        // Parallel: pinned single worker, then the ambient default
+        // (`TASKPRUNE_THREADS` when set — the CI matrix covers 1 and
+        // the core count).
+        for threads in [Some(1usize), None] {
+            let mut b = federated_builder(&cluster, &pet, shards);
+            if let Some(t) = threads {
+                b = b.threads(t);
+            }
+            let engine = b.build_parallel().expect("valid configuration");
+            let mut sup = ParallelSupervisor::new(engine, full_budget());
+            sup.arm(&plan);
+            assert_eq!(
+                reference_json,
+                json(&sup.run_stream(tasks.iter().copied())),
+                "parallel threads={threads:?}, plan seed {plan_seed:#x}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property test: arbitrary fault schedules.
+// ---------------------------------------------------------------------
+
+const PROP_SHARDS: usize = 3;
+const PROP_SPAN: u64 = 60;
+
+fn arb_fault() -> impl Strategy<Value = FaultEvent> {
+    (0..PROP_SHARDS, 0u8..6, 1..=PROP_SPAN, 1u64..512).prop_map(
+        |(shard, kind, nth, delay)| {
+            let kind = match kind {
+                0 => FaultKind::ShardCrash,
+                1 => FaultKind::LostCompletion,
+                2 => FaultKind::DuplicateCompletion,
+                3 => FaultKind::DelayedCompletion,
+                4 => FaultKind::CheckpointFailure,
+                _ => FaultKind::RecoveryFailure,
+            };
+            FaultEvent {
+                shard,
+                kind,
+                nth,
+                delay: if kind == FaultKind::DelayedCompletion {
+                    delay
+                } else {
+                    0
+                },
+            }
+        },
+    )
+}
+
+/// A small, dense workload so crashes land on non-trivial state.
+fn prop_fixture() -> (Cluster, PetMatrix, Vec<Task>) {
+    let (cluster, petgen) = ClusterKind::Heterogeneous.materialise();
+    let pet = petgen.generate();
+    let tasks = WorkloadConfig {
+        total_tasks: 240,
+        span_tu: 40.0,
+        ..WorkloadConfig::paper_default(4321)
+    }
+    .generate_trial(&pet, 0)
+    .tasks;
+    (cluster, pet, tasks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any fault schedule, fully budgeted, heals bit-identically on
+    /// both drivers; the same schedule with a zero budget still
+    /// completes with every arrival accounted for. No panics anywhere.
+    #[test]
+    fn arbitrary_fault_schedules_never_lose_tasks(
+        events in proptest::collection::vec(arb_fault(), 1..12),
+    ) {
+        let (cluster, pet, tasks) = prop_fixture();
+        let plan = FaultPlan::new(events);
+        let reference = federated_builder(&cluster, &pet, PROP_SHARDS)
+            .build()
+            .expect("valid configuration")
+            .run_stream(tasks.iter().copied());
+        let reference_json = json(&reference);
+
+        // Full budget: recovery is exact, serial and parallel.
+        let engine = federated_builder(&cluster, &pet, PROP_SHARDS)
+            .build()
+            .expect("valid configuration");
+        let mut sup = Supervisor::new(engine, full_budget());
+        sup.arm(plan.clone());
+        let healed = sup.run_stream(tasks.iter().copied());
+        prop_assert_eq!(&reference_json, &json(&healed));
+
+        let engine = federated_builder(&cluster, &pet, PROP_SHARDS)
+            .threads(2)
+            .build_parallel()
+            .expect("valid configuration");
+        let mut sup = ParallelSupervisor::new(engine, full_budget());
+        sup.arm(&plan);
+        let healed_par = sup.run_stream(tasks.iter().copied());
+        prop_assert_eq!(&reference_json, &json(&healed_par));
+
+        // Zero budget: degraded, but complete and accounted for.
+        let engine = federated_builder(&cluster, &pet, PROP_SHARDS)
+            .build()
+            .expect("valid configuration");
+        let mut sup =
+            Supervisor::new(engine, RecoveryPolicy::no_retries());
+        sup.arm(plan.clone());
+        let degraded = sup.run_stream(tasks.iter().copied());
+        prop_assert_eq!(degraded.unreported(), 0);
+        prop_assert_eq!(degraded.n_tasks() >= tasks.len(), true);
+
+        let engine = federated_builder(&cluster, &pet, PROP_SHARDS)
+            .threads(2)
+            .build_parallel()
+            .expect("valid configuration");
+        let mut sup = ParallelSupervisor::new(
+            engine,
+            RecoveryPolicy::no_retries(),
+        );
+        sup.arm(&plan);
+        let degraded_par = sup.run_stream(tasks.iter().copied());
+        prop_assert_eq!(degraded_par.unreported(), 0);
+    }
 }
