@@ -19,6 +19,14 @@
 //! reactively-shedding cluster, i.e. they do more real work per
 //! arrival; the series makes that visible instead of mysterious.
 //!
+//! **`gateway_reuse_<policy>_d<rate>`** — ingest throughput of the same
+//! 4-shard serial scenario on a stream carrying content-keyed duplicate
+//! arrivals at rates {0, 10, 30} %, with the function-reuse gate off
+//! versus exact dedup. The gate-off run is each rate's yardstick, so
+//! `speedup` is the throughput the gate buys by absorbing duplicates
+//! before machine-queue commitment; `reuse_hit_pct` and
+//! `arrivals_per_sec` are recorded beside the existing columns.
+//!
 //! **`gateway_parallel_t<threads>`** — wall-clock of the same 4-shard
 //! scenario on the work-stealing
 //! [`taskprune_sim::ParallelFederatedEngine`] at thread counts
@@ -63,6 +71,11 @@ const REGRESSION_THRESHOLD: f64 = 0.15;
 /// (one of the two seeds the CI fault-matrix job pins).
 const FAULT_PLAN_SEED: u64 = 0xFA01;
 
+/// Fixed seed of the duplicate-injection stream behind the
+/// `gateway_reuse_*` family (dedicated Xoshiro stream — the truth RNG
+/// never sees it).
+const DUP_STREAM_SEED: u64 = 0xD0B1;
+
 /// Shard counts measured (serial driver), ascending; index 0 is the
 /// yardstick.
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -81,6 +94,8 @@ const THREAD_SCALING_GATE: f64 = 1.5;
 struct Measured {
     ns_per_arrival: f64,
     robustness_pct: f64,
+    /// Reuse-gate counters of the run (all-zero when the gate is off).
+    reuse: ReuseStats,
     /// Serialized stats of the last repeat, for the cross-thread-count
     /// bit-identity assertion.
     stats_json: String,
@@ -90,6 +105,7 @@ fn build_engine<'a>(
     cluster: &Cluster,
     pet: &'a PetMatrix,
     shards: usize,
+    reuse: ReusePolicy,
 ) -> GatewayBuilder<'a, taskprune_sim::NullSink> {
     let n_types = pet.n_task_types();
     GatewayBuilder::new(cluster, pet)
@@ -103,6 +119,7 @@ fn build_engine<'a>(
                 n_types,
             ))
         })
+        .reuse(reuse)
 }
 
 /// Wall-clock ns per arrival for full federated runs (build excluded,
@@ -116,12 +133,14 @@ fn measure(
     shards: usize,
     threads: Option<usize>,
     repeats: u32,
+    reuse: ReusePolicy,
 ) -> Measured {
     let mut best = f64::INFINITY;
     let mut robustness = 0.0;
+    let mut reuse_stats = ReuseStats::default();
     let mut stats_json = String::new();
     for _ in 0..repeats {
-        let builder = build_engine(cluster, pet, shards);
+        let builder = build_engine(cluster, pet, shards, reuse);
         let (elapsed, stats) = match threads {
             None => {
                 let engine = builder.build().expect("valid configuration");
@@ -142,11 +161,13 @@ fn measure(
         assert_eq!(stats.unreported(), 0);
         best = best.min(elapsed / tasks.len() as f64);
         robustness = stats.paper_robustness_pct();
+        reuse_stats = stats.reuse_stats();
         stats_json = serde_json::to_string(&stats).expect("stats serialize");
     }
     Measured {
         ns_per_arrival: best,
         robustness_pct: robustness,
+        reuse: reuse_stats,
         stats_json,
     }
 }
@@ -168,7 +189,7 @@ fn measure_under_faults(
         FAULT_PLAN_SEED,
         &FaultSpec::storm(shards, (tasks.len() / shards.max(1)) as u64),
     );
-    let builder = build_engine(cluster, pet, shards);
+    let builder = build_engine(cluster, pet, shards, ReusePolicy::Off);
     let stats = match threads {
         None => {
             let engine = builder.build().expect("valid configuration");
@@ -225,7 +246,15 @@ fn main() {
     let mut yardstick = f64::NAN;
     let mut scaling_at_4_shards = f64::NAN;
     for &shards in &SHARD_COUNTS {
-        let m = measure(&cluster, &pet, &tasks, shards, None, repeats);
+        let m = measure(
+            &cluster,
+            &pet,
+            &tasks,
+            shards,
+            None,
+            repeats,
+            ReusePolicy::Off,
+        );
         let faulted =
             measure_under_faults(&cluster, &pet, &tasks, shards, None);
         let ns = m.ns_per_arrival;
@@ -256,6 +285,8 @@ fn main() {
             robustness_pct: Some(m.robustness_pct),
             robustness_under_faults_pct: Some(faulted),
             gate: None,
+            reuse_hit_pct: None,
+            arrivals_per_sec: Some(1e9 / ns),
         });
     }
 
@@ -279,6 +310,7 @@ fn main() {
             PARALLEL_SHARDS,
             Some(threads),
             repeats,
+            ReusePolicy::Off,
         );
         let faulted = measure_under_faults(
             &cluster,
@@ -322,7 +354,63 @@ fn main() {
             robustness_under_faults_pct: Some(faulted),
             gate: (threads == 4 && thread_gate_skipped)
                 .then(|| "skipped(cores<4)".to_string()),
+            reuse_hit_pct: None,
+            arrivals_per_sec: Some(1e9 / ns),
         });
+    }
+
+    // Family 3: the function-reuse gate on duplicate-bearing streams
+    // (serial driver at 4 shards). For each duplicate rate, the same
+    // stream runs with the gate off and with exact dedup; the Off run
+    // is the rate's own yardstick, so `speedup` is what absorbing
+    // duplicates buys in ingest throughput on this workload, and
+    // `reuse_hit_pct` records how much of the stream was absorbed.
+    for rate_pct in [0u64, 10, 30] {
+        let dup_tasks: Vec<Task> =
+            taskprune_workload::TaskStream::from_tasks(tasks.clone())
+                .with_duplicate_rate(rate_pct as f64 / 100.0, DUP_STREAM_SEED)
+                .collect();
+        let mut off_ns = f64::NAN;
+        for (name, policy) in
+            [("off", ReusePolicy::Off), ("exact", ReusePolicy::ExactOnly)]
+        {
+            let m = measure(
+                &cluster,
+                &pet,
+                &dup_tasks,
+                PARALLEL_SHARDS,
+                None,
+                repeats,
+                policy,
+            );
+            let ns = m.ns_per_arrival;
+            if policy == ReusePolicy::Off {
+                off_ns = ns;
+            }
+            let hit_pct =
+                100.0 * m.reuse.absorbed() as f64 / dup_tasks.len() as f64;
+            eprintln!(
+                "gateway_reuse {name} at {rate_pct} % duplicates: \
+                 {ns:>9.0} ns/arrival ({:>9.0} arrivals/s), {:.2}x vs \
+                 gate off, {hit_pct:.1} % absorbed, robustness {:.1} %",
+                1e9 / ns,
+                off_ns / ns,
+                m.robustness_pct,
+            );
+            entries.push(BenchEntry {
+                scenario: format!("gateway_reuse_{name}_d{rate_pct}"),
+                queue_depth: PARALLEL_SHARDS,
+                pet_support: dup_tasks.len(),
+                incremental_ns: ns,
+                scratch_ns: off_ns,
+                speedup: off_ns / ns,
+                robustness_pct: Some(m.robustness_pct),
+                robustness_under_faults_pct: None,
+                gate: None,
+                reuse_hit_pct: Some(hit_pct),
+                arrivals_per_sec: Some(1e9 / ns),
+            });
+        }
     }
 
     let mut series = BenchSeries::load_or_new(
@@ -343,7 +431,14 @@ fn main() {
          the same scenario supervised under the fixed 0xFA01 FaultPlan \
          storm with a zero retry budget (worst-case degraded mode; the \
          gap to robustness_pct is the tracked fault-tolerance signal). \
-         One commit-stamped run appended per invocation.",
+         The gateway_reuse_{off,exact}_d{0,10,30} family runs the same \
+         workload with content-keyed duplicates injected at 0/10/30 % \
+         (seed 0xD0B1) through a 4-shard serial federation with the \
+         function-reuse gate off vs exact dedup: scratch_ns = that \
+         rate's gate-off run, speedup = ingest-throughput gain from \
+         absorbing duplicates, reuse_hit_pct = % of arrivals absorbed, \
+         arrivals_per_sec = raw ingest rate. One commit-stamped run \
+         appended per invocation.",
     )
     .expect("unreadable bench series — fix or remove it before appending");
     series.append(commit.clone(), entries);

@@ -133,6 +133,8 @@ fn main() {
                     robustness_pct: None,
                     robustness_under_faults_pct: None,
                     gate: None,
+                    reuse_hit_pct: None,
+                    arrivals_per_sec: None,
                 });
             };
 

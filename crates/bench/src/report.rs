@@ -125,6 +125,16 @@ pub struct BenchEntry {
     /// and it was waived — so a waived run is visible in the tracked
     /// series instead of reading as a silent pass.
     pub gate: Option<String>,
+    /// Percentage of ingested arrivals the function-reuse gate absorbed
+    /// (dedup hits + merges over total arrivals) in the measured run.
+    /// `None` for scenarios without a reuse gate (including every entry
+    /// recorded before the gate existed).
+    pub reuse_hit_pct: Option<f64>,
+    /// Ingest throughput of the measured run in arrivals per wall-clock
+    /// second — tracked beside [`BenchEntry::reuse_hit_pct`] so the
+    /// series shows what absorbing duplicates at the gateway buys in
+    /// raw ingest rate. `None` for pure micro-benchmarks.
+    pub arrivals_per_sec: Option<f64>,
 }
 
 // Hand-written (de)serialization instead of the derive: runs recorded
@@ -146,6 +156,11 @@ impl Serialize for BenchEntry {
                 self.robustness_under_faults_pct.to_value(),
             ),
             ("gate".to_string(), self.gate.to_value()),
+            ("reuse_hit_pct".to_string(), self.reuse_hit_pct.to_value()),
+            (
+                "arrivals_per_sec".to_string(),
+                self.arrivals_per_sec.to_value(),
+            ),
         ])
     }
 }
@@ -174,6 +189,14 @@ impl Deserialize for BenchEntry {
             gate: match v.get_opt("gate") {
                 Some(field) => Deserialize::from_value(field)?,
                 None => None, // pre-PR6 run: field absent
+            },
+            reuse_hit_pct: match v.get_opt("reuse_hit_pct") {
+                Some(field) => Deserialize::from_value(field)?,
+                None => None, // pre-PR8 run: field absent
+            },
+            arrivals_per_sec: match v.get_opt("arrivals_per_sec") {
+                Some(field) => Deserialize::from_value(field)?,
+                None => None, // pre-PR8 run: field absent
             },
         })
     }
@@ -560,6 +583,8 @@ mod tests {
             robustness_pct: None,
             robustness_under_faults_pct: None,
             gate: None,
+            reuse_hit_pct: None,
+            arrivals_per_sec: None,
         }
     }
 
@@ -575,14 +600,20 @@ mod tests {
             serde_json::from_str(legacy).expect("legacy entry parses");
         assert_eq!(parsed.robustness_pct, None);
         assert_eq!(parsed.robustness_under_faults_pct, None);
+        assert_eq!(parsed.reuse_hit_pct, None);
+        assert_eq!(parsed.arrivals_per_sec, None);
         let mut with_field = parsed.clone();
         with_field.robustness_pct = Some(84.5);
         with_field.robustness_under_faults_pct = Some(61.2);
+        with_field.reuse_hit_pct = Some(23.1);
+        with_field.arrivals_per_sec = Some(1.25e6);
         let json = serde_json::to_string(&with_field).unwrap();
         let back: BenchEntry =
             serde_json::from_str(&json).expect("new entry parses");
         assert_eq!(back.robustness_pct, Some(84.5));
         assert_eq!(back.robustness_under_faults_pct, Some(61.2));
+        assert_eq!(back.reuse_hit_pct, Some(23.1));
+        assert_eq!(back.arrivals_per_sec, Some(1.25e6));
         assert_eq!(back.scenario, "tail_drop");
         assert_eq!(back.speedup, 10.0);
     }
@@ -698,6 +729,8 @@ mod tests {
             robustness_pct: None,
             robustness_under_faults_pct: None,
             gate: None,
+            reuse_hit_pct: None,
+            arrivals_per_sec: None,
         };
         series.append("d", vec![cross_machine]);
         let ratio = series.check_regression(0.15).expect("machine-neutral");
@@ -756,6 +789,8 @@ mod tests {
             robustness_pct: None,
             robustness_under_faults_pct: None,
             gate: None,
+            reuse_hit_pct: None,
+            arrivals_per_sec: None,
         };
         let mut series = BenchSeries {
             name: "probe".to_string(),

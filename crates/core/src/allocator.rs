@@ -12,8 +12,8 @@ use taskprune_heuristics::HeuristicKind;
 use taskprune_model::{Cluster, PetMatrix, Task};
 use taskprune_sim::{
     ConfigError, FaultPlan, FederationStats, GatewayBuilder, MappingStrategy,
-    RecoveryPolicy, RoutePolicy, RunError, SchedulerBuilder, SimConfig,
-    SimStats, Snapshot, SnapshotError, Supervisor,
+    RecoveryPolicy, ReusePolicy, RoutePolicy, RunError, SchedulerBuilder,
+    SimConfig, SimStats, Snapshot, SnapshotError, Supervisor,
 };
 
 /// Builder for one simulation run: pick a heuristic, optionally attach
@@ -27,6 +27,7 @@ pub struct ResourceAllocator<'a> {
     strategy: Option<MappingStrategy>,
     pruning: Option<PruningConfig>,
     trace: Option<taskprune_sim::TraceLog>,
+    reuse: ReusePolicy,
 }
 
 impl<'a> ResourceAllocator<'a> {
@@ -45,7 +46,18 @@ impl<'a> ResourceAllocator<'a> {
             strategy: None,
             pruning: None,
             trace: None,
+            reuse: ReusePolicy::Off,
         }
+    }
+
+    /// Sets the federation's function-reuse policy (exact-duplicate
+    /// piggybacking and deadline-window merging at the gateway; see
+    /// [`taskprune_sim::ReusePolicy`]). Default: off. Only the
+    /// federated entry points observe it — the single-cluster
+    /// [`ResourceAllocator::run`] has no gateway to host the cache.
+    pub fn reuse(mut self, policy: ReusePolicy) -> Self {
+        self.reuse = policy;
+        self
     }
 
     /// Enables execution tracing with default sizing; the log comes back
@@ -314,6 +326,7 @@ impl<'a> ResourceAllocator<'a> {
             strategy: None,
             pruning: self.pruning,
             trace: None,
+            reuse: self.reuse,
         }
     }
 
@@ -346,6 +359,7 @@ impl<'a> ResourceAllocator<'a> {
             .config(self.sim)
             .shards(shards)
             .policy_boxed(policy)
+            .reuse(self.reuse)
             .strategy_with(move |_| kind.make());
         if let Some(cfg) = pruning {
             builder = builder.pruner_with(move |_| {

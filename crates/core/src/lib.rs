@@ -79,10 +79,11 @@ pub mod prelude {
     pub use taskprune_heuristics::{BestChanceRoute, HeuristicKind};
     pub use taskprune_model::{Cluster, PetMatrix, SimTime, Task, TaskOutcome};
     pub use taskprune_sim::{
-        FaultKind, FaultPlan, FaultSpec, FederationStats, GatewayBuilder,
-        LeastQueuedRoute, ParallelFederatedEngine, ParallelSupervisor,
-        RecoveryLog, RecoveryPolicy, RoundRobinRoute, RoutePolicy, RunError,
-        SimConfig, SimStats, Supervisor,
+        Admission, FaultKind, FaultPlan, FaultSpec, FederationStats,
+        GatewayBuilder, LeastQueuedRoute, ParallelFederatedEngine,
+        ParallelSupervisor, RecoveryLog, RecoveryPolicy, ReusePolicy,
+        ReuseStats, RoundRobinRoute, RoutePolicy, RunError, SimConfig,
+        SimStats, Supervisor,
     };
     pub use taskprune_workload::{
         ArrivalPattern, PetGenConfig, WorkloadConfig,

@@ -41,6 +41,7 @@
 
 use crate::config::{AllocationMode, SimConfig};
 use crate::queue::MachineQueue;
+use crate::reuse::{ReuseLedger, ReuseStats};
 use crate::sink::{NullSink, Sink};
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::stats::SimStats;
@@ -168,6 +169,11 @@ pub struct SchedulerCore<'a, S: Sink = NullSink> {
     drop_buf: Vec<(MachineId, TaskId)>,
     /// Reused per-machine id list sliced out of `drop_buf`.
     drop_ids_buf: Vec<TaskId>,
+    /// Function-reuse follower ledger: followers parked on in-flight
+    /// primaries, resolved by the primary's single terminal outcome
+    /// (see [`crate::reuse`]). Inactive (and cost-free) unless the
+    /// gateway enables reuse.
+    reuse: ReuseLedger,
 }
 
 impl<'a, S: Sink> SchedulerCore<'a, S> {
@@ -206,6 +212,7 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
             deferred_buf: HashSet::new(),
             drop_buf: Vec::new(),
             drop_ids_buf: Vec::new(),
+            reuse: ReuseLedger::new(),
         }
     }
 
@@ -232,6 +239,7 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
             deferred_buf: self.deferred_buf,
             drop_buf: self.drop_buf,
             drop_ids_buf: self.drop_ids_buf,
+            reuse: self.reuse,
         }
     }
 
@@ -307,6 +315,7 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
         }
         let rt = q.complete_running();
         let on_time = self.now <= rt.task.deadline;
+        let exec_ticks = (self.now - rt.start).ticks();
         self.begin_report();
         self.stats.record_outcome(
             &rt.task,
@@ -316,8 +325,7 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
                 TaskOutcome::CompletedLate
             },
         );
-        self.stats
-            .record_execution((self.now - rt.start).ticks(), on_time);
+        self.stats.record_execution(exec_ticks, on_time);
         self.report.completed.push((rt.task, on_time));
         self.sink.record(
             self.now,
@@ -326,8 +334,150 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
                 on_time,
             },
         );
+        self.reuse.record_exec(rt.task.id, exec_ticks);
+        self.fan_out_completion(rt.task.id, exec_ticks);
         self.mapping_event(None);
         true
+    }
+
+    /// Delivers the single result of a completed primary to every
+    /// follower parked on it, each judged against its **own** deadline.
+    /// Followers consumed no machine time: each credits the primary's
+    /// measured execution to the cycles-saved counter instead.
+    fn fan_out_completion(&mut self, primary: TaskId, exec_ticks: u64) {
+        let Some(followers) = self.reuse.take_followers(primary) else {
+            return;
+        };
+        for f in followers {
+            let on_time = self.now <= f.deadline;
+            self.stats.record_outcome(
+                &f,
+                if on_time {
+                    TaskOutcome::CompletedOnTime
+                } else {
+                    TaskOutcome::CompletedLate
+                },
+            );
+            self.reuse.add_saved(exec_ticks);
+            self.sink.record(
+                self.now,
+                TraceEvent::Completed {
+                    task: f.id,
+                    on_time,
+                },
+            );
+        }
+    }
+
+    /// Fate-sharing on primary failure: followers of a primary that
+    /// never produces a result inherit its terminal outcome (they were
+    /// never queued anywhere, so nothing else can resolve them).
+    fn fan_out_failure(&mut self, primary: TaskId, outcome: TaskOutcome) {
+        let Some(followers) = self.reuse.take_followers(primary) else {
+            return;
+        };
+        for f in followers {
+            self.stats.record_outcome(&f, outcome);
+            let ev = match outcome {
+                TaskOutcome::DroppedReactive => {
+                    Some(TraceEvent::DroppedReactive { task: f.id })
+                }
+                TaskOutcome::DroppedProactive => {
+                    Some(TraceEvent::DroppedProactive { task: f.id })
+                }
+                TaskOutcome::CancelledRunning => {
+                    Some(TraceEvent::Cancelled { task: f.id })
+                }
+                TaskOutcome::Rejected => {
+                    Some(TraceEvent::Rejected { task: f.id })
+                }
+                _ => None,
+            };
+            if let Some(ev) = ev {
+                self.sink.record(self.now, ev);
+            }
+        }
+    }
+
+    /// Absorbs one follower onto `primary` (both ids shard-internal),
+    /// the core half of a gateway reuse admission. Resolution depends
+    /// only on state this core rebuilt deterministically:
+    ///
+    /// * primary already completed → the follower resolves instantly
+    ///   against its own deadline and credits the recorded execution
+    ///   time as saved cycles;
+    /// * primary already failed → the follower cannot share a result
+    ///   that never existed, so it falls back to a normal arrival on
+    ///   this shard (deterministic: the outcome table is identical at
+    ///   this point on every replica);
+    /// * primary in flight → the follower parks in the ledger until
+    ///   the primary's terminal outcome fans out.
+    pub(crate) fn apply_piggyback(
+        &mut self,
+        primary: TaskId,
+        task: Task,
+        merged: bool,
+    ) {
+        debug_assert!(
+            task.arrival <= self.now,
+            "piggyback arrival {:?} is in the future; advance first",
+            task.arrival
+        );
+        debug_assert!(
+            self.reuse.is_active(),
+            "piggyback delivered to a core whose reuse ledger is off",
+        );
+        match self.stats.outcome(primary) {
+            Some(TaskOutcome::CompletedOnTime | TaskOutcome::CompletedLate) => {
+                self.stats.record_arrival(&task);
+                self.reuse.note_hit(merged);
+                let on_time = self.now <= task.deadline;
+                self.stats.record_outcome(
+                    &task,
+                    if on_time {
+                        TaskOutcome::CompletedOnTime
+                    } else {
+                        TaskOutcome::CompletedLate
+                    },
+                );
+                let saved = self.reuse.exec_ticks(primary);
+                self.reuse.add_saved(saved);
+                self.sink
+                    .record(self.now, TraceEvent::Arrived { task: task.id });
+                self.sink.record(
+                    self.now,
+                    TraceEvent::Completed {
+                        task: task.id,
+                        on_time,
+                    },
+                );
+            }
+            Some(_) => {
+                // The primary failed before this follower arrived:
+                // nothing to share — run the follower for real.
+                self.push_arrival(task);
+            }
+            None => {
+                self.stats.record_arrival(&task);
+                self.reuse.note_hit(merged);
+                self.reuse.add_follower(primary, task);
+                self.sink
+                    .record(self.now, TraceEvent::Arrived { task: task.id });
+            }
+        }
+    }
+
+    /// Enables (or disables) the reuse ledger; set by the gateway
+    /// builder when a [`crate::ReusePolicy`] other than `Off` is
+    /// configured.
+    pub(crate) fn set_reuse_active(&mut self, active: bool) {
+        self.reuse.set_active(active);
+    }
+
+    /// This core's accumulated reuse counters (all zero when reuse is
+    /// off).
+    pub(crate) fn reuse_stats(&self) -> ReuseStats {
+        *self.reuse.stats()
     }
 
     /// Runs a synthetic mapping event at the current clock: nothing
@@ -368,6 +518,12 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
             .collect();
         for t in leftovers {
             self.stats.record_outcome(&t, TaskOutcome::Unfinished);
+            self.fan_out_failure(t.id, TaskOutcome::Unfinished);
+        }
+        // Safety net: followers whose primary never reached a terminal
+        // outcome on this core (canonical order — see the ledger).
+        for f in self.reuse.drain_remaining() {
+            self.stats.record_outcome(&f, TaskOutcome::Unfinished);
         }
         self.stats.end_time = self.now;
         self.stats.trace = self.sink.into_trace();
@@ -437,6 +593,7 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
     /// arrival record, shadows this one in federation-level lookups).
     pub(crate) fn record_unfinished(&mut self, task: &Task) {
         self.stats.record_outcome(task, TaskOutcome::Unfinished);
+        self.fan_out_failure(task.id, TaskOutcome::Unfinished);
     }
 
     /// Simulated crash: forgets the recoverable in-memory scheduling
@@ -459,6 +616,7 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
         self.decisions_spare.clear();
         self.starts.clear();
         self.starts_spare.clear();
+        self.reuse.clear();
     }
 
     /// Degraded-mode load shedding: multiplies the pruner's aggression
@@ -500,6 +658,7 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
                 ("strategy".to_owned(), self.strategy.snapshot_state()),
                 ("pruner".to_owned(), self.pruner.snapshot_state()),
                 ("sink".to_owned(), self.sink.snapshot_state()),
+                ("reuse".to_owned(), self.reuse.state_value()),
             ]),
         )
     }
@@ -538,6 +697,11 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
             .restore_state(payload.get_field("strategy")?)?;
         self.pruner.restore_state(payload.get_field("pruner")?)?;
         self.sink.restore_state(payload.get_field("sink")?)?;
+        match payload.get_opt("reuse") {
+            Some(state) => self.reuse.restore_value(state)?,
+            // Pre-reuse snapshot: nothing was parked.
+            None => self.reuse.clear(),
+        }
         self.now = now;
         self.arrival_queue = arrival_queue;
         self.stats = stats;
@@ -616,6 +780,10 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
                         self.now,
                         TraceEvent::Cancelled { task: rt.task.id },
                     );
+                    self.fan_out_failure(
+                        rt.task.id,
+                        TaskOutcome::CancelledRunning,
+                    );
                 }
             }
         }
@@ -640,6 +808,7 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
             self.decisions.push(Decision::DropReactive { task: t.id });
             self.sink
                 .record(self.now, TraceEvent::DroppedReactive { task: t.id });
+            self.fan_out_failure(t.id, TaskOutcome::DroppedReactive);
         }
 
         // Freed machines pick up their queue heads immediately (physical
@@ -681,6 +850,7 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
                         self.now,
                         TraceEvent::DroppedProactive { task: t.id },
                     );
+                    self.fan_out_failure(t.id, TaskOutcome::DroppedProactive);
                 }
             }
             self.drop_ids_buf = ids;
@@ -712,6 +882,7 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
             self.decisions.push(Decision::Reject { task: task.id });
             self.sink
                 .record(self.now, TraceEvent::Rejected { task: task.id });
+            self.fan_out_failure(task.id, TaskOutcome::Rejected);
             return;
         }
         let chosen = {

@@ -34,6 +34,7 @@ use crate::core::{Decision, SchedulerCore, Start};
 use crate::event::EventKind;
 use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::journal::{JournalOp, ShardJournal};
+use crate::reuse::{Admission, Admit, ReuseGate, ReusePolicy, ReuseStats};
 use crate::route::{RoundRobinRoute, RoutePolicy, ShardView};
 use crate::sink::{NullSink, Sink};
 use crate::snapshot::{Snapshot, SnapshotError};
@@ -181,12 +182,17 @@ pub struct Gateway<'a, S: Sink = NullSink> {
     /// Shards a supervisor has taken out of rotation after exhausting
     /// their recovery budget. Routing remaps around them.
     quarantined: Vec<bool>,
+    /// Coordinator-side reuse cache: decides, in global arrival order,
+    /// which arrivals absorb onto an in-flight primary instead of
+    /// routing (see [`crate::reuse`]).
+    reuse: ReuseGate,
 }
 
 impl<'a, S: Sink> Gateway<'a, S> {
     fn from_parts(
         shards: Vec<SchedulerCore<'a, S>>,
         policy: Box<dyn RoutePolicy>,
+        reuse: ReuseGate,
     ) -> Self {
         let n = shards.len();
         Self {
@@ -198,6 +204,7 @@ impl<'a, S: Sink> Gateway<'a, S> {
             decisions: Vec::new(),
             starts: Vec::new(),
             quarantined: vec![false; n],
+            reuse,
         }
     }
 
@@ -241,6 +248,14 @@ impl<'a, S: Sink> Gateway<'a, S> {
     /// and it owes the batch-queue salvage that goes with it.
     pub(crate) fn set_quarantined(&mut self, shard: usize) {
         self.quarantined[shard] = true;
+        // Nothing may piggyback onto a quarantined shard's in-flight
+        // work from here on — it will never complete.
+        self.reuse.evict_shard(shard);
+    }
+
+    /// The configured reuse policy.
+    pub fn reuse_policy(&self) -> ReusePolicy {
+        self.reuse.policy()
     }
 
     /// The federation clock (all shards share one timeline). Taken as
@@ -266,15 +281,78 @@ impl<'a, S: Sink> Gateway<'a, S> {
         }
     }
 
-    /// Routes one arriving task (carrying its *external* id), compacts
-    /// the id into the chosen shard's dense space, and runs that
-    /// shard's mapping event. Returns the routed shard and the internal
-    /// id assigned.
-    pub fn push_arrival(&mut self, task: Task) -> (usize, TaskId) {
+    /// Admits one arriving task (carrying its *external* id): consults
+    /// the reuse gate, then either routes it — compacting the id into
+    /// the chosen shard's dense space and running that shard's mapping
+    /// event — or absorbs it onto an in-flight primary (exact
+    /// duplicate or deadline-window merge, per the configured
+    /// [`ReusePolicy`]). The returned [`Admission`] says which happened
+    /// and carries the shard and internal id either way.
+    pub fn push_arrival(&mut self, task: Task) -> Admission {
+        match self.admit_route(task) {
+            Admit::Fresh { shard, task } => {
+                let internal = task.id;
+                self.shards[shard].push_arrival(task);
+                Admission::Routed { shard, internal }
+            }
+            Admit::Absorb {
+                shard,
+                primary,
+                task,
+                merged,
+            } => {
+                let internal = task.id;
+                self.shards[shard].apply_piggyback(primary, task, merged);
+                if merged {
+                    Admission::Merged {
+                        shard,
+                        primary,
+                        internal,
+                    }
+                } else {
+                    Admission::Piggybacked {
+                        shard,
+                        primary,
+                        internal,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The admission half of [`Gateway::push_arrival`]: consults the
+    /// reuse gate in global arrival order, then either records an
+    /// absorption (compacting an internal id for the follower so its
+    /// outcome has a dense slot) or routes via
+    /// [`Gateway::route_only`] and registers the fresh task as a live
+    /// primary. Does **not** touch any shard; the caller owes the
+    /// target shard the matching `push_arrival`/`apply_piggyback` (the
+    /// parallel driver delivers it through a mailbox instead of
+    /// inline).
+    pub(crate) fn admit_route(&mut self, task: Task) -> Admit {
+        if let Some((shard, primary, merged)) = self.reuse.admit(&task) {
+            let internal = self.compact.assign(shard, task.id);
+            self.latest.insert(task.id.0, (shard as u32, internal));
+            self.arrival_order.push(FedArrival {
+                shard: shard as u32,
+                internal,
+                external: task.id,
+            });
+            let mut relabelled = task;
+            relabelled.id = internal;
+            return Admit::Absorb {
+                shard,
+                primary,
+                task: relabelled,
+                merged,
+            };
+        }
         let (shard, relabelled) = self.route_only(task);
-        let internal = relabelled.id;
-        self.shards[shard].push_arrival(relabelled);
-        (shard, internal)
+        self.reuse.register(&task, shard, relabelled.id);
+        Admit::Fresh {
+            shard,
+            task: relabelled,
+        }
     }
 
     /// The routing half of [`Gateway::push_arrival`]: picks the shard,
@@ -456,6 +534,7 @@ impl<'a, S: Sink> Gateway<'a, S> {
                 ("arrival_order".to_owned(), self.arrival_order.to_value()),
                 ("policy".to_owned(), self.policy.snapshot_state()),
                 ("quarantined".to_owned(), self.quarantined.to_value()),
+                ("reuse".to_owned(), self.reuse.state_value()),
             ]),
         )
     }
@@ -505,6 +584,12 @@ impl<'a, S: Sink> Gateway<'a, S> {
             }
             None => vec![false; self.shards.len()],
         };
+        // Pre-reuse snapshots carry no gate state; absent means the
+        // cache was empty (or the subsystem didn't exist) at capture.
+        match payload.get_opt("reuse") {
+            Some(state) => self.reuse.restore_value(state)?,
+            None => self.reuse = ReuseGate::new(self.reuse.policy()),
+        }
         // Replaying the arrival order front to back makes the latest
         // occurrence of each external id win — the live invariant.
         self.latest = self
@@ -520,6 +605,10 @@ impl<'a, S: Sink> Gateway<'a, S> {
     /// Finishes every shard and returns the federation's outcome
     /// record.
     pub fn finish(self) -> FederationStats {
+        let mut reuse = ReuseStats::default();
+        for shard in &self.shards {
+            reuse.accumulate(&shard.reuse_stats());
+        }
         FederationStats {
             per_shard: self
                 .shards
@@ -528,6 +617,7 @@ impl<'a, S: Sink> Gateway<'a, S> {
                 .collect(),
             arrivals: self.arrival_order,
             recovery: RecoveryLog::default(),
+            reuse,
         }
     }
 }
@@ -588,6 +678,11 @@ pub struct FederationStats {
     /// against fault-free ones on serialized stats, and the log
     /// records *how* the outcome was reached, not the outcome itself.
     pub(crate) recovery: RecoveryLog,
+    /// Federation-wide reuse counters (exact hits, window merges,
+    /// machine-ticks saved). Excluded from the wire shape for the same
+    /// reason as the recovery log: serialized stats must stay
+    /// bit-identical across reuse configurations.
+    pub(crate) reuse: ReuseStats,
 }
 
 /// The wire shape is exactly the pre-supervisor `{per_shard,
@@ -608,6 +703,7 @@ impl Deserialize for FederationStats {
             per_shard: Vec::<SimStats>::from_value(v.get_field("per_shard")?)?,
             arrivals: Vec::<FedArrival>::from_value(v.get_field("arrivals")?)?,
             recovery: RecoveryLog::default(),
+            reuse: ReuseStats::default(),
         })
     }
 }
@@ -624,6 +720,15 @@ impl FederationStats {
     /// (serialize the log itself for durable audit trails).
     pub fn recovery_log(&self) -> &RecoveryLog {
         &self.recovery
+    }
+
+    /// Federation-wide reuse counters: exact-duplicate hits, window
+    /// merges, and the machine-ticks absorbed followers did not
+    /// consume. All zero when [`ReusePolicy::Off`] (or when the stats
+    /// were deserialized — like the recovery log, reuse counters are
+    /// observability and stay off the serialized wire shape).
+    pub fn reuse_stats(&self) -> ReuseStats {
+        self.reuse
     }
 
     /// The global arrival sequence (routing + id assignments).
@@ -771,6 +876,7 @@ pub struct GatewayBuilder<'a, S: Sink = NullSink> {
     strategy_fn: Option<StrategyFn<'a>>,
     pruner_fn: Option<PrunerFn<'a>>,
     sink_fn: Box<dyn FnMut(usize) -> S + 'a>,
+    reuse: ReusePolicy,
 }
 
 impl<'a> GatewayBuilder<'a, NullSink> {
@@ -789,6 +895,7 @@ impl<'a> GatewayBuilder<'a, NullSink> {
             strategy_fn: None,
             pruner_fn: None,
             sink_fn: Box::new(|_| NullSink),
+            reuse: ReusePolicy::Off,
         }
     }
 }
@@ -850,6 +957,15 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
         self
     }
 
+    /// Sets the gateway's function-reuse policy: whether (and how
+    /// aggressively) arrivals absorb onto in-flight primaries instead
+    /// of executing individually. Default: [`ReusePolicy::Off`], which
+    /// is bit-identical to a gateway without the subsystem.
+    pub fn reuse(mut self, policy: ReusePolicy) -> Self {
+        self.reuse = policy;
+        self
+    }
+
     /// Separates the shards' belief from ground truth (see
     /// [`crate::SchedulerBuilder::truth`]); the [`FederatedEngine`]
     /// samples actual durations from `truth`.
@@ -875,6 +991,7 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
             strategy_fn: self.strategy_fn,
             pruner_fn: self.pruner_fn,
             sink_fn: Box::new(f),
+            reuse: self.reuse,
         }
     }
 
@@ -912,10 +1029,19 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
             }
             shards.push(b.sink((self.sink_fn)(i)).build_core()?);
         }
+        if self.reuse.is_enabled() {
+            for core in &mut shards {
+                core.set_reuse_active(true);
+            }
+        }
         let policy = self
             .policy
             .unwrap_or_else(|| Box::new(RoundRobinRoute::new()));
-        Ok(Gateway::from_parts(shards, policy))
+        Ok(Gateway::from_parts(
+            shards,
+            policy,
+            ReuseGate::new(self.reuse),
+        ))
     }
 
     /// Builds the federated discrete-event driver (the gateway plus a
@@ -1277,12 +1403,41 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
                 if let Some(log) = &mut self.arrival_log {
                     log.push(task);
                 }
-                let (shard, relabelled) = self.gateway.route_only(task);
-                if let Some(journals) = &mut self.journals {
-                    journals[shard].record(at, JournalOp::Arrival(relabelled));
-                }
-                self.applied_since_ckpt[shard] += 1;
-                self.gateway.shards_mut()[shard].push_arrival(relabelled);
+                let shard = match self.gateway.admit_route(task) {
+                    Admit::Fresh { shard, task } => {
+                        if let Some(journals) = &mut self.journals {
+                            journals[shard]
+                                .record(at, JournalOp::Arrival(task));
+                        }
+                        self.applied_since_ckpt[shard] += 1;
+                        self.gateway.shards_mut()[shard].push_arrival(task);
+                        shard
+                    }
+                    Admit::Absorb {
+                        shard,
+                        primary,
+                        task,
+                        merged,
+                    } => {
+                        // Journal before delivery, like completions: a
+                        // recovered shard replays the absorption and
+                        // rebuilds its follower ledger exactly.
+                        if let Some(journals) = &mut self.journals {
+                            journals[shard].record(
+                                at,
+                                JournalOp::Piggyback {
+                                    primary,
+                                    task,
+                                    merged,
+                                },
+                            );
+                        }
+                        self.applied_since_ckpt[shard] += 1;
+                        self.gateway.shards_mut()[shard]
+                            .apply_piggyback(primary, task, merged);
+                        shard
+                    }
+                };
                 self.arrivals_ingested += 1;
                 if self
                     .injector
@@ -1867,8 +2022,20 @@ mod tests {
             SimTime(0),
             SimTime(100_000),
         );
-        assert_eq!(gw.push_arrival(t0), (0, TaskId(0)));
-        assert_eq!(gw.push_arrival(t1), (1, TaskId(0)));
+        assert_eq!(
+            gw.push_arrival(t0),
+            Admission::Routed {
+                shard: 0,
+                internal: TaskId(0)
+            }
+        );
+        assert_eq!(
+            gw.push_arrival(t1),
+            Admission::Routed {
+                shard: 1,
+                internal: TaskId(0)
+            }
+        );
         assert_eq!(gw.resolve(TaskId(9_000_000_555_000)), Some((1, TaskId(0))));
         // Decisions and starts surface the external ids.
         let decisions = gw.drain_decisions().to_vec();

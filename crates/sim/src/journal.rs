@@ -39,6 +39,19 @@ pub enum JournalOp {
     },
     /// An idle-cluster deadline wakeup (Fig. 5 reactive pruning).
     Wakeup,
+    /// A reuse absorption: a follower delivered onto an in-flight
+    /// primary instead of routing (see [`crate::reuse`]). Replayed
+    /// through [`crate::SchedulerCore`]'s piggyback path so a
+    /// recovered shard rebuilds its follower ledger exactly.
+    Piggyback {
+        /// The primary's shard-internal id.
+        primary: TaskId,
+        /// The relabelled follower exactly as it was absorbed.
+        task: Task,
+        /// Whether this was a deadline-window merge (vs an exact
+        /// duplicate).
+        merged: bool,
+    },
 }
 
 /// A journal record: when the operation was applied, and what it was.
@@ -112,6 +125,11 @@ impl ShardJournal {
                     let _ = core.complete(machine, task);
                 }
                 JournalOp::Wakeup => core.wakeup(),
+                JournalOp::Piggyback {
+                    primary,
+                    task,
+                    merged,
+                } => core.apply_piggyback(primary, task, merged),
             }
             let _ = core.drain_starts();
             let _ = core.drain_decisions();

@@ -54,6 +54,12 @@
 //!   crash-failover (`replay(snapshot, log)` reproduces a shard
 //!   bit-identically) and live resharding (pause at an arrival
 //!   watermark, snapshot, re-split across K′ shards, resume).
+//! * [`ReusePolicy`] / [`Admission`] — the function-reuse layer: a
+//!   content-keyed gate at the gateway absorbs exact-duplicate and
+//!   deadline-window-mergeable arrivals onto their in-flight primary,
+//!   fanning the single completion out to every follower (each judged
+//!   against its own deadline). Off by default and bit-identical to a
+//!   gateway without it.
 //! * [`FaultPlan`] / [`Supervisor`] — the robustness layer: seeded,
 //!   replayable fault schedules injected into either federated driver,
 //!   and a self-healing supervisor that auto-checkpoints, detects
@@ -75,6 +81,7 @@ pub mod gateway;
 pub mod journal;
 pub mod parallel;
 pub mod queue;
+pub mod reuse;
 pub mod route;
 pub mod sink;
 pub mod snapshot;
@@ -117,6 +124,7 @@ pub use gateway::{
 };
 pub use journal::{JournalEntry, JournalOp, ShardJournal};
 pub use parallel::ParallelFederatedEngine;
+pub use reuse::{Admission, ReusePolicy, ReuseStats};
 pub use route::{LeastQueuedRoute, RoundRobinRoute, RoutePolicy, ShardView};
 pub use sink::{NullSink, Sink};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};

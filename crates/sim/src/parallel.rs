@@ -75,6 +75,7 @@ use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultSite};
 use crate::gateway::{FederationStats, Gateway};
 use crate::journal::{JournalOp, ShardJournal};
+use crate::reuse::Admit;
 use crate::sink::{NullSink, Sink};
 use crate::snapshot::Snapshot;
 use crate::supervisor::{
@@ -94,6 +95,10 @@ struct Mail {
     /// running maximum of arrival times (equal to `task.arrival` for
     /// the documented non-decreasing streams, later for stragglers).
     target: SimTime,
+    /// `Some((primary, merged))` when the coordinator's reuse gate
+    /// absorbed this task onto an in-flight primary: the lane delivers
+    /// it through the piggyback path instead of a mapping event.
+    reuse: Option<(TaskId, bool)>,
 }
 
 /// The lane-local half of the self-healing supervisor (see
@@ -233,6 +238,31 @@ impl LaneGuard {
     /// right after its mapping round commits.
     fn on_arrival(&mut self, time: SimTime, task: Task) -> bool {
         self.journal.record(time, JournalOp::Arrival(task));
+        self.arrivals_seen += 1;
+        self.fault_at(FaultSite::Arrival, self.arrivals_seen)
+            .is_some()
+    }
+
+    /// Journals one absorbed arrival (reuse piggyback); returns whether
+    /// the shard crashes right after the absorption commits. Counts
+    /// against the same arrival-site fault coordinates as a routed
+    /// arrival — the serial driver consults its injector once per
+    /// delivered arrival either way.
+    fn on_piggyback(
+        &mut self,
+        time: SimTime,
+        primary: TaskId,
+        task: Task,
+        merged: bool,
+    ) -> bool {
+        self.journal.record(
+            time,
+            JournalOp::Piggyback {
+                primary,
+                task,
+                merged,
+            },
+        );
         self.arrivals_seen += 1;
         self.fault_at(FaultSite::Arrival, self.arrivals_seen)
             .is_some()
@@ -520,16 +550,31 @@ impl ShardLane {
             // Fail-stopped shard: record the arrival so its outcome is
             // accounted (`Unfinished` at the drain — no machine will
             // ever start it), but dispatch nothing.
-            core.push_arrival(mail.task);
+            match mail.reuse {
+                Some((primary, merged)) => {
+                    core.apply_piggyback(primary, mail.task, merged);
+                }
+                None => core.push_arrival(mail.task),
+            }
             let _ = core.drain_starts();
             core.drain_decisions();
             return;
         }
         let crashed = match self.guard.as_mut() {
-            Some(g) => g.on_arrival(mail.target, mail.task),
+            Some(g) => match mail.reuse {
+                Some((primary, merged)) => {
+                    g.on_piggyback(mail.target, primary, mail.task, merged)
+                }
+                None => g.on_arrival(mail.target, mail.task),
+            },
             None => false,
         };
-        core.push_arrival(mail.task);
+        match mail.reuse {
+            Some((primary, merged)) => {
+                core.apply_piggyback(primary, mail.task, merged);
+            }
+            None => core.push_arrival(mail.task),
+        }
         self.dispatch_starts(core, truth);
         core.drain_decisions();
         if crashed {
@@ -863,11 +908,27 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
             if let Some(log) = self.arrival_log.as_mut() {
                 log.push(task);
             }
-            let (shard, relabelled) = self.gateway.route_only(task);
-            self.lanes[shard].mailbox.push_back(Mail {
-                task: relabelled,
-                target,
-            });
+            match self.gateway.admit_route(task) {
+                Admit::Fresh { shard, task } => {
+                    self.lanes[shard].mailbox.push_back(Mail {
+                        task,
+                        target,
+                        reuse: None,
+                    });
+                }
+                Admit::Absorb {
+                    shard,
+                    primary,
+                    task,
+                    merged,
+                } => {
+                    self.lanes[shard].mailbox.push_back(Mail {
+                        task,
+                        target,
+                        reuse: Some((primary, merged)),
+                    });
+                }
+            }
         }
     }
 
@@ -946,24 +1007,48 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
             // relabelled arrival and consult the crash schedule after
             // the mapping round commits — the same fault frontier the
             // mailbox path uses.
-            let (shard, relabelled) = self.gateway.route_only(task);
+            let (shard, reuse, relabelled) =
+                match self.gateway.admit_route(task) {
+                    Admit::Fresh { shard, task } => (shard, None, task),
+                    Admit::Absorb {
+                        shard,
+                        primary,
+                        task,
+                        merged,
+                    } => (shard, Some((primary, merged)), task),
+                };
             if self.lanes[shard].is_quarantined() {
                 // Only reachable when *every* shard is quarantined
                 // (route_only remaps around dead shards otherwise):
                 // record the arrival, start nothing.
                 let core = &mut self.gateway.shards_mut()[shard];
-                core.push_arrival(relabelled);
+                match reuse {
+                    Some((primary, merged)) => {
+                        core.apply_piggyback(primary, relabelled, merged);
+                    }
+                    None => core.push_arrival(relabelled),
+                }
                 let _ = core.drain_starts();
                 core.drain_decisions();
                 continue;
             }
             let crashed = match self.lanes[shard].guard.as_mut() {
-                Some(g) => g.on_arrival(target, relabelled),
+                Some(g) => match reuse {
+                    Some((primary, merged)) => {
+                        g.on_piggyback(target, primary, relabelled, merged)
+                    }
+                    None => g.on_arrival(target, relabelled),
+                },
                 None => false,
             };
             {
                 let core = &mut self.gateway.shards_mut()[shard];
-                core.push_arrival(relabelled);
+                match reuse {
+                    Some((primary, merged)) => {
+                        core.apply_piggyback(primary, relabelled, merged);
+                    }
+                    None => core.push_arrival(relabelled),
+                }
                 self.lanes[shard].dispatch_starts(core, truth);
                 core.drain_decisions();
             }

@@ -9,6 +9,13 @@
 //! policy, which reuses the Eq. 1 prefix chains through the estimate
 //! probes, lives with the other estimate-driven logic in
 //! `taskprune_heuristics::probe`.
+//!
+//! Policies only see arrivals that reach routing: a task the
+//! function-reuse gate absorbs onto an in-flight primary
+//! ([`crate::ReusePolicy`]) piggybacks on the primary's shard and
+//! **never advances the policy's cursor** — a round-robin federation
+//! with reuse enabled rotates once per *executed* task, not once per
+//! submitted one.
 
 use crate::view::SystemView;
 use taskprune_model::Task;

@@ -26,6 +26,16 @@
 //!   checkpoint, detection, retry, replay and quarantine with its
 //!   sim-time instant, deterministically: two runs of the same
 //!   `(seed, plan)` produce identical logs.
+//!
+//! Function-reuse absorption composes with both invariants: a
+//! piggybacked arrival counts against the same per-shard
+//! *arrival-ordinal* fault coordinates as a routed one (so one
+//! [`FaultPlan`] means the same thing whether a gate absorbs
+//! duplicates or not), and each absorption is journaled as
+//! [`crate::JournalOp::Piggyback`] before delivery, so checkpoint +
+//! journal replay reproduces a merging shard bit-identically —
+//! `tests/reuse_equivalence.rs` pins a full-budget storm over a
+//! merging run against its fault-free twin.
 
 use crate::config::RunError;
 use crate::fault::{FaultKind, FaultPlan};

@@ -69,6 +69,50 @@ impl TaskStream {
         }
     }
 
+    /// Interleaves content-keyed duplicate submissions into the stream:
+    /// after each task, with probability `rate` a recent task (one of
+    /// the last eight distinct submissions) is re-submitted verbatim —
+    /// same external id, type and value, i.e. the same *content key* —
+    /// arriving at the current instant with its deadline window
+    /// re-anchored there. This is the request mix a function-reuse
+    /// gateway exists for: multimedia serverless front-ends observe
+    /// large fractions of exactly-repeated requests (arXiv:1901.09312).
+    ///
+    /// Duplicates are drawn from a dedicated Xoshiro stream seeded by
+    /// `seed` — never from the simulator's ground-truth RNG — so adding
+    /// duplicates perturbs neither execution-time sampling nor any
+    /// other workload draw, and the duplicate pattern is reproducible
+    /// in isolation. A `rate` of `0.0` returns the stream unchanged.
+    /// Arrival sortedness is preserved.
+    pub fn with_duplicate_rate(self, rate: f64, seed: u64) -> TaskStream {
+        use taskprune_prob::rng::Xoshiro256PlusPlus;
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let mut recent: Vec<Task> = Vec::with_capacity(8);
+        let mut next_slot = 0usize;
+        let mut out: Vec<Task> = Vec::new();
+        for task in self.tasks {
+            out.push(task);
+            if recent.len() < 8 {
+                recent.push(task);
+            } else {
+                recent[next_slot] = task;
+                next_slot = (next_slot + 1) % 8;
+            }
+            if rate > 0.0 && rng.next_f64() < rate {
+                let pick = (rng.next() % recent.len() as u64) as usize;
+                let original = recent[pick];
+                let window = original.deadline.saturating_sub(original.arrival);
+                let mut dup = original;
+                dup.arrival = task.arrival;
+                dup.deadline = task.arrival + window;
+                out.push(dup);
+            }
+        }
+        TaskStream {
+            tasks: out.into_iter(),
+        }
+    }
+
     /// Relabels every task id as `base + id * stride`, turning a dense
     /// trial into one with sparse, snowflake-style external ids — what
     /// a real front-end hands a gateway, and exactly what the gateway's
@@ -197,6 +241,55 @@ mod tests {
             assert_eq!(s.deadline, b.deadline);
             assert_eq!(s.type_id, b.type_id);
         }
+    }
+
+    #[test]
+    fn duplicate_rate_injects_content_keyed_repeats_in_order() {
+        use std::collections::HashSet;
+        let pet = PetGenConfig::paper_heterogeneous(99).generate();
+        let trial = small_config().generate_trial(&pet, 0);
+        let originals: Vec<_> = trial.tasks.clone();
+        let n = originals.len();
+        let keys: HashSet<(u64, u16)> =
+            originals.iter().map(|t| (t.id.0, t.type_id.0)).collect();
+
+        // Rate 0 is the identity.
+        let untouched: Vec<_> = trial
+            .clone()
+            .into_source()
+            .with_duplicate_rate(0.0, 7)
+            .collect();
+        assert_eq!(untouched, originals);
+
+        let dup: Vec<_> = trial
+            .clone()
+            .into_source()
+            .with_duplicate_rate(0.3, 7)
+            .collect();
+        // Same seed => same stream; sortedness preserved.
+        let again: Vec<_> =
+            trial.into_source().with_duplicate_rate(0.3, 7).collect();
+        assert_eq!(dup, again);
+        assert!(dup.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+
+        // Roughly `rate` extra arrivals, every one sharing a content key
+        // with an original it trails (never precedes).
+        let extras = dup.len() - n;
+        assert!(
+            extras > n / 5 && extras < n / 2,
+            "expected ~30% duplicates, got {extras} of {n}"
+        );
+        for t in &dup {
+            assert!(keys.contains(&(t.id.0, t.type_id.0)));
+        }
+        let mut seen = HashSet::new();
+        let mut repeats = 0usize;
+        for t in &dup {
+            if !seen.insert((t.id.0, t.type_id.0)) {
+                repeats += 1;
+            }
+        }
+        assert_eq!(repeats, extras);
     }
 
     #[test]

@@ -138,8 +138,8 @@ fn main() {
             _ => {
                 let task = source.next().expect("peeked");
                 gateway.advance_to(task.arrival);
-                let (shard, _internal) = gateway.push_arrival(task);
-                routed[shard] += 1;
+                let admission = gateway.push_arrival(task);
+                routed[admission.shard()] += 1;
             }
         }
 

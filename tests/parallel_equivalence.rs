@@ -228,13 +228,25 @@ fn superseded_duplicate_external_id_completes_via_internal_handle() {
     let task =
         Task::new(external.0, TaskTypeId(0), SimTime(0), SimTime(100_000));
     // First submission lands on shard 0 and starts executing.
-    assert_eq!(gw.push_arrival(task), (0, TaskId(0)));
+    assert_eq!(
+        gw.push_arrival(task),
+        Admission::Routed {
+            shard: 0,
+            internal: TaskId(0)
+        }
+    );
     let first_start = gw.drain_starts()[0];
     assert_eq!(first_start.shard, 0);
     assert_eq!(first_start.task.id, external);
     // Re-submission of the same external id lands on shard 1 and
     // shadows the first instance in the latest-wins map.
-    assert_eq!(gw.push_arrival(task), (1, TaskId(0)));
+    assert_eq!(
+        gw.push_arrival(task),
+        Admission::Routed {
+            shard: 1,
+            internal: TaskId(0)
+        }
+    );
     let second_start = gw.drain_starts()[0];
     assert_eq!(second_start.shard, 1);
     assert_eq!(gw.resolve(external), Some((1, TaskId(0))));

@@ -1,0 +1,319 @@
+//! Function-reuse gate invariants.
+//!
+//! 1. **Off is invisible.** A gateway built with
+//!    `ReusePolicy::Off` (the default) serializes byte-identically to
+//!    one that never mentions reuse at all, under both the serial and
+//!    the parallel driver, at every (seed, shards, threads) tested —
+//!    and an *enabled* gate on a duplicate-free stream is equally
+//!    invisible, because a gate that never fires must not perturb the
+//!    simulation or the wire shape.
+//! 2. **Reuse is driver-agnostic.** With duplicates injected and the
+//!    gate absorbing them (exact and merge policies), the parallel
+//!    driver still serializes byte-identically to the serial one at
+//!    every thread count.
+//! 3. **Reuse never hurts robustness** (property test): on
+//!    duplicate-bearing streams, absorbing duplicates onto in-flight
+//!    primaries yields paper-trim robustness no worse than executing
+//!    every duplicate — the followers ride completions that arrive no
+//!    later than their own queued executions would have.
+//! 4. **Healing composes with merging.** A full-budget supervised run
+//!    of a *merging* federation under a seeded fault storm serializes
+//!    byte-identically to the fault-free merging run: piggybacked
+//!    absorptions journal and replay like any other arrival.
+
+mod common;
+
+use proptest::prelude::*;
+use taskprune::prelude::*;
+use taskprune::pruner::PruningMechanism;
+use taskprune_model::SimTime;
+use taskprune_sim::RecoveryActionKind;
+use taskprune_workload::TaskStream;
+
+fn fixture(seed: u64, scale: f64) -> (Cluster, PetMatrix, Vec<Task>) {
+    let pet = PetGenConfig::paper_heterogeneous(
+        taskprune::experiment::PET_MATRIX_SEED,
+    )
+    .generate();
+    let cluster = taskprune_workload::machines::heterogeneous_cluster();
+    let workload = WorkloadConfig {
+        total_tasks: common::scaled(1_500, scale) as usize,
+        span_tu: common::scaled(260, scale) as f64,
+        ..WorkloadConfig::paper_default(seed)
+    };
+    let tasks = workload.generate_trial(&pet, 0).tasks;
+    (cluster, pet, tasks)
+}
+
+/// `tasks` with content-keyed duplicates injected at `rate` from a
+/// dedicated duplicate-stream seed.
+fn with_duplicates(tasks: &[Task], rate: f64, seed: u64) -> Vec<Task> {
+    TaskStream::from_tasks(tasks.to_vec())
+        .with_duplicate_rate(rate, seed)
+        .collect()
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serializes")
+}
+
+fn builder<'a>(
+    cluster: &Cluster,
+    pet: &'a PetMatrix,
+    shards: usize,
+) -> GatewayBuilder<'a, taskprune_sim::NullSink> {
+    let n_types = pet.n_task_types();
+    GatewayBuilder::new(cluster, pet)
+        .config(SimConfig::batch(55))
+        .shards(shards)
+        .policy(RoundRobinRoute::new())
+        .strategy_with(move |_| HeuristicKind::Mm.make())
+        .pruner_with(move |_| {
+            Box::new(PruningMechanism::new(
+                PruningConfig::paper_default(),
+                n_types,
+            ))
+        })
+}
+
+/// Runs the federation under `policy` through the serial driver
+/// (`threads == None`) or the parallel driver.
+fn run(
+    cluster: &Cluster,
+    pet: &PetMatrix,
+    shards: usize,
+    threads: Option<usize>,
+    policy: ReusePolicy,
+    tasks: &[Task],
+) -> FederationStats {
+    let b = builder(cluster, pet, shards).reuse(policy);
+    match threads {
+        None => b
+            .build()
+            .expect("valid configuration")
+            .run_stream(tasks.iter().copied()),
+        Some(t) => b
+            .threads(t)
+            .build_parallel()
+            .expect("valid configuration")
+            .run_stream(tasks.iter().copied()),
+    }
+}
+
+/// A merge window of half a time unit — wide enough to coalesce
+/// same-type neighbours in the paper workload, narrow enough that the
+/// primary's deadline conservatively bounds every follower's.
+fn merge_policy() -> ReusePolicy {
+    ReusePolicy::Merge {
+        window: SimTime(taskprune_model::TICKS_PER_TIME_UNIT / 2),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Guarantee 1: Off is invisible — the pre-reuse gateway, bit for bit.
+// ---------------------------------------------------------------------
+
+/// A builder that never mentions reuse and one with `ReusePolicy::Off`
+/// produce byte-identical stats under both drivers, across seeds,
+/// shard counts and thread counts — including on duplicate-bearing
+/// streams, where an off gate must not absorb anything.
+#[test]
+fn off_matches_reuse_free_gateway_across_drivers() {
+    let scale = common::test_scale();
+    for seed in [55u64, 7] {
+        let (cluster, pet, base) = fixture(4321 + seed, scale);
+        for rate in [0.0, 0.3] {
+            let tasks = with_duplicates(&base, rate, 0xD0B1);
+            for shards in [1usize, 3] {
+                let silent = builder(&cluster, &pet, shards)
+                    .build()
+                    .expect("valid configuration")
+                    .run_stream(tasks.iter().copied());
+                assert_eq!(silent.unreported(), 0);
+                let reference = json(&silent);
+                assert!(
+                    !reference.contains("reuse"),
+                    "reuse counters must stay off the stats wire shape"
+                );
+                let off =
+                    run(&cluster, &pet, shards, None, ReusePolicy::Off, &tasks);
+                assert_eq!(off.reuse_stats(), ReuseStats::default());
+                assert_eq!(
+                    reference,
+                    json(&off),
+                    "seed={seed} rate={rate} shards={shards}: explicit \
+                     Off diverged from a reuse-free gateway"
+                );
+                for threads in [1usize, 4] {
+                    let par = run(
+                        &cluster,
+                        &pet,
+                        shards,
+                        Some(threads),
+                        ReusePolicy::Off,
+                        &tasks,
+                    );
+                    assert_eq!(
+                        reference,
+                        json(&par),
+                        "seed={seed} rate={rate} shards={shards} \
+                         threads={threads}: parallel Off diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// An *enabled* gate that never fires is equally invisible: the
+/// generated trial has unique content keys, so exact dedup registers
+/// every arrival and absorbs none.
+#[test]
+fn idle_enabled_gate_is_invisible() {
+    let (cluster, pet, tasks) = fixture(4376, common::test_scale());
+    let silent = builder(&cluster, &pet, 3)
+        .build()
+        .expect("valid configuration")
+        .run_stream(tasks.iter().copied());
+    let exact = run(&cluster, &pet, 3, None, ReusePolicy::ExactOnly, &tasks);
+    assert_eq!(exact.reuse_stats(), ReuseStats::default());
+    assert_eq!(
+        json(&silent),
+        json(&exact),
+        "an exact-dedup gate on a duplicate-free stream must be a no-op"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Guarantee 2: absorbing duplicates is driver-agnostic.
+// ---------------------------------------------------------------------
+
+/// With duplicates flowing and the gate absorbing them, the parallel
+/// driver matches the serial one byte for byte at every thread count,
+/// for both the exact and the merging policy.
+#[test]
+fn reuse_matches_across_drivers_on_duplicate_streams() {
+    let (cluster, pet, base) = fixture(9876, common::test_scale());
+    let tasks = with_duplicates(&base, 0.3, 0xD0B1);
+    for policy in [ReusePolicy::ExactOnly, merge_policy()] {
+        let serial = run(&cluster, &pet, 3, None, policy, &tasks);
+        assert_eq!(serial.unreported(), 0);
+        assert!(
+            serial.reuse_stats().absorbed() > 0,
+            "{policy:?}: the fixture must actually exercise the gate"
+        );
+        let serial_json = json(&serial);
+        for threads in [1usize, 2, 8] {
+            let par = run(&cluster, &pet, 3, Some(threads), policy, &tasks);
+            assert_eq!(
+                serial_json,
+                json(&par),
+                "{policy:?} threads={threads}: parallel reuse diverged"
+            );
+            assert_eq!(par.reuse_stats(), serial.reuse_stats());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Guarantee 3 (property): reuse never lowers robustness.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On duplicate-bearing streams, absorbing duplicates (exact or
+    /// merging) yields robustness no worse than executing every
+    /// duplicate independently: followers ride a completion that
+    /// arrives no later than their own queued execution would have,
+    /// and the shed load speeds everything else up.
+    #[test]
+    fn reuse_never_lowers_robustness(
+        seed in 0u64..1_000,
+        rate in 0.1f64..0.4,
+        shards in 1usize..4,
+    ) {
+        let scale = common::test_scale() * 0.5;
+        let (cluster, pet, base) = fixture(7_000 + seed, scale);
+        let tasks = with_duplicates(&base, rate, seed ^ 0xD0B1);
+        let off = run(
+            &cluster, &pet, shards, None, ReusePolicy::Off, &tasks,
+        );
+        let baseline = off.paper_robustness_pct();
+        for policy in [ReusePolicy::ExactOnly, merge_policy()] {
+            let reused = run(&cluster, &pet, shards, None, policy, &tasks);
+            prop_assert!(reused.unreported() == 0);
+            let got = reused.paper_robustness_pct();
+            prop_assert!(
+                got >= baseline - 1e-9,
+                "{policy:?}: robustness fell from {baseline:.3} to \
+                 {got:.3} at rate {rate:.2}, {shards} shard(s)"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Guarantee 4: healing composes with merging.
+// ---------------------------------------------------------------------
+
+/// A fault storm with a full retry budget heals a *merging* run back
+/// to byte-identity with the fault-free merging run, under both
+/// supervisors: journaled piggybacks replay exactly.
+#[test]
+fn full_budget_storm_heals_a_merging_run_bit_identically() {
+    let (cluster, pet, base) = fixture(4321, common::test_scale());
+    let tasks = with_duplicates(&base, 0.3, 0xD0B1);
+    let shards = 3;
+    let reference = run(&cluster, &pet, shards, None, merge_policy(), &tasks);
+    assert!(
+        reference.reuse_stats().absorbed() > 0,
+        "fixture must actually merge"
+    );
+    let reference_json = json(&reference);
+    let plan = FaultPlan::generate(
+        0xFA01,
+        &FaultSpec::storm(shards, (tasks.len() / shards).max(8) as u64),
+    );
+    assert!(!plan.is_empty());
+    let healing = RecoveryPolicy {
+        retry_budget: 32,
+        ..RecoveryPolicy::default()
+    };
+
+    let engine = builder(&cluster, &pet, shards)
+        .reuse(merge_policy())
+        .build()
+        .expect("valid configuration");
+    let mut sup = Supervisor::new(engine, healing);
+    sup.arm(plan.clone());
+    let healed = sup.run_stream(tasks.iter().copied());
+    assert_eq!(
+        reference_json,
+        json(&healed),
+        "serial healing diverged on a merging run"
+    );
+    assert!(
+        healed
+            .recovery_log()
+            .count(|k| matches!(k, RecoveryActionKind::FaultDetected { .. }))
+            > 0,
+        "no fault ever fired — widen the storm span"
+    );
+
+    for threads in [1usize, 4] {
+        let engine = builder(&cluster, &pet, shards)
+            .reuse(merge_policy())
+            .threads(threads)
+            .build_parallel()
+            .expect("valid configuration");
+        let mut sup = ParallelSupervisor::new(engine, healing);
+        sup.arm(&plan);
+        let healed = sup.run_stream(tasks.iter().copied());
+        assert_eq!(
+            reference_json,
+            json(&healed),
+            "{threads}-thread healing diverged on a merging run"
+        );
+    }
+}
