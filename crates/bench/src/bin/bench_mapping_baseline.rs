@@ -135,6 +135,8 @@ fn main() {
                     gate: None,
                     reuse_hit_pct: None,
                     arrivals_per_sec: None,
+                    steals_pct: None,
+                    staleness_k: None,
                 });
             };
 

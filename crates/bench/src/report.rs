@@ -135,6 +135,16 @@ pub struct BenchEntry {
     /// series shows what absorbing duplicates at the gateway buys in
     /// raw ingest rate. `None` for pure micro-benchmarks.
     pub arrivals_per_sec: Option<f64>,
+    /// Percentage of arrivals that changed shards via batch-queue
+    /// stealing (`tasks_moved / arrivals`) in the measured run —
+    /// tracked so throughput shifts in the stateful-routing series can
+    /// be read against how much rebalancing actually happened. `None`
+    /// for scenarios without a stealing federation.
+    pub steals_pct: Option<f64>,
+    /// The `Consistency::BoundedStale { k }` staleness bound the run
+    /// routed under (`0` = per-arrival refresh ≡ Lockstep). `None` for
+    /// scenarios without the relaxed-routing layer.
+    pub staleness_k: Option<u64>,
 }
 
 // Hand-written (de)serialization instead of the derive: runs recorded
@@ -161,6 +171,8 @@ impl Serialize for BenchEntry {
                 "arrivals_per_sec".to_string(),
                 self.arrivals_per_sec.to_value(),
             ),
+            ("steals_pct".to_string(), self.steals_pct.to_value()),
+            ("staleness_k".to_string(), self.staleness_k.to_value()),
         ])
     }
 }
@@ -197,6 +209,14 @@ impl Deserialize for BenchEntry {
             arrivals_per_sec: match v.get_opt("arrivals_per_sec") {
                 Some(field) => Deserialize::from_value(field)?,
                 None => None, // pre-PR8 run: field absent
+            },
+            steals_pct: match v.get_opt("steals_pct") {
+                Some(field) => Deserialize::from_value(field)?,
+                None => None, // pre-PR9 run: field absent
+            },
+            staleness_k: match v.get_opt("staleness_k") {
+                Some(field) => Deserialize::from_value(field)?,
+                None => None, // pre-PR9 run: field absent
             },
         })
     }
@@ -585,6 +605,8 @@ mod tests {
             gate: None,
             reuse_hit_pct: None,
             arrivals_per_sec: None,
+            steals_pct: None,
+            staleness_k: None,
         }
     }
 
@@ -602,11 +624,15 @@ mod tests {
         assert_eq!(parsed.robustness_under_faults_pct, None);
         assert_eq!(parsed.reuse_hit_pct, None);
         assert_eq!(parsed.arrivals_per_sec, None);
+        assert_eq!(parsed.steals_pct, None);
+        assert_eq!(parsed.staleness_k, None);
         let mut with_field = parsed.clone();
         with_field.robustness_pct = Some(84.5);
         with_field.robustness_under_faults_pct = Some(61.2);
         with_field.reuse_hit_pct = Some(23.1);
         with_field.arrivals_per_sec = Some(1.25e6);
+        with_field.steals_pct = Some(0.85);
+        with_field.staleness_k = Some(4);
         let json = serde_json::to_string(&with_field).unwrap();
         let back: BenchEntry =
             serde_json::from_str(&json).expect("new entry parses");
@@ -614,6 +640,8 @@ mod tests {
         assert_eq!(back.robustness_under_faults_pct, Some(61.2));
         assert_eq!(back.reuse_hit_pct, Some(23.1));
         assert_eq!(back.arrivals_per_sec, Some(1.25e6));
+        assert_eq!(back.steals_pct, Some(0.85));
+        assert_eq!(back.staleness_k, Some(4));
         assert_eq!(back.scenario, "tail_drop");
         assert_eq!(back.speedup, 10.0);
     }
@@ -731,6 +759,8 @@ mod tests {
             gate: None,
             reuse_hit_pct: None,
             arrivals_per_sec: None,
+            steals_pct: None,
+            staleness_k: None,
         };
         series.append("d", vec![cross_machine]);
         let ratio = series.check_regression(0.15).expect("machine-neutral");
@@ -791,6 +821,8 @@ mod tests {
             gate: None,
             reuse_hit_pct: None,
             arrivals_per_sec: None,
+            steals_pct: None,
+            staleness_k: None,
         };
         let mut series = BenchSeries {
             name: "probe".to_string(),

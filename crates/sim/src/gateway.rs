@@ -34,13 +34,15 @@ use crate::core::{Decision, SchedulerCore, Start};
 use crate::event::EventKind;
 use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::journal::{JournalOp, ShardJournal};
+use crate::queue::MachineQueue;
 use crate::reuse::{Admission, Admit, ReuseGate, ReusePolicy, ReuseStats};
-use crate::route::{RoundRobinRoute, RoutePolicy, ShardView};
+use crate::route::{Consistency, RoundRobinRoute, RoutePolicy, ShardView};
 use crate::sink::{NullSink, Sink};
 use crate::snapshot::{Snapshot, SnapshotError};
-use crate::stats::SimStats;
+use crate::stats::{SimStats, StealStats};
 use crate::supervisor::RecoveryLog;
 use crate::traits::{MappingStrategy, Pruner};
+use crate::view::SystemView;
 use serde::{Deserialize, Error, Serialize, Value};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -158,6 +160,39 @@ pub struct FedStart {
     pub internal: TaskId,
 }
 
+/// One shard's epoch-stamped entry in the bounded-staleness view
+/// table: its clock, batch-queue depth and machine queues (with their
+/// cached Eq. 1 chance summaries) exactly as published at the last
+/// sync point.
+struct StaleShard {
+    now: SimTime,
+    pending: usize,
+    queues: Vec<MachineQueue>,
+}
+
+/// The versioned view table stateful policies route on under
+/// [`Consistency::BoundedStale`]. Published only at sync points —
+/// arrival ordinals divisible by `k + 1` — so both drivers rebuild it
+/// from byte-identical shard state and every routing decision between
+/// refreshes reads the same stamped views.
+struct StaleTable {
+    epoch: u64,
+    shards: Vec<StaleShard>,
+}
+
+/// One executed steal transfer, as the gateway's steal pass performed
+/// it: which shard donated, which adopted, and each moved task as
+/// `(donor-internal id, thief-relabelled task)` — exactly the pair the
+/// driver journals as [`JournalOp::Steal`] / [`JournalOp::Adopt`].
+pub(crate) struct StealRecord {
+    /// The victim shard the batch-queue tail was taken from.
+    pub from: usize,
+    /// The idle thief shard that adopted it.
+    pub to: usize,
+    /// Moved tasks: donor-internal id and the relabelled task.
+    pub moved: Vec<(TaskId, Task)>,
+}
+
 /// The federation front-end: N independent [`SchedulerCore`] shards
 /// behind a [`RoutePolicy`], with id compaction at the boundary.
 ///
@@ -186,6 +221,22 @@ pub struct Gateway<'a, S: Sink = NullSink> {
     /// which arrivals absorb onto an in-flight primary instead of
     /// routing (see [`crate::reuse`]).
     reuse: ReuseGate,
+    /// How fresh the views handed to stateful policies must be.
+    consistency: Consistency,
+    /// Whether the federation-level batch-queue steal pass runs at
+    /// sync points.
+    stealing: bool,
+    /// The bounded-staleness view table (`None` until the first sync
+    /// point, and always `None` when nothing routes on stale views).
+    stale: Option<StaleTable>,
+    /// Steal/staleness observability counters (off the wire shape).
+    steal_stats: StealStats,
+    /// `(shard, internal id) → global arrival index`, so the steal
+    /// pass can re-point a moved task's [`FedArrival`] in O(1).
+    /// Maintained only while stealing is enabled — the map is pure
+    /// overhead otherwise — and rebuilt from the arrival order on
+    /// restore.
+    arrival_idx: HashMap<(u32, u64), usize>,
 }
 
 impl<'a, S: Sink> Gateway<'a, S> {
@@ -193,6 +244,8 @@ impl<'a, S: Sink> Gateway<'a, S> {
         shards: Vec<SchedulerCore<'a, S>>,
         policy: Box<dyn RoutePolicy>,
         reuse: ReuseGate,
+        consistency: Consistency,
+        stealing: bool,
     ) -> Self {
         let n = shards.len();
         Self {
@@ -205,6 +258,11 @@ impl<'a, S: Sink> Gateway<'a, S> {
             starts: Vec::new(),
             quarantined: vec![false; n],
             reuse,
+            consistency,
+            stealing,
+            stale: None,
+            steal_stats: StealStats::default(),
+            arrival_idx: HashMap::new(),
         }
     }
 
@@ -258,6 +316,176 @@ impl<'a, S: Sink> Gateway<'a, S> {
         self.reuse.policy()
     }
 
+    /// The configured view-freshness contract.
+    pub fn consistency(&self) -> Consistency {
+        self.consistency
+    }
+
+    /// Whether the federation-level steal pass is enabled.
+    pub fn stealing(&self) -> bool {
+        self.stealing && self.shards.len() > 1
+    }
+
+    /// The steal/staleness counters accumulated so far.
+    pub fn steal_counters(&self) -> StealStats {
+        self.steal_stats
+    }
+
+    /// Whether stateful routing reads the bounded-staleness view table
+    /// instead of live shard state. Stateless policies never read
+    /// views, and a one-shard federation never routes, so both keep
+    /// the bit-identity-critical fast paths untouched.
+    fn uses_stale_views(&self) -> bool {
+        matches!(self.consistency, Consistency::BoundedStale { .. })
+            && !self.policy.is_stateless()
+            && self.shards.len() > 1
+    }
+
+    /// Whether the **next** admitted arrival sits on a sync ordinal:
+    /// the arrival count so far is divisible by the refresh period
+    /// `k + 1`. Sync points are where the steal pass runs and the view
+    /// table is republished; drivers must bring every shard fully
+    /// current (all due completions applied) before calling
+    /// [`Gateway::sync_point`] at one. The ordinal counts *every*
+    /// admitted arrival — routed or absorbed — the same coordinate the
+    /// fault plans use.
+    pub(crate) fn sync_due(&self) -> bool {
+        if !self.sync_enabled() {
+            return false;
+        }
+        (self.arrival_order.len() as u64)
+            .is_multiple_of(self.consistency.refresh_period())
+    }
+
+    /// Whether this federation has sync points at all — i.e. whether
+    /// any of the relaxed-consistency machinery (stale-view routing,
+    /// batch stealing) is live. Drivers that see `false` may keep
+    /// their PR 5 schedules untouched.
+    pub(crate) fn sync_enabled(&self) -> bool {
+        self.stealing() || self.uses_stale_views()
+    }
+
+    /// Runs one sync point: the steal pass (when stealing is enabled)
+    /// followed by a view-table refresh (when stateful policies route
+    /// on stale views). Returns the executed steal transfers so the
+    /// driver can journal them; a caller with no journal may discard
+    /// them. Both drivers call this at identical arrival ordinals with
+    /// identical shard state, so the decisions — and therefore the
+    /// runs — stay byte-identical.
+    pub(crate) fn sync_point(&mut self) -> Vec<StealRecord> {
+        let records = if self.stealing() {
+            self.steal_pass()
+        } else {
+            Vec::new()
+        };
+        if self.uses_stale_views() {
+            self.refresh_views();
+        }
+        records
+    }
+
+    /// Publishes a fresh view table: every shard's clock, batch depth
+    /// and machine queues (chance caches included) cloned at this sync
+    /// instant.
+    fn refresh_views(&mut self) {
+        let shards: Vec<StaleShard> = self
+            .shards
+            .iter()
+            .map(|s| StaleShard {
+                now: s.now(),
+                pending: s.pending_batch_len(),
+                queues: s.clone_queues(),
+            })
+            .collect();
+        let epoch = self.stale.as_ref().map_or(0, |t| t.epoch + 1);
+        self.stale = Some(StaleTable { epoch, shards });
+        self.steal_stats.view_refreshes += 1;
+    }
+
+    /// The steal pass: every idle healthy shard (empty batch queue)
+    /// takes half the deepest healthy victim's batch-queue *tail* —
+    /// tasks with no machine-queue commitment, so the move is legal
+    /// w.r.t. the paper's model. Thieves act in ascending index order
+    /// on a working copy of the depths, so the whole pass is a pure
+    /// function of the sync-instant state. Each moved task closes its
+    /// book on the donor (`Unfinished`), gets a fresh dense id on the
+    /// thief, and has its global [`FedArrival`] re-pointed so
+    /// federation-level robustness counts it exactly once, under its
+    /// live instance.
+    fn steal_pass(&mut self) -> Vec<StealRecord> {
+        let n = self.shards.len();
+        let mut depths: Vec<usize> =
+            self.shards.iter().map(|s| s.pending_batch_len()).collect();
+        let mut records = Vec::new();
+        let mut any_idle = false;
+        for thief in 0..n {
+            if self.quarantined[thief] || depths[thief] != 0 {
+                continue;
+            }
+            any_idle = true;
+            let victim = (0..n)
+                .filter(|&v| v != thief && !self.quarantined[v])
+                .max_by_key(|&v| (depths[v], Reverse(v)));
+            let Some(victim) = victim else { continue };
+            // A single queued task is not worth destabilising: the
+            // donor is about to map it anyway.
+            if depths[victim] < 2 {
+                continue;
+            }
+            let take = depths[victim] / 2;
+            let stolen = self.shards[victim].donate_batch_tail(take);
+            depths[victim] -= stolen.len();
+            depths[thief] += stolen.len();
+            let mut moved = Vec::with_capacity(stolen.len());
+            let mut adopted = Vec::with_capacity(stolen.len());
+            for task in stolen {
+                let donor_internal = task.id;
+                let external = self
+                    .compact
+                    .external(victim, donor_internal)
+                    .expect("a queued task was assigned an internal id");
+                // Close the donor's record first: the task never runs
+                // there, and `finish()` only sweeps queued tasks.
+                self.shards[victim].record_unfinished(&task);
+                // No new reuse followers may park on the superseded
+                // donor instance.
+                self.reuse.evict_task(victim, donor_internal);
+                let internal = self.compact.assign(thief, external);
+                if let Some(gi) =
+                    self.arrival_idx.remove(&(victim as u32, donor_internal.0))
+                {
+                    let entry = &mut self.arrival_order[gi];
+                    entry.shard = thief as u32;
+                    entry.internal = internal;
+                    self.arrival_idx.insert((thief as u32, internal.0), gi);
+                }
+                if self.latest.get(&external.0)
+                    == Some(&(victim as u32, donor_internal))
+                {
+                    self.latest.insert(external.0, (thief as u32, internal));
+                }
+                let mut relabelled = task;
+                relabelled.id = internal;
+                moved.push((donor_internal, relabelled));
+                adopted.push(relabelled);
+            }
+            if !adopted.is_empty() {
+                self.shards[thief].adopt_stolen(adopted);
+                self.steal_stats.steals += 1;
+                self.steal_stats.tasks_moved += moved.len() as u64;
+                records.push(StealRecord {
+                    from: victim,
+                    to: thief,
+                    moved,
+                });
+            }
+        }
+        if any_idle {
+            self.steal_stats.steal_points += 1;
+        }
+        records
+    }
+
     /// The federation clock (all shards share one timeline). Taken as
     /// the max over the shards: in healthy operation every shard
     /// agrees, and after a crash wiped one shard's clock the surviving
@@ -289,6 +517,12 @@ impl<'a, S: Sink> Gateway<'a, S> {
     /// [`ReusePolicy`]). The returned [`Admission`] says which happened
     /// and carries the shard and internal id either way.
     pub fn push_arrival(&mut self, task: Task) -> Admission {
+        // Streaming callers get the sync schedule for free; the
+        // bundled drivers run it themselves (they journal the steal
+        // records this discards).
+        if self.sync_due() {
+            let _ = self.sync_point();
+        }
         match self.admit_route(task) {
             Admit::Fresh { shard, task } => {
                 let internal = task.id;
@@ -333,6 +567,12 @@ impl<'a, S: Sink> Gateway<'a, S> {
         if let Some((shard, primary, merged)) = self.reuse.admit(&task) {
             let internal = self.compact.assign(shard, task.id);
             self.latest.insert(task.id.0, (shard as u32, internal));
+            if self.stealing {
+                self.arrival_idx.insert(
+                    (shard as u32, internal.0),
+                    self.arrival_order.len(),
+                );
+            }
             self.arrival_order.push(FedArrival {
                 shard: shard as u32,
                 internal,
@@ -371,6 +611,34 @@ impl<'a, S: Sink> Gateway<'a, S> {
             0
         } else if self.policy.is_stateless() {
             self.policy.route_stateless(self.shards.len(), &task)
+        } else if self.uses_stale_views() {
+            // Bounded staleness: route on the last published table —
+            // no shard reads at all, which is what lets the parallel
+            // driver deliver arrivals between sync points with zero
+            // cross-shard barriers. The lazy refresh only fires for a
+            // caller that skipped the ordinal-0 sync (the table it
+            // builds equals the live views at this instant).
+            if self.stale.is_none() {
+                self.refresh_views();
+            }
+            let table = self.stale.as_ref().expect("refreshed above");
+            let views: Vec<ShardView<'_>> = table
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, st)| {
+                    ShardView::new(
+                        i,
+                        SystemView::new(
+                            st.now,
+                            &st.queues,
+                            self.shards[i].pet(),
+                        ),
+                        st.pending,
+                    )
+                })
+                .collect();
+            self.policy.route(&views, &task)
         } else {
             // The views borrow the shards, so they cannot live in a
             // reused arena on `self`; one small shard-count-sized
@@ -407,6 +675,10 @@ impl<'a, S: Sink> Gateway<'a, S> {
         };
         let internal = self.compact.assign(shard, task.id);
         self.latest.insert(task.id.0, (shard as u32, internal));
+        if self.stealing {
+            self.arrival_idx
+                .insert((shard as u32, internal.0), self.arrival_order.len());
+        }
         self.arrival_order.push(FedArrival {
             shard: shard as u32,
             internal,
@@ -526,6 +798,43 @@ impl<'a, S: Sink> Gateway<'a, S> {
             .iter()
             .map(|s| s.snapshot().to_value())
             .collect();
+        // The stale view table is state, not scratch: a restored
+        // gateway must keep routing on the exact views published at
+        // the last pre-capture sync point, or its decisions diverge
+        // from the uninterrupted run's.
+        let stale = match &self.stale {
+            None => Value::Null,
+            Some(table) => Value::Object(vec![
+                ("epoch".to_owned(), table.epoch.to_value()),
+                (
+                    "shards".to_owned(),
+                    Value::Array(
+                        table
+                            .shards
+                            .iter()
+                            .map(|st| {
+                                Value::Object(vec![
+                                    ("now".to_owned(), st.now.to_value()),
+                                    (
+                                        "pending".to_owned(),
+                                        st.pending.to_value(),
+                                    ),
+                                    (
+                                        "queues".to_owned(),
+                                        Value::Array(
+                                            st.queues
+                                                .iter()
+                                                .map(MachineQueue::state_value)
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        };
         Snapshot::seal(
             "gateway",
             Value::Object(vec![
@@ -535,6 +844,8 @@ impl<'a, S: Sink> Gateway<'a, S> {
                 ("policy".to_owned(), self.policy.snapshot_state()),
                 ("quarantined".to_owned(), self.quarantined.to_value()),
                 ("reuse".to_owned(), self.reuse.state_value()),
+                ("stale".to_owned(), stale),
+                ("steals".to_owned(), self.steal_stats.to_value()),
             ]),
         )
     }
@@ -590,6 +901,59 @@ impl<'a, S: Sink> Gateway<'a, S> {
             Some(state) => self.reuse.restore_value(state)?,
             None => self.reuse = ReuseGate::new(self.reuse.policy()),
         }
+        // Pre-PR9 snapshots carry no view table or steal counters;
+        // absent means neither subsystem existed at capture.
+        self.stale = match payload.get_opt("stale") {
+            None | Some(Value::Null) => None,
+            Some(v) => {
+                let epoch = u64::from_value(v.get_field("epoch")?)?;
+                let Value::Array(entries) = v.get_field("shards")? else {
+                    return Err(SnapshotError::ShapeMismatch {
+                        what: "`stale.shards` payload is not an array",
+                    });
+                };
+                if entries.len() != self.shards.len() {
+                    return Err(SnapshotError::ShapeMismatch {
+                        what: "stale-view count differs from this \
+                               federation's shard count",
+                    });
+                }
+                let mut shards = Vec::with_capacity(entries.len());
+                for (core, entry) in self.shards.iter().zip(entries) {
+                    let now = SimTime::from_value(entry.get_field("now")?)?;
+                    let pending =
+                        usize::from_value(entry.get_field("pending")?)?;
+                    let Value::Array(qs) = entry.get_field("queues")? else {
+                        return Err(SnapshotError::ShapeMismatch {
+                            what: "a stale view's `queues` is not an array",
+                        });
+                    };
+                    // Clone the live queues for their static shape
+                    // (machine identity, capacity, chain caches), then
+                    // overwrite with the published state.
+                    let mut queues = core.clone_queues();
+                    if qs.len() != queues.len() {
+                        return Err(SnapshotError::ShapeMismatch {
+                            what: "a stale view's queue count differs \
+                                   from the shard's machine count",
+                        });
+                    }
+                    for (q, wire) in queues.iter_mut().zip(qs) {
+                        q.restore_value(wire)?;
+                    }
+                    shards.push(StaleShard {
+                        now,
+                        pending,
+                        queues,
+                    });
+                }
+                Some(StaleTable { epoch, shards })
+            }
+        };
+        self.steal_stats = match payload.get_opt("steals") {
+            Some(v) => StealStats::from_value(v)?,
+            None => StealStats::default(),
+        };
         // Replaying the arrival order front to back makes the latest
         // occurrence of each external id win — the live invariant.
         self.latest = self
@@ -597,6 +961,15 @@ impl<'a, S: Sink> Gateway<'a, S> {
             .iter()
             .map(|a| (a.external.0, (a.shard, a.internal)))
             .collect();
+        self.arrival_idx = if self.stealing {
+            self.arrival_order
+                .iter()
+                .enumerate()
+                .map(|(gi, a)| ((a.shard, a.internal.0), gi))
+                .collect()
+        } else {
+            HashMap::new()
+        };
         self.decisions.clear();
         self.starts.clear();
         Ok(())
@@ -618,6 +991,7 @@ impl<'a, S: Sink> Gateway<'a, S> {
             arrivals: self.arrival_order,
             recovery: RecoveryLog::default(),
             reuse,
+            steals: self.steal_stats,
         }
     }
 }
@@ -683,6 +1057,11 @@ pub struct FederationStats {
     /// reason as the recovery log: serialized stats must stay
     /// bit-identical across reuse configurations.
     pub(crate) reuse: ReuseStats,
+    /// Steal-pass and staleness counters. Off the wire shape like the
+    /// recovery log and reuse counters: the relaxed equivalence
+    /// contract compares serialized stats across drivers, and these
+    /// describe *how* the run proceeded, not its outcome.
+    pub(crate) steals: StealStats,
 }
 
 /// The wire shape is exactly the pre-supervisor `{per_shard,
@@ -704,6 +1083,7 @@ impl Deserialize for FederationStats {
             arrivals: Vec::<FedArrival>::from_value(v.get_field("arrivals")?)?,
             recovery: RecoveryLog::default(),
             reuse: ReuseStats::default(),
+            steals: StealStats::default(),
         })
     }
 }
@@ -729,6 +1109,16 @@ impl FederationStats {
     /// observability and stay off the serialized wire shape).
     pub fn reuse_stats(&self) -> ReuseStats {
         self.reuse
+    }
+
+    /// Steal-pass and staleness counters: transfers executed, tasks
+    /// moved, steal points evaluated, view refreshes published. All
+    /// zero when stealing is off and the consistency knob is
+    /// [`Consistency::Lockstep`] (and after deserialization — like the
+    /// recovery log, these are observability and stay off the
+    /// serialized wire shape).
+    pub fn steal_stats(&self) -> StealStats {
+        self.steals
     }
 
     /// The global arrival sequence (routing + id assignments).
@@ -877,6 +1267,8 @@ pub struct GatewayBuilder<'a, S: Sink = NullSink> {
     pruner_fn: Option<PrunerFn<'a>>,
     sink_fn: Box<dyn FnMut(usize) -> S + 'a>,
     reuse: ReusePolicy,
+    consistency: Consistency,
+    stealing: bool,
 }
 
 impl<'a> GatewayBuilder<'a, NullSink> {
@@ -896,6 +1288,8 @@ impl<'a> GatewayBuilder<'a, NullSink> {
             pruner_fn: None,
             sink_fn: Box::new(|_| NullSink),
             reuse: ReusePolicy::Off,
+            consistency: Consistency::Lockstep,
+            stealing: false,
         }
     }
 }
@@ -966,6 +1360,31 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
         self
     }
 
+    /// Sets the view-freshness contract for stateful routing policies
+    /// (default: [`Consistency::Lockstep`], the PR 5 behaviour).
+    /// Under [`Consistency::BoundedStale`]`{k}` the gateway routes on
+    /// an epoch-stamped view table at most `k` arrivals stale,
+    /// refreshed on the deterministic (arrival-ordinal) schedule both
+    /// drivers share — see `tests/relaxed_equivalence.rs` for the
+    /// contract this buys. `BoundedStale { k: 0 }` is bit-for-bit
+    /// identical to `Lockstep`.
+    pub fn consistency(mut self, consistency: Consistency) -> Self {
+        self.consistency = consistency;
+        self
+    }
+
+    /// Enables federation-level batch-queue stealing: at every sync
+    /// point, an idle shard adopts half the deepest victim's
+    /// batch-queue tail (tasks with no machine commitment — legal
+    /// w.r.t. the paper's model). Steal decisions are taken at the
+    /// same deterministic ordinals as view refreshes, journaled as
+    /// [`JournalOp::Steal`]/[`JournalOp::Adopt`], and identical under
+    /// both drivers. Default: off.
+    pub fn stealing(mut self, on: bool) -> Self {
+        self.stealing = on;
+        self
+    }
+
     /// Separates the shards' belief from ground truth (see
     /// [`crate::SchedulerBuilder::truth`]); the [`FederatedEngine`]
     /// samples actual durations from `truth`.
@@ -992,6 +1411,8 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
             pruner_fn: self.pruner_fn,
             sink_fn: Box::new(f),
             reuse: self.reuse,
+            consistency: self.consistency,
+            stealing: self.stealing,
         }
     }
 
@@ -1041,6 +1462,8 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
             shards,
             policy,
             ReuseGate::new(self.reuse),
+            self.consistency,
+            self.stealing,
         ))
     }
 
@@ -1400,6 +1823,30 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
                 let now = self.gateway.now();
                 let at = task.arrival.max(now);
                 self.gateway.advance_to(at);
+                // Sync point: by this instant every event due before
+                // the arrival has been processed (the `event_first`
+                // ordering above), so the steal pass and view refresh
+                // read exactly the state the parallel driver's sync
+                // barrier exposes at the same ordinal.
+                if self.gateway.sync_due() {
+                    for record in self.gateway.sync_point() {
+                        let Some(journals) = &mut self.journals else {
+                            break;
+                        };
+                        for &(donor_internal, adopted) in &record.moved {
+                            journals[record.from].record(
+                                at,
+                                JournalOp::Steal {
+                                    task: donor_internal,
+                                },
+                            );
+                            self.applied_since_ckpt[record.from] += 1;
+                            journals[record.to]
+                                .record(at, JournalOp::Adopt { task: adopted });
+                            self.applied_since_ckpt[record.to] += 1;
+                        }
+                    }
+                }
                 if let Some(log) = &mut self.arrival_log {
                     log.push(task);
                 }

@@ -52,6 +52,22 @@ pub enum JournalOp {
         /// duplicate).
         merged: bool,
     },
+    /// A batch-queue task stolen *from* this shard at a federation
+    /// steal point (see `crate::Consistency` and the gateway's steal
+    /// pass). Replay removes the task from the restored batch queue —
+    /// the thief's journal holds the matching [`JournalOp::Adopt`].
+    Steal {
+        /// The shard-internal id of the donated task.
+        task: TaskId,
+    },
+    /// A stolen batch-queue task adopted *by* this shard, already
+    /// relabelled to the thief's internal dense id space. Replayed
+    /// through the ordinary arrival push (steals carry no machine
+    /// commitment by construction).
+    Adopt {
+        /// The relabelled task exactly as it was adopted.
+        task: Task,
+    },
 }
 
 /// A journal record: when the operation was applied, and what it was.
@@ -130,6 +146,8 @@ impl ShardJournal {
                     task,
                     merged,
                 } => core.apply_piggyback(primary, task, merged),
+                JournalOp::Steal { task } => core.apply_steal(task),
+                JournalOp::Adopt { task } => core.push_arrival(task),
             }
             let _ = core.drain_starts();
             let _ = core.drain_decisions();

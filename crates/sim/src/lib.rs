@@ -60,6 +60,14 @@
 //!   fanning the single completion out to every follower (each judged
 //!   against its own deadline). Off by default and bit-identical to a
 //!   gateway without it.
+//! * [`Consistency`] / [`StealStats`] — the relaxed-routing layer:
+//!   under [`Consistency::BoundedStale`] stateful policies route on an
+//!   epoch-stamped view table at most `k` arrivals stale (letting the
+//!   parallel driver skip the per-arrival barrier), and idle shards
+//!   steal batch-queue tails from the deepest backlog at the same
+//!   deterministic sync points. Serial and parallel drivers stay
+//!   byte-identical at every `k` (`tests/relaxed_equivalence.rs`), and
+//!   `BoundedStale { k: 0 }` is bit-for-bit `Lockstep`.
 //! * [`FaultPlan`] / [`Supervisor`] — the robustness layer: seeded,
 //!   replayable fault schedules injected into either federated driver,
 //!   and a self-healing supervisor that auto-checkpoints, detects
@@ -124,11 +132,13 @@ pub use gateway::{
 };
 pub use journal::{JournalEntry, JournalOp, ShardJournal};
 pub use parallel::ParallelFederatedEngine;
-pub use reuse::{Admission, ReusePolicy, ReuseStats};
-pub use route::{LeastQueuedRoute, RoundRobinRoute, RoutePolicy, ShardView};
+pub use reuse::{Admission, ReuseMode, ReusePolicy, ReuseStats};
+pub use route::{
+    Consistency, LeastQueuedRoute, RoundRobinRoute, RoutePolicy, ShardView,
+};
 pub use sink::{NullSink, Sink};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
-pub use stats::{SimStats, StatsError};
+pub use stats::{SimStats, StatsError, StealStats};
 pub use supervisor::{
     ParallelSupervisor, RecoveryAction, RecoveryActionKind, RecoveryLog,
     RecoveryPolicy, Supervisor,

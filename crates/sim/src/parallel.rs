@@ -21,7 +21,7 @@
 //!   coordinator merges results in fixed shard order after every lane
 //!   has drained.
 //!
-//! # Two schedules, one ordering
+//! # Three schedules, one ordering
 //!
 //! With a policy that declares [`crate::RoutePolicy::is_stateless`]
 //! (round-robin), routing needs no shard state at all: the coordinator
@@ -41,6 +41,17 @@
 //! previous arrival's mapping), so only the completion processing
 //! between arrivals parallelises — which is exactly the available
 //! parallelism, no more.
+//!
+//! [`crate::Consistency::BoundedStale`] (and federation stealing)
+//! unlocks a third, **relaxed** schedule between those two: stateful
+//! policies route on the gateway's epoch-stamped stale view table, so
+//! arrivals flow into mailboxes barrier-free like the stateless
+//! schedule, and the lanes only synchronise at the *sync points* every
+//! `k + 1` arrivals — where all mailboxes drain, the steal pass
+//! rebalances batch-queue tails, and the view table is republished.
+//! The serial driver runs the identical sync schedule at the identical
+//! arrival ordinals, so the relaxed runs are still byte-identical at
+//! every thread count (`tests/relaxed_equivalence.rs`).
 //!
 //! # Bit-identity argument (the headline guarantee)
 //!
@@ -779,13 +790,14 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
         I: IntoIterator<Item = Task>,
     {
         self.ingest(arrivals);
-        if self.stateless_schedule() {
-            // The stateless schedule normally defers all shard work to
-            // the finale; deliver the routed prefix now so the pause
-            // point observes shards advanced to the watermark. The
-            // per-shard operation sequence is exactly the one
-            // `run_shard` would have replayed, so a later
-            // `finish_stream` stays bit-identical.
+        if self.stateless_schedule() || self.gateway.sync_enabled() {
+            // The mailbox schedules (stateless and relaxed) normally
+            // defer shard work to the finale or the next sync point;
+            // deliver the routed prefix now so the pause point observes
+            // shards advanced to the watermark. The per-shard operation
+            // sequence is exactly the one `run_shard` (or the next
+            // barrier) would have replayed, so a later `finish_stream`
+            // stays bit-identical.
             self.deliver_mailboxes();
         }
     }
@@ -876,9 +888,12 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
         }
     }
 
-    /// Whether the zero-barrier mailbox schedule applies.
+    /// Whether the zero-barrier mailbox schedule applies. Stealing
+    /// disqualifies it: steal points need every lane current, so the
+    /// relaxed schedule (periodic barriers) runs instead.
     fn stateless_schedule(&self) -> bool {
-        self.gateway.policy_is_stateless() || self.gateway.n_shards() == 1
+        (self.gateway.policy_is_stateless() || self.gateway.n_shards() == 1)
+            && !self.gateway.sync_enabled()
     }
 
     /// Routes a batch of arrivals under whichever schedule the policy
@@ -889,6 +904,8 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
     {
         if self.stateless_schedule() {
             self.route_ingest(arrivals);
+        } else if self.gateway.sync_enabled() {
+            self.relaxed_ingest(arrivals);
         } else {
             self.lockstep_ingest(arrivals);
         }
@@ -950,6 +967,130 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
             }
         });
         self.sync_quarantine_flags();
+    }
+
+    /// Relaxed-consistency schedule ([`crate::Consistency`] /
+    /// stealing): arrivals route into mailboxes exactly like the
+    /// stateless schedule — stateful policies read the gateway's
+    /// epoch-stamped stale view table instead of live shards — and the
+    /// only barriers are the **sync points** every `k + 1` arrivals,
+    /// where all lanes drain their mailboxes and come fully current
+    /// before the coordinator runs the steal pass and republishes the
+    /// view table. Between sync points there are zero cross-shard
+    /// barriers; at a sync point both drivers expose byte-identical
+    /// shard state at the same arrival ordinal (every completion due
+    /// before the sync instant applied, clocks at the arrival's serial
+    /// processing time), which is the relaxed equivalence contract
+    /// `tests/relaxed_equivalence.rs` pins.
+    fn relaxed_ingest<I>(&mut self, arrivals: I)
+    where
+        I: IntoIterator<Item = Task>,
+    {
+        for task in arrivals {
+            let cutoff = task.arrival;
+            let target = self.watermark.map_or(cutoff, |w| w.max(cutoff));
+            self.watermark = Some(target);
+            if let Some(log) = self.arrival_log.as_mut() {
+                log.push(task);
+            }
+            if self.gateway.sync_due() {
+                self.sync_lanes(cutoff, target);
+                self.run_sync_point(target);
+            }
+            match self.gateway.admit_route(task) {
+                Admit::Fresh { shard, task } => {
+                    self.lanes[shard].mailbox.push_back(Mail {
+                        task,
+                        target,
+                        reuse: None,
+                    });
+                }
+                Admit::Absorb {
+                    shard,
+                    primary,
+                    task,
+                    merged,
+                } => {
+                    self.lanes[shard].mailbox.push_back(Mail {
+                        task,
+                        target,
+                        reuse: Some((primary, merged)),
+                    });
+                }
+            }
+        }
+    }
+
+    /// The sync-point barrier: every lane drains its mailbox and
+    /// processes all completions due before `cutoff`, finishing with
+    /// its clock at `target` — the exact state the serial driver holds
+    /// when it reaches the same arrival ordinal.
+    fn sync_lanes(&mut self, cutoff: SimTime, target: SimTime) {
+        let truth = self.truth;
+        let lanes = &mut self.lanes;
+        let shards = self.gateway.shards_mut();
+        if lanes
+            .iter()
+            .any(|l| !l.mailbox.is_empty() || l.has_due(cutoff))
+        {
+            self.pool.scope(|s| {
+                for (lane, core) in lanes.iter_mut().zip(shards.iter_mut()) {
+                    if !lane.mailbox.is_empty() || lane.has_due(cutoff) {
+                        s.spawn(move || {
+                            while let Some(mail) = lane.mailbox.pop_front() {
+                                lane.deliver(core, truth, mail);
+                            }
+                            lane.advance_events(core, truth, cutoff, target);
+                        });
+                    } else if target > core.now() {
+                        core.advance_to(target);
+                    }
+                }
+            });
+        } else {
+            for core in shards.iter_mut() {
+                if target > core.now() {
+                    core.advance_to(target);
+                }
+            }
+        }
+        self.sync_quarantine_flags();
+    }
+
+    /// Runs the coordinator half of a sync point — steal pass plus view
+    /// refresh — then journals the transfers into the lane guards and
+    /// dispatches the thieves' freshly mapped starts. Steals are
+    /// coordinator-side operations: they advance **no** lane fault
+    /// coordinate (arrival/completion counts), so a fault plan strikes
+    /// the same operations with or without stealing.
+    fn run_sync_point(&mut self, target: SimTime) {
+        let records = self.gateway.sync_point();
+        if records.is_empty() {
+            return;
+        }
+        for record in &records {
+            for &(donor_internal, adopted) in &record.moved {
+                if let Some(g) = self.lanes[record.from].guard.as_mut() {
+                    g.journal.record(
+                        target,
+                        JournalOp::Steal {
+                            task: donor_internal,
+                        },
+                    );
+                }
+                if let Some(g) = self.lanes[record.to].guard.as_mut() {
+                    g.journal
+                        .record(target, JournalOp::Adopt { task: adopted });
+                }
+            }
+        }
+        let truth = self.truth;
+        let lanes = &mut self.lanes;
+        let shards = self.gateway.shards_mut();
+        for (lane, core) in lanes.iter_mut().zip(shards.iter_mut()) {
+            lane.dispatch_starts(core, truth);
+            core.drain_decisions();
+        }
     }
 
     /// State-dependent-policy schedule: one epoch per arrival. All

@@ -37,15 +37,13 @@
 //! ledger ([`ReuseLedger`]) resolves deterministically on each core.
 
 use serde::{Deserialize, Serialize, Value};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use taskprune_model::{SimTime, Task, TaskId};
 
-/// Gateway-level reuse knob: how aggressively arrivals are coalesced
-/// onto in-flight primaries. Configured via
-/// [`crate::GatewayBuilder::reuse`]; the default is [`ReusePolicy::Off`],
-/// which is bit-identical to a gateway without the subsystem.
+/// How aggressively the gateway coalesces arrivals onto in-flight
+/// primaries — the mode half of a [`ReusePolicy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ReusePolicy {
+pub enum ReuseMode {
     /// No reuse: every arrival routes and executes individually.
     #[default]
     Off,
@@ -62,26 +60,88 @@ pub enum ReusePolicy {
     },
 }
 
+/// Gateway-level reuse knob: a [`ReuseMode`] plus an optional bound on
+/// how many in-flight primaries the gate may track at once. Configured
+/// via [`crate::GatewayBuilder::reuse`]; the default is
+/// [`ReusePolicy::Off`], which is bit-identical to a gateway without
+/// the subsystem.
+///
+/// The `max_inflight` budget caps the gate cache: when registering a
+/// fresh primary would exceed it, the **oldest** still-live primary
+/// (by registration order) is evicted first. Runs whose live-primary
+/// count never reaches the budget are byte-identical to unbudgeted
+/// runs — eviction only ever removes entries that would otherwise have
+/// absorbed followers, so the budget trades reuse hits for bounded
+/// coordinator memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReusePolicy {
+    mode: ReuseMode,
+    max_inflight: Option<usize>,
+}
+
 impl ReusePolicy {
+    /// No reuse (the default). An associated constant so existing
+    /// `ReusePolicy::Off` expression sites keep compiling across the
+    /// enum-to-struct change.
+    #[allow(non_upper_case_globals)]
+    pub const Off: ReusePolicy = ReusePolicy {
+        mode: ReuseMode::Off,
+        max_inflight: None,
+    };
+
+    /// Exact-duplicate piggybacking only, no cache budget.
+    #[allow(non_upper_case_globals)]
+    pub const ExactOnly: ReusePolicy = ReusePolicy {
+        mode: ReuseMode::ExactOnly,
+        max_inflight: None,
+    };
+
+    /// Exact piggybacking plus deadline-window merging, no budget.
+    pub const fn merge(window: SimTime) -> Self {
+        ReusePolicy {
+            mode: ReuseMode::Merge { window },
+            max_inflight: None,
+        }
+    }
+
+    /// Returns this policy with the gate cache capped at `n` live
+    /// primaries (oldest-registered evicted first when full).
+    pub const fn with_max_inflight(self, n: usize) -> Self {
+        ReusePolicy {
+            mode: self.mode,
+            max_inflight: Some(n),
+        }
+    }
+
+    /// The coalescing mode.
+    pub fn mode(self) -> ReuseMode {
+        self.mode
+    }
+
+    /// The gate-cache budget, if one is set.
+    pub fn max_inflight(self) -> Option<usize> {
+        self.max_inflight
+    }
+
     /// Whether any reuse happens under this policy.
     pub fn is_enabled(self) -> bool {
-        !matches!(self, ReusePolicy::Off)
+        !matches!(self.mode, ReuseMode::Off)
     }
 
     /// The merge window, when type-class merging is on.
     pub fn merge_window(self) -> Option<SimTime> {
-        match self {
-            ReusePolicy::Merge { window } => Some(window),
+        match self.mode {
+            ReuseMode::Merge { window } => Some(window),
             _ => None,
         }
     }
 
     /// Short stable label (for traces and bench output).
     pub fn name(self) -> &'static str {
-        match self {
-            ReusePolicy::Off => "off",
-            ReusePolicy::ExactOnly => "exact",
-            ReusePolicy::Merge { .. } => "merge",
+        match self.mode {
+            ReuseMode::Off => "off",
+            ReuseMode::ExactOnly => "exact",
+            ReuseMode::Merge { .. } => "merge",
         }
     }
 }
@@ -113,7 +173,7 @@ pub enum Admission {
         internal: TaskId,
     },
     /// The task merged onto a same-type primary within the configured
-    /// deadline window ([`ReusePolicy::Merge`]).
+    /// deadline window ([`ReuseMode::Merge`]).
     Merged {
         /// Shard holding the primary.
         shard: usize,
@@ -211,6 +271,9 @@ struct GateEntry {
     shard: usize,
     internal: u64,
     deadline: SimTime,
+    /// Registration ordinal — the eviction key of the `max_inflight`
+    /// budget (lowest = oldest = evicted first).
+    seq: u64,
 }
 
 /// Class-index tuple: `(deadline ticks, shard, internal, external id)`.
@@ -230,7 +293,7 @@ pub(crate) struct ReuseGate {
     cache: HashMap<(u64, u16), GateEntry>,
     /// Per-type deadline index for window merges; exactly mirrors
     /// `cache` (every cache entry has one tuple here and vice versa)
-    /// when the policy is [`ReusePolicy::Merge`], empty otherwise.
+    /// when the policy is [`ReuseMode::Merge`], empty otherwise.
     classes: HashMap<u16, BTreeSet<ClassTuple>>,
     /// Running max of admitted arrival instants. Entries whose
     /// deadline precedes this are expired: their primary can no longer
@@ -239,6 +302,13 @@ pub(crate) struct ReuseGate {
     /// keeps admission deterministic under the barrier-free stateless
     /// parallel schedule, which routes far ahead of execution.
     watermark: SimTime,
+    /// Registration-order index (`seq` → content key), mirroring
+    /// `cache` exactly; the `max_inflight` budget evicts from its
+    /// front. Maintained unconditionally — it is one `BTreeMap` op per
+    /// cache mutation, and only allocates once reuse is enabled.
+    order: BTreeMap<u64, (u64, u16)>,
+    /// Next registration ordinal.
+    next_seq: u64,
 }
 
 impl ReuseGate {
@@ -248,6 +318,8 @@ impl ReuseGate {
             cache: HashMap::new(),
             classes: HashMap::new(),
             watermark: SimTime::ZERO,
+            order: BTreeMap::new(),
+            next_seq: 0,
         }
     }
 
@@ -279,15 +351,12 @@ impl ReuseGate {
         let key = (task.id.0, task.type_id.0);
         if let Some(entry) = self.cache.get(&key).copied() {
             if entry.deadline < self.watermark {
-                self.cache.remove(&key);
-                self.remove_class_tuple(key.1, &entry, key.0);
+                self.remove_entry(key, &entry);
             } else {
                 return Some((entry.shard, TaskId(entry.internal), false));
             }
         }
-        let ReusePolicy::Merge { window } = self.policy else {
-            return None;
-        };
+        let window = self.policy.merge_window()?;
         self.prune_expired_class(task.type_id.0);
         let class = self.classes.get(&task.type_id.0)?;
         let lo = task.deadline.saturating_sub(window).ticks();
@@ -313,21 +382,37 @@ impl ReuseGate {
             return;
         }
         let key = (task.id.0, task.type_id.0);
+        let seq = self.next_seq;
+        self.next_seq += 1;
         let entry = GateEntry {
             shard,
             internal: internal.0,
             deadline: task.deadline,
+            seq,
         };
         if let Some(old) = self.cache.insert(key, entry) {
+            self.order.remove(&old.seq);
             self.remove_class_tuple(key.1, &old, key.0);
         }
-        if matches!(self.policy, ReusePolicy::Merge { .. }) {
+        self.order.insert(seq, key);
+        if self.policy.merge_window().is_some() {
             self.classes.entry(task.type_id.0).or_default().insert((
                 task.deadline.ticks(),
                 shard as u64,
                 internal.0,
                 task.id.0,
             ));
+        }
+        if let Some(budget) = self.policy.max_inflight() {
+            while self.cache.len() > budget {
+                let Some((_, &victim)) = self.order.iter().next() else {
+                    break;
+                };
+                let Some(oldest) = self.cache.get(&victim).copied() else {
+                    break;
+                };
+                self.remove_entry(victim, &oldest);
+            }
         }
     }
 
@@ -342,9 +427,34 @@ impl ReuseGate {
             .map(|(k, e)| (*k, *e))
             .collect();
         for (key, entry) in dead {
-            self.cache.remove(&key);
-            self.remove_class_tuple(key.1, &entry, key.0);
+            self.remove_entry(key, &entry);
         }
+    }
+
+    /// Drops the primary registered as `(shard, internal)`, if it is
+    /// still live. Called when a federation steal moves the instance
+    /// to another shard: followers must stop piggybacking onto the
+    /// donor-side identity (the adopted instance re-registers under
+    /// the thief's ids when it routes fresh — a stolen task never
+    /// does, so the conservative move is to forget it).
+    pub(crate) fn evict_task(&mut self, shard: usize, internal: TaskId) {
+        let dead: Vec<((u64, u16), GateEntry)> = self
+            .cache
+            .iter()
+            .filter(|(_, e)| e.shard == shard && e.internal == internal.0)
+            .map(|(k, e)| (*k, *e))
+            .collect();
+        for (key, entry) in dead {
+            self.remove_entry(key, &entry);
+        }
+    }
+
+    /// Removes one cache entry plus its order-index and class-tuple
+    /// mirrors — the single exit point every eviction path uses.
+    fn remove_entry(&mut self, key: (u64, u16), entry: &GateEntry) {
+        self.cache.remove(&key);
+        self.order.remove(&entry.seq);
+        self.remove_class_tuple(key.1, entry, key.0);
     }
 
     /// Removes the class tuple mirroring a cache entry (no-op outside
@@ -381,7 +491,9 @@ impl ReuseGate {
             }
         }
         for ext in dead_keys {
-            self.cache.remove(&(ext, ty));
+            if let Some(e) = self.cache.remove(&(ext, ty)) {
+                self.order.remove(&e.seq);
+            }
         }
     }
 
@@ -402,12 +514,14 @@ impl ReuseGate {
                     ("shard".to_owned(), (e.shard as u64).to_value()),
                     ("internal".to_owned(), e.internal.to_value()),
                     ("deadline".to_owned(), e.deadline.to_value()),
+                    ("seq".to_owned(), e.seq.to_value()),
                 ])
             })
             .collect();
         Value::Object(vec![
             ("watermark".to_owned(), self.watermark.to_value()),
             ("cache".to_owned(), Value::Array(cache)),
+            ("next_seq".to_owned(), self.next_seq.to_value()),
         ])
     }
 
@@ -423,22 +537,41 @@ impl ReuseGate {
         };
         self.cache.clear();
         self.classes.clear();
+        self.order.clear();
         self.watermark = watermark;
+        // `seq`/`next_seq` are absent from pre-budget captures; assign
+        // registration ordinals in the canonical serialized order so a
+        // legacy snapshot restores to a well-formed (if arbitrary)
+        // eviction order.
+        let mut next_seq = match v.get_opt("next_seq") {
+            Some(val) => u64::from_value(val)?,
+            None => 0,
+        };
         for item in items {
             let ext = u64::from_value(item.get_field("ext")?)?;
             let ty = u16::from_value(item.get_field("ty")?)?;
             let shard = u64::from_value(item.get_field("shard")?)? as usize;
             let internal = u64::from_value(item.get_field("internal")?)?;
             let deadline = SimTime::from_value(item.get_field("deadline")?)?;
+            let seq = match item.get_opt("seq") {
+                Some(s) => u64::from_value(s)?,
+                None => {
+                    let s = next_seq;
+                    next_seq += 1;
+                    s
+                }
+            };
             self.cache.insert(
                 (ext, ty),
                 GateEntry {
                     shard,
                     internal,
                     deadline,
+                    seq,
                 },
             );
-            if matches!(self.policy, ReusePolicy::Merge { .. }) {
+            self.order.insert(seq, (ext, ty));
+            if self.policy.merge_window().is_some() {
                 self.classes.entry(ty).or_default().insert((
                     deadline.ticks(),
                     shard as u64,
@@ -447,6 +580,8 @@ impl ReuseGate {
                 ));
             }
         }
+        self.next_seq = next_seq
+            .max(self.cache.values().map(|e| e.seq + 1).max().unwrap_or(0));
         Ok(())
     }
 }
@@ -680,9 +815,7 @@ mod tests {
 
     #[test]
     fn merge_window_coalesces_same_type_late_deadline() {
-        let mut gate = ReuseGate::new(ReusePolicy::Merge {
-            window: SimTime(200),
-        });
+        let mut gate = ReuseGate::new(ReusePolicy::merge(SimTime(200)));
         let p = task(1, 5, 0, 1_000);
         gate.admit(&p);
         gate.register(&p, 2, TaskId(9));
@@ -702,9 +835,7 @@ mod tests {
 
     #[test]
     fn merge_prefers_latest_in_window_primary() {
-        let mut gate = ReuseGate::new(ReusePolicy::Merge {
-            window: SimTime(1_000),
-        });
+        let mut gate = ReuseGate::new(ReusePolicy::merge(SimTime(1_000)));
         let a = task(1, 0, 0, 500);
         let b = task(2, 0, 0, 800);
         gate.admit(&a);
@@ -721,9 +852,7 @@ mod tests {
 
     #[test]
     fn evict_shard_removes_its_primaries_only() {
-        let mut gate = ReuseGate::new(ReusePolicy::Merge {
-            window: SimTime(500),
-        });
+        let mut gate = ReuseGate::new(ReusePolicy::merge(SimTime(500)));
         let a = task(1, 0, 0, 1_000);
         let b = task(2, 0, 0, 1_100);
         gate.register(&a, 0, TaskId(0));
@@ -739,18 +868,103 @@ mod tests {
     }
 
     #[test]
+    fn inflight_budget_evicts_oldest_primary_first() {
+        let policy = ReusePolicy::ExactOnly.with_max_inflight(2);
+        let mut gate = ReuseGate::new(policy);
+        let (a, b, c) = (
+            task(1, 0, 0, 1_000),
+            task(2, 0, 1, 1_000),
+            task(3, 0, 2, 1_000),
+        );
+        gate.register(&a, 0, TaskId(0));
+        gate.register(&b, 0, TaskId(1));
+        // Third registration exceeds the budget: the oldest (a) goes.
+        gate.register(&c, 0, TaskId(2));
+        assert_eq!(gate.len(), 2);
+        assert_eq!(gate.admit(&task(1, 0, 3, 1_000)), None);
+        assert_eq!(
+            gate.admit(&task(2, 0, 4, 1_000)),
+            Some((0, TaskId(1), false))
+        );
+        assert_eq!(
+            gate.admit(&task(3, 0, 5, 1_000)),
+            Some((0, TaskId(2), false))
+        );
+    }
+
+    #[test]
+    fn reregistration_refreshes_eviction_order() {
+        let policy = ReusePolicy::ExactOnly.with_max_inflight(2);
+        let mut gate = ReuseGate::new(policy);
+        let (a, b, c) = (
+            task(1, 0, 0, 1_000),
+            task(2, 0, 1, 1_000),
+            task(3, 0, 2, 1_000),
+        );
+        gate.register(&a, 0, TaskId(0));
+        gate.register(&b, 0, TaskId(1));
+        // Re-registering a's key makes it the *newest* primary, so the
+        // budget overflow now evicts b instead.
+        gate.register(&a, 1, TaskId(5));
+        gate.register(&c, 0, TaskId(2));
+        assert_eq!(gate.admit(&task(2, 0, 4, 1_000)), None);
+        assert_eq!(
+            gate.admit(&task(1, 0, 5, 1_000)),
+            Some((1, TaskId(5), false))
+        );
+    }
+
+    #[test]
+    fn unreached_budget_is_byte_identical_to_unbudgeted() {
+        let mut capped = ReuseGate::new(
+            ReusePolicy::merge(SimTime(300)).with_max_inflight(8),
+        );
+        let mut free = ReuseGate::new(ReusePolicy::merge(SimTime(300)));
+        for i in 0..5u64 {
+            let t = task(i, (i % 2) as u16, i, 1_000 + i);
+            capped.admit(&t);
+            capped.register(&t, 0, TaskId(i));
+            free.admit(&t);
+            free.register(&t, 0, TaskId(i));
+        }
+        // Five live primaries never reach the budget of eight, so the
+        // serialized gate state is identical byte for byte.
+        assert_eq!(
+            serde_json::to_string(&capped.state_value()).unwrap(),
+            serde_json::to_string(&free.state_value()).unwrap(),
+        );
+    }
+
+    #[test]
+    fn budget_survives_state_roundtrip() {
+        let policy = ReusePolicy::ExactOnly.with_max_inflight(2);
+        let mut gate = ReuseGate::new(policy);
+        let (a, b) = (task(1, 0, 0, 1_000), task(2, 0, 1, 1_000));
+        gate.register(&a, 0, TaskId(0));
+        gate.register(&b, 0, TaskId(1));
+        let state = gate.state_value();
+
+        let mut back = ReuseGate::new(policy);
+        back.restore_value(&state).expect("state restores");
+        // The restored gate kept registration order: overflowing the
+        // budget still evicts a (the oldest), not b.
+        back.register(&task(3, 0, 2, 1_000), 0, TaskId(2));
+        assert_eq!(back.admit(&task(1, 0, 3, 1_000)), None);
+        assert_eq!(
+            back.admit(&task(2, 0, 4, 1_000)),
+            Some((0, TaskId(1), false))
+        );
+    }
+
+    #[test]
     fn gate_state_roundtrips_and_rebuilds_class_index() {
-        let mut gate = ReuseGate::new(ReusePolicy::Merge {
-            window: SimTime(300),
-        });
+        let mut gate = ReuseGate::new(ReusePolicy::merge(SimTime(300)));
         let a = task(1, 0, 50, 1_000);
         gate.admit(&a);
         gate.register(&a, 0, TaskId(3));
         let state = gate.state_value();
 
-        let mut back = ReuseGate::new(ReusePolicy::Merge {
-            window: SimTime(300),
-        });
+        let mut back = ReuseGate::new(ReusePolicy::merge(SimTime(300)));
         back.restore_value(&state).expect("state restores");
         assert_eq!(back.watermark, SimTime(50));
         // Restored state re-serializes to the same canonical bytes

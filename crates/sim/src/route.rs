@@ -20,6 +20,59 @@
 use crate::view::SystemView;
 use taskprune_model::Task;
 
+/// How fresh the shard views handed to a stateful [`RoutePolicy`] must
+/// be — the knob that trades routing accuracy for barrier-free
+/// parallelism (set via [`crate::GatewayBuilder::consistency`]).
+///
+/// Under [`Consistency::Lockstep`] every stateful routing decision
+/// reads live shard state, which forces the parallel driver into one
+/// global barrier per arrival. Under
+/// [`Consistency::BoundedStale`]`{k}` the gateway instead routes on a
+/// cached, epoch-stamped view table refreshed every `k + 1` arrivals
+/// (at arrival ordinals divisible by `k + 1`, counting every admitted
+/// task including reuse absorptions), so views are at most `k`
+/// arrivals stale. The refresh schedule is pinned to the same
+/// (arrival-ordinal, shard-op-count) coordinate system
+/// [`crate::FaultPlan`] uses, so serial and parallel drivers observe
+/// byte-identical stale views and produce byte-identical runs — the
+/// relaxed equivalence contract in `tests/relaxed_equivalence.rs`.
+///
+/// `BoundedStale { k: 0 }` refreshes before every arrival and is
+/// bit-for-bit identical to `Lockstep`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Consistency {
+    /// Stateful policies route on live shard state; the parallel
+    /// driver synchronises every arrival (the PR 5 behaviour).
+    #[default]
+    Lockstep,
+    /// Stateful policies route on views at most `k` arrivals stale;
+    /// the parallel driver only synchronises at view-refresh ordinals.
+    BoundedStale {
+        /// Maximum staleness, in arrivals, of the view table.
+        k: u64,
+    },
+}
+
+impl Consistency {
+    /// The view-refresh period in arrivals: the table is rebuilt at
+    /// every arrival ordinal divisible by this. `Lockstep` behaves as
+    /// period 1 (always fresh).
+    pub fn refresh_period(self) -> u64 {
+        match self {
+            Consistency::Lockstep => 1,
+            Consistency::BoundedStale { k } => k.saturating_add(1),
+        }
+    }
+
+    /// The staleness bound `k` (0 under `Lockstep`).
+    pub fn staleness(self) -> u64 {
+        match self {
+            Consistency::Lockstep => 0,
+            Consistency::BoundedStale { k } => k,
+        }
+    }
+}
+
 /// A read-only snapshot of one shard, handed to routing policies.
 ///
 /// Wraps the shard's [`SystemView`] (machine queues, PET matrix, chance

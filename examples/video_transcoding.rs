@@ -135,12 +135,7 @@ fn main() {
     let policies = [
         ("off", ReusePolicy::Off),
         ("exact", ReusePolicy::ExactOnly),
-        (
-            "merge",
-            ReusePolicy::Merge {
-                window: merge_window,
-            },
-        ),
+        ("merge", ReusePolicy::merge(merge_window)),
     ];
     println!(
         "dup-rate  policy   on-air %   dedup-hits   merges   cycles saved"
