@@ -46,6 +46,20 @@
 //! `tests/relaxed_equivalence.rs`); `steals_pct` and `staleness_k`
 //! are recorded beside the existing columns.
 //!
+//! **`gateway_tenant_{off,quota,ladder}`** — the multi-tenant
+//! admission layer on the same 4-shard serial scenario with 3 SLA
+//! lanes (Premium / Standard / BestEffort). The `off` leg installs no
+//! tenancy (byte-identical to the pre-tenancy gateway, pinned by
+//! `tests/tenant_isolation.rs`) and is the family's yardstick, so
+//! `speedup` is the admission layer's ingest overhead. `quota` puts a
+//! token bucket on the Standard lane; `ladder` adds weighted-fair
+//! admission and runs under a default-policy supervisor so the
+//! overload degradation ladder gets sensing ticks.
+//! `per_tenant_robustness_pct` (the robustness floor across tenants
+//! that submitted — the SLA-isolation signal) and `shed_pct`
+//! (front-door drops as a % of submissions) are recorded beside the
+//! existing columns.
+//!
 //! Entries reuse the [`BenchEntry`] schema so the commit-stamped
 //! [`BenchSeries`] machinery (per-scenario noise-aware regression
 //! gates) applies unchanged: `queue_depth` = shard count (ingest
@@ -77,6 +91,9 @@ use taskprune::prelude::*;
 use taskprune::pruner::PruningMechanism;
 use taskprune_bench::args::BaselineArgs;
 use taskprune_bench::report::{BenchEntry, BenchSeries};
+use taskprune_sim::{
+    LadderConfig, RateLimit, SlaClass, TenancyPolicy, TenantSpec,
+};
 
 const REGRESSION_THRESHOLD: f64 = 0.15;
 
@@ -110,6 +127,10 @@ const THREAD_SCALING_GATE: f64 = 1.5;
 /// refresh every `k + 1` arrivals, so the parallel driver only
 /// synchronises at one in five arrivals instead of all of them.
 const STATEFUL_STALENESS_K: u64 = 4;
+
+/// Tenant-lane count of the `gateway_tenant_*` family (Premium /
+/// Standard / BestEffort, one lane per SLA class).
+const TENANT_LANES: usize = 3;
 
 struct Measured {
     ns_per_arrival: f64,
@@ -257,6 +278,81 @@ fn measure_under_faults(
     stats.paper_robustness_pct()
 }
 
+struct TenantMeasured {
+    ns_per_arrival: f64,
+    robustness_pct: f64,
+    /// Floor of per-tenant robustness over tenants that submitted
+    /// anything; `None` when the run has no admission layer.
+    per_tenant_robustness_pct: Option<f64>,
+    /// % of submitted arrivals the admission layer shed across all
+    /// tenants; `None` when the run has no admission layer.
+    shed_pct: Option<f64>,
+}
+
+/// Serial 4-shard run with an optional multi-tenant admission layer,
+/// best-of-N like [`measure`]. `supervised` routes the run through a
+/// default-policy [`Supervisor`] (fault-free) so a configured overload
+/// ladder actually gets sensing ticks — the ladder is supervisor-driven
+/// and inert under a bare engine.
+fn measure_tenancy(
+    cluster: &Cluster,
+    pet: &PetMatrix,
+    tasks: &[Task],
+    repeats: u32,
+    tenancy: impl Fn() -> Option<TenancyPolicy>,
+    supervised: bool,
+) -> TenantMeasured {
+    let mut best = f64::INFINITY;
+    let mut robustness = 0.0;
+    let mut per_tenant = None;
+    let mut shed = None;
+    for _ in 0..repeats {
+        let mut builder = build_engine(
+            cluster,
+            pet,
+            PARALLEL_SHARDS,
+            ReusePolicy::Off,
+            false,
+        );
+        if let Some(policy) = tenancy() {
+            builder = builder.tenancy(policy);
+        }
+        let engine = builder.build().expect("valid configuration");
+        let start = Instant::now();
+        let stats = if supervised {
+            Supervisor::new(engine, RecoveryPolicy::default())
+                .run_stream(tasks.iter().copied())
+        } else {
+            engine.run_stream(tasks.iter().copied())
+        };
+        let elapsed = start.elapsed().as_nanos() as f64;
+        assert_eq!(stats.unreported(), 0);
+        best = best.min(elapsed / tasks.len() as f64);
+        robustness = stats.paper_robustness_pct();
+        if let Some(slices) = stats.tenant_slices() {
+            per_tenant = slices
+                .iter()
+                .filter(|s| s.counters.submitted > 0)
+                .map(|s| s.robustness_pct())
+                .fold(None, |acc: Option<f64>, r| {
+                    Some(acc.map_or(r, |a| a.min(r)))
+                });
+            let submitted: u64 =
+                slices.iter().map(|s| s.counters.submitted).sum();
+            let total_shed: u64 =
+                slices.iter().map(|s| s.counters.shed()).sum();
+            shed = (submitted > 0)
+                .then(|| 100.0 * total_shed as f64 / submitted as f64);
+        }
+    }
+    TenantMeasured {
+        ns_per_arrival: best,
+        robustness_pct: robustness,
+        per_tenant_robustness_pct: per_tenant,
+        shed_pct: shed,
+    }
+}
+
 fn main() {
     let BaselineArgs {
         smoke,
@@ -331,6 +427,8 @@ fn main() {
             arrivals_per_sec: Some(1e9 / ns),
             steals_pct: None,
             staleness_k: None,
+            per_tenant_robustness_pct: None,
+            shed_pct: None,
         });
     }
 
@@ -403,6 +501,8 @@ fn main() {
             arrivals_per_sec: Some(1e9 / ns),
             steals_pct: None,
             staleness_k: None,
+            per_tenant_robustness_pct: None,
+            shed_pct: None,
         });
     }
 
@@ -459,6 +559,8 @@ fn main() {
                 arrivals_per_sec: Some(1e9 / ns),
                 steals_pct: None,
                 staleness_k: None,
+                per_tenant_robustness_pct: None,
+                shed_pct: None,
             });
         }
     }
@@ -524,6 +626,95 @@ fn main() {
             arrivals_per_sec: Some(1e9 / ns),
             steals_pct: Some(steals_pct),
             staleness_k: Some(STATEFUL_STALENESS_K),
+            per_tenant_robustness_pct: None,
+            shed_pct: None,
+        });
+    }
+
+    // Family 5: the multi-tenant admission layer (serial driver at 4
+    // shards, 3 SLA lanes). `off` runs the identical workload with no
+    // tenancy installed — the equivalence suite pins it byte-identical
+    // to the pre-tenancy gateway, so it is the family's yardstick and
+    // `speedup` is the admission layer's ingest overhead (≈1x when the
+    // front-door check is cheap). `quota` gives the Standard lane a
+    // real token bucket, `ladder` adds weighted-fair admission plus
+    // the supervisor-driven overload degradation ladder; both record
+    // `per_tenant_robustness_pct` (the floor across tenants — the
+    // SLA-isolation signal) and `shed_pct` (front-door drops).
+    type TenancyMaker = fn() -> Option<TenancyPolicy>;
+    let tenant_scenarios: [(&str, TenancyMaker, bool); 3] = [
+        ("off", || None, false),
+        (
+            "quota",
+            || {
+                Some(
+                    TenancyPolicy::new(TENANT_LANES as u64)
+                        .tenant(TenantSpec::new(SlaClass::Premium))
+                        .tenant(
+                            TenantSpec::new(SlaClass::Standard)
+                                .quota(RateLimit::per_ticks(16, 1_000)),
+                        )
+                        .tenant(TenantSpec::new(SlaClass::BestEffort)),
+                )
+            },
+            false,
+        ),
+        (
+            "ladder",
+            || {
+                Some(
+                    TenancyPolicy::new(TENANT_LANES as u64)
+                        .tenant(TenantSpec::new(SlaClass::Premium).weight(3))
+                        .tenant(TenantSpec::new(SlaClass::Standard).weight(2))
+                        .tenant(TenantSpec::new(SlaClass::BestEffort))
+                        .ladder(LadderConfig {
+                            high: 48,
+                            low: 4,
+                            sustain: 2,
+                            retry_after: 64,
+                        }),
+                )
+            },
+            true,
+        ),
+    ];
+    let mut tenant_yardstick = f64::NAN;
+    for (name, tenancy, supervised) in tenant_scenarios {
+        let m = measure_tenancy(
+            &cluster, &pet, &tasks, repeats, tenancy, supervised,
+        );
+        let ns = m.ns_per_arrival;
+        if name == "off" {
+            tenant_yardstick = ns;
+        }
+        eprintln!(
+            "gateway_tenant {name} ({TENANT_LANES} lanes, at \
+             {PARALLEL_SHARDS} shards): {ns:>9.0} ns/arrival \
+             ({:>9.0} arrivals/s), {:.2}x vs no tenancy, robustness \
+             {:.1} % (per-tenant floor {}, shed {})",
+            1e9 / ns,
+            tenant_yardstick / ns,
+            m.robustness_pct,
+            m.per_tenant_robustness_pct
+                .map_or("-".to_string(), |p| format!("{p:.1} %")),
+            m.shed_pct.map_or("-".to_string(), |p| format!("{p:.1} %")),
+        );
+        entries.push(BenchEntry {
+            scenario: format!("gateway_tenant_{name}"),
+            queue_depth: TENANT_LANES,
+            pet_support: total_tasks,
+            incremental_ns: ns,
+            scratch_ns: tenant_yardstick,
+            speedup: tenant_yardstick / ns,
+            robustness_pct: Some(m.robustness_pct),
+            robustness_under_faults_pct: None,
+            gate: None,
+            reuse_hit_pct: None,
+            arrivals_per_sec: Some(1e9 / ns),
+            steals_pct: None,
+            staleness_k: None,
+            per_tenant_robustness_pct: m.per_tenant_robustness_pct,
+            shed_pct: m.shed_pct,
         });
     }
 
@@ -556,7 +747,16 @@ fn main() {
          least-queued policy routing on BoundedStale{k:4} views with \
          batch-queue stealing (steals_pct = % of arrivals moved between \
          shards, staleness_k = the staleness bound); output is \
-         bit-identical across thread counts. One commit-stamped run \
+         bit-identical across thread counts. The \
+         gateway_tenant_{off,quota,ladder} family runs the same workload \
+         through the multi-tenant admission layer at 3 SLA lanes \
+         (queue_depth = lane count): off = no tenancy (the yardstick — \
+         byte-identical to the pre-tenancy gateway), quota = a token \
+         bucket on the Standard lane, ladder = weighted-fair admission \
+         plus the supervisor-driven overload degradation ladder; \
+         per_tenant_robustness_pct = the robustness floor across \
+         tenants that submitted (the SLA-isolation signal), shed_pct = \
+         front-door drops as a % of submissions. One commit-stamped run \
          appended per invocation.",
     )
     .expect("unreadable bench series — fix or remove it before appending");

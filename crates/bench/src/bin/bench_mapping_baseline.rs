@@ -137,6 +137,8 @@ fn main() {
                     arrivals_per_sec: None,
                     steals_pct: None,
                     staleness_k: None,
+                    per_tenant_robustness_pct: None,
+                    shed_pct: None,
                 });
             };
 

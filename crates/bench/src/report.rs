@@ -145,6 +145,22 @@ pub struct BenchEntry {
     /// routed under (`0` = per-arrival refresh ≡ Lockstep). `None` for
     /// scenarios without the relaxed-routing layer.
     pub staleness_k: Option<u64>,
+    /// The **floor** of per-tenant robustness (% on time) across every
+    /// tenant that submitted work in the measured run — the
+    /// SLA-isolation signal of the multi-tenant admission layer: the
+    /// aggregate `robustness_pct` can hide one starved tenant behind
+    /// healthy neighbours, the floor cannot. `None` for scenarios
+    /// without a tenancy policy (including every entry recorded before
+    /// the admission layer existed).
+    pub per_tenant_robustness_pct: Option<f64>,
+    /// Percentage of submitted arrivals the tenant admission layer
+    /// shed (quota + throttle + overload, over all tenants) in the
+    /// measured run — tracked beside
+    /// [`BenchEntry::per_tenant_robustness_pct`] so throughput and
+    /// quality shifts in the tenant family can be read against how
+    /// much load the front door actually refused. `None` for
+    /// scenarios without a tenancy policy.
+    pub shed_pct: Option<f64>,
 }
 
 // Hand-written (de)serialization instead of the derive: runs recorded
@@ -173,6 +189,11 @@ impl Serialize for BenchEntry {
             ),
             ("steals_pct".to_string(), self.steals_pct.to_value()),
             ("staleness_k".to_string(), self.staleness_k.to_value()),
+            (
+                "per_tenant_robustness_pct".to_string(),
+                self.per_tenant_robustness_pct.to_value(),
+            ),
+            ("shed_pct".to_string(), self.shed_pct.to_value()),
         ])
     }
 }
@@ -217,6 +238,16 @@ impl Deserialize for BenchEntry {
             staleness_k: match v.get_opt("staleness_k") {
                 Some(field) => Deserialize::from_value(field)?,
                 None => None, // pre-PR9 run: field absent
+            },
+            per_tenant_robustness_pct: match v
+                .get_opt("per_tenant_robustness_pct")
+            {
+                Some(field) => Deserialize::from_value(field)?,
+                None => None, // pre-PR10 run: field absent
+            },
+            shed_pct: match v.get_opt("shed_pct") {
+                Some(field) => Deserialize::from_value(field)?,
+                None => None, // pre-PR10 run: field absent
             },
         })
     }
@@ -607,6 +638,8 @@ mod tests {
             arrivals_per_sec: None,
             steals_pct: None,
             staleness_k: None,
+            per_tenant_robustness_pct: None,
+            shed_pct: None,
         }
     }
 
@@ -626,6 +659,8 @@ mod tests {
         assert_eq!(parsed.arrivals_per_sec, None);
         assert_eq!(parsed.steals_pct, None);
         assert_eq!(parsed.staleness_k, None);
+        assert_eq!(parsed.per_tenant_robustness_pct, None);
+        assert_eq!(parsed.shed_pct, None);
         let mut with_field = parsed.clone();
         with_field.robustness_pct = Some(84.5);
         with_field.robustness_under_faults_pct = Some(61.2);
@@ -633,6 +668,8 @@ mod tests {
         with_field.arrivals_per_sec = Some(1.25e6);
         with_field.steals_pct = Some(0.85);
         with_field.staleness_k = Some(4);
+        with_field.per_tenant_robustness_pct = Some(71.5);
+        with_field.shed_pct = Some(12.5);
         let json = serde_json::to_string(&with_field).unwrap();
         let back: BenchEntry =
             serde_json::from_str(&json).expect("new entry parses");
@@ -642,6 +679,8 @@ mod tests {
         assert_eq!(back.arrivals_per_sec, Some(1.25e6));
         assert_eq!(back.steals_pct, Some(0.85));
         assert_eq!(back.staleness_k, Some(4));
+        assert_eq!(back.per_tenant_robustness_pct, Some(71.5));
+        assert_eq!(back.shed_pct, Some(12.5));
         assert_eq!(back.scenario, "tail_drop");
         assert_eq!(back.speedup, 10.0);
     }
@@ -761,6 +800,8 @@ mod tests {
             arrivals_per_sec: None,
             steals_pct: None,
             staleness_k: None,
+            per_tenant_robustness_pct: None,
+            shed_pct: None,
         };
         series.append("d", vec![cross_machine]);
         let ratio = series.check_regression(0.15).expect("machine-neutral");
@@ -823,6 +864,8 @@ mod tests {
             arrivals_per_sec: None,
             steals_pct: None,
             staleness_k: None,
+            per_tenant_robustness_pct: None,
+            shed_pct: None,
         };
         let mut series = BenchSeries {
             name: "probe".to_string(),

@@ -198,6 +198,18 @@ pub enum RunError {
     /// checkpoint. Call `enable_journal` before the run (the
     /// [`crate::Supervisor`] does this automatically).
     RecoveryUnavailable,
+    /// The overload degradation ladder is rejecting this tenant's
+    /// class outright (rung ≥ 2 for BestEffort, rung 3 for everything
+    /// non-Premium). Surfaced by the fallible admission path
+    /// ([`crate::Gateway::try_push_arrival`]); the infallible paths
+    /// report the same event as [`crate::Admission::Shed`].
+    Overloaded {
+        /// The tenant whose arrival was rejected.
+        tenant: u64,
+        /// Suggested back-off, in simulation ticks, from the
+        /// federation's [`crate::LadderConfig`].
+        retry_after: u64,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -212,6 +224,14 @@ impl fmt::Display for RunError {
                  operation journal there is nothing to replay, and \
                  recovery would silently lose operations"
             ),
+            RunError::Overloaded {
+                tenant,
+                retry_after,
+            } => write!(
+                f,
+                "federation overloaded: tenant {tenant} rejected by the \
+                 degradation ladder, retry after {retry_after} ticks"
+            ),
         }
     }
 }
@@ -222,7 +242,7 @@ impl std::error::Error for RunError {
             RunError::Config(e) => Some(e),
             RunError::Stats(e) => Some(e),
             RunError::Snapshot(e) => Some(e),
-            RunError::RecoveryUnavailable => None,
+            RunError::RecoveryUnavailable | RunError::Overloaded { .. } => None,
         }
     }
 }

@@ -174,6 +174,13 @@ pub struct SchedulerCore<'a, S: Sink = NullSink> {
     /// (see [`crate::reuse`]). Inactive (and cost-free) unless the
     /// gateway enables reuse.
     reuse: ReuseLedger,
+    /// The overload-ladder rung this core prunes under: `None` when
+    /// tenancy is off (the historical float path, untouched),
+    /// `Some(r)` when a [`crate::TenancyPolicy`] is installed. The
+    /// rung selects the per-SLA-class chance bias
+    /// ([`crate::tenant::sla_chance_bias`]) applied before the
+    /// pruner's deferral test — BestEffort prunes first, Premium last.
+    sla_rung: Option<u8>,
 }
 
 impl<'a, S: Sink> SchedulerCore<'a, S> {
@@ -213,6 +220,7 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
             drop_buf: Vec::new(),
             drop_ids_buf: Vec::new(),
             reuse: ReuseLedger::new(),
+            sla_rung: None,
         }
     }
 
@@ -240,6 +248,7 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
             drop_buf: self.drop_buf,
             drop_ids_buf: self.drop_ids_buf,
             reuse: self.reuse,
+            sla_rung: self.sla_rung,
         }
     }
 
@@ -480,6 +489,23 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
         *self.reuse.stats()
     }
 
+    /// Activates SLA-aware pruning at rung 0; set by the gateway
+    /// builder when a [`crate::TenancyPolicy`] is installed. Without
+    /// this the core never touches the chance value the pruner sees.
+    pub(crate) fn set_sla_active(&mut self, active: bool) {
+        self.sla_rung = if active { Some(0) } else { None };
+    }
+
+    /// Moves this core to an overload-ladder rung (live transition or
+    /// [`crate::JournalOp::SlaRung`] replay). No-op tightening: the
+    /// bias is a pure function of (class, rung), so stepping back down
+    /// restores the previous pruning behaviour exactly.
+    pub(crate) fn set_sla_rung(&mut self, rung: u8) {
+        if self.sla_rung.is_some() {
+            self.sla_rung = Some(rung);
+        }
+    }
+
     /// Runs a synthetic mapping event at the current clock: nothing
     /// arrived and nothing completed, but pending work should be
     /// reconsidered (deferred tasks retried or reactively dropped).
@@ -702,6 +728,7 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
                 ("pruner".to_owned(), self.pruner.snapshot_state()),
                 ("sink".to_owned(), self.sink.snapshot_state()),
                 ("reuse".to_owned(), self.reuse.state_value()),
+                ("sla_rung".to_owned(), self.sla_rung.to_value()),
             ]),
         )
     }
@@ -745,6 +772,11 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
             // Pre-reuse snapshot: nothing was parked.
             None => self.reuse.clear(),
         }
+        // Pre-tenancy snapshot: SLA-aware pruning was off.
+        self.sla_rung = match payload.get_opt("sla_rung") {
+            Some(state) => Option::<u8>::from_value(state)?,
+            None => None,
+        };
         self.now = now;
         self.arrival_queue = arrival_queue;
         self.stats = stats;
@@ -1018,6 +1050,24 @@ impl<'a, S: Sink> SchedulerCore<'a, S> {
                     let view =
                         SystemView::new(self.now, &self.queues, self.pet);
                     view.chance_if_appended(assignment.machine, &task)
+                };
+                // SLA-class pruning offset: shift the chance the pruner
+                // judges by the (class, ladder-rung) bias so BestEffort
+                // prunes first and Premium last. The bias is exactly
+                // 0.0 for Standard below rung 2, and the shift is
+                // skipped entirely then, keeping the tenancy-off (and
+                // calm all-Standard) float paths bit-identical.
+                let chance = match self.sla_rung {
+                    Some(rung) => {
+                        let bias =
+                            crate::tenant::sla_chance_bias(task.value, rung);
+                        if bias != 0.0 {
+                            (chance + bias).clamp(0.0, 1.0)
+                        } else {
+                            chance
+                        }
+                    }
+                    None => chance,
                 };
                 if self.pruner.should_defer(&task, chance) {
                     deferred.insert(task.id);

@@ -39,8 +39,11 @@ use crate::reuse::{Admission, Admit, ReuseGate, ReusePolicy, ReuseStats};
 use crate::route::{Consistency, RoundRobinRoute, RoutePolicy, ShardView};
 use crate::sink::{NullSink, Sink};
 use crate::snapshot::{Snapshot, SnapshotError};
-use crate::stats::{SimStats, StealStats};
+use crate::stats::{SimStats, StealStats, TenancyStats, TenantSlice};
 use crate::supervisor::RecoveryLog;
+use crate::tenant::{
+    ShedReason, TenancyPolicy, TenantAdmissionStats, TenantTable, TenantVerdict,
+};
 use crate::traits::{MappingStrategy, Pruner};
 use crate::view::SystemView;
 use serde::{Deserialize, Error, Serialize, Value};
@@ -163,11 +166,16 @@ pub struct FedStart {
 /// One shard's epoch-stamped entry in the bounded-staleness view
 /// table: its clock, batch-queue depth and machine queues (with their
 /// cached Eq. 1 chance summaries) exactly as published at the last
-/// sync point.
+/// sync point (or re-published mid-pass by a steal transfer).
 struct StaleShard {
     now: SimTime,
     pending: usize,
     queues: Vec<MachineQueue>,
+    /// The global arrival ordinal (`arrival_order.len()`) at which this
+    /// entry was published. Routing hands policies the difference
+    /// `now_ordinal − published` as [`ShardView::age`], so
+    /// staleness-aware policies can discount old entries.
+    published: u64,
 }
 
 /// The versioned view table stateful policies route on under
@@ -237,6 +245,11 @@ pub struct Gateway<'a, S: Sink = NullSink> {
     /// overhead otherwise — and rebuilt from the arrival order on
     /// restore.
     arrival_idx: HashMap<(u32, u64), usize>,
+    /// The multi-tenant admission table (quotas, SLA classes, overload
+    /// ladder — see [`crate::tenant`]). `None` when no
+    /// [`TenancyPolicy`] was installed: every arrival is admitted and
+    /// the gateway is byte-identical to a pre-tenancy one.
+    tenants: Option<TenantTable>,
 }
 
 impl<'a, S: Sink> Gateway<'a, S> {
@@ -246,6 +259,7 @@ impl<'a, S: Sink> Gateway<'a, S> {
         reuse: ReuseGate,
         consistency: Consistency,
         stealing: bool,
+        tenancy: Option<TenancyPolicy>,
     ) -> Self {
         let n = shards.len();
         Self {
@@ -263,6 +277,7 @@ impl<'a, S: Sink> Gateway<'a, S> {
             stale: None,
             steal_stats: StealStats::default(),
             arrival_idx: HashMap::new(),
+            tenants: tenancy.map(TenantTable::new),
         }
     }
 
@@ -388,6 +403,7 @@ impl<'a, S: Sink> Gateway<'a, S> {
     /// and machine queues (chance caches included) cloned at this sync
     /// instant.
     fn refresh_views(&mut self) {
+        let published = self.arrival_order.len() as u64;
         let shards: Vec<StaleShard> = self
             .shards
             .iter()
@@ -395,11 +411,33 @@ impl<'a, S: Sink> Gateway<'a, S> {
                 now: s.now(),
                 pending: s.pending_batch_len(),
                 queues: s.clone_queues(),
+                published,
             })
             .collect();
         let epoch = self.stale.as_ref().map_or(0, |t| t.epoch + 1);
         self.stale = Some(StaleTable { epoch, shards });
         self.steal_stats.view_refreshes += 1;
+    }
+
+    /// Re-publishes one shard's view-table entry from its live state
+    /// right now — the steal pass calls this for each victim and thief
+    /// so the table reflects a transfer *immediately*, instead of
+    /// advertising the victim's stolen backlog (and the thief's
+    /// vanished idleness) until the next sync ordinal. No-op when no
+    /// stale table exists. Deterministic: both drivers run the steal
+    /// pass at identical ordinals with identical state.
+    fn republish_view(&mut self, shard: usize) {
+        let published = self.arrival_order.len() as u64;
+        let Some(table) = self.stale.as_mut() else {
+            return;
+        };
+        let s = &self.shards[shard];
+        table.shards[shard] = StaleShard {
+            now: s.now(),
+            pending: s.pending_batch_len(),
+            queues: s.clone_queues(),
+            published,
+        };
     }
 
     /// The steal pass: every idle healthy shard (empty batch queue)
@@ -478,6 +516,13 @@ impl<'a, S: Sink> Gateway<'a, S> {
                     to: thief,
                     moved,
                 });
+                // Steal-triggered refresh: the table must not keep
+                // advertising state this transfer just invalidated.
+                // (The sync point's full refresh follows when stale
+                // routing is on; these two entries are additionally
+                // current for any later thief in this same pass.)
+                self.republish_view(victim);
+                self.republish_view(thief);
             }
         }
         if any_idle {
@@ -509,14 +554,125 @@ impl<'a, S: Sink> Gateway<'a, S> {
         }
     }
 
+    /// The tenant-admission check every driver runs **before any other
+    /// per-arrival side effect** (clock advance, sync point, arrival
+    /// log, watermark). Returns `Some((tenant, reason))` when the task
+    /// is shed — the caller must then skip the arrival entirely, as if
+    /// it never existed: that invisibility is what makes one tenant's
+    /// burst unobservable in every other tenant's coordinates (the SLA
+    /// isolation guarantee). On admission the task is stamped with its
+    /// SLA class's value tag and `None` is returned. No-op `None` when
+    /// tenancy is off.
+    pub(crate) fn pre_admit(
+        &mut self,
+        task: &mut Task,
+    ) -> Option<(u64, ShedReason)> {
+        let table = self.tenants.as_mut()?;
+        match table.admit(task) {
+            TenantVerdict::Admitted { class } => {
+                task.value = class.value_tag();
+                None
+            }
+            TenantVerdict::Shed { tenant, reason } => Some((tenant, reason)),
+        }
+    }
+
+    /// The installed tenancy contract, if any.
+    pub fn tenancy(&self) -> Option<&TenancyPolicy> {
+        self.tenants.as_ref().map(TenantTable::policy)
+    }
+
+    /// Whether the overload degradation ladder is configured.
+    pub(crate) fn ladder_enabled(&self) -> bool {
+        self.tenants
+            .as_ref()
+            .is_some_and(|t| t.policy().ladder_config().is_some())
+    }
+
+    /// The current ladder rung (0 when tenancy or the ladder is off).
+    pub fn sla_rung(&self) -> u8 {
+        self.tenants.as_ref().map_or(0, TenantTable::rung)
+    }
+
+    /// The `retry_after` back-off hint for [`RunError::Overloaded`].
+    pub(crate) fn retry_after(&self) -> u64 {
+        self.tenants
+            .as_ref()
+            .and_then(|t| t.policy().ladder_config())
+            .map_or(0, |cfg| cfg.retry_after)
+    }
+
+    /// One ladder sensing tick (see [`TenantTable::overload_tick`]);
+    /// drivers call this at quiescent arrival watermarks with the
+    /// summed healthy batch-queue depth. Returns the transition, if
+    /// one fired.
+    pub(crate) fn overload_tick(
+        &mut self,
+        pressure: usize,
+    ) -> Option<(u8, u8)> {
+        self.tenants.as_mut()?.overload_tick(pressure)
+    }
+
+    /// Per-tenant admission counters, tenant-id order, when tenancy is
+    /// on: `(lanes, counters)`.
+    pub(crate) fn tenant_counters(
+        &self,
+    ) -> Option<(u64, Vec<TenantAdmissionStats>)> {
+        self.tenants
+            .as_ref()
+            .map(|t| (t.policy().lanes(), t.counters().to_vec()))
+    }
+
+    /// Total arrivals admitted past the tenant table so far (= the
+    /// global arrival ordinal; shed tasks never count).
+    pub(crate) fn arrivals_admitted(&self) -> u64 {
+        self.arrival_order.len() as u64
+    }
+
     /// Admits one arriving task (carrying its *external* id): consults
-    /// the reuse gate, then either routes it — compacting the id into
-    /// the chosen shard's dense space and running that shard's mapping
-    /// event — or absorbs it onto an in-flight primary (exact
-    /// duplicate or deadline-window merge, per the configured
-    /// [`ReusePolicy`]). The returned [`Admission`] says which happened
-    /// and carries the shard and internal id either way.
+    /// the tenant admission table (quotas, SLA classes, ladder — when
+    /// tenancy is on), then the reuse gate, then either routes it —
+    /// compacting the id into the chosen shard's dense space and
+    /// running that shard's mapping event — or absorbs it onto an
+    /// in-flight primary (exact duplicate or deadline-window merge,
+    /// per the configured [`ReusePolicy`]). The returned [`Admission`]
+    /// says which happened; a shed arrival reports
+    /// [`Admission::Shed`] and touches nothing.
     pub fn push_arrival(&mut self, task: Task) -> Admission {
+        let mut task = task;
+        if let Some((tenant, reason)) = self.pre_admit(&mut task) {
+            return Admission::Shed { tenant, reason };
+        }
+        self.push_admitted(task)
+    }
+
+    /// Fallible [`Gateway::push_arrival`]: an arrival the ladder
+    /// rejects outright ([`ShedReason::Overload`]) surfaces as a typed
+    /// [`RunError::Overloaded`] carrying the tenant and the
+    /// configured back-off hint, so a live caller can push back on the
+    /// submitting client. Quota and throttle sheds are normal
+    /// degraded-mode operation and still return
+    /// `Ok(`[`Admission::Shed`]`)`.
+    pub fn try_push_arrival(
+        &mut self,
+        task: Task,
+    ) -> Result<Admission, RunError> {
+        let mut task = task;
+        if let Some((tenant, reason)) = self.pre_admit(&mut task) {
+            if reason == ShedReason::Overload {
+                return Err(RunError::Overloaded {
+                    tenant,
+                    retry_after: self.retry_after(),
+                });
+            }
+            return Ok(Admission::Shed { tenant, reason });
+        }
+        Ok(self.push_admitted(task))
+    }
+
+    /// The post-admission tail of [`Gateway::push_arrival`]: sync
+    /// schedule, reuse gate, routing, shard delivery.
+    fn push_admitted(&mut self, task: Task) -> Admission {
         // Streaming callers get the sync schedule for free; the
         // bundled drivers run it themselves (they journal the steal
         // records this discards).
@@ -621,13 +777,14 @@ impl<'a, S: Sink> Gateway<'a, S> {
             if self.stale.is_none() {
                 self.refresh_views();
             }
+            let now_ordinal = self.arrival_order.len() as u64;
             let table = self.stale.as_ref().expect("refreshed above");
             let views: Vec<ShardView<'_>> = table
                 .shards
                 .iter()
                 .enumerate()
                 .map(|(i, st)| {
-                    ShardView::new(
+                    ShardView::with_age(
                         i,
                         SystemView::new(
                             st.now,
@@ -635,6 +792,7 @@ impl<'a, S: Sink> Gateway<'a, S> {
                             self.shards[i].pet(),
                         ),
                         st.pending,
+                        now_ordinal.saturating_sub(st.published),
                     )
                 })
                 .collect();
@@ -828,6 +986,10 @@ impl<'a, S: Sink> Gateway<'a, S> {
                                                 .collect(),
                                         ),
                                     ),
+                                    (
+                                        "published".to_owned(),
+                                        st.published.to_value(),
+                                    ),
                                 ])
                             })
                             .collect(),
@@ -846,6 +1008,13 @@ impl<'a, S: Sink> Gateway<'a, S> {
                 ("reuse".to_owned(), self.reuse.state_value()),
                 ("stale".to_owned(), stale),
                 ("steals".to_owned(), self.steal_stats.to_value()),
+                (
+                    "tenants".to_owned(),
+                    match &self.tenants {
+                        None => Value::Null,
+                        Some(t) => t.state_value(),
+                    },
+                ),
             ]),
         )
     }
@@ -941,10 +1110,19 @@ impl<'a, S: Sink> Gateway<'a, S> {
                     for (q, wire) in queues.iter_mut().zip(qs) {
                         q.restore_value(wire)?;
                     }
+                    // Pre-PR10 snapshots carry no publication ordinal;
+                    // treat the legacy table as freshly published at
+                    // the capture's arrival count (age 0 — the
+                    // undiscounted behaviour those runs had).
+                    let published = match entry.get_opt("published") {
+                        Some(p) => u64::from_value(p)?,
+                        None => self.arrival_order.len() as u64,
+                    };
                     shards.push(StaleShard {
                         now,
                         pending,
                         queues,
+                        published,
                     });
                 }
                 Some(StaleTable { epoch, shards })
@@ -954,6 +1132,17 @@ impl<'a, S: Sink> Gateway<'a, S> {
             Some(v) => StealStats::from_value(v)?,
             None => StealStats::default(),
         };
+        // Pre-tenancy snapshots carry no admission state; a
+        // tenancy-enabled gateway restoring one starts from a fresh
+        // table (and a tenancy-off gateway ignores the field).
+        if let Some(table) = self.tenants.as_mut() {
+            match payload.get_opt("tenants") {
+                Some(Value::Null) | None => {
+                    *table = TenantTable::new(table.policy().clone());
+                }
+                Some(v) => table.restore_value(v)?,
+            }
+        }
         // Replaying the arrival order front to back makes the latest
         // occurrence of each external id win — the live invariant.
         self.latest = self
@@ -982,6 +1171,9 @@ impl<'a, S: Sink> Gateway<'a, S> {
         for shard in &self.shards {
             reuse.accumulate(&shard.reuse_stats());
         }
+        let tenancy = self
+            .tenant_counters()
+            .map(|(lanes, per_tenant)| TenancyStats { lanes, per_tenant });
         FederationStats {
             per_shard: self
                 .shards
@@ -992,6 +1184,7 @@ impl<'a, S: Sink> Gateway<'a, S> {
             recovery: RecoveryLog::default(),
             reuse,
             steals: self.steal_stats,
+            tenancy,
         }
     }
 }
@@ -1062,6 +1255,11 @@ pub struct FederationStats {
     /// contract compares serialized stats across drivers, and these
     /// describe *how* the run proceeded, not its outcome.
     pub(crate) steals: StealStats,
+    /// Per-tenant admission counters, present when the gateway ran
+    /// with a [`TenancyPolicy`]. Off the wire shape like the other
+    /// observability channels — a quotas-off run must serialize
+    /// byte-identically to a pre-tenancy gateway.
+    pub(crate) tenancy: Option<TenancyStats>,
 }
 
 /// The wire shape is exactly the pre-supervisor `{per_shard,
@@ -1084,6 +1282,7 @@ impl Deserialize for FederationStats {
             recovery: RecoveryLog::default(),
             reuse: ReuseStats::default(),
             steals: StealStats::default(),
+            tenancy: None,
         })
     }
 }
@@ -1119,6 +1318,40 @@ impl FederationStats {
     /// serialized wire shape).
     pub fn steal_stats(&self) -> StealStats {
         self.steals
+    }
+
+    /// Per-tenant admission counters: `None` for tenancy-off runs and
+    /// after deserialization (off the wire shape, like the recovery
+    /// log).
+    pub fn tenancy_stats(&self) -> Option<&TenancyStats> {
+        self.tenancy.as_ref()
+    }
+
+    /// Splits the run into per-tenant [`TenantSlice`]s — each lane's
+    /// admission counters plus its admitted arrivals' `(global index,
+    /// outcome)` pairs in global arrival order. `None` when the run
+    /// had no tenancy layer (or the stats were deserialized). The SLA
+    /// isolation contract compares these slices serialized, tenant by
+    /// tenant.
+    pub fn tenant_slices(&self) -> Option<Vec<TenantSlice>> {
+        let tenancy = self.tenancy.as_ref()?;
+        let lanes = tenancy.lanes.max(1);
+        let mut slices: Vec<TenantSlice> = (0..lanes)
+            .map(|t| TenantSlice {
+                tenant: t,
+                counters: tenancy
+                    .per_tenant
+                    .get(t as usize)
+                    .copied()
+                    .unwrap_or_default(),
+                outcomes: Vec::new(),
+            })
+            .collect();
+        for (gi, a) in self.arrivals.iter().enumerate() {
+            let lane = (a.external.0 % lanes) as usize;
+            slices[lane].outcomes.push((gi as u64, self.outcome_at(gi)));
+        }
+        Some(slices)
     }
 
     /// The global arrival sequence (routing + id assignments).
@@ -1269,6 +1502,7 @@ pub struct GatewayBuilder<'a, S: Sink = NullSink> {
     reuse: ReusePolicy,
     consistency: Consistency,
     stealing: bool,
+    tenancy: Option<TenancyPolicy>,
 }
 
 impl<'a> GatewayBuilder<'a, NullSink> {
@@ -1290,6 +1524,7 @@ impl<'a> GatewayBuilder<'a, NullSink> {
             reuse: ReusePolicy::Off,
             consistency: Consistency::Lockstep,
             stealing: false,
+            tenancy: None,
         }
     }
 }
@@ -1385,6 +1620,21 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
         self
     }
 
+    /// Installs the multi-tenant admission policy: per-tenant quotas,
+    /// SLA classes, weighted-fair admission, and (when the policy
+    /// carries a [`crate::LadderConfig`]) the overload degradation
+    /// ladder.
+    /// Default: no tenancy — every arrival is admitted untouched, and
+    /// the gateway is bit-identical to a pre-tenancy build. A policy
+    /// with all-[`crate::SlaClass::Standard`] tenants, no quotas, and
+    /// no ladder admits everything too, and
+    /// `tests/tenant_isolation.rs` pins that its serialized stats stay
+    /// byte-identical to the tenancy-off gateway.
+    pub fn tenancy(mut self, policy: TenancyPolicy) -> Self {
+        self.tenancy = Some(policy);
+        self
+    }
+
     /// Separates the shards' belief from ground truth (see
     /// [`crate::SchedulerBuilder::truth`]); the [`FederatedEngine`]
     /// samples actual durations from `truth`.
@@ -1413,6 +1663,7 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
             reuse: self.reuse,
             consistency: self.consistency,
             stealing: self.stealing,
+            tenancy: self.tenancy,
         }
     }
 
@@ -1455,6 +1706,11 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
                 core.set_reuse_active(true);
             }
         }
+        if self.tenancy.is_some() {
+            for core in &mut shards {
+                core.set_sla_active(true);
+            }
+        }
         let policy = self
             .policy
             .unwrap_or_else(|| Box::new(RoundRobinRoute::new()));
@@ -1464,6 +1720,7 @@ impl<'a, S: Sink> GatewayBuilder<'a, S> {
             ReuseGate::new(self.reuse),
             self.consistency,
             self.stealing,
+            self.tenancy,
         ))
     }
 
@@ -1819,7 +2076,18 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
                     ),
                 }
             } else {
-                let task = source.next().expect("peeked above");
+                let mut task = source.next().expect("peeked above");
+                // Admission control runs *before* every per-arrival
+                // side effect (clock advance, sync point, arrival log,
+                // watermark): a shed task is invisible to every
+                // coordinate of the run, which is exactly what makes
+                // the SLA-isolation contract hold — and what keeps the
+                // serial and parallel drivers bit-identical, since
+                // both evaluate the same verdict from arrival-visible
+                // data alone in global arrival order.
+                if self.gateway.pre_admit(&mut task).is_some() {
+                    continue;
+                }
                 let now = self.gateway.now();
                 let at = task.arrival.max(now);
                 self.gateway.advance_to(at);
@@ -1948,6 +2216,44 @@ impl<'a, S: Sink> FederatedEngine<'a, S> {
     /// [`FederatedEngine::run_until`] pauses against.
     pub fn arrivals_ingested(&self) -> u64 {
         self.arrivals_ingested
+    }
+
+    /// Summed batch-queue depth across healthy (non-quarantined)
+    /// shards — the overload ladder's pressure signal. Sensed at
+    /// quiescent watermark pauses so both drivers read it at the same
+    /// deterministic coordinate.
+    pub fn overload_pressure(&self) -> usize {
+        self.gateway
+            .shards()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.gateway.is_quarantined(*i))
+            .map(|(_, s)| s.pending_batch_len())
+            .sum()
+    }
+
+    /// Feeds one pressure sample to the overload ladder. On a rung
+    /// transition, propagates the new rung to every healthy shard's
+    /// pruner bias and journals it as [`JournalOp::SlaRung`] (when
+    /// journaling is on), so a recovered shard replays the exact
+    /// threshold history. Returns the `(from, to)` transition, if any.
+    pub(crate) fn overload_tick(
+        &mut self,
+        pressure: usize,
+    ) -> Option<(u8, u8)> {
+        let (from, to) = self.gateway.overload_tick(pressure)?;
+        let time = self.gateway.now();
+        for shard in 0..self.gateway.n_shards() {
+            if self.gateway.is_quarantined(shard) {
+                continue;
+            }
+            if let Some(journals) = &mut self.journals {
+                journals[shard].record(time, JournalOp::SlaRung { rung: to });
+            }
+            self.applied_since_ckpt[shard] += 1;
+            self.gateway.shards_mut()[shard].set_sla_rung(to);
+        }
+        Some((from, to))
     }
 
     /// One shard's operation journal (empty unless

@@ -68,6 +68,14 @@ pub enum JournalOp {
         /// The relabelled task exactly as it was adopted.
         task: Task,
     },
+    /// An overload-ladder transition applied to this shard's pruner
+    /// bias (see [`crate::tenant`]). Journaled so a recovered shard
+    /// replays the exact pruning-threshold history between
+    /// checkpoints.
+    SlaRung {
+        /// The rung the federation stepped to.
+        rung: u8,
+    },
 }
 
 /// A journal record: when the operation was applied, and what it was.
@@ -148,6 +156,7 @@ impl ShardJournal {
                 } => core.apply_piggyback(primary, task, merged),
                 JournalOp::Steal { task } => core.apply_steal(task),
                 JournalOp::Adopt { task } => core.push_arrival(task),
+                JournalOp::SlaRung { rung } => core.set_sla_rung(rung),
             }
             let _ = core.drain_starts();
             let _ = core.drain_decisions();

@@ -95,6 +95,7 @@ pub mod sink;
 pub mod snapshot;
 pub mod stats;
 pub mod supervisor;
+pub mod tenant;
 pub mod trace;
 pub mod traits;
 pub mod view;
@@ -125,7 +126,7 @@ pub use config::{AllocationMode, ConfigError, RunError, SimConfig};
 pub use core::{Decision, SchedulerCore, Start};
 pub use decisions::{DecisionCounter, DecisionLog, Decisions, NullDecisions};
 pub use engine::Engine;
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec, TenantBurst};
 pub use gateway::{
     FedArrival, FedDecision, FedStart, FederatedEngine, FederationStats,
     Gateway, GatewayBuilder, IdCompactor,
@@ -138,10 +139,14 @@ pub use route::{
 };
 pub use sink::{NullSink, Sink};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
-pub use stats::{SimStats, StatsError, StealStats};
+pub use stats::{SimStats, StatsError, StealStats, TenancyStats, TenantSlice};
 pub use supervisor::{
     ParallelSupervisor, RecoveryAction, RecoveryActionKind, RecoveryLog,
     RecoveryPolicy, Supervisor,
+};
+pub use tenant::{
+    LadderConfig, RateLimit, ShedReason, SlaClass, TenancyPolicy,
+    TenantAdmissionStats, TenantSpec,
 };
 pub use trace::{QueueSnapshot, TraceEvent, TraceLog};
 pub use traits::{

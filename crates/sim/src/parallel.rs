@@ -878,6 +878,79 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
         }
     }
 
+    /// Whether the gateway carries an overload ladder (tenancy with a
+    /// [`crate::LadderConfig`]).
+    pub(crate) fn ladder_enabled(&self) -> bool {
+        self.gateway.ladder_enabled()
+    }
+
+    /// Arrivals admitted past the tenant table so far — the ladder's
+    /// sensing watermark (shed tasks never count).
+    pub(crate) fn arrivals_admitted(&self) -> u64 {
+        self.gateway.arrivals_admitted()
+    }
+
+    /// Summed batch-queue depth across healthy shards — the same
+    /// pressure signal the serial driver senses, read at a quiescent
+    /// ingest pause where every lane is current.
+    pub(crate) fn overload_pressure(&self) -> usize {
+        self.gateway
+            .shards()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.gateway.is_quarantined(*i))
+            .map(|(_, s)| s.pending_batch_len())
+            .sum()
+    }
+
+    /// Feeds one pressure sample to the overload ladder; mirrors
+    /// [`crate::FederatedEngine::overload_tick`] — on a transition the
+    /// new rung reaches every healthy shard's pruner bias and each
+    /// supervised lane's journal, stamped at the ingest watermark (the
+    /// serial driver's clock at the same ordinal).
+    pub(crate) fn overload_tick(
+        &mut self,
+        pressure: usize,
+    ) -> Option<(u8, u8)> {
+        let (from, to) = self.gateway.overload_tick(pressure)?;
+        let time = self.watermark.unwrap_or(SimTime::ZERO);
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
+            if self.gateway.is_quarantined(i) {
+                continue;
+            }
+            if let Some(g) = lane.guard.as_mut() {
+                g.journal.record(time, JournalOp::SlaRung { rung: to });
+            }
+        }
+        for i in 0..self.gateway.n_shards() {
+            if self.gateway.is_quarantined(i) {
+                continue;
+            }
+            self.gateway.shards_mut()[i].set_sla_rung(to);
+        }
+        Some((from, to))
+    }
+
+    /// The serial processing instant of the latest ingested arrival
+    /// (the supervisor's timestamp for quiescent-pause actions).
+    pub(crate) fn watermark_time(&self) -> SimTime {
+        self.watermark.unwrap_or(SimTime::ZERO)
+    }
+
+    /// Records a supervisor action against `shard`'s lane log (merged
+    /// into [`FederationStats::recovery_log`] at the drain). No-op on
+    /// unsupervised lanes.
+    pub(crate) fn push_recovery_action(
+        &mut self,
+        time: SimTime,
+        shard: usize,
+        kind: RecoveryActionKind,
+    ) {
+        if let Some(g) = self.lanes[shard].guard.as_mut() {
+            g.log.push(time, shard, kind);
+        }
+    }
+
     /// Publishes lane fail-stops into the gateway's routing layer so
     /// subsequent ingests remap new arrivals around dead shards.
     fn sync_quarantine_flags(&mut self) {
@@ -918,7 +991,15 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
     where
         I: IntoIterator<Item = Task>,
     {
-        for task in arrivals {
+        for mut task in arrivals {
+            // Tenant admission precedes every coordinate update
+            // (watermark, arrival log, mailboxes): a shed task is
+            // invisible, exactly as in the serial driver — same
+            // verdict from the same arrival-visible data in the same
+            // global order.
+            if self.gateway.pre_admit(&mut task).is_some() {
+                continue;
+            }
             let target =
                 self.watermark.map_or(task.arrival, |w| w.max(task.arrival));
             self.watermark = Some(target);
@@ -986,7 +1067,14 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
     where
         I: IntoIterator<Item = Task>,
     {
-        for task in arrivals {
+        for mut task in arrivals {
+            // Shed before any coordinate moves — in particular before
+            // the sync-ordinal check: a shed task must not trigger (or
+            // delay) a sync point, or the steal schedule would observe
+            // another tenant's burst.
+            if self.gateway.pre_admit(&mut task).is_some() {
+                continue;
+            }
             let cutoff = task.arrival;
             let target = self.watermark.map_or(cutoff, |w| w.max(cutoff));
             self.watermark = Some(target);
@@ -1104,7 +1192,10 @@ impl<'a, S: Sink> ParallelFederatedEngine<'a, S> {
         I: IntoIterator<Item = Task>,
     {
         let truth = self.truth;
-        for task in arrivals {
+        for mut task in arrivals {
+            if self.gateway.pre_admit(&mut task).is_some() {
+                continue;
+            }
             let cutoff = task.arrival;
             let target = self.watermark.map_or(cutoff, |w| w.max(cutoff));
             self.watermark = Some(target);

@@ -182,30 +182,66 @@ pub enum Admission {
         /// The follower's own shard-internal id.
         internal: TaskId,
     },
+    /// The tenant admission layer shed the task before it reached the
+    /// reuse gate or routing: it entered no shard, consumed no id, and
+    /// left every downstream coordinate untouched. Only produced when
+    /// a [`crate::TenancyPolicy`] is installed.
+    Shed {
+        /// The tenant whose arrival was shed.
+        tenant: u64,
+        /// Why the admission layer refused it.
+        reason: crate::tenant::ShedReason,
+    },
 }
 
 impl Admission {
     /// The shard the task landed on (its own, or its primary's).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Admission::Shed`] — a shed task never reached a
+    /// shard. Check [`Admission::is_shed`] first on tenancy-enabled
+    /// gateways.
     pub fn shard(&self) -> usize {
         match *self {
             Admission::Routed { shard, .. }
             | Admission::Piggybacked { shard, .. }
             | Admission::Merged { shard, .. } => shard,
+            Admission::Shed { .. } => {
+                panic!("shed admission has no shard")
+            }
         }
     }
 
     /// The task's shard-internal id.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Admission::Shed`] — a shed task was never assigned
+    /// an internal id. Check [`Admission::is_shed`] first on
+    /// tenancy-enabled gateways.
     pub fn internal(&self) -> TaskId {
         match *self {
             Admission::Routed { internal, .. }
             | Admission::Piggybacked { internal, .. }
             | Admission::Merged { internal, .. } => internal,
+            Admission::Shed { .. } => {
+                panic!("shed admission has no internal id")
+            }
         }
     }
 
     /// Whether the task was absorbed by a primary instead of routing.
     pub fn is_absorbed(&self) -> bool {
-        !matches!(self, Admission::Routed { .. })
+        matches!(
+            self,
+            Admission::Piggybacked { .. } | Admission::Merged { .. }
+        )
+    }
+
+    /// Whether the tenant admission layer shed the task.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Admission::Shed { .. })
     }
 }
 

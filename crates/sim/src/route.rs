@@ -82,25 +82,49 @@ pub struct ShardView<'v> {
     index: usize,
     view: SystemView<'v>,
     pending_batch: usize,
+    age: u64,
 }
 
 impl<'v> ShardView<'v> {
-    /// Builds a shard view (gateway-internal; public for policy tests).
+    /// Builds a live (age 0) shard view (gateway-internal; public for
+    /// policy tests).
     pub fn new(
         index: usize,
         view: SystemView<'v>,
         pending_batch: usize,
     ) -> Self {
+        Self::with_age(index, view, pending_batch, 0)
+    }
+
+    /// Builds a shard view carrying an explicit staleness age — the
+    /// number of admitted arrivals since this entry was published to
+    /// the bounded-staleness view table. Live (Lockstep) views and a
+    /// table refreshed this very arrival have age 0.
+    pub fn with_age(
+        index: usize,
+        view: SystemView<'v>,
+        pending_batch: usize,
+        age: u64,
+    ) -> Self {
         Self {
             index,
             view,
             pending_batch,
+            age,
         }
     }
 
     /// This shard's index within the federation.
     pub fn index(&self) -> usize {
         self.index
+    }
+
+    /// Admitted arrivals since this view entry was published (0 for
+    /// live views). Staleness-aware policies discount chance estimates
+    /// by this — a deep-looking backlog in an old entry may already be
+    /// drained, and an empty-looking shard may already be flooded.
+    pub fn age(&self) -> u64 {
+        self.age
     }
 
     /// The shard's system view — machine queues, free slots, and the

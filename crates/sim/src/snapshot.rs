@@ -21,7 +21,13 @@
 //! * **Forward-compatible decode.** Optional envelope fields follow
 //!   the same missing-field convention as the bench `BenchEntry`
 //!   records: absent means `None`, so snapshots written before a field
-//!   existed keep loading.
+//!   existed keep loading. Restore paths default each legacy-absent
+//!   field to "the subsystem didn't exist at capture": a pre-reuse
+//!   snapshot restores with an empty gate, a pre-PR9 one with no view
+//!   table or steal counters, and a pre-tenancy one with a fresh
+//!   `TenantTable` and `sla_rung = None` (SLA-aware pruning off) —
+//!   new state never invents history a bit-identity replay would
+//!   have to explain.
 //!
 //! Chain caches and scratch arenas are never serialized — restore
 //! rebuilds them lazily, which the incremental-chain determinism

@@ -10,6 +10,7 @@
 //! machine-time spent on work that produced no value (the energy/cost
 //! extension of §VII).
 
+use crate::tenant::TenantAdmissionStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use taskprune_model::{SimTime, Task, TaskId, TaskOutcome, TaskTypeId};
@@ -114,6 +115,67 @@ impl StealStats {
         self.tasks_moved += other.tasks_moved;
         self.steal_points += other.steal_points;
         self.view_refreshes += other.view_refreshes;
+    }
+}
+
+/// Per-lane admission counters of one tenancy-enabled federated run.
+///
+/// Built by the gateway's [`crate::TenancyPolicy`] admission layer and
+/// surfaced through `FederationStats::tenancy_stats`. Like the
+/// recovery log, reuse counters, and steal counters, this is
+/// deliberately **off the wire shape**: the serialized
+/// `FederationStats` the equivalence contracts compare stays exactly
+/// `{per_shard, arrivals}`, and a quotas-off run serializes
+/// bit-identically to a pre-tenancy gateway.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenancyStats {
+    /// Number of tenant lanes (`tenant = external id % lanes`).
+    pub lanes: u64,
+    /// Admission counters per lane, in lane order.
+    pub per_tenant: Vec<TenantAdmissionStats>,
+}
+
+/// One tenant's complete view of a federated run: its admission
+/// counters plus every arrival it got admitted, as `(global arrival
+/// index, outcome)` pairs in global arrival order.
+///
+/// `FederationStats::tenant_slices` builds one per lane. The SLA
+/// isolation contract (`tests/tenant_isolation.rs`) serializes the
+/// *unaffected* tenants' slices and requires them bit-identical
+/// between a run with a zero-quota tenant burst and the burst-free
+/// run — degradation must stay inside the offending lane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSlice {
+    /// The tenant lane this slice describes.
+    pub tenant: u64,
+    /// The lane's admission counters (submitted / admitted / shed).
+    pub counters: TenantAdmissionStats,
+    /// The lane's admitted arrivals: global arrival index and terminal
+    /// outcome, in global arrival order.
+    pub outcomes: Vec<(u64, Option<TaskOutcome>)>,
+}
+
+impl TenantSlice {
+    /// Percentage of this tenant's *admitted* arrivals that completed
+    /// on time (0 when none were admitted). No trim: slices are
+    /// per-tenant subsequences, so the §V-B window protocol applies to
+    /// the federation-wide metric, not here.
+    pub fn robustness_pct(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let on_time = self
+            .outcomes
+            .iter()
+            .filter(|(_, o)| matches!(o, Some(TaskOutcome::CompletedOnTime)))
+            .count();
+        100.0 * on_time as f64 / self.outcomes.len() as f64
+    }
+
+    /// Percentage of this tenant's submissions the admission layer
+    /// shed (quota, throttle, or overload) before routing.
+    pub fn shed_pct(&self) -> f64 {
+        self.counters.shed_pct()
     }
 }
 

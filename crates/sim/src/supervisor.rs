@@ -162,6 +162,21 @@ pub enum RecoveryActionKind {
         /// Batch-queued tasks re-routed to healthy shards.
         rerouted: u64,
     },
+    /// The overload ladder stepped **up** after sustained queue-depth
+    /// pressure: non-Premium admission degrades at the new rung (see
+    /// [`crate::LadderConfig`]). Logged once per transition, against
+    /// shard 0 (the ladder is a federation-wide coordinate).
+    OverloadStepUp {
+        /// The rung stepped to (1–3).
+        rung: u8,
+    },
+    /// The overload ladder stepped back **down** after sustained
+    /// relief — transitions are one rung at a time, so recovery
+    /// retraces the degradation path deterministically.
+    OverloadStepDown {
+        /// The rung stepped to (0–2).
+        rung: u8,
+    },
     /// A watermark health check found journaled-but-undelivered
     /// operations on the shard.
     JournalGapDetected {
@@ -521,6 +536,23 @@ impl<'a, S: Sink> Supervisor<'a, S> {
     fn maintain(&mut self) {
         let watermark = self.engine.arrivals_ingested();
         let now = self.engine.now();
+        // Overload-ladder sensing comes first, so the checkpoints this
+        // pause captures already carry the stepped rung (a recovered
+        // shard replays the threshold history exactly). The pressure
+        // read and the transition are pure functions of shard state at
+        // this quiescent admitted-arrival ordinal, so serial and
+        // parallel supervision step identically.
+        if self.engine.gateway_ref().ladder_enabled() {
+            let pressure = self.engine.overload_pressure();
+            if let Some((from, to)) = self.engine.overload_tick(pressure) {
+                let kind = if to > from {
+                    RecoveryActionKind::OverloadStepUp { rung: to }
+                } else {
+                    RecoveryActionKind::OverloadStepDown { rung: to }
+                };
+                self.log.push(now, 0, kind);
+            }
+        }
         for shard in 0..self.engine.n_shards() {
             if self.engine.gateway_ref().is_quarantined(shard) {
                 continue;
@@ -605,6 +637,7 @@ impl<S: Sink> std::fmt::Debug for Supervisor<'_, S> {
 /// still remaps *future* arrivals around it at the next ingest epoch.
 pub struct ParallelSupervisor<'a, S: Sink = NullSink> {
     engine: ParallelFederatedEngine<'a, S>,
+    policy: RecoveryPolicy,
 }
 
 impl<'a, S: Sink> ParallelSupervisor<'a, S> {
@@ -614,7 +647,7 @@ impl<'a, S: Sink> ParallelSupervisor<'a, S> {
         policy: RecoveryPolicy,
     ) -> Self {
         engine.supervise(policy);
-        Self { engine }
+        Self { engine, policy }
     }
 
     /// Arms deterministic fault injection: each lane receives its
@@ -627,11 +660,56 @@ impl<'a, S: Sink> ParallelSupervisor<'a, S> {
     /// healing faults lane-locally, and returns the outcome record
     /// with the merged (shard-index-ordered) [`RecoveryLog`]
     /// attached.
-    pub fn run_stream<I>(self, arrivals: I) -> FederationStats
+    ///
+    /// When the gateway carries an overload ladder, the stream is
+    /// ingested in checkpoint-interval slices of **admitted** arrivals
+    /// and the ladder sensed at each quiescent pause — the same
+    /// coordinates the serial [`Supervisor`] senses at, so the two
+    /// drivers step (and recover) rung for rung.
+    pub fn run_stream<I>(mut self, arrivals: I) -> FederationStats
     where
         I: IntoIterator<Item = Task>,
     {
-        self.engine.run_stream(arrivals)
+        let mut iter = arrivals.into_iter();
+        if !self.engine.ladder_enabled() {
+            return self.engine.run_stream(iter);
+        }
+        let interval = self.policy.checkpoint_interval.max(1);
+        let mut next = self.engine.arrivals_admitted() + interval;
+        loop {
+            // Sheds don't advance the admitted watermark, so keep
+            // topping the slice up until the pause ordinal is reached
+            // (or the stream runs dry).
+            let want = next.saturating_sub(self.engine.arrivals_admitted());
+            let chunk: Vec<Task> =
+                iter.by_ref().take((want as usize).max(1)).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            self.engine.ingest_prefix(chunk);
+            if self.engine.arrivals_admitted() >= next {
+                self.ladder_tick();
+                next += interval;
+            }
+        }
+        self.engine.finish_stream(std::iter::empty())
+    }
+
+    /// One quiescent-pause ladder sense, mirroring the serial
+    /// supervisor's `maintain` step: read pressure, step at most one
+    /// rung, and record the transition in the recovery log (via lane
+    /// 0's guard — the ladder is a federation-wide coordinate).
+    fn ladder_tick(&mut self) {
+        let pressure = self.engine.overload_pressure();
+        if let Some((from, to)) = self.engine.overload_tick(pressure) {
+            let kind = if to > from {
+                RecoveryActionKind::OverloadStepUp { rung: to }
+            } else {
+                RecoveryActionKind::OverloadStepDown { rung: to }
+            };
+            let time = self.engine.watermark_time();
+            self.engine.push_recovery_action(time, 0, kind);
+        }
     }
 }
 
